@@ -1,0 +1,138 @@
+//! Micro-benchmarks of the protocol's hot paths: the per-request
+//! distribution decision and the periodic placement run. These are the
+//! operations a production redirector/host would execute, so their cost
+//! bounds the throughput of a real deployment.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use radar_core::placement::{run_placement, PlacementEnv};
+use radar_core::{CreateObjRequest, CreateObjResponse, HostState, ObjectId, Params, Redirector};
+use radar_simnet::{builders, NodeId, RoutingTable};
+
+/// `ChooseReplica` throughput as the replica set grows.
+fn bench_choose_replica(c: &mut Criterion) {
+    let topo = builders::uunet();
+    let routes = topo.routes();
+    let mut group = c.benchmark_group("choose_replica");
+    for replicas in [1u16, 2, 4, 8, 16, 32] {
+        let mut redirector = Redirector::new(1, 2.0);
+        for i in 0..replicas {
+            redirector.install(ObjectId::new(0), NodeId::new(i * 3 % 53));
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(replicas), &replicas, |b, _| {
+            let mut gw = 0u16;
+            b.iter(|| {
+                gw = (gw + 7) % 53;
+                black_box(redirector.choose_replica(ObjectId::new(0), NodeId::new(gw), &routes))
+            });
+        });
+    }
+    group.finish();
+}
+
+/// A placement environment that accepts everything, isolating the
+/// decision loop's own cost.
+struct AcceptAll {
+    routes: RoutingTable,
+    peer: HostState,
+    redirector: Redirector,
+}
+
+impl PlacementEnv for AcceptAll {
+    fn create_obj(&mut self, _target: NodeId, req: CreateObjRequest) -> CreateObjResponse {
+        let resp = radar_core::placement::handle_create_obj(&mut self.peer, 0.0, &req);
+        if resp.is_accepted() {
+            self.redirector.notify_created(req.object, self.peer.node());
+        }
+        resp
+    }
+
+    fn request_drop(&mut self, object: ObjectId, host: NodeId) -> bool {
+        self.redirector.request_drop(object, host)
+    }
+
+    fn notify_affinity(&mut self, object: ObjectId, host: NodeId, aff: u32) {
+        self.redirector.notify_affinity(object, host, aff);
+    }
+
+    fn find_offload_recipient(&mut self, _requester: NodeId) -> Option<(NodeId, f64)> {
+        Some((self.peer.node(), 0.0))
+    }
+
+    fn distance(&self, a: NodeId, b: NodeId) -> u32 {
+        self.routes.distance(a, b)
+    }
+
+    fn may_replicate(&self, _object: ObjectId) -> bool {
+        true
+    }
+}
+
+/// One full `DecidePlacement` run over a host with 200 objects (the
+/// paper-scale per-host object count), including access-count state.
+fn bench_run_placement(c: &mut Criterion) {
+    let topo = builders::uunet();
+    let routes = topo.routes();
+    c.bench_function("run_placement/200_objects", |b| {
+        b.iter_batched(
+            || {
+                let mut host = HostState::new(NodeId::new(0), Params::paper());
+                let mut redirector = Redirector::new(200, 2.0);
+                let path: Vec<NodeId> = routes.path(NodeId::new(0), NodeId::new(40));
+                for i in 0..200u32 {
+                    let x = ObjectId::new(i);
+                    host.install_object(x);
+                    redirector.install(x, NodeId::new(0));
+                    for _ in 0..(i % 25) {
+                        host.record_access(x, &path);
+                    }
+                }
+                let env = AcceptAll {
+                    routes: topo.routes(),
+                    peer: HostState::new(NodeId::new(1), Params::paper()),
+                    redirector,
+                };
+                (host, env)
+            },
+            |(mut host, mut env)| {
+                black_box(run_placement(&mut host, 100.0, &mut env));
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+}
+
+/// All-pairs routing-table construction for the 53-node testbed — the
+/// once-per-experiment cost of ingesting the routing database.
+fn bench_routing_table(c: &mut Criterion) {
+    let topo = builders::uunet();
+    c.bench_function("routing_table/uunet", |b| {
+        b.iter(|| black_box(topo.routes()));
+    });
+}
+
+/// Host-side request accounting: the per-request cost at a hosting
+/// server (access count along a preference path + serviced tick).
+fn bench_record_request(c: &mut Criterion) {
+    let topo = builders::uunet();
+    let routes = topo.routes();
+    let path = routes.path(NodeId::new(0), NodeId::new(45));
+    let mut host = HostState::new(NodeId::new(0), Params::paper());
+    host.install_object(ObjectId::new(0));
+    c.bench_function("host_record_request", |b| {
+        let mut t = 0.0;
+        b.iter(|| {
+            t += 0.005;
+            host.record_access(ObjectId::new(0), &path);
+            host.record_serviced(t, ObjectId::new(0));
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_choose_replica,
+    bench_run_placement,
+    bench_routing_table,
+    bench_record_request
+);
+criterion_main!(benches);

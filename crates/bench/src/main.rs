@@ -1,0 +1,129 @@
+//! `experiments` — regenerate the paper's tables and figures.
+//!
+//! Usage:
+//!
+//! ```text
+//! experiments [--quick] [--seed N] [--out DIR] <command>...
+//!
+//! commands: table1 fig6 fig7 fig8a fig8b table2 fig9 baselines
+//!           ablation-constant ablation-thresholds ablation-period
+//!           demand-shift all
+//! ```
+//!
+//! Default scale is the paper's Table 1 (10 000 objects, 40 req/s per
+//! node, 3 000 simulated seconds); `--quick` runs a reduced scale for
+//! smoke-testing. `--out DIR` additionally writes each series as CSV.
+
+use radar_bench::experiments::{self, Harness};
+use radar_bench::ExpConfig;
+
+const COMMANDS: &[&str] = &[
+    "table1",
+    "fig6",
+    "fig7",
+    "fig8a",
+    "fig8b",
+    "table2",
+    "fig9",
+    "baselines",
+    "ablation-constant",
+    "ablation-thresholds",
+    "ablation-period",
+    "demand-shift",
+    "updates",
+    "redirectors",
+    "heterogeneous",
+    "links",
+    "storage",
+    "variance",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = ExpConfig::full();
+    let mut commands: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => {
+                let seed = cfg.seed;
+                let out = cfg.out_dir.clone();
+                cfg = ExpConfig::quick();
+                cfg.seed = seed;
+                cfg.out_dir = out;
+            }
+            "--seed" => {
+                let v = it.next().unwrap_or_else(|| usage("--seed needs a value"));
+                cfg.seed = v
+                    .parse()
+                    .unwrap_or_else(|_| usage("--seed needs an integer"));
+            }
+            "--out" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage("--out needs a directory"));
+                cfg.out_dir = Some(v.into());
+            }
+            "--help" | "-h" => usage(""),
+            cmd if COMMANDS.contains(&cmd) || cmd == "all" => commands.push(cmd.to_string()),
+            other => usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    if commands.is_empty() {
+        usage("no command given");
+    }
+    if commands.iter().any(|c| c == "all") {
+        commands = COMMANDS.iter().map(|s| s.to_string()).collect();
+    }
+
+    eprintln!(
+        "scale: {} objects, {} req/s per node, {}s simulated, seed {}",
+        cfg.num_objects, cfg.node_rate, cfg.duration, cfg.seed
+    );
+    let start = std::time::Instant::now();
+    let mut harness = Harness::new(cfg);
+    if commands.len() > 1 {
+        harness.preload_parallel();
+    }
+    for cmd in &commands {
+        let output = run_command(&mut harness, cmd);
+        println!("{output}");
+    }
+    eprintln!("total wall time: {:?}", start.elapsed());
+}
+
+fn run_command(h: &mut Harness, cmd: &str) -> String {
+    match cmd {
+        "table1" => experiments::table1(h),
+        "fig6" => experiments::fig6(h),
+        "fig7" => experiments::fig7(h),
+        "fig8a" => experiments::fig8a(h),
+        "fig8b" => experiments::fig8b(h),
+        "table2" => experiments::table2(h),
+        "fig9" => experiments::fig9(h),
+        "baselines" => experiments::baselines(h),
+        "ablation-constant" => experiments::ablation_constant(h),
+        "ablation-thresholds" => experiments::ablation_thresholds(h),
+        "ablation-period" => experiments::ablation_period(h),
+        "demand-shift" => experiments::demand_shift(h),
+        "updates" => experiments::updates(h),
+        "redirectors" => experiments::redirectors(h),
+        "heterogeneous" => experiments::heterogeneous(h),
+        "links" => experiments::links(h),
+        "storage" => experiments::storage(h),
+        "variance" => experiments::variance(h),
+        other => unreachable!("validated command {other}"),
+    }
+}
+
+fn usage(error: &str) -> ! {
+    if !error.is_empty() {
+        eprintln!("error: {error}\n");
+    }
+    eprintln!(
+        "usage: experiments [--quick] [--seed N] [--out DIR] <command>...\n\
+         commands: {} all",
+        COMMANDS.join(" ")
+    );
+    std::process::exit(if error.is_empty() { 0 } else { 2 });
+}

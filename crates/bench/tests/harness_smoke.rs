@@ -1,0 +1,68 @@
+//! Smoke tests of the experiment harness at miniature scale: every
+//! experiment function produces non-trivial output without panicking.
+//! (The paper-scale numbers are produced by the `experiments` binary;
+//! these tests guard the plumbing.)
+
+use radar_bench::experiments::{self, Harness};
+use radar_bench::ExpConfig;
+
+fn micro() -> ExpConfig {
+    ExpConfig {
+        num_objects: 200,
+        node_rate: 2.0,
+        duration: 250.0,
+        seed: 5,
+        out_dir: None,
+    }
+}
+
+#[test]
+fn table1_lists_parameters() {
+    let mut h = Harness::new(micro());
+    let out = experiments::table1(&mut h);
+    assert!(out.contains("Table 1"));
+    assert!(out.contains("Deletion threshold"));
+    assert!(out.contains("0.03"));
+}
+
+#[test]
+fn figures_and_tables_share_cached_runs() {
+    // fig7, fig8a and table2 all consume the same four dynamic runs; the
+    // harness must simulate each workload once.
+    let mut h = Harness::new(micro());
+    let fig7 = experiments::fig7(&mut h);
+    assert!(fig7.contains("hot-sites %"));
+    let fig8a = experiments::fig8a(&mut h);
+    assert!(fig8a.contains("peak loads"));
+    let table2 = experiments::table2(&mut h);
+    assert!(table2.contains("Average Number of Replicas"));
+    // Four data rows, one per workload.
+    let rows = table2.lines().filter(|l| l.contains("  ")).count();
+    assert!(rows >= 4, "table2 output:\n{table2}");
+}
+
+#[test]
+fn csv_series_written_when_requested() {
+    let dir = std::env::temp_dir().join("radar-harness-smoke-csv");
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut cfg = micro();
+    cfg.out_dir = Some(dir.clone());
+    let mut h = Harness::new(cfg);
+    let _ = experiments::table2(&mut h);
+    assert!(dir.join("table2.csv").exists());
+    let body = std::fs::read_to_string(dir.join("table2.csv")).unwrap();
+    assert!(body.lines().count() >= 5, "csv:\n{body}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn parallel_preload_matches_lazy_runs() {
+    let mut lazy = Harness::new(micro());
+    let lazy_table2 = experiments::table2(&mut lazy);
+    let mut eager = Harness::new(micro());
+    eager.preload_parallel();
+    let eager_table2 = experiments::table2(&mut eager);
+    assert_eq!(lazy_table2, eager_table2);
+    // Preloading twice is a no-op.
+    eager.preload_parallel();
+}

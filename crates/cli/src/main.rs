@@ -1,0 +1,12 @@
+//! The `radar` binary: see [`radar_cli::usage`] or run with `--help`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match radar_cli::run(&args) {
+        Ok(output) => print!("{output}"),
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    }
+}

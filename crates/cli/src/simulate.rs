@@ -1,0 +1,296 @@
+//! `radar simulate` — configure and run one simulation.
+
+use radar_baselines::{ClosestSelection, RandomSelection, RoundRobinSelection};
+use radar_sim::{
+    PlacementMode, RadarSelection, RunReport, Scenario, SelectionPolicy, Simulation, Trace,
+};
+use radar_simnet::Topology;
+use radar_workload::{HotPages, HotSites, Regional, Uniform, Workload, ZipfReeds};
+
+use crate::args::Parsed;
+use crate::render;
+
+const OPTIONS: &[&str] = &[
+    "workload",
+    "policy",
+    "objects",
+    "rate",
+    "duration",
+    "seed",
+    "watermarks",
+    "topology",
+    "redirectors",
+    "update-rate",
+    "storage-limit",
+    "replay",
+    "record-trace",
+    "out",
+];
+const SWITCHES: &[&str] = &["static", "json", "help"];
+
+/// The workload families the CLI can instantiate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadKind {
+    /// Zipf popularity (Reeds' closed form).
+    Zipf,
+    /// 10% of sites draw 90% of requests.
+    HotSites,
+    /// 10% of pages draw 90% of requests.
+    HotPages,
+    /// Regional preferred object slices.
+    Regional,
+    /// Uniform popularity.
+    Uniform,
+}
+
+impl WorkloadKind {
+    fn parse(name: &str) -> Result<Self, String> {
+        match name {
+            "zipf" => Ok(Self::Zipf),
+            "hot-sites" => Ok(Self::HotSites),
+            "hot-pages" => Ok(Self::HotPages),
+            "regional" => Ok(Self::Regional),
+            "uniform" => Ok(Self::Uniform),
+            other => Err(format!(
+                "unknown workload {other:?} (zipf, hot-sites, hot-pages, regional, uniform)"
+            )),
+        }
+    }
+
+    fn build(
+        self,
+        objects: u32,
+        nodes: u16,
+        seed: u64,
+        topology: &Topology,
+    ) -> Box<dyn Workload + Send> {
+        let mut rng = radar_simcore::SimRng::seed_from(seed ^ 0x9E37_79B9_7F4A_7C15);
+        match self {
+            Self::Zipf => Box::new(ZipfReeds::new(objects)),
+            Self::HotSites => Box::new(HotSites::new(objects, nodes, 0.1, 0.9, &mut rng)),
+            Self::HotPages => Box::new(HotPages::new(objects, 0.1, 0.9, &mut rng)),
+            Self::Regional => Box::new(Regional::new(objects, topology, 0.01, 0.9)),
+            Self::Uniform => Box::new(Uniform::new(objects)),
+        }
+    }
+}
+
+/// Fully resolved `simulate` arguments.
+#[derive(Debug)]
+pub struct SimulateArgs {
+    /// The scenario to run.
+    pub scenario: Scenario,
+    /// Which workload family drives it (`None` when replaying a trace).
+    pub workload: Option<WorkloadKind>,
+    /// Replica-selection policy name.
+    pub policy: String,
+    /// Replay source, if any.
+    pub replay: Option<Trace>,
+    /// Capture arrivals and write them here.
+    pub record_trace_to: Option<String>,
+    /// Emit the full report as JSON instead of the text summary.
+    pub json: bool,
+    /// Write output here instead of returning it for stdout.
+    pub out: Option<String>,
+}
+
+impl SimulateArgs {
+    /// Parses command-line arguments into a runnable configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for malformed flags, unreadable files, or
+    /// invalid scenario combinations.
+    pub fn parse(args: &[&str]) -> Result<Self, String> {
+        let parsed = Parsed::parse(args, OPTIONS, SWITCHES).map_err(|e| e.to_string())?;
+        if parsed.has("help") {
+            return Err(help());
+        }
+        if let Some(extra) = parsed.positionals.first() {
+            return Err(format!(
+                "simulate takes no positional arguments, got {extra:?}"
+            ));
+        }
+        let objects = parsed
+            .get_parsed("objects", 1_000u32, "an object count")
+            .map_err(|e| e.to_string())?;
+        let rate = parsed
+            .get_parsed("rate", 10.0f64, "requests/second")
+            .map_err(|e| e.to_string())?;
+        let duration = parsed
+            .get_parsed("duration", 600.0f64, "seconds")
+            .map_err(|e| e.to_string())?;
+        let seed = parsed
+            .get_parsed("seed", 1u64, "an integer seed")
+            .map_err(|e| e.to_string())?;
+        let redirectors = parsed
+            .get_parsed("redirectors", 1u16, "a redirector count")
+            .map_err(|e| e.to_string())?;
+        let update_rate = parsed
+            .get_parsed("update-rate", 0.0f64, "updates/second")
+            .map_err(|e| e.to_string())?;
+
+        let mut builder = Scenario::builder()
+            .num_objects(objects)
+            .node_request_rate(rate)
+            .duration(duration)
+            .seed(seed)
+            .num_redirectors(redirectors)
+            .update_rate(update_rate);
+        if let Some(path) = parsed.get("topology") {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read topology {path}: {e}"))?;
+            let topo = Topology::from_spec(&text).map_err(|e| e.to_string())?;
+            builder = builder.topology(topo);
+        }
+        if let Some(spec) = parsed.get("watermarks") {
+            let (lw, hw) = spec
+                .split_once(',')
+                .and_then(|(a, b)| Some((a.trim().parse().ok()?, b.trim().parse().ok()?)))
+                .ok_or_else(|| format!("--watermarks expects `low,high`, got {spec:?}"))?;
+            let params = radar_core::Params::builder()
+                .watermarks(lw, hw)
+                .build()
+                .map_err(|e| e.to_string())?;
+            builder = builder.params(params);
+        }
+        if let Some(limit) = parsed.get("storage-limit") {
+            let limit: u32 = limit
+                .parse()
+                .map_err(|_| format!("--storage-limit expects an integer, got {limit:?}"))?;
+            builder = builder.storage_limit(limit);
+        }
+        if parsed.has("static") {
+            builder = builder.placement(PlacementMode::Static);
+        }
+        let scenario = builder.build().map_err(|e| e.to_string())?;
+
+        let replay = match parsed.get("replay") {
+            None => None,
+            Some(path) => {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read trace {path}: {e}"))?;
+                Some(Trace::from_text(&text).map_err(|e| e.to_string())?)
+            }
+        };
+        let workload = if replay.is_some() {
+            if parsed.get("workload").is_some() {
+                return Err("--replay and --workload are mutually exclusive".to_string());
+            }
+            None
+        } else {
+            Some(WorkloadKind::parse(
+                parsed.get("workload").unwrap_or("zipf"),
+            )?)
+        };
+        let policy = parsed.get("policy").unwrap_or("radar").to_string();
+        if !["radar", "round-robin", "closest", "random"].contains(&policy.as_str()) {
+            return Err(format!(
+                "unknown policy {policy:?} (radar, round-robin, closest, random)"
+            ));
+        }
+        if replay.is_some() && policy != "radar" {
+            return Err("--replay currently supports only the radar policy".to_string());
+        }
+
+        Ok(SimulateArgs {
+            scenario,
+            workload,
+            policy,
+            replay,
+            record_trace_to: parsed.get("record-trace").map(str::to_string),
+            json: parsed.has("json"),
+            out: parsed.get("out").map(str::to_string),
+        })
+    }
+
+    /// Runs the configured simulation and returns the finished report.
+    pub fn execute(self) -> Result<(RunReport, OutputSettings), String> {
+        let seed = self.scenario.seed;
+        let objects = self.scenario.num_objects;
+        let nodes = self.scenario.num_nodes();
+        let mut sim = match (&self.replay, self.workload) {
+            (Some(trace), _) => Simulation::replay(self.scenario.clone(), trace.clone()),
+            (None, Some(kind)) => {
+                let workload = kind.build(objects, nodes, seed, &self.scenario.topology);
+                let policy: Box<dyn SelectionPolicy + Send> = match self.policy.as_str() {
+                    "radar" => Box::new(RadarSelection::new()),
+                    "round-robin" => Box::new(RoundRobinSelection::new()),
+                    "closest" => Box::new(ClosestSelection::new()),
+                    "random" => Box::new(RandomSelection::new(seed)),
+                    other => unreachable!("validated policy {other}"),
+                };
+                Simulation::with_selection(self.scenario.clone(), workload, policy)
+            }
+            (None, None) => unreachable!("parse() sets workload unless replaying"),
+        };
+        if self.record_trace_to.is_some() {
+            sim.record_trace();
+        }
+        let report = sim.run();
+        Ok((
+            report,
+            OutputSettings {
+                record_trace_to: self.record_trace_to,
+                json: self.json,
+                out: self.out,
+            },
+        ))
+    }
+}
+
+/// Output settings surviving the run (the scenario is consumed by it).
+#[derive(Debug)]
+pub struct OutputSettings {
+    record_trace_to: Option<String>,
+    json: bool,
+    out: Option<String>,
+}
+
+pub(crate) fn command(args: &[&str]) -> Result<String, String> {
+    let parsed = SimulateArgs::parse(args)?;
+    let (report, output) = parsed.execute()?;
+    if let Some(path) = &output.record_trace_to {
+        let trace = report
+            .trace
+            .as_ref()
+            .expect("record_trace was enabled before the run");
+        std::fs::write(path, trace.to_text())
+            .map_err(|e| format!("cannot write trace {path}: {e}"))?;
+    }
+    let body = if output.json {
+        serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?
+    } else {
+        render::summary(&report)
+    };
+    match &output.out {
+        Some(path) => {
+            std::fs::write(path, &body).map_err(|e| format!("cannot write {path}: {e}"))?;
+            Ok(format!("report written to {path}\n"))
+        }
+        None => Ok(body),
+    }
+}
+
+fn help() -> String {
+    "radar simulate — run a hosting-platform simulation\n\
+     \n\
+     OPTIONS:\n\
+     \x20 --workload W        zipf | hot-sites | hot-pages | regional | uniform (default zipf)\n\
+     \x20 --policy P          radar | round-robin | closest | random (default radar)\n\
+     \x20 --objects N         hosted objects (default 1000)\n\
+     \x20 --rate R            requests/second per gateway (default 10)\n\
+     \x20 --duration S        simulated seconds (default 600)\n\
+     \x20 --seed N            RNG seed (default 1)\n\
+     \x20 --watermarks L,H    low/high watermarks in req/s (default 80,90)\n\
+     \x20 --topology FILE     backbone spec file (default: built-in 53-node UUNET)\n\
+     \x20 --redirectors N     hash-partitioned redirectors (default 1)\n\
+     \x20 --update-rate R     provider updates/second across all objects (default 0)\n\
+     \x20 --storage-limit N   max objects per host (default unbounded)\n\
+     \x20 --static            freeze placement (no protocol decisions)\n\
+     \x20 --replay FILE       replay a recorded trace instead of a workload\n\
+     \x20 --record-trace FILE capture this run's arrivals for later replay\n\
+     \x20 --json              emit the full report as JSON\n\
+     \x20 --out FILE          write output to FILE instead of stdout\n"
+        .to_string()
+}

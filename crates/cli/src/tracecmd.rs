@@ -1,0 +1,116 @@
+//! `radar trace` — inspect and validate request traces.
+
+use radar_sim::Trace;
+
+use crate::args::Parsed;
+
+pub(crate) fn command(args: &[&str]) -> Result<String, String> {
+    let parsed = Parsed::parse(args, &[], &["help"]).map_err(|e| e.to_string())?;
+    if parsed.has("help") {
+        return Err(help());
+    }
+    match parsed.positionals.as_slice() {
+        [sub, path] if sub == "validate" => {
+            let trace = load(path)?;
+            Ok(format!(
+                "{path}: valid, {} requests over {:.1}s\n",
+                trace.len(),
+                trace.duration()
+            ))
+        }
+        [sub, path] if sub == "stats" => {
+            let trace = load(path)?;
+            Ok(stats(path, &trace))
+        }
+        _ => Err(help()),
+    }
+}
+
+fn load(path: &str) -> Result<Trace, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read trace {path}: {e}"))?;
+    Trace::from_text(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn stats(path: &str, trace: &Trace) -> String {
+    let mut gateways = std::collections::BTreeMap::new();
+    let mut objects = std::collections::BTreeMap::new();
+    for e in trace.entries() {
+        *gateways.entry(e.gateway).or_insert(0u64) += 1;
+        *objects.entry(e.object).or_insert(0u64) += 1;
+    }
+    let duration = trace.duration().max(f64::MIN_POSITIVE);
+    let mut out = format!("trace {path}\n");
+    out.push_str(&format!(
+        "requests   {} over {:.1}s ({:.1} req/s)\n",
+        trace.len(),
+        trace.duration(),
+        trace.len() as f64 / duration
+    ));
+    out.push_str(&format!(
+        "gateways   {} distinct (busiest: {})\n",
+        gateways.len(),
+        gateways
+            .iter()
+            .max_by_key(|&(_, c)| *c)
+            .map(|(g, c)| format!("node {g} with {c}"))
+            .unwrap_or_else(|| "none".into())
+    ));
+    out.push_str(&format!(
+        "objects    {} distinct (hottest: {})\n",
+        objects.len(),
+        objects
+            .iter()
+            .max_by_key(|&(_, c)| *c)
+            .map(|(o, c)| format!("object {o} with {c}"))
+            .unwrap_or_else(|| "none".into())
+    ));
+    out
+}
+
+fn help() -> String {
+    "radar trace — inspect request traces\n\
+     \n\
+     USAGE:\n\
+     \x20 radar trace validate FILE   parse + order-check a trace\n\
+     \x20 radar trace stats FILE      request/gateway/object statistics\n"
+        .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_trace(name: &str, body: &str) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!("radar-cli-{name}.trace"));
+        std::fs::write(&path, body).expect("temp file writable");
+        path
+    }
+
+    #[test]
+    fn validate_and_stats() {
+        let path = temp_trace("ok", "0 1 5\n0.5 1 5\n1.0 2 6\n");
+        let p = path.to_str().expect("utf-8 temp path");
+        let out = command(&["validate", p]).unwrap();
+        assert!(out.contains("valid, 3 requests"));
+        let out = command(&["stats", p]).unwrap();
+        assert!(out.contains("2 distinct"), "{out}");
+        assert!(out.contains("node 1 with 2"));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn invalid_trace_reported() {
+        let path = temp_trace("bad", "1 0 0\n0 0 0\n");
+        let p = path.to_str().expect("utf-8 temp path");
+        let err = command(&["validate", p]).unwrap_err();
+        assert!(err.contains("sorted"), "{err}");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn bad_subcommand_prints_help() {
+        let err = command(&["frobnicate", "x"]).unwrap_err();
+        assert!(err.contains("USAGE"));
+    }
+}

@@ -1,0 +1,146 @@
+//! End-to-end tests of the `radar` CLI through its library entry point.
+
+use radar_cli::run;
+
+fn args(list: &[&str]) -> Vec<String> {
+    list.iter().map(|s| s.to_string()).collect()
+}
+
+#[test]
+fn help_paths() {
+    let out = run(&args(&["--help"])).unwrap();
+    assert!(out.contains("USAGE"));
+    let err = run(&args(&["bogus"])).unwrap_err();
+    assert!(err.contains("unknown command"));
+    let out = run(&args(&[])).unwrap();
+    assert!(out.contains("radar simulate"));
+}
+
+#[test]
+fn simulate_text_summary() {
+    let out = run(&args(&[
+        "simulate",
+        "--objects",
+        "100",
+        "--rate",
+        "2",
+        "--duration",
+        "120",
+        "--workload",
+        "hot-pages",
+    ]))
+    .unwrap();
+    assert!(out.contains("workload hot-pages"), "{out}");
+    assert!(out.contains("replicas/object"));
+}
+
+#[test]
+fn simulate_json_report() {
+    let out = run(&args(&[
+        "simulate",
+        "--objects",
+        "60",
+        "--rate",
+        "1",
+        "--duration",
+        "60",
+        "--json",
+    ]))
+    .unwrap();
+    let value: serde_json::Value = serde_json::from_str(&out).expect("valid JSON");
+    assert_eq!(value["workload"], "zipf");
+    assert!(value["total_requests"].as_u64().unwrap() > 0);
+    assert!(value["final_replicas"].as_array().unwrap().len() == 60);
+}
+
+#[test]
+fn simulate_record_then_replay_round_trip() {
+    let trace_path = std::env::temp_dir().join("radar-cli-roundtrip.trace");
+    let p = trace_path.to_str().unwrap();
+    let original = run(&args(&[
+        "simulate",
+        "--objects",
+        "80",
+        "--rate",
+        "2",
+        "--duration",
+        "90",
+        "--seed",
+        "9",
+        "--record-trace",
+        p,
+        "--json",
+    ]))
+    .unwrap();
+    let replayed = run(&args(&[
+        "simulate",
+        "--objects",
+        "80",
+        "--rate",
+        "2",
+        "--duration",
+        "90",
+        "--seed",
+        "9",
+        "--replay",
+        p,
+        "--json",
+    ]))
+    .unwrap();
+    let a: serde_json::Value = serde_json::from_str(&original).unwrap();
+    let b: serde_json::Value = serde_json::from_str(&replayed).unwrap();
+    assert_eq!(a["total_requests"], b["total_requests"]);
+    assert_eq!(a["client_bandwidth"], b["client_bandwidth"]);
+    assert_eq!(b["workload"], "replay");
+    // The trace file itself passes validation.
+    let out = run(&args(&["trace", "validate", p])).unwrap();
+    assert!(out.contains("valid"));
+    let _ = std::fs::remove_file(trace_path);
+}
+
+#[test]
+fn simulate_rejects_bad_flags() {
+    assert!(run(&args(&["simulate", "--objects", "zero"]))
+        .unwrap_err()
+        .contains("expected an object count"));
+    assert!(run(&args(&["simulate", "--workload", "martian"]))
+        .unwrap_err()
+        .contains("unknown workload"));
+    assert!(run(&args(&["simulate", "--watermarks", "90"]))
+        .unwrap_err()
+        .contains("low,high"));
+    assert!(run(&args(&["simulate", "--watermarks", "90,80"]))
+        .unwrap_err()
+        .contains("below high watermark"));
+    assert!(run(&args(&["simulate", "--policy", "psychic"]))
+        .unwrap_err()
+        .contains("unknown policy"));
+}
+
+#[test]
+fn simulate_with_custom_topology_and_baseline_policy() {
+    let topo_path = std::env::temp_dir().join("radar-cli-topo.spec");
+    std::fs::write(
+        &topo_path,
+        "node a eu\nnode b eu\nnode c wna\nlink a b\nlink b c\n",
+    )
+    .unwrap();
+    let out = run(&args(&[
+        "simulate",
+        "--topology",
+        topo_path.to_str().unwrap(),
+        "--objects",
+        "30",
+        "--rate",
+        "1",
+        "--duration",
+        "60",
+        "--policy",
+        "closest",
+        "--workload",
+        "uniform",
+    ]))
+    .unwrap();
+    assert!(out.contains("policy closest"), "{out}");
+    let _ = std::fs::remove_file(topo_path);
+}

@@ -1,0 +1,139 @@
+//! Load-change bounds (paper Theorems 1–5).
+//!
+//! These closed forms are what let a host relocate **many objects at
+//! once** without waiting for fresh load measurements after each move:
+//! under steady demand, the request distribution algorithm guarantees
+//! that any single migration/replication shifts load by no more than the
+//! amounts below. The offloading algorithm (Fig. 5) subtracts the source
+//! bounds from its lower load estimate and adds the target bound to the
+//! recipient's upper estimate after every transfer.
+//!
+//! The empirical validation of these theorems against the actual
+//! distribution algorithm lives in this crate's `tests/theorem_bounds.rs`
+//! property suite.
+
+/// Theorem 1: when host `i` **replicates** object `x` elsewhere, the load
+/// on `i` may decrease by at most `¾·ℓ`, where `ℓ = load(x_i)` before the
+/// replication.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(radar_core::bounds::replication_source_decrease(8.0), 6.0);
+/// ```
+pub fn replication_source_decrease(load: f64) -> f64 {
+    0.75 * load
+}
+
+/// Theorems 2 and 4: when host `i` replicates **or** migrates object `x`
+/// to host `j`, the load on `j` may increase by at most
+/// `4·ℓ/aff(x_i)`.
+///
+/// # Panics
+///
+/// Panics if `aff` is zero.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(radar_core::bounds::target_increase(8.0, 2), 16.0);
+/// ```
+pub fn target_increase(load: f64, aff: u32) -> f64 {
+    assert!(aff >= 1, "a replica's affinity is at least 1");
+    4.0 * load / aff as f64
+}
+
+/// Theorem 3: when host `i` **migrates** object `x` to host `j` (moving
+/// one affinity unit), the load on `i` may decrease by at most
+/// `ℓ/aff + ¾·ℓ·(aff−1)/aff`.
+///
+/// For `aff = 1` this is exactly `ℓ` — migrating the only affinity unit
+/// can shed the object's entire load, but no more.
+///
+/// # Panics
+///
+/// Panics if `aff` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use radar_core::bounds::migration_source_decrease;
+/// assert_eq!(migration_source_decrease(8.0, 1), 8.0);
+/// assert_eq!(migration_source_decrease(8.0, 2), 4.0 + 3.0);
+/// ```
+pub fn migration_source_decrease(load: f64, aff: u32) -> f64 {
+    assert!(aff >= 1, "a replica's affinity is at least 1");
+    let a = aff as f64;
+    load / a + 0.75 * load * (a - 1.0) / a
+}
+
+/// Theorem 5: if hosts replicate only when an object's unit access count
+/// exceeds `m`, then after the replication every replica's unit access
+/// count is at least `m/4` — even under concurrent independent
+/// replications. With the parameter constraint `4u < m` this exceeds the
+/// deletion threshold `u`, so replication can never trigger deletion.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(radar_core::bounds::post_replication_unit_count_floor(0.18), 0.045);
+/// ```
+pub fn post_replication_unit_count_floor(m: f64) -> f64 {
+    m / 4.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replication_decrease_is_three_quarters() {
+        assert_eq!(replication_source_decrease(100.0), 75.0);
+        assert_eq!(replication_source_decrease(0.0), 0.0);
+    }
+
+    #[test]
+    fn target_increase_scales_inverse_affinity() {
+        assert_eq!(target_increase(10.0, 1), 40.0);
+        assert_eq!(target_increase(10.0, 4), 10.0);
+    }
+
+    #[test]
+    fn migration_decrease_affinity_one_is_full_load() {
+        assert_eq!(migration_source_decrease(12.0, 1), 12.0);
+    }
+
+    #[test]
+    fn migration_decrease_between_unit_and_full() {
+        for aff in 2..10 {
+            let d = migration_source_decrease(10.0, aff);
+            assert!(d > 10.0 / aff as f64);
+            assert!(d < 10.0);
+        }
+    }
+
+    #[test]
+    fn migration_decrease_never_below_replication_decrease() {
+        // Migration sheds at least as much as replication would (it also
+        // removes the local affinity unit).
+        for aff in 1..10 {
+            assert!(
+                migration_source_decrease(10.0, aff) + 1e-12
+                    >= replication_source_decrease(10.0) / aff as f64
+            );
+        }
+    }
+
+    #[test]
+    fn theorem5_floor_exceeds_deletion_threshold_under_constraint() {
+        let u = 0.03;
+        let m = 0.18;
+        assert!(post_replication_unit_count_floor(m) > u);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_affinity_rejected() {
+        let _ = target_increase(1.0, 0);
+    }
+}

@@ -1,0 +1,233 @@
+//! The object catalog: sizes, consistency classes, and primary copies
+//! (paper §5).
+
+use radar_simnet::NodeId;
+use serde::{Deserialize, Serialize};
+
+use crate::ObjectId;
+
+/// The paper's §5 consistency taxonomy of hosted objects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ObjectKind {
+    /// Type 1: "objects that do not change as the result of user
+    /// accesses" — static pages or read-only dynamic services. Updated
+    /// only by the content provider via the primary copy; replicate
+    /// freely. The paper cites studies putting 80–95% of Web accesses in
+    /// this class.
+    Immutable,
+    /// Type 2: per-access modifications commute (e.g. hit counters whose
+    /// values may be merged). Replicate freely provided statistics are
+    /// merged out of band.
+    CommutingUpdates,
+    /// Type 3: non-commuting per-access updates. "In general, can only be
+    /// migrated"; when the application tolerates some inconsistency, a
+    /// bounded number of replicas is allowed.
+    NonCommuting {
+        /// Maximum number of simultaneous physical replicas (≥ 1).
+        /// 1 reproduces the strict migrate-only regime.
+        max_replicas: u32,
+    },
+}
+
+impl ObjectKind {
+    /// Whether an object of this kind, currently on `replica_count`
+    /// distinct hosts, may gain a replica on a *new* host.
+    pub fn may_add_replica(self, replica_count: usize) -> bool {
+        match self {
+            ObjectKind::Immutable | ObjectKind::CommutingUpdates => true,
+            ObjectKind::NonCommuting { max_replicas } => replica_count < max_replicas as usize,
+        }
+    }
+}
+
+/// Static description of every hosted object: uniform size (the paper
+/// simulates 12 KB pages), consistency kind, and the node holding the
+/// *primary copy* used for provider-update propagation.
+///
+/// # Examples
+///
+/// ```
+/// use radar_core::{Catalog, ObjectId, ObjectKind};
+/// use radar_simnet::NodeId;
+///
+/// // 100 immutable objects of 12 KB, primaries round-robin over 4 nodes.
+/// let catalog = Catalog::uniform(100, 12 * 1024, 4);
+/// assert_eq!(catalog.primary(ObjectId::new(5)), NodeId::new(1));
+/// assert!(catalog.kind(ObjectId::new(0)).may_add_replica(10));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Catalog {
+    kinds: Vec<ObjectKind>,
+    size_bytes: u64,
+    primaries: Vec<NodeId>,
+}
+
+impl Catalog {
+    /// A catalog of `num_objects` immutable objects of `size_bytes` each,
+    /// with primaries assigned round-robin over `num_nodes` nodes — the
+    /// paper's initial configuration ("object i is assigned to node
+    /// i mod 53").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_objects` or `num_nodes` is zero, or `num_nodes`
+    /// exceeds `u16::MAX`.
+    pub fn uniform(num_objects: u32, size_bytes: u64, num_nodes: u16) -> Self {
+        assert!(num_objects > 0, "catalog needs at least one object");
+        assert!(num_nodes > 0, "catalog needs at least one node");
+        let kinds = vec![ObjectKind::Immutable; num_objects as usize];
+        let primaries = (0..num_objects)
+            .map(|i| NodeId::new((i % num_nodes as u32) as u16))
+            .collect();
+        Self {
+            kinds,
+            size_bytes,
+            primaries,
+        }
+    }
+
+    /// A catalog with explicitly provided kinds and primaries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kinds` and `primaries` differ in length, are empty, or
+    /// any `NonCommuting` cap is zero.
+    pub fn from_parts(kinds: Vec<ObjectKind>, size_bytes: u64, primaries: Vec<NodeId>) -> Self {
+        assert_eq!(
+            kinds.len(),
+            primaries.len(),
+            "kinds and primaries must describe the same objects"
+        );
+        assert!(!kinds.is_empty(), "catalog needs at least one object");
+        for (i, k) in kinds.iter().enumerate() {
+            if let ObjectKind::NonCommuting { max_replicas } = k {
+                assert!(
+                    *max_replicas >= 1,
+                    "object {i}: non-commuting replica cap must be at least 1"
+                );
+            }
+        }
+        Self {
+            kinds,
+            size_bytes,
+            primaries,
+        }
+    }
+
+    /// Number of objects described.
+    pub fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// `true` if the catalog describes no objects (never true for a
+    /// constructed catalog; provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.kinds.is_empty()
+    }
+
+    /// All object ids, ascending.
+    pub fn objects(&self) -> impl Iterator<Item = ObjectId> + '_ {
+        (0..self.kinds.len() as u32).map(ObjectId::new)
+    }
+
+    /// Uniform object size in bytes (12 KB in the paper's Table 1).
+    pub fn object_size(&self) -> u64 {
+        self.size_bytes
+    }
+
+    /// Consistency kind of `object`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `object` is out of range.
+    pub fn kind(&self, object: ObjectId) -> ObjectKind {
+        self.kinds[object.index()]
+    }
+
+    /// The node holding the primary copy of `object`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `object` is out of range.
+    pub fn primary(&self, object: ObjectId) -> NodeId {
+        self.primaries[object.index()]
+    }
+
+    /// Moves the primary copy of `object` to `node` (e.g. after the
+    /// original host migrates the object away).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `object` is out of range.
+    pub fn set_primary(&mut self, object: ObjectId, node: NodeId) {
+        self.primaries[object.index()] = node;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_round_robin_primaries() {
+        let c = Catalog::uniform(10, 12_288, 3);
+        assert_eq!(c.len(), 10);
+        assert!(!c.is_empty());
+        assert_eq!(c.object_size(), 12_288);
+        assert_eq!(c.primary(ObjectId::new(0)), NodeId::new(0));
+        assert_eq!(c.primary(ObjectId::new(4)), NodeId::new(1));
+        assert_eq!(c.primary(ObjectId::new(9)), NodeId::new(0));
+        assert!(c.objects().all(|x| c.kind(x) == ObjectKind::Immutable));
+    }
+
+    #[test]
+    fn replica_caps() {
+        assert!(ObjectKind::Immutable.may_add_replica(1_000_000));
+        assert!(ObjectKind::CommutingUpdates.may_add_replica(42));
+        let capped = ObjectKind::NonCommuting { max_replicas: 3 };
+        assert!(capped.may_add_replica(2));
+        assert!(!capped.may_add_replica(3));
+        let strict = ObjectKind::NonCommuting { max_replicas: 1 };
+        assert!(!strict.may_add_replica(1));
+    }
+
+    #[test]
+    fn from_parts_and_set_primary() {
+        let mut c = Catalog::from_parts(
+            vec![
+                ObjectKind::Immutable,
+                ObjectKind::NonCommuting { max_replicas: 2 },
+            ],
+            1024,
+            vec![NodeId::new(0), NodeId::new(1)],
+        );
+        assert_eq!(
+            c.kind(ObjectId::new(1)),
+            ObjectKind::NonCommuting { max_replicas: 2 }
+        );
+        c.set_primary(ObjectId::new(0), NodeId::new(5));
+        assert_eq!(c.primary(ObjectId::new(0)), NodeId::new(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "same objects")]
+    fn mismatched_parts_rejected() {
+        let _ = Catalog::from_parts(vec![ObjectKind::Immutable], 1, vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cap must be at least 1")]
+    fn zero_cap_rejected() {
+        let _ = Catalog::from_parts(
+            vec![ObjectKind::NonCommuting { max_replicas: 0 }],
+            1,
+            vec![NodeId::new(0)],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one object")]
+    fn empty_uniform_rejected() {
+        let _ = Catalog::uniform(0, 1, 1);
+    }
+}

@@ -1,0 +1,211 @@
+//! Host load tracking with relocation-aware upper/lower estimates.
+//!
+//! The paper's load metric (§2.1) is the rate of serviced requests
+//! averaged over a *measurement interval* (20 s). A measurement taken
+//! right after an object relocation does not yet reflect the relocation,
+//! so the protocol switches to **estimates** around relocation events:
+//!
+//! * after *accepting* an object, a host adds the Theorem 2/4 upper bound
+//!   (`4 × unit load`) to its load when deciding whether to accept more —
+//!   so a burst of acquisitions cannot overshoot the watermarks;
+//! * when *shedding* objects, a host subtracts the Theorem 1/3 maximal
+//!   decrease to obtain a lower bound — so bulk offloading stops before
+//!   the host could possibly have dropped below the low watermark.
+//!
+//! A host "returns to using actual load metrics only when its measurement
+//! interval starts after the last object had been acquired": completing a
+//! clean interval clears the deltas.
+
+use serde::{Deserialize, Serialize};
+
+/// Relocation-aware load state of one host.
+///
+/// Driven by its owning [`crate::HostState`], which completes measurement
+/// windows ([`complete_window`](Self::complete_window)) and reports
+/// relocations ([`note_acquired`](Self::note_acquired) /
+/// [`note_shed`](Self::note_shed)). Decision code reads
+/// [`upper`](Self::upper) for admission checks and [`lower`](Self::lower)
+/// for offloading checks.
+///
+/// # Examples
+///
+/// ```
+/// use radar_core::LoadEstimator;
+/// let mut le = LoadEstimator::new();
+/// le.complete_window(50.0, 0.0);   // measured 50 req/s over [0, 20)
+/// le.note_acquired(25.0, 10.0);    // accepted an object: +4×2.5 bound
+/// assert_eq!(le.upper(), 60.0);
+/// assert_eq!(le.lower(), 50.0);
+/// le.complete_window(58.0, 20.0);  // window [20,40) started before 25 →
+/// le.complete_window(59.0, 40.0);  // still dirty; [40,60) is clean
+/// assert_eq!(le.upper(), 59.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LoadEstimator {
+    measured: f64,
+    upper_delta: f64,
+    lower_delta: f64,
+    /// Time of the most recent relocation (acquire or shed), if any
+    /// estimate deltas are outstanding.
+    last_relocation: Option<f64>,
+}
+
+impl LoadEstimator {
+    /// A fresh estimator with zero measured load and no outstanding
+    /// estimates.
+    pub fn new() -> Self {
+        Self {
+            measured: 0.0,
+            upper_delta: 0.0,
+            lower_delta: 0.0,
+            last_relocation: None,
+        }
+    }
+
+    /// Installs the measurement of a just-completed interval that started
+    /// at `window_start`. If the interval started at or after the last
+    /// relocation, the measurement fully reflects the relocated state and
+    /// the estimate deltas are cleared.
+    pub fn complete_window(&mut self, rate: f64, window_start: f64) {
+        self.measured = rate;
+        if let Some(lr) = self.last_relocation {
+            if window_start >= lr {
+                self.upper_delta = 0.0;
+                self.lower_delta = 0.0;
+                self.last_relocation = None;
+            }
+        }
+    }
+
+    /// Records acceptance of an object at time `now`, raising the upper
+    /// estimate by `bound` (the caller passes the Theorem 2/4 bound,
+    /// `4 × unit load`).
+    pub fn note_acquired(&mut self, now: f64, bound: f64) {
+        debug_assert!(bound >= 0.0, "acquisition bound must be non-negative");
+        self.upper_delta += bound;
+        self.last_relocation = Some(now);
+    }
+
+    /// Records shedding of (part of) an object at time `now`, lowering
+    /// the lower estimate by `bound` (the caller passes the Theorem 1/3
+    /// maximal decrease).
+    pub fn note_shed(&mut self, now: f64, bound: f64) {
+        debug_assert!(bound >= 0.0, "shed bound must be non-negative");
+        self.lower_delta += bound;
+        self.last_relocation = Some(now);
+    }
+
+    /// The last completed interval's measured load (requests/second).
+    pub fn measured(&self) -> f64 {
+        self.measured
+    }
+
+    /// Upper-limit load estimate — what admission decisions use.
+    pub fn upper(&self) -> f64 {
+        self.measured + self.upper_delta
+    }
+
+    /// Lower-limit load estimate — what offloading decisions use. Never
+    /// negative.
+    pub fn lower(&self) -> f64 {
+        (self.measured - self.lower_delta).max(0.0)
+    }
+
+    /// `true` while relocation deltas are outstanding (estimates differ
+    /// from the plain measurement).
+    pub fn in_estimate_mode(&self) -> bool {
+        self.last_relocation.is_some()
+    }
+}
+
+impl Default for LoadEstimator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_estimator_is_zero() {
+        let le = LoadEstimator::new();
+        assert_eq!(le.measured(), 0.0);
+        assert_eq!(le.upper(), 0.0);
+        assert_eq!(le.lower(), 0.0);
+        assert!(!le.in_estimate_mode());
+    }
+
+    #[test]
+    fn acquisitions_raise_upper_only() {
+        let mut le = LoadEstimator::new();
+        le.complete_window(40.0, 0.0);
+        le.note_acquired(25.0, 8.0);
+        le.note_acquired(26.0, 4.0);
+        assert_eq!(le.upper(), 52.0);
+        assert_eq!(le.lower(), 40.0);
+        assert!(le.in_estimate_mode());
+    }
+
+    #[test]
+    fn sheds_lower_lower_only() {
+        let mut le = LoadEstimator::new();
+        le.complete_window(40.0, 0.0);
+        le.note_shed(25.0, 15.0);
+        assert_eq!(le.upper(), 40.0);
+        assert_eq!(le.lower(), 25.0);
+    }
+
+    #[test]
+    fn lower_never_negative() {
+        let mut le = LoadEstimator::new();
+        le.complete_window(5.0, 0.0);
+        le.note_shed(1.0, 100.0);
+        assert_eq!(le.lower(), 0.0);
+    }
+
+    #[test]
+    fn dirty_window_keeps_estimates() {
+        let mut le = LoadEstimator::new();
+        le.complete_window(40.0, 0.0);
+        le.note_acquired(25.0, 8.0);
+        // Window [20, 40) started before the relocation at t=25: dirty.
+        le.complete_window(45.0, 20.0);
+        assert!(le.in_estimate_mode());
+        assert_eq!(le.upper(), 53.0);
+    }
+
+    #[test]
+    fn clean_window_clears_estimates() {
+        let mut le = LoadEstimator::new();
+        le.complete_window(40.0, 0.0);
+        le.note_acquired(25.0, 8.0);
+        le.note_shed(30.0, 3.0);
+        le.complete_window(47.0, 40.0); // starts after t=30: clean
+        assert!(!le.in_estimate_mode());
+        assert_eq!(le.upper(), 47.0);
+        assert_eq!(le.lower(), 47.0);
+    }
+
+    #[test]
+    fn window_starting_exactly_at_relocation_is_clean() {
+        // A relocation at the instant a window opens is fully visible to
+        // that window.
+        let mut le = LoadEstimator::new();
+        le.note_acquired(20.0, 8.0);
+        le.complete_window(44.0, 20.0);
+        assert!(!le.in_estimate_mode());
+    }
+
+    #[test]
+    fn later_relocation_extends_estimate_mode() {
+        let mut le = LoadEstimator::new();
+        le.note_acquired(5.0, 8.0);
+        le.note_acquired(39.0, 8.0);
+        le.complete_window(44.0, 20.0); // dirty: relocation at 39 inside
+        assert!(le.in_estimate_mode());
+        le.complete_window(44.0, 40.0); // clean
+        assert!(!le.in_estimate_mode());
+    }
+}

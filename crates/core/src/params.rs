@@ -1,0 +1,435 @@
+//! Protocol tuning parameters (paper Table 1 and §4.2).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// All tunable parameters of the protocol, with the constraints the paper
+/// derives for stability.
+///
+/// | Field | Paper symbol | Paper value |
+/// |---|---|---|
+/// | `low_watermark` | lw | 80 req/s (40 in the high-load runs) |
+/// | `high_watermark` | hw | 90 req/s (50 in the high-load runs) |
+/// | `deletion_threshold` | u | 0.03 req/s |
+/// | `replication_threshold` | m | 6u = 0.18 req/s |
+/// | `migration_ratio` | MIGR_RATIO | 0.6 |
+/// | `replication_ratio` | REPL_RATIO | 1/6 |
+/// | `distribution_constant` | the "2" in Fig. 2 | 2.0 |
+/// | `placement_period` | inter-placement time | 100 s |
+/// | `measurement_interval` | load measurement interval | 20 s |
+///
+/// Constraints enforced by [`ParamsBuilder::build`]:
+///
+/// * `4u < m` — Theorem 5's stability condition: replicas created by a
+///   replication can never immediately fall below the deletion threshold,
+///   so replicate→delete cycles cannot occur;
+/// * `MIGR_RATIO > 0.5` — prevents two nodes from each seeing a majority
+///   and ping-ponging an object between them;
+/// * `REPL_RATIO < MIGR_RATIO` — "for replication to ever take place";
+/// * `lw < hw`, and all rates/periods positive.
+///
+/// # Examples
+///
+/// ```
+/// use radar_core::Params;
+/// let p = Params::paper();
+/// assert_eq!(p.high_watermark, 90.0);
+/// assert!(4.0 * p.deletion_threshold < p.replication_threshold);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Params {
+    /// Low load watermark `lw` (requests/second).
+    pub low_watermark: f64,
+    /// High load watermark `hw` (requests/second).
+    pub high_watermark: f64,
+    /// Deletion threshold `u` (requests/second per affinity unit).
+    pub deletion_threshold: f64,
+    /// Replication threshold `m` (requests/second per affinity unit).
+    pub replication_threshold: f64,
+    /// `MIGR_RATIO`: the fraction of an object's requests a candidate must
+    /// appear on (as a preference-path node) to attract a geo-migration.
+    pub migration_ratio: f64,
+    /// `REPL_RATIO`: the fraction required to attract a geo-replication.
+    pub replication_ratio: f64,
+    /// The constant of the request distribution algorithm (Fig. 2): the
+    /// closest replica keeps receiving requests until its unit request
+    /// count exceeds `constant ×` the minimum unit request count.
+    pub distribution_constant: f64,
+    /// Seconds between placement-decision runs on each host.
+    pub placement_period: f64,
+    /// Seconds per load measurement interval (§2.1).
+    pub measurement_interval: f64,
+}
+
+impl Params {
+    /// The paper's Table 1 configuration (normal-load watermarks
+    /// hw=90 / lw=80).
+    pub fn paper() -> Self {
+        ParamsBuilder::new()
+            .build()
+            .expect("paper parameters satisfy all constraints")
+    }
+
+    /// The paper's high-load configuration (Fig. 9): hw=50 / lw=40, all
+    /// other parameters as in [`Params::paper`].
+    pub fn paper_high_load() -> Self {
+        ParamsBuilder::new()
+            .watermarks(40.0, 50.0)
+            .build()
+            .expect("paper high-load parameters satisfy all constraints")
+    }
+
+    /// Starts building a custom parameter set (defaults = paper values).
+    pub fn builder() -> ParamsBuilder {
+        ParamsBuilder::new()
+    }
+
+    /// Deletion threshold expressed as a request *count* per affinity unit
+    /// per placement period (`u × placement_period`).
+    pub fn deletion_count_threshold(&self) -> f64 {
+        self.deletion_threshold * self.placement_period
+    }
+
+    /// Replication threshold expressed as a request count per affinity
+    /// unit per placement period (`m × placement_period`).
+    pub fn replication_count_threshold(&self) -> f64 {
+        self.replication_threshold * self.placement_period
+    }
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Why a parameter set was rejected. See [`Params`] for the constraint
+/// rationale.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParamsError {
+    /// A field that must be strictly positive and finite was not.
+    NonPositive {
+        /// Name of the offending field.
+        field: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// `lw ≥ hw`.
+    WatermarksInverted {
+        /// Low watermark.
+        low: f64,
+        /// High watermark.
+        high: f64,
+    },
+    /// `4u ≥ m`, violating Theorem 5's stability condition.
+    ThresholdsUnstable {
+        /// Deletion threshold `u`.
+        deletion: f64,
+        /// Replication threshold `m`.
+        replication: f64,
+    },
+    /// `MIGR_RATIO ≤ 0.5`, allowing migration ping-pong.
+    MigrationRatioTooLow(f64),
+    /// `REPL_RATIO ≥ MIGR_RATIO`, so replication could never be chosen.
+    ReplicationRatioTooHigh {
+        /// Replication ratio.
+        replication: f64,
+        /// Migration ratio.
+        migration: f64,
+    },
+    /// Distribution constant must exceed 1 (at 1 the closest replica
+    /// never gets preference).
+    DistributionConstantTooLow(f64),
+}
+
+impl fmt::Display for ParamsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamsError::NonPositive { field, value } => {
+                write!(f, "{field} must be positive and finite, got {value}")
+            }
+            ParamsError::WatermarksInverted { low, high } => {
+                write!(f, "low watermark {low} must be below high watermark {high}")
+            }
+            ParamsError::ThresholdsUnstable {
+                deletion,
+                replication,
+            } => write!(
+                f,
+                "stability requires 4·u < m (theorem 5), got u={deletion}, m={replication}"
+            ),
+            ParamsError::MigrationRatioTooLow(v) => {
+                write!(
+                    f,
+                    "migration ratio must exceed 0.5 to prevent ping-pong, got {v}"
+                )
+            }
+            ParamsError::ReplicationRatioTooHigh {
+                replication,
+                migration,
+            } => write!(
+                f,
+                "replication ratio {replication} must be below migration ratio {migration}"
+            ),
+            ParamsError::DistributionConstantTooLow(v) => {
+                write!(f, "distribution constant must exceed 1, got {v}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParamsError {}
+
+/// Builder for [`Params`]; all setters default to the paper's Table 1
+/// values.
+///
+/// # Examples
+///
+/// ```
+/// use radar_core::Params;
+/// let p = Params::builder()
+///     .watermarks(40.0, 50.0)
+///     .thresholds(0.03, 0.18)
+///     .build()?;
+/// assert_eq!(p.high_watermark, 50.0);
+/// # Ok::<(), radar_core::ParamsError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ParamsBuilder {
+    params: Params,
+}
+
+impl ParamsBuilder {
+    /// Creates a builder initialized with the paper's values.
+    pub fn new() -> Self {
+        Self {
+            params: Params {
+                low_watermark: 80.0,
+                high_watermark: 90.0,
+                deletion_threshold: 0.03,
+                replication_threshold: 0.18,
+                migration_ratio: 0.6,
+                replication_ratio: 1.0 / 6.0,
+                distribution_constant: 2.0,
+                placement_period: 100.0,
+                measurement_interval: 20.0,
+            },
+        }
+    }
+
+    /// Sets the low and high watermarks (requests/second).
+    pub fn watermarks(mut self, low: f64, high: f64) -> Self {
+        self.params.low_watermark = low;
+        self.params.high_watermark = high;
+        self
+    }
+
+    /// Sets the deletion threshold `u` and replication threshold `m`
+    /// (requests/second per affinity unit).
+    pub fn thresholds(mut self, deletion: f64, replication: f64) -> Self {
+        self.params.deletion_threshold = deletion;
+        self.params.replication_threshold = replication;
+        self
+    }
+
+    /// Sets `MIGR_RATIO` and `REPL_RATIO`.
+    pub fn ratios(mut self, migration: f64, replication: f64) -> Self {
+        self.params.migration_ratio = migration;
+        self.params.replication_ratio = replication;
+        self
+    }
+
+    /// Sets the request-distribution constant (the "2" in Fig. 2).
+    pub fn distribution_constant(mut self, c: f64) -> Self {
+        self.params.distribution_constant = c;
+        self
+    }
+
+    /// Sets the placement period in seconds.
+    pub fn placement_period(mut self, secs: f64) -> Self {
+        self.params.placement_period = secs;
+        self
+    }
+
+    /// Sets the load measurement interval in seconds.
+    pub fn measurement_interval(mut self, secs: f64) -> Self {
+        self.params.measurement_interval = secs;
+        self
+    }
+
+    /// Validates the constraints and produces the parameter set.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParamsError`] describing the first violated constraint.
+    pub fn build(self) -> Result<Params, ParamsError> {
+        let p = self.params;
+        let positives = [
+            ("low_watermark", p.low_watermark),
+            ("high_watermark", p.high_watermark),
+            ("deletion_threshold", p.deletion_threshold),
+            ("replication_threshold", p.replication_threshold),
+            ("migration_ratio", p.migration_ratio),
+            ("replication_ratio", p.replication_ratio),
+            ("distribution_constant", p.distribution_constant),
+            ("placement_period", p.placement_period),
+            ("measurement_interval", p.measurement_interval),
+        ];
+        for (field, value) in positives {
+            if !(value.is_finite() && value > 0.0) {
+                return Err(ParamsError::NonPositive { field, value });
+            }
+        }
+        if p.low_watermark >= p.high_watermark {
+            return Err(ParamsError::WatermarksInverted {
+                low: p.low_watermark,
+                high: p.high_watermark,
+            });
+        }
+        if 4.0 * p.deletion_threshold >= p.replication_threshold {
+            return Err(ParamsError::ThresholdsUnstable {
+                deletion: p.deletion_threshold,
+                replication: p.replication_threshold,
+            });
+        }
+        if p.migration_ratio <= 0.5 {
+            return Err(ParamsError::MigrationRatioTooLow(p.migration_ratio));
+        }
+        if p.replication_ratio >= p.migration_ratio {
+            return Err(ParamsError::ReplicationRatioTooHigh {
+                replication: p.replication_ratio,
+                migration: p.migration_ratio,
+            });
+        }
+        if p.distribution_constant <= 1.0 {
+            return Err(ParamsError::DistributionConstantTooLow(
+                p.distribution_constant,
+            ));
+        }
+        Ok(p)
+    }
+}
+
+impl Default for ParamsBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_params_match_table_1() {
+        let p = Params::paper();
+        assert_eq!(p.low_watermark, 80.0);
+        assert_eq!(p.high_watermark, 90.0);
+        assert_eq!(p.deletion_threshold, 0.03);
+        assert_eq!(p.replication_threshold, 0.18);
+        assert_eq!(p.migration_ratio, 0.6);
+        assert!((p.replication_ratio - 1.0 / 6.0).abs() < 1e-12);
+        assert_eq!(p.distribution_constant, 2.0);
+        assert_eq!(p.placement_period, 100.0);
+        assert_eq!(p.measurement_interval, 20.0);
+    }
+
+    #[test]
+    fn high_load_params_lower_watermarks_only() {
+        let p = Params::paper_high_load();
+        assert_eq!(p.low_watermark, 40.0);
+        assert_eq!(p.high_watermark, 50.0);
+        assert_eq!(p.deletion_threshold, Params::paper().deletion_threshold);
+    }
+
+    #[test]
+    fn count_thresholds_scale_with_period() {
+        let p = Params::paper();
+        assert!((p.deletion_count_threshold() - 3.0).abs() < 1e-9);
+        assert!((p.replication_count_threshold() - 18.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn default_is_paper() {
+        assert_eq!(Params::default(), Params::paper());
+    }
+
+    #[test]
+    fn inverted_watermarks_rejected() {
+        let err = Params::builder()
+            .watermarks(90.0, 80.0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ParamsError::WatermarksInverted { .. }));
+    }
+
+    #[test]
+    fn theorem5_constraint_enforced() {
+        let err = Params::builder().thresholds(0.05, 0.2).build().unwrap_err();
+        assert!(matches!(err, ParamsError::ThresholdsUnstable { .. }));
+        // Exactly 4u == m is also rejected (strict inequality).
+        let err = Params::builder()
+            .thresholds(0.05, 0.05 * 4.0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ParamsError::ThresholdsUnstable { .. }));
+    }
+
+    #[test]
+    fn migration_ratio_must_exceed_half() {
+        let err = Params::builder().ratios(0.5, 0.1).build().unwrap_err();
+        assert!(matches!(err, ParamsError::MigrationRatioTooLow(_)));
+    }
+
+    #[test]
+    fn replication_ratio_below_migration_ratio() {
+        let err = Params::builder().ratios(0.6, 0.7).build().unwrap_err();
+        assert!(matches!(err, ParamsError::ReplicationRatioTooHigh { .. }));
+    }
+
+    #[test]
+    fn distribution_constant_above_one() {
+        let err = Params::builder()
+            .distribution_constant(1.0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ParamsError::DistributionConstantTooLow(_)));
+    }
+
+    #[test]
+    fn non_positive_fields_rejected() {
+        let err = Params::builder().placement_period(0.0).build().unwrap_err();
+        assert!(matches!(
+            err,
+            ParamsError::NonPositive {
+                field: "placement_period",
+                ..
+            }
+        ));
+        let err = Params::builder()
+            .measurement_interval(f64::NAN)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ParamsError::NonPositive { .. }));
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        let errs = [
+            Params::builder()
+                .watermarks(90.0, 80.0)
+                .build()
+                .unwrap_err(),
+            Params::builder().thresholds(1.0, 1.0).build().unwrap_err(),
+            Params::builder().ratios(0.4, 0.1).build().unwrap_err(),
+            Params::builder()
+                .distribution_constant(0.5)
+                .build()
+                .unwrap_err(),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

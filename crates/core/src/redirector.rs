@@ -1,0 +1,470 @@
+//! The redirector: replica-set tracking and the request distribution
+//! algorithm (paper Fig. 2).
+
+use radar_simnet::{NodeId, RoutingTable};
+use serde::{Deserialize, Serialize};
+
+use crate::ObjectId;
+
+/// Per-replica bookkeeping the redirector keeps (paper §3): the request
+/// count `rcnt(x_s)` and the replica affinity `aff_r(x_s)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplicaInfo {
+    /// The hosting node.
+    pub host: NodeId,
+    /// How many times the redirector has chosen this replica since the
+    /// last replica-set change.
+    pub rcnt: u64,
+    /// Replica affinity: "a compact way of representing multiple replicas
+    /// of the same object on the same host".
+    pub aff: u32,
+}
+
+impl ReplicaInfo {
+    /// The *unit request count* `rcnt/aff` — the load-balance score used
+    /// by the distribution algorithm.
+    pub fn unit_rcnt(&self) -> f64 {
+        self.rcnt as f64 / self.aff as f64
+    }
+}
+
+/// Replica set of a single object. Entries are kept sorted by host id so
+/// all scans are deterministic.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+struct ReplicaSet {
+    entries: Vec<ReplicaInfo>,
+}
+
+impl ReplicaSet {
+    fn find(&self, host: NodeId) -> Option<usize> {
+        self.entries.iter().position(|e| e.host == host)
+    }
+
+    /// Resets all request counts to 1 — the paper's rule on any replica
+    /// set change, preventing a new replica from soaking up every request
+    /// while its count catches up.
+    fn reset_counts(&mut self) {
+        for e in &mut self.entries {
+            e.rcnt = 1;
+        }
+    }
+}
+
+/// The redirector responsible for a set of objects.
+///
+/// A RaDaR deployment hash-partitions the URL namespace over many
+/// redirectors; each object has exactly one responsible redirector, so a
+/// single `Redirector` value faithfully models the protocol (the paper's
+/// simulation likewise uses one redirector co-located with the network
+/// centroid).
+///
+/// The redirector maintains, per object, the set of replicas with their
+/// request counts and affinities, and implements:
+///
+/// * [`choose_replica`](Self::choose_replica) — Fig. 2's distribution rule;
+/// * creation/affinity notifications (*after* the fact) and drop
+///   arbitration (*before* the fact), preserving the invariant that the
+///   recorded replica set is always a subset of physically existing
+///   replicas;
+/// * protection of an object's last replica from deletion.
+///
+/// # A note on the published pseudocode
+///
+/// Fig. 2 of the paper labels its two branch arms inconsistently with the
+/// prose and with the worked America/Europe example. We implement the
+/// semantics the prose defines: *serve from the closest replica `p`
+/// unless `unit_rcnt(p) / constant > unit_rcnt(q)` for the least-requested
+/// replica `q`, in which case serve from `q`*.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Redirector {
+    sets: Vec<ReplicaSet>,
+    constant: f64,
+    /// Count of replica-set change notifications processed, exposed for
+    /// overhead accounting.
+    notifications: u64,
+}
+
+impl Redirector {
+    /// Creates a redirector responsible for objects `0..num_objects`,
+    /// with the given distribution constant (2.0 in the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `constant` is not finite and greater than 1.
+    pub fn new(num_objects: u32, constant: f64) -> Self {
+        assert!(
+            constant.is_finite() && constant > 1.0,
+            "distribution constant must be finite and > 1, got {constant}"
+        );
+        Self {
+            sets: vec![ReplicaSet::default(); num_objects as usize],
+            constant,
+            notifications: 0,
+        }
+    }
+
+    /// Number of objects this redirector is responsible for.
+    pub fn num_objects(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Installs an initial replica (bootstrap placement). Equivalent to a
+    /// creation notification but does not reset request counts, so it can
+    /// seed many objects cheaply.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `object` is out of range.
+    pub fn install(&mut self, object: ObjectId, host: NodeId) {
+        let set = &mut self.sets[object.index()];
+        match set.find(host) {
+            Some(i) => set.entries[i].aff += 1,
+            None => {
+                set.entries.push(ReplicaInfo {
+                    host,
+                    rcnt: 1,
+                    aff: 1,
+                });
+                set.entries.sort_unstable_by_key(|e| e.host);
+            }
+        }
+    }
+
+    /// The current replicas of `object` (sorted by host id).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `object` is out of range.
+    pub fn replicas(&self, object: ObjectId) -> &[ReplicaInfo] {
+        &self.sets[object.index()].entries
+    }
+
+    /// Number of distinct hosts holding `object`.
+    pub fn replica_count(&self, object: ObjectId) -> usize {
+        self.sets[object.index()].entries.len()
+    }
+
+    /// Sum of affinities across all replicas of `object` — the number of
+    /// *logical* replicas.
+    pub fn total_affinity(&self, object: ObjectId) -> u32 {
+        self.sets[object.index()]
+            .entries
+            .iter()
+            .map(|e| e.aff)
+            .sum()
+    }
+
+    /// Total number of replica-set change notifications processed.
+    pub fn notifications(&self) -> u64 {
+        self.notifications
+    }
+
+    /// The request distribution algorithm (paper Fig. 2).
+    ///
+    /// Chooses the replica of `object` to serve a request entering at
+    /// `gateway`, increments its request count, and returns its host.
+    /// Returns `None` if the object currently has no replicas (a protocol
+    /// invariant violation in a full system; reachable in unit tests).
+    ///
+    /// Ties: the closest replica breaks distance ties by lowest host id;
+    /// the least-requested replica breaks unit-count ties by lowest host
+    /// id. Both rules are deterministic.
+    pub fn choose_replica(
+        &mut self,
+        object: ObjectId,
+        gateway: NodeId,
+        routes: &RoutingTable,
+    ) -> Option<NodeId> {
+        let set = &mut self.sets[object.index()];
+        if set.entries.is_empty() {
+            return None;
+        }
+        // p: closest replica to the gateway.
+        let p_idx = (0..set.entries.len())
+            .min_by_key(|&i| {
+                let e = &set.entries[i];
+                (routes.distance(e.host, gateway), e.host)
+            })
+            .expect("non-empty replica set");
+        // q: replica with the smallest unit request count.
+        let q_idx = (0..set.entries.len())
+            .min_by(|&a, &b| {
+                let (ea, eb) = (&set.entries[a], &set.entries[b]);
+                ea.unit_rcnt()
+                    .partial_cmp(&eb.unit_rcnt())
+                    .expect("unit request counts are finite")
+                    .then(ea.host.cmp(&eb.host))
+            })
+            .expect("non-empty replica set");
+        let ratio1 = set.entries[p_idx].unit_rcnt();
+        let ratio2 = set.entries[q_idx].unit_rcnt();
+        let chosen = if ratio1 / self.constant > ratio2 {
+            q_idx
+        } else {
+            p_idx
+        };
+        set.entries[chosen].rcnt += 1;
+        Some(set.entries[chosen].host)
+    }
+
+    /// Notification that `host` created a new copy of `object` (or
+    /// incremented its affinity). Sent *after* the copy exists, so the
+    /// redirector never directs requests at a replica that is not there.
+    /// Resets all request counts of the object to 1 per Fig. 2's
+    /// accompanying rule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `object` is out of range.
+    pub fn notify_created(&mut self, object: ObjectId, host: NodeId) {
+        self.notifications += 1;
+        let set = &mut self.sets[object.index()];
+        match set.find(host) {
+            Some(i) => set.entries[i].aff += 1,
+            None => {
+                set.entries.push(ReplicaInfo {
+                    host,
+                    rcnt: 1,
+                    aff: 1,
+                });
+                set.entries.sort_unstable_by_key(|e| e.host);
+            }
+        }
+        set.reset_counts();
+    }
+
+    /// Notification that `host` reduced the affinity of its replica of
+    /// `object` to `new_aff` (which must remain ≥ 1; a reduction to zero
+    /// goes through [`request_drop`](Self::request_drop) instead).
+    /// Resets request counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the replica is unknown or `new_aff` is zero.
+    pub fn notify_affinity(&mut self, object: ObjectId, host: NodeId, new_aff: u32) {
+        assert!(
+            new_aff >= 1,
+            "affinity reductions to zero must use request_drop"
+        );
+        self.notifications += 1;
+        let set = &mut self.sets[object.index()];
+        let i = set
+            .find(host)
+            .unwrap_or_else(|| panic!("affinity notification for unknown replica {object}@{host}"));
+        set.entries[i].aff = new_aff;
+        set.reset_counts();
+    }
+
+    /// A host's *intention to drop* its replica of `object` (the
+    /// `ReduceAffinity` handshake, Fig. 3). The redirector arbitrates:
+    /// the last remaining replica may never be dropped. On approval the
+    /// replica is removed from the set *before* the host deletes it,
+    /// preserving the subset invariant; request counts reset.
+    ///
+    /// Returns `true` if the drop was approved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `object` is out of range.
+    pub fn request_drop(&mut self, object: ObjectId, host: NodeId) -> bool {
+        let set = &mut self.sets[object.index()];
+        let Some(i) = set.find(host) else {
+            return false;
+        };
+        if set.entries.len() == 1 {
+            return false; // never drop the last replica
+        }
+        self.notifications += 1;
+        set.entries.remove(i);
+        set.reset_counts();
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radar_simnet::builders;
+
+    fn x() -> ObjectId {
+        ObjectId::new(0)
+    }
+
+    /// Two-continents fixture: node 0 = America, node 1 = Europe.
+    fn setup() -> (Redirector, radar_simnet::RoutingTable) {
+        let topo = builders::two_continents();
+        let routes = topo.routes();
+        let mut r = Redirector::new(1, 2.0);
+        r.install(x(), NodeId::new(0));
+        r.install(x(), NodeId::new(1));
+        (r, routes)
+    }
+
+    #[test]
+    fn balanced_demand_served_locally() {
+        // Paper §3, first case: requests split evenly => every request
+        // goes to its closest replica.
+        let (mut r, routes) = setup();
+        for _ in 0..100 {
+            assert_eq!(
+                r.choose_replica(x(), NodeId::new(0), &routes),
+                Some(NodeId::new(0))
+            );
+            assert_eq!(
+                r.choose_replica(x(), NodeId::new(1), &routes),
+                Some(NodeId::new(1))
+            );
+        }
+    }
+
+    #[test]
+    fn one_sided_demand_sheds_a_third() {
+        // Paper §3, second case: all requests local to America => "the
+        // load on the American site will be reduced by one-third on
+        // average" (America serves ~2/3, Europe ~1/3).
+        let (mut r, routes) = setup();
+        let mut to_europe = 0;
+        let n = 3000;
+        for _ in 0..n {
+            if r.choose_replica(x(), NodeId::new(0), &routes) == Some(NodeId::new(1)) {
+                to_europe += 1;
+            }
+        }
+        let frac = to_europe as f64 / n as f64;
+        assert!(
+            (frac - 1.0 / 3.0).abs() < 0.02,
+            "expected ~1/3 shed to Europe, got {frac}"
+        );
+    }
+
+    #[test]
+    fn n_replicas_bound_closest_to_2_over_n_plus_1() {
+        // Paper §3: with n replicas and all demand closest to one of
+        // them, that replica serves 2N/(n+1) of N requests.
+        let topo = builders::star(6); // hub 0, leaves 1..=5
+        let routes = topo.routes();
+        for n_replicas in 2..=5u16 {
+            let mut r = Redirector::new(1, 2.0);
+            // Replica on leaf 1 (closest to gateway at leaf 1) and on
+            // other leaves.
+            for i in 1..=n_replicas {
+                r.install(x(), NodeId::new(i));
+            }
+            let mut local = 0;
+            let n = 6000;
+            for _ in 0..n {
+                if r.choose_replica(x(), NodeId::new(1), &routes) == Some(NodeId::new(1)) {
+                    local += 1;
+                }
+            }
+            let frac = local as f64 / n as f64;
+            let expect = 2.0 / (n_replicas as f64 + 1.0);
+            assert!(
+                (frac - expect).abs() < 0.02,
+                "n={n_replicas}: expected {expect}, got {frac}"
+            );
+        }
+    }
+
+    #[test]
+    fn affinity_shifts_distribution() {
+        // Paper §3: affinity 4 on the American replica with a 90/10
+        // request mix sends ~1/9 of requests to Europe. We check the
+        // coarser claim: higher affinity attracts a larger share.
+        let (mut r, routes) = setup();
+        r.notify_affinity(x(), NodeId::new(0), 4);
+        let n = 9000;
+        let mut to_europe = 0;
+        for i in 0..n {
+            // Regular inter-spacing: one European request after every
+            // nine American ones.
+            let gw = if i % 10 == 9 { 1 } else { 0 };
+            if r.choose_replica(x(), NodeId::new(gw), &routes) == Some(NodeId::new(1)) {
+                to_europe += 1;
+            }
+        }
+        let frac = to_europe as f64 / n as f64;
+        assert!(
+            (frac - 1.0 / 9.0).abs() < 0.03,
+            "expected ~1/9 to Europe, got {frac}"
+        );
+    }
+
+    #[test]
+    fn counts_reset_on_set_change() {
+        let (mut r, routes) = setup();
+        for _ in 0..50 {
+            r.choose_replica(x(), NodeId::new(0), &routes);
+        }
+        assert!(r.replicas(x()).iter().any(|e| e.rcnt > 1));
+        r.notify_created(x(), NodeId::new(0));
+        assert!(r.replicas(x()).iter().all(|e| e.rcnt == 1));
+    }
+
+    #[test]
+    fn install_and_create_merge_affinity() {
+        let mut r = Redirector::new(1, 2.0);
+        r.install(x(), NodeId::new(3));
+        r.notify_created(x(), NodeId::new(3));
+        assert_eq!(r.replica_count(x()), 1);
+        assert_eq!(r.total_affinity(x()), 2);
+    }
+
+    #[test]
+    fn last_replica_protected() {
+        let mut r = Redirector::new(1, 2.0);
+        r.install(x(), NodeId::new(0));
+        assert!(!r.request_drop(x(), NodeId::new(0)));
+        r.install(x(), NodeId::new(1));
+        assert!(r.request_drop(x(), NodeId::new(0)));
+        assert!(!r.request_drop(x(), NodeId::new(1)));
+        assert_eq!(r.replica_count(x()), 1);
+    }
+
+    #[test]
+    fn drop_of_unknown_replica_refused() {
+        let mut r = Redirector::new(1, 2.0);
+        r.install(x(), NodeId::new(0));
+        r.install(x(), NodeId::new(1));
+        assert!(!r.request_drop(x(), NodeId::new(7)));
+    }
+
+    #[test]
+    fn choose_replica_empty_set_is_none() {
+        let topo = builders::two_continents();
+        let routes = topo.routes();
+        let mut r = Redirector::new(1, 2.0);
+        assert_eq!(r.choose_replica(x(), NodeId::new(0), &routes), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown replica")]
+    fn affinity_notification_for_unknown_replica_panics() {
+        let mut r = Redirector::new(1, 2.0);
+        r.notify_affinity(x(), NodeId::new(0), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must use request_drop")]
+    fn affinity_zero_panics() {
+        let mut r = Redirector::new(1, 2.0);
+        r.install(x(), NodeId::new(0));
+        r.notify_affinity(x(), NodeId::new(0), 0);
+    }
+
+    #[test]
+    fn notifications_counted() {
+        let (mut r, _) = setup();
+        assert_eq!(r.notifications(), 0);
+        r.notify_created(x(), NodeId::new(0));
+        r.notify_affinity(x(), NodeId::new(0), 1);
+        r.request_drop(x(), NodeId::new(0));
+        assert_eq!(r.notifications(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "distribution constant")]
+    fn constant_of_one_rejected() {
+        let _ = Redirector::new(1, 1.0);
+    }
+}

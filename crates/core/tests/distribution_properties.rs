@@ -1,0 +1,166 @@
+//! Property tests of the request distribution algorithm's structural
+//! invariants — stronger statements than the Theorem 1–5 bounds, checked
+//! after *every single request* rather than at equilibrium.
+//!
+//! The key invariant: for every replica `r`, at all times,
+//!
+//! ```text
+//! unit_rcnt(r) ≤ constant × min_unit_rcnt + 1/aff(r)
+//! ```
+//!
+//! because a replica's count only grows when it is either the minimum
+//! itself or the closest replica still within the constant's allowance.
+//! This is what bounds how far the distribution can ever skew — the
+//! mechanism behind the paper's load-shedding arithmetic.
+
+use proptest::prelude::*;
+use radar_core::{ObjectId, Redirector};
+use radar_simnet::{builders, NodeId, Topology};
+
+fn object() -> ObjectId {
+    ObjectId::new(0)
+}
+
+#[derive(Debug, Clone)]
+struct Setup {
+    topology_id: u8,
+    /// (node, affinity) replicas; at least one.
+    replicas: Vec<(u16, u32)>,
+    /// Request sequence as gateway indices.
+    gateways: Vec<u16>,
+    constant: f64,
+}
+
+impl Setup {
+    fn topology(&self) -> Topology {
+        match self.topology_id {
+            0 => builders::line(7),
+            1 => builders::ring(9),
+            2 => builders::grid(3, 3),
+            _ => builders::star(8),
+        }
+    }
+}
+
+fn node_count(topology_id: u8) -> u16 {
+    match topology_id {
+        0 => 7,
+        1 => 9,
+        2 => 9,
+        _ => 8,
+    }
+}
+
+fn setup() -> impl Strategy<Value = Setup> {
+    (0u8..4, 2u8..5)
+        .prop_flat_map(|(topology_id, constant)| {
+            let n = node_count(topology_id);
+            let replicas = proptest::collection::btree_map(0..n, 1u32..=4, 1..=5)
+                .prop_map(|m| m.into_iter().collect::<Vec<_>>());
+            let gateways = proptest::collection::vec(0..n, 50..600);
+            (Just(topology_id), replicas, gateways, Just(constant as f64))
+        })
+        .prop_map(|(topology_id, replicas, gateways, constant)| Setup {
+            topology_id,
+            replicas,
+            gateways,
+            constant,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The bounded-imbalance invariant holds after every request, for
+    /// any topology, replica/affinity layout, demand sequence, and
+    /// distribution constant.
+    #[test]
+    fn unit_counts_never_skew_past_the_constant(s in setup()) {
+        let topo = s.topology();
+        let routes = topo.routes();
+        let mut redirector = Redirector::new(1, s.constant);
+        for &(node, aff) in &s.replicas {
+            for _ in 0..aff {
+                redirector.install(object(), NodeId::new(node));
+            }
+        }
+        for &gw in &s.gateways {
+            redirector
+                .choose_replica(object(), NodeId::new(gw), &routes)
+                .expect("replicas exist");
+            let replicas = redirector.replicas(object());
+            let min_unit = replicas
+                .iter()
+                .map(|r| r.unit_rcnt())
+                .fold(f64::INFINITY, f64::min);
+            for r in replicas {
+                let bound = s.constant * min_unit + 1.0 / r.aff as f64;
+                prop_assert!(
+                    r.unit_rcnt() <= bound + 1e-9,
+                    "replica {} unit count {} exceeds {} (min {}, c {})",
+                    r.host,
+                    r.unit_rcnt(),
+                    bound,
+                    min_unit,
+                    s.constant
+                );
+            }
+        }
+    }
+
+    /// No replica starves: whatever the demand pattern, every replica's
+    /// count keeps growing (the q-rule guarantees the minimum is served).
+    #[test]
+    fn no_replica_starves(s in setup()) {
+        prop_assume!(s.replicas.len() >= 2);
+        prop_assume!(s.gateways.len() >= 200);
+        let topo = s.topology();
+        let routes = topo.routes();
+        let mut redirector = Redirector::new(1, s.constant);
+        for &(node, aff) in &s.replicas {
+            for _ in 0..aff {
+                redirector.install(object(), NodeId::new(node));
+            }
+        }
+        for &gw in &s.gateways {
+            redirector
+                .choose_replica(object(), NodeId::new(gw), &routes)
+                .expect("replicas exist");
+        }
+        // Initial rcnt is 1; anything above 1 was actually chosen.
+        // After ≥200 requests over ≤5 replicas, the imbalance bound
+        // forces every replica to have been chosen.
+        for r in redirector.replicas(object()) {
+            prop_assert!(
+                r.rcnt > 1,
+                "replica {} was never chosen in {} requests",
+                r.host,
+                s.gateways.len()
+            );
+        }
+    }
+
+    /// Determinism: the same demand sequence yields the same decisions.
+    #[test]
+    fn distribution_is_deterministic(s in setup()) {
+        let topo = s.topology();
+        let routes = topo.routes();
+        let run = || {
+            let mut redirector = Redirector::new(1, s.constant);
+            for &(node, aff) in &s.replicas {
+                for _ in 0..aff {
+                    redirector.install(object(), NodeId::new(node));
+                }
+            }
+            s.gateways
+                .iter()
+                .map(|&gw| {
+                    redirector
+                        .choose_replica(object(), NodeId::new(gw), &routes)
+                        .expect("replicas exist")
+                })
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

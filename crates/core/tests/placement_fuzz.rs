@@ -1,0 +1,287 @@
+//! Protocol fuzzing: a miniature multi-host platform built directly on
+//! `radar-core` (no simulator), driven by random demand for many
+//! placement epochs. After every epoch the protocol's structural
+//! invariants must hold:
+//!
+//! * the redirector's replica set of every object is exactly the set of
+//!   hosts physically holding it (the subset invariant, strengthened to
+//!   equality because this harness applies actions synchronously);
+//! * every object retains at least one replica;
+//! * affinities recorded by hosts and the redirector agree;
+//! * every surviving replica has affinity ≥ 1.
+
+use proptest::prelude::*;
+use radar_core::placement::{handle_create_obj, run_placement, PlacementEnv};
+use radar_core::{CreateObjRequest, CreateObjResponse, HostState, ObjectId, Params, Redirector};
+use radar_simnet::{builders, NodeId, RoutingTable, Topology};
+
+struct MiniPlatform {
+    routes: RoutingTable,
+    hosts: Vec<HostState>,
+    redirector: Redirector,
+    params: Params,
+    now: f64,
+    refusal_mask: u64,
+}
+
+impl MiniPlatform {
+    fn new(topology: Topology, num_objects: u32, params: Params) -> Self {
+        let routes = topology.routes();
+        let hosts = topology
+            .nodes()
+            .map(|n| HostState::new(n, params))
+            .collect::<Vec<_>>();
+        let mut platform = Self {
+            routes,
+            hosts,
+            redirector: Redirector::new(num_objects, params.distribution_constant),
+            params,
+            now: 0.0,
+            refusal_mask: 0,
+        };
+        let n = platform.hosts.len() as u32;
+        for i in 0..num_objects {
+            let node = NodeId::new((i % n) as u16);
+            platform.redirector.install(ObjectId::new(i), node);
+            platform.hosts[node.index()].install_object(ObjectId::new(i));
+        }
+        platform
+    }
+
+    /// Routes `count` requests for `object` entering at `gateway`
+    /// through the distribution algorithm, spread over the current
+    /// placement period.
+    fn drive_requests(&mut self, object: ObjectId, gateway: NodeId, count: u32) {
+        for k in 0..count {
+            let t = self.now + self.params.placement_period * (k as f64 + 0.5) / count as f64;
+            let Some(host) = self
+                .redirector
+                .choose_replica(object, gateway, &self.routes)
+            else {
+                panic!("{object} lost all replicas");
+            };
+            let path = self.routes.path(host, gateway);
+            let h = &mut self.hosts[host.index()];
+            h.record_access(object, &path);
+            h.record_serviced(t, object);
+        }
+    }
+
+    /// Runs one placement epoch (each host once, in node order).
+    fn placement_epoch(&mut self) {
+        self.now += self.params.placement_period;
+        for i in 0..self.hosts.len() {
+            let node = NodeId::new(i as u16);
+            let mut host = std::mem::replace(&mut self.hosts[i], HostState::new(node, self.params));
+            {
+                let mut env = FuzzEnv {
+                    self_index: i,
+                    hosts: &mut self.hosts,
+                    redirector: &mut self.redirector,
+                    routes: &self.routes,
+                    now: self.now,
+                    refusal_mask: self.refusal_mask,
+                    calls: 0,
+                };
+                run_placement(&mut host, self.now, &mut env);
+            }
+            self.hosts[i] = host;
+        }
+    }
+
+    /// The structural invariants that must hold between epochs.
+    fn check_invariants(&self) -> Result<(), TestCaseError> {
+        for i in 0..self.redirector.num_objects() {
+            let object = ObjectId::new(i as u32);
+            let replicas = self.redirector.replicas(object);
+            prop_assert!(!replicas.is_empty(), "{object} lost its last replica");
+            // Redirector set == hosts actually holding the object, with
+            // matching affinities.
+            for info in replicas {
+                let host = &self.hosts[info.host.index()];
+                let state = host.object(object);
+                prop_assert!(
+                    state.is_some(),
+                    "redirector lists {object}@{} but the host lacks it",
+                    info.host
+                );
+                let state = state.expect("checked above");
+                prop_assert!(state.aff() >= 1);
+                prop_assert_eq!(
+                    state.aff(),
+                    info.aff,
+                    "affinity mismatch for {}@{}",
+                    object,
+                    info.host
+                );
+            }
+            for host in &self.hosts {
+                if host.has_object(object) {
+                    prop_assert!(
+                        replicas.iter().any(|r| r.host == host.node()),
+                        "{} holds {} unknown to the redirector",
+                        host.node(),
+                        object
+                    );
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+struct FuzzEnv<'a> {
+    self_index: usize,
+    hosts: &'a mut [HostState],
+    redirector: &'a mut Redirector,
+    routes: &'a RoutingTable,
+    now: f64,
+    /// Failure injection: refuse every CreateObj whose sequence number
+    /// hits this mask (0 = never), and hide offload recipients when odd.
+    refusal_mask: u64,
+    calls: u64,
+}
+
+impl PlacementEnv for FuzzEnv<'_> {
+    fn create_obj(&mut self, target: NodeId, req: CreateObjRequest) -> CreateObjResponse {
+        assert_ne!(target.index(), self.self_index);
+        self.calls += 1;
+        // Injected failure: the candidate refuses (network partition,
+        // overload race, …) — always legal per the protocol.
+        if self.refusal_mask != 0 && self.calls.is_multiple_of(self.refusal_mask) {
+            return CreateObjResponse::Refused;
+        }
+        let resp = handle_create_obj(&mut self.hosts[target.index()], self.now, &req);
+        if resp.is_accepted() {
+            self.redirector.notify_created(req.object, target);
+        }
+        resp
+    }
+
+    fn request_drop(&mut self, object: ObjectId, host: NodeId) -> bool {
+        self.redirector.request_drop(object, host)
+    }
+
+    fn notify_affinity(&mut self, object: ObjectId, host: NodeId, aff: u32) {
+        self.redirector.notify_affinity(object, host, aff);
+    }
+
+    fn find_offload_recipient(&mut self, requester: NodeId) -> Option<(NodeId, f64)> {
+        self.calls += 1;
+        if self.refusal_mask != 0 && self.calls % self.refusal_mask == 1 {
+            return None; // injected failure: no load reports available
+        }
+        let lw = self.hosts[0].params().low_watermark;
+        self.hosts
+            .iter_mut()
+            .enumerate()
+            .filter(|(j, _)| *j != self.self_index && *j != requester.index())
+            .map(|(_, h)| {
+                h.advance(self.now);
+                (h.node(), h.load_upper())
+            })
+            .filter(|&(_, load)| load < lw)
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite loads"))
+    }
+
+    fn distance(&self, a: NodeId, b: NodeId) -> u32 {
+        self.routes.distance(a, b)
+    }
+
+    fn may_replicate(&self, _object: ObjectId) -> bool {
+        true
+    }
+}
+
+/// One epoch's demand script: `(object, gateway, count)` triples.
+fn demand(objects: u32, nodes: u16) -> impl Strategy<Value = Vec<(u32, u16, u32)>> {
+    proptest::collection::vec((0..objects, 0..nodes, 0u32..60), 0..40)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn random_demand_preserves_invariants(
+        epochs in proptest::collection::vec(demand(12, 9), 1..8)
+    ) {
+        let mut platform = MiniPlatform::new(builders::grid(3, 3), 12, Params::paper());
+        for script in &epochs {
+            for &(obj, gw, count) in script {
+                platform.drive_requests(ObjectId::new(obj), NodeId::new(gw), count);
+            }
+            platform.placement_epoch();
+            platform.check_invariants()?;
+        }
+    }
+
+    #[test]
+    fn hostile_demand_with_tight_watermarks(
+        epochs in proptest::collection::vec(demand(8, 6), 1..6)
+    ) {
+        // Tighter watermarks make admission scarce and offloading
+        // frequent; the invariants must still hold.
+        let params = Params::builder()
+            .watermarks(0.2, 0.5)
+            .build()
+            .expect("valid params");
+        let mut platform = MiniPlatform::new(builders::ring(6), 8, params);
+        for script in &epochs {
+            for &(obj, gw, count) in script {
+                platform.drive_requests(ObjectId::new(obj), NodeId::new(gw), count);
+            }
+            platform.placement_epoch();
+            platform.check_invariants()?;
+        }
+    }
+
+    #[test]
+    fn injected_refusals_preserve_invariants(
+        epochs in proptest::collection::vec(demand(10, 8), 1..6),
+        mask in 1u64..5,
+    ) {
+        // Candidates refuse unpredictably and load reports vanish; the
+        // protocol may make less progress but must never corrupt state.
+        let mut platform = MiniPlatform::new(builders::ring(8), 10, Params::paper());
+        platform.refusal_mask = mask;
+        for script in &epochs {
+            for &(obj, gw, count) in script {
+                platform.drive_requests(ObjectId::new(obj), NodeId::new(gw), count);
+            }
+            platform.placement_epoch();
+            platform.check_invariants()?;
+        }
+    }
+
+    #[test]
+    fn idle_epochs_converge_to_single_replicas(
+        warm_epochs in 1usize..4
+    ) {
+        // Demand, then silence: the deletion threshold must strip every
+        // redundant replica but the last.
+        let mut platform = MiniPlatform::new(builders::line(5), 6, Params::paper());
+        for _ in 0..warm_epochs {
+            for obj in 0..6u32 {
+                for gw in 0..5u16 {
+                    platform.drive_requests(ObjectId::new(obj), NodeId::new(gw), 20);
+                }
+            }
+            platform.placement_epoch();
+            platform.check_invariants()?;
+        }
+        for _ in 0..4 {
+            platform.placement_epoch();
+            platform.check_invariants()?;
+        }
+        for i in 0..6u32 {
+            let object = ObjectId::new(i);
+            prop_assert_eq!(
+                platform.redirector.replica_count(object),
+                1,
+                "{} kept redundant cold replicas",
+                object
+            );
+            prop_assert_eq!(platform.redirector.total_affinity(object), 1);
+        }
+    }
+}

@@ -1,0 +1,781 @@
+//! Simulation scenarios: the paper's Table 1 in executable form.
+
+use std::fmt;
+
+use radar_core::{Catalog, Params};
+use radar_simnet::Topology;
+use serde::{Deserialize, Serialize};
+
+/// Network cost model (paper Table 1): per-hop propagation delay and
+/// per-link bandwidth. A response of `size` bytes crossing `h` hops takes
+/// `h × (delay + size / bandwidth)` seconds (store-and-forward) and
+/// consumes `size × h` bytes of backbone bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkParams {
+    /// Propagation delay per hop, seconds (paper: 10 ms).
+    pub hop_delay: f64,
+    /// Link bandwidth, bytes/second (paper: 350 KBps).
+    pub link_bandwidth: f64,
+}
+
+impl NetworkParams {
+    /// The paper's values: 10 ms per hop, 350 KBps links.
+    pub fn paper() -> Self {
+        Self {
+            hop_delay: 0.010,
+            link_bandwidth: 350_000.0,
+        }
+    }
+
+    /// Time for `bytes` to traverse `hops` hops, store-and-forward.
+    pub fn transfer_time(&self, bytes: u64, hops: u32) -> f64 {
+        hops as f64 * (self.hop_delay + bytes as f64 / self.link_bandwidth)
+    }
+
+    /// Propagation-only time across `hops` hops (for negligible-size
+    /// control messages).
+    pub fn propagation_time(&self, hops: u32) -> f64 {
+        hops as f64 * self.hop_delay
+    }
+}
+
+impl Default for NetworkParams {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Whether the dynamic placement algorithm runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlacementMode {
+    /// RaDaR's placement algorithm runs every placement period.
+    Dynamic,
+    /// No placement decisions: replicas stay wherever
+    /// [`InitialPlacement`] put them (the static baseline — the paper's
+    /// "before adjustment" configuration held for the whole run).
+    Static,
+}
+
+/// Where objects start.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InitialPlacement {
+    /// Object `i` on node `i mod n` — the paper's initial configuration.
+    RoundRobin,
+    /// Every object on every node (the replicate-everywhere baseline the
+    /// paper argues against in §4: needless replicas attract distant
+    /// requests).
+    Everywhere,
+    /// Explicit placement: `assignments[i]` lists the nodes hosting
+    /// object `i`. Each inner list must be non-empty.
+    Explicit(Vec<Vec<u16>>),
+}
+
+/// Errors from scenario validation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioError {
+    /// A field that must be strictly positive and finite was not.
+    NonPositive {
+        /// Name of the offending field.
+        field: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// No objects configured.
+    NoObjects,
+    /// Explicit placement list has the wrong length or an empty entry.
+    BadExplicitPlacement {
+        /// Explanation.
+        detail: String,
+    },
+    /// A custom catalog does not describe exactly `num_objects` objects.
+    CatalogMismatch {
+        /// Objects in the catalog.
+        catalog: usize,
+        /// Objects in the scenario.
+        scenario: u32,
+    },
+    /// Protocol parameter constraint violation.
+    Params(radar_core::ParamsError),
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::NonPositive { field, value } => {
+                write!(f, "{field} must be positive and finite, got {value}")
+            }
+            ScenarioError::NoObjects => f.write_str("scenario needs at least one object"),
+            ScenarioError::BadExplicitPlacement { detail } => {
+                write!(f, "bad explicit placement: {detail}")
+            }
+            ScenarioError::CatalogMismatch { catalog, scenario } => write!(
+                f,
+                "catalog describes {catalog} objects but the scenario has {scenario}"
+            ),
+            ScenarioError::Params(e) => write!(f, "invalid protocol parameters: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ScenarioError::Params(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<radar_core::ParamsError> for ScenarioError {
+    fn from(e: radar_core::ParamsError) -> Self {
+        ScenarioError::Params(e)
+    }
+}
+
+/// A complete simulation scenario: topology, workload-independent
+/// parameters, and measurement settings. Build with [`Scenario::builder`].
+///
+/// Defaults reproduce the paper's Table 1 on the 53-node UUNET testbed:
+/// 10 000 objects of 12 KB, 40 req/s per gateway, 200 req/s server
+/// capacity, 10 ms hops, 350 KBps links, dynamic placement every 100 s.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// The backbone topology (default: [`radar_simnet::builders::uunet`]).
+    pub topology: Topology,
+    /// Number of hosted objects.
+    pub num_objects: u32,
+    /// Object size in bytes.
+    pub object_size: u64,
+    /// Request rate per gateway node, requests/second.
+    pub node_request_rate: f64,
+    /// Optional per-gateway request rates overriding `node_request_rate`
+    /// (one entry per node). Used for locally concentrated demand
+    /// scenarios such as the paper's §3 swamped-server example.
+    pub node_request_rates: Option<Vec<f64>>,
+    /// Server capacity, requests/second (service time = 1/capacity).
+    pub server_capacity: f64,
+    /// Optional per-node capacities overriding `server_capacity` (one
+    /// entry per node). Watermarks scale with each host's relative power
+    /// — the paper's §2 heterogeneity extension ("weights corresponding
+    /// to relative power of hosts").
+    pub node_capacities: Option<Vec<f64>>,
+    /// Network cost model.
+    pub network: NetworkParams,
+    /// Protocol parameters (watermarks, thresholds, periods).
+    pub params: Params,
+    /// Placement mode (dynamic protocol vs. static baseline).
+    pub placement: PlacementMode,
+    /// Initial object placement.
+    pub initial_placement: InitialPlacement,
+    /// Simulated duration in seconds.
+    pub duration: f64,
+    /// RNG seed; every run is a pure function of (scenario, workload,
+    /// seed).
+    pub seed: u64,
+    /// Width of metric time bins in seconds (default: the placement
+    /// period).
+    pub metric_bin: f64,
+    /// Use Poisson arrivals instead of the paper's constant rate.
+    pub poisson_arrivals: bool,
+    /// Node whose load estimates are tracked for Fig. 8b (default 0).
+    pub tracked_host: u16,
+    /// Object catalog (sizes/kinds/primaries). `None` = uniform immutable
+    /// objects of `object_size` bytes, primaries round-robin (paper §6.1).
+    pub catalog: Option<Catalog>,
+    /// Per-host storage limit in *objects* (`None` = unbounded, the
+    /// paper's evaluation setting). A full host refuses new physical
+    /// copies — the §2.1 storage-load component's admission effect.
+    pub storage_limit: Option<u32>,
+    /// Number of redirectors the URL namespace is hash-partitioned over
+    /// (paper §2: "the load is divided among multiple redirectors by
+    /// hash-partitioning the URL namespace"). They are placed at the
+    /// most central nodes. Default 1, matching the paper's simulation.
+    pub num_redirectors: u16,
+    /// Mean provider-update rate across the whole object population
+    /// (updates/second, Poisson; uniformly random object). Each update
+    /// is propagated asynchronously from the primary copy to every
+    /// replica (paper §5), consuming update-propagation bandwidth.
+    /// 0 = no updates (the paper's evaluation setting).
+    pub update_rate: f64,
+}
+
+impl Scenario {
+    /// Starts building a scenario with the paper's defaults.
+    pub fn builder() -> ScenarioBuilder {
+        ScenarioBuilder::new()
+    }
+
+    /// Number of nodes in the topology.
+    pub fn num_nodes(&self) -> u16 {
+        self.topology.len() as u16
+    }
+
+    /// Capacity of node `i` (per-node override or the uniform value).
+    pub fn capacity_of(&self, i: usize) -> f64 {
+        self.node_capacities
+            .as_ref()
+            .map_or(self.server_capacity, |caps| caps[i])
+    }
+
+    /// Protocol parameters for node `i`: watermarks scaled by the host's
+    /// relative power `capacity_i / server_capacity` (the paper's §2
+    /// heterogeneity weights). Thresholds and periods are unscaled — they
+    /// are per-object demand properties, not host properties.
+    pub fn params_of(&self, i: usize) -> Params {
+        let weight = self.capacity_of(i) / self.server_capacity;
+        Params {
+            low_watermark: self.params.low_watermark * weight,
+            high_watermark: self.params.high_watermark * weight,
+            ..self.params
+        }
+    }
+}
+
+/// Builder for [`Scenario`]; see [`Scenario::builder`].
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    topology: Option<Topology>,
+    num_objects: u32,
+    object_size: u64,
+    node_request_rate: f64,
+    node_request_rates: Option<Vec<f64>>,
+    server_capacity: f64,
+    node_capacities: Option<Vec<f64>>,
+    network: NetworkParams,
+    params: Params,
+    placement: PlacementMode,
+    initial_placement: InitialPlacement,
+    duration: f64,
+    seed: u64,
+    metric_bin: Option<f64>,
+    poisson_arrivals: bool,
+    tracked_host: u16,
+    catalog: Option<Catalog>,
+    storage_limit: Option<u32>,
+    num_redirectors: u16,
+    update_rate: f64,
+}
+
+impl ScenarioBuilder {
+    /// Paper defaults (Table 1).
+    pub fn new() -> Self {
+        Self {
+            topology: None,
+            num_objects: 10_000,
+            object_size: 12 * 1024,
+            node_request_rate: 40.0,
+            node_request_rates: None,
+            server_capacity: 200.0,
+            node_capacities: None,
+            network: NetworkParams::paper(),
+            params: Params::paper(),
+            placement: PlacementMode::Dynamic,
+            initial_placement: InitialPlacement::RoundRobin,
+            duration: 3_000.0,
+            seed: 1,
+            metric_bin: None,
+            poisson_arrivals: false,
+            tracked_host: 0,
+            catalog: None,
+            storage_limit: None,
+            num_redirectors: 1,
+            update_rate: 0.0,
+        }
+    }
+
+    /// Sets the topology (default: the 53-node UUNET testbed).
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.topology = Some(topology);
+        self
+    }
+
+    /// Sets the number of objects.
+    pub fn num_objects(mut self, n: u32) -> Self {
+        self.num_objects = n;
+        self
+    }
+
+    /// Sets the object size in bytes.
+    pub fn object_size(mut self, bytes: u64) -> Self {
+        self.object_size = bytes;
+        self
+    }
+
+    /// Sets the per-gateway request rate (requests/second).
+    pub fn node_request_rate(mut self, rate: f64) -> Self {
+        self.node_request_rate = rate;
+        self
+    }
+
+    /// Sets individual per-gateway request rates (one entry per node,
+    /// all strictly positive), overriding the uniform rate.
+    pub fn node_request_rates(mut self, rates: Vec<f64>) -> Self {
+        self.node_request_rates = Some(rates);
+        self
+    }
+
+    /// Sets the server capacity (requests/second).
+    pub fn server_capacity(mut self, rate: f64) -> Self {
+        self.server_capacity = rate;
+        self
+    }
+
+    /// Sets individual per-node capacities (one strictly positive entry
+    /// per node). Each host's watermarks scale with its relative power.
+    pub fn node_capacities(mut self, capacities: Vec<f64>) -> Self {
+        self.node_capacities = Some(capacities);
+        self
+    }
+
+    /// Sets the network cost model.
+    pub fn network(mut self, network: NetworkParams) -> Self {
+        self.network = network;
+        self
+    }
+
+    /// Sets the protocol parameters.
+    pub fn params(mut self, params: Params) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Sets the placement mode.
+    pub fn placement(mut self, mode: PlacementMode) -> Self {
+        self.placement = mode;
+        self
+    }
+
+    /// Sets the initial placement.
+    pub fn initial_placement(mut self, p: InitialPlacement) -> Self {
+        self.initial_placement = p;
+        self
+    }
+
+    /// Sets the simulated duration (seconds).
+    pub fn duration(mut self, secs: f64) -> Self {
+        self.duration = secs;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the metric bin width (seconds). Default: the placement period.
+    pub fn metric_bin(mut self, secs: f64) -> Self {
+        self.metric_bin = Some(secs);
+        self
+    }
+
+    /// Switches arrivals to Poisson.
+    pub fn poisson_arrivals(mut self, poisson: bool) -> Self {
+        self.poisson_arrivals = poisson;
+        self
+    }
+
+    /// Sets the node tracked for Fig. 8b load-estimate series.
+    pub fn tracked_host(mut self, node: u16) -> Self {
+        self.tracked_host = node;
+        self
+    }
+
+    /// Provides a custom object catalog (consistency kinds / replica
+    /// caps, paper §5). Must describe exactly `num_objects` objects.
+    pub fn catalog(mut self, catalog: Catalog) -> Self {
+        self.catalog = Some(catalog);
+        self
+    }
+
+    /// Limits every host to at most `max_objects` distinct objects.
+    pub fn storage_limit(mut self, max_objects: u32) -> Self {
+        self.storage_limit = Some(max_objects);
+        self
+    }
+
+    /// Hash-partitions the URL namespace over `n ≥ 1` redirectors placed
+    /// at the most central nodes.
+    pub fn num_redirectors(mut self, n: u16) -> Self {
+        self.num_redirectors = n;
+        self
+    }
+
+    /// Sets the aggregate provider-update rate (updates/second over the
+    /// whole object population; 0 disables updates).
+    pub fn update_rate(mut self, rate: f64) -> Self {
+        self.update_rate = rate;
+        self
+    }
+
+    /// Validates and builds the scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError`] on non-positive rates/durations, an
+    /// empty object space, or malformed explicit placement.
+    pub fn build(self) -> Result<Scenario, ScenarioError> {
+        if self.num_objects == 0 {
+            return Err(ScenarioError::NoObjects);
+        }
+        let positives = [
+            ("node_request_rate", self.node_request_rate),
+            ("server_capacity", self.server_capacity),
+            ("duration", self.duration),
+            ("hop_delay", self.network.hop_delay),
+            ("link_bandwidth", self.network.link_bandwidth),
+            ("object_size", self.object_size as f64),
+        ];
+        for (field, value) in positives {
+            if !(value.is_finite() && value > 0.0) {
+                return Err(ScenarioError::NonPositive { field, value });
+            }
+        }
+        let topology = self.topology.unwrap_or_else(radar_simnet::builders::uunet);
+        if let InitialPlacement::Explicit(assignments) = &self.initial_placement {
+            if assignments.len() != self.num_objects as usize {
+                return Err(ScenarioError::BadExplicitPlacement {
+                    detail: format!(
+                        "{} assignment lists for {} objects",
+                        assignments.len(),
+                        self.num_objects
+                    ),
+                });
+            }
+            for (i, hosts) in assignments.iter().enumerate() {
+                if hosts.is_empty() {
+                    return Err(ScenarioError::BadExplicitPlacement {
+                        detail: format!("object {i} has no hosts"),
+                    });
+                }
+                if let Some(&bad) = hosts.iter().find(|&&h| h as usize >= topology.len()) {
+                    return Err(ScenarioError::BadExplicitPlacement {
+                        detail: format!("object {i} assigned to unknown node {bad}"),
+                    });
+                }
+            }
+        }
+        if let Some(limit) = self.storage_limit {
+            if limit == 0 {
+                return Err(ScenarioError::NonPositive {
+                    field: "storage_limit",
+                    value: 0.0,
+                });
+            }
+        }
+        if self.num_redirectors == 0 {
+            return Err(ScenarioError::NonPositive {
+                field: "num_redirectors",
+                value: 0.0,
+            });
+        }
+        if !(self.update_rate.is_finite() && self.update_rate >= 0.0) {
+            return Err(ScenarioError::NonPositive {
+                field: "update_rate",
+                value: self.update_rate,
+            });
+        }
+        if let Some(caps) = &self.node_capacities {
+            if caps.len() != topology.len() {
+                return Err(ScenarioError::BadExplicitPlacement {
+                    detail: format!(
+                        "{} per-node capacities for {} nodes",
+                        caps.len(),
+                        topology.len()
+                    ),
+                });
+            }
+            if let Some(&bad) = caps.iter().find(|c| !(c.is_finite() && **c > 0.0)) {
+                return Err(ScenarioError::NonPositive {
+                    field: "node_capacities",
+                    value: bad,
+                });
+            }
+        }
+        if let Some(rates) = &self.node_request_rates {
+            if rates.len() != topology.len() {
+                return Err(ScenarioError::BadExplicitPlacement {
+                    detail: format!(
+                        "{} per-node rates for {} nodes",
+                        rates.len(),
+                        topology.len()
+                    ),
+                });
+            }
+            for (i, &r) in rates.iter().enumerate() {
+                if !(r.is_finite() && r > 0.0) {
+                    return Err(ScenarioError::NonPositive {
+                        field: "node_request_rates",
+                        value: r,
+                    });
+                }
+                let _ = i;
+            }
+        }
+        if let Some(catalog) = &self.catalog {
+            if catalog.len() != self.num_objects as usize {
+                return Err(ScenarioError::CatalogMismatch {
+                    catalog: catalog.len(),
+                    scenario: self.num_objects,
+                });
+            }
+        }
+        let tracked_host = self.tracked_host.min(topology.len() as u16 - 1);
+        let num_redirectors = self.num_redirectors.min(topology.len() as u16);
+        let metric_bin = match self.metric_bin {
+            Some(b) if !(b.is_finite() && b > 0.0) => {
+                return Err(ScenarioError::NonPositive {
+                    field: "metric_bin",
+                    value: b,
+                })
+            }
+            Some(b) => b,
+            None => self.params.placement_period,
+        };
+        Ok(Scenario {
+            topology,
+            num_objects: self.num_objects,
+            object_size: self.object_size,
+            node_request_rate: self.node_request_rate,
+            node_request_rates: self.node_request_rates,
+            server_capacity: self.server_capacity,
+            node_capacities: self.node_capacities,
+            network: self.network,
+            params: self.params,
+            placement: self.placement,
+            initial_placement: self.initial_placement,
+            duration: self.duration,
+            seed: self.seed,
+            metric_bin,
+            poisson_arrivals: self.poisson_arrivals,
+            tracked_host,
+            catalog: self.catalog,
+            storage_limit: self.storage_limit,
+            num_redirectors,
+            update_rate: self.update_rate,
+        })
+    }
+}
+
+impl Default for ScenarioBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table_1() {
+        let s = Scenario::builder().build().unwrap();
+        assert_eq!(s.num_objects, 10_000);
+        assert_eq!(s.object_size, 12 * 1024);
+        assert_eq!(s.node_request_rate, 40.0);
+        assert_eq!(s.server_capacity, 200.0);
+        assert_eq!(s.network.hop_delay, 0.010);
+        assert_eq!(s.network.link_bandwidth, 350_000.0);
+        assert_eq!(s.num_nodes(), 53);
+        assert_eq!(s.placement, PlacementMode::Dynamic);
+        assert_eq!(s.metric_bin, 100.0);
+    }
+
+    #[test]
+    fn transfer_time_model() {
+        let n = NetworkParams::paper();
+        // 12 KB over 1 hop: 10 ms + 12288/350000 s ≈ 45.1 ms.
+        let t = n.transfer_time(12 * 1024, 1);
+        assert!((t - (0.010 + 12288.0 / 350_000.0)).abs() < 1e-12);
+        assert_eq!(n.transfer_time(1, 0), 0.0);
+        assert_eq!(n.propagation_time(3), 0.030);
+    }
+
+    #[test]
+    fn zero_objects_rejected() {
+        assert_eq!(
+            Scenario::builder().num_objects(0).build().unwrap_err(),
+            ScenarioError::NoObjects
+        );
+    }
+
+    #[test]
+    fn non_positive_rate_rejected() {
+        let err = Scenario::builder()
+            .node_request_rate(0.0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ScenarioError::NonPositive {
+                field: "node_request_rate",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn explicit_placement_validated() {
+        let err = Scenario::builder()
+            .num_objects(2)
+            .initial_placement(InitialPlacement::Explicit(vec![vec![0]]))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ScenarioError::BadExplicitPlacement { .. }));
+
+        let err = Scenario::builder()
+            .num_objects(1)
+            .initial_placement(InitialPlacement::Explicit(vec![vec![]]))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ScenarioError::BadExplicitPlacement { .. }));
+
+        let err = Scenario::builder()
+            .num_objects(1)
+            .initial_placement(InitialPlacement::Explicit(vec![vec![200]]))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ScenarioError::BadExplicitPlacement { .. }));
+
+        let ok = Scenario::builder()
+            .num_objects(1)
+            .initial_placement(InitialPlacement::Explicit(vec![vec![0, 1]]))
+            .build();
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn storage_limit_validated() {
+        assert!(matches!(
+            Scenario::builder().storage_limit(0).build().unwrap_err(),
+            ScenarioError::NonPositive {
+                field: "storage_limit",
+                ..
+            }
+        ));
+        let s = Scenario::builder().storage_limit(250).build().unwrap();
+        assert_eq!(s.storage_limit, Some(250));
+    }
+
+    #[test]
+    fn redirector_and_update_knobs_validated() {
+        assert!(matches!(
+            Scenario::builder().num_redirectors(0).build().unwrap_err(),
+            ScenarioError::NonPositive {
+                field: "num_redirectors",
+                ..
+            }
+        ));
+        assert!(matches!(
+            Scenario::builder().update_rate(-1.0).build().unwrap_err(),
+            ScenarioError::NonPositive {
+                field: "update_rate",
+                ..
+            }
+        ));
+        let s = Scenario::builder()
+            .num_redirectors(4)
+            .update_rate(2.0)
+            .build()
+            .unwrap();
+        assert_eq!(s.num_redirectors, 4);
+        assert_eq!(s.update_rate, 2.0);
+        // Clamped to the node count.
+        let s = Scenario::builder().num_redirectors(500).build().unwrap();
+        assert_eq!(s.num_redirectors, 53);
+    }
+
+    #[test]
+    fn per_node_capacities_scale_watermarks() {
+        let mut caps = vec![200.0; 53];
+        caps[7] = 400.0;
+        let s = Scenario::builder().node_capacities(caps).build().unwrap();
+        assert_eq!(s.capacity_of(0), 200.0);
+        assert_eq!(s.capacity_of(7), 400.0);
+        assert_eq!(s.params_of(0).high_watermark, 90.0);
+        assert_eq!(s.params_of(7).high_watermark, 180.0);
+        assert_eq!(s.params_of(7).low_watermark, 160.0);
+        assert_eq!(s.params_of(7).deletion_threshold, 0.03);
+    }
+
+    #[test]
+    fn bad_capacities_rejected() {
+        let err = Scenario::builder()
+            .node_capacities(vec![1.0; 3])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ScenarioError::BadExplicitPlacement { .. }));
+        let err = Scenario::builder()
+            .node_capacities(vec![-1.0; 53])
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ScenarioError::NonPositive {
+                field: "node_capacities",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn per_node_rates_validated() {
+        let err = Scenario::builder()
+            .node_request_rates(vec![1.0; 3])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ScenarioError::BadExplicitPlacement { .. }));
+        let err = Scenario::builder()
+            .node_request_rates(vec![0.0; 53])
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ScenarioError::NonPositive {
+                field: "node_request_rates",
+                ..
+            }
+        ));
+        assert!(Scenario::builder()
+            .node_request_rates(vec![2.0; 53])
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn catalog_length_validated() {
+        let catalog = Catalog::uniform(5, 1024, 2);
+        let err = Scenario::builder()
+            .num_objects(6)
+            .catalog(catalog.clone())
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ScenarioError::CatalogMismatch { .. }));
+        assert!(Scenario::builder()
+            .num_objects(5)
+            .catalog(catalog)
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn tracked_host_clamped() {
+        let s = Scenario::builder().tracked_host(9999).build().unwrap();
+        assert_eq!(s.tracked_host, 52);
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        let errs = [
+            ScenarioError::NoObjects,
+            ScenarioError::NonPositive {
+                field: "x",
+                value: 0.0,
+            },
+            ScenarioError::BadExplicitPlacement { detail: "d".into() },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

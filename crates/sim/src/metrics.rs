@@ -1,0 +1,286 @@
+//! In-flight measurement collection.
+
+use radar_stats::{BinSpec, OnlineSummary, P2Quantile, TimeSeries};
+use serde::{Deserialize, Serialize};
+
+/// One Fig. 8b sample: a host's actual measured load together with the
+/// protocol's upper and lower estimates at the same instant.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LoadEstimateSample {
+    /// Sample time (seconds).
+    pub t: f64,
+    /// Measured load (requests/second over the last interval).
+    pub actual: f64,
+    /// Upper-limit estimate.
+    pub upper: f64,
+    /// Lower-limit estimate.
+    pub lower: f64,
+}
+
+/// One entry in the relocation log: what a placement run did to one
+/// object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RelocationAction {
+    /// Proximity-driven migration.
+    GeoMigrate,
+    /// Proximity-driven replication.
+    GeoReplicate,
+    /// Offload migration.
+    LoadMigrate,
+    /// Offload replication.
+    LoadReplicate,
+    /// Replica dropped.
+    Drop,
+    /// Affinity unit shed, replica kept.
+    AffinityReduce,
+}
+
+/// A timestamped relocation-log record (for debugging and analysis).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RelocationEvent {
+    /// Placement-run time (seconds).
+    pub t: f64,
+    /// The deciding host.
+    pub host: u16,
+    /// The object acted on.
+    pub object: u32,
+    /// The recipient node, when the action has one.
+    pub target: Option<u16>,
+    /// What happened.
+    pub action: RelocationAction,
+}
+
+/// Everything the simulator measures while running. Finalized into a
+/// [`crate::RunReport`] at the end of a run.
+#[derive(Debug, Clone)]
+pub struct Metrics {
+    /// Response traffic, bytes×hops per bin (the paper's bandwidth
+    /// metric).
+    pub client_bandwidth: TimeSeries,
+    /// Relocation traffic (object copies), bytes×hops per bin (Fig. 7).
+    pub overhead_bandwidth: TimeSeries,
+    /// Provider-update propagation traffic, bytes×hops per bin (§5).
+    pub update_bandwidth: TimeSeries,
+    /// Response latency samples per bin (read means for Fig. 6).
+    pub latency: TimeSeries,
+    /// Maximum measured host load, sampled every measurement interval
+    /// (Fig. 8a).
+    pub max_load: TimeSeries,
+    /// Load-estimate samples of the tracked host (Fig. 8b).
+    pub load_estimates: Vec<LoadEstimateSample>,
+    /// `(t, average physical replicas per object)` sampled at placement
+    /// epochs (Table 2).
+    pub replica_series: Vec<(f64, f64)>,
+    /// Whole-run latency summary.
+    pub latency_summary: OnlineSummary,
+    /// Streaming median latency estimator.
+    pub latency_p50: P2Quantile,
+    /// Streaming 99th-percentile latency estimator.
+    pub latency_p99: P2Quantile,
+    /// Requests fully delivered.
+    pub total_requests: u64,
+    /// Geo-migrations performed.
+    pub geo_migrations: u64,
+    /// Geo-replications performed.
+    pub geo_replications: u64,
+    /// Offload migrations performed.
+    pub offload_migrations: u64,
+    /// Offload replications performed.
+    pub offload_replications: u64,
+    /// Replicas dropped.
+    pub drops: u64,
+    /// Affinity units shed without dropping a replica.
+    pub affinity_reductions: u64,
+    /// Full relocation log (one record per placement action).
+    pub relocation_log: Vec<RelocationEvent>,
+    /// Per load sample: `(t, node with the maximum load, that load)`.
+    pub max_load_host: Vec<(f64, u16, f64)>,
+    /// Requests handled per redirector, keyed by redirector node.
+    pub redirector_requests: std::collections::BTreeMap<u16, u64>,
+    /// Total bytes carried per backbone link (indexed like the
+    /// topology's link list), all traffic classes combined.
+    pub link_bytes: Vec<f64>,
+    /// Response traffic between regions: `region_matrix[from][to]` is
+    /// bytes×hops of responses served by a host in region `from` to a
+    /// gateway in region `to` (regions indexed by `Region::index`).
+    pub region_matrix: [[f64; 4]; 4],
+    /// Redirect leg of each request's latency (gateway → redirector →
+    /// host propagation).
+    pub redirect_delay: OnlineSummary,
+    /// Queueing delay at the serving host.
+    pub queueing_delay: OnlineSummary,
+    /// Response travel time (host → gateway, store-and-forward).
+    pub response_travel: OnlineSummary,
+    /// Provider updates propagated (§5).
+    pub updates_propagated: u64,
+    /// Times the primary copy had to be reassigned because its host no
+    /// longer held the object.
+    pub primary_reassignments: u64,
+}
+
+impl Metrics {
+    /// Creates empty metrics over `bin`-second bins for bandwidth and
+    /// latency and `measurement_interval`-second bins for load.
+    pub fn new(bin: f64, measurement_interval: f64) -> Self {
+        Self {
+            client_bandwidth: TimeSeries::new(BinSpec::new(bin)),
+            overhead_bandwidth: TimeSeries::new(BinSpec::new(bin)),
+            update_bandwidth: TimeSeries::new(BinSpec::new(bin)),
+            latency: TimeSeries::new(BinSpec::new(bin)),
+            max_load: TimeSeries::new(BinSpec::new(measurement_interval)),
+            load_estimates: Vec::new(),
+            replica_series: Vec::new(),
+            latency_summary: OnlineSummary::new(),
+            latency_p50: P2Quantile::new(0.5),
+            latency_p99: P2Quantile::new(0.99),
+            total_requests: 0,
+            geo_migrations: 0,
+            geo_replications: 0,
+            offload_migrations: 0,
+            offload_replications: 0,
+            drops: 0,
+            affinity_reductions: 0,
+            relocation_log: Vec::new(),
+            max_load_host: Vec::new(),
+            redirector_requests: std::collections::BTreeMap::new(),
+            link_bytes: Vec::new(),
+            region_matrix: [[0.0; 4]; 4],
+            redirect_delay: OnlineSummary::new(),
+            queueing_delay: OnlineSummary::new(),
+            response_travel: OnlineSummary::new(),
+            updates_propagated: 0,
+            primary_reassignments: 0,
+        }
+    }
+
+    /// Records a delivered response: latency sample at delivery time and
+    /// `bytes×hops` of client bandwidth at send time.
+    pub fn record_response(
+        &mut self,
+        sent_at: f64,
+        delivered_at: f64,
+        latency: f64,
+        bytes_hops: f64,
+    ) {
+        self.total_requests += 1;
+        self.client_bandwidth.record(sent_at, bytes_hops);
+        self.latency.record(delivered_at, latency);
+        self.latency_summary.record(latency);
+        self.latency_p50.record(latency);
+        self.latency_p99.record(latency);
+    }
+
+    /// Records `bytes×hops` of relocation (overhead) traffic.
+    pub fn record_overhead(&mut self, t: f64, bytes_hops: f64) {
+        self.overhead_bandwidth.record(t, bytes_hops);
+    }
+
+    /// Records one propagated provider update and its traffic.
+    pub fn record_update(&mut self, t: f64, bytes_hops: f64, reassigned_primary: bool) {
+        self.updates_propagated += 1;
+        self.update_bandwidth.record(t, bytes_hops);
+        if reassigned_primary {
+            self.primary_reassignments += 1;
+        }
+    }
+
+    /// Folds one host's placement outcome into the relocation counters
+    /// and the relocation log.
+    pub fn record_placement(
+        &mut self,
+        t: f64,
+        host: u16,
+        outcome: &radar_core::placement::PlacementOutcome,
+    ) {
+        self.geo_migrations += outcome.geo_migrations.len() as u64;
+        self.geo_replications += outcome.geo_replications.len() as u64;
+        self.offload_migrations += outcome.offload_migrations.len() as u64;
+        self.offload_replications += outcome.offload_replications.len() as u64;
+        self.drops += outcome.drops.len() as u64;
+        self.affinity_reductions += outcome.affinity_reductions.len() as u64;
+        let mut log =
+            |object: radar_core::ObjectId, target: Option<u16>, action: RelocationAction| {
+                self.relocation_log.push(RelocationEvent {
+                    t,
+                    host,
+                    object: object.index() as u32,
+                    target,
+                    action,
+                });
+            };
+        for &(x, p) in &outcome.geo_migrations {
+            log(x, Some(p.index() as u16), RelocationAction::GeoMigrate);
+        }
+        for &(x, p) in &outcome.geo_replications {
+            log(x, Some(p.index() as u16), RelocationAction::GeoReplicate);
+        }
+        for &(x, p) in &outcome.offload_migrations {
+            log(x, Some(p.index() as u16), RelocationAction::LoadMigrate);
+        }
+        for &(x, p) in &outcome.offload_replications {
+            log(x, Some(p.index() as u16), RelocationAction::LoadReplicate);
+        }
+        for &x in &outcome.drops {
+            log(x, None, RelocationAction::Drop);
+        }
+        for &x in &outcome.affinity_reductions {
+            log(x, None, RelocationAction::AffinityReduce);
+        }
+    }
+
+    /// Total relocations (migrations + replications) so far.
+    pub fn relocations(&self) -> u64 {
+        self.geo_migrations
+            + self.geo_replications
+            + self.offload_migrations
+            + self.offload_replications
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn response_recording_feeds_series_and_summary() {
+        let mut m = Metrics::new(100.0, 20.0);
+        m.record_response(10.0, 10.5, 0.5, 36_000.0);
+        m.record_response(110.0, 110.3, 0.3, 24_000.0);
+        assert_eq!(m.total_requests, 2);
+        assert_eq!(m.client_bandwidth.bin_sum(0), 36_000.0);
+        assert_eq!(m.client_bandwidth.bin_sum(1), 24_000.0);
+        assert_eq!(m.latency_summary.mean(), Some(0.4));
+        assert_eq!(m.latency.bin_mean(1), Some(0.3));
+    }
+
+    #[test]
+    fn overhead_separate_from_client_traffic() {
+        let mut m = Metrics::new(100.0, 20.0);
+        m.record_overhead(5.0, 1000.0);
+        assert_eq!(m.overhead_bandwidth.bin_sum(0), 1000.0);
+        assert_eq!(m.client_bandwidth.bin_sum(0), 0.0);
+    }
+
+    #[test]
+    fn placement_outcomes_counted() {
+        use radar_core::placement::PlacementOutcome;
+        use radar_core::ObjectId;
+        use radar_simnet::NodeId;
+        let mut m = Metrics::new(100.0, 20.0);
+        let mut o = PlacementOutcome::default();
+        o.geo_migrations.push((ObjectId::new(0), NodeId::new(1)));
+        o.geo_replications.push((ObjectId::new(1), NodeId::new(2)));
+        o.offload_migrations
+            .push((ObjectId::new(2), NodeId::new(3)));
+        o.drops = vec![ObjectId::new(3), ObjectId::new(4)];
+        m.record_placement(100.0, 7, &o);
+        assert_eq!(m.geo_migrations, 1);
+        assert_eq!(m.geo_replications, 1);
+        assert_eq!(m.offload_migrations, 1);
+        assert_eq!(m.drops, 2);
+        assert_eq!(m.relocations(), 3);
+        assert_eq!(m.relocation_log.len(), 5);
+        assert_eq!(m.relocation_log[0].action, RelocationAction::GeoMigrate);
+        assert_eq!(m.relocation_log[0].host, 7);
+    }
+}

@@ -1,0 +1,77 @@
+//! Custom instrumentation hooks.
+
+use crate::metrics::RelocationEvent;
+
+/// One served request, as delivered to observers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RequestRecord {
+    /// When the request entered its gateway (seconds).
+    pub entered: f64,
+    /// When the response reached the gateway (seconds).
+    pub delivered: f64,
+    /// The gateway node.
+    pub gateway: u16,
+    /// The requested object.
+    pub object: u32,
+    /// The host that served it.
+    pub host: u16,
+    /// End-to-end latency (seconds).
+    pub latency: f64,
+    /// Hops the response traveled.
+    pub hops: u32,
+}
+
+/// Receives a live feed of simulation events — the extension point for
+/// measurements the built-in [`crate::Metrics`] does not collect
+/// (per-object latency percentiles, custom traces, live dashboards, …).
+///
+/// All methods have empty defaults; implement only what you need.
+/// Observers run synchronously inside the event loop, so they should be
+/// cheap; they cannot affect the simulation (they receive shared
+/// borrows of event data only).
+///
+/// # Examples
+///
+/// ```
+/// use radar_sim::{Observer, RequestRecord, Scenario, Simulation};
+/// use radar_workload::ZipfReeds;
+///
+/// #[derive(Default)]
+/// struct SlowCounter {
+///     over_100ms: u64,
+/// }
+/// impl Observer for SlowCounter {
+///     fn on_request_served(&mut self, r: &RequestRecord) {
+///         if r.latency > 0.1 {
+///             self.over_100ms += 1;
+///         }
+///     }
+/// }
+///
+/// let scenario = Scenario::builder()
+///     .num_objects(50)
+///     .node_request_rate(1.0)
+///     .duration(30.0)
+///     .build()?;
+/// let mut sim = Simulation::new(scenario, Box::new(ZipfReeds::new(50)));
+/// sim.attach_observer(Box::new(SlowCounter::default()));
+/// let _report = sim.run();
+/// # Ok::<(), radar_sim::ScenarioError>(())
+/// ```
+pub trait Observer: Send {
+    /// A response was delivered to its gateway.
+    fn on_request_served(&mut self, record: &RequestRecord) {
+        let _ = record;
+    }
+
+    /// A placement action happened (migration, replication, drop, …).
+    fn on_relocation(&mut self, event: &RelocationEvent) {
+        let _ = event;
+    }
+
+    /// A load-measurement tick completed; `max_load` is the platform-wide
+    /// maximum measured host load.
+    fn on_load_sample(&mut self, t: f64, max_load: f64) {
+        let _ = (t, max_load);
+    }
+}

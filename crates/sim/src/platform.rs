@@ -1,0 +1,889 @@
+//! The discrete-event hosting-platform simulation.
+
+use radar_core::placement::{handle_create_obj, run_placement, PlacementEnv};
+use radar_core::{Catalog, CreateObjRequest, CreateObjResponse, HostState, ObjectId, Redirector};
+use radar_simcore::{EventQueue, FifoServer, SimDuration, SimRng, SimTime};
+use radar_simnet::{NodeId, RoutingTable};
+use radar_workload::{ArrivalProcess, Workload};
+
+use crate::config::{InitialPlacement, PlacementMode, Scenario};
+use crate::metrics::{LoadEstimateSample, Metrics};
+use crate::observer::{Observer, RequestRecord};
+use crate::report::RunReport;
+use crate::selection::{RadarSelection, SelectionPolicy};
+use crate::trace::{Trace, TraceEntry};
+
+/// Simulation events. Per client request: `Arrival` → `Redirect` →
+/// `ArriveAtHost` → `ServiceComplete` (delivery statistics are computed
+/// arithmetically at completion; no fourth hop event is needed).
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    /// A client request enters at its gateway.
+    Arrival { gateway: NodeId },
+    /// The request reaches the redirector.
+    Redirect {
+        object: ObjectId,
+        gateway: NodeId,
+        t0: SimTime,
+    },
+    /// The request reaches the chosen host.
+    ArriveAtHost {
+        object: ObjectId,
+        gateway: NodeId,
+        host: NodeId,
+        t0: SimTime,
+    },
+    /// The host finishes serving; the response departs.
+    ServiceComplete {
+        object: ObjectId,
+        gateway: NodeId,
+        host: NodeId,
+        t0: SimTime,
+    },
+    /// Periodic load measurement sampling (Fig. 8a / 8b).
+    LoadSample,
+    /// Periodic placement decision run on one host (Fig. 3). Hosts are
+    /// phase-staggered across the placement period.
+    Placement { host: NodeId },
+    /// A content provider updates an object; the new version propagates
+    /// from the primary copy to every replica (§5).
+    ProviderUpdate,
+    /// The next entry of a replayed trace arrives at its gateway.
+    TraceArrival { index: usize },
+}
+
+/// A configured simulation, ready to [`run`](Simulation::run).
+///
+/// See the crate documentation for the modeled request lifecycle. Every
+/// run is a deterministic function of `(Scenario, workload, selection)` —
+/// the scenario carries the RNG seed.
+pub struct Simulation {
+    scenario: Scenario,
+    routes: RoutingTable,
+    /// `paths[from][to]`: precomputed node sequences, `from` inclusive.
+    paths: Vec<Vec<Vec<NodeId>>>,
+    /// Homes of the hash-partitioned redirectors, most central first.
+    redirector_nodes: Vec<NodeId>,
+    /// Link id for each normalized `(min, max)` node pair.
+    link_index: std::collections::HashMap<(u16, u16), usize>,
+    /// Region of each node, by node index.
+    node_regions: Vec<radar_simnet::Region>,
+    workload: Box<dyn Workload + Send>,
+    selection: Box<dyn SelectionPolicy + Send>,
+    hosts: Vec<HostState>,
+    servers: Vec<FifoServer>,
+    redirector: Redirector,
+    catalog: Catalog,
+    metrics: Metrics,
+    rng: SimRng,
+    queue: EventQueue<Event>,
+    /// One arrival process per gateway.
+    arrivals: Vec<ArrivalProcess>,
+    /// Whether bootstrap (initial placement + first events) has run.
+    started: bool,
+    observers: Vec<Box<dyn Observer>>,
+    /// The load-report board (§4.2.2 / the TR's recipient discovery):
+    /// "hosts periodically exchange load reports, so that each host
+    /// knows a few probable candidates." Each entry is the host's last
+    /// *published* upper-estimate load and its publication time; offload
+    /// recipient discovery reads these possibly-stale reports, while
+    /// `CreateObj` admission remains authoritative at the recipient.
+    load_reports: Vec<(f64, f64)>,
+    /// Replay source: when set, arrivals come from this trace instead of
+    /// the arrival processes + workload.
+    replay: Option<Trace>,
+    /// Capture sink: when enabled, every arrival is recorded.
+    recorded: Option<Vec<TraceEntry>>,
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("workload", &self.workload.name())
+            .field("policy", &self.selection.name())
+            .field("nodes", &self.hosts.len())
+            .field("objects", &self.scenario.num_objects)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Simulation {
+    /// Creates a simulation with the protocol's own request distribution
+    /// algorithm.
+    pub fn new(scenario: Scenario, workload: Box<dyn Workload + Send>) -> Self {
+        Self::with_selection(scenario, workload, Box::new(RadarSelection::new()))
+    }
+
+    /// Creates a simulation with a custom replica-selection policy
+    /// (e.g. a baseline from `radar-baselines`).
+    pub fn with_selection(
+        scenario: Scenario,
+        workload: Box<dyn Workload + Send>,
+        selection: Box<dyn SelectionPolicy + Send>,
+    ) -> Self {
+        let routes = scenario.topology.routes();
+        let n = scenario.topology.len();
+        let mut paths = Vec::with_capacity(n);
+        for from in scenario.topology.nodes() {
+            let mut row = Vec::with_capacity(n);
+            for to in scenario.topology.nodes() {
+                row.push(routes.path(from, to));
+            }
+            paths.push(row);
+        }
+        // "The redirector is co-located with a node whose average
+        // distance in hops to other nodes is minimum" (§6.1); with more
+        // than one redirector the URL namespace is hash-partitioned over
+        // the most central nodes (§2).
+        let redirector_nodes: Vec<NodeId> = routes
+            .nodes_by_centrality()
+            .into_iter()
+            .take(scenario.num_redirectors as usize)
+            .collect();
+        let link_index: std::collections::HashMap<(u16, u16), usize> = scenario
+            .topology
+            .links()
+            .iter()
+            .enumerate()
+            .map(|(i, &(a, b))| ((a.index() as u16, b.index() as u16), i))
+            .collect();
+        let node_regions: Vec<radar_simnet::Region> = scenario
+            .topology
+            .nodes()
+            .map(|n| scenario.topology.region(n))
+            .collect();
+        let hosts = scenario
+            .topology
+            .nodes()
+            .map(|node| {
+                let mut host = HostState::new(node, scenario.params_of(node.index()));
+                if let Some(limit) = scenario.storage_limit {
+                    host.set_storage_limit(limit as usize);
+                }
+                host
+            })
+            .collect();
+        let servers = (0..n)
+            .map(|i| FifoServer::with_capacity(scenario.capacity_of(i)))
+            .collect();
+        let redirector =
+            Redirector::new(scenario.num_objects, scenario.params.distribution_constant);
+        let catalog = scenario.catalog.clone().unwrap_or_else(|| {
+            Catalog::uniform(scenario.num_objects, scenario.object_size, n as u16)
+        });
+        let mut metrics = Metrics::new(scenario.metric_bin, scenario.params.measurement_interval);
+        metrics.link_bytes = vec![0.0; scenario.topology.links().len()];
+        let rng = SimRng::seed_from(scenario.seed);
+        let arrivals = (0..n)
+            .map(|i| {
+                let rate = scenario
+                    .node_request_rates
+                    .as_ref()
+                    .map_or(scenario.node_request_rate, |rates| rates[i]);
+                if scenario.poisson_arrivals {
+                    ArrivalProcess::Poisson { rate }
+                } else {
+                    ArrivalProcess::Deterministic { rate }
+                }
+            })
+            .collect();
+        Self {
+            scenario,
+            routes,
+            paths,
+            redirector_nodes,
+            link_index,
+            node_regions,
+            workload,
+            selection,
+            hosts,
+            servers,
+            redirector,
+            catalog,
+            metrics,
+            rng,
+            queue: EventQueue::new(),
+            arrivals,
+            started: false,
+            observers: Vec::new(),
+            load_reports: vec![(0.0, 0.0); n],
+            replay: None,
+            recorded: None,
+        }
+    }
+
+    /// Creates a simulation that replays a captured [`Trace`] instead of
+    /// generating arrivals from a workload — the paper's companion
+    /// trace-driven mode. The scenario's request-rate settings are
+    /// ignored; object ids in the trace must be within
+    /// `scenario.num_objects` and gateways within the topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace references an out-of-range gateway or object.
+    pub fn replay(scenario: Scenario, trace: Trace) -> Self {
+        for (i, e) in trace.entries().iter().enumerate() {
+            assert!(
+                (e.gateway as usize) < scenario.topology.len(),
+                "trace entry {i}: gateway {} out of range",
+                e.gateway
+            );
+            assert!(
+                e.object < scenario.num_objects,
+                "trace entry {i}: object {} out of range",
+                e.object
+            );
+        }
+        let mut sim = Self::with_selection(
+            scenario,
+            Box::new(NullWorkload),
+            Box::new(RadarSelection::new()),
+        );
+        sim.replay = Some(trace);
+        sim
+    }
+
+    /// Enables arrival capture: the finished report's
+    /// [`RunReport::trace`] will hold every request arrival, replayable
+    /// via [`Simulation::replay`].
+    pub fn record_trace(&mut self) {
+        self.recorded = Some(Vec::new());
+    }
+
+    /// Attaches an [`Observer`] receiving a live feed of simulation
+    /// events. Multiple observers are invoked in attachment order.
+    pub fn attach_observer(&mut self, observer: Box<dyn Observer>) {
+        self.observers.push(observer);
+    }
+
+    /// The nodes hosting the redirectors (the most central nodes; one
+    /// per hash partition).
+    pub fn redirector_nodes(&self) -> &[NodeId] {
+        &self.redirector_nodes
+    }
+
+    /// The redirector responsible for `object` (URL-hash partitioning,
+    /// §2 — here the hash is the object id).
+    fn redirector_node_of(&self, object: ObjectId) -> NodeId {
+        self.redirector_nodes[object.index() % self.redirector_nodes.len()]
+    }
+
+    /// Runs the simulation to the configured duration and returns the
+    /// finalized report.
+    pub fn run(mut self) -> RunReport {
+        self.run_until(self.scenario.duration);
+        self.finish()
+    }
+
+    /// Advances the simulation to simulated time `t` seconds (clamped to
+    /// the scenario duration), then pauses so intermediate state can be
+    /// inspected via [`host`](Self::host), [`redirector`](Self::redirector)
+    /// and [`now`](Self::now). Running in stages is exactly equivalent to
+    /// one [`run`](Self::run) call.
+    pub fn run_until(&mut self, t: f64) {
+        if !self.started {
+            self.bootstrap();
+            self.started = true;
+        }
+        let end = SimTime::from_secs(t.min(self.scenario.duration).max(0.0));
+        while let Some(next) = self.queue.peek_time() {
+            if next > end {
+                break;
+            }
+            let (t, ev) = self.queue.pop().expect("peeked event exists");
+            self.handle(t, ev);
+        }
+    }
+
+    /// Current simulated time in seconds (the timestamp of the last
+    /// processed event; 0 before the simulation starts).
+    pub fn now(&self) -> f64 {
+        self.queue.now().as_secs()
+    }
+
+    /// The protocol state of one host, for mid-run inspection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn host(&self, node: NodeId) -> &HostState {
+        &self.hosts[node.index()]
+    }
+
+    /// The redirector's replica bookkeeping, for mid-run inspection.
+    pub fn redirector(&self) -> &Redirector {
+        &self.redirector
+    }
+
+    /// Finalizes a (possibly partially run) simulation into its report.
+    pub fn finish(self) -> RunReport {
+        self.finalize()
+    }
+
+    fn bootstrap(&mut self) {
+        // Initial object placement.
+        match self.scenario.initial_placement.clone() {
+            InitialPlacement::RoundRobin => {
+                let n = self.hosts.len() as u32;
+                for i in 0..self.scenario.num_objects {
+                    let node = NodeId::new((i % n) as u16);
+                    self.install(ObjectId::new(i), node);
+                }
+            }
+            InitialPlacement::Everywhere => {
+                for i in 0..self.scenario.num_objects {
+                    for node in 0..self.hosts.len() as u16 {
+                        self.install(ObjectId::new(i), NodeId::new(node));
+                    }
+                }
+            }
+            InitialPlacement::Explicit(assignments) => {
+                for (i, nodes) in assignments.iter().enumerate() {
+                    for &node in nodes {
+                        self.install(ObjectId::new(i as u32), NodeId::new(node));
+                    }
+                }
+            }
+        }
+        let num_nodes = self.hosts.len();
+        if let Some(trace) = &self.replay {
+            if let Some(first) = trace.entries().first() {
+                self.queue.schedule(
+                    SimTime::from_secs(first.t),
+                    Event::TraceArrival { index: 0 },
+                );
+            }
+        } else {
+            // One arrival stream per gateway, phase-staggered so the
+            // constant-rate sources are not lock-stepped.
+            for i in 0..num_nodes {
+                let offset = self.arrivals[i].phase_offset(i, num_nodes);
+                self.queue.schedule(
+                    SimTime::from_secs(offset),
+                    Event::Arrival {
+                        gateway: NodeId::new(i as u16),
+                    },
+                );
+            }
+        }
+        // Timers.
+        self.queue.schedule(
+            SimTime::from_secs(self.scenario.params.measurement_interval),
+            Event::LoadSample,
+        );
+        if self.scenario.update_rate > 0.0 {
+            let gap = self.rng.exponential(self.scenario.update_rate);
+            self.queue
+                .schedule(SimTime::from_secs(gap), Event::ProviderUpdate);
+        }
+        if self.scenario.placement == PlacementMode::Dynamic {
+            // Hosts run their placement decisions periodically but not in
+            // lock-step: host i fires at period·(1 + (i+1)/n)·…, spreading
+            // the runs across the period so admission estimates and load
+            // measurements refresh between consecutive deciders.
+            let period = self.scenario.params.placement_period;
+            for i in 0..num_nodes {
+                let phase = period + period * (i + 1) as f64 / num_nodes as f64;
+                self.queue.schedule(
+                    SimTime::from_secs(phase),
+                    Event::Placement {
+                        host: NodeId::new(i as u16),
+                    },
+                );
+            }
+        }
+    }
+
+    /// Charges `bytes` to every link on the precomputed path from `from`
+    /// to `to`.
+    fn charge_links(&mut self, from: NodeId, to: NodeId, bytes: u64) {
+        let path = &self.paths[from.index()][to.index()];
+        for w in path.windows(2) {
+            let (a, b) = (w[0].index() as u16, w[1].index() as u16);
+            let key = (a.min(b), a.max(b));
+            let idx = self.link_index[&key];
+            self.metrics.link_bytes[idx] += bytes as f64;
+        }
+    }
+
+    fn install(&mut self, object: ObjectId, node: NodeId) {
+        self.redirector.install(object, node);
+        self.hosts[node.index()].install_object(object);
+    }
+
+    fn handle(&mut self, t: SimTime, ev: Event) {
+        match ev {
+            Event::Arrival { gateway } => self.on_arrival(t, gateway),
+            Event::Redirect {
+                object,
+                gateway,
+                t0,
+            } => self.on_redirect(t, object, gateway, t0),
+            Event::ArriveAtHost {
+                object,
+                gateway,
+                host,
+                t0,
+            } => self.on_arrive_at_host(t, object, gateway, host, t0),
+            Event::ServiceComplete {
+                object,
+                gateway,
+                host,
+                t0,
+            } => self.on_service_complete(t, object, gateway, host, t0),
+            Event::LoadSample => self.on_load_sample(t),
+            Event::Placement { host } => self.on_placement(t, host),
+            Event::ProviderUpdate => self.on_provider_update(t),
+            Event::TraceArrival { index } => self.on_trace_arrival(t, index),
+        }
+    }
+
+    fn on_arrival(&mut self, t: SimTime, gateway: NodeId) {
+        // Next arrival of this stream.
+        let gap = self.arrivals[gateway.index()].next_interarrival(&mut self.rng);
+        self.queue
+            .schedule(t + SimDuration::from_secs(gap), Event::Arrival { gateway });
+
+        let object = self.workload.choose(t.as_secs(), gateway, &mut self.rng);
+        if let Some(recorded) = &mut self.recorded {
+            recorded.push(TraceEntry {
+                t: t.as_secs(),
+                gateway: gateway.index() as u16,
+                object: object.index() as u32,
+            });
+        }
+        // Gateway → the object's redirector: propagation only (requests
+        // are tiny).
+        let hops = self
+            .routes
+            .distance(gateway, self.redirector_node_of(object));
+        let delay = self.scenario.network.propagation_time(hops);
+        self.queue.schedule(
+            t + SimDuration::from_secs(delay),
+            Event::Redirect {
+                object,
+                gateway,
+                t0: t,
+            },
+        );
+    }
+
+    fn on_trace_arrival(&mut self, t: SimTime, index: usize) {
+        let trace = self.replay.as_ref().expect("replay trace present");
+        let entry = trace.entries()[index];
+        if let Some(next) = trace.entries().get(index + 1) {
+            let at = SimTime::from_secs(next.t).max(t);
+            self.queue
+                .schedule(at, Event::TraceArrival { index: index + 1 });
+        }
+        let gateway = NodeId::new(entry.gateway);
+        let object = ObjectId::new(entry.object);
+        if let Some(recorded) = &mut self.recorded {
+            recorded.push(TraceEntry {
+                t: t.as_secs(),
+                gateway: entry.gateway,
+                object: entry.object,
+            });
+        }
+        let hops = self
+            .routes
+            .distance(gateway, self.redirector_node_of(object));
+        let delay = self.scenario.network.propagation_time(hops);
+        self.queue.schedule(
+            t + SimDuration::from_secs(delay),
+            Event::Redirect {
+                object,
+                gateway,
+                t0: t,
+            },
+        );
+    }
+
+    fn on_redirect(&mut self, t: SimTime, object: ObjectId, gateway: NodeId, t0: SimTime) {
+        let rnode = self.redirector_node_of(object);
+        *self
+            .metrics
+            .redirector_requests
+            .entry(rnode.index() as u16)
+            .or_insert(0) += 1;
+        let Some(host) = self
+            .selection
+            .choose(object, gateway, &mut self.redirector, &self.routes)
+        else {
+            debug_assert!(false, "every object keeps at least one replica");
+            return;
+        };
+        let hops = self.routes.distance(self.redirector_node_of(object), host);
+        let delay = self.scenario.network.propagation_time(hops);
+        self.queue.schedule(
+            t + SimDuration::from_secs(delay),
+            Event::ArriveAtHost {
+                object,
+                gateway,
+                host,
+                t0,
+            },
+        );
+    }
+
+    fn on_arrive_at_host(
+        &mut self,
+        t: SimTime,
+        object: ObjectId,
+        gateway: NodeId,
+        host: NodeId,
+        t0: SimTime,
+    ) {
+        // Record the preference path (host → gateway) for placement.
+        let path = &self.paths[host.index()][gateway.index()];
+        self.hosts[host.index()].record_access(object, path);
+        // FIFO service.
+        let outcome = self.servers[host.index()].offer(t);
+        // Latency breakdown: the redirect leg is everything before host
+        // arrival; queueing is time until service begins.
+        self.metrics.redirect_delay.record((t - t0).as_secs());
+        self.metrics
+            .queueing_delay
+            .record(outcome.queueing_delay(t).as_secs());
+        self.queue.schedule(
+            outcome.completion,
+            Event::ServiceComplete {
+                object,
+                gateway,
+                host,
+                t0,
+            },
+        );
+    }
+
+    fn on_service_complete(
+        &mut self,
+        t: SimTime,
+        object: ObjectId,
+        gateway: NodeId,
+        host: NodeId,
+        t0: SimTime,
+    ) {
+        self.hosts[host.index()].record_serviced(t.as_secs(), object);
+        let hops = self.routes.distance(host, gateway);
+        let travel = self
+            .scenario
+            .network
+            .transfer_time(self.scenario.object_size, hops);
+        let delivered = t + SimDuration::from_secs(travel);
+        let latency = (delivered - t0).as_secs();
+        let bytes_hops = (self.scenario.object_size * hops as u64) as f64;
+        self.metrics
+            .record_response(t.as_secs(), delivered.as_secs(), latency, bytes_hops);
+        self.metrics.response_travel.record(travel);
+        self.charge_links(host, gateway, self.scenario.object_size);
+        let (from, to) = (
+            self.node_regions[host.index()].index(),
+            self.node_regions[gateway.index()].index(),
+        );
+        self.metrics.region_matrix[from][to] += bytes_hops;
+        if !self.observers.is_empty() {
+            let record = RequestRecord {
+                entered: t0.as_secs(),
+                delivered: delivered.as_secs(),
+                gateway: gateway.index() as u16,
+                object: object.index() as u32,
+                host: host.index() as u16,
+                latency,
+                hops,
+            };
+            for obs in &mut self.observers {
+                obs.on_request_served(&record);
+            }
+        }
+    }
+
+    fn on_load_sample(&mut self, t: SimTime) {
+        let now = t.as_secs();
+        let mut max = 0.0f64;
+        let mut max_host = 0u16;
+        for (i, host) in self.hosts.iter_mut().enumerate() {
+            host.advance(now);
+            // Publish this measurement round's load report.
+            self.load_reports[i] = (now, host.load_upper());
+            if host.measured_load() > max {
+                max = host.measured_load();
+                max_host = i as u16;
+            }
+        }
+        self.metrics.max_load.record(now, max);
+        self.metrics.max_load_host.push((now, max_host, max));
+        for obs in &mut self.observers {
+            obs.on_load_sample(now, max);
+        }
+        // Replica census for Table 2 (sampled here rather than at
+        // placement epochs so static runs are covered too).
+        let total: u64 = (0..self.scenario.num_objects)
+            .map(|i| self.redirector.replica_count(ObjectId::new(i)) as u64)
+            .sum();
+        let avg = total as f64 / self.scenario.num_objects as f64;
+        self.metrics.replica_series.push((now, avg));
+        let tracked = &self.hosts[self.scenario.tracked_host as usize];
+        self.metrics.load_estimates.push(LoadEstimateSample {
+            t: now,
+            actual: tracked.measured_load(),
+            upper: tracked.load_upper(),
+            lower: tracked.load_lower(),
+        });
+        let next = t + SimDuration::from_secs(self.scenario.params.measurement_interval);
+        if next.as_secs() <= self.scenario.duration {
+            self.queue.schedule(next, Event::LoadSample);
+        }
+    }
+
+    fn on_placement(&mut self, t: SimTime, node: NodeId) {
+        let now = t.as_secs();
+        let i = node.index();
+        // Take the deciding host out of the vector so the environment
+        // can borrow the rest mutably.
+        let mut host = std::mem::replace(
+            &mut self.hosts[i],
+            HostState::new(node, self.scenario.params_of(i)),
+        );
+        let outcome = {
+            let mut env = SimEnv {
+                self_index: i,
+                hosts: &mut self.hosts,
+                redirector: &mut self.redirector,
+                metrics: &mut self.metrics,
+                routes: &self.routes,
+                paths: &self.paths,
+                link_index: &self.link_index,
+                catalog: &self.catalog,
+                load_reports: &self.load_reports,
+                object_size: self.scenario.object_size,
+                now,
+            };
+            run_placement(&mut host, now, &mut env)
+        };
+        let log_before = self.metrics.relocation_log.len();
+        self.metrics.record_placement(now, i as u16, &outcome);
+        if !self.observers.is_empty() {
+            for k in log_before..self.metrics.relocation_log.len() {
+                let event = self.metrics.relocation_log[k];
+                for obs in &mut self.observers {
+                    obs.on_relocation(&event);
+                }
+            }
+        }
+        self.hosts[i] = host;
+        self.debug_check_invariants();
+        let next = t + SimDuration::from_secs(self.scenario.params.placement_period);
+        if next.as_secs() <= self.scenario.duration {
+            self.queue.schedule(next, Event::Placement { host: node });
+        }
+    }
+
+    /// A provider update (§5): pick a random object, propagate the new
+    /// version asynchronously from the primary copy to every other
+    /// replica, consuming update-propagation bandwidth. If the primary's
+    /// host no longer holds the object (it migrated or was dropped), the
+    /// primary moves to the object's lowest-id replica — "the location of
+    /// the primary copy is tracked by the object's redirector".
+    fn on_provider_update(&mut self, t: SimTime) {
+        let now = t.as_secs();
+        let gap = self.rng.exponential(self.scenario.update_rate);
+        self.queue
+            .schedule(t + SimDuration::from_secs(gap), Event::ProviderUpdate);
+
+        let object = ObjectId::new(self.rng.index(self.scenario.num_objects as usize) as u32);
+        let replicas = self.redirector.replicas(object);
+        debug_assert!(!replicas.is_empty(), "every object keeps a replica");
+        let mut primary = self.catalog.primary(object);
+        let mut reassigned = false;
+        if !replicas.iter().any(|r| r.host == primary) {
+            primary = replicas[0].host;
+            self.catalog.set_primary(object, primary);
+            reassigned = true;
+        }
+        let bytes = self.catalog.object_size();
+        let targets: Vec<NodeId> = replicas
+            .iter()
+            .filter(|r| r.host != primary)
+            .map(|r| r.host)
+            .collect();
+        let bytes_hops: u64 = targets
+            .iter()
+            .map(|&t| bytes * self.routes.distance(primary, t) as u64)
+            .sum();
+        for target in targets {
+            self.charge_links(primary, target, bytes);
+        }
+        self.metrics
+            .record_update(now, bytes_hops as f64, reassigned);
+    }
+
+    /// Debug-build check of the protocol's replica-set subset invariant:
+    /// every replica the redirector knows physically exists on its host.
+    fn debug_check_invariants(&self) {
+        if cfg!(debug_assertions) {
+            for i in 0..self.scenario.num_objects {
+                let object = ObjectId::new(i);
+                for info in self.redirector.replicas(object) {
+                    debug_assert!(
+                        self.hosts[info.host.index()].has_object(object),
+                        "replica-set invariant violated: redirector lists {object}@{} \
+                         but the host does not hold it",
+                        info.host
+                    );
+                }
+                debug_assert!(
+                    self.redirector.replica_count(object) >= 1,
+                    "object {object} lost its last replica"
+                );
+            }
+        }
+    }
+
+    fn finalize(self) -> RunReport {
+        let final_replicas = (0..self.scenario.num_objects)
+            .map(|i| {
+                self.redirector
+                    .replicas(ObjectId::new(i))
+                    .iter()
+                    .map(|r| (r.host.index() as u16, r.aff))
+                    .collect()
+            })
+            .collect();
+        let link_traffic: Vec<((u16, u16), f64)> = self
+            .scenario
+            .topology
+            .links()
+            .iter()
+            .zip(&self.metrics.link_bytes)
+            .map(|(&(a, b), &bytes)| ((a.index() as u16, b.index() as u16), bytes))
+            .collect();
+        let mut report = RunReport::from_metrics(
+            self.metrics,
+            self.workload.name().to_string(),
+            self.selection.name().to_string(),
+            self.scenario.placement == PlacementMode::Dynamic,
+            self.scenario.duration,
+        );
+        report.final_replicas = final_replicas;
+        report.link_traffic = link_traffic;
+        report.trace = self
+            .recorded
+            .map(|entries| entries.into_iter().collect::<Trace>());
+        report
+    }
+}
+
+/// Placeholder workload for replay mode (never consulted: arrivals come
+/// from the trace).
+#[derive(Debug)]
+struct NullWorkload;
+
+impl Workload for NullWorkload {
+    fn choose(&mut self, _now: f64, _gateway: NodeId, _rng: &mut SimRng) -> ObjectId {
+        unreachable!("replay mode never samples a workload")
+    }
+
+    fn name(&self) -> &str {
+        "replay"
+    }
+}
+
+/// The placement environment the simulator exposes to a deciding host:
+/// all *other* hosts (slot `self_index` holds a placeholder), the
+/// redirector, and overhead accounting.
+struct SimEnv<'a> {
+    self_index: usize,
+    hosts: &'a mut [HostState],
+    redirector: &'a mut Redirector,
+    metrics: &'a mut Metrics,
+    routes: &'a RoutingTable,
+    paths: &'a [Vec<Vec<NodeId>>],
+    link_index: &'a std::collections::HashMap<(u16, u16), usize>,
+    catalog: &'a Catalog,
+    load_reports: &'a [(f64, f64)],
+    object_size: u64,
+    now: f64,
+}
+
+impl PlacementEnv for SimEnv<'_> {
+    fn create_obj(&mut self, target: NodeId, req: CreateObjRequest) -> CreateObjResponse {
+        assert_ne!(
+            target.index(),
+            self.self_index,
+            "a host never offers an object to itself"
+        );
+        let host = &mut self.hosts[target.index()];
+        let resp = handle_create_obj(host, self.now, &req);
+        if let CreateObjResponse::Accepted { new_copy } = resp {
+            // Notify the redirector *after* the copy exists.
+            self.redirector.notify_created(req.object, target);
+            if new_copy {
+                // The object data crosses the backbone: overhead traffic.
+                let hops = self.routes.distance(req.source, target);
+                self.metrics
+                    .record_overhead(self.now, (self.object_size * hops as u64) as f64);
+                let path = &self.paths[req.source.index()][target.index()];
+                for w in path.windows(2) {
+                    let (a, b) = (w[0].index() as u16, w[1].index() as u16);
+                    let idx = self.link_index[&(a.min(b), a.max(b))];
+                    self.metrics.link_bytes[idx] += self.object_size as f64;
+                }
+            }
+        }
+        resp
+    }
+
+    fn request_drop(&mut self, object: ObjectId, host: NodeId) -> bool {
+        self.redirector.request_drop(object, host)
+    }
+
+    fn notify_affinity(&mut self, object: ObjectId, host: NodeId, aff: u32) {
+        self.redirector.notify_affinity(object, host, aff);
+    }
+
+    fn find_offload_recipient(&mut self, requester: NodeId) -> Option<(NodeId, f64)> {
+        // "Hosts periodically exchange load reports, so that each host
+        // knows a few probable candidates": *discovery* reads the
+        // gossiped board (up to one measurement interval stale), but the
+        // paper's recipient "responds to the requesting host with its
+        // load value" — acceptance is a fresh check at the candidate.
+        // Without the fresh check, every overloaded host in an epoch
+        // herds onto the same stale best candidate and offloading
+        // starves. Candidates are ranked by board headroom against their
+        // *own* low watermarks (hosts may be heterogeneous); the first
+        // few are probed.
+        const PROBES: usize = 5;
+        let mut candidates: Vec<(f64, usize)> = self
+            .hosts
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != self.self_index && j != requester.index())
+            .filter_map(|(j, host)| {
+                let (_, reported) = self.load_reports[j];
+                let headroom = host.params().low_watermark - reported;
+                (headroom > 0.0).then_some((headroom, j))
+            })
+            .collect();
+        candidates.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite headroom"));
+        for &(_, j) in candidates.iter().take(PROBES) {
+            let host = &mut self.hosts[j];
+            host.advance(self.now);
+            let current = host.load_upper();
+            if current < host.params().low_watermark {
+                return Some((host.node(), current));
+            }
+        }
+        None
+    }
+
+    fn distance(&self, a: NodeId, b: NodeId) -> u32 {
+        self.routes.distance(a, b)
+    }
+
+    fn may_replicate(&self, object: ObjectId) -> bool {
+        self.catalog
+            .kind(object)
+            .may_add_replica(self.redirector.replica_count(object))
+    }
+}

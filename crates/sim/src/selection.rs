@@ -1,0 +1,77 @@
+//! Pluggable replica-selection policies.
+//!
+//! The protocol's own distribution algorithm is [`RadarSelection`];
+//! comparator policies (round-robin, closest-replica) live in the
+//! `radar-baselines` crate and implement the same [`SelectionPolicy`]
+//! trait, so every policy runs against identical replica bookkeeping.
+
+use radar_core::{ObjectId, Redirector};
+use radar_simnet::{NodeId, RoutingTable};
+
+/// Chooses which replica serves a request. Implementations may keep
+/// their own per-object state (e.g. round-robin cursors) but share the
+/// platform's [`Redirector`] for replica-set membership.
+pub trait SelectionPolicy: Send {
+    /// Picks the serving host for a request to `object` entering at
+    /// `gateway`, or `None` if the object has no replicas.
+    fn choose(
+        &mut self,
+        object: ObjectId,
+        gateway: NodeId,
+        redirector: &mut Redirector,
+        routes: &RoutingTable,
+    ) -> Option<NodeId>;
+
+    /// Policy name for reports.
+    fn name(&self) -> &str;
+}
+
+/// The paper's request distribution algorithm (Fig. 2), delegating to
+/// [`Redirector::choose_replica`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RadarSelection;
+
+impl RadarSelection {
+    /// Creates the protocol's own selection policy.
+    pub fn new() -> Self {
+        RadarSelection
+    }
+}
+
+impl SelectionPolicy for RadarSelection {
+    fn choose(
+        &mut self,
+        object: ObjectId,
+        gateway: NodeId,
+        redirector: &mut Redirector,
+        routes: &RoutingTable,
+    ) -> Option<NodeId> {
+        redirector.choose_replica(object, gateway, routes)
+    }
+
+    fn name(&self) -> &str {
+        "radar"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radar_simnet::builders;
+
+    #[test]
+    fn radar_selection_delegates_to_redirector() {
+        let topo = builders::two_continents();
+        let routes = topo.routes();
+        let mut redirector = Redirector::new(1, 2.0);
+        redirector.install(ObjectId::new(0), NodeId::new(1));
+        let mut policy = RadarSelection::new();
+        assert_eq!(policy.name(), "radar");
+        assert_eq!(
+            policy.choose(ObjectId::new(0), NodeId::new(0), &mut redirector, &routes),
+            Some(NodeId::new(1))
+        );
+        // Request count advanced through the policy.
+        assert_eq!(redirector.replicas(ObjectId::new(0))[0].rcnt, 2);
+    }
+}

@@ -1,0 +1,111 @@
+//! Periodic timers for placement decisions and load measurements.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{SimDuration, SimTime};
+
+/// A fixed-period timer: fires at `start + k·period` for `k = 0, 1, 2, …`
+/// (or `k = 1, 2, …` if created with [`PeriodicTimer::starting_after`]).
+///
+/// The simulator reschedules the next tick each time one fires; this type
+/// just owns the arithmetic so phase errors can't creep in.
+///
+/// # Examples
+///
+/// ```
+/// use radar_simcore::{PeriodicTimer, SimDuration, SimTime};
+/// let mut t = PeriodicTimer::new(SimDuration::from_secs(100.0));
+/// assert_eq!(t.next_fire(), SimTime::ZERO);
+/// assert_eq!(t.fire().as_secs(), 0.0);
+/// assert_eq!(t.next_fire().as_secs(), 100.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PeriodicTimer {
+    period: SimDuration,
+    next: SimTime,
+}
+
+impl PeriodicTimer {
+    /// A timer firing at `0, period, 2·period, …`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn new(period: SimDuration) -> Self {
+        Self::starting_at(SimTime::ZERO, period)
+    }
+
+    /// A timer firing at `start, start+period, …`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn starting_at(start: SimTime, period: SimDuration) -> Self {
+        assert!(!period.is_zero(), "timer period must be positive");
+        Self {
+            period,
+            next: start,
+        }
+    }
+
+    /// A timer whose first firing is one full period after `start` —
+    /// the natural choice for "every 100 seconds" semantics where nothing
+    /// should happen at time zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn starting_after(start: SimTime, period: SimDuration) -> Self {
+        Self::starting_at(start + period, period)
+    }
+
+    /// The timer's period.
+    pub fn period(&self) -> SimDuration {
+        self.period
+    }
+
+    /// When the timer will next fire.
+    pub fn next_fire(&self) -> SimTime {
+        self.next
+    }
+
+    /// Consumes the pending firing, returning its time and arming the next.
+    pub fn fire(&mut self) -> SimTime {
+        let t = self.next;
+        self.next = t + self.period;
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_on_grid() {
+        let mut t = PeriodicTimer::new(SimDuration::from_secs(20.0));
+        let times: Vec<f64> = (0..4).map(|_| t.fire().as_secs()).collect();
+        assert_eq!(times, vec![0.0, 20.0, 40.0, 60.0]);
+    }
+
+    #[test]
+    fn starting_after_skips_time_zero() {
+        let mut t = PeriodicTimer::starting_after(SimTime::ZERO, SimDuration::from_secs(100.0));
+        assert_eq!(t.fire().as_secs(), 100.0);
+        assert_eq!(t.fire().as_secs(), 200.0);
+    }
+
+    #[test]
+    fn starting_at_offset() {
+        let mut t =
+            PeriodicTimer::starting_at(SimTime::from_secs(5.0), SimDuration::from_secs(10.0));
+        assert_eq!(t.fire().as_secs(), 5.0);
+        assert_eq!(t.next_fire().as_secs(), 15.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "timer period must be positive")]
+    fn zero_period_rejected() {
+        let _ = PeriodicTimer::new(SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,325 @@
+//! Destination-based shortest-path routing with deterministic tie-breaks.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{NodeId, Topology};
+
+/// All-pairs hop-count distances and next-hop forwarding state.
+///
+/// For each destination `d`, a breadth-first search assigns every node `u`
+/// its hop distance to `d` and a *next hop*: the lowest-id neighbor of `u`
+/// that is one hop closer to `d`. This mimics destination-based IP
+/// forwarding and satisfies the paper's simulation rule that "when there
+/// are equidistant paths between nodes i and j, one path is chosen for all
+/// requests from i to j" — the chosen path is a function of `(u, d)` only.
+///
+/// Distances are symmetric (the graph is undirected); the chosen *paths*
+/// need not be (just as real forward/reverse IP routes need not be), and
+/// the protocol only ever uses host→gateway paths, so this is faithful.
+///
+/// # Examples
+///
+/// ```
+/// use radar_simnet::{builders, NodeId};
+/// let topo = builders::line(4); // 0 — 1 — 2 — 3
+/// let routes = topo.routes();
+/// assert_eq!(routes.distance(NodeId::new(0), NodeId::new(3)), 3);
+/// assert_eq!(
+///     routes.path(NodeId::new(0), NodeId::new(2)),
+///     vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)]
+/// );
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoutingTable {
+    n: usize,
+    /// `dist[d][u]` = hops from `u` to destination `d`.
+    dist: Vec<Vec<u32>>,
+    /// `next_hop[d][u]` = the neighbor `u` forwards to when sending to
+    /// `d`; `u == d` maps to itself.
+    next_hop: Vec<Vec<NodeId>>,
+    /// Eccentricity-minimal node (lowest id among ties): the paper
+    /// co-locates the redirector with "a node whose average distance in
+    /// hops to other nodes is minimum".
+    centroid: NodeId,
+    diameter: u32,
+}
+
+impl RoutingTable {
+    /// Builds the routing table for `topology` (one BFS per destination).
+    pub fn for_topology(topology: &Topology) -> Self {
+        let n = topology.len();
+        let mut dist = Vec::with_capacity(n);
+        let mut next_hop = Vec::with_capacity(n);
+        for d in topology.nodes() {
+            let (dv, nv) = bfs_to_destination(topology, d);
+            dist.push(dv);
+            next_hop.push(nv);
+        }
+        // Centroid: minimal total distance to all other nodes, lowest id
+        // breaking ties.
+        let mut centroid = NodeId::new(0);
+        let mut best: u64 = u64::MAX;
+        for u in topology.nodes() {
+            let total: u64 = (0..n).map(|d| dist[d][u.index()] as u64).sum();
+            if total < best {
+                best = total;
+                centroid = u;
+            }
+        }
+        let diameter = dist
+            .iter()
+            .flat_map(|row| row.iter().copied())
+            .max()
+            .unwrap_or(0);
+        Self {
+            n,
+            dist,
+            next_hop,
+            centroid,
+            diameter,
+        }
+    }
+
+    /// Number of nodes covered by the table.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` if the table covers no nodes (not produced in practice —
+    /// topologies validate non-emptiness).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Hop distance between two nodes (0 for a node to itself).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of range.
+    pub fn distance(&self, from: NodeId, to: NodeId) -> u32 {
+        self.dist[to.index()][from.index()]
+    }
+
+    /// The neighbor `from` forwards to when sending toward `to`
+    /// (`to` itself if `from == to`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of range.
+    pub fn next_hop(&self, from: NodeId, to: NodeId) -> NodeId {
+        self.next_hop[to.index()][from.index()]
+    }
+
+    /// The full path from `from` to `to`, inclusive of both endpoints.
+    /// A node's path to itself is `[from]`.
+    ///
+    /// This is the paper's *preference path*: every node on it is a
+    /// candidate location that would have shortened the response route.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of range.
+    pub fn path(&self, from: NodeId, to: NodeId) -> Vec<NodeId> {
+        let mut path = Vec::with_capacity(self.distance(from, to) as usize + 1);
+        let mut cur = from;
+        path.push(cur);
+        while cur != to {
+            cur = self.next_hop(cur, to);
+            path.push(cur);
+        }
+        path
+    }
+
+    /// The node with minimal average distance to all nodes (lowest id on
+    /// ties) — where the paper's simulation places the redirector.
+    pub fn centroid(&self) -> NodeId {
+        self.centroid
+    }
+
+    /// All nodes ordered by increasing total distance to every other
+    /// node (most central first; lowest id breaks ties). The first `k`
+    /// entries are the natural homes for `k` hash-partitioned
+    /// redirectors.
+    pub fn nodes_by_centrality(&self) -> Vec<NodeId> {
+        let mut scored: Vec<(u64, NodeId)> = (0..self.n)
+            .map(|u| {
+                let total: u64 = (0..self.n).map(|d| self.dist[d][u] as u64).sum();
+                (total, NodeId::new(u as u16))
+            })
+            .collect();
+        scored.sort_unstable();
+        scored.into_iter().map(|(_, n)| n).collect()
+    }
+
+    /// The graph diameter in hops.
+    pub fn diameter(&self) -> u32 {
+        self.diameter
+    }
+
+    /// Among `candidates`, the one closest to `target`, breaking distance
+    /// ties by lowest node id. Returns `None` for an empty candidate set.
+    pub fn closest_to<I>(&self, target: NodeId, candidates: I) -> Option<NodeId>
+    where
+        I: IntoIterator<Item = NodeId>,
+    {
+        candidates
+            .into_iter()
+            .min_by_key(|&c| (self.distance(c, target), c))
+    }
+}
+
+/// BFS from destination `d`; for each node, record distance to `d` and the
+/// lowest-id neighbor one hop closer.
+fn bfs_to_destination(topology: &Topology, d: NodeId) -> (Vec<u32>, Vec<NodeId>) {
+    let n = topology.len();
+    let mut dist = vec![u32::MAX; n];
+    let mut next = vec![d; n];
+    dist[d.index()] = 0;
+    let mut queue = VecDeque::from([d]);
+    while let Some(u) = queue.pop_front() {
+        for &v in topology.neighbors(u) {
+            if dist[v.index()] == u32::MAX {
+                dist[v.index()] = dist[u.index()] + 1;
+                // `u` is one hop closer to d than v. Because BFS dequeues
+                // nodes of equal distance in ascending discovery order and
+                // neighbor lists are sorted, the first assignment is the
+                // lowest-id closer neighbor.
+                next[v.index()] = u;
+                queue.push_back(v);
+            }
+        }
+    }
+    debug_assert!(
+        dist.iter().all(|&x| x != u32::MAX),
+        "topology validated as connected"
+    );
+    (dist, next)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+    use crate::Region;
+
+    fn node(i: u16) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn line_distances_and_paths() {
+        let topo = builders::line(5);
+        let r = topo.routes();
+        assert_eq!(r.distance(node(0), node(4)), 4);
+        assert_eq!(r.distance(node(2), node(2)), 0);
+        assert_eq!(r.path(node(2), node(2)), vec![node(2)]);
+        assert_eq!(
+            r.path(node(4), node(1)),
+            vec![node(4), node(3), node(2), node(1)]
+        );
+        assert_eq!(r.diameter(), 4);
+        assert_eq!(r.centroid(), node(2));
+    }
+
+    #[test]
+    fn distances_symmetric() {
+        let topo = builders::uunet();
+        let r = topo.routes();
+        for a in topo.nodes() {
+            for b in topo.nodes() {
+                assert_eq!(r.distance(a, b), r.distance(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn paths_consistent_with_distance() {
+        let topo = builders::uunet();
+        let r = topo.routes();
+        for a in topo.nodes() {
+            for b in topo.nodes() {
+                let p = r.path(a, b);
+                assert_eq!(p.len() as u32, r.distance(a, b) + 1);
+                assert_eq!(*p.first().unwrap(), a);
+                assert_eq!(*p.last().unwrap(), b);
+                // Every consecutive pair is an actual link.
+                for w in p.windows(2) {
+                    assert!(topo.neighbors(w[0]).contains(&w[1]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn same_destination_same_subpath() {
+        // Destination-based forwarding: if v is on u's path to d, then
+        // v's path to d is the corresponding suffix.
+        let topo = builders::uunet();
+        let r = topo.routes();
+        let d = node(40);
+        for u in topo.nodes() {
+            let p = r.path(u, d);
+            for (i, &v) in p.iter().enumerate() {
+                assert_eq!(r.path(v, d), p[i..].to_vec());
+            }
+        }
+    }
+
+    #[test]
+    fn tie_break_prefers_lowest_id() {
+        // Diamond: 0-1, 0-2, 1-3, 2-3. Paths 0->3 via 1 or 2; must pick 1.
+        let mut b = Topology::builder();
+        let n0 = b.add_node("0", Region::Europe);
+        let n1 = b.add_node("1", Region::Europe);
+        let n2 = b.add_node("2", Region::Europe);
+        let n3 = b.add_node("3", Region::Europe);
+        b.add_link(n0, n1);
+        b.add_link(n0, n2);
+        b.add_link(n1, n3);
+        b.add_link(n2, n3);
+        let topo = b.build().unwrap();
+        let r = topo.routes();
+        assert_eq!(r.path(n0, n3), vec![n0, n1, n3]);
+        assert_eq!(r.path(n3, n0), vec![n3, n1, n0]);
+    }
+
+    #[test]
+    fn closest_to_picks_nearest_then_lowest_id() {
+        let topo = builders::line(5);
+        let r = topo.routes();
+        assert_eq!(r.closest_to(node(0), [node(3), node(1)]), Some(node(1)));
+        // Equidistant: 1 and 3 are both 1 hop from 2; lowest id wins.
+        assert_eq!(r.closest_to(node(2), [node(3), node(1)]), Some(node(1)));
+        assert_eq!(r.closest_to(node(0), std::iter::empty()), None);
+    }
+
+    #[test]
+    fn centrality_ranking_starts_at_centroid() {
+        let topo = builders::star(6);
+        let r = topo.routes();
+        let ranked = r.nodes_by_centrality();
+        assert_eq!(ranked.len(), 6);
+        assert_eq!(ranked[0], r.centroid());
+        // Star leaves are all tied; ids break ties ascending.
+        assert_eq!(ranked[1..], [node(1), node(2), node(3), node(4), node(5)]);
+    }
+
+    #[test]
+    fn ring_distances_wrap() {
+        let topo = builders::ring(6);
+        let r = topo.routes();
+        assert_eq!(r.distance(node(0), node(3)), 3);
+        assert_eq!(r.distance(node(0), node(5)), 1);
+        assert_eq!(r.diameter(), 3);
+    }
+
+    #[test]
+    fn star_centroid_is_hub() {
+        let topo = builders::star(9);
+        let r = topo.routes();
+        assert_eq!(r.centroid(), node(0));
+        assert_eq!(r.diameter(), 2);
+    }
+}

@@ -1,0 +1,151 @@
+//! Property tests of the routing substrate over random connected
+//! topologies. The placement protocol's correctness leans on these
+//! invariants (symmetric distances, consistent destination-based paths),
+//! so they are pinned down here rather than assumed.
+
+use proptest::prelude::*;
+use radar_simnet::{NodeId, Region, Topology};
+
+/// A random connected topology: a random spanning tree (each node i>0
+/// attaches to a random earlier node) plus arbitrary extra edges.
+#[derive(Debug, Clone)]
+struct RandomTopology {
+    /// `parents[i]` ∈ [0, i+1) is the tree parent of node `i+1`.
+    parents: Vec<usize>,
+    /// Extra edges as (a, b) index pairs (deduplicated, self-loops
+    /// skipped).
+    extras: Vec<(usize, usize)>,
+}
+
+impl RandomTopology {
+    fn build(&self) -> Topology {
+        let n = self.parents.len() + 1;
+        let mut b = Topology::builder();
+        let nodes: Vec<NodeId> = (0..n)
+            .map(|i| b.add_node(format!("r{i}"), Region::ALL[i % 4]))
+            .collect();
+        let mut edges = std::collections::BTreeSet::new();
+        for (i, &p) in self.parents.iter().enumerate() {
+            let child = i + 1;
+            let parent = p % child;
+            edges.insert((parent.min(child), parent.max(child)));
+        }
+        for &(a, b_) in &self.extras {
+            let (a, b_) = (a % n, b_ % n);
+            if a != b_ {
+                edges.insert((a.min(b_), a.max(b_)));
+            }
+        }
+        for (a, c) in edges {
+            b.add_link(nodes[a], nodes[c]);
+        }
+        b.build().expect("spanning tree guarantees connectivity")
+    }
+}
+
+fn random_topology() -> impl Strategy<Value = RandomTopology> {
+    (2usize..24)
+        .prop_flat_map(|n| {
+            (
+                proptest::collection::vec(0usize..usize::MAX, n - 1),
+                proptest::collection::vec((0usize..n, 0usize..n), 0..12),
+            )
+        })
+        .prop_map(|(parents, extras)| RandomTopology { parents, extras })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn distances_symmetric_and_metric(t in random_topology()) {
+        let topo = t.build();
+        let r = topo.routes();
+        for a in topo.nodes() {
+            prop_assert_eq!(r.distance(a, a), 0);
+            for b in topo.nodes() {
+                prop_assert_eq!(r.distance(a, b), r.distance(b, a));
+                // Triangle inequality through every intermediate node.
+                for c in topo.nodes() {
+                    prop_assert!(
+                        r.distance(a, b) <= r.distance(a, c) + r.distance(c, b)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paths_are_valid_shortest_walks(t in random_topology()) {
+        let topo = t.build();
+        let r = topo.routes();
+        for a in topo.nodes() {
+            for b in topo.nodes() {
+                let path = r.path(a, b);
+                prop_assert_eq!(path.len() as u32, r.distance(a, b) + 1);
+                prop_assert_eq!(*path.first().unwrap(), a);
+                prop_assert_eq!(*path.last().unwrap(), b);
+                for w in path.windows(2) {
+                    prop_assert!(topo.neighbors(w[0]).contains(&w[1]));
+                }
+                // No node repeats on a shortest path.
+                let distinct: std::collections::BTreeSet<_> = path.iter().collect();
+                prop_assert_eq!(distinct.len(), path.len());
+            }
+        }
+    }
+
+    #[test]
+    fn destination_based_forwarding_is_consistent(t in random_topology()) {
+        // If v lies on u's path to d, v's own path to d is the suffix —
+        // the property that makes "one path for all requests from i to
+        // j" true for transit traffic too.
+        let topo = t.build();
+        let r = topo.routes();
+        for u in topo.nodes() {
+            for d in topo.nodes() {
+                let p = r.path(u, d);
+                for (i, &v) in p.iter().enumerate() {
+                    prop_assert_eq!(r.path(v, d), p[i..].to_vec());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn closest_to_minimizes_distance(t in random_topology()) {
+        let topo = t.build();
+        let r = topo.routes();
+        let candidates: Vec<NodeId> = topo.nodes().step_by(2).collect();
+        for target in topo.nodes() {
+            let chosen = r.closest_to(target, candidates.iter().copied()).unwrap();
+            let best = candidates.iter().map(|&c| r.distance(c, target)).min().unwrap();
+            prop_assert_eq!(r.distance(chosen, target), best);
+        }
+    }
+
+    #[test]
+    fn centroid_heads_centrality_ranking(t in random_topology()) {
+        let topo = t.build();
+        let r = topo.routes();
+        let ranking = r.nodes_by_centrality();
+        prop_assert_eq!(ranking.len(), topo.len());
+        prop_assert_eq!(ranking[0], r.centroid());
+        // Ranking is a permutation of the nodes.
+        let distinct: std::collections::BTreeSet<_> = ranking.iter().collect();
+        prop_assert_eq!(distinct.len(), topo.len());
+    }
+
+    #[test]
+    fn diameter_is_max_distance(t in random_topology()) {
+        let topo = t.build();
+        let r = topo.routes();
+        let max = topo
+            .nodes()
+            .flat_map(|a| topo.nodes().map(move |b| (a, b)))
+            .map(|(a, b)| r.distance(a, b))
+            .max()
+            .unwrap();
+        prop_assert_eq!(r.diameter(), max);
+    }
+}

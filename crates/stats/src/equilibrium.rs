@@ -1,0 +1,197 @@
+//! Equilibrium detection and the paper's adjustment-time metric (Table 2).
+
+use serde::{Deserialize, Serialize};
+
+use crate::TimeSeries;
+
+/// Parameters for equilibrium / adjustment-time detection.
+///
+/// The paper computes adjustment time as "the time it takes to reach a
+/// bandwidth consumption that is 10% above the average equilibrium
+/// bandwidth consumption" (Table 2). Equilibrium is estimated as the mean
+/// of the trailing `tail_fraction` of the series (the paper runs the
+/// simulation long enough for the tail to be flat).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EquilibriumSpec {
+    /// Fraction of the series (from the end) used to estimate the
+    /// equilibrium mean. Default 0.25.
+    pub tail_fraction: f64,
+    /// Allowed excess above equilibrium: a bin is "adjusted" when its
+    /// value ≤ (1 + margin) × equilibrium mean. Default 0.10 per the paper.
+    pub margin: f64,
+}
+
+impl Default for EquilibriumSpec {
+    fn default() -> Self {
+        Self {
+            tail_fraction: 0.25,
+            margin: 0.10,
+        }
+    }
+}
+
+/// Result of an adjustment-time computation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdjustmentOutcome {
+    /// Simulation time (seconds, bin start) from which the series stays at
+    /// or below the threshold for the remainder of the run.
+    pub adjustment_time: f64,
+    /// Mean of the tail window used as the equilibrium level.
+    pub equilibrium: f64,
+    /// The threshold `(1 + margin) × equilibrium` the series had to reach.
+    pub threshold: f64,
+}
+
+/// Mean of the trailing `tail_fraction` of the series' bin sums.
+///
+/// Returns `None` for an empty series. At least one bin is always
+/// included, even for tiny `tail_fraction`.
+///
+/// # Examples
+///
+/// ```
+/// use radar_stats::{equilibrium_mean, BinSpec, TimeSeries};
+/// let mut ts = TimeSeries::new(BinSpec::new(1.0));
+/// for (t, v) in [(0.0, 100.0), (1.0, 50.0), (2.0, 10.0), (3.0, 10.0)] {
+///     ts.record(t, v);
+/// }
+/// assert_eq!(equilibrium_mean(&ts, 0.5), Some(10.0));
+/// ```
+pub fn equilibrium_mean(series: &TimeSeries, tail_fraction: f64) -> Option<f64> {
+    let n = series.len();
+    if n == 0 {
+        return None;
+    }
+    let tail_fraction = tail_fraction.clamp(0.0, 1.0);
+    let tail_len = ((n as f64 * tail_fraction).round() as usize).clamp(1, n);
+    let start = n - tail_len;
+    let sum: f64 = series.sums()[start..].iter().sum();
+    Some(sum / tail_len as f64)
+}
+
+/// Computes the paper's Table 2 adjustment time for a bandwidth series.
+///
+/// Finds the first bin *after which every bin* stays at or below
+/// `(1 + margin) × equilibrium`, and reports that bin's start time. This
+/// "stays below" reading avoids declaring adjustment on a transient dip,
+/// which matters for series that oscillate while replicas are still being
+/// shuffled.
+///
+/// Returns `None` if the series is empty or never settles below the
+/// threshold.
+///
+/// # Examples
+///
+/// ```
+/// use radar_stats::{adjustment_time, BinSpec, EquilibriumSpec, TimeSeries};
+/// let mut ts = TimeSeries::new(BinSpec::new(100.0));
+/// let values = [100.0, 80.0, 40.0, 11.0, 10.0, 10.0, 10.0, 10.0];
+/// for (i, v) in values.iter().enumerate() {
+///     ts.record(i as f64 * 100.0, *v);
+/// }
+/// let out = adjustment_time(&ts, EquilibriumSpec::default()).unwrap();
+/// assert_eq!(out.adjustment_time, 300.0); // bin with value 11.0 <= 1.1*10
+/// ```
+pub fn adjustment_time(series: &TimeSeries, spec: EquilibriumSpec) -> Option<AdjustmentOutcome> {
+    let equilibrium = equilibrium_mean(series, spec.tail_fraction)?;
+    let threshold = (1.0 + spec.margin) * equilibrium;
+    let sums = series.sums();
+    // Walk backwards to find the last bin exceeding the threshold; the
+    // adjustment point is the bin after it.
+    let mut settled_from = 0usize;
+    for (i, &v) in sums.iter().enumerate() {
+        if v > threshold {
+            settled_from = i + 1;
+        }
+    }
+    if settled_from >= sums.len() {
+        return None;
+    }
+    Some(AdjustmentOutcome {
+        adjustment_time: series.spec().bin_start(settled_from),
+        equilibrium,
+        threshold,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BinSpec;
+
+    fn series_of(values: &[f64], width: f64) -> TimeSeries {
+        let mut ts = TimeSeries::new(BinSpec::new(width));
+        for (i, &v) in values.iter().enumerate() {
+            ts.record(i as f64 * width, v);
+        }
+        ts
+    }
+
+    #[test]
+    fn equilibrium_mean_of_empty_is_none() {
+        let ts = TimeSeries::new(BinSpec::new(1.0));
+        assert_eq!(equilibrium_mean(&ts, 0.25), None);
+    }
+
+    #[test]
+    fn equilibrium_mean_uses_tail_only() {
+        let ts = series_of(&[100.0, 100.0, 4.0, 6.0], 1.0);
+        assert_eq!(equilibrium_mean(&ts, 0.5), Some(5.0));
+    }
+
+    #[test]
+    fn equilibrium_mean_includes_at_least_one_bin() {
+        let ts = series_of(&[1.0, 2.0, 3.0], 1.0);
+        assert_eq!(equilibrium_mean(&ts, 0.0001), Some(3.0));
+    }
+
+    #[test]
+    fn adjustment_immediately_settled_is_time_zero() {
+        let ts = series_of(&[10.0, 10.0, 10.0, 10.0], 100.0);
+        let out = adjustment_time(&ts, EquilibriumSpec::default()).unwrap();
+        assert_eq!(out.adjustment_time, 0.0);
+        assert_eq!(out.equilibrium, 10.0);
+    }
+
+    #[test]
+    fn adjustment_ignores_transient_dip() {
+        // Dips below threshold at bin 1 but bounces back above at bin 2;
+        // true settling is bin 3.
+        let ts = series_of(&[100.0, 10.0, 50.0, 10.0, 10.0, 10.0, 10.0, 10.0], 100.0);
+        let out = adjustment_time(&ts, EquilibriumSpec::default()).unwrap();
+        assert_eq!(out.adjustment_time, 300.0);
+    }
+
+    #[test]
+    fn never_settles_returns_none() {
+        // Last bin spikes above threshold => never settles.
+        let ts = series_of(&[10.0, 10.0, 10.0, 100.0], 100.0);
+        let spec = EquilibriumSpec {
+            tail_fraction: 0.5,
+            margin: 0.10,
+        };
+        assert_eq!(adjustment_time(&ts, spec), None);
+    }
+
+    #[test]
+    fn empty_series_returns_none() {
+        let ts = TimeSeries::new(BinSpec::new(1.0));
+        assert_eq!(adjustment_time(&ts, EquilibriumSpec::default()), None);
+    }
+
+    #[test]
+    fn threshold_is_margin_above_equilibrium() {
+        let ts = series_of(&[50.0, 20.0, 20.0, 20.0], 10.0);
+        let out = adjustment_time(
+            &ts,
+            EquilibriumSpec {
+                tail_fraction: 0.5,
+                margin: 0.2,
+            },
+        )
+        .unwrap();
+        assert_eq!(out.equilibrium, 20.0);
+        assert!((out.threshold - 24.0).abs() < 1e-12);
+        assert_eq!(out.adjustment_time, 10.0);
+    }
+}

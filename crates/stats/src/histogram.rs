@@ -1,0 +1,169 @@
+//! Fixed-bucket histogram with an overflow bucket.
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram over `[0, bucket_width × buckets)` with uniform buckets and
+/// a final overflow bucket for samples at or beyond the upper bound.
+///
+/// Suited to latency distributions: the paper's hot-sites workload
+/// exhibits an initial latency spike in the tens of seconds, which the
+/// overflow bucket captures without unbounded memory.
+///
+/// # Examples
+///
+/// ```
+/// use radar_stats::Histogram;
+/// let mut h = Histogram::new(0.1, 10); // 10 buckets of 100 ms
+/// h.record(0.05);
+/// h.record(0.95);
+/// h.record(42.0); // overflow
+/// assert_eq!(h.bucket_count(0), 1);
+/// assert_eq!(h.bucket_count(9), 1);
+/// assert_eq!(h.overflow(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    bucket_width: f64,
+    counts: Vec<u64>,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `buckets` uniform buckets of `bucket_width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_width` is not strictly positive and finite, or if
+    /// `buckets` is zero.
+    pub fn new(bucket_width: f64, buckets: usize) -> Self {
+        assert!(
+            bucket_width.is_finite() && bucket_width > 0.0,
+            "bucket width must be positive and finite, got {bucket_width}"
+        );
+        assert!(buckets > 0, "histogram needs at least one bucket");
+        Self {
+            bucket_width,
+            counts: vec![0; buckets],
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    /// Records one sample. Negative samples clamp into bucket 0.
+    pub fn record(&mut self, value: f64) {
+        self.total += 1;
+        let idx = if value <= 0.0 {
+            0
+        } else {
+            (value / self.bucket_width).floor() as usize
+        };
+        if idx >= self.counts.len() {
+            self.overflow += 1;
+        } else {
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Count in bucket `i` (`[i*w, (i+1)*w)`).
+    pub fn bucket_count(&self, i: usize) -> u64 {
+        self.counts.get(i).copied().unwrap_or(0)
+    }
+
+    /// Number of samples at or beyond the last bucket's upper bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total samples recorded (including overflow).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of uniform buckets (excluding the overflow bucket).
+    pub fn buckets(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Width of each uniform bucket.
+    pub fn bucket_width(&self) -> f64 {
+        self.bucket_width
+    }
+
+    /// Approximate quantile `q ∈ [0, 1]` by linear scan; returns the upper
+    /// edge of the bucket containing the q-th sample, or `None` if the
+    /// histogram is empty. Samples in the overflow bucket report
+    /// `f64::INFINITY`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some((i as f64 + 1.0) * self.bucket_width);
+            }
+        }
+        Some(f64::INFINITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_into_correct_buckets() {
+        let mut h = Histogram::new(1.0, 4);
+        h.record(0.0);
+        h.record(0.99);
+        h.record(1.0);
+        h.record(3.5);
+        h.record(4.0); // exactly at bound -> overflow
+        assert_eq!(h.bucket_count(0), 2);
+        assert_eq!(h.bucket_count(1), 1);
+        assert_eq!(h.bucket_count(3), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn negative_clamps_to_first_bucket() {
+        let mut h = Histogram::new(1.0, 2);
+        h.record(-5.0);
+        assert_eq!(h.bucket_count(0), 1);
+    }
+
+    #[test]
+    fn quantiles() {
+        let mut h = Histogram::new(1.0, 10);
+        for i in 0..10 {
+            h.record(i as f64 + 0.5);
+        }
+        assert_eq!(h.quantile(0.1), Some(1.0));
+        assert_eq!(h.quantile(0.5), Some(5.0));
+        assert_eq!(h.quantile(1.0), Some(10.0));
+    }
+
+    #[test]
+    fn quantile_of_empty_is_none() {
+        let h = Histogram::new(1.0, 2);
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn quantile_overflow_is_infinite() {
+        let mut h = Histogram::new(1.0, 1);
+        h.record(100.0);
+        assert_eq!(h.quantile(0.5), Some(f64::INFINITY));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bucket")]
+    fn zero_buckets_rejected() {
+        let _ = Histogram::new(1.0, 0);
+    }
+}

@@ -1,0 +1,267 @@
+//! Streaming quantile estimation (the P² algorithm).
+
+use serde::{Deserialize, Serialize};
+
+/// A streaming estimator of a single quantile using the P² algorithm
+/// (Jain & Chlamtac, 1985): five markers track the running quantile in
+/// O(1) memory and O(1) time per sample, with no buffering — suitable
+/// for the simulator's tens of millions of latency samples.
+///
+/// Estimates are approximate; accuracy improves with sample count and is
+/// excellent for central quantiles and good for tail quantiles on
+/// smooth distributions.
+///
+/// # Examples
+///
+/// ```
+/// use radar_stats::P2Quantile;
+/// let mut p90 = P2Quantile::new(0.9);
+/// for i in 1..=1000 {
+///     p90.record(i as f64);
+/// }
+/// let est = p90.estimate().unwrap();
+/// assert!((est - 900.0).abs() < 20.0, "{est}");
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct P2Quantile {
+    q: f64,
+    /// Marker heights (estimates of the quantile positions).
+    heights: [f64; 5],
+    /// Actual marker positions (1-based sample ranks).
+    positions: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Desired position increments per sample.
+    increments: [f64; 5],
+    /// Samples seen so far (during warm-up, `heights[..count]` is a
+    /// sorted buffer).
+    count: usize,
+}
+
+impl P2Quantile {
+    /// Creates an estimator for quantile `q` (clamped to `(0, 1)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not strictly between 0 and 1.
+    pub fn new(q: f64) -> Self {
+        assert!(
+            q > 0.0 && q < 1.0,
+            "quantile must be strictly between 0 and 1, got {q}"
+        );
+        Self {
+            q,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            increments: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            count: 0,
+        }
+    }
+
+    /// The target quantile.
+    pub fn quantile(&self) -> f64 {
+        self.q
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Adds one sample.
+    pub fn record(&mut self, value: f64) {
+        if self.count < 5 {
+            // Warm-up: insert into the sorted prefix.
+            let mut i = self.count;
+            self.heights[i] = value;
+            while i > 0 && self.heights[i - 1] > self.heights[i] {
+                self.heights.swap(i - 1, i);
+                i -= 1;
+            }
+            self.count += 1;
+            return;
+        }
+        self.count += 1;
+
+        // Find the cell containing the new observation and bump the end
+        // markers if it falls outside the current range.
+        let k = if value < self.heights[0] {
+            self.heights[0] = value;
+            0
+        } else if value >= self.heights[4] {
+            self.heights[4] = value;
+            3
+        } else {
+            // heights[k] <= value < heights[k+1]
+            (1..4).rfind(|&i| self.heights[i] <= value).unwrap_or(0)
+        };
+        for p in &mut self.positions[k + 1..] {
+            *p += 1.0;
+        }
+        for (d, inc) in self.desired.iter_mut().zip(self.increments) {
+            *d += inc;
+        }
+
+        // Adjust the three interior markers toward their desired
+        // positions, using parabolic interpolation when it keeps the
+        // heights monotone, linear otherwise.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let right = self.positions[i + 1] - self.positions[i];
+            let left = self.positions[i - 1] - self.positions[i];
+            if (d >= 1.0 && right > 1.0) || (d <= -1.0 && left < -1.0) {
+                let d = d.signum();
+                let candidate = self.parabolic(i, d);
+                let new_height =
+                    if self.heights[i - 1] < candidate && candidate < self.heights[i + 1] {
+                        candidate
+                    } else {
+                        self.linear(i, d)
+                    };
+                self.heights[i] = new_height;
+                self.positions[i] += d;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let (qm, q0, qp) = (self.heights[i - 1], self.heights[i], self.heights[i + 1]);
+        let (nm, n0, np) = (
+            self.positions[i - 1],
+            self.positions[i],
+            self.positions[i + 1],
+        );
+        q0 + d / (np - nm)
+            * ((n0 - nm + d) * (qp - q0) / (np - n0) + (np - n0 - d) * (q0 - qm) / (n0 - nm))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        self.heights[i]
+            + d * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
+    }
+
+    /// The current quantile estimate, or `None` before any samples.
+    /// With fewer than five samples the estimate is read from the exact
+    /// sorted buffer.
+    pub fn estimate(&self) -> Option<f64> {
+        match self.count {
+            0 => None,
+            n if n < 5 => {
+                let rank = (self.q * n as f64).ceil().max(1.0) as usize - 1;
+                Some(self.heights[rank.min(n - 1)])
+            }
+            _ => Some(self.heights[2]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deterministic pseudo-random stream (SplitMix64 → uniform f64).
+    fn uniform_stream(seed: u64, n: usize) -> Vec<f64> {
+        let mut s = seed;
+        (0..n)
+            .map(|_| {
+                s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = s;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                (z ^ (z >> 31)) as f64 / u64::MAX as f64
+            })
+            .collect()
+    }
+
+    fn exact_quantile(mut xs: Vec<f64>, q: f64) -> f64 {
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let rank = (q * xs.len() as f64).ceil().max(1.0) as usize - 1;
+        xs[rank.min(xs.len() - 1)]
+    }
+
+    #[test]
+    fn empty_estimator_is_none() {
+        assert_eq!(P2Quantile::new(0.5).estimate(), None);
+    }
+
+    #[test]
+    fn small_samples_are_exact() {
+        let mut p = P2Quantile::new(0.5);
+        for v in [5.0, 1.0, 3.0] {
+            p.record(v);
+        }
+        assert_eq!(p.estimate(), Some(3.0));
+        assert_eq!(p.count(), 3);
+    }
+
+    #[test]
+    fn median_of_uniform_stream() {
+        let xs = uniform_stream(1, 50_000);
+        let mut p = P2Quantile::new(0.5);
+        for &v in &xs {
+            p.record(v);
+        }
+        let est = p.estimate().unwrap();
+        assert!((est - 0.5).abs() < 0.01, "median {est}");
+    }
+
+    #[test]
+    fn tail_quantiles_of_uniform_stream() {
+        for q in [0.9, 0.99] {
+            let xs = uniform_stream(7, 100_000);
+            let mut p = P2Quantile::new(q);
+            for &v in &xs {
+                p.record(v);
+            }
+            let est = p.estimate().unwrap();
+            let exact = exact_quantile(xs, q);
+            assert!(
+                (est - exact).abs() < 0.01,
+                "q={q}: estimate {est} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn skewed_distribution() {
+        // Exponential-ish: -ln(u). P² should track the p90 decently.
+        let xs: Vec<f64> = uniform_stream(3, 80_000)
+            .into_iter()
+            .map(|u| -(1.0 - u).ln())
+            .collect();
+        let mut p = P2Quantile::new(0.9);
+        for &v in &xs {
+            p.record(v);
+        }
+        let est = p.estimate().unwrap();
+        let exact = exact_quantile(xs, 0.9);
+        assert!(
+            (est - exact).abs() / exact < 0.05,
+            "estimate {est} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn sorted_and_reverse_sorted_input() {
+        for reverse in [false, true] {
+            let mut xs: Vec<f64> = (0..10_000).map(|i| i as f64).collect();
+            if reverse {
+                xs.reverse();
+            }
+            let mut p = P2Quantile::new(0.25);
+            for &v in &xs {
+                p.record(v);
+            }
+            let est = p.estimate().unwrap();
+            assert!((est - 2_500.0).abs() < 150.0, "reverse={reverse}: {est}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly between 0 and 1")]
+    fn out_of_range_quantile_rejected() {
+        let _ = P2Quantile::new(1.0);
+    }
+}

@@ -1,0 +1,233 @@
+//! Streaming scalar summaries (Welford's online algorithm).
+
+use serde::{Deserialize, Serialize};
+
+/// A numerically stable streaming summary of a scalar sample stream:
+/// count, mean, variance, min, and max.
+///
+/// Uses Welford's online algorithm so that long simulations (tens of
+/// millions of latency samples) do not lose precision the way a naive
+/// sum-of-squares would.
+///
+/// # Examples
+///
+/// ```
+/// use radar_stats::OnlineSummary;
+/// let mut s = OnlineSummary::new();
+/// for v in [2.0, 4.0, 6.0] {
+///     s.record(v);
+/// }
+/// assert_eq!(s.mean(), Some(4.0));
+/// assert_eq!(s.min(), Some(2.0));
+/// assert_eq!(s.max(), Some(6.0));
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct OnlineSummary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineSummary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one sample.
+    pub fn record(&mut self, value: f64) {
+        self.count += 1;
+        let delta = value - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = value - self.mean;
+        self.m2 += delta * delta2;
+        if value < self.min {
+            self.min = value;
+        }
+        if value > self.max {
+            self.max = value;
+        }
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the samples, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.mean)
+    }
+
+    /// Population variance of the samples, or `None` if empty.
+    pub fn variance(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.m2 / self.count as f64)
+    }
+
+    /// Population standard deviation, or `None` if empty.
+    pub fn std_dev(&self) -> Option<f64> {
+        self.variance().map(f64::sqrt)
+    }
+
+    /// Smallest sample, or `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, or `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Merges another summary into this one (parallel-combining rule).
+    pub fn merge(&mut self, other: &OnlineSummary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.count = total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Takes an immutable snapshot suitable for reporting/serialization.
+    pub fn snapshot(&self) -> Summary {
+        Summary {
+            count: self.count,
+            mean: self.mean().unwrap_or(0.0),
+            std_dev: self.std_dev().unwrap_or(0.0),
+            min: self.min().unwrap_or(0.0),
+            max: self.max().unwrap_or(0.0),
+        }
+    }
+}
+
+/// An immutable snapshot of an [`OnlineSummary`], with empty-stream values
+/// reported as zero. Primarily for report tables and serialization.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: u64,
+    /// Mean of the samples (0 if empty).
+    pub mean: f64,
+    /// Population standard deviation (0 if empty).
+    pub std_dev: f64,
+    /// Minimum sample (0 if empty).
+    pub min: f64,
+    /// Maximum sample (0 if empty).
+    pub max: f64,
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.4} sd={:.4} min={:.4} max={:.4}",
+            self.count, self.mean, self.std_dev, self.min, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_is_none() {
+        let s = OnlineSummary::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.variance(), None);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn single_sample() {
+        let mut s = OnlineSummary::new();
+        s.record(5.0);
+        assert_eq!(s.mean(), Some(5.0));
+        assert_eq!(s.variance(), Some(0.0));
+        assert_eq!(s.min(), Some(5.0));
+        assert_eq!(s.max(), Some(5.0));
+    }
+
+    #[test]
+    fn mean_and_variance_match_direct_computation() {
+        let samples = [1.0, 2.0, 3.0, 4.0, 10.0];
+        let mut s = OnlineSummary::new();
+        for &v in &samples {
+            s.record(v);
+        }
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+        assert!((s.mean().unwrap() - mean).abs() < 1e-12);
+        assert!((s.variance().unwrap() - var).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs = [1.0, 5.0, 2.0];
+        let ys = [8.0, 0.5, 3.0, 9.0];
+        let mut seq = OnlineSummary::new();
+        for &v in xs.iter().chain(&ys) {
+            seq.record(v);
+        }
+        let mut a = OnlineSummary::new();
+        for &v in &xs {
+            a.record(v);
+        }
+        let mut b = OnlineSummary::new();
+        for &v in &ys {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), seq.count());
+        assert!((a.mean().unwrap() - seq.mean().unwrap()).abs() < 1e-12);
+        assert!((a.variance().unwrap() - seq.variance().unwrap()).abs() < 1e-12);
+        assert_eq!(a.min(), seq.min());
+        assert_eq!(a.max(), seq.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = OnlineSummary::new();
+        a.record(3.0);
+        let before = a;
+        a.merge(&OnlineSummary::new());
+        assert_eq!(a, before);
+
+        let mut empty = OnlineSummary::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn snapshot_display() {
+        let mut s = OnlineSummary::new();
+        s.record(1.0);
+        s.record(3.0);
+        let snap = s.snapshot();
+        assert_eq!(snap.count, 2);
+        assert_eq!(snap.mean, 2.0);
+        let text = snap.to_string();
+        assert!(text.contains("n=2"), "display was {text}");
+    }
+}

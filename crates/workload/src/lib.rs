@@ -1,0 +1,76 @@
+//! Synthetic workload generators for the RaDaR evaluation (paper §6.1).
+//!
+//! The paper drives its simulation with four object-popularity models,
+//! all reproduced here behind the [`Workload`] trait:
+//!
+//! * [`ZipfReeds`] — Zipf's law via Jim Reeds' closed-form approximation
+//!   (`⌊e^{u·ln n}⌉`), "within 15% of the actual Zipf's law";
+//! * [`HotSites`] — 10% of *sites* are hot and draw 90% of requests,
+//!   modeling whole Web sites varying in popularity (requests address the
+//!   objects initially assigned to those sites);
+//! * [`HotPages`] — 10% of *pages* are hot and draw 90% of requests;
+//! * [`Regional`] — each of the four backbone regions prefers its own
+//!   contiguous 1% slice of the object space with probability 90%.
+//!
+//! Plus the compositors the evaluation harness needs: [`Uniform`],
+//! [`Mixture`] (probabilistic blend), and [`DemandShift`] (switch
+//! workloads at a point in simulated time, for responsiveness
+//! experiments).
+//!
+//! [`ArrivalProcess`] models when requests enter a gateway: the paper
+//! uses constant-rate arrivals ("each backbone node generates client
+//! requests at a constant rate"); a Poisson option is provided for
+//! robustness studies.
+//!
+//! # Examples
+//!
+//! ```
+//! use radar_simcore::SimRng;
+//! use radar_simnet::NodeId;
+//! use radar_workload::{Workload, ZipfReeds};
+//!
+//! let mut rng = SimRng::seed_from(1);
+//! let mut zipf = ZipfReeds::new(10_000);
+//! let object = zipf.choose(0.0, NodeId::new(3), &mut rng);
+//! assert!(object.index() < 10_000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod arrival;
+mod popularity;
+mod weighted;
+
+pub use arrival::ArrivalProcess;
+pub use popularity::{DemandShift, HotPages, HotSites, Mixture, Regional, Uniform, ZipfReeds};
+pub use weighted::{PerGatewayWeighted, Weighted, WeightedError};
+
+use radar_core::ObjectId;
+use radar_simcore::SimRng;
+use radar_simnet::NodeId;
+
+/// A source of object-popularity decisions: given the current time and
+/// the gateway a request enters through, pick the requested object.
+///
+/// Implementations must be deterministic functions of `(now, gateway)`
+/// and the bits drawn from `rng`, so experiments replay exactly from a
+/// seed.
+pub trait Workload {
+    /// Chooses the object requested by a client entering at `gateway` at
+    /// simulation time `now` (seconds).
+    fn choose(&mut self, now: f64, gateway: NodeId, rng: &mut SimRng) -> ObjectId;
+
+    /// A short human-readable name for reports ("zipf", "hot-sites", …).
+    fn name(&self) -> &str;
+}
+
+impl<W: Workload + ?Sized> Workload for Box<W> {
+    fn choose(&mut self, now: f64, gateway: NodeId, rng: &mut SimRng) -> ObjectId {
+        (**self).choose(now, gateway, rng)
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}

@@ -1,0 +1,316 @@
+//! Arbitrary popularity distributions, e.g. measured from access logs.
+
+use radar_core::ObjectId;
+use radar_simcore::SimRng;
+use radar_simnet::NodeId;
+
+use crate::Workload;
+
+/// A workload drawing objects from an explicit popularity table — the
+/// bridge from measured traces (the paper's companion report runs
+/// trace-driven simulations) to this repository's synthetic harness:
+/// histogram your log into per-object weights and replay the
+/// distribution.
+///
+/// Sampling is O(log n) by binary search over the cumulative weights.
+///
+/// # Examples
+///
+/// ```
+/// use radar_simcore::SimRng;
+/// use radar_simnet::NodeId;
+/// use radar_workload::{Weighted, Workload};
+///
+/// // Object 2 is ten times as popular as objects 0 and 1.
+/// let mut w = Weighted::new(vec![1.0, 1.0, 10.0])?;
+/// let mut rng = SimRng::seed_from(1);
+/// let draws: Vec<_> = (0..100).map(|_| w.choose(0.0, NodeId::new(0), &mut rng)).collect();
+/// assert!(draws.iter().filter(|o| o.index() == 2).count() > 50);
+/// # Ok::<(), radar_workload::WeightedError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Weighted {
+    cumulative: Vec<f64>,
+    total: f64,
+}
+
+/// Why a weight table was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WeightedError {
+    /// The table was empty.
+    Empty,
+    /// A weight was negative, NaN, or infinite.
+    BadWeight {
+        /// Index of the offending weight.
+        index: usize,
+        /// The rejected value.
+        value: f64,
+    },
+    /// All weights were zero.
+    AllZero,
+}
+
+impl std::fmt::Display for WeightedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WeightedError::Empty => f.write_str("popularity table is empty"),
+            WeightedError::BadWeight { index, value } => {
+                write!(f, "weight {index} is not finite and non-negative: {value}")
+            }
+            WeightedError::AllZero => f.write_str("all weights are zero"),
+        }
+    }
+}
+
+impl std::error::Error for WeightedError {}
+
+impl Weighted {
+    /// Builds the sampler from per-object weights (index = object id).
+    /// Zero weights are allowed (those objects are never drawn) as long
+    /// as at least one weight is positive.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WeightedError`] for an empty table, non-finite or
+    /// negative entries, or an all-zero table.
+    pub fn new(weights: Vec<f64>) -> Result<Self, WeightedError> {
+        if weights.is_empty() {
+            return Err(WeightedError::Empty);
+        }
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut total = 0.0;
+        for (index, &value) in weights.iter().enumerate() {
+            if !(value.is_finite() && value >= 0.0) {
+                return Err(WeightedError::BadWeight { index, value });
+            }
+            total += value;
+            cumulative.push(total);
+        }
+        if total <= 0.0 {
+            return Err(WeightedError::AllZero);
+        }
+        Ok(Self { cumulative, total })
+    }
+
+    /// Builds the sampler from observed access counts.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Weighted::new`].
+    pub fn from_counts(counts: &[u64]) -> Result<Self, WeightedError> {
+        Self::new(counts.iter().map(|&c| c as f64).collect())
+    }
+
+    /// Number of objects in the table.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// `true` if the table is empty (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+}
+
+impl Workload for Weighted {
+    fn choose(&mut self, _now: f64, _gateway: NodeId, rng: &mut SimRng) -> ObjectId {
+        let pick = rng.unit() * self.total;
+        // partition_point: first index whose cumulative weight exceeds
+        // the pick. Zero-weight objects have zero-length intervals and
+        // are skipped naturally.
+        let idx = self.cumulative.partition_point(|&c| c <= pick);
+        ObjectId::new(idx.min(self.cumulative.len() - 1) as u32)
+    }
+
+    fn name(&self) -> &str {
+        "weighted"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn draw_histogram(w: &mut Weighted, n: usize) -> Vec<usize> {
+        let mut rng = SimRng::seed_from(99);
+        let mut hist = vec![0usize; w.len()];
+        for _ in 0..n {
+            hist[w.choose(0.0, NodeId::new(0), &mut rng).index()] += 1;
+        }
+        hist
+    }
+
+    #[test]
+    fn frequencies_match_weights() {
+        let mut w = Weighted::new(vec![1.0, 3.0, 6.0]).unwrap();
+        let hist = draw_histogram(&mut w, 30_000);
+        let f: Vec<f64> = hist.iter().map(|&c| c as f64 / 30_000.0).collect();
+        assert!((f[0] - 0.1).abs() < 0.01, "{f:?}");
+        assert!((f[1] - 0.3).abs() < 0.01, "{f:?}");
+        assert!((f[2] - 0.6).abs() < 0.01, "{f:?}");
+    }
+
+    #[test]
+    fn zero_weight_objects_never_drawn() {
+        let mut w = Weighted::new(vec![0.0, 1.0, 0.0, 1.0]).unwrap();
+        let hist = draw_histogram(&mut w, 5_000);
+        assert_eq!(hist[0], 0);
+        assert_eq!(hist[2], 0);
+        assert!(hist[1] > 0 && hist[3] > 0);
+    }
+
+    #[test]
+    fn from_counts_works() {
+        let mut w = Weighted::from_counts(&[10, 0, 30]).unwrap();
+        assert_eq!(w.len(), 3);
+        assert!(!w.is_empty());
+        let hist = draw_histogram(&mut w, 8_000);
+        assert_eq!(hist[1], 0);
+        assert!(hist[2] > hist[0] * 2);
+        assert_eq!(w.name(), "weighted");
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert_eq!(Weighted::new(vec![]).unwrap_err(), WeightedError::Empty);
+        assert!(matches!(
+            Weighted::new(vec![1.0, -2.0]).unwrap_err(),
+            WeightedError::BadWeight { index: 1, .. }
+        ));
+        assert!(matches!(
+            Weighted::new(vec![1.0, f64::NAN]).unwrap_err(),
+            WeightedError::BadWeight { index: 1, .. }
+        ));
+        assert_eq!(
+            Weighted::new(vec![0.0, 0.0]).unwrap_err(),
+            WeightedError::AllZero
+        );
+        for e in [
+            WeightedError::Empty,
+            WeightedError::AllZero,
+            WeightedError::BadWeight {
+                index: 0,
+                value: -1.0,
+            },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}
+
+/// Per-gateway popularity tables: each gateway draws from its own
+/// [`Weighted`] distribution — the fully general form of trace-derived
+/// demand (the [`crate::Regional`] workload is the synthetic special
+/// case where each region's gateways share a preferred slice).
+///
+/// # Examples
+///
+/// ```
+/// use radar_simcore::SimRng;
+/// use radar_simnet::NodeId;
+/// use radar_workload::{PerGatewayWeighted, Weighted, Workload};
+///
+/// // Gateway 0 only ever wants object 0; gateway 1 only object 1.
+/// let mut w = PerGatewayWeighted::new(vec![
+///     Weighted::new(vec![1.0, 0.0])?,
+///     Weighted::new(vec![0.0, 1.0])?,
+/// ])?;
+/// let mut rng = SimRng::seed_from(1);
+/// assert_eq!(w.choose(0.0, NodeId::new(0), &mut rng).index(), 0);
+/// assert_eq!(w.choose(0.0, NodeId::new(1), &mut rng).index(), 1);
+/// # Ok::<(), radar_workload::WeightedError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PerGatewayWeighted {
+    tables: Vec<Weighted>,
+}
+
+impl PerGatewayWeighted {
+    /// Builds from one table per gateway (indexed by gateway id). All
+    /// tables must cover the same object space.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WeightedError::Empty`] for an empty table list or
+    /// mismatched object-space sizes (reported as `Empty` on the absent
+    /// dimension — construct tables with [`Weighted::new`] first, which
+    /// validates the weights themselves).
+    pub fn new(tables: Vec<Weighted>) -> Result<Self, WeightedError> {
+        if tables.is_empty() {
+            return Err(WeightedError::Empty);
+        }
+        let len = tables[0].len();
+        if tables.iter().any(|t| t.len() != len) {
+            return Err(WeightedError::Empty);
+        }
+        Ok(Self { tables })
+    }
+
+    /// Builds from per-gateway access-count histograms, e.g. straight
+    /// from a partitioned access log.
+    ///
+    /// # Errors
+    ///
+    /// As for [`PerGatewayWeighted::new`] and [`Weighted::from_counts`].
+    pub fn from_counts(counts: &[Vec<u64>]) -> Result<Self, WeightedError> {
+        let tables = counts
+            .iter()
+            .map(|c| Weighted::from_counts(c))
+            .collect::<Result<Vec<_>, _>>()?;
+        Self::new(tables)
+    }
+
+    /// Number of gateways covered.
+    pub fn gateways(&self) -> usize {
+        self.tables.len()
+    }
+}
+
+impl Workload for PerGatewayWeighted {
+    fn choose(&mut self, now: f64, gateway: NodeId, rng: &mut SimRng) -> ObjectId {
+        // Gateways beyond the table list fall back to the last table, so
+        // a partial log still drives a full platform.
+        let idx = gateway.index().min(self.tables.len() - 1);
+        self.tables[idx].choose(now, gateway, rng)
+    }
+
+    fn name(&self) -> &str {
+        "per-gateway-weighted"
+    }
+}
+
+#[cfg(test)]
+mod per_gateway_tests {
+    use super::*;
+
+    #[test]
+    fn gateways_draw_from_their_own_tables() {
+        let mut w =
+            PerGatewayWeighted::from_counts(&[vec![10, 0, 0], vec![0, 10, 0], vec![0, 0, 10]])
+                .unwrap();
+        assert_eq!(w.gateways(), 3);
+        let mut rng = SimRng::seed_from(4);
+        for g in 0..3u16 {
+            for _ in 0..20 {
+                assert_eq!(w.choose(0.0, NodeId::new(g), &mut rng).index(), g as usize);
+            }
+        }
+        // Out-of-range gateways use the last table.
+        assert_eq!(w.choose(0.0, NodeId::new(50), &mut rng).index(), 2);
+    }
+
+    #[test]
+    fn validation() {
+        assert_eq!(
+            PerGatewayWeighted::new(vec![]).unwrap_err(),
+            WeightedError::Empty
+        );
+        let mismatched = PerGatewayWeighted::new(vec![
+            Weighted::new(vec![1.0]).unwrap(),
+            Weighted::new(vec![1.0, 1.0]).unwrap(),
+        ]);
+        assert!(mismatched.is_err());
+        // Weight errors surface from from_counts.
+        assert!(PerGatewayWeighted::from_counts(&[vec![0, 0]]).is_err());
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests of the workload generators: every generator must stay
+//! within the object space, honor its declared mixture proportions, and
+//! be a pure function of its seed.
+
+use proptest::prelude::*;
+use radar_simcore::SimRng;
+use radar_simnet::{builders, NodeId};
+use radar_workload::{
+    ArrivalProcess, DemandShift, HotPages, HotSites, Mixture, Regional, Uniform, Weighted,
+    Workload, ZipfReeds,
+};
+
+fn draws(w: &mut dyn Workload, seed: u64, n: usize, gateway: u16) -> Vec<usize> {
+    let mut rng = SimRng::seed_from(seed);
+    (0..n)
+        .map(|i| w.choose(i as f64, NodeId::new(gateway), &mut rng).index())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn all_generators_stay_in_range(
+        objects in 4u32..500,
+        seed in any::<u64>(),
+        gateway in 0u16..53,
+    ) {
+        let mut rng = SimRng::seed_from(seed);
+        let topo = builders::uunet();
+        let mut all: Vec<Box<dyn Workload + Send>> = vec![
+            Box::new(ZipfReeds::new(objects)),
+            Box::new(Uniform::new(objects)),
+            Box::new(HotSites::new(objects, 53, 0.1, 0.9, &mut rng)),
+            Box::new(HotPages::new(objects, 0.25, 0.9, &mut rng)),
+            Box::new(Weighted::new((0..objects).map(|i| (i + 1) as f64).collect()).unwrap()),
+        ];
+        if objects >= 4 {
+            all.push(Box::new(Regional::new(objects, &topo, 0.2, 0.9)));
+        }
+        for w in &mut all {
+            for idx in draws(w.as_mut(), seed, 300, gateway) {
+                prop_assert!(idx < objects as usize, "{} out of range", w.name());
+            }
+        }
+    }
+
+    #[test]
+    fn generators_are_seed_deterministic(
+        objects in 4u32..200,
+        seed in any::<u64>(),
+    ) {
+        let mut a = ZipfReeds::new(objects);
+        let mut b = ZipfReeds::new(objects);
+        prop_assert_eq!(draws(&mut a, seed, 200, 0), draws(&mut b, seed, 200, 0));
+    }
+
+    #[test]
+    fn mixture_respects_weights(
+        w1 in 1u32..10,
+        w2 in 1u32..10,
+    ) {
+        // Component 1 always draws object 0; component 2 always draws
+        // object 1 (uniform over a shifted singleton via weights).
+        let only = |i: u32, objects: u32| -> Box<dyn Workload + Send> {
+            let mut weights = vec![0.0; objects as usize];
+            weights[i as usize] = 1.0;
+            Box::new(Weighted::new(weights).unwrap())
+        };
+        let mut m = Mixture::new(vec![
+            (w1 as f64, only(0, 2)),
+            (w2 as f64, only(1, 2)),
+        ]);
+        let out = draws(&mut m, 9, 4000, 0);
+        let zeros = out.iter().filter(|&&i| i == 0).count() as f64;
+        let expect = w1 as f64 / (w1 + w2) as f64;
+        prop_assert!(
+            (zeros / 4000.0 - expect).abs() < 0.05,
+            "share {} vs expected {expect}",
+            zeros / 4000.0
+        );
+    }
+
+    #[test]
+    fn demand_shift_boundary_is_exact(at in 1.0f64..1000.0) {
+        let mut w = DemandShift::new(
+            Box::new(Uniform::new(1)),
+            Box::new(Weighted::new(vec![0.0, 1.0]).unwrap()),
+            at,
+        );
+        let mut rng = SimRng::seed_from(3);
+        prop_assert_eq!(w.choose(at - 1e-9, NodeId::new(0), &mut rng).index(), 0);
+        prop_assert_eq!(w.choose(at, NodeId::new(0), &mut rng).index(), 1);
+    }
+
+    #[test]
+    fn deterministic_arrivals_sum_to_rate(rate in 0.5f64..500.0) {
+        let mut rng = SimRng::seed_from(1);
+        let a = ArrivalProcess::Deterministic { rate };
+        let total: f64 = (0..1000).map(|_| a.next_interarrival(&mut rng)).sum();
+        // 1000 gaps at rate r span 1000/r seconds exactly.
+        prop_assert!((total - 1000.0 / rate).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,60 @@
+//! Quickstart: simulate a small RaDaR hosting platform under a Zipf
+//! workload and print what the protocol did.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use radar::sim::{Scenario, Simulation};
+use radar::workload::ZipfReeds;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A scaled-down version of the paper's Table 1 scenario: the 53-node
+    // UUNET-like backbone, 1000 objects of 12 KB, every node a gateway.
+    let scenario = Scenario::builder()
+        .num_objects(1_000)
+        .node_request_rate(10.0)
+        .duration(900.0)
+        .seed(42)
+        .build()?;
+
+    // Object popularity follows Zipf's law (Reeds' closed form).
+    let workload = Box::new(ZipfReeds::new(1_000));
+
+    println!("simulating 900s of a 53-node hosting platform…");
+    let report = Simulation::new(scenario, workload).run();
+
+    println!("\nrequests delivered : {}", report.total_requests);
+    println!(
+        "mean latency       : {:.1} ms (min {:.1}, max {:.1})",
+        report.latency.mean * 1e3,
+        report.latency.min * 1e3,
+        report.latency.max * 1e3
+    );
+    println!(
+        "backbone bandwidth : {:.2} MB·hops/s initially → {:.2} MB·hops/s at equilibrium ({:.1}% less)",
+        report.initial_bandwidth_rate() / 1e6,
+        report.equilibrium_bandwidth_rate() / 1e6,
+        (1.0 - report.equilibrium_bandwidth_rate() / report.initial_bandwidth_rate()) * 100.0
+    );
+    println!(
+        "replicas per object: {:.2} on average at equilibrium",
+        report.equilibrium_avg_replicas()
+    );
+    println!(
+        "protocol activity  : {} geo-migrations, {} geo-replications, {} offload moves, {} drops",
+        report.geo_migrations,
+        report.geo_replications,
+        report.offload_migrations + report.offload_replications,
+        report.drops
+    );
+    let peak_overhead = report
+        .overhead_fractions()
+        .into_iter()
+        .fold(0.0f64, f64::max);
+    println!(
+        "relocation overhead: {:.2}% of total traffic at peak",
+        peak_overhead * 100.0
+    );
+    Ok(())
+}

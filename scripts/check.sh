@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Full repository health check: format, lints, tests, docs, examples.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== rustfmt =="
+cargo fmt --check
+echo "== clippy (workspace, all targets) =="
+cargo clippy --workspace --all-targets -- -D warnings
+echo "== tests (debug) =="
+cargo test --workspace
+echo "== docs =="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+echo "== examples build =="
+cargo build --release --examples
+echo "== benches compile and self-test =="
+cargo bench --workspace -- --test
+echo "ALL CHECKS PASSED"
