@@ -3,30 +3,26 @@
 //! operations a production redirector/host would execute, so their cost
 //! bounds the throughput of a real deployment.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use radar_bench::timing::{black_box, Bench};
 use radar_core::placement::{run_placement, PlacementEnv};
 use radar_core::{CreateObjRequest, CreateObjResponse, HostState, ObjectId, Params, Redirector};
 use radar_simnet::{builders, NodeId, RoutingTable};
 
 /// `ChooseReplica` throughput as the replica set grows.
-fn bench_choose_replica(c: &mut Criterion) {
+fn bench_choose_replica(b: &mut Bench) {
     let topo = builders::uunet();
     let routes = topo.routes();
-    let mut group = c.benchmark_group("choose_replica");
     for replicas in [1u16, 2, 4, 8, 16, 32] {
         let mut redirector = Redirector::new(1, 2.0);
         for i in 0..replicas {
             redirector.install(ObjectId::new(0), NodeId::new(i * 3 % 53));
         }
-        group.bench_with_input(BenchmarkId::from_parameter(replicas), &replicas, |b, _| {
-            let mut gw = 0u16;
-            b.iter(|| {
-                gw = (gw + 7) % 53;
-                black_box(redirector.choose_replica(ObjectId::new(0), NodeId::new(gw), &routes))
-            });
+        let mut gw = 0u16;
+        b.bench(&format!("choose_replica/{replicas}"), || {
+            gw = (gw + 7) % 53;
+            black_box(redirector.choose_replica(ObjectId::new(0), NodeId::new(gw), &routes));
         });
     }
-    group.finish();
 }
 
 /// A placement environment that accepts everything, isolating the
@@ -69,70 +65,65 @@ impl PlacementEnv for AcceptAll {
 
 /// One full `DecidePlacement` run over a host with 200 objects (the
 /// paper-scale per-host object count), including access-count state.
-fn bench_run_placement(c: &mut Criterion) {
+fn bench_run_placement(b: &mut Bench) {
     let topo = builders::uunet();
     let routes = topo.routes();
-    c.bench_function("run_placement/200_objects", |b| {
-        b.iter_batched(
-            || {
-                let mut host = HostState::new(NodeId::new(0), Params::paper());
-                let mut redirector = Redirector::new(200, 2.0);
-                let path: Vec<NodeId> = routes.path(NodeId::new(0), NodeId::new(40));
-                for i in 0..200u32 {
-                    let x = ObjectId::new(i);
-                    host.install_object(x);
-                    redirector.install(x, NodeId::new(0));
-                    for _ in 0..(i % 25) {
-                        host.record_access(x, &path);
-                    }
+    b.bench_batched(
+        "run_placement/200_objects",
+        || {
+            let mut host = HostState::new(NodeId::new(0), Params::paper());
+            let mut redirector = Redirector::new(200, 2.0);
+            let path: Vec<NodeId> = routes.path(NodeId::new(0), NodeId::new(40));
+            for i in 0..200u32 {
+                let x = ObjectId::new(i);
+                host.install_object(x);
+                redirector.install(x, NodeId::new(0));
+                for _ in 0..(i % 25) {
+                    host.record_access(x, &path);
                 }
-                let env = AcceptAll {
-                    routes: topo.routes(),
-                    peer: HostState::new(NodeId::new(1), Params::paper()),
-                    redirector,
-                };
-                (host, env)
-            },
-            |(mut host, mut env)| {
-                black_box(run_placement(&mut host, 100.0, &mut env));
-            },
-            criterion::BatchSize::SmallInput,
-        );
-    });
+            }
+            let env = AcceptAll {
+                routes: topo.routes(),
+                peer: HostState::new(NodeId::new(1), Params::paper()),
+                redirector,
+            };
+            (host, env)
+        },
+        |(mut host, mut env)| {
+            black_box(run_placement(&mut host, 100.0, &mut env));
+        },
+    );
 }
 
 /// All-pairs routing-table construction for the 53-node testbed — the
 /// once-per-experiment cost of ingesting the routing database.
-fn bench_routing_table(c: &mut Criterion) {
+fn bench_routing_table(b: &mut Bench) {
     let topo = builders::uunet();
-    c.bench_function("routing_table/uunet", |b| {
-        b.iter(|| black_box(topo.routes()));
+    b.bench("routing_table/uunet", || {
+        black_box(topo.routes());
     });
 }
 
 /// Host-side request accounting: the per-request cost at a hosting
 /// server (access count along a preference path + serviced tick).
-fn bench_record_request(c: &mut Criterion) {
+fn bench_record_request(b: &mut Bench) {
     let topo = builders::uunet();
     let routes = topo.routes();
     let path = routes.path(NodeId::new(0), NodeId::new(45));
     let mut host = HostState::new(NodeId::new(0), Params::paper());
     host.install_object(ObjectId::new(0));
-    c.bench_function("host_record_request", |b| {
-        let mut t = 0.0;
-        b.iter(|| {
-            t += 0.005;
-            host.record_access(ObjectId::new(0), &path);
-            host.record_serviced(t, ObjectId::new(0));
-        });
+    let mut t = 0.0;
+    b.bench("host_record_request", || {
+        t += 0.005;
+        host.record_access(ObjectId::new(0), &path);
+        host.record_serviced(t, ObjectId::new(0));
     });
 }
 
-criterion_group!(
-    benches,
-    bench_choose_replica,
-    bench_run_placement,
-    bench_routing_table,
-    bench_record_request
-);
-criterion_main!(benches);
+fn main() {
+    let mut b = Bench::from_args();
+    bench_choose_replica(&mut b);
+    bench_run_placement(&mut b);
+    bench_routing_table(&mut b);
+    bench_record_request(&mut b);
+}

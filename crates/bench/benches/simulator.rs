@@ -3,79 +3,69 @@
 //! simulated time a unit of wall time buys, which is what determines the
 //! cost of the paper-scale experiment suite.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use radar_bench::timing::{black_box, Bench};
 use radar_sim::{Scenario, Simulation};
 use radar_simcore::{EventQueue, FifoServer, SimDuration, SimTime};
 use radar_workload::ZipfReeds;
 
 /// Short full-platform runs (60 simulated seconds at paper request
 /// rates) for each workload family.
-fn bench_platform(c: &mut Criterion) {
-    let mut group = c.benchmark_group("platform_60s");
-    group.sample_size(10);
+fn bench_platform(b: &mut Bench) {
     for workload in ["zipf", "hot-pages", "regional"] {
-        group.bench_with_input(BenchmarkId::from_parameter(workload), &workload, |b, &w| {
-            b.iter(|| {
-                let scenario = Scenario::builder()
-                    .num_objects(2_000)
-                    .duration(60.0)
-                    .seed(7)
-                    .build()
-                    .expect("valid scenario");
-                let wl = radar_bench::make_workload(w, 2_000, 7);
-                black_box(Simulation::new(scenario, wl).run())
-            });
+        b.bench(&format!("platform_60s/{workload}"), || {
+            let scenario = Scenario::builder()
+                .num_objects(2_000)
+                .duration(60.0)
+                .seed(7)
+                .build()
+                .expect("valid scenario");
+            let wl = radar_bench::make_workload(workload, 2_000, 7);
+            black_box(Simulation::new(scenario, wl).run());
         });
     }
-    group.finish();
 }
 
 /// Raw event-queue throughput (schedule + pop), the DES inner loop.
-fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("event_queue/schedule_pop_1k", |b| {
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            for i in 0..1_000u64 {
-                q.schedule(SimTime::from_micros(i * 37 % 50_000), i);
-            }
-            let mut acc = 0u64;
-            while let Some((_, v)) = q.pop() {
-                acc = acc.wrapping_add(v);
-            }
-            black_box(acc)
-        });
+fn bench_event_queue(b: &mut Bench) {
+    b.bench("event_queue/schedule_pop_1k", || {
+        let mut q = EventQueue::new();
+        for i in 0..1_000u64 {
+            q.schedule(SimTime::from_micros(i * 37 % 50_000), i);
+        }
+        let mut acc = 0u64;
+        while let Some((_, v)) = q.pop() {
+            acc = acc.wrapping_add(v);
+        }
+        black_box(acc);
     });
 }
 
 /// FIFO-server arithmetic, the per-request service-time computation.
-fn bench_fifo_server(c: &mut Criterion) {
-    c.bench_function("fifo_server/offer", |b| {
-        let mut server = FifoServer::new(SimDuration::from_millis(5.0));
-        let mut t = SimTime::ZERO;
-        b.iter(|| {
-            t += SimDuration::from_micros(4_900);
-            black_box(server.offer(t))
-        });
+fn bench_fifo_server(b: &mut Bench) {
+    let mut server = FifoServer::new(SimDuration::from_millis(5.0));
+    let mut t = SimTime::ZERO;
+    b.bench("fifo_server/offer", || {
+        t += SimDuration::from_micros(4_900);
+        black_box(server.offer(t));
     });
 }
 
 /// Workload sampling cost (the Zipf closed form).
-fn bench_workload_sampling(c: &mut Criterion) {
+fn bench_workload_sampling(b: &mut Bench) {
     use radar_simcore::SimRng;
     use radar_simnet::NodeId;
     use radar_workload::Workload;
-    c.bench_function("workload/zipf_choose", |b| {
-        let mut zipf = ZipfReeds::new(10_000);
-        let mut rng = SimRng::seed_from(3);
-        b.iter(|| black_box(zipf.choose(0.0, NodeId::new(0), &mut rng)));
+    let mut zipf = ZipfReeds::new(10_000);
+    let mut rng = SimRng::seed_from(3);
+    b.bench("workload/zipf_choose", || {
+        black_box(zipf.choose(0.0, NodeId::new(0), &mut rng));
     });
 }
 
-criterion_group!(
-    benches,
-    bench_platform,
-    bench_event_queue,
-    bench_fifo_server,
-    bench_workload_sampling
-);
-criterion_main!(benches);
+fn main() {
+    let mut b = Bench::from_args();
+    bench_platform(&mut b);
+    bench_event_queue(&mut b);
+    bench_fifo_server(&mut b);
+    bench_workload_sampling(&mut b);
+}

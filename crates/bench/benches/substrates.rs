@@ -1,85 +1,72 @@
 //! Micro-benchmarks of the statistics and routing substrates: the
 //! per-sample costs that multiply by tens of millions in a full run.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use radar_bench::timing::{black_box, Bench};
 use radar_simnet::builders;
 use radar_stats::{BinSpec, Histogram, OnlineSummary, P2Quantile, TimeSeries, WindowedRate};
 
-fn bench_timeseries_record(c: &mut Criterion) {
-    c.bench_function("stats/timeseries_record", |b| {
-        let mut ts = TimeSeries::new(BinSpec::new(100.0));
-        let mut t = 0.0;
-        b.iter(|| {
-            t += 0.013;
-            ts.record(t, black_box(12_288.0));
-        });
+fn bench_timeseries_record(b: &mut Bench) {
+    let mut ts = TimeSeries::new(BinSpec::new(100.0));
+    let mut t = 0.0;
+    b.bench("stats/timeseries_record", || {
+        t += 0.013;
+        ts.record(t, black_box(12_288.0));
     });
 }
 
-fn bench_online_summary(c: &mut Criterion) {
-    c.bench_function("stats/online_summary_record", |b| {
-        let mut s = OnlineSummary::new();
-        let mut v = 0.1;
-        b.iter(|| {
-            v = (v * 1.000_1) % 10.0;
-            s.record(black_box(v));
-        });
+fn bench_online_summary(b: &mut Bench) {
+    let mut s = OnlineSummary::new();
+    let mut v = 0.1;
+    b.bench("stats/online_summary_record", || {
+        v = (v * 1.000_1) % 10.0;
+        s.record(black_box(v));
     });
 }
 
-fn bench_p2_quantile(c: &mut Criterion) {
-    c.bench_function("stats/p2_quantile_record", |b| {
-        let mut q = P2Quantile::new(0.99);
-        let mut v = 0.1;
-        b.iter(|| {
-            v = (v * 1.000_7) % 5.0;
-            q.record(black_box(v));
-        });
+fn bench_p2_quantile(b: &mut Bench) {
+    let mut q = P2Quantile::new(0.99);
+    let mut v = 0.1;
+    b.bench("stats/p2_quantile_record", || {
+        v = (v * 1.000_7) % 5.0;
+        q.record(black_box(v));
     });
 }
 
-fn bench_histogram(c: &mut Criterion) {
-    c.bench_function("stats/histogram_record", |b| {
-        let mut h = Histogram::new(0.01, 500);
-        let mut v = 0.0;
-        b.iter(|| {
-            v = (v + 0.003) % 6.0;
-            h.record(black_box(v));
-        });
+fn bench_histogram(b: &mut Bench) {
+    let mut h = Histogram::new(0.01, 500);
+    let mut v = 0.0;
+    b.bench("stats/histogram_record", || {
+        v = (v + 0.003) % 6.0;
+        h.record(black_box(v));
     });
 }
 
-fn bench_windowed_rate(c: &mut Criterion) {
-    c.bench_function("stats/windowed_rate_record", |b| {
-        let mut r = WindowedRate::new(20.0);
-        let mut t = 0.0;
-        b.iter(|| {
-            t += 0.005;
-            r.record(black_box(t));
-        });
+fn bench_windowed_rate(b: &mut Bench) {
+    let mut r = WindowedRate::new(20.0);
+    let mut t = 0.0;
+    b.bench("stats/windowed_rate_record", || {
+        t += 0.005;
+        r.record(black_box(t));
     });
 }
 
 /// Routing-table construction scaling with topology size.
-fn bench_routing_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("routing_table_build");
+fn bench_routing_scaling(b: &mut Bench) {
     for n in [16u16, 53, 128, 256] {
         let mut seed = 11u64;
         let topo = builders::random_connected(n, n * 2, &mut seed);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &topo, |b, topo| {
-            b.iter(|| black_box(topo.routes()));
+        b.bench(&format!("routing_table_build/{n}"), || {
+            black_box(topo.routes());
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_timeseries_record,
-    bench_online_summary,
-    bench_p2_quantile,
-    bench_histogram,
-    bench_windowed_rate,
-    bench_routing_scaling
-);
-criterion_main!(benches);
+fn main() {
+    let mut b = Bench::from_args();
+    bench_timeseries_record(&mut b);
+    bench_online_summary(&mut b);
+    bench_p2_quantile(&mut b);
+    bench_histogram(&mut b);
+    bench_windowed_rate(&mut b);
+    bench_routing_scaling(&mut b);
+}

@@ -1,0 +1,102 @@
+//! Availability under injected faults: host crashes, a network
+//! partition, and link degradation, with the protocol's graceful
+//! degradation (skip dead replicas, fall back to the primary,
+//! re-replicate on declared death) measured against a fault-free run.
+
+use radar_sim::{FaultSpec, Simulation};
+use radar_simnet::builders;
+
+use crate::{fmt_bw, format_table, make_workload, write_csv};
+
+use super::Harness;
+
+/// Builds the fault schedules the experiment compares, scaled to the
+/// configured duration. Link endpoints are real UUNET links so the
+/// schedules validate against the default topology.
+fn schedules(duration: f64) -> Vec<(&'static str, FaultSpec)> {
+    let topo = builders::uunet();
+    let links = topo.links();
+    let (a1, b1) = links[0];
+    let (a2, b2) = links[links.len() / 2];
+    let crash = FaultSpec::new()
+        // One host fails mid-run and recovers after 20% of the run.
+        .host_down(5, 0.3 * duration, Some(0.5 * duration));
+    let crash_permanent = FaultSpec::new()
+        .with_declare_dead_after(0.02 * duration)
+        // Recovers...
+        .host_down(5, 0.3 * duration, Some(0.5 * duration))
+        // ...and a second host is lost for good: declared dead, its
+        // objects re-replicated from their primaries.
+        .host_down(12, 0.45 * duration, None);
+    let partition = FaultSpec::new()
+        .with_declare_dead_after(0.02 * duration)
+        .host_down(5, 0.3 * duration, Some(0.5 * duration))
+        .host_down(12, 0.45 * duration, None)
+        // A backbone link drops (reachability recomputed both times)...
+        .link_down(
+            a1.index() as u16,
+            b1.index() as u16,
+            0.35 * duration,
+            Some(0.65 * duration),
+        )
+        // ...and another runs at 4× its normal latency for a while.
+        .link_slow(
+            a2.index() as u16,
+            b2.index() as u16,
+            4.0,
+            0.5 * duration,
+            Some(0.8 * duration),
+        );
+    vec![
+        ("fault-free", FaultSpec::new()),
+        ("crash+recover", crash),
+        ("+permanent loss", crash_permanent),
+        ("+partition+slow", partition),
+    ]
+}
+
+/// Availability table: request success rate and recovery metrics for
+/// increasingly hostile fault schedules, all at the paper's scale and
+/// workload.
+pub fn faults(h: &mut Harness) -> String {
+    let workload = "zipf";
+    let mut out = format!("== Availability under injected faults ({workload}) ==\n");
+    let mut rows = Vec::new();
+    for (label, spec) in schedules(h.cfg.duration) {
+        eprintln!("  [sim] faults   {label}");
+        let scenario = h
+            .cfg
+            .scenario()
+            .faults(spec)
+            .build()
+            .expect("valid fault scenario");
+        let r = Simulation::new(
+            scenario,
+            make_workload(workload, h.cfg.num_objects, h.cfg.seed),
+        )
+        .run();
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.5}", r.availability() * 100.0),
+            r.failed_requests.to_string(),
+            format!("{:.1}", r.unavailable_object_seconds),
+            r.re_replications.to_string(),
+            format!("{:.1}", r.restore_time.mean),
+            r.primary_fallbacks.to_string(),
+            fmt_bw(r.equilibrium_bandwidth_rate()),
+        ]);
+    }
+    let headers = [
+        "fault schedule",
+        "availability %",
+        "failed reqs",
+        "unavail obj-s",
+        "re-replications",
+        "mean restore (s)",
+        "primary fallbacks",
+        "eq bw",
+    ];
+    out.push_str(&format_table(&headers, &rows));
+    write_csv(&h.cfg, "faults", &headers, &rows);
+    out
+}

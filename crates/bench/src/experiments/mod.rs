@@ -1,11 +1,13 @@
 //! The paper's tables and figures, regenerated.
 
 mod ablations;
+mod faults;
 
 pub use ablations::{
     ablation_constant, ablation_period, ablation_thresholds, baselines, demand_shift,
     heterogeneous, links, redirectors, storage, updates, variance,
 };
+pub use faults::faults;
 
 use std::collections::HashMap;
 use std::fmt::Write as _;

@@ -24,6 +24,7 @@
 //! | `links` | per-link traffic: where the reduction lands |
 //! | `storage` | §4 — per-host storage-pressure sweep |
 //! | `variance` | Table 2 metrics as mean ± sd over seeds |
+//! | `faults` | availability under injected host/link faults |
 //!
 //! Every experiment is a pure function of an [`ExpConfig`]; the tests run
 //! them at [`ExpConfig::tiny`] scale, the binary at [`ExpConfig::full`]
@@ -33,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod timing;
 
 use std::fmt::Write as _;
 use std::path::PathBuf;

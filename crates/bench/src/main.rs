@@ -36,6 +36,7 @@ const COMMANDS: &[&str] = &[
     "links",
     "storage",
     "variance",
+    "faults",
 ];
 
 fn main() {
@@ -112,6 +113,7 @@ fn run_command(h: &mut Harness, cmd: &str) -> String {
         "links" => experiments::links(h),
         "storage" => experiments::storage(h),
         "variance" => experiments::variance(h),
+        "faults" => experiments::faults(h),
         other => unreachable!("validated command {other}"),
     }
 }

@@ -1,0 +1,84 @@
+//! A minimal micro-benchmark driver for the `benches/` targets.
+//!
+//! Each bench target is a plain `harness = false` binary: it builds a
+//! [`Bench`] from its command line and registers closures. Run normally
+//! (`cargo bench`), each closure is auto-calibrated to a measurable
+//! iteration count and its per-iteration time printed; run with `--test`
+//! (as `scripts/check.sh` does), every closure executes exactly once so
+//! the benches are smoke-tested without paying measurement time.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Measurement time the calibration loop aims for per benchmark.
+const TARGET: Duration = Duration::from_millis(50);
+/// Upper bound on the iteration count, for degenerate sub-ns closures.
+const MAX_ITERS: u64 = 1 << 24;
+
+/// The benchmark driver: registers and times named closures.
+#[derive(Debug)]
+pub struct Bench {
+    test_only: bool,
+}
+
+impl Bench {
+    /// Builds a driver from the process arguments; `--test` switches to
+    /// single-iteration smoke mode (other flags are ignored).
+    pub fn from_args() -> Self {
+        Self {
+            test_only: std::env::args().any(|a| a == "--test"),
+        }
+    }
+
+    /// Times `f`, doubling the iteration count until the measurement
+    /// window is long enough, and prints ns/iteration.
+    pub fn bench(&mut self, name: &str, mut f: impl FnMut()) {
+        let mut iters = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            let elapsed = start.elapsed();
+            if self.test_only || elapsed >= TARGET || iters >= MAX_ITERS {
+                report(name, elapsed, iters, self.test_only);
+                return;
+            }
+            iters *= 2;
+        }
+    }
+
+    /// Like [`bench`](Self::bench) but rebuilds fresh state via `setup`
+    /// before every iteration, timing only `routine`.
+    pub fn bench_batched<S>(
+        &mut self,
+        name: &str,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S),
+    ) {
+        let mut iters = 1u64;
+        loop {
+            let mut elapsed = Duration::ZERO;
+            for _ in 0..iters {
+                let state = setup();
+                let start = Instant::now();
+                routine(state);
+                elapsed += start.elapsed();
+            }
+            if self.test_only || elapsed >= TARGET || iters >= MAX_ITERS {
+                report(name, elapsed, iters, self.test_only);
+                return;
+            }
+            iters *= 2;
+        }
+    }
+}
+
+fn report(name: &str, elapsed: Duration, iters: u64, test_only: bool) {
+    if test_only {
+        println!("{name:<44} ok (smoke)");
+    } else {
+        let per_iter = elapsed.as_nanos() as f64 / iters as f64;
+        println!("{name:<44} {per_iter:>14.1} ns/iter  ({iters} iters)");
+    }
+}

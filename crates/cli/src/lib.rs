@@ -13,6 +13,7 @@
 #![warn(missing_docs)]
 
 mod args;
+pub mod json;
 mod render;
 mod simulate;
 mod topology;

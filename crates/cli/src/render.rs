@@ -69,6 +69,20 @@ pub fn summary(report: &RunReport) -> String {
             report.updates_propagated, report.primary_reassignments
         ));
     }
+    if report.faults_injected > 0 {
+        out.push_str(&format!(
+            "faults             {:>9} injected | {} failed requests | {:.4}% availability\n",
+            report.faults_injected,
+            report.failed_requests,
+            report.availability() * 100.0
+        ));
+        out.push_str(&format!(
+            "  degradation      {:>9.1} object-seconds unavailable | {} re-replications | {:.1} s mean restore\n",
+            report.unavailable_object_seconds,
+            report.re_replications,
+            report.restore_time.mean,
+        ));
+    }
     match report.adjustment(EquilibriumSpec::default()) {
         Some(adj) => out.push_str(&format!(
             "adjustment time    {:>9.1} min\n",

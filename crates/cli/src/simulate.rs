@@ -24,6 +24,7 @@ const OPTIONS: &[&str] = &[
     "storage-limit",
     "replay",
     "record-trace",
+    "faults",
     "out",
 ];
 const SWITCHES: &[&str] = &["static", "json", "help"];
@@ -163,6 +164,12 @@ impl SimulateArgs {
         if parsed.has("static") {
             builder = builder.placement(PlacementMode::Static);
         }
+        if let Some(path) = parsed.get("faults") {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read fault schedule {path}: {e}"))?;
+            let spec = radar_sim::FaultSpec::from_text(&text).map_err(|e| e.to_string())?;
+            builder = builder.faults(spec);
+        }
         let scenario = builder.build().map_err(|e| e.to_string())?;
 
         let replay = match parsed.get("replay") {
@@ -259,7 +266,7 @@ pub(crate) fn command(args: &[&str]) -> Result<String, String> {
             .map_err(|e| format!("cannot write trace {path}: {e}"))?;
     }
     let body = if output.json {
-        serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?
+        report.to_json_pretty()
     } else {
         render::summary(&report)
     };
@@ -288,6 +295,7 @@ fn help() -> String {
      \x20 --update-rate R     provider updates/second across all objects (default 0)\n\
      \x20 --storage-limit N   max objects per host (default unbounded)\n\
      \x20 --static            freeze placement (no protocol decisions)\n\
+     \x20 --faults FILE       inject host/link faults from a schedule file\n\
      \x20 --replay FILE       replay a recorded trace instead of a workload\n\
      \x20 --record-trace FILE capture this run's arrivals for later replay\n\
      \x20 --json              emit the full report as JSON\n\

@@ -1,5 +1,6 @@
 //! End-to-end tests of the `radar` CLI through its library entry point.
 
+use radar_cli::json::Value;
 use radar_cli::run;
 
 fn args(list: &[&str]) -> Vec<String> {
@@ -47,7 +48,7 @@ fn simulate_json_report() {
         "--json",
     ]))
     .unwrap();
-    let value: serde_json::Value = serde_json::from_str(&out).expect("valid JSON");
+    let value = Value::parse(&out).expect("valid JSON");
     assert_eq!(value["workload"], "zipf");
     assert!(value["total_requests"].as_u64().unwrap() > 0);
     assert!(value["final_replicas"].as_array().unwrap().len() == 60);
@@ -87,8 +88,8 @@ fn simulate_record_then_replay_round_trip() {
         "--json",
     ]))
     .unwrap();
-    let a: serde_json::Value = serde_json::from_str(&original).unwrap();
-    let b: serde_json::Value = serde_json::from_str(&replayed).unwrap();
+    let a = Value::parse(&original).unwrap();
+    let b = Value::parse(&replayed).unwrap();
     assert_eq!(a["total_requests"], b["total_requests"]);
     assert_eq!(a["client_bandwidth"], b["client_bandwidth"]);
     assert_eq!(b["workload"], "replay");
@@ -143,4 +144,68 @@ fn simulate_with_custom_topology_and_baseline_policy() {
     .unwrap();
     assert!(out.contains("policy closest"), "{out}");
     let _ = std::fs::remove_file(topo_path);
+}
+
+#[test]
+fn simulate_with_fault_schedule_file() {
+    let spec_path = std::env::temp_dir().join("radar-cli-faults.spec");
+    std::fs::write(
+        &spec_path,
+        "# two crashes, one for good\n\
+         min-replicas 2\n\
+         declare-dead-after 30\n\
+         host-down 5 60 180\n\
+         host-down 12 120\n",
+    )
+    .unwrap();
+    let p = spec_path.to_str().unwrap();
+    let out = run(&args(&[
+        "simulate",
+        "--objects",
+        "100",
+        "--rate",
+        "2",
+        "--duration",
+        "300",
+        "--faults",
+        p,
+    ]))
+    .unwrap();
+    assert!(out.contains("faults"), "{out}");
+    assert!(out.contains("availability"), "{out}");
+
+    let json = run(&args(&[
+        "simulate",
+        "--objects",
+        "100",
+        "--rate",
+        "2",
+        "--duration",
+        "300",
+        "--faults",
+        p,
+        "--json",
+    ]))
+    .unwrap();
+    let value = Value::parse(&json).expect("valid JSON");
+    assert_eq!(value["faults_injected"].as_u64(), Some(3));
+    assert!(value["re_replications"].as_u64().unwrap() > 0);
+    let _ = std::fs::remove_file(spec_path);
+}
+
+#[test]
+fn simulate_rejects_bad_fault_schedules() {
+    let err = run(&args(&["simulate", "--faults", "/nonexistent/file.spec"])).unwrap_err();
+    assert!(err.contains("cannot read fault schedule"), "{err}");
+
+    let spec_path = std::env::temp_dir().join("radar-cli-bad-faults.spec");
+    std::fs::write(&spec_path, "host-down not-a-host 10\n").unwrap();
+    let err = run(&args(&[
+        "simulate",
+        "--faults",
+        spec_path.to_str().unwrap(),
+    ]))
+    .unwrap_err();
+    assert!(err.contains("line 1"), "{err}");
+    let _ = std::fs::remove_file(spec_path);
 }

@@ -2,12 +2,11 @@
 //! (paper §5).
 
 use radar_simnet::NodeId;
-use serde::{Deserialize, Serialize};
 
 use crate::ObjectId;
 
 /// The paper's §5 consistency taxonomy of hosted objects.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ObjectKind {
     /// Type 1: "objects that do not change as the result of user
     /// accesses" — static pages or read-only dynamic services. Updated
@@ -55,7 +54,7 @@ impl ObjectKind {
 /// assert_eq!(catalog.primary(ObjectId::new(5)), NodeId::new(1));
 /// assert!(catalog.kind(ObjectId::new(0)).may_add_replica(10));
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Catalog {
     kinds: Vec<ObjectKind>,
     size_bytes: u64,

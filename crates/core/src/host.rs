@@ -4,7 +4,6 @@
 use std::collections::BTreeMap;
 
 use radar_simnet::NodeId;
-use serde::{Deserialize, Serialize};
 
 use crate::{LoadEstimator, ObjectId, Params};
 
@@ -12,7 +11,7 @@ use crate::{LoadEstimator, ObjectId, Params};
 /// the replica affinity `aff(x_s)`, the per-candidate access counts
 /// `cnt(p, x_s)` accumulated since the last placement run, and the
 /// replica's measured request rate `load(x_s)`.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ObjectState {
     aff: u32,
     /// `cnt(p, x_s)`: how many requests for this object had node `p` on
@@ -84,7 +83,7 @@ impl ObjectState {
 /// host.record_access(x, &[NodeId::new(0), NodeId::new(3)]);
 /// assert_eq!(host.object(x).unwrap().count(NodeId::new(3)), 1);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HostState {
     node: NodeId,
     params: Params,

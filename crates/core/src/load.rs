@@ -16,8 +16,6 @@
 //! interval starts after the last object had been acquired": completing a
 //! clean interval clears the deltas.
 
-use serde::{Deserialize, Serialize};
-
 /// Relocation-aware load state of one host.
 ///
 /// Driven by its owning [`crate::HostState`], which completes measurement
@@ -40,7 +38,7 @@ use serde::{Deserialize, Serialize};
 /// le.complete_window(59.0, 40.0);  // still dirty; [40,60) is clean
 /// assert_eq!(le.upper(), 59.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LoadEstimator {
     measured: f64,
     upper_delta: f64,

@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// All tunable parameters of the protocol, with the constraints the paper
 /// derives for stability.
 ///
@@ -37,7 +35,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(p.high_watermark, 90.0);
 /// assert!(4.0 * p.deletion_threshold < p.replication_threshold);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Params {
     /// Low load watermark `lw` (requests/second).
     pub low_watermark: f64,

@@ -33,7 +33,6 @@
 //! can either migrate or be replicated if its count is above m").
 
 use radar_simnet::NodeId;
-use serde::{Deserialize, Serialize};
 
 use crate::{bounds, CreateObjRequest, CreateObjResponse, HostState, ObjectId, RelocationKind};
 
@@ -73,7 +72,7 @@ pub trait PlacementEnv {
 
 /// What a placement run did — returned by [`run_placement`] for metrics
 /// and tests.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct PlacementOutcome {
     /// Whether the host was in offloading mode during this run.
     pub offloading_mode: bool,

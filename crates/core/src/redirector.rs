@@ -2,13 +2,12 @@
 //! algorithm (paper Fig. 2).
 
 use radar_simnet::{NodeId, RoutingTable};
-use serde::{Deserialize, Serialize};
 
 use crate::ObjectId;
 
 /// Per-replica bookkeeping the redirector keeps (paper §3): the request
 /// count `rcnt(x_s)` and the replica affinity `aff_r(x_s)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ReplicaInfo {
     /// The hosting node.
     pub host: NodeId,
@@ -30,7 +29,7 @@ impl ReplicaInfo {
 
 /// Replica set of a single object. Entries are kept sorted by host id so
 /// all scans are deterministic.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 struct ReplicaSet {
     entries: Vec<ReplicaInfo>,
 }
@@ -75,7 +74,7 @@ impl ReplicaSet {
 /// semantics the prose defines: *serve from the closest replica `p`
 /// unless `unit_rcnt(p) / constant > unit_rcnt(q)` for the least-requested
 /// replica `q`, in which case serve from `q`*.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Redirector {
     sets: Vec<ReplicaSet>,
     constant: f64,
@@ -175,19 +174,42 @@ impl Redirector {
         gateway: NodeId,
         routes: &RoutingTable,
     ) -> Option<NodeId> {
+        self.choose_replica_filtered(object, gateway, routes, &|_| true)
+    }
+
+    /// [`choose_replica`](Self::choose_replica) restricted to replicas
+    /// whose host passes `usable` — the graceful-degradation path: under
+    /// fault injection the platform passes a liveness/reachability
+    /// predicate so the redirector skips crashed or partitioned replicas.
+    /// Returns `None` when no usable replica exists (the platform then
+    /// falls back to the object's primary copy).
+    pub fn choose_replica_filtered(
+        &mut self,
+        object: ObjectId,
+        gateway: NodeId,
+        routes: &RoutingTable,
+        usable: &dyn Fn(NodeId) -> bool,
+    ) -> Option<NodeId> {
         let set = &mut self.sets[object.index()];
-        if set.entries.is_empty() {
+        let candidates: Vec<usize> = (0..set.entries.len())
+            .filter(|&i| usable(set.entries[i].host))
+            .collect();
+        if candidates.is_empty() {
             return None;
         }
-        // p: closest replica to the gateway.
-        let p_idx = (0..set.entries.len())
+        // p: closest usable replica to the gateway.
+        let p_idx = candidates
+            .iter()
+            .copied()
             .min_by_key(|&i| {
                 let e = &set.entries[i];
                 (routes.distance(e.host, gateway), e.host)
             })
-            .expect("non-empty replica set");
-        // q: replica with the smallest unit request count.
-        let q_idx = (0..set.entries.len())
+            .expect("non-empty candidate set");
+        // q: usable replica with the smallest unit request count.
+        let q_idx = candidates
+            .iter()
+            .copied()
             .min_by(|&a, &b| {
                 let (ea, eb) = (&set.entries[a], &set.entries[b]);
                 ea.unit_rcnt()
@@ -195,7 +217,7 @@ impl Redirector {
                     .expect("unit request counts are finite")
                     .then(ea.host.cmp(&eb.host))
             })
-            .expect("non-empty replica set");
+            .expect("non-empty candidate set");
         let ratio1 = set.entries[p_idx].unit_rcnt();
         let ratio2 = set.entries[q_idx].unit_rcnt();
         let chosen = if ratio1 / self.constant > ratio2 {
@@ -205,6 +227,26 @@ impl Redirector {
         };
         set.entries[chosen].rcnt += 1;
         Some(set.entries[chosen].host)
+    }
+
+    /// Force-removes every replica hosted on `host` — crash recovery,
+    /// *not* the drop handshake: a host declared dead cannot negotiate,
+    /// and even a last replica is removed (the data is gone with the
+    /// host; the platform restores availability by re-fetching from the
+    /// object's primary/origin). Returns the affected objects, for the
+    /// caller's re-replication sweep. Request counts of affected sets
+    /// reset, like any other replica-set change.
+    pub fn purge_host(&mut self, host: NodeId) -> Vec<ObjectId> {
+        let mut affected = Vec::new();
+        for (i, set) in self.sets.iter_mut().enumerate() {
+            if let Some(pos) = set.find(host) {
+                set.entries.remove(pos);
+                set.reset_counts();
+                self.notifications += 1;
+                affected.push(ObjectId::new(i as u32));
+            }
+        }
+        affected
     }
 
     /// Notification that `host` created a new copy of `object` (or
@@ -450,6 +492,41 @@ mod tests {
         let mut r = Redirector::new(1, 2.0);
         r.install(x(), NodeId::new(0));
         r.notify_affinity(x(), NodeId::new(0), 0);
+    }
+
+    #[test]
+    fn filtered_choice_skips_unusable_hosts() {
+        let (mut r, routes) = setup();
+        // Node 0 is closest to gateway 0, but marked down: every request
+        // must go to node 1.
+        for _ in 0..20 {
+            assert_eq!(
+                r.choose_replica_filtered(x(), NodeId::new(0), &routes, &|h| h != NodeId::new(0)),
+                Some(NodeId::new(1))
+            );
+        }
+        // Nothing usable: None, even though replicas exist.
+        assert_eq!(
+            r.choose_replica_filtered(x(), NodeId::new(0), &routes, &|_| false),
+            None
+        );
+        assert_eq!(r.replica_count(x()), 2, "filtering never mutates the set");
+    }
+
+    #[test]
+    fn purge_host_removes_even_last_replicas() {
+        let mut r = Redirector::new(3, 2.0);
+        r.install(ObjectId::new(0), NodeId::new(0)); // only replica
+        r.install(ObjectId::new(1), NodeId::new(0));
+        r.install(ObjectId::new(1), NodeId::new(1));
+        r.install(ObjectId::new(2), NodeId::new(1));
+        let affected = r.purge_host(NodeId::new(0));
+        assert_eq!(affected, vec![ObjectId::new(0), ObjectId::new(1)]);
+        assert_eq!(r.replica_count(ObjectId::new(0)), 0, "last replica purged");
+        assert_eq!(r.replica_count(ObjectId::new(1)), 1);
+        assert_eq!(r.replica_count(ObjectId::new(2)), 1);
+        // Surviving sets had their counts reset.
+        assert!(r.replicas(ObjectId::new(1)).iter().all(|e| e.rcnt == 1));
     }
 
     #[test]

@@ -3,13 +3,12 @@
 use std::fmt;
 
 use radar_simnet::NodeId;
-use serde::{Deserialize, Serialize};
 
 /// Identifier of a hosted Web object.
 ///
 /// Object ids are dense indices (`0..num_objects`); the paper's initial
 /// round-robin placement puts object `i` on node `i mod 53`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ObjectId(u32);
 
 impl ObjectId {
@@ -33,7 +32,7 @@ impl fmt::Display for ObjectId {
 /// Whether a `CreateObj` message proposes a migration or a replication
 /// (paper Fig. 4: the candidate applies a stricter admission test to
 /// migrations).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RelocationKind {
     /// Move the affinity unit: source sheds it after the copy succeeds.
     Migrate,
@@ -53,7 +52,7 @@ impl fmt::Display for RelocationKind {
 /// Why a relocation was initiated — for metrics and tracing. The paper
 /// distinguishes *geo*-motivated moves (proximity, §4.2.1) from
 /// *load*-motivated moves (offloading, §4.2.2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PlacementReason {
     /// Proximity-driven (geo-migration / geo-replication).
     Geo,
@@ -65,7 +64,7 @@ pub enum PlacementReason {
 /// (paper Fig. 4). Carries the per-affinity-unit load of the source
 /// replica, which the candidate uses in its admission test and in its
 /// upper-bound load estimate.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CreateObjRequest {
     /// Migration or replication.
     pub kind: RelocationKind,
@@ -78,7 +77,7 @@ pub struct CreateObjRequest {
 }
 
 /// The candidate's answer to a [`CreateObjRequest`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CreateObjResponse {
     /// The candidate accepted and now holds the object; `new_copy` is
     /// `true` when actual object data had to be transferred (a brand-new

@@ -12,10 +12,14 @@
 //! itself or the closest replica still within the constant's allowance.
 //! This is what bounds how far the distribution can ever skew — the
 //! mechanism behind the paper's load-shedding arithmetic.
+//!
+//! Setups are drawn from a seeded [`SimRng`] stream so every case is
+//! deterministic and reproducible.
 
-use proptest::prelude::*;
 use radar_core::{ObjectId, Redirector};
+use radar_simcore::SimRng;
 use radar_simnet::{builders, NodeId, Topology};
+use std::collections::BTreeMap;
 
 fn object() -> ObjectId {
     ObjectId::new(0)
@@ -32,12 +36,39 @@ struct Setup {
 }
 
 impl Setup {
+    /// Draws a random topology/replica-layout/demand-sequence triple.
+    fn generate(rng: &mut SimRng) -> Self {
+        let topology_id = rng.index(4) as u8;
+        let n = node_count(topology_id);
+        let mut replicas: BTreeMap<u16, u32> = BTreeMap::new();
+        for _ in 0..1 + rng.index(5) {
+            replicas.insert(rng.index(n as usize) as u16, 1 + rng.index(4) as u32);
+        }
+        let gateways = (0..50 + rng.index(550))
+            .map(|_| rng.index(n as usize) as u16)
+            .collect();
+        Setup {
+            topology_id,
+            replicas: replicas.into_iter().collect(),
+            gateways,
+            constant: (2 + rng.index(3)) as f64,
+        }
+    }
+
     fn topology(&self) -> Topology {
         match self.topology_id {
             0 => builders::line(7),
             1 => builders::ring(9),
             2 => builders::grid(3, 3),
             _ => builders::star(8),
+        }
+    }
+
+    fn install_all(&self, redirector: &mut Redirector) {
+        for &(node, aff) in &self.replicas {
+            for _ in 0..aff {
+                redirector.install(object(), NodeId::new(node));
+            }
         }
     }
 }
@@ -51,39 +82,18 @@ fn node_count(topology_id: u8) -> u16 {
     }
 }
 
-fn setup() -> impl Strategy<Value = Setup> {
-    (0u8..4, 2u8..5)
-        .prop_flat_map(|(topology_id, constant)| {
-            let n = node_count(topology_id);
-            let replicas = proptest::collection::btree_map(0..n, 1u32..=4, 1..=5)
-                .prop_map(|m| m.into_iter().collect::<Vec<_>>());
-            let gateways = proptest::collection::vec(0..n, 50..600);
-            (Just(topology_id), replicas, gateways, Just(constant as f64))
-        })
-        .prop_map(|(topology_id, replicas, gateways, constant)| Setup {
-            topology_id,
-            replicas,
-            gateways,
-            constant,
-        })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    /// The bounded-imbalance invariant holds after every request, for
-    /// any topology, replica/affinity layout, demand sequence, and
-    /// distribution constant.
-    #[test]
-    fn unit_counts_never_skew_past_the_constant(s in setup()) {
+/// The bounded-imbalance invariant holds after every request, for
+/// any topology, replica/affinity layout, demand sequence, and
+/// distribution constant.
+#[test]
+fn unit_counts_never_skew_past_the_constant() {
+    let mut rng = SimRng::seed_from(0xD157_0001);
+    for _ in 0..96 {
+        let s = Setup::generate(&mut rng);
         let topo = s.topology();
         let routes = topo.routes();
         let mut redirector = Redirector::new(1, s.constant);
-        for &(node, aff) in &s.replicas {
-            for _ in 0..aff {
-                redirector.install(object(), NodeId::new(node));
-            }
-        }
+        s.install_all(&mut redirector);
         for &gw in &s.gateways {
             redirector
                 .choose_replica(object(), NodeId::new(gw), &routes)
@@ -95,7 +105,7 @@ proptest! {
                 .fold(f64::INFINITY, f64::min);
             for r in replicas {
                 let bound = s.constant * min_unit + 1.0 / r.aff as f64;
-                prop_assert!(
+                assert!(
                     r.unit_rcnt() <= bound + 1e-9,
                     "replica {} unit count {} exceeds {} (min {}, c {})",
                     r.host,
@@ -107,21 +117,24 @@ proptest! {
             }
         }
     }
+}
 
-    /// No replica starves: whatever the demand pattern, every replica's
-    /// count keeps growing (the q-rule guarantees the minimum is served).
-    #[test]
-    fn no_replica_starves(s in setup()) {
-        prop_assume!(s.replicas.len() >= 2);
-        prop_assume!(s.gateways.len() >= 200);
+/// No replica starves: whatever the demand pattern, every replica's
+/// count keeps growing (the q-rule guarantees the minimum is served).
+#[test]
+fn no_replica_starves() {
+    let mut rng = SimRng::seed_from(0xD157_0002);
+    let mut exercised = 0;
+    while exercised < 48 {
+        let s = Setup::generate(&mut rng);
+        if s.replicas.len() < 2 || s.gateways.len() < 200 {
+            continue;
+        }
+        exercised += 1;
         let topo = s.topology();
         let routes = topo.routes();
         let mut redirector = Redirector::new(1, s.constant);
-        for &(node, aff) in &s.replicas {
-            for _ in 0..aff {
-                redirector.install(object(), NodeId::new(node));
-            }
-        }
+        s.install_all(&mut redirector);
         for &gw in &s.gateways {
             redirector
                 .choose_replica(object(), NodeId::new(gw), &routes)
@@ -131,7 +144,7 @@ proptest! {
         // After ≥200 requests over ≤5 replicas, the imbalance bound
         // forces every replica to have been chosen.
         for r in redirector.replicas(object()) {
-            prop_assert!(
+            assert!(
                 r.rcnt > 1,
                 "replica {} was never chosen in {} requests",
                 r.host,
@@ -139,19 +152,19 @@ proptest! {
             );
         }
     }
+}
 
-    /// Determinism: the same demand sequence yields the same decisions.
-    #[test]
-    fn distribution_is_deterministic(s in setup()) {
+/// Determinism: the same demand sequence yields the same decisions.
+#[test]
+fn distribution_is_deterministic() {
+    let mut rng = SimRng::seed_from(0xD157_0003);
+    for _ in 0..48 {
+        let s = Setup::generate(&mut rng);
         let topo = s.topology();
         let routes = topo.routes();
         let run = || {
             let mut redirector = Redirector::new(1, s.constant);
-            for &(node, aff) in &s.replicas {
-                for _ in 0..aff {
-                    redirector.install(object(), NodeId::new(node));
-                }
-            }
+            s.install_all(&mut redirector);
             s.gateways
                 .iter()
                 .map(|&gw| {
@@ -161,6 +174,6 @@ proptest! {
                 })
                 .collect::<Vec<_>>()
         };
-        prop_assert_eq!(run(), run());
+        assert_eq!(run(), run());
     }
 }

@@ -9,10 +9,13 @@
 //! * every object retains at least one replica;
 //! * affinities recorded by hosts and the redirector agree;
 //! * every surviving replica has affinity ≥ 1.
+//!
+//! Demand scripts are drawn from a seeded [`SimRng`] stream so every
+//! fuzz case is deterministic and reproducible.
 
-use proptest::prelude::*;
 use radar_core::placement::{handle_create_obj, run_placement, PlacementEnv};
 use radar_core::{CreateObjRequest, CreateObjResponse, HostState, ObjectId, Params, Redirector};
+use radar_simcore::SimRng;
 use radar_simnet::{builders, NodeId, RoutingTable, Topology};
 
 struct MiniPlatform {
@@ -90,34 +93,33 @@ impl MiniPlatform {
     }
 
     /// The structural invariants that must hold between epochs.
-    fn check_invariants(&self) -> Result<(), TestCaseError> {
+    fn check_invariants(&self) {
         for i in 0..self.redirector.num_objects() {
             let object = ObjectId::new(i as u32);
             let replicas = self.redirector.replicas(object);
-            prop_assert!(!replicas.is_empty(), "{object} lost its last replica");
+            assert!(!replicas.is_empty(), "{object} lost its last replica");
             // Redirector set == hosts actually holding the object, with
             // matching affinities.
             for info in replicas {
                 let host = &self.hosts[info.host.index()];
                 let state = host.object(object);
-                prop_assert!(
+                assert!(
                     state.is_some(),
                     "redirector lists {object}@{} but the host lacks it",
                     info.host
                 );
                 let state = state.expect("checked above");
-                prop_assert!(state.aff() >= 1);
-                prop_assert_eq!(
+                assert!(state.aff() >= 1);
+                assert_eq!(
                     state.aff(),
                     info.aff,
-                    "affinity mismatch for {}@{}",
-                    object,
+                    "affinity mismatch for {object}@{}",
                     info.host
                 );
             }
             for host in &self.hosts {
                 if host.has_object(object) {
-                    prop_assert!(
+                    assert!(
                         replicas.iter().any(|r| r.host == host.node()),
                         "{} holds {} unknown to the redirector",
                         host.node(),
@@ -126,7 +128,6 @@ impl MiniPlatform {
                 }
             }
         }
-        Ok(())
     }
 }
 
@@ -194,71 +195,90 @@ impl PlacementEnv for FuzzEnv<'_> {
 }
 
 /// One epoch's demand script: `(object, gateway, count)` triples.
-fn demand(objects: u32, nodes: u16) -> impl Strategy<Value = Vec<(u32, u16, u32)>> {
-    proptest::collection::vec((0..objects, 0..nodes, 0u32..60), 0..40)
+fn demand(rng: &mut SimRng, objects: u32, nodes: u16) -> Vec<(u32, u16, u32)> {
+    (0..rng.index(40))
+        .map(|_| {
+            (
+                rng.index(objects as usize) as u32,
+                rng.index(nodes as usize) as u16,
+                rng.index(60) as u32,
+            )
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+/// Between 1 and `max_epochs - 1` epochs of random demand.
+fn epochs(
+    rng: &mut SimRng,
+    objects: u32,
+    nodes: u16,
+    max_epochs: usize,
+) -> Vec<Vec<(u32, u16, u32)>> {
+    (0..1 + rng.index(max_epochs - 1))
+        .map(|_| demand(rng, objects, nodes))
+        .collect()
+}
 
-    #[test]
-    fn random_demand_preserves_invariants(
-        epochs in proptest::collection::vec(demand(12, 9), 1..8)
-    ) {
+#[test]
+fn random_demand_preserves_invariants() {
+    let mut rng = SimRng::seed_from(0xF022_0001);
+    for _ in 0..32 {
         let mut platform = MiniPlatform::new(builders::grid(3, 3), 12, Params::paper());
-        for script in &epochs {
+        for script in &epochs(&mut rng, 12, 9, 8) {
             for &(obj, gw, count) in script {
                 platform.drive_requests(ObjectId::new(obj), NodeId::new(gw), count);
             }
             platform.placement_epoch();
-            platform.check_invariants()?;
+            platform.check_invariants();
         }
     }
+}
 
-    #[test]
-    fn hostile_demand_with_tight_watermarks(
-        epochs in proptest::collection::vec(demand(8, 6), 1..6)
-    ) {
-        // Tighter watermarks make admission scarce and offloading
-        // frequent; the invariants must still hold.
+#[test]
+fn hostile_demand_with_tight_watermarks() {
+    // Tighter watermarks make admission scarce and offloading
+    // frequent; the invariants must still hold.
+    let mut rng = SimRng::seed_from(0xF022_0002);
+    for _ in 0..32 {
         let params = Params::builder()
             .watermarks(0.2, 0.5)
             .build()
             .expect("valid params");
         let mut platform = MiniPlatform::new(builders::ring(6), 8, params);
-        for script in &epochs {
+        for script in &epochs(&mut rng, 8, 6, 6) {
             for &(obj, gw, count) in script {
                 platform.drive_requests(ObjectId::new(obj), NodeId::new(gw), count);
             }
             platform.placement_epoch();
-            platform.check_invariants()?;
+            platform.check_invariants();
         }
     }
+}
 
-    #[test]
-    fn injected_refusals_preserve_invariants(
-        epochs in proptest::collection::vec(demand(10, 8), 1..6),
-        mask in 1u64..5,
-    ) {
-        // Candidates refuse unpredictably and load reports vanish; the
-        // protocol may make less progress but must never corrupt state.
+#[test]
+fn injected_refusals_preserve_invariants() {
+    // Candidates refuse unpredictably and load reports vanish; the
+    // protocol may make less progress but must never corrupt state.
+    let mut rng = SimRng::seed_from(0xF022_0003);
+    for _ in 0..32 {
+        let mask = 1 + rng.index(4) as u64;
         let mut platform = MiniPlatform::new(builders::ring(8), 10, Params::paper());
         platform.refusal_mask = mask;
-        for script in &epochs {
+        for script in &epochs(&mut rng, 10, 8, 6) {
             for &(obj, gw, count) in script {
                 platform.drive_requests(ObjectId::new(obj), NodeId::new(gw), count);
             }
             platform.placement_epoch();
-            platform.check_invariants()?;
+            platform.check_invariants();
         }
     }
+}
 
-    #[test]
-    fn idle_epochs_converge_to_single_replicas(
-        warm_epochs in 1usize..4
-    ) {
-        // Demand, then silence: the deletion threshold must strip every
-        // redundant replica but the last.
+#[test]
+fn idle_epochs_converge_to_single_replicas() {
+    // Demand, then silence: the deletion threshold must strip every
+    // redundant replica but the last.
+    for warm_epochs in 1usize..4 {
         let mut platform = MiniPlatform::new(builders::line(5), 6, Params::paper());
         for _ in 0..warm_epochs {
             for obj in 0..6u32 {
@@ -267,21 +287,20 @@ proptest! {
                 }
             }
             platform.placement_epoch();
-            platform.check_invariants()?;
+            platform.check_invariants();
         }
         for _ in 0..4 {
             platform.placement_epoch();
-            platform.check_invariants()?;
+            platform.check_invariants();
         }
         for i in 0..6u32 {
             let object = ObjectId::new(i);
-            prop_assert_eq!(
+            assert_eq!(
                 platform.redirector.replica_count(object),
                 1,
-                "{} kept redundant cold replicas",
-                object
+                "{object} kept redundant cold replicas"
             );
-            prop_assert_eq!(platform.redirector.total_affinity(object), 1);
+            assert_eq!(platform.redirector.total_affinity(object), 1);
         }
     }
 }

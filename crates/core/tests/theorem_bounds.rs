@@ -11,9 +11,12 @@
 //!
 //! Loads are expressed as request-rate shares (total demand normalized to
 //! 1), which is what the theorems' `load(x_i)` means for a single object.
+//!
+//! Scenarios are drawn from a seeded [`SimRng`] stream so every case is
+//! deterministic and reproducible.
 
-use proptest::prelude::*;
 use radar_core::{bounds, ObjectId, Redirector};
+use radar_simcore::SimRng;
 use radar_simnet::{builders, NodeId, RoutingTable, Topology};
 use std::collections::BTreeMap;
 
@@ -102,6 +105,32 @@ struct Scenario {
 }
 
 impl Scenario {
+    fn generate(rng: &mut SimRng) -> Self {
+        let topology_id = rng.index(4) as u8;
+        let n = match topology_id {
+            0 => 6u16,
+            1 => 8,
+            2 => 9,
+            _ => 7,
+        };
+        let mut replicas: BTreeMap<u16, u32> = BTreeMap::new();
+        for _ in 0..1 + rng.index(4) {
+            replicas.insert(rng.index(n as usize) as u16, 1 + rng.index(3) as u32);
+        }
+        let replicas: Vec<(u16, u32)> = replicas.into_iter().collect();
+        let mut demand: Vec<u32> = (0..n).map(|_| rng.index(6) as u32).collect();
+        if demand.iter().all(|&w| w == 0) {
+            demand[0] = 1;
+        }
+        Scenario {
+            topology_id,
+            source_idx: rng.index(replicas.len()),
+            replicas,
+            demand,
+            target: rng.index(n as usize) as u16,
+        }
+    }
+
     fn topology(&self) -> Topology {
         match self.topology_id {
             0 => builders::line(6),
@@ -110,41 +139,6 @@ impl Scenario {
             _ => builders::star(7),
         }
     }
-}
-
-fn scenario() -> impl Strategy<Value = Scenario> {
-    (0u8..4)
-        .prop_flat_map(|topology_id| {
-            let n = match topology_id {
-                0 => 6u16,
-                1 => 8,
-                2 => 9,
-                _ => 7,
-            };
-            let replicas = proptest::collection::btree_map(0..n, 1u32..=3, 1..=4)
-                .prop_map(|m| m.into_iter().collect::<Vec<_>>());
-            let demand = proptest::collection::vec(0u32..=5, n as usize);
-            (
-                Just(topology_id),
-                replicas,
-                demand,
-                any::<prop::sample::Index>(),
-                0..n,
-            )
-        })
-        .prop_map(|(topology_id, replicas, mut demand, source_sel, target)| {
-            if demand.iter().all(|&w| w == 0) {
-                demand[0] = 1;
-            }
-            let source_idx = source_sel.index(replicas.len());
-            Scenario {
-                topology_id,
-                replicas,
-                demand,
-                source_idx,
-                target,
-            }
-        })
 }
 
 struct Prepared {
@@ -186,100 +180,134 @@ fn share(shares: &BTreeMap<NodeId, f64>, node: NodeId) -> f64 {
     shares.get(&node).copied().unwrap_or(0.0)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Theorems 1 & 2: replication sheds at most ¾·ℓ from the source and
-    /// adds at most 4·ℓ/aff to the target.
-    #[test]
-    fn replication_respects_source_and_target_bounds(s in scenario()) {
-        let mut p = prepare(&s);
-        prop_assume!(p.target != p.source);
-        let before = measure_shares(&mut p.redirector, &p.demand, &p.routes, HORIZON);
-        let ell = share(&before, p.source);
-        let target_before = share(&before, p.target);
-
-        // Replicate: new replica (or affinity bump) on the target; the
-        // redirector resets request counts, as in the protocol.
-        p.redirector.notify_created(object(), p.target);
-        let after = measure_shares(&mut p.redirector, &p.demand, &p.routes, HORIZON);
-
-        let decrease = ell - share(&after, p.source);
-        prop_assert!(
-            decrease <= bounds::replication_source_decrease(ell) + TOL,
-            "T1 violated: decrease {decrease} > 3/4·{ell}"
-        );
-        let increase = share(&after, p.target) - target_before;
-        prop_assert!(
-            increase <= bounds::target_increase(ell, p.source_aff) + TOL,
-            "T2 violated: increase {increase} > 4·{ell}/{}",
-            p.source_aff
-        );
-    }
-
-    /// Theorems 3 & 4: migration sheds at most ℓ/aff + ¾·ℓ·(aff−1)/aff
-    /// from the source and adds at most 4·ℓ/aff to the target.
-    #[test]
-    fn migration_respects_source_and_target_bounds(s in scenario()) {
-        let mut p = prepare(&s);
-        prop_assume!(p.target != p.source);
-        // Migration needs the source to survive as a replica set: if the
-        // source is the only replica and the target equals it we'd have
-        // nothing to measure; the target replica always exists after the
-        // move, so the set stays non-empty.
-        let before = measure_shares(&mut p.redirector, &p.demand, &p.routes, HORIZON);
-        let ell = share(&before, p.source);
-        let target_before = share(&before, p.target);
-
-        // Migrate one affinity unit: create at target, reduce at source.
-        p.redirector.notify_created(object(), p.target);
-        if p.source_aff > 1 {
-            p.redirector.notify_affinity(object(), p.source, p.source_aff - 1);
-        } else {
-            prop_assert!(p.redirector.request_drop(object(), p.source));
+/// Draws scenarios from the seeded stream, skipping those `keep`
+/// rejects, until `cases` have been run through `check`.
+fn for_each_scenario(
+    stream: u64,
+    cases: usize,
+    keep: impl Fn(&Prepared) -> bool,
+    check: impl Fn(Prepared),
+) {
+    let mut rng = SimRng::seed_from(stream);
+    let mut exercised = 0;
+    while exercised < cases {
+        let p = prepare(&Scenario::generate(&mut rng));
+        if !keep(&p) {
+            continue;
         }
-        let after = measure_shares(&mut p.redirector, &p.demand, &p.routes, HORIZON);
-
-        let decrease = ell - share(&after, p.source);
-        prop_assert!(
-            decrease <= bounds::migration_source_decrease(ell, p.source_aff) + TOL,
-            "T3 violated: decrease {decrease} > bound for ell={ell}, aff={}",
-            p.source_aff
-        );
-        let increase = share(&after, p.target) - target_before;
-        prop_assert!(
-            increase <= bounds::target_increase(ell, p.source_aff) + TOL,
-            "T4 violated: increase {increase} > 4·{ell}/{}",
-            p.source_aff
-        );
+        exercised += 1;
+        check(p);
     }
+}
 
-    /// Theorem 5: if a host replicates only when its unit access share
-    /// exceeds m, every replica's unit share after the replication is at
-    /// least m/4.
-    #[test]
-    fn replication_threshold_floor_holds(s in scenario()) {
-        let mut p = prepare(&s);
-        prop_assume!(p.target != p.source);
-        let before = measure_shares(&mut p.redirector, &p.demand, &p.routes, HORIZON);
-        let source_unit = share(&before, p.source) / p.source_aff as f64;
-        // Interpret the source's unit share as exceeding threshold m;
-        // i.e. m is anything below source_unit. Take m = source_unit.
-        let m = source_unit;
-        prop_assume!(m > 0.05); // only meaningful when the source is warm
+/// Theorems 1 & 2: replication sheds at most ¾·ℓ from the source and
+/// adds at most 4·ℓ/aff to the target.
+#[test]
+fn replication_respects_source_and_target_bounds() {
+    for_each_scenario(
+        0x7B_0001,
+        48,
+        |p| p.target != p.source,
+        |mut p| {
+            let before = measure_shares(&mut p.redirector, &p.demand, &p.routes, HORIZON);
+            let ell = share(&before, p.source);
+            let target_before = share(&before, p.target);
 
-        p.redirector.notify_created(object(), p.target);
-        let after = measure_shares(&mut p.redirector, &p.demand, &p.routes, HORIZON);
+            // Replicate: new replica (or affinity bump) on the target; the
+            // redirector resets request counts, as in the protocol.
+            p.redirector.notify_created(object(), p.target);
+            let after = measure_shares(&mut p.redirector, &p.demand, &p.routes, HORIZON);
 
-        for info in p.redirector.replicas(object()) {
-            let unit = share(&after, info.host) / info.aff as f64;
-            prop_assert!(
-                unit >= bounds::post_replication_unit_count_floor(m) - TOL,
-                "T5 violated: replica {} unit share {unit} < {m}/4",
-                info.host
+            let decrease = ell - share(&after, p.source);
+            assert!(
+                decrease <= bounds::replication_source_decrease(ell) + TOL,
+                "T1 violated: decrease {decrease} > 3/4·{ell}"
             );
-        }
-    }
+            let increase = share(&after, p.target) - target_before;
+            assert!(
+                increase <= bounds::target_increase(ell, p.source_aff) + TOL,
+                "T2 violated: increase {increase} > 4·{ell}/{}",
+                p.source_aff
+            );
+        },
+    );
+}
+
+/// Theorems 3 & 4: migration sheds at most ℓ/aff + ¾·ℓ·(aff−1)/aff
+/// from the source and adds at most 4·ℓ/aff to the target.
+#[test]
+fn migration_respects_source_and_target_bounds() {
+    for_each_scenario(
+        0x7B_0002,
+        48,
+        |p| p.target != p.source,
+        |mut p| {
+            // Migration needs the source to survive as a replica set: if the
+            // source is the only replica and the target equals it we'd have
+            // nothing to measure; the target replica always exists after the
+            // move, so the set stays non-empty.
+            let before = measure_shares(&mut p.redirector, &p.demand, &p.routes, HORIZON);
+            let ell = share(&before, p.source);
+            let target_before = share(&before, p.target);
+
+            // Migrate one affinity unit: create at target, reduce at source.
+            p.redirector.notify_created(object(), p.target);
+            if p.source_aff > 1 {
+                p.redirector
+                    .notify_affinity(object(), p.source, p.source_aff - 1);
+            } else {
+                assert!(p.redirector.request_drop(object(), p.source));
+            }
+            let after = measure_shares(&mut p.redirector, &p.demand, &p.routes, HORIZON);
+
+            let decrease = ell - share(&after, p.source);
+            assert!(
+                decrease <= bounds::migration_source_decrease(ell, p.source_aff) + TOL,
+                "T3 violated: decrease {decrease} > bound for ell={ell}, aff={}",
+                p.source_aff
+            );
+            let increase = share(&after, p.target) - target_before;
+            assert!(
+                increase <= bounds::target_increase(ell, p.source_aff) + TOL,
+                "T4 violated: increase {increase} > 4·{ell}/{}",
+                p.source_aff
+            );
+        },
+    );
+}
+
+/// Theorem 5: if a host replicates only when its unit access share
+/// exceeds m, every replica's unit share after the replication is at
+/// least m/4.
+#[test]
+fn replication_threshold_floor_holds() {
+    for_each_scenario(
+        0x7B_0003,
+        48,
+        |p| p.target != p.source,
+        |mut p| {
+            let before = measure_shares(&mut p.redirector, &p.demand, &p.routes, HORIZON);
+            let source_unit = share(&before, p.source) / p.source_aff as f64;
+            // Interpret the source's unit share as exceeding threshold m;
+            // i.e. m is anything below source_unit. Take m = source_unit.
+            let m = source_unit;
+            if m <= 0.05 {
+                return; // only meaningful when the source is warm
+            }
+
+            p.redirector.notify_created(object(), p.target);
+            let after = measure_shares(&mut p.redirector, &p.demand, &p.routes, HORIZON);
+
+            for info in p.redirector.replicas(object()) {
+                let unit = share(&after, info.host) / info.aff as f64;
+                assert!(
+                    unit >= bounds::post_replication_unit_count_floor(m) - TOL,
+                    "T5 violated: replica {} unit share {unit} < {m}/4",
+                    info.host
+                );
+            }
+        },
+    );
 }
 
 /// The theorems hold on the full UUNET evaluation topology too, not just

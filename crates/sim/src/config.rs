@@ -4,13 +4,14 @@ use std::fmt;
 
 use radar_core::{Catalog, Params};
 use radar_simnet::Topology;
-use serde::{Deserialize, Serialize};
+
+use crate::faults::{FaultError, FaultSpec};
 
 /// Network cost model (paper Table 1): per-hop propagation delay and
 /// per-link bandwidth. A response of `size` bytes crossing `h` hops takes
 /// `h × (delay + size / bandwidth)` seconds (store-and-forward) and
 /// consumes `size × h` bytes of backbone bandwidth.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NetworkParams {
     /// Propagation delay per hop, seconds (paper: 10 ms).
     pub hop_delay: f64,
@@ -46,7 +47,7 @@ impl Default for NetworkParams {
 }
 
 /// Whether the dynamic placement algorithm runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PlacementMode {
     /// RaDaR's placement algorithm runs every placement period.
     Dynamic,
@@ -57,7 +58,7 @@ pub enum PlacementMode {
 }
 
 /// Where objects start.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum InitialPlacement {
     /// Object `i` on node `i mod n` — the paper's initial configuration.
     RoundRobin,
@@ -96,6 +97,8 @@ pub enum ScenarioError {
     },
     /// Protocol parameter constraint violation.
     Params(radar_core::ParamsError),
+    /// The fault schedule is invalid for this topology.
+    Faults(FaultError),
 }
 
 impl fmt::Display for ScenarioError {
@@ -113,6 +116,7 @@ impl fmt::Display for ScenarioError {
                 "catalog describes {catalog} objects but the scenario has {scenario}"
             ),
             ScenarioError::Params(e) => write!(f, "invalid protocol parameters: {e}"),
+            ScenarioError::Faults(e) => write!(f, "invalid fault schedule: {e}"),
         }
     }
 }
@@ -121,6 +125,7 @@ impl std::error::Error for ScenarioError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ScenarioError::Params(e) => Some(e),
+            ScenarioError::Faults(e) => Some(e),
             _ => None,
         }
     }
@@ -129,6 +134,12 @@ impl std::error::Error for ScenarioError {
 impl From<radar_core::ParamsError> for ScenarioError {
     fn from(e: radar_core::ParamsError) -> Self {
         ScenarioError::Params(e)
+    }
+}
+
+impl From<FaultError> for ScenarioError {
+    fn from(e: FaultError) -> Self {
+        ScenarioError::Faults(e)
     }
 }
 
@@ -197,6 +208,10 @@ pub struct Scenario {
     /// replica (paper §5), consuming update-propagation bandwidth.
     /// 0 = no updates (the paper's evaluation setting).
     pub update_rate: f64,
+    /// Scheduled faults (host crashes, link partitions, degradations)
+    /// plus the recovery-policy knobs. Empty by default — a fault-free
+    /// run is bit-identical to one built before fault injection existed.
+    pub faults: FaultSpec,
 }
 
 impl Scenario {
@@ -254,6 +269,7 @@ pub struct ScenarioBuilder {
     storage_limit: Option<u32>,
     num_redirectors: u16,
     update_rate: f64,
+    faults: FaultSpec,
 }
 
 impl ScenarioBuilder {
@@ -280,6 +296,7 @@ impl ScenarioBuilder {
             storage_limit: None,
             num_redirectors: 1,
             update_rate: 0.0,
+            faults: FaultSpec::new(),
         }
     }
 
@@ -408,6 +425,13 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Installs a fault schedule (host crashes, link partitions, link
+    /// degradations). Validated against the topology at build time.
+    pub fn faults(mut self, faults: FaultSpec) -> Self {
+        self.faults = faults;
+        self
+    }
+
     /// Validates and builds the scenario.
     ///
     /// # Errors
@@ -520,6 +544,12 @@ impl ScenarioBuilder {
                 });
             }
         }
+        let links: Vec<(u16, u16)> = topology
+            .links()
+            .iter()
+            .map(|&(a, b)| (a.index() as u16, b.index() as u16))
+            .collect();
+        self.faults.validate(topology.len(), &links)?;
         let tracked_host = self.tracked_host.min(topology.len() as u16 - 1);
         let num_redirectors = self.num_redirectors.min(topology.len() as u16);
         let metric_bin = match self.metric_bin {
@@ -553,6 +583,7 @@ impl ScenarioBuilder {
             storage_limit: self.storage_limit,
             num_redirectors,
             update_rate: self.update_rate,
+            faults: self.faults,
         })
     }
 }
@@ -762,6 +793,36 @@ mod tests {
     fn tracked_host_clamped() {
         let s = Scenario::builder().tracked_host(9999).build().unwrap();
         assert_eq!(s.tracked_host, 52);
+    }
+
+    #[test]
+    fn fault_schedule_validated_against_topology() {
+        // Host index past the 53-node UUNET testbed.
+        let err = Scenario::builder()
+            .faults(FaultSpec::new().host_down(99, 10.0, None))
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ScenarioError::Faults(FaultError::UnknownHost(99))
+        ));
+        // Link that is not a UUNET edge.
+        let err = Scenario::builder()
+            .faults(FaultSpec::new().link_down(0, 52, 10.0, None))
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ScenarioError::Faults(FaultError::UnknownLink(0, 52))
+        ));
+        // A valid schedule builds.
+        let s = Scenario::builder()
+            .faults(FaultSpec::new().host_down(7, 100.0, Some(400.0)))
+            .build()
+            .unwrap();
+        assert_eq!(s.faults.faults().len(), 1);
+        // Default is fault-free.
+        assert!(Scenario::builder().build().unwrap().faults.is_empty());
     }
 
     #[test]

@@ -57,6 +57,8 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 mod config;
+mod faults;
+mod json;
 mod metrics;
 mod observer;
 mod platform;
@@ -67,8 +69,10 @@ mod trace;
 pub use config::{
     InitialPlacement, NetworkParams, PlacementMode, Scenario, ScenarioBuilder, ScenarioError,
 };
+pub use faults::{Fault, FaultError, FaultSpec, FaultTransition, TransitionKind};
+pub use json::Json;
 pub use metrics::{LoadEstimateSample, Metrics, RelocationAction, RelocationEvent};
-pub use observer::{Observer, RequestRecord};
+pub use observer::{FailureReason, Observer, RequestRecord};
 pub use platform::Simulation;
 pub use report::{ReplicaCensus, RunReport};
 pub use selection::{RadarSelection, SelectionPolicy};

@@ -1,11 +1,10 @@
 //! In-flight measurement collection.
 
 use radar_stats::{BinSpec, OnlineSummary, P2Quantile, TimeSeries};
-use serde::{Deserialize, Serialize};
 
 /// One Fig. 8b sample: a host's actual measured load together with the
 /// protocol's upper and lower estimates at the same instant.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LoadEstimateSample {
     /// Sample time (seconds).
     pub t: f64,
@@ -19,7 +18,7 @@ pub struct LoadEstimateSample {
 
 /// One entry in the relocation log: what a placement run did to one
 /// object.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RelocationAction {
     /// Proximity-driven migration.
     GeoMigrate,
@@ -36,7 +35,7 @@ pub enum RelocationAction {
 }
 
 /// A timestamped relocation-log record (for debugging and analysis).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RelocationEvent {
     /// Placement-run time (seconds).
     pub t: f64,
@@ -116,6 +115,23 @@ pub struct Metrics {
     /// Times the primary copy had to be reassigned because its host no
     /// longer held the object.
     pub primary_reassignments: u64,
+    /// Requests that could not be served because every candidate replica
+    /// was crashed or unreachable (fault injection, §7 of DESIGN.md).
+    pub failed_requests: u64,
+    /// Requests salvaged by falling back to the object's primary copy
+    /// after the redirector found no live regular replica.
+    pub primary_fallbacks: u64,
+    /// Replicas recreated by the catalog's re-replication sweep after a
+    /// crash dropped an object below its minimum replica count.
+    pub re_replications: u64,
+    /// Total object-seconds spent with zero live replicas (summed over
+    /// objects).
+    pub unavailable_object_seconds: f64,
+    /// Time from an object falling below its minimum replica count to
+    /// the sweep restoring it (seconds).
+    pub restore_time: OnlineSummary,
+    /// Fault transitions (crash/recover/partition/heal/degrade) applied.
+    pub faults_injected: u64,
 }
 
 impl Metrics {
@@ -150,6 +166,12 @@ impl Metrics {
             response_travel: OnlineSummary::new(),
             updates_propagated: 0,
             primary_reassignments: 0,
+            failed_requests: 0,
+            primary_fallbacks: 0,
+            re_replications: 0,
+            unavailable_object_seconds: 0.0,
+            restore_time: OnlineSummary::new(),
+            faults_injected: 0,
         }
     }
 

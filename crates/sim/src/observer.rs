@@ -1,6 +1,21 @@
 //! Custom instrumentation hooks.
 
+use crate::faults::FaultTransition;
 use crate::metrics::RelocationEvent;
+
+/// Why a request failed to be served (fault injection).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureReason {
+    /// Every replica of the object (and the primary fallback) was on a
+    /// crashed host.
+    AllReplicasDown,
+    /// A replica existed but no route reached it from the redirector, or
+    /// the response could not reach the gateway.
+    Unreachable,
+    /// The serving host crashed while the request was queued or in
+    /// service.
+    CrashedMidService,
+}
 
 /// One served request, as delivered to observers.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -73,5 +88,22 @@ pub trait Observer: Send {
     /// maximum measured host load.
     fn on_load_sample(&mut self, t: f64, max_load: f64) {
         let _ = (t, max_load);
+    }
+
+    /// A scheduled fault transition was applied (crash, recovery,
+    /// partition, heal, degradation).
+    fn on_fault(&mut self, transition: &FaultTransition) {
+        let _ = transition;
+    }
+
+    /// A request failed: no live, reachable replica could serve it.
+    fn on_request_failed(&mut self, t: f64, object: u32, gateway: u16, reason: FailureReason) {
+        let _ = (t, object, gateway, reason);
+    }
+
+    /// The re-replication sweep restored `object` to its minimum replica
+    /// count, `elapsed` seconds after it fell below the floor.
+    fn on_re_replication(&mut self, t: f64, object: u32, target: u16, elapsed: f64) {
+        let _ = (t, object, target, elapsed);
     }
 }

@@ -6,9 +6,12 @@ use radar_simcore::{EventQueue, FifoServer, SimDuration, SimRng, SimTime};
 use radar_simnet::{NodeId, RoutingTable};
 use radar_workload::{ArrivalProcess, Workload};
 
+use std::collections::BTreeMap;
+
 use crate::config::{InitialPlacement, PlacementMode, Scenario};
+use crate::faults::{FaultState, FaultTransition, TransitionKind};
 use crate::metrics::{LoadEstimateSample, Metrics};
-use crate::observer::{Observer, RequestRecord};
+use crate::observer::{FailureReason, Observer, RequestRecord};
 use crate::report::RunReport;
 use crate::selection::{RadarSelection, SelectionPolicy};
 use crate::trace::{Trace, TraceEntry};
@@ -33,12 +36,15 @@ enum Event {
         host: NodeId,
         t0: SimTime,
     },
-    /// The host finishes serving; the response departs.
+    /// The host finishes serving; the response departs. `epoch` is the
+    /// host's crash epoch when the request entered service — a mismatch
+    /// at completion means the host crashed underneath it.
     ServiceComplete {
         object: ObjectId,
         gateway: NodeId,
         host: NodeId,
         t0: SimTime,
+        epoch: u32,
     },
     /// Periodic load measurement sampling (Fig. 8a / 8b).
     LoadSample,
@@ -50,6 +56,13 @@ enum Event {
     ProviderUpdate,
     /// The next entry of a replayed trace arrives at its gateway.
     TraceArrival { index: usize },
+    /// The next scheduled fault transition fires.
+    Fault { index: usize },
+    /// A crashed host has been down for the declare-dead timeout; if it
+    /// is still down (and this is not a stale timer from an earlier
+    /// crash — `epoch` guards that), its replicas are purged and
+    /// re-replicated elsewhere.
+    DeclareDead { host: NodeId, epoch: u32 },
 }
 
 /// A configured simulation, ready to [`run`](Simulation::run).
@@ -94,6 +107,20 @@ pub struct Simulation {
     replay: Option<Trace>,
     /// Capture sink: when enabled, every arrival is recorded.
     recorded: Option<Vec<TraceEntry>>,
+    /// Compiled fault schedule, time-sorted (empty on fault-free runs).
+    fault_schedule: Vec<FaultTransition>,
+    /// Live fault state replayed from the schedule.
+    fault_state: FaultState,
+    /// Per-host crash epoch. Completions carry the epoch they entered
+    /// service under, so work queued before a crash is seen as lost.
+    host_epoch: Vec<u32>,
+    /// Hosts the platform has declared dead (replicas purged; the host
+    /// rejoins empty if it ever recovers).
+    declared_dead: Vec<bool>,
+    /// Objects currently below the replica floor → when they fell below.
+    below_min_since: BTreeMap<u32, f64>,
+    /// Objects with zero live replicas → when they lost the last one.
+    unavailable_since: BTreeMap<u32, f64>,
 }
 
 impl std::fmt::Debug for Simulation {
@@ -174,6 +201,7 @@ impl Simulation {
         let mut metrics = Metrics::new(scenario.metric_bin, scenario.params.measurement_interval);
         metrics.link_bytes = vec![0.0; scenario.topology.links().len()];
         let rng = SimRng::seed_from(scenario.seed);
+        let fault_schedule = scenario.faults.transitions(scenario.duration);
         let arrivals = (0..n)
             .map(|i| {
                 let rate = scenario
@@ -209,6 +237,12 @@ impl Simulation {
             load_reports: vec![(0.0, 0.0); n],
             replay: None,
             recorded: None,
+            fault_schedule,
+            fault_state: FaultState::new(n),
+            host_epoch: vec![0; n],
+            declared_dead: vec![false; n],
+            below_min_since: BTreeMap::new(),
+            unavailable_since: BTreeMap::new(),
         }
     }
 
@@ -392,6 +426,10 @@ impl Simulation {
                 );
             }
         }
+        if let Some(first) = self.fault_schedule.first() {
+            self.queue
+                .schedule(SimTime::from_secs(first.t), Event::Fault { index: 0 });
+        }
     }
 
     /// Charges `bytes` to every link on the precomputed path from `from`
@@ -430,11 +468,70 @@ impl Simulation {
                 gateway,
                 host,
                 t0,
-            } => self.on_service_complete(t, object, gateway, host, t0),
+                epoch,
+            } => self.on_service_complete(t, object, gateway, host, t0, epoch),
             Event::LoadSample => self.on_load_sample(t),
             Event::Placement { host } => self.on_placement(t, host),
             Event::ProviderUpdate => self.on_provider_update(t),
             Event::TraceArrival { index } => self.on_trace_arrival(t, index),
+            Event::Fault { index } => self.on_fault(t, index),
+            Event::DeclareDead { host, epoch } => self.on_declare_dead(t, host, epoch),
+        }
+    }
+
+    /// `true` when nodes `a` and `b` can currently exchange traffic
+    /// (always true until a link partition severs them).
+    fn connected(&self, a: NodeId, b: NodeId) -> bool {
+        !self.paths[a.index()][b.index()].is_empty()
+    }
+
+    /// Propagation-only delay over the current route, honoring per-link
+    /// degradation factors. Callers must have checked [`connected`].
+    fn propagation(&self, from: NodeId, to: NodeId) -> f64 {
+        if !self.fault_state.any_link_degraded() {
+            return self
+                .scenario
+                .network
+                .propagation_time(self.routes.distance(from, to));
+        }
+        self.scenario.network.hop_delay * self.weighted_hops(from, to)
+    }
+
+    /// Store-and-forward transfer time over the current route. Degraded
+    /// links stretch the propagation term only — the bandwidth term of
+    /// the §6.1 cost model is a link property, not a congestion signal.
+    fn transfer(&self, from: NodeId, to: NodeId, bytes: u64) -> f64 {
+        let hops = self.routes.distance(from, to);
+        if !self.fault_state.any_link_degraded() {
+            return self.scenario.network.transfer_time(bytes, hops);
+        }
+        self.scenario.network.hop_delay * self.weighted_hops(from, to)
+            + hops as f64 * (bytes as f64 / self.scenario.network.link_bandwidth)
+    }
+
+    /// Sum of per-link delay factors along the current route (equals the
+    /// hop count when nothing is degraded).
+    fn weighted_hops(&self, from: NodeId, to: NodeId) -> f64 {
+        self.paths[from.index()][to.index()]
+            .windows(2)
+            .map(|w| {
+                self.fault_state
+                    .link_factor(w[0].index() as u16, w[1].index() as u16)
+            })
+            .sum()
+    }
+
+    fn fail_request(
+        &mut self,
+        t: SimTime,
+        object: ObjectId,
+        gateway: NodeId,
+        reason: FailureReason,
+    ) {
+        self.metrics.failed_requests += 1;
+        let now = t.as_secs();
+        for obs in &mut self.observers {
+            obs.on_request_failed(now, object.index() as u32, gateway.index() as u16, reason);
         }
     }
 
@@ -454,10 +551,12 @@ impl Simulation {
         }
         // Gateway → the object's redirector: propagation only (requests
         // are tiny).
-        let hops = self
-            .routes
-            .distance(gateway, self.redirector_node_of(object));
-        let delay = self.scenario.network.propagation_time(hops);
+        let rnode = self.redirector_node_of(object);
+        if !self.connected(gateway, rnode) {
+            self.fail_request(t, object, gateway, FailureReason::Unreachable);
+            return;
+        }
+        let delay = self.propagation(gateway, rnode);
         self.queue.schedule(
             t + SimDuration::from_secs(delay),
             Event::Redirect {
@@ -485,10 +584,12 @@ impl Simulation {
                 object: entry.object,
             });
         }
-        let hops = self
-            .routes
-            .distance(gateway, self.redirector_node_of(object));
-        let delay = self.scenario.network.propagation_time(hops);
+        let rnode = self.redirector_node_of(object);
+        if !self.connected(gateway, rnode) {
+            self.fail_request(t, object, gateway, FailureReason::Unreachable);
+            return;
+        }
+        let delay = self.propagation(gateway, rnode);
         self.queue.schedule(
             t + SimDuration::from_secs(delay),
             Event::Redirect {
@@ -506,15 +607,61 @@ impl Simulation {
             .redirector_requests
             .entry(rnode.index() as u16)
             .or_insert(0) += 1;
-        let Some(host) = self
-            .selection
-            .choose(object, gateway, &mut self.redirector, &self.routes)
-        else {
-            debug_assert!(false, "every object keeps at least one replica");
-            return;
+        // A replica is usable when its host is up and traffic can flow
+        // redirector → host and host → gateway.
+        let fault_state = &self.fault_state;
+        let paths = &self.paths;
+        let usable = |h: NodeId| {
+            fault_state.host_up(h.index() as u16)
+                && !paths[rnode.index()][h.index()].is_empty()
+                && !paths[h.index()][gateway.index()].is_empty()
         };
-        let hops = self.routes.distance(self.redirector_node_of(object), host);
-        let delay = self.scenario.network.propagation_time(hops);
+        let chosen = self.selection.choose_available(
+            object,
+            gateway,
+            &mut self.redirector,
+            &self.routes,
+            &usable,
+        );
+        let host = match chosen {
+            Some(h) => h,
+            None => {
+                // Graceful degradation: no usable replica, so fetch from
+                // the provider's origin — modeled as re-installing the
+                // object at its primary node (reassigned to the most
+                // central live host when the primary itself is down).
+                debug_assert!(
+                    !self.scenario.faults.is_empty(),
+                    "every object keeps at least one replica"
+                );
+                let now = t.as_secs();
+                let fallback = self.live_primary(object).filter(|&p| {
+                    !self.paths[rnode.index()][p.index()].is_empty()
+                        && !self.paths[p.index()][gateway.index()].is_empty()
+                });
+                let Some(p) = fallback else {
+                    let any_live = self
+                        .redirector
+                        .replicas(object)
+                        .iter()
+                        .any(|r| self.fault_state.host_up(r.host.index() as u16));
+                    let reason = if any_live {
+                        FailureReason::Unreachable
+                    } else {
+                        FailureReason::AllReplicasDown
+                    };
+                    self.fail_request(t, object, gateway, reason);
+                    return;
+                };
+                if !self.redirector.replicas(object).iter().any(|r| r.host == p) {
+                    self.install(object, p);
+                    self.refresh_one(now, object);
+                }
+                self.metrics.primary_fallbacks += 1;
+                p
+            }
+        };
+        let delay = self.propagation(rnode, host);
         self.queue.schedule(
             t + SimDuration::from_secs(delay),
             Event::ArriveAtHost {
@@ -534,11 +681,17 @@ impl Simulation {
         host: NodeId,
         t0: SimTime,
     ) {
+        let i = host.index();
+        if !self.fault_state.host_up(i as u16) {
+            // The host crashed while the redirect was in flight.
+            self.fail_request(t, object, gateway, FailureReason::CrashedMidService);
+            return;
+        }
         // Record the preference path (host → gateway) for placement.
-        let path = &self.paths[host.index()][gateway.index()];
-        self.hosts[host.index()].record_access(object, path);
+        let path = &self.paths[i][gateway.index()];
+        self.hosts[i].record_access(object, path);
         // FIFO service.
-        let outcome = self.servers[host.index()].offer(t);
+        let outcome = self.servers[i].offer(t);
         // Latency breakdown: the redirect leg is everything before host
         // arrival; queueing is time until service begins.
         self.metrics.redirect_delay.record((t - t0).as_secs());
@@ -552,6 +705,7 @@ impl Simulation {
                 gateway,
                 host,
                 t0,
+                epoch: self.host_epoch[i],
             },
         );
     }
@@ -563,13 +717,24 @@ impl Simulation {
         gateway: NodeId,
         host: NodeId,
         t0: SimTime,
+        epoch: u32,
     ) {
-        self.hosts[host.index()].record_serviced(t.as_secs(), object);
+        let i = host.index();
+        if epoch != self.host_epoch[i] {
+            // The host crashed while this request was queued or in
+            // service; the work is lost.
+            self.fail_request(t, object, gateway, FailureReason::CrashedMidService);
+            return;
+        }
+        self.hosts[i].record_serviced(t.as_secs(), object);
+        if !self.connected(host, gateway) {
+            // The response has nowhere to go: a partition opened while
+            // the request was in service.
+            self.fail_request(t, object, gateway, FailureReason::Unreachable);
+            return;
+        }
         let hops = self.routes.distance(host, gateway);
-        let travel = self
-            .scenario
-            .network
-            .transfer_time(self.scenario.object_size, hops);
+        let travel = self.transfer(host, gateway, self.scenario.object_size);
         let delivered = t + SimDuration::from_secs(travel);
         let latency = (delivered - t0).as_secs();
         let bytes_hops = (self.scenario.object_size * hops as u64) as f64;
@@ -603,6 +768,12 @@ impl Simulation {
         let mut max = 0.0f64;
         let mut max_host = 0u16;
         for (i, host) in self.hosts.iter_mut().enumerate() {
+            if !self.fault_state.host_up(i as u16) {
+                // A crashed host publishes nothing; an infinite report
+                // keeps it off everyone's offload candidate list.
+                self.load_reports[i] = (now, f64::INFINITY);
+                continue;
+            }
             host.advance(now);
             // Publish this measurement round's load report.
             self.load_reports[i] = (now, host.load_upper());
@@ -639,6 +810,18 @@ impl Simulation {
     fn on_placement(&mut self, t: SimTime, node: NodeId) {
         let now = t.as_secs();
         let i = node.index();
+        if !self.fault_state.host_up(i as u16) {
+            // A crashed host makes no placement decisions, but its timer
+            // keeps ticking so decisions resume after recovery.
+            let next = t + SimDuration::from_secs(self.scenario.params.placement_period);
+            if next.as_secs() <= self.scenario.duration {
+                self.queue.schedule(next, Event::Placement { host: node });
+            }
+            return;
+        }
+        let alive: Vec<bool> = (0..self.hosts.len())
+            .map(|j| self.fault_state.host_up(j as u16))
+            .collect();
         // Take the deciding host out of the vector so the environment
         // can borrow the rest mutably.
         let mut host = std::mem::replace(
@@ -656,6 +839,7 @@ impl Simulation {
                 link_index: &self.link_index,
                 catalog: &self.catalog,
                 load_reports: &self.load_reports,
+                alive: &alive,
                 object_size: self.scenario.object_size,
                 now,
             };
@@ -693,11 +877,25 @@ impl Simulation {
 
         let object = ObjectId::new(self.rng.index(self.scenario.num_objects as usize) as u32);
         let replicas = self.redirector.replicas(object);
-        debug_assert!(!replicas.is_empty(), "every object keeps a replica");
+        debug_assert!(
+            !replicas.is_empty() || !self.scenario.faults.is_empty(),
+            "every object keeps a replica"
+        );
+        if replicas.is_empty() {
+            // Every copy is on a purged host; the re-replication sweep
+            // will restore the object — nothing to propagate to.
+            return;
+        }
         let mut primary = self.catalog.primary(object);
         let mut reassigned = false;
         if !replicas.iter().any(|r| r.host == primary) {
-            primary = replicas[0].host;
+            // Prefer a live replica as the new primary (they are all
+            // live on fault-free runs, where this picks replicas[0]).
+            primary = replicas
+                .iter()
+                .map(|r| r.host)
+                .find(|h| self.fault_state.host_up(h.index() as u16))
+                .unwrap_or(replicas[0].host);
             self.catalog.set_primary(object, primary);
             reassigned = true;
         }
@@ -718,6 +916,226 @@ impl Simulation {
             .record_update(now, bytes_hops as f64, reassigned);
     }
 
+    /// Applies the `index`-th scheduled fault transition and schedules
+    /// the next one.
+    fn on_fault(&mut self, t: SimTime, index: usize) {
+        if let Some(next) = self.fault_schedule.get(index + 1) {
+            self.queue.schedule(
+                SimTime::from_secs(next.t),
+                Event::Fault { index: index + 1 },
+            );
+        }
+        let transition = self.fault_schedule[index];
+        let now = t.as_secs();
+        let routes_dirty = self.fault_state.apply(transition.kind);
+        self.metrics.faults_injected += 1;
+        for obs in &mut self.observers {
+            obs.on_fault(&transition);
+        }
+        match transition.kind {
+            TransitionKind::HostCrash(h) => {
+                let i = h as usize;
+                // Everything queued or in service on the host is lost:
+                // bump the epoch (stale completions fail) and replace
+                // the server with an empty one.
+                self.host_epoch[i] += 1;
+                self.servers[i] = FifoServer::with_capacity(self.scenario.capacity_of(i));
+                self.queue.schedule(
+                    t + SimDuration::from_secs(self.scenario.faults.declare_dead_after()),
+                    Event::DeclareDead {
+                        host: NodeId::new(h),
+                        epoch: self.host_epoch[i],
+                    },
+                );
+                self.refresh_object_health(now);
+            }
+            TransitionKind::HostRecover(h) => {
+                if self.fault_state.host_up(h) {
+                    let i = h as usize;
+                    if self.declared_dead[i] {
+                        // Its replicas were purged while it was away; it
+                        // rejoins as an empty host.
+                        self.declared_dead[i] = false;
+                        let mut fresh = HostState::new(NodeId::new(h), self.scenario.params_of(i));
+                        if let Some(limit) = self.scenario.storage_limit {
+                            fresh.set_storage_limit(limit as usize);
+                        }
+                        self.hosts[i] = fresh;
+                    }
+                    self.refresh_object_health(now);
+                    self.re_replicate(t);
+                }
+            }
+            TransitionKind::LinkFail(..) | TransitionKind::LinkHeal(..) => {
+                if routes_dirty {
+                    self.recompute_routes();
+                }
+            }
+            TransitionKind::LinkDegrade(..) | TransitionKind::LinkRestore(..) => {}
+        }
+    }
+
+    /// The declare-dead timer fired: if the host is still down from the
+    /// same crash, purge its replicas and re-replicate what fell below
+    /// the floor.
+    fn on_declare_dead(&mut self, t: SimTime, host: NodeId, epoch: u32) {
+        let i = host.index();
+        if self.host_epoch[i] != epoch
+            || self.fault_state.host_up(i as u16)
+            || self.declared_dead[i]
+        {
+            return;
+        }
+        self.declared_dead[i] = true;
+        self.redirector.purge_host(host);
+        self.refresh_object_health(t.as_secs());
+        self.re_replicate(t);
+    }
+
+    /// Rebuilds routing and the path cache over the currently-up links.
+    fn recompute_routes(&mut self) {
+        let fault_state = &self.fault_state;
+        let routes = RoutingTable::for_topology_masked(&self.scenario.topology, &|a, b| {
+            fault_state.link_up(a.index() as u16, b.index() as u16)
+        });
+        self.routes = routes;
+        let n = self.paths.len();
+        for from in 0..n {
+            for to in 0..n {
+                self.paths[from][to] = self
+                    .routes
+                    .try_path(NodeId::new(from as u16), NodeId::new(to as u16))
+                    .unwrap_or_default();
+            }
+        }
+    }
+
+    /// The object's primary node, standing in for the provider's origin
+    /// server. When the recorded primary is itself down, the designation
+    /// moves to the most central live host. `None` when every host is
+    /// down.
+    fn live_primary(&mut self, object: ObjectId) -> Option<NodeId> {
+        let p = self.catalog.primary(object);
+        if self.fault_state.host_up(p.index() as u16) {
+            return Some(p);
+        }
+        let c = self
+            .routes
+            .nodes_by_centrality()
+            .into_iter()
+            .find(|n| self.fault_state.host_up(n.index() as u16))?;
+        self.catalog.set_primary(object, c);
+        Some(c)
+    }
+
+    /// Re-checks one object's live-replica count against the
+    /// availability and replica-floor trackers, opening or closing the
+    /// corresponding intervals.
+    fn refresh_one(&mut self, now: f64, object: ObjectId) {
+        let i = object.index() as u32;
+        let live = self
+            .redirector
+            .replicas(object)
+            .iter()
+            .filter(|r| self.fault_state.host_up(r.host.index() as u16))
+            .count() as u32;
+        if live == 0 {
+            self.unavailable_since.entry(i).or_insert(now);
+        } else if let Some(since) = self.unavailable_since.remove(&i) {
+            self.metrics.unavailable_object_seconds += now - since;
+        }
+        if live < self.scenario.faults.min_replicas() {
+            self.below_min_since.entry(i).or_insert(now);
+        } else if let Some(since) = self.below_min_since.remove(&i) {
+            self.metrics.restore_time.record(now - since);
+        }
+    }
+
+    /// Full sweep of [`refresh_one`] after a liveness change.
+    fn refresh_object_health(&mut self, now: f64) {
+        if self.scenario.faults.is_empty() {
+            return;
+        }
+        for i in 0..self.scenario.num_objects {
+            self.refresh_one(now, ObjectId::new(i));
+        }
+    }
+
+    /// Restores every object to the replica floor: copies from a live
+    /// replica onto the live host with the most load-report headroom, or
+    /// — when no live copy exists anywhere — re-installs the object at
+    /// its primary (an origin fetch). Runs after a host is declared dead
+    /// and after recoveries.
+    fn re_replicate(&mut self, t: SimTime) {
+        if self.scenario.faults.is_empty() {
+            return;
+        }
+        let now = t.as_secs();
+        let floor = self.scenario.faults.min_replicas();
+        for i in 0..self.scenario.num_objects {
+            let object = ObjectId::new(i);
+            loop {
+                let live: Vec<NodeId> = self
+                    .redirector
+                    .replicas(object)
+                    .iter()
+                    .map(|r| r.host)
+                    .filter(|h| self.fault_state.host_up(h.index() as u16))
+                    .collect();
+                if live.len() as u32 >= floor {
+                    break;
+                }
+                let elapsed = now - self.below_min_since.get(&i).copied().unwrap_or(now);
+                let target = if let Some(&source) = live.first() {
+                    // Copy onto the live host with the most headroom on
+                    // the load-report board (ties broken by node id).
+                    let holders: Vec<NodeId> = self
+                        .redirector
+                        .replicas(object)
+                        .iter()
+                        .map(|r| r.host)
+                        .collect();
+                    let mut cands: Vec<(f64, usize)> = (0..self.hosts.len())
+                        .filter(|&j| self.fault_state.host_up(j as u16))
+                        .filter(|&j| !holders.contains(&NodeId::new(j as u16)))
+                        .map(|j| {
+                            (
+                                self.hosts[j].params().low_watermark - self.load_reports[j].1,
+                                j,
+                            )
+                        })
+                        .collect();
+                    if cands.is_empty() {
+                        break; // fewer live hosts than the floor
+                    }
+                    cands.sort_by(|a, b| {
+                        b.0.partial_cmp(&a.0)
+                            .expect("headroom is never NaN")
+                            .then(a.1.cmp(&b.1))
+                    });
+                    let target = NodeId::new(cands[0].1 as u16);
+                    let hops = self.routes.distance(source, target);
+                    self.metrics
+                        .record_overhead(now, (self.scenario.object_size * hops as u64) as f64);
+                    self.charge_links(source, target, self.scenario.object_size);
+                    target
+                } else {
+                    // Origin fetch: every copy was lost with its hosts.
+                    let Some(p) = self.live_primary(object) else {
+                        break; // the whole platform is down
+                    };
+                    p
+                };
+                self.install(object, target);
+                self.metrics.re_replications += 1;
+                for obs in &mut self.observers {
+                    obs.on_re_replication(now, i, target.index() as u16, elapsed);
+                }
+            }
+            self.refresh_one(now, object);
+        }
+    }
+
     /// Debug-build check of the protocol's replica-set subset invariant:
     /// every replica the redirector knows physically exists on its host.
     fn debug_check_invariants(&self) {
@@ -732,15 +1150,25 @@ impl Simulation {
                         info.host
                     );
                 }
+                // Crashes can transiently leave an object with no
+                // replicas (until the sweep restores it), so the
+                // last-replica invariant only holds on fault-free runs.
                 debug_assert!(
-                    self.redirector.replica_count(object) >= 1,
+                    self.redirector.replica_count(object) >= 1 || !self.scenario.faults.is_empty(),
                     "object {object} lost its last replica"
                 );
             }
         }
     }
 
-    fn finalize(self) -> RunReport {
+    fn finalize(mut self) -> RunReport {
+        // Close the unavailability intervals still open at the end of
+        // the run (replica-floor intervals never restored stay out of
+        // the restore-time distribution: they have no restore).
+        let end = self.scenario.duration;
+        for (_, since) in std::mem::take(&mut self.unavailable_since) {
+            self.metrics.unavailable_object_seconds += end - since;
+        }
         let final_replicas = (0..self.scenario.num_objects)
             .map(|i| {
                 self.redirector
@@ -802,6 +1230,9 @@ struct SimEnv<'a> {
     link_index: &'a std::collections::HashMap<(u16, u16), usize>,
     catalog: &'a Catalog,
     load_reports: &'a [(f64, f64)],
+    /// Host liveness snapshot: crashed hosts accept nothing and are
+    /// skipped during offload-recipient discovery.
+    alive: &'a [bool],
     object_size: u64,
     now: f64,
 }
@@ -813,6 +1244,10 @@ impl PlacementEnv for SimEnv<'_> {
             self.self_index,
             "a host never offers an object to itself"
         );
+        if !self.alive[target.index()] {
+            // A crashed candidate cannot respond to CreateObj.
+            return CreateObjResponse::Refused;
+        }
         let host = &mut self.hosts[target.index()];
         let resp = handle_create_obj(host, self.now, &req);
         if let CreateObjResponse::Accepted { new_copy } = resp {
@@ -858,7 +1293,7 @@ impl PlacementEnv for SimEnv<'_> {
             .hosts
             .iter()
             .enumerate()
-            .filter(|&(j, _)| j != self.self_index && j != requester.index())
+            .filter(|&(j, _)| j != self.self_index && j != requester.index() && self.alive[j])
             .filter_map(|(j, host)| {
                 let (_, reported) = self.load_reports[j];
                 let headroom = host.params().low_watermark - reported;

@@ -3,13 +3,12 @@
 use radar_stats::{
     adjustment_time, equilibrium_mean, AdjustmentOutcome, EquilibriumSpec, Summary, TimeSeries,
 };
-use serde::{Deserialize, Serialize};
 
 use crate::metrics::{LoadEstimateSample, Metrics, RelocationEvent};
 use crate::trace::Trace;
 
 /// Replica statistics at one sampling instant.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ReplicaCensus {
     /// Sample time (seconds).
     pub t: f64,
@@ -27,7 +26,7 @@ pub struct ReplicaCensus {
 /// * [`adjustment`](Self::adjustment) — Table 2's adjustment time;
 /// * [`equilibrium_avg_replicas`](Self::equilibrium_avg_replicas) —
 ///   Table 2's average replica count.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RunReport {
     /// Workload name.
     pub workload: String,
@@ -103,6 +102,19 @@ pub struct RunReport {
     /// Times the primary copy was reassigned after its host shed the
     /// object.
     pub primary_reassignments: u64,
+    /// Requests that failed because every candidate replica was crashed
+    /// or unreachable (fault injection).
+    pub failed_requests: u64,
+    /// Requests salvaged by the redirector's primary-copy fallback.
+    pub primary_fallbacks: u64,
+    /// Replicas recreated by the catalog's re-replication sweep.
+    pub re_replications: u64,
+    /// Total object-seconds with zero live replicas.
+    pub unavailable_object_seconds: f64,
+    /// Time to restore objects to their minimum replica count (seconds).
+    pub restore_time: Summary,
+    /// Fault transitions applied over the run.
+    pub faults_injected: u64,
 }
 
 impl RunReport {
@@ -151,6 +163,24 @@ impl RunReport {
             response_travel: metrics.response_travel.snapshot(),
             updates_propagated: metrics.updates_propagated,
             primary_reassignments: metrics.primary_reassignments,
+            failed_requests: metrics.failed_requests,
+            primary_fallbacks: metrics.primary_fallbacks,
+            re_replications: metrics.re_replications,
+            unavailable_object_seconds: metrics.unavailable_object_seconds,
+            restore_time: metrics.restore_time.snapshot(),
+            faults_injected: metrics.faults_injected,
+        }
+    }
+
+    /// Fraction of arrived requests that were delivered: `1.0` on a
+    /// fault-free run, lower when crashes or partitions made objects
+    /// unreachable.
+    pub fn availability(&self) -> f64 {
+        let attempted = self.total_requests + self.failed_requests;
+        if attempted == 0 {
+            1.0
+        } else {
+            self.total_requests as f64 / attempted as f64
         }
     }
 

@@ -22,6 +22,28 @@ pub trait SelectionPolicy: Send {
         routes: &RoutingTable,
     ) -> Option<NodeId>;
 
+    /// Fault-aware variant: picks a serving host among those passing
+    /// `usable` (live and reachable). The platform always routes requests
+    /// through this method; on fault-free runs `usable` is constantly
+    /// `true` and it behaves exactly like [`choose`](Self::choose).
+    ///
+    /// The default implementation runs [`choose`](Self::choose) and fails
+    /// the request when the pick is unusable — a policy unaware of faults
+    /// degrades pessimistically rather than routing to a crashed host.
+    /// Policies should override this to re-select among usable replicas
+    /// (see [`RadarSelection`]).
+    fn choose_available(
+        &mut self,
+        object: ObjectId,
+        gateway: NodeId,
+        redirector: &mut Redirector,
+        routes: &RoutingTable,
+        usable: &dyn Fn(NodeId) -> bool,
+    ) -> Option<NodeId> {
+        self.choose(object, gateway, redirector, routes)
+            .filter(|&h| usable(h))
+    }
+
     /// Policy name for reports.
     fn name(&self) -> &str;
 }
@@ -47,6 +69,17 @@ impl SelectionPolicy for RadarSelection {
         routes: &RoutingTable,
     ) -> Option<NodeId> {
         redirector.choose_replica(object, gateway, routes)
+    }
+
+    fn choose_available(
+        &mut self,
+        object: ObjectId,
+        gateway: NodeId,
+        redirector: &mut Redirector,
+        routes: &RoutingTable,
+        usable: &dyn Fn(NodeId) -> bool,
+    ) -> Option<NodeId> {
+        redirector.choose_replica_filtered(object, gateway, routes, usable)
     }
 
     fn name(&self) -> &str {

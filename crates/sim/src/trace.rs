@@ -10,10 +10,8 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// One request arrival.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TraceEntry {
     /// Arrival time at the gateway (seconds).
     pub t: f64,
@@ -82,7 +80,7 @@ impl std::error::Error for TraceError {}
 /// assert_eq!(trace.entries()[1].gateway, 7);
 /// # Ok::<(), radar_sim::TraceError>(())
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Trace {
     entries: Vec<TraceEntry>,
 }

@@ -1,11 +1,13 @@
 //! Seeded random number generation for reproducible experiments.
+//!
+//! The generator is a self-contained xoshiro256++ implementation seeded
+//! through SplitMix64, so the whole workspace builds without any external
+//! crates and every stream is stable across platforms and compiler
+//! versions.
 
-use rand::distributions::uniform::{SampleRange, SampleUniform};
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
-
-/// The simulation's random number generator: a [`StdRng`] seeded from a
-/// single `u64`, with the handful of sampling helpers the workloads need.
+/// The simulation's random number generator: xoshiro256++ seeded from a
+/// single `u64` via SplitMix64, with the handful of sampling helpers the
+/// workloads need.
 ///
 /// Every experiment in the reproduction is a pure function of
 /// `(scenario, seed)`; all randomness flows through this type.
@@ -20,51 +22,90 @@ use rand::{Rng, RngCore, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: StdRng,
+    state: [u64; 4],
+}
+
+/// SplitMix64 step, used to expand a 64-bit seed into generator state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from(seed: u64) -> Self {
-        Self {
-            inner: StdRng::seed_from_u64(seed),
+        let mut sm = seed;
+        let mut state = [0u64; 4];
+        for slot in &mut state {
+            *slot = splitmix64(&mut sm);
         }
+        // SplitMix64 cannot emit four zeros for any seed, but guard the
+        // all-zero fixed point anyway.
+        if state == [0; 4] {
+            state = [0x9E37_79B9_7F4A_7C15, 1, 2, 3];
+        }
+        Self { state }
     }
 
     /// Derives an independent child generator, e.g. one per traffic
     /// source, so adding a source does not perturb the others' streams.
     pub fn fork(&mut self, stream: u64) -> SimRng {
         // Mix the stream id into fresh seed material drawn from self.
-        let base = self.inner.next_u64();
+        let base = self.next_u64();
         SimRng::seed_from(base ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
     }
 
-    /// A uniform `f64` in `[0, 1)`.
-    pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+    /// The next raw 64-bit output of the generator.
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s = [s0, s1, s2, s3];
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        self.state = s;
+        result
     }
 
-    /// A uniform sample from `range` (e.g. `0..53`, `0.0..2.5`).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the range is empty.
-    pub fn range<T, R>(&mut self, range: R) -> T
-    where
-        T: SampleUniform,
-        R: SampleRange<T>,
-    {
-        self.inner.gen_range(range)
+    /// The next raw 32-bit output (high bits of [`next_u64`](Self::next_u64)).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A uniform `f64` in `[0, 1)`, built from the top 53 bits.
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// A uniform index in `[0, len)`.
+    ///
+    /// Uses Lemire's widening-multiply rejection method, so every index
+    /// is exactly equally likely.
     ///
     /// # Panics
     ///
     /// Panics if `len == 0`.
     pub fn index(&mut self, len: usize) -> usize {
         assert!(len > 0, "cannot sample an index from an empty collection");
-        self.inner.gen_range(0..len)
+        let n = len as u64;
+        loop {
+            let x = self.next_u64();
+            let (hi, lo) = {
+                let wide = (x as u128) * (n as u128);
+                ((wide >> 64) as u64, wide as u64)
+            };
+            // Reject the partial final stripe to stay unbiased.
+            if lo >= n.wrapping_neg() % n {
+                return hi as usize;
+            }
+        }
     }
 
     /// `true` with probability `p` (clamped to `[0, 1]`).
@@ -85,24 +126,6 @@ impl SimRng {
         );
         // Inverse-CDF; 1-unit() is in (0,1] so ln() is finite.
         -(1.0 - self.unit()).ln() / rate
-    }
-}
-
-impl RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
-    }
-
-    fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
-    }
-
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest)
-    }
-
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
     }
 }
 
@@ -151,6 +174,14 @@ mod tests {
     }
 
     #[test]
+    fn unit_mean_close_to_half() {
+        let mut r = SimRng::seed_from(17);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| r.unit()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean was {mean}");
+    }
+
+    #[test]
     fn chance_extremes() {
         let mut r = SimRng::seed_from(5);
         assert!(!r.chance(0.0));
@@ -172,6 +203,16 @@ mod tests {
         for _ in 0..1000 {
             assert!(r.index(7) < 7);
         }
+    }
+
+    #[test]
+    fn index_covers_all_values() {
+        let mut r = SimRng::seed_from(8);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            seen[r.index(7)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
     }
 
     #[test]

@@ -1,11 +1,9 @@
 //! First-come-first-serve server with busy-until arithmetic.
 
-use serde::{Deserialize, Serialize};
-
 use crate::{SimDuration, SimTime};
 
 /// What happened to a request offered to a [`FifoServer`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServiceOutcome {
     /// When service began (arrival time, or later if the queue was busy).
     pub start: SimTime,
@@ -45,7 +43,7 @@ impl ServiceOutcome {
 /// assert_eq!(b.start.as_secs(), 0.005);
 /// assert_eq!(b.completion.as_secs(), 0.010);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FifoServer {
     service_time: SimDuration,
     busy_until: SimTime,

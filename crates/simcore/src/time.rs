@@ -4,8 +4,6 @@ use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
-use serde::{Deserialize, Serialize};
-
 const MICROS_PER_SEC: u64 = 1_000_000;
 
 /// A point in simulated time, measured in integer microseconds since the
@@ -24,9 +22,7 @@ const MICROS_PER_SEC: u64 = 1_000_000;
 /// let t = SimTime::from_secs(1.5) + SimDuration::from_millis(250.0);
 /// assert_eq!(t.as_secs(), 1.75);
 /// ```
-#[derive(
-    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SimTime(u64);
 
 impl SimTime {
@@ -83,9 +79,7 @@ impl fmt::Display for SimTime {
 /// let d = SimDuration::from_millis(10.0) * 3;
 /// assert_eq!(d.as_secs(), 0.03);
 /// ```
-#[derive(
-    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SimDuration(u64);
 
 impl SimDuration {

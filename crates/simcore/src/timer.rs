@@ -1,7 +1,5 @@
 //! Periodic timers for placement decisions and load measurements.
 
-use serde::{Deserialize, Serialize};
-
 use crate::{SimDuration, SimTime};
 
 /// A fixed-period timer: fires at `start + k·period` for `k = 0, 1, 2, …`
@@ -19,7 +17,7 @@ use crate::{SimDuration, SimTime};
 /// assert_eq!(t.fire().as_secs(), 0.0);
 /// assert_eq!(t.next_fire().as_secs(), 100.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PeriodicTimer {
     period: SimDuration,
     next: SimTime,

@@ -2,14 +2,12 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Identifier of a backbone node (router + co-located hosting server, per
 /// the paper's system model, Fig. 1).
 ///
 /// Node ids are dense indices assigned in insertion order, so they double
 /// as vector indices throughout the simulator.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(u16);
 
 impl NodeId {
@@ -34,7 +32,7 @@ impl fmt::Display for NodeId {
 ///
 /// The paper's *regional* workload partitions the 53 UUNET nodes into
 /// exactly these four regions (§6.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Region {
     /// Western North America.
     WesternNorthAmerica,
@@ -141,7 +139,7 @@ impl std::error::Error for TopologyError {}
 /// assert_eq!(topo.neighbors(a), &[c]);
 /// # Ok::<(), radar_simnet::TopologyError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Topology {
     names: Vec<String>,
     regions: Vec<Region>,

@@ -2,8 +2,6 @@
 
 use std::collections::VecDeque;
 
-use serde::{Deserialize, Serialize};
-
 use crate::{NodeId, Topology};
 
 /// All-pairs hop-count distances and next-hop forwarding state.
@@ -31,7 +29,7 @@ use crate::{NodeId, Topology};
 ///     vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)]
 /// );
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RoutingTable {
     n: usize,
     /// `dist[d][u]` = hops from `u` to destination `d`.
@@ -49,20 +47,47 @@ pub struct RoutingTable {
 impl RoutingTable {
     /// Builds the routing table for `topology` (one BFS per destination).
     pub fn for_topology(topology: &Topology) -> Self {
+        Self::for_topology_masked(topology, &|_, _| true)
+    }
+
+    /// Builds the routing table over the subgraph of links for which
+    /// `link_up(a, b)` is `true` — the fault-injection path: when links
+    /// partition, reachability is recomputed over the survivors.
+    ///
+    /// Unlike [`for_topology`](Self::for_topology), the masked subgraph
+    /// may be disconnected: unreachable pairs report
+    /// [`UNREACHABLE`](Self::UNREACHABLE) distance and must be screened
+    /// with [`reachable`](Self::reachable) before asking for a path.
+    /// The predicate is queried once per directed link traversal; it must
+    /// be symmetric (links are undirected).
+    pub fn for_topology_masked(
+        topology: &Topology,
+        link_up: &dyn Fn(NodeId, NodeId) -> bool,
+    ) -> Self {
         let n = topology.len();
         let mut dist = Vec::with_capacity(n);
         let mut next_hop = Vec::with_capacity(n);
         for d in topology.nodes() {
-            let (dv, nv) = bfs_to_destination(topology, d);
+            let (dv, nv) = bfs_to_destination(topology, d, link_up);
             dist.push(dv);
             next_hop.push(nv);
         }
         // Centroid: minimal total distance to all other nodes, lowest id
-        // breaking ties.
+        // breaking ties. Unreachable pairs saturate so a partitioned
+        // node never wins.
         let mut centroid = NodeId::new(0);
         let mut best: u64 = u64::MAX;
         for u in topology.nodes() {
-            let total: u64 = (0..n).map(|d| dist[d][u.index()] as u64).sum();
+            let total: u64 = (0..n)
+                .map(|d| {
+                    let x = dist[d][u.index()];
+                    if x == u32::MAX {
+                        u32::MAX as u64
+                    } else {
+                        x as u64
+                    }
+                })
+                .sum();
             if total < best {
                 best = total;
                 centroid = u;
@@ -71,6 +96,7 @@ impl RoutingTable {
         let diameter = dist
             .iter()
             .flat_map(|row| row.iter().copied())
+            .filter(|&x| x != u32::MAX)
             .max()
             .unwrap_or(0);
         Self {
@@ -80,6 +106,14 @@ impl RoutingTable {
             centroid,
             diameter,
         }
+    }
+
+    /// Sentinel distance for pairs with no surviving path.
+    pub const UNREACHABLE: u32 = u32::MAX;
+
+    /// `true` when a path currently exists between the two nodes.
+    pub fn reachable(&self, from: NodeId, to: NodeId) -> bool {
+        self.dist[to.index()][from.index()] != Self::UNREACHABLE
     }
 
     /// Number of nodes covered by the table.
@@ -120,8 +154,21 @@ impl RoutingTable {
     ///
     /// # Panics
     ///
-    /// Panics if either node is out of range.
+    /// Panics if either node is out of range, or if `to` is unreachable
+    /// from `from` (possible only on masked tables — check
+    /// [`reachable`](Self::reachable) first, or use
+    /// [`try_path`](Self::try_path)).
     pub fn path(&self, from: NodeId, to: NodeId) -> Vec<NodeId> {
+        self.try_path(from, to)
+            .unwrap_or_else(|| panic!("no path from {from} to {to}"))
+    }
+
+    /// The full path from `from` to `to`, or `None` when the (masked)
+    /// table has no surviving route between them.
+    pub fn try_path(&self, from: NodeId, to: NodeId) -> Option<Vec<NodeId>> {
+        if !self.reachable(from, to) {
+            return None;
+        }
         let mut path = Vec::with_capacity(self.distance(from, to) as usize + 1);
         let mut cur = from;
         path.push(cur);
@@ -129,7 +176,7 @@ impl RoutingTable {
             cur = self.next_hop(cur, to);
             path.push(cur);
         }
-        path
+        Some(path)
     }
 
     /// The node with minimal average distance to all nodes (lowest id on
@@ -170,9 +217,14 @@ impl RoutingTable {
     }
 }
 
-/// BFS from destination `d`; for each node, record distance to `d` and the
-/// lowest-id neighbor one hop closer.
-fn bfs_to_destination(topology: &Topology, d: NodeId) -> (Vec<u32>, Vec<NodeId>) {
+/// BFS from destination `d` over links passing the `link_up` mask; for
+/// each node, record distance to `d` and the lowest-id neighbor one hop
+/// closer. Nodes cut off by the mask keep `u32::MAX`.
+fn bfs_to_destination(
+    topology: &Topology,
+    d: NodeId,
+    link_up: &dyn Fn(NodeId, NodeId) -> bool,
+) -> (Vec<u32>, Vec<NodeId>) {
     let n = topology.len();
     let mut dist = vec![u32::MAX; n];
     let mut next = vec![d; n];
@@ -180,7 +232,7 @@ fn bfs_to_destination(topology: &Topology, d: NodeId) -> (Vec<u32>, Vec<NodeId>)
     let mut queue = VecDeque::from([d]);
     while let Some(u) = queue.pop_front() {
         for &v in topology.neighbors(u) {
-            if dist[v.index()] == u32::MAX {
+            if dist[v.index()] == u32::MAX && link_up(u, v) {
                 dist[v.index()] = dist[u.index()] + 1;
                 // `u` is one hop closer to d than v. Because BFS dequeues
                 // nodes of equal distance in ascending discovery order and
@@ -191,10 +243,6 @@ fn bfs_to_destination(topology: &Topology, d: NodeId) -> (Vec<u32>, Vec<NodeId>)
             }
         }
     }
-    debug_assert!(
-        dist.iter().all(|&x| x != u32::MAX),
-        "topology validated as connected"
-    );
     (dist, next)
 }
 
@@ -313,6 +361,58 @@ mod tests {
         assert_eq!(r.distance(node(0), node(3)), 3);
         assert_eq!(r.distance(node(0), node(5)), 1);
         assert_eq!(r.diameter(), 3);
+    }
+
+    #[test]
+    fn masked_table_reroutes_around_dead_link() {
+        // Ring of 4: killing 0-1 forces 0→1 the long way around.
+        let topo = builders::ring(4);
+        let full = topo.routes();
+        assert_eq!(full.distance(node(0), node(1)), 1);
+        let masked = RoutingTable::for_topology_masked(&topo, &|a, b| {
+            !matches!((a.index(), b.index()), (0, 1) | (1, 0))
+        });
+        assert_eq!(masked.distance(node(0), node(1)), 3);
+        assert!(masked.reachable(node(0), node(1)));
+        assert_eq!(
+            masked.path(node(0), node(1)),
+            vec![node(0), node(3), node(2), node(1)]
+        );
+    }
+
+    #[test]
+    fn masked_table_reports_unreachable_partitions() {
+        // Line 0-1-2: killing 1-2 strands node 2.
+        let topo = builders::line(3);
+        let masked = RoutingTable::for_topology_masked(&topo, &|a, b| {
+            !matches!((a.index(), b.index()), (1, 2) | (2, 1))
+        });
+        assert!(!masked.reachable(node(0), node(2)));
+        assert!(!masked.reachable(node(2), node(1)));
+        assert!(masked.reachable(node(0), node(1)));
+        assert_eq!(masked.distance(node(0), node(2)), RoutingTable::UNREACHABLE);
+        assert_eq!(masked.try_path(node(0), node(2)), None);
+        // A node always reaches itself, even when fully cut off.
+        assert!(masked.reachable(node(2), node(2)));
+        // Diameter ignores unreachable pairs; centroid stays connected.
+        assert_eq!(masked.diameter(), 1);
+        assert!(masked.centroid() == node(0) || masked.centroid() == node(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "no path")]
+    fn path_panics_when_unreachable() {
+        let topo = builders::line(2);
+        let masked = RoutingTable::for_topology_masked(&topo, &|_, _| false);
+        let _ = masked.path(node(0), node(1));
+    }
+
+    #[test]
+    fn unmasked_equals_fully_up_mask() {
+        let topo = builders::uunet();
+        let a = topo.routes();
+        let b = RoutingTable::for_topology_masked(&topo, &|_, _| true);
+        assert_eq!(a, b);
     }
 
     #[test]

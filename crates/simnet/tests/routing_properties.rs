@@ -2,8 +2,11 @@
 //! topologies. The placement protocol's correctness leans on these
 //! invariants (symmetric distances, consistent destination-based paths),
 //! so they are pinned down here rather than assumed.
+//!
+//! Topologies are generated from a seeded [`SimRng`] stream, so every
+//! case is deterministic and a failing seed reproduces exactly.
 
-use proptest::prelude::*;
+use radar_simcore::SimRng;
 use radar_simnet::{NodeId, Region, Topology};
 
 /// A random connected topology: a random spanning tree (each node i>0
@@ -18,6 +21,16 @@ struct RandomTopology {
 }
 
 impl RandomTopology {
+    /// Draws a topology with 2..24 nodes and up to 11 extra edges.
+    fn generate(rng: &mut SimRng) -> Self {
+        let n = 2 + rng.index(22);
+        let parents = (0..n - 1).map(|i| rng.index(i + 1)).collect();
+        let extras = (0..rng.index(12))
+            .map(|_| (rng.index(n), rng.index(n)))
+            .collect();
+        RandomTopology { parents, extras }
+    }
+
     fn build(&self) -> Topology {
         let n = self.parents.len() + 1;
         let mut b = Topology::builder();
@@ -43,102 +56,103 @@ impl RandomTopology {
     }
 }
 
-fn random_topology() -> impl Strategy<Value = RandomTopology> {
-    (2usize..24)
-        .prop_flat_map(|n| {
-            (
-                proptest::collection::vec(0usize..usize::MAX, n - 1),
-                proptest::collection::vec((0usize..n, 0usize..n), 0..12),
-            )
-        })
-        .prop_map(|(parents, extras)| RandomTopology { parents, extras })
+/// Runs `check` against 128 seeded random topologies.
+fn for_each_topology(stream: u64, check: impl Fn(&Topology)) {
+    let mut rng = SimRng::seed_from(stream);
+    for _ in 0..128 {
+        check(&RandomTopology::generate(&mut rng).build());
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn distances_symmetric_and_metric(t in random_topology()) {
-        let topo = t.build();
+#[test]
+fn distances_symmetric_and_metric() {
+    for_each_topology(0x01, |topo| {
         let r = topo.routes();
         for a in topo.nodes() {
-            prop_assert_eq!(r.distance(a, a), 0);
+            assert_eq!(r.distance(a, a), 0);
             for b in topo.nodes() {
-                prop_assert_eq!(r.distance(a, b), r.distance(b, a));
+                assert_eq!(r.distance(a, b), r.distance(b, a));
                 // Triangle inequality through every intermediate node.
                 for c in topo.nodes() {
-                    prop_assert!(
-                        r.distance(a, b) <= r.distance(a, c) + r.distance(c, b)
-                    );
+                    assert!(r.distance(a, b) <= r.distance(a, c) + r.distance(c, b));
                 }
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn paths_are_valid_shortest_walks(t in random_topology()) {
-        let topo = t.build();
+#[test]
+fn paths_are_valid_shortest_walks() {
+    for_each_topology(0x02, |topo| {
         let r = topo.routes();
         for a in topo.nodes() {
             for b in topo.nodes() {
                 let path = r.path(a, b);
-                prop_assert_eq!(path.len() as u32, r.distance(a, b) + 1);
-                prop_assert_eq!(*path.first().unwrap(), a);
-                prop_assert_eq!(*path.last().unwrap(), b);
+                assert_eq!(path.len() as u32, r.distance(a, b) + 1);
+                assert_eq!(*path.first().unwrap(), a);
+                assert_eq!(*path.last().unwrap(), b);
                 for w in path.windows(2) {
-                    prop_assert!(topo.neighbors(w[0]).contains(&w[1]));
+                    assert!(topo.neighbors(w[0]).contains(&w[1]));
                 }
                 // No node repeats on a shortest path.
                 let distinct: std::collections::BTreeSet<_> = path.iter().collect();
-                prop_assert_eq!(distinct.len(), path.len());
+                assert_eq!(distinct.len(), path.len());
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn destination_based_forwarding_is_consistent(t in random_topology()) {
-        // If v lies on u's path to d, v's own path to d is the suffix —
-        // the property that makes "one path for all requests from i to
-        // j" true for transit traffic too.
-        let topo = t.build();
+#[test]
+fn destination_based_forwarding_is_consistent() {
+    // If v lies on u's path to d, v's own path to d is the suffix —
+    // the property that makes "one path for all requests from i to
+    // j" true for transit traffic too.
+    for_each_topology(0x03, |topo| {
         let r = topo.routes();
         for u in topo.nodes() {
             for d in topo.nodes() {
                 let p = r.path(u, d);
                 for (i, &v) in p.iter().enumerate() {
-                    prop_assert_eq!(r.path(v, d), p[i..].to_vec());
+                    assert_eq!(r.path(v, d), p[i..].to_vec());
                 }
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn closest_to_minimizes_distance(t in random_topology()) {
-        let topo = t.build();
+#[test]
+fn closest_to_minimizes_distance() {
+    for_each_topology(0x04, |topo| {
         let r = topo.routes();
         let candidates: Vec<NodeId> = topo.nodes().step_by(2).collect();
         for target in topo.nodes() {
             let chosen = r.closest_to(target, candidates.iter().copied()).unwrap();
-            let best = candidates.iter().map(|&c| r.distance(c, target)).min().unwrap();
-            prop_assert_eq!(r.distance(chosen, target), best);
+            let best = candidates
+                .iter()
+                .map(|&c| r.distance(c, target))
+                .min()
+                .unwrap();
+            assert_eq!(r.distance(chosen, target), best);
         }
-    }
+    });
+}
 
-    #[test]
-    fn centroid_heads_centrality_ranking(t in random_topology()) {
-        let topo = t.build();
+#[test]
+fn centroid_heads_centrality_ranking() {
+    for_each_topology(0x05, |topo| {
         let r = topo.routes();
         let ranking = r.nodes_by_centrality();
-        prop_assert_eq!(ranking.len(), topo.len());
-        prop_assert_eq!(ranking[0], r.centroid());
+        assert_eq!(ranking.len(), topo.len());
+        assert_eq!(ranking[0], r.centroid());
         // Ranking is a permutation of the nodes.
         let distinct: std::collections::BTreeSet<_> = ranking.iter().collect();
-        prop_assert_eq!(distinct.len(), topo.len());
-    }
+        assert_eq!(distinct.len(), topo.len());
+    });
+}
 
-    #[test]
-    fn diameter_is_max_distance(t in random_topology()) {
-        let topo = t.build();
+#[test]
+fn diameter_is_max_distance() {
+    for_each_topology(0x06, |topo| {
         let r = topo.routes();
         let max = topo
             .nodes()
@@ -146,6 +160,6 @@ proptest! {
             .map(|(a, b)| r.distance(a, b))
             .max()
             .unwrap();
-        prop_assert_eq!(r.diameter(), max);
-    }
+        assert_eq!(r.diameter(), max);
+    });
 }

@@ -1,7 +1,5 @@
 //! Equilibrium detection and the paper's adjustment-time metric (Table 2).
 
-use serde::{Deserialize, Serialize};
-
 use crate::TimeSeries;
 
 /// Parameters for equilibrium / adjustment-time detection.
@@ -11,7 +9,7 @@ use crate::TimeSeries;
 /// bandwidth consumption" (Table 2). Equilibrium is estimated as the mean
 /// of the trailing `tail_fraction` of the series (the paper runs the
 /// simulation long enough for the tail to be flat).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EquilibriumSpec {
     /// Fraction of the series (from the end) used to estimate the
     /// equilibrium mean. Default 0.25.
@@ -31,7 +29,7 @@ impl Default for EquilibriumSpec {
 }
 
 /// Result of an adjustment-time computation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AdjustmentOutcome {
     /// Simulation time (seconds, bin start) from which the series stays at
     /// or below the threshold for the remainder of the run.

@@ -1,7 +1,5 @@
 //! Fixed-bucket histogram with an overflow bucket.
 
-use serde::{Deserialize, Serialize};
-
 /// A histogram over `[0, bucket_width × buckets)` with uniform buckets and
 /// a final overflow bucket for samples at or beyond the upper bound.
 ///
@@ -21,7 +19,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(h.bucket_count(9), 1);
 /// assert_eq!(h.overflow(), 1);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     bucket_width: f64,
     counts: Vec<u64>,

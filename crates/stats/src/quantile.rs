@@ -1,7 +1,5 @@
 //! Streaming quantile estimation (the P² algorithm).
 
-use serde::{Deserialize, Serialize};
-
 /// A streaming estimator of a single quantile using the P² algorithm
 /// (Jain & Chlamtac, 1985): five markers track the running quantile in
 /// O(1) memory and O(1) time per sample, with no buffering — suitable
@@ -22,7 +20,7 @@ use serde::{Deserialize, Serialize};
 /// let est = p90.estimate().unwrap();
 /// assert!((est - 900.0).abs() < 20.0, "{est}");
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct P2Quantile {
     q: f64,
     /// Marker heights (estimates of the quantile positions).

@@ -1,7 +1,5 @@
 //! Interval-averaged event rates — the paper's load metric.
 
-use serde::{Deserialize, Serialize};
-
 /// Events-per-second averaged over consecutive measurement intervals.
 ///
 /// The paper (§2.1, §6.1) measures a host's load as "the rate of serviced
@@ -29,7 +27,7 @@ use serde::{Deserialize, Serialize};
 /// load.advance_to(20.0);
 /// assert_eq!(load.rate(), 2.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WindowedRate {
     interval: f64,
     /// Start time of the interval currently being accumulated.

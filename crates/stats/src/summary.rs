@@ -1,7 +1,5 @@
 //! Streaming scalar summaries (Welford's online algorithm).
 
-use serde::{Deserialize, Serialize};
-
 /// A numerically stable streaming summary of a scalar sample stream:
 /// count, mean, variance, min, and max.
 ///
@@ -21,7 +19,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(s.min(), Some(2.0));
 /// assert_eq!(s.max(), Some(6.0));
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct OnlineSummary {
     count: u64,
     mean: f64,
@@ -120,7 +118,7 @@ impl OnlineSummary {
 
 /// An immutable snapshot of an [`OnlineSummary`], with empty-stream values
 /// reported as zero. Primarily for report tables and serialization.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct Summary {
     /// Number of samples.
     pub count: u64,

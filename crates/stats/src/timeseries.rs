@@ -1,7 +1,5 @@
 //! Fixed-width time-binned accumulation.
 
-use serde::{Deserialize, Serialize};
-
 /// Specification of the binning grid for a [`TimeSeries`]: bins of equal
 /// `width` seconds starting at time `origin`.
 ///
@@ -14,7 +12,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(spec.bin_index(19.999), 0);
 /// assert_eq!(spec.bin_index(20.0), 1);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BinSpec {
     origin: f64,
     width: f64,
@@ -102,7 +100,7 @@ impl BinSpec {
 /// assert_eq!(lat.bin_mean(0), Some(0.5));
 /// assert_eq!(lat.bin_mean(5), None); // no samples there
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TimeSeries {
     spec: BinSpec,
     sums: Vec<f64>,

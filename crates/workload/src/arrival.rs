@@ -1,7 +1,6 @@
 //! Request arrival processes.
 
 use radar_simcore::SimRng;
-use serde::{Deserialize, Serialize};
 
 /// When requests enter a gateway.
 ///
@@ -21,7 +20,7 @@ use serde::{Deserialize, Serialize};
 /// let det = ArrivalProcess::Deterministic { rate: 40.0 };
 /// assert_eq!(det.next_interarrival(&mut rng), 0.025);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ArrivalProcess {
     /// Evenly spaced arrivals at `rate` requests/second.
     Deterministic {

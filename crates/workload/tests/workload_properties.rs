@@ -1,8 +1,10 @@
 //! Property tests of the workload generators: every generator must stay
 //! within the object space, honor its declared mixture proportions, and
 //! be a pure function of its seed.
+//!
+//! Each property is exercised over a deterministic sweep of seeded
+//! cases (the seeds feed [`SimRng`], so a failure reproduces exactly).
 
-use proptest::prelude::*;
 use radar_simcore::SimRng;
 use radar_simnet::{builders, NodeId};
 use radar_workload::{
@@ -17,88 +19,101 @@ fn draws(w: &mut dyn Workload, seed: u64, n: usize, gateway: u16) -> Vec<usize> 
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn all_generators_stay_in_range(
-        objects in 4u32..500,
-        seed in any::<u64>(),
-        gateway in 0u16..53,
-    ) {
+#[test]
+fn all_generators_stay_in_range() {
+    let topo = builders::uunet();
+    for case in 0..64u64 {
+        let mut meta = SimRng::seed_from(0xA11_C0DE ^ case);
+        let objects = 4 + meta.index(496) as u32;
+        let seed = meta.next_u64();
+        let gateway = meta.index(53) as u16;
         let mut rng = SimRng::seed_from(seed);
-        let topo = builders::uunet();
         let mut all: Vec<Box<dyn Workload + Send>> = vec![
             Box::new(ZipfReeds::new(objects)),
             Box::new(Uniform::new(objects)),
             Box::new(HotSites::new(objects, 53, 0.1, 0.9, &mut rng)),
             Box::new(HotPages::new(objects, 0.25, 0.9, &mut rng)),
             Box::new(Weighted::new((0..objects).map(|i| (i + 1) as f64).collect()).unwrap()),
+            Box::new(Regional::new(objects, &topo, 0.2, 0.9)),
         ];
-        if objects >= 4 {
-            all.push(Box::new(Regional::new(objects, &topo, 0.2, 0.9)));
-        }
         for w in &mut all {
             for idx in draws(w.as_mut(), seed, 300, gateway) {
-                prop_assert!(idx < objects as usize, "{} out of range", w.name());
+                assert!(
+                    idx < objects as usize,
+                    "{} out of range (case {case}, {objects} objects)",
+                    w.name()
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn generators_are_seed_deterministic(
-        objects in 4u32..200,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn generators_are_seed_deterministic() {
+    for case in 0..32u64 {
+        let mut meta = SimRng::seed_from(0xDE7E_2101 ^ case);
+        let objects = 4 + meta.index(196) as u32;
+        let seed = meta.next_u64();
         let mut a = ZipfReeds::new(objects);
         let mut b = ZipfReeds::new(objects);
-        prop_assert_eq!(draws(&mut a, seed, 200, 0), draws(&mut b, seed, 200, 0));
+        assert_eq!(draws(&mut a, seed, 200, 0), draws(&mut b, seed, 200, 0));
     }
+}
 
-    #[test]
-    fn mixture_respects_weights(
-        w1 in 1u32..10,
-        w2 in 1u32..10,
-    ) {
-        // Component 1 always draws object 0; component 2 always draws
-        // object 1 (uniform over a shifted singleton via weights).
-        let only = |i: u32, objects: u32| -> Box<dyn Workload + Send> {
-            let mut weights = vec![0.0; objects as usize];
-            weights[i as usize] = 1.0;
-            Box::new(Weighted::new(weights).unwrap())
-        };
-        let mut m = Mixture::new(vec![
-            (w1 as f64, only(0, 2)),
-            (w2 as f64, only(1, 2)),
-        ]);
+#[test]
+fn mixture_respects_weights() {
+    // Component 1 always draws object 0; component 2 always draws
+    // object 1 (uniform over a shifted singleton via weights).
+    let only = |i: u32, objects: u32| -> Box<dyn Workload + Send> {
+        let mut weights = vec![0.0; objects as usize];
+        weights[i as usize] = 1.0;
+        Box::new(Weighted::new(weights).unwrap())
+    };
+    for (w1, w2) in [(1u32, 1u32), (1, 9), (9, 1), (2, 5), (7, 3), (4, 4)] {
+        let mut m = Mixture::new(vec![(w1 as f64, only(0, 2)), (w2 as f64, only(1, 2))]);
         let out = draws(&mut m, 9, 4000, 0);
         let zeros = out.iter().filter(|&&i| i == 0).count() as f64;
         let expect = w1 as f64 / (w1 + w2) as f64;
-        prop_assert!(
+        assert!(
             (zeros / 4000.0 - expect).abs() < 0.05,
-            "share {} vs expected {expect}",
+            "share {} vs expected {expect} for weights {w1}:{w2}",
             zeros / 4000.0
         );
     }
+}
 
-    #[test]
-    fn demand_shift_boundary_is_exact(at in 1.0f64..1000.0) {
+#[test]
+fn demand_shift_boundary_is_exact() {
+    let mut meta = SimRng::seed_from(0x5117F);
+    let ats = [1.0, 2.5, 100.0, 999.0]
+        .into_iter()
+        .chain((0..12).map(|_| 1.0 + 999.0 * meta.unit()));
+    for at in ats {
         let mut w = DemandShift::new(
             Box::new(Uniform::new(1)),
             Box::new(Weighted::new(vec![0.0, 1.0]).unwrap()),
             at,
         );
         let mut rng = SimRng::seed_from(3);
-        prop_assert_eq!(w.choose(at - 1e-9, NodeId::new(0), &mut rng).index(), 0);
-        prop_assert_eq!(w.choose(at, NodeId::new(0), &mut rng).index(), 1);
+        assert_eq!(w.choose(at - 1e-9, NodeId::new(0), &mut rng).index(), 0);
+        assert_eq!(w.choose(at, NodeId::new(0), &mut rng).index(), 1);
     }
+}
 
-    #[test]
-    fn deterministic_arrivals_sum_to_rate(rate in 0.5f64..500.0) {
+#[test]
+fn deterministic_arrivals_sum_to_rate() {
+    let mut meta = SimRng::seed_from(0x0A22_17E5);
+    let rates = [0.5, 1.0, 7.25, 40.0, 499.5]
+        .into_iter()
+        .chain((0..12).map(|_| 0.5 + 499.5 * meta.unit()));
+    for rate in rates {
         let mut rng = SimRng::seed_from(1);
         let a = ArrivalProcess::Deterministic { rate };
         let total: f64 = (0..1000).map(|_| a.next_interarrival(&mut rng)).sum();
         // 1000 gaps at rate r span 1000/r seconds exactly.
-        prop_assert!((total - 1000.0 / rate).abs() < 1e-6);
+        assert!(
+            (total - 1000.0 / rate).abs() < 1e-6,
+            "gap sum {total} at rate {rate}"
+        );
     }
 }
