@@ -1,0 +1,493 @@
+//! `radar events` — inspect a flight-recorder JSONL log.
+//!
+//! Logs come from `radar simulate --events FILE` (or any
+//! [`radar_obs::Recorder`] sink). Four subcommands: `tail` shows the
+//! most recent events, `filter` selects by type/object/gateway/host/
+//! time, `explain` prints one event's full decision narrative plus its
+//! causal chain, and `summary` aggregates per-event-type counts, rates,
+//! and queue-depth statistics.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use radar_obs::{parse_jsonl, Event, EventKind, EVENT_TYPES};
+
+use crate::args::Parsed;
+
+pub(crate) fn command(args: &[&str]) -> Result<String, String> {
+    let Some((&sub, rest)) = args.split_first() else {
+        return Ok(help());
+    };
+    match sub {
+        "tail" => tail(rest),
+        "filter" => filter(rest),
+        "explain" => explain(rest),
+        "summary" => summary(rest),
+        "--help" | "-h" => Ok(help()),
+        other => Err(format!("unknown events subcommand {other:?}\n\n{}", help())),
+    }
+}
+
+fn load(path: &str) -> Result<Vec<Event>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read events file {path}: {e}"))?;
+    parse_jsonl(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// The single FILE positional every subcommand except `explain` takes.
+fn one_positional(parsed: &Parsed, sub: &str) -> Result<String, String> {
+    match parsed.positionals.as_slice() {
+        [path] => Ok(path.clone()),
+        [] => Err(format!("events {sub} expects an events FILE\n\n{}", help())),
+        more => Err(format!(
+            "events {sub} takes one FILE, got {} positionals",
+            more.len()
+        )),
+    }
+}
+
+fn tail(args: &[&str]) -> Result<String, String> {
+    let parsed = Parsed::parse(args, &["count"], &["help"]).map_err(|e| e.to_string())?;
+    if parsed.has("help") {
+        return Ok(help());
+    }
+    let path = one_positional(&parsed, "tail")?;
+    let count: usize = parsed
+        .get_parsed("count", 10, "an event count")
+        .map_err(|e| e.to_string())?;
+    let events = load(&path)?;
+    if events.is_empty() {
+        return Ok("no events\n".to_string());
+    }
+    let mut out = String::new();
+    let skip = events.len().saturating_sub(count);
+    if skip > 0 {
+        let _ = writeln!(out, "… {skip} earlier events");
+    }
+    for e in &events[skip..] {
+        out.push_str(&e.brief());
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+fn filter(args: &[&str]) -> Result<String, String> {
+    const OPTIONS: &[&str] = &[
+        "type", "object", "gateway", "host", "since", "until", "limit",
+    ];
+    let parsed = Parsed::parse(args, OPTIONS, &["help"]).map_err(|e| e.to_string())?;
+    if parsed.has("help") {
+        return Ok(help());
+    }
+    let path = one_positional(&parsed, "filter")?;
+    let type_name = parsed.get("type").map(str::to_string);
+    if let Some(t) = &type_name {
+        if !EVENT_TYPES.contains(&t.as_str()) {
+            return Err(format!(
+                "unknown event type {t:?} (one of: {})",
+                EVENT_TYPES.join(", ")
+            ));
+        }
+    }
+    let object: Option<u32> = opt_num(&parsed, "object", "an object id")?;
+    let gateway: Option<u16> = opt_num(&parsed, "gateway", "a node id")?;
+    let host: Option<u16> = opt_num(&parsed, "host", "a node id")?;
+    let since: Option<f64> = opt_num(&parsed, "since", "a time in seconds")?;
+    let until: Option<f64> = opt_num(&parsed, "until", "a time in seconds")?;
+    let limit: usize = parsed
+        .get_parsed("limit", usize::MAX, "an event count")
+        .map_err(|e| e.to_string())?;
+
+    let events = load(&path)?;
+    let total = events.len();
+    let mut out = String::new();
+    let mut shown = 0usize;
+    let mut matched = 0usize;
+    for e in &events {
+        let keep = type_name.as_deref().is_none_or(|t| e.type_name() == t)
+            && object.is_none_or(|o| e.object() == Some(o))
+            && gateway.is_none_or(|g| e.gateway() == Some(g))
+            && host.is_none_or(|h| e.host() == Some(h))
+            && since.is_none_or(|s| e.t >= s)
+            && until.is_none_or(|u| e.t <= u);
+        if !keep {
+            continue;
+        }
+        matched += 1;
+        if shown < limit {
+            out.push_str(&e.brief());
+            out.push('\n');
+            shown += 1;
+        }
+    }
+    let _ = writeln!(out, "{matched} of {total} events matched");
+    if shown < matched {
+        let _ = writeln!(out, "(showing first {shown}; raise --limit for more)");
+    }
+    Ok(out)
+}
+
+fn opt_num<T: std::str::FromStr>(
+    parsed: &Parsed,
+    key: &str,
+    expected: &'static str,
+) -> Result<Option<T>, String> {
+    match parsed.get(key) {
+        None => Ok(None),
+        Some(raw) => raw
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("flag --{key}: expected {expected}, got {raw:?}")),
+    }
+}
+
+fn explain(args: &[&str]) -> Result<String, String> {
+    let parsed = Parsed::parse(args, &[], &["help"]).map_err(|e| e.to_string())?;
+    if parsed.has("help") {
+        return Ok(help());
+    }
+    let [seq, path] = parsed.positionals.as_slice() else {
+        return Err(format!("events explain expects SEQ FILE\n\n{}", help()));
+    };
+    let seq: u64 = seq
+        .parse()
+        .map_err(|_| format!("expected an event sequence number, got {seq:?}"))?;
+    let events = load(path)?;
+    let by_seq: BTreeMap<u64, &Event> = events.iter().map(|e| (e.seq, e)).collect();
+    let Some(event) = by_seq.get(&seq) else {
+        return Err(format!(
+            "no event #{seq} in {path} ({} events, seq {}..={})",
+            events.len(),
+            events.first().map_or(0, |e| e.seq),
+            events.last().map_or(0, |e| e.seq)
+        ));
+    };
+
+    let mut out = event.explain();
+    // Walk the causal chain: ancestors back to the root, then direct
+    // consequences (events naming this one as parent).
+    let mut ancestors = Vec::new();
+    let mut cursor = event.parent;
+    while let Some(p) = cursor {
+        match by_seq.get(&p) {
+            Some(e) => {
+                ancestors.push(*e);
+                cursor = e.parent;
+            }
+            None => {
+                // Evicted from the ring before the log was written.
+                ancestors.push(&MISSING);
+                break;
+            }
+        }
+    }
+    if !ancestors.is_empty() {
+        out.push_str("\ncaused by:\n");
+        for e in ancestors.iter().rev() {
+            if e.seq == 0 {
+                out.push_str("  (earlier event not in this log)\n");
+            } else {
+                let _ = writeln!(out, "  {}", e.brief());
+            }
+        }
+    }
+    let children: Vec<&Event> = events.iter().filter(|e| e.parent == Some(seq)).collect();
+    if !children.is_empty() {
+        out.push_str("\nled to:\n");
+        for e in children {
+            let _ = writeln!(out, "  {}", e.brief());
+        }
+    }
+    Ok(out)
+}
+
+/// Placeholder for a causal parent that is absent from the log (ring
+/// eviction); `seq` 0 never occurs in real events.
+static MISSING: Event = Event {
+    seq: 0,
+    parent: None,
+    t: 0.0,
+    queue_depth: 0,
+    kind: EventKind::RequestArrived {
+        gateway: 0,
+        object: 0,
+    },
+};
+
+fn summary(args: &[&str]) -> Result<String, String> {
+    let parsed = Parsed::parse(args, &["top"], &["help"]).map_err(|e| e.to_string())?;
+    if parsed.has("help") {
+        return Ok(help());
+    }
+    let path = one_positional(&parsed, "summary")?;
+    let top: usize = parsed
+        .get_parsed("top", 5, "a row count")
+        .map_err(|e| e.to_string())?;
+    let events = load(&path)?;
+    if events.is_empty() {
+        return Ok("no events\n".to_string());
+    }
+    let first = events.first().expect("non-empty").t;
+    let last = events.last().expect("non-empty").t;
+    let span = last - first;
+    let total = events.len();
+
+    #[derive(Default)]
+    struct TypeRow {
+        count: u64,
+        qd_sum: u64,
+        qd_max: u32,
+    }
+    let mut rows: BTreeMap<&'static str, TypeRow> = BTreeMap::new();
+    let mut objects: BTreeMap<u32, u64> = BTreeMap::new();
+    let mut hosts: BTreeMap<u16, u64> = BTreeMap::new();
+    for e in &events {
+        let row = rows.entry(e.type_name()).or_default();
+        row.count += 1;
+        row.qd_sum += u64::from(e.queue_depth);
+        row.qd_max = row.qd_max.max(e.queue_depth);
+        if let Some(o) = e.object() {
+            *objects.entry(o).or_default() += 1;
+        }
+        if let Some(h) = e.host() {
+            *hosts.entry(h).or_default() += 1;
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{total} events over t=[{first:.3}, {last:.3}] ({span:.3} s)"
+    );
+    out.push('\n');
+    let _ = writeln!(
+        out,
+        "{:<15} {:>9} {:>7} {:>10} {:>8} {:>7}",
+        "type", "count", "share", "rate/s", "mean qd", "max qd"
+    );
+    // Known types first, in their canonical order; anything else after.
+    let ordered = EVENT_TYPES
+        .iter()
+        .copied()
+        .filter(|t| rows.contains_key(t))
+        .chain(rows.keys().copied().filter(|t| !EVENT_TYPES.contains(t)));
+    for name in ordered {
+        let row = &rows[name];
+        let share = 100.0 * row.count as f64 / total as f64;
+        let rate = if span > 0.0 {
+            format!("{:>10.2}", row.count as f64 / span)
+        } else {
+            format!("{:>10}", "n/a")
+        };
+        let _ = writeln!(
+            out,
+            "{:<15} {:>9} {:>6.1}% {} {:>8.1} {:>7}",
+            name,
+            row.count,
+            share,
+            rate,
+            row.qd_sum as f64 / row.count as f64,
+            row.qd_max
+        );
+    }
+
+    let mut top_objects: Vec<(u64, u32)> = objects.into_iter().map(|(o, c)| (c, o)).collect();
+    top_objects.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    if !top_objects.is_empty() {
+        out.push('\n');
+        let _ = writeln!(out, "busiest objects (by event count)");
+        for (count, object) in top_objects.iter().take(top) {
+            let _ = writeln!(out, "  object {object:<6} {count:>9}");
+        }
+    }
+    let mut top_hosts: Vec<(u64, u16)> = hosts.into_iter().map(|(h, c)| (c, h)).collect();
+    top_hosts.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    if !top_hosts.is_empty() {
+        out.push('\n');
+        let _ = writeln!(out, "busiest hosts (by event count)");
+        for (count, host) in top_hosts.iter().take(top) {
+            let _ = writeln!(out, "  host {host:<8} {count:>9}");
+        }
+    }
+    Ok(out)
+}
+
+fn help() -> String {
+    "radar events — inspect a flight-recorder JSONL log\n\
+     \n\
+     Produce a log with `radar simulate --events FILE …`.\n\
+     \n\
+     USAGE:\n\
+     \x20 radar events tail FILE [--count N]        last N events (default 10)\n\
+     \x20 radar events filter FILE [FILTERS]        matching events, oldest first\n\
+     \x20 radar events explain SEQ FILE             one event in full: the Fig. 2\n\
+     \x20                                           decision or placement test that\n\
+     \x20                                           produced it, plus its causal chain\n\
+     \x20 radar events summary FILE [--top N]       per-type counts, rates, queue\n\
+     \x20                                           depths, busiest objects/hosts\n\
+     \n\
+     FILTERS:\n\
+     \x20 --type T      request | decision | served | failed | placement |\n\
+     \x20               counts-reset | fault | re-replication\n\
+     \x20 --object N    events concerning object N\n\
+     \x20 --gateway N   events entering at gateway node N\n\
+     \x20 --host N      events involving host node N\n\
+     \x20 --since S     events at simulated time >= S seconds\n\
+     \x20 --until S     events at simulated time <= S seconds\n\
+     \x20 --limit N     print at most N matches\n"
+        .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_log(events: &[Event]) -> (tempdir::TempPath, String) {
+        let mut text = String::new();
+        for e in events {
+            text.push_str(&e.to_json_line());
+            text.push('\n');
+        }
+        let path = tempdir::path("events-test");
+        std::fs::write(&path, text).unwrap();
+        let s = path.to_string_lossy().into_owned();
+        (tempdir::TempPath(path), s)
+    }
+
+    /// Minimal self-cleaning temp files (std-only).
+    mod tempdir {
+        use std::path::PathBuf;
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+
+        pub struct TempPath(pub PathBuf);
+        impl Drop for TempPath {
+            fn drop(&mut self) {
+                let _ = std::fs::remove_file(&self.0);
+            }
+        }
+
+        pub fn path(stem: &str) -> PathBuf {
+            let n = NEXT.fetch_add(1, Ordering::Relaxed);
+            std::env::temp_dir().join(format!("radar-{stem}-{}-{n}.jsonl", std::process::id()))
+        }
+    }
+
+    fn served(seq: u64, parent: Option<u64>, t: f64, object: u32) -> Event {
+        Event {
+            seq,
+            parent,
+            t,
+            queue_depth: 2,
+            kind: EventKind::RequestServed {
+                gateway: 1,
+                object,
+                host: 4,
+                latency: 0.05,
+                hops: 2,
+            },
+        }
+    }
+
+    #[test]
+    fn tail_shows_last_events() {
+        let events: Vec<Event> = (1..=20).map(|i| served(i, None, i as f64, 7)).collect();
+        let (_guard, path) = write_log(&events);
+        let out = tail(&[path.as_str(), "--count", "3"]).unwrap();
+        assert!(out.contains("… 17 earlier events"), "{out}");
+        assert!(out.contains("#18"), "{out}");
+        assert!(out.contains("#20"), "{out}");
+        assert!(!out.contains("#17 "), "{out}");
+    }
+
+    #[test]
+    fn filter_by_object_and_limit() {
+        let events = vec![
+            served(1, None, 1.0, 7),
+            served(2, None, 2.0, 9),
+            served(3, None, 3.0, 7),
+        ];
+        let (_guard, path) = write_log(&events);
+        let out = filter(&[path.as_str(), "--object", "7"]).unwrap();
+        assert!(out.contains("2 of 3 events matched"), "{out}");
+        assert!(!out.contains("object 9"), "{out}");
+        let limited = filter(&[path.as_str(), "--limit", "1"]).unwrap();
+        assert!(limited.contains("showing first 1"), "{limited}");
+    }
+
+    #[test]
+    fn filter_rejects_unknown_type() {
+        let (_guard, path) = write_log(&[served(1, None, 1.0, 7)]);
+        let err = filter(&[path.as_str(), "--type", "bogus"]).unwrap_err();
+        assert!(err.contains("unknown event type"), "{err}");
+    }
+
+    #[test]
+    fn explain_walks_causal_chain() {
+        let events = vec![
+            Event {
+                seq: 1,
+                parent: None,
+                t: 1.0,
+                queue_depth: 0,
+                kind: EventKind::RequestArrived {
+                    gateway: 1,
+                    object: 7,
+                },
+            },
+            Event {
+                seq: 2,
+                parent: Some(1),
+                t: 1.1,
+                queue_depth: 1,
+                kind: EventKind::Decision(radar_obs::DecisionEvent {
+                    object: 7,
+                    gateway: 1,
+                    chosen: 4,
+                    branch: "closest".into(),
+                    constant: 2.0,
+                    closest: Some(4),
+                    least: Some(5),
+                    unit_closest: Some(1.0),
+                    unit_least: Some(3.0),
+                    candidates: Vec::new(),
+                }),
+            },
+            served(3, Some(2), 1.2, 7),
+        ];
+        let (_guard, path) = write_log(&events);
+        let out = explain(&["2", path.as_str()]).unwrap();
+        assert!(out.contains("Fig. 2"), "{out}");
+        assert!(out.contains("caused by:"), "{out}");
+        assert!(out.contains("led to:"), "{out}");
+        assert!(out.contains("#3"), "{out}");
+        let err = explain(&["99", path.as_str()]).unwrap_err();
+        assert!(err.contains("no event #99"), "{err}");
+    }
+
+    #[test]
+    fn summary_counts_types_and_guards_zero_span() {
+        let events = vec![
+            served(1, None, 5.0, 7),
+            served(2, None, 5.0, 7),
+            Event {
+                seq: 3,
+                parent: None,
+                t: 5.0,
+                queue_depth: 9,
+                kind: EventKind::Fault {
+                    desc: "host-crash 4".into(),
+                },
+            },
+        ];
+        let (_guard, path) = write_log(&events);
+        let out = summary(&[path.as_str()]).unwrap();
+        assert!(out.contains("3 events"), "{out}");
+        assert!(out.contains("served"), "{out}");
+        assert!(out.contains("fault"), "{out}");
+        // All three events share one timestamp: no rate is computable.
+        assert!(out.contains("n/a"), "{out}");
+        assert!(out.contains("busiest objects"), "{out}");
+    }
+}

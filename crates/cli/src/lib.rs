@@ -7,12 +7,14 @@
 //! radar simulate [--workload W] [--objects N] [--rate R] [--duration S] …
 //! radar topology <uunet|FILE> [--stats] [--dot] [--spec]
 //! radar trace <stats|validate> FILE
+//! radar events <tail|filter|explain|summary> … FILE
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod args;
+mod events;
 pub mod json;
 mod render;
 mod simulate;
@@ -35,6 +37,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
         Some("simulate") => simulate::command(&args.collect::<Vec<_>>()),
         Some("topology") => topology::command(&args.collect::<Vec<_>>()),
         Some("trace") => tracecmd::command(&args.collect::<Vec<_>>()),
+        Some("events") => events::command(&args.collect::<Vec<_>>()),
         Some("--help") | Some("-h") | None => Ok(usage()),
         Some(other) => Err(format!("unknown command {other:?}\n\n{}", usage())),
     }
@@ -48,6 +51,8 @@ pub fn usage() -> String {
      \x20 radar simulate [OPTIONS]        run a hosting-platform simulation\n\
      \x20 radar topology <uunet|FILE>     inspect or convert a backbone topology\n\
      \x20 radar trace <stats|validate> F  inspect a request trace\n\
+     \x20 radar events <SUBCOMMAND> FILE  inspect a flight-recorder event log\n\
+     \x20                                 (tail | filter | explain | summary)\n\
      \n\
      Run `radar simulate --help` (etc.) for per-command options.\n"
         .to_string()

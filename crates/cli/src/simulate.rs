@@ -25,6 +25,7 @@ const OPTIONS: &[&str] = &[
     "replay",
     "record-trace",
     "faults",
+    "events",
     "out",
 ];
 const SWITCHES: &[&str] = &["static", "json", "help"];
@@ -89,6 +90,9 @@ pub struct SimulateArgs {
     pub replay: Option<Trace>,
     /// Capture arrivals and write them here.
     pub record_trace_to: Option<String>,
+    /// Stream flight-recorder events (JSONL) here and enable event-loop
+    /// profiling.
+    pub events_to: Option<String>,
     /// Emit the full report as JSON instead of the text summary.
     pub json: bool,
     /// Write output here instead of returning it for stdout.
@@ -206,6 +210,7 @@ impl SimulateArgs {
             policy,
             replay,
             record_trace_to: parsed.get("record-trace").map(str::to_string),
+            events_to: parsed.get("events").map(str::to_string),
             json: parsed.has("json"),
             out: parsed.get("out").map(str::to_string),
         })
@@ -234,11 +239,33 @@ impl SimulateArgs {
         if self.record_trace_to.is_some() {
             sim.record_trace();
         }
+        let events = match &self.events_to {
+            None => None,
+            Some(path) => {
+                // Stream every event to the file as it happens (the ring
+                // only bounds in-memory retention) and profile the loop.
+                let file = std::fs::File::create(path)
+                    .map_err(|e| format!("cannot create events file {path}: {e}"))?;
+                let sink = Box::new(std::io::BufWriter::new(file));
+                let recorder =
+                    radar_sim::obs::Recorder::new(radar_sim::obs::DEFAULT_CAPACITY).with_sink(sink);
+                let shared = radar_sim::obs::SharedRecorder::from_recorder(recorder);
+                sim.attach_observer(Box::new(shared.clone()));
+                sim.enable_loop_profile();
+                Some((path.clone(), shared))
+            }
+        };
         let report = sim.run();
+        if let Some((path, shared)) = &events {
+            if let Some(err) = shared.finish() {
+                return Err(format!("error writing events file {path}: {err}"));
+            }
+        }
         Ok((
             report,
             OutputSettings {
                 record_trace_to: self.record_trace_to,
+                events_to: events.map(|(path, _)| path),
                 json: self.json,
                 out: self.out,
             },
@@ -250,6 +277,7 @@ impl SimulateArgs {
 #[derive(Debug)]
 pub struct OutputSettings {
     record_trace_to: Option<String>,
+    events_to: Option<String>,
     json: bool,
     out: Option<String>,
 }
@@ -265,11 +293,22 @@ pub(crate) fn command(args: &[&str]) -> Result<String, String> {
         std::fs::write(path, trace.to_text())
             .map_err(|e| format!("cannot write trace {path}: {e}"))?;
     }
-    let body = if output.json {
+    let mut body = if output.json {
         report.to_json_pretty()
     } else {
         render::summary(&report)
     };
+    if !output.json {
+        if let Some(profile) = &report.loop_profile {
+            body.push('\n');
+            body.push_str(&profile.to_string());
+        }
+        if let Some(path) = &output.events_to {
+            body.push_str(&format!(
+                "\nevents written to {path} (inspect with `radar events summary {path}`)\n"
+            ));
+        }
+    }
     match &output.out {
         Some(path) => {
             std::fs::write(path, &body).map_err(|e| format!("cannot write {path}: {e}"))?;
@@ -298,6 +337,8 @@ fn help() -> String {
      \x20 --faults FILE       inject host/link faults from a schedule file\n\
      \x20 --replay FILE       replay a recorded trace instead of a workload\n\
      \x20 --record-trace FILE capture this run's arrivals for later replay\n\
+     \x20 --events FILE       stream flight-recorder events (JSONL) to FILE and\n\
+     \x20                     profile the event loop (see `radar events --help`)\n\
      \x20 --json              emit the full report as JSON\n\
      \x20 --out FILE          write output to FILE instead of stdout\n"
         .to_string()

@@ -32,39 +32,54 @@ fn load(path: &str) -> Result<Trace, String> {
     Trace::from_text(&text).map_err(|e| format!("{path}: {e}"))
 }
 
+/// Rows listed per share table before the remainder is folded into a
+/// trailing "… N more" line.
+const TOP_ROWS: usize = 10;
+
 fn stats(path: &str, trace: &Trace) -> String {
     let mut gateways = std::collections::BTreeMap::new();
     let mut objects = std::collections::BTreeMap::new();
     for e in trace.entries() {
-        *gateways.entry(e.gateway).or_insert(0u64) += 1;
+        *gateways.entry(u32::from(e.gateway)).or_insert(0u64) += 1;
         *objects.entry(e.object).or_insert(0u64) += 1;
     }
-    let duration = trace.duration().max(f64::MIN_POSITIVE);
+    let duration = trace.duration();
+    // A single-entry (or empty) trace spans zero time: there is no
+    // meaningful request rate, so say so instead of dividing by zero.
+    let rate = if duration > 0.0 {
+        format!("{:.1} req/s", trace.len() as f64 / duration)
+    } else {
+        "rate n/a".to_string()
+    };
     let mut out = format!("trace {path}\n");
     out.push_str(&format!(
-        "requests   {} over {:.1}s ({:.1} req/s)\n",
+        "requests   {} over {duration:.1}s ({rate})\n",
         trace.len(),
-        trace.duration(),
-        trace.len() as f64 / duration
     ));
-    out.push_str(&format!(
-        "gateways   {} distinct (busiest: {})\n",
-        gateways.len(),
-        gateways
-            .iter()
-            .max_by_key(|&(_, c)| *c)
-            .map(|(g, c)| format!("node {g} with {c}"))
-            .unwrap_or_else(|| "none".into())
-    ));
-    out.push_str(&format!(
-        "objects    {} distinct (hottest: {})\n",
-        objects.len(),
-        objects
-            .iter()
-            .max_by_key(|&(_, c)| *c)
-            .map(|(o, c)| format!("object {o} with {c}"))
-            .unwrap_or_else(|| "none".into())
-    ));
+    out.push_str(&format!("gateways   {} distinct\n", gateways.len()));
+    out.push_str(&share_table("gateway", &gateways, trace.len()));
+    out.push_str(&format!("objects    {} distinct\n", objects.len()));
+    out.push_str(&share_table("object", &objects, trace.len()));
+    out
+}
+
+/// Renders a fixed-width count/share table, busiest first (ties broken
+/// by id), truncated to [`TOP_ROWS`] rows.
+fn share_table(label: &str, counts: &std::collections::BTreeMap<u32, u64>, total: usize) -> String {
+    let mut rows: Vec<(u64, u32)> = counts.iter().map(|(&id, &c)| (c, id)).collect();
+    rows.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    let mut out = format!("  {label:<10} {:>9} {:>7}\n", "count", "share");
+    for &(count, id) in rows.iter().take(TOP_ROWS) {
+        let share = if total > 0 {
+            100.0 * count as f64 / total as f64
+        } else {
+            0.0
+        };
+        out.push_str(&format!("  {id:<10} {count:>9} {share:>6.1}%\n"));
+    }
+    if rows.len() > TOP_ROWS {
+        out.push_str(&format!("  … {} more\n", rows.len() - TOP_ROWS));
+    }
     out
 }
 
@@ -95,7 +110,21 @@ mod tests {
         assert!(out.contains("valid, 3 requests"));
         let out = command(&["stats", p]).unwrap();
         assert!(out.contains("2 distinct"), "{out}");
-        assert!(out.contains("node 1 with 2"));
+        // Gateway 1 carries 2 of 3 requests; object 5 likewise.
+        assert!(out.contains("1                  2   66.7%"), "{out}");
+        assert!(out.contains("5                  2   66.7%"), "{out}");
+        assert!(out.contains("3.0 req/s"), "{out}");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn single_entry_trace_has_no_rate() {
+        let path = temp_trace("single", "0 3 9\n");
+        let p = path.to_str().expect("utf-8 temp path");
+        let out = command(&["stats", p]).unwrap();
+        assert!(out.contains("1 over 0.0s (rate n/a)"), "{out}");
+        assert!(out.contains("3                  1  100.0%"), "{out}");
+        assert!(!out.contains("inf"), "{out}");
         let _ = std::fs::remove_file(path);
     }
 

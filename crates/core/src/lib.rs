@@ -77,5 +77,5 @@ pub use catalog::{Catalog, ObjectKind};
 pub use host::{HostState, ObjectState};
 pub use load::LoadEstimator;
 pub use params::{Params, ParamsBuilder, ParamsError};
-pub use redirector::{Redirector, ReplicaInfo};
+pub use redirector::{ChoiceBranch, ChoiceCandidate, ChoiceExplanation, Redirector, ReplicaInfo};
 pub use types::{CreateObjRequest, CreateObjResponse, ObjectId, PlacementReason, RelocationKind};

@@ -88,6 +88,70 @@ pub struct PlacementOutcome {
     pub offload_migrations: Vec<(ObjectId, NodeId)>,
     /// Load-driven replications performed by the offloader.
     pub offload_replications: Vec<(ObjectId, NodeId)>,
+    /// Every action taken, in order, with the threshold-test values that
+    /// triggered it — the flight recorder's placement feed.
+    pub decisions: Vec<PlacementDecision>,
+}
+
+/// One action a placement run took, for [`PlacementOutcome::decisions`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementAction {
+    /// Deletion test fired; the redirector approved dropping the replica.
+    Drop,
+    /// Deletion test fired; one affinity unit was shed, replica remains.
+    AffinityReduce,
+    /// Deletion test fired; the redirector refused (last replica).
+    DropRefused,
+    /// Geo-migration toward a preference-path-qualified candidate.
+    GeoMigrate,
+    /// Geo-replication of a hot object toward a qualified candidate.
+    GeoReplicate,
+    /// Load-driven migration by the offloader (Fig. 5).
+    LoadMigrate,
+    /// Load-driven replication of a hot object by the offloader.
+    LoadReplicate,
+}
+
+impl PlacementAction {
+    /// Stable string tag used in event logs (`drop`, `affinity-reduce`,
+    /// `drop-refused`, `geo-migrate`, `geo-replicate`, `load-migrate`,
+    /// `load-replicate`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            PlacementAction::Drop => "drop",
+            PlacementAction::AffinityReduce => "affinity-reduce",
+            PlacementAction::DropRefused => "drop-refused",
+            PlacementAction::GeoMigrate => "geo-migrate",
+            PlacementAction::GeoReplicate => "geo-replicate",
+            PlacementAction::LoadMigrate => "load-migrate",
+            PlacementAction::LoadReplicate => "load-replicate",
+        }
+    }
+}
+
+/// One recorded placement decision: the action plus the values of the
+/// Fig. 3–5 threshold tests in force when it triggered.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlacementDecision {
+    /// The object acted on.
+    pub object: ObjectId,
+    /// What was done.
+    pub action: PlacementAction,
+    /// The recipient, for migrations and replications.
+    pub target: Option<NodeId>,
+    /// The unit access rate `cnt_s/aff/period` the tests compared.
+    pub unit_rate: f64,
+    /// The qualifying share: the chosen candidate's preference-path
+    /// share (geo actions) or the object's foreign-request share
+    /// (offload ordering). `None` for deletion-test actions.
+    pub share: Option<f64>,
+    /// The path-share ratio the geo test required (`MIGR_RATIO` /
+    /// `REPL_RATIO`); `None` for deletion- and load-driven actions.
+    pub ratio: Option<f64>,
+    /// The deletion threshold `u` in force.
+    pub deletion_threshold: f64,
+    /// The replication threshold `m` in force.
+    pub replication_threshold: f64,
 }
 
 impl PlacementOutcome {
@@ -218,11 +282,27 @@ pub fn run_placement(
         // 1. Deletion: below-u affinity units are dropped; such an object
         //    is not otherwise relocated this round.
         if unit_rate < params.deletion_threshold {
-            match reduce_affinity(host, x, env) {
-                ReduceOutcome::Dropped => out.drops.push(x),
-                ReduceOutcome::Reduced => out.affinity_reductions.push(x),
-                ReduceOutcome::Refused => {}
-            }
+            let action = match reduce_affinity(host, x, env) {
+                ReduceOutcome::Dropped => {
+                    out.drops.push(x);
+                    PlacementAction::Drop
+                }
+                ReduceOutcome::Reduced => {
+                    out.affinity_reductions.push(x);
+                    PlacementAction::AffinityReduce
+                }
+                ReduceOutcome::Refused => PlacementAction::DropRefused,
+            };
+            out.decisions.push(PlacementDecision {
+                object: x,
+                action,
+                target: None,
+                unit_rate,
+                share: None,
+                ratio: None,
+                deletion_threshold: params.deletion_threshold,
+                replication_threshold: params.replication_threshold,
+            });
             continue;
         }
 
@@ -231,7 +311,7 @@ pub fn run_placement(
         let mut migrated = false;
         if cnt_s > 0 {
             let candidates = qualified_candidates(host, x, s, cnt_s, params.migration_ratio, env);
-            for p in candidates {
+            for (p, share) in candidates {
                 let req = CreateObjRequest {
                     kind: RelocationKind::Migrate,
                     object: x,
@@ -247,6 +327,16 @@ pub fn run_placement(
                         ),
                     }
                     out.geo_migrations.push((x, p));
+                    out.decisions.push(PlacementDecision {
+                        object: x,
+                        action: PlacementAction::GeoMigrate,
+                        target: Some(p),
+                        unit_rate,
+                        share: Some(share),
+                        ratio: Some(params.migration_ratio),
+                        deletion_threshold: params.deletion_threshold,
+                        replication_threshold: params.replication_threshold,
+                    });
                     migrated = true;
                     break;
                 }
@@ -256,7 +346,7 @@ pub fn run_placement(
         // 3. Geo-replication: hot objects (> m) that were not migrated.
         if !migrated && unit_rate > params.replication_threshold && env.may_replicate(x) {
             let candidates = qualified_candidates(host, x, s, cnt_s, params.replication_ratio, env);
-            for p in candidates {
+            for (p, share) in candidates {
                 let req = CreateObjRequest {
                     kind: RelocationKind::Replicate,
                     object: x,
@@ -265,6 +355,16 @@ pub fn run_placement(
                 };
                 if env.create_obj(p, req).is_accepted() {
                     out.geo_replications.push((x, p));
+                    out.decisions.push(PlacementDecision {
+                        object: x,
+                        action: PlacementAction::GeoReplicate,
+                        target: Some(p),
+                        unit_rate,
+                        share: Some(share),
+                        ratio: Some(params.replication_ratio),
+                        deletion_threshold: params.deletion_threshold,
+                        replication_threshold: params.replication_threshold,
+                    });
                     break;
                 }
             }
@@ -295,10 +395,11 @@ pub fn run_placement(
     out
 }
 
-/// Candidates `p ≠ s` whose access-count share exceeds `ratio`, ordered
-/// farthest-from-`s` first (the paper's responsiveness heuristic:
-/// "s attempts to place the replica on the farthest among all qualified
-/// candidates"), with lowest node id breaking distance ties.
+/// Candidates `p ≠ s` whose access-count share exceeds `ratio` (returned
+/// with that share, for the decision record), ordered farthest-from-`s`
+/// first (the paper's responsiveness heuristic: "s attempts to place the
+/// replica on the farthest among all qualified candidates"), with lowest
+/// node id breaking distance ties.
 fn qualified_candidates(
     host: &HostState,
     object: ObjectId,
@@ -306,14 +407,16 @@ fn qualified_candidates(
     cnt_s: u64,
     ratio: f64,
     env: &dyn PlacementEnv,
-) -> Vec<NodeId> {
+) -> Vec<(NodeId, f64)> {
     let o = host.object(object).expect("candidates of hosted object");
-    let mut candidates: Vec<NodeId> = o
+    let mut candidates: Vec<(NodeId, f64)> = o
         .counts()
-        .filter(|&(p, c)| p != s && c as f64 / cnt_s as f64 > ratio)
-        .map(|(p, _)| p)
+        .filter_map(|(p, c)| {
+            let share = c as f64 / cnt_s as f64;
+            (p != s && share > ratio).then_some((p, share))
+        })
         .collect();
-    candidates.sort_by_key(|&p| (std::cmp::Reverse(env.distance(s, p)), p));
+    candidates.sort_by_key(|&(p, _)| (std::cmp::Reverse(env.distance(s, p)), p));
     candidates
 }
 
@@ -371,7 +474,7 @@ fn offload(
             .then(a.0.cmp(&b.0))
     });
 
-    for (x, _) in objects {
+    for (x, foreign) in objects {
         if host.load_lower() <= params.low_watermark {
             break;
         }
@@ -383,6 +486,16 @@ fn offload(
             (o.aff(), o.rate(), o.unit_load(), o.count(s))
         };
         let unit_rate = cnt_s as f64 / aff as f64 / params.placement_period;
+        let decision = |action| PlacementDecision {
+            object: x,
+            action,
+            target: Some(recipient),
+            unit_rate,
+            share: Some(foreign),
+            ratio: None,
+            deletion_threshold: params.deletion_threshold,
+            replication_threshold: params.replication_threshold,
+        };
 
         if unit_rate <= params.replication_threshold {
             // Migrate. (Hot objects are never load-migrated: "load-
@@ -404,6 +517,7 @@ fn offload(
                     }
                 }
                 out.offload_migrations.push((x, recipient));
+                out.decisions.push(decision(PlacementAction::LoadMigrate));
             } else {
                 break;
             }
@@ -421,6 +535,7 @@ fn offload(
                 host.note_shed(now, bounds::replication_source_decrease(rate));
                 recipient_load += bounds::target_increase(rate, aff);
                 out.offload_replications.push((x, recipient));
+                out.decisions.push(decision(PlacementAction::LoadReplicate));
             } else {
                 break;
             }
@@ -640,6 +755,83 @@ mod tests {
         assert!(host.has_object(x(0)));
         assert!(env.peers[&n(2)].has_object(x(0)));
         assert_eq!(env.redirector.replica_count(x(0)), 2);
+    }
+
+    #[test]
+    fn decisions_record_threshold_values() {
+        // A hot geo-replication records the action with the share and
+        // ratio that qualified the candidate and the u/m in force.
+        let topo = builders::line(3);
+        let mut env = MockEnv::new(&topo, 2);
+        env.add_peer(n(1), Params::paper());
+        env.add_peer(n(2), Params::paper());
+        let mut host = HostState::new(n(0), Params::paper());
+        seed(&mut host, &mut env, x(0));
+        feed(&mut host, x(0), &[n(0)], 40, 0.0);
+        feed(&mut host, x(0), &[n(0), n(1), n(2)], 20, 0.0);
+        // Plus one cold redundant replica that gets dropped.
+        seed(&mut host, &mut env, x(1));
+        env.redirector.install(x(1), n(1));
+        let params = Params::paper();
+        let out = run_placement(&mut host, 100.0, &mut env);
+        assert_eq!(out.decisions.len(), 2);
+
+        let drop = out
+            .decisions
+            .iter()
+            .find(|d| d.object == x(1))
+            .expect("drop decision recorded");
+        assert_eq!(drop.action, PlacementAction::Drop);
+        assert_eq!(drop.action.as_str(), "drop");
+        assert_eq!(drop.target, None);
+        assert_eq!(drop.unit_rate, 0.0);
+        assert_eq!(drop.share, None);
+        assert_eq!(drop.deletion_threshold, params.deletion_threshold);
+        assert_eq!(drop.replication_threshold, params.replication_threshold);
+
+        let repl = out
+            .decisions
+            .iter()
+            .find(|d| d.object == x(0))
+            .expect("replication decision recorded");
+        assert_eq!(repl.action, PlacementAction::GeoReplicate);
+        assert_eq!(repl.target, Some(n(2)));
+        assert_eq!(repl.ratio, Some(params.replication_ratio));
+        // Node 2 lies on 20 of 60 preference paths.
+        let share = repl.share.expect("geo decision carries a share");
+        assert!((share - 1.0 / 3.0).abs() < 1e-9, "share = {share}");
+        assert!(repl.unit_rate > params.replication_threshold);
+    }
+
+    #[test]
+    fn offload_decisions_record_foreign_share() {
+        let topo = builders::line(2);
+        let mut env = MockEnv::new(&topo, 10);
+        env.add_peer(n(1), Params::paper());
+        env.offload_recipient = Some(n(1));
+        let mut host = HostState::new(n(0), Params::paper());
+        for i in 0..10 {
+            seed(&mut host, &mut env, x(i));
+            for k in 0..200 {
+                host.record_serviced(20.0 * k as f64 / 200.0, x(i));
+            }
+            for _ in 0..5 {
+                host.record_access(x(i), &[n(0)]);
+            }
+        }
+        let out = run_placement(&mut host, 20.0, &mut env);
+        assert_eq!(out.offload_migrations.len(), 2);
+        let load_decisions: Vec<&PlacementDecision> = out
+            .decisions
+            .iter()
+            .filter(|d| d.action == PlacementAction::LoadMigrate)
+            .collect();
+        assert_eq!(load_decisions.len(), 2);
+        for d in load_decisions {
+            assert_eq!(d.target, Some(n(1)));
+            assert_eq!(d.share, Some(0.0), "purely local demand");
+            assert_eq!(d.ratio, None);
+        }
     }
 
     #[test]

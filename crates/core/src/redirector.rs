@@ -27,6 +27,72 @@ impl ReplicaInfo {
     }
 }
 
+/// One candidate replica as the distribution algorithm saw it at
+/// decision time (request counts snapshotted *before* the winner's
+/// count increments).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChoiceCandidate {
+    /// The hosting node.
+    pub host: NodeId,
+    /// Request count at decision time.
+    pub rcnt: u64,
+    /// Replica affinity.
+    pub aff: u32,
+    /// Hop distance from the host to the requesting gateway.
+    pub distance: u32,
+}
+
+impl ChoiceCandidate {
+    /// The unit request count `rcnt/aff` the algorithm compared.
+    pub fn unit_rcnt(&self) -> f64 {
+        self.rcnt as f64 / self.aff as f64
+    }
+}
+
+/// Which arm of the Fig. 2 distribution rule selected the replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChoiceBranch {
+    /// The closest replica `p` served (the default arm).
+    Closest,
+    /// `unit_rcnt(p)/constant > unit_rcnt(q)`: the least-requested
+    /// replica `q` served to shed load.
+    LeastRequested,
+}
+
+impl ChoiceBranch {
+    /// Stable string tag (`closest` / `least-requested`) used in event
+    /// logs.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ChoiceBranch::Closest => "closest",
+            ChoiceBranch::LeastRequested => "least-requested",
+        }
+    }
+}
+
+/// The full input and outcome of one Fig. 2 decision, for the flight
+/// recorder: every usable candidate, the identified `p` and `q`, their
+/// unit request counts, and which branch won.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChoiceExplanation {
+    /// The host chosen to serve the request.
+    pub chosen: NodeId,
+    /// Which rule picked it.
+    pub branch: ChoiceBranch,
+    /// The distribution constant in force.
+    pub constant: f64,
+    /// The closest usable replica `p`.
+    pub closest: NodeId,
+    /// The usable replica `q` with the least unit request count.
+    pub least: NodeId,
+    /// `unit_rcnt(p)` at decision time.
+    pub unit_closest: f64,
+    /// `unit_rcnt(q)` at decision time.
+    pub unit_least: f64,
+    /// Every usable candidate (sorted by host id, counts pre-increment).
+    pub candidates: Vec<ChoiceCandidate>,
+}
+
 /// Replica set of a single object. Entries are kept sorted by host id so
 /// all scans are deterministic.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -190,6 +256,39 @@ impl Redirector {
         routes: &RoutingTable,
         usable: &dyn Fn(NodeId) -> bool,
     ) -> Option<NodeId> {
+        self.choose_inner(object, gateway, routes, usable, false)
+            .map(|(host, _)| host)
+    }
+
+    /// [`choose_replica_filtered`](Self::choose_replica_filtered) that
+    /// additionally returns a [`ChoiceExplanation`] capturing the full
+    /// Fig. 2 input — the flight recorder's entry point. Same
+    /// side effects (the winner's request count increments); costs one
+    /// candidate-vector allocation per call, so the hot path keeps
+    /// using the plain variant when tracing is off.
+    pub fn choose_replica_explained(
+        &mut self,
+        object: ObjectId,
+        gateway: NodeId,
+        routes: &RoutingTable,
+        usable: &dyn Fn(NodeId) -> bool,
+    ) -> Option<(NodeId, ChoiceExplanation)> {
+        self.choose_inner(object, gateway, routes, usable, true)
+            .map(|(host, expl)| (host, expl.expect("explanation requested")))
+    }
+
+    /// The single Fig. 2 code path behind both public variants.
+    /// `explain` controls whether the decision snapshot is built (before
+    /// the winner's count increments, so the explanation shows the
+    /// counts the algorithm actually compared).
+    fn choose_inner(
+        &mut self,
+        object: ObjectId,
+        gateway: NodeId,
+        routes: &RoutingTable,
+        usable: &dyn Fn(NodeId) -> bool,
+        explain: bool,
+    ) -> Option<(NodeId, Option<ChoiceExplanation>)> {
         let set = &mut self.sets[object.index()];
         let candidates: Vec<usize> = (0..set.entries.len())
             .filter(|&i| usable(set.entries[i].host))
@@ -220,13 +319,34 @@ impl Redirector {
             .expect("non-empty candidate set");
         let ratio1 = set.entries[p_idx].unit_rcnt();
         let ratio2 = set.entries[q_idx].unit_rcnt();
-        let chosen = if ratio1 / self.constant > ratio2 {
-            q_idx
+        let (chosen, branch) = if ratio1 / self.constant > ratio2 {
+            (q_idx, ChoiceBranch::LeastRequested)
         } else {
-            p_idx
+            (p_idx, ChoiceBranch::Closest)
         };
+        let explanation = explain.then(|| ChoiceExplanation {
+            chosen: set.entries[chosen].host,
+            branch,
+            constant: self.constant,
+            closest: set.entries[p_idx].host,
+            least: set.entries[q_idx].host,
+            unit_closest: ratio1,
+            unit_least: ratio2,
+            candidates: candidates
+                .iter()
+                .map(|&i| {
+                    let e = &set.entries[i];
+                    ChoiceCandidate {
+                        host: e.host,
+                        rcnt: e.rcnt,
+                        aff: e.aff,
+                        distance: routes.distance(e.host, gateway),
+                    }
+                })
+                .collect(),
+        });
         set.entries[chosen].rcnt += 1;
-        Some(set.entries[chosen].host)
+        Some((set.entries[chosen].host, explanation))
     }
 
     /// Force-removes every replica hosted on `host` — crash recovery,
@@ -511,6 +631,56 @@ mod tests {
             None
         );
         assert_eq!(r.replica_count(x()), 2, "filtering never mutates the set");
+    }
+
+    #[test]
+    fn explained_choice_matches_plain_choice() {
+        // The explained variant must make the identical decision (same
+        // increments, same winner) and report the inputs it compared.
+        let (mut r1, routes) = setup();
+        let mut r2 = r1.clone();
+        for i in 0..200 {
+            let gw = NodeId::new(if i % 3 == 0 { 1 } else { 0 });
+            let plain = r1.choose_replica(x(), gw, &routes);
+            let (host, expl) = r2
+                .choose_replica_explained(x(), gw, &routes, &|_| true)
+                .expect("replicas exist");
+            assert_eq!(plain, Some(host));
+            assert_eq!(expl.chosen, host);
+            assert_eq!(expl.candidates.len(), 2);
+            // The snapshot is pre-increment and self-consistent.
+            let p = expl
+                .candidates
+                .iter()
+                .find(|c| c.host == expl.closest)
+                .expect("p in candidates");
+            assert_eq!(p.unit_rcnt(), expl.unit_closest);
+            let q = expl
+                .candidates
+                .iter()
+                .find(|c| c.host == expl.least)
+                .expect("q in candidates");
+            assert_eq!(q.unit_rcnt(), expl.unit_least);
+            // The branch tag matches the arithmetic.
+            let shed = expl.unit_closest / expl.constant > expl.unit_least;
+            assert_eq!(expl.branch == ChoiceBranch::LeastRequested, shed);
+            assert_eq!(expl.chosen, if shed { expl.least } else { expl.closest });
+        }
+        assert_eq!(r1, r2, "identical state after identical decisions");
+    }
+
+    #[test]
+    fn explained_choice_respects_filter() {
+        let (mut r, routes) = setup();
+        let (host, expl) = r
+            .choose_replica_explained(x(), NodeId::new(0), &routes, &|h| h != NodeId::new(0))
+            .expect("one usable replica");
+        assert_eq!(host, NodeId::new(1));
+        assert_eq!(expl.candidates.len(), 1);
+        assert_eq!(expl.branch.as_str(), "closest");
+        assert!(r
+            .choose_replica_explained(x(), NodeId::new(0), &routes, &|_| false)
+            .is_none());
     }
 
     #[test]

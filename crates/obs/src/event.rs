@@ -1,0 +1,343 @@
+//! The typed event vocabulary of the flight recorder.
+//!
+//! Every event carries a monotonic sequence number assigned by the
+//! emitting platform and an optional *causal parent*: the sequence
+//! number of the event that triggered it. A served request therefore
+//! forms a chain `request → decision → served`, traceable from gateway
+//! through redirector to host.
+//!
+//! All payload fields are plain integers, floats, and strings — no
+//! platform types — so the crate stays dependency-free and event logs
+//! parse without the simulator.
+
+/// One recorded platform event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Monotonic sequence number (1-based; unique within a run).
+    pub seq: u64,
+    /// Sequence number of the event that caused this one, if any.
+    pub parent: Option<u64>,
+    /// Simulated time of the event (seconds).
+    pub t: f64,
+    /// Event-queue depth when the event was emitted (a deterministic
+    /// backlog signal — wall-clock profiling stays out of the log so
+    /// seeded runs serialize byte-identically).
+    pub queue_depth: u32,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// The event payload: one variant per traced platform occurrence.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A client request entered the platform at its gateway.
+    RequestArrived {
+        /// The gateway node.
+        gateway: u16,
+        /// The requested object.
+        object: u32,
+    },
+    /// The redirector chose a replica (paper Fig. 2).
+    Decision(DecisionEvent),
+    /// A response was delivered to its gateway.
+    RequestServed {
+        /// The gateway node.
+        gateway: u16,
+        /// The requested object.
+        object: u32,
+        /// The host that served it.
+        host: u16,
+        /// End-to-end latency (seconds).
+        latency: f64,
+        /// Hops the response traveled.
+        hops: u32,
+    },
+    /// A request failed: no live, reachable replica could serve it.
+    RequestFailed {
+        /// The gateway node.
+        gateway: u16,
+        /// The requested object.
+        object: u32,
+        /// Failure cause (`all-replicas-down`, `unreachable`,
+        /// `crashed-mid-service`).
+        reason: String,
+    },
+    /// A placement run took an action on one object (paper Figs. 3–5),
+    /// with the threshold comparison that triggered it.
+    PlacementAction(PlacementActionEvent),
+    /// A replica-set change reset the object's request counts (the
+    /// Fig. 2 companion rule).
+    CountsReset {
+        /// The affected object.
+        object: u32,
+        /// What changed the set (`created`, `affinity`, `dropped`,
+        /// `purge`).
+        cause: String,
+    },
+    /// A scheduled fault transition was applied.
+    Fault {
+        /// Human/machine-readable transition description, e.g.
+        /// `host-crash 7` or `link-degrade 3-12 x4`.
+        desc: String,
+    },
+    /// The re-replication sweep restored a copy of an object.
+    ReReplication {
+        /// The restored object.
+        object: u32,
+        /// The host that received the new copy.
+        target: u16,
+        /// Seconds the object spent below its replica floor.
+        elapsed: f64,
+    },
+}
+
+/// One candidate replica as the redirector saw it at decision time
+/// (counts snapshotted *before* the winner's count increments).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CandidateSnapshot {
+    /// The hosting node.
+    pub host: u16,
+    /// Request count `rcnt` since the last replica-set change.
+    pub rcnt: u64,
+    /// Replica affinity.
+    pub aff: u32,
+    /// Unit request count `rcnt/aff`.
+    pub unit: f64,
+    /// Hop distance from this replica to the gateway.
+    pub distance: u32,
+}
+
+/// A redirector decision: the full Fig. 2 input and which branch won.
+///
+/// `closest`/`least` and the unit counts are `None` when the run used a
+/// baseline policy (no Fig. 2 data) or the primary-copy fallback; the
+/// `branch` string tells which.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionEvent {
+    /// The requested object.
+    pub object: u32,
+    /// The gateway the request entered at.
+    pub gateway: u16,
+    /// The host chosen to serve the request.
+    pub chosen: u16,
+    /// Which rule picked the host: `closest`, `least-requested`,
+    /// `primary-fallback`, or `policy` (non-RaDaR selection).
+    pub branch: String,
+    /// The distribution constant in force (2.0 in the paper).
+    pub constant: f64,
+    /// The closest usable replica `p`.
+    pub closest: Option<u16>,
+    /// The usable replica `q` with the least unit request count.
+    pub least: Option<u16>,
+    /// `unit_rcnt(p)` at decision time.
+    pub unit_closest: Option<f64>,
+    /// `unit_rcnt(q)` at decision time.
+    pub unit_least: Option<f64>,
+    /// Every usable candidate replica, sorted by host id.
+    pub candidates: Vec<CandidateSnapshot>,
+}
+
+/// One placement action with the test values that triggered it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacementActionEvent {
+    /// The deciding host.
+    pub host: u16,
+    /// The object acted on.
+    pub object: u32,
+    /// The action taken: `drop`, `affinity-reduce`, `drop-refused`,
+    /// `geo-migrate`, `geo-replicate`, `load-migrate`, `load-replicate`.
+    pub action: String,
+    /// The recipient host, for migrations and replications.
+    pub target: Option<u16>,
+    /// The object's unit access rate `cnt_s/aff/period` that the
+    /// deletion and replication tests compared.
+    pub unit_rate: f64,
+    /// The qualifying access-count share: the preference-path share of
+    /// the chosen candidate (geo moves) or the foreign-request share
+    /// (offload ordering). `None` for deletion-test actions.
+    pub share: Option<f64>,
+    /// The path-share ratio the geo test required (`MIGR_RATIO` or
+    /// `REPL_RATIO`). `None` for load- and deletion-driven actions.
+    pub ratio: Option<f64>,
+    /// The deletion threshold `u` in force.
+    pub deletion_threshold: f64,
+    /// The replication threshold `m` in force.
+    pub replication_threshold: f64,
+}
+
+impl Event {
+    /// The event's stable type tag, as used in the JSONL `type` field
+    /// and by `radar events filter --type`.
+    pub fn type_name(&self) -> &'static str {
+        match &self.kind {
+            EventKind::RequestArrived { .. } => "request",
+            EventKind::Decision(_) => "decision",
+            EventKind::RequestServed { .. } => "served",
+            EventKind::RequestFailed { .. } => "failed",
+            EventKind::PlacementAction(_) => "placement",
+            EventKind::CountsReset { .. } => "counts-reset",
+            EventKind::Fault { .. } => "fault",
+            EventKind::ReReplication { .. } => "re-replication",
+        }
+    }
+
+    /// The object the event concerns, when it concerns one.
+    pub fn object(&self) -> Option<u32> {
+        match &self.kind {
+            EventKind::RequestArrived { object, .. }
+            | EventKind::RequestServed { object, .. }
+            | EventKind::RequestFailed { object, .. }
+            | EventKind::CountsReset { object, .. }
+            | EventKind::ReReplication { object, .. } => Some(*object),
+            EventKind::Decision(d) => Some(d.object),
+            EventKind::PlacementAction(p) => Some(p.object),
+            EventKind::Fault { .. } => None,
+        }
+    }
+
+    /// The gateway node involved, when there is one.
+    pub fn gateway(&self) -> Option<u16> {
+        match &self.kind {
+            EventKind::RequestArrived { gateway, .. }
+            | EventKind::RequestServed { gateway, .. }
+            | EventKind::RequestFailed { gateway, .. } => Some(*gateway),
+            EventKind::Decision(d) => Some(d.gateway),
+            _ => None,
+        }
+    }
+
+    /// The host node involved, when there is one: the chosen/serving
+    /// host, the deciding placement host, or a re-replication target.
+    pub fn host(&self) -> Option<u16> {
+        match &self.kind {
+            EventKind::RequestServed { host, .. } => Some(*host),
+            EventKind::Decision(d) => Some(d.chosen),
+            EventKind::PlacementAction(p) => Some(p.host),
+            EventKind::ReReplication { target, .. } => Some(*target),
+            _ => None,
+        }
+    }
+
+    /// One-line rendering for `radar events tail` / `filter` listings.
+    pub fn brief(&self) -> String {
+        let head = format!(
+            "#{:<6} t={:<10.3} {:<13}",
+            self.seq,
+            self.t,
+            self.type_name()
+        );
+        let detail = match &self.kind {
+            EventKind::RequestArrived { gateway, object } => {
+                format!("object {object} enters at gateway {gateway}")
+            }
+            EventKind::Decision(d) => format!(
+                "object {} gw {} -> host {} ({} branch, {} candidates)",
+                d.object,
+                d.gateway,
+                d.chosen,
+                d.branch,
+                d.candidates.len()
+            ),
+            EventKind::RequestServed {
+                gateway,
+                object,
+                host,
+                latency,
+                hops,
+            } => format!(
+                "object {object} served by host {host} to gw {gateway} \
+                 ({:.1} ms, {hops} hops)",
+                latency * 1e3
+            ),
+            EventKind::RequestFailed {
+                gateway,
+                object,
+                reason,
+            } => format!("object {object} at gw {gateway} failed: {reason}"),
+            EventKind::PlacementAction(p) => {
+                let target = p
+                    .target
+                    .map(|h| format!(" -> host {h}"))
+                    .unwrap_or_default();
+                format!(
+                    "host {} {} object {}{} (unit rate {:.4})",
+                    p.host, p.action, p.object, target, p.unit_rate
+                )
+            }
+            EventKind::CountsReset { object, cause } => {
+                format!("object {object} request counts reset ({cause})")
+            }
+            EventKind::Fault { desc } => desc.clone(),
+            EventKind::ReReplication {
+                object,
+                target,
+                elapsed,
+            } => format!("object {object} restored on host {target} after {elapsed:.1}s"),
+        };
+        format!("{head} {detail}")
+    }
+}
+
+/// All known type tags, in the order `radar events summary` lists them.
+pub const EVENT_TYPES: &[&str] = &[
+    "request",
+    "decision",
+    "served",
+    "failed",
+    "placement",
+    "counts-reset",
+    "fault",
+    "re-replication",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Event {
+        Event {
+            seq: 7,
+            parent: Some(6),
+            t: 1.25,
+            queue_depth: 3,
+            kind: EventKind::RequestServed {
+                gateway: 2,
+                object: 42,
+                host: 5,
+                latency: 0.08,
+                hops: 3,
+            },
+        }
+    }
+
+    #[test]
+    fn type_names_cover_all_variants() {
+        assert_eq!(sample().type_name(), "served");
+        assert!(EVENT_TYPES.contains(&sample().type_name()));
+        assert_eq!(EVENT_TYPES.len(), 8);
+    }
+
+    #[test]
+    fn accessors() {
+        let e = sample();
+        assert_eq!(e.object(), Some(42));
+        assert_eq!(e.gateway(), Some(2));
+        assert_eq!(e.host(), Some(5));
+        let fault = Event {
+            kind: EventKind::Fault {
+                desc: "host-crash 7".into(),
+            },
+            ..sample()
+        };
+        assert_eq!(fault.object(), None);
+        assert_eq!(fault.host(), None);
+    }
+
+    #[test]
+    fn brief_is_single_line() {
+        let line = sample().brief();
+        assert!(!line.contains('\n'));
+        assert!(line.contains("#7"), "{line}");
+        assert!(line.contains("host 5"), "{line}");
+    }
+}

@@ -1,0 +1,348 @@
+//! Long-form, human-readable explanations of recorded events, used by
+//! `radar events explain <seq>`.
+
+use crate::event::{Event, EventKind};
+
+fn opt_host(h: Option<u16>) -> String {
+    match h {
+        Some(h) => format!("host {h}"),
+        None => "(none)".to_string(),
+    }
+}
+
+fn opt_unit(u: Option<f64>) -> String {
+    match u {
+        Some(u) => format!("{u:.3}"),
+        None => "n/a".to_string(),
+    }
+}
+
+impl Event {
+    /// Renders a multi-line explanation of the event: for decisions,
+    /// the full Fig. 2 input (candidate table, unit request counts,
+    /// distances) and why the winning branch won; for placement
+    /// actions, the threshold test that triggered them with the `u`/`m`
+    /// values in force.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "event #{} at t={:.3}s (queue depth {})\n",
+            self.seq, self.t, self.queue_depth
+        ));
+        match &self.kind {
+            EventKind::RequestArrived { gateway, object } => {
+                out.push_str(&format!(
+                    "request for object {object} arrived at gateway {gateway}.\n"
+                ));
+            }
+            EventKind::Decision(d) => {
+                out.push_str(&format!(
+                    "redirector decision (Fig. 2) for object {} at gateway {}:\n",
+                    d.object, d.gateway
+                ));
+                if d.candidates.is_empty() {
+                    out.push_str("  no candidate snapshot recorded");
+                } else {
+                    out.push_str(&format!(
+                        "  {:<6} {:>8} {:>5} {:>10} {:>9}\n",
+                        "host", "rcnt", "aff", "unit", "distance"
+                    ));
+                    for c in &d.candidates {
+                        let mut marks = String::new();
+                        if Some(c.host) == d.closest {
+                            marks.push_str("  <- closest (p)");
+                        }
+                        if Some(c.host) == d.least {
+                            marks.push_str("  <- least unit count (q)");
+                        }
+                        out.push_str(&format!(
+                            "  {:<6} {:>8} {:>5} {:>10.3} {:>9}{}\n",
+                            c.host, c.rcnt, c.aff, c.unit, c.distance, marks
+                        ));
+                    }
+                    out.push_str(&format!(
+                        "  closest replica p = {}, unit_rcnt(p) = {}\n",
+                        opt_host(d.closest),
+                        opt_unit(d.unit_closest)
+                    ));
+                    out.push_str(&format!(
+                        "  least-requested q = {}, unit_rcnt(q) = {}\n",
+                        opt_host(d.least),
+                        opt_unit(d.unit_least)
+                    ));
+                    match (d.unit_closest, d.unit_least) {
+                        (Some(up), Some(uq)) => {
+                            let lhs = up / d.constant;
+                            let cmp = if lhs > uq { ">" } else { "<=" };
+                            out.push_str(&format!(
+                                "  test: unit_rcnt(p)/constant = {:.3}/{:.1} = {:.3} {} {:.3} = unit_rcnt(q)\n",
+                                up, d.constant, lhs, cmp, uq
+                            ));
+                        }
+                        _ => out.push_str("  test: not evaluated\n"),
+                    }
+                }
+                let why = match d.branch.as_str() {
+                    "closest" => {
+                        "p is not sufficiently more loaded than q, so the closest replica serves"
+                    }
+                    "least-requested" => {
+                        "p's unit request count exceeds q's by more than the constant factor, \
+                         so load wins over proximity"
+                    }
+                    "primary-fallback" => {
+                        "no usable replica answered; the request fell back to the primary copy"
+                    }
+                    _ => "a non-RaDaR selection policy chose the host",
+                };
+                out.push_str(&format!(
+                    "  => host {} serves ({} branch): {}.\n",
+                    d.chosen, d.branch, why
+                ));
+            }
+            EventKind::RequestServed {
+                gateway,
+                object,
+                host,
+                latency,
+                hops,
+            } => {
+                out.push_str(&format!(
+                    "object {object} served by host {host}, delivered to gateway \
+                     {gateway} after {:.3} ms over {hops} hops.\n",
+                    latency * 1e3
+                ));
+            }
+            EventKind::RequestFailed {
+                gateway,
+                object,
+                reason,
+            } => {
+                out.push_str(&format!(
+                    "request for object {object} at gateway {gateway} failed: {reason}.\n"
+                ));
+            }
+            EventKind::PlacementAction(p) => {
+                out.push_str(&format!(
+                    "placement action on host {}: {} object {}{}\n",
+                    p.host,
+                    p.action,
+                    p.object,
+                    p.target
+                        .map(|h| format!(" -> host {h}"))
+                        .unwrap_or_default()
+                ));
+                out.push_str(&format!(
+                    "  thresholds in force: deletion u = {}, replication m = {}\n",
+                    p.deletion_threshold, p.replication_threshold
+                ));
+                out.push_str(&format!(
+                    "  unit access rate (cnt_s/aff/period) = {:.4}\n",
+                    p.unit_rate
+                ));
+                match p.action.as_str() {
+                    "drop" | "affinity-reduce" | "drop-refused" => {
+                        out.push_str(&format!(
+                            "  deletion test (Fig. 3): unit rate {:.4} < u = {} => replica is \
+                             underused",
+                            p.unit_rate, p.deletion_threshold
+                        ));
+                        match p.action.as_str() {
+                            "drop" => out.push_str("; the copy was deleted.\n"),
+                            "affinity-reduce" => {
+                                out.push_str("; its affinity was reduced instead of deleting.\n")
+                            }
+                            _ => out.push_str(
+                                "; but the replica floor refused the drop (last live copy).\n",
+                            ),
+                        }
+                    }
+                    "geo-migrate" | "geo-replicate" => {
+                        if let (Some(share), Some(ratio)) = (p.share, p.ratio) {
+                            out.push_str(&format!(
+                                "  qualifying test (Figs. 4-5): share of accesses whose \
+                                 preference path passes the target = {share:.3} > required \
+                                 ratio {ratio:.3}\n"
+                            ));
+                        }
+                        if p.action == "geo-replicate" {
+                            out.push_str(&format!(
+                                "  replication test: unit rate {:.4} > m = {} => object is hot \
+                                 enough to copy rather than move.\n",
+                                p.unit_rate, p.replication_threshold
+                            ));
+                        } else {
+                            out.push_str(&format!(
+                                "  migration chosen: unit rate {:.4} <= m = {} => object moves \
+                                 toward its demand instead of replicating.\n",
+                                p.unit_rate, p.replication_threshold
+                            ));
+                        }
+                    }
+                    "load-migrate" | "load-replicate" => {
+                        if let Some(foreign) = p.share {
+                            out.push_str(&format!(
+                                "  offload ordering: foreign-request share = {foreign:.3} \
+                                 (most-foreign objects leave first)\n"
+                            ));
+                        }
+                        if p.action == "load-replicate" {
+                            out.push_str(&format!(
+                                "  host over high watermark and unit rate {:.4} > m = {} => hot \
+                                 object is replicated to the target rather than migrated.\n",
+                                p.unit_rate, p.replication_threshold
+                            ));
+                        } else {
+                            out.push_str(
+                                "  host over high watermark => object migrated to a host under \
+                                 the low watermark.\n",
+                            );
+                        }
+                    }
+                    other => {
+                        out.push_str(&format!("  (unrecognized action tag {other:?})\n"));
+                    }
+                }
+            }
+            EventKind::CountsReset { object, cause } => {
+                out.push_str(&format!(
+                    "object {object}'s replica set changed ({cause}); all replica request \
+                     counts were reset to 1 so the Fig. 2 unit counts restart fairly.\n"
+                ));
+            }
+            EventKind::Fault { desc } => {
+                out.push_str(&format!("fault transition applied: {desc}.\n"));
+            }
+            EventKind::ReReplication {
+                object,
+                target,
+                elapsed,
+            } => {
+                out.push_str(&format!(
+                    "re-replication sweep restored object {object} on host {target} after \
+                     {elapsed:.1}s below its replica floor.\n"
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{CandidateSnapshot, DecisionEvent, PlacementActionEvent};
+
+    #[test]
+    fn decision_explanation_names_branch_and_candidates() {
+        let e = Event {
+            seq: 11,
+            parent: Some(10),
+            t: 4.5,
+            queue_depth: 2,
+            kind: EventKind::Decision(DecisionEvent {
+                object: 42,
+                gateway: 1,
+                chosen: 3,
+                branch: "least-requested".into(),
+                constant: 2.0,
+                closest: Some(5),
+                least: Some(3),
+                unit_closest: Some(9.0),
+                unit_least: Some(2.0),
+                candidates: vec![
+                    CandidateSnapshot {
+                        host: 3,
+                        rcnt: 4,
+                        aff: 2,
+                        unit: 2.0,
+                        distance: 7,
+                    },
+                    CandidateSnapshot {
+                        host: 5,
+                        rcnt: 9,
+                        aff: 1,
+                        unit: 9.0,
+                        distance: 1,
+                    },
+                ],
+            }),
+        };
+        let text = e.explain();
+        assert!(text.contains("Fig. 2"), "{text}");
+        assert!(text.contains("closest (p)"), "{text}");
+        assert!(text.contains("least unit count (q)"), "{text}");
+        assert!(text.contains("9.000/2.0 = 4.500"), "{text}");
+        assert!(text.contains("least-requested branch"), "{text}");
+    }
+
+    #[test]
+    fn placement_explanation_shows_thresholds() {
+        let e = Event {
+            seq: 90,
+            parent: None,
+            t: 100.0,
+            queue_depth: 0,
+            kind: EventKind::PlacementAction(PlacementActionEvent {
+                host: 2,
+                object: 42,
+                action: "geo-replicate".into(),
+                target: Some(8),
+                unit_rate: 0.31,
+                share: Some(0.45),
+                ratio: Some(0.3),
+                deletion_threshold: 0.01,
+                replication_threshold: 0.18,
+            }),
+        };
+        let text = e.explain();
+        assert!(text.contains("u = 0.01"), "{text}");
+        assert!(text.contains("m = 0.18"), "{text}");
+        assert!(text.contains("0.450"), "{text}");
+        assert!(text.contains("replication test"), "{text}");
+    }
+
+    #[test]
+    fn every_variant_explains_without_panicking() {
+        let kinds = vec![
+            EventKind::RequestArrived {
+                gateway: 0,
+                object: 1,
+            },
+            EventKind::RequestServed {
+                gateway: 0,
+                object: 1,
+                host: 2,
+                latency: 0.01,
+                hops: 2,
+            },
+            EventKind::RequestFailed {
+                gateway: 0,
+                object: 1,
+                reason: "unreachable".into(),
+            },
+            EventKind::CountsReset {
+                object: 1,
+                cause: "created".into(),
+            },
+            EventKind::Fault {
+                desc: "host-crash 7".into(),
+            },
+            EventKind::ReReplication {
+                object: 1,
+                target: 3,
+                elapsed: 12.0,
+            },
+        ];
+        for kind in kinds {
+            let e = Event {
+                seq: 1,
+                parent: None,
+                t: 0.0,
+                queue_depth: 0,
+                kind,
+            };
+            assert!(e.explain().starts_with("event #1"));
+        }
+    }
+}

@@ -1,0 +1,733 @@
+//! JSONL (one JSON object per line) serialization of [`Event`]s.
+//!
+//! The writer emits keys in a fixed order and uses Rust's shortest-
+//! roundtrip `f64` formatting, so a seeded run produces byte-identical
+//! output across invocations. The reader is a minimal, dependency-free
+//! JSON parser covering exactly the grammar the writer emits (which is
+//! full RFC 8259 minus nothing we use: objects, arrays, strings with
+//! escapes, numbers, booleans, null).
+
+use crate::event::{CandidateSnapshot, DecisionEvent, Event, EventKind, PlacementActionEvent};
+use std::fmt;
+
+// ---------------------------------------------------------------------------
+// Writing
+// ---------------------------------------------------------------------------
+
+fn push_str_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn push_opt_u64(out: &mut String, v: Option<u64>) {
+    match v {
+        Some(v) => out.push_str(&format!("{v}")),
+        None => out.push_str("null"),
+    }
+}
+
+fn push_opt_f64(out: &mut String, v: Option<f64>) {
+    match v {
+        Some(v) => push_f64(out, v),
+        None => out.push_str("null"),
+    }
+}
+
+impl Event {
+    /// Serializes the event as one JSON object (no trailing newline).
+    ///
+    /// Key order is fixed per event type, so identical event sequences
+    /// serialize byte-identically.
+    pub fn to_json_line(&self) -> String {
+        let mut o = String::with_capacity(128);
+        o.push_str(&format!("{{\"seq\":{},\"t\":", self.seq));
+        push_f64(&mut o, self.t);
+        o.push_str(",\"parent\":");
+        push_opt_u64(&mut o, self.parent);
+        o.push_str(&format!(",\"qd\":{},\"type\":\"", self.queue_depth));
+        o.push_str(self.type_name());
+        o.push('"');
+        match &self.kind {
+            EventKind::RequestArrived { gateway, object } => {
+                o.push_str(&format!(",\"gateway\":{gateway},\"object\":{object}"));
+            }
+            EventKind::Decision(d) => {
+                o.push_str(&format!(
+                    ",\"object\":{},\"gateway\":{},\"chosen\":{},\"branch\":",
+                    d.object, d.gateway, d.chosen
+                ));
+                push_str_escaped(&mut o, &d.branch);
+                o.push_str(",\"constant\":");
+                push_f64(&mut o, d.constant);
+                o.push_str(",\"closest\":");
+                push_opt_u64(&mut o, d.closest.map(u64::from));
+                o.push_str(",\"least\":");
+                push_opt_u64(&mut o, d.least.map(u64::from));
+                o.push_str(",\"unit_closest\":");
+                push_opt_f64(&mut o, d.unit_closest);
+                o.push_str(",\"unit_least\":");
+                push_opt_f64(&mut o, d.unit_least);
+                o.push_str(",\"candidates\":[");
+                for (i, c) in d.candidates.iter().enumerate() {
+                    if i > 0 {
+                        o.push(',');
+                    }
+                    o.push_str(&format!(
+                        "{{\"host\":{},\"rcnt\":{},\"aff\":{},\"unit\":",
+                        c.host, c.rcnt, c.aff
+                    ));
+                    push_f64(&mut o, c.unit);
+                    o.push_str(&format!(",\"distance\":{}}}", c.distance));
+                }
+                o.push(']');
+            }
+            EventKind::RequestServed {
+                gateway,
+                object,
+                host,
+                latency,
+                hops,
+            } => {
+                o.push_str(&format!(
+                    ",\"gateway\":{gateway},\"object\":{object},\"host\":{host},\"latency\":"
+                ));
+                push_f64(&mut o, *latency);
+                o.push_str(&format!(",\"hops\":{hops}"));
+            }
+            EventKind::RequestFailed {
+                gateway,
+                object,
+                reason,
+            } => {
+                o.push_str(&format!(
+                    ",\"gateway\":{gateway},\"object\":{object},\"reason\":"
+                ));
+                push_str_escaped(&mut o, reason);
+            }
+            EventKind::PlacementAction(p) => {
+                o.push_str(&format!(
+                    ",\"host\":{},\"object\":{},\"action\":",
+                    p.host, p.object
+                ));
+                push_str_escaped(&mut o, &p.action);
+                o.push_str(",\"target\":");
+                push_opt_u64(&mut o, p.target.map(u64::from));
+                o.push_str(",\"unit_rate\":");
+                push_f64(&mut o, p.unit_rate);
+                o.push_str(",\"share\":");
+                push_opt_f64(&mut o, p.share);
+                o.push_str(",\"ratio\":");
+                push_opt_f64(&mut o, p.ratio);
+                o.push_str(",\"u\":");
+                push_f64(&mut o, p.deletion_threshold);
+                o.push_str(",\"m\":");
+                push_f64(&mut o, p.replication_threshold);
+            }
+            EventKind::CountsReset { object, cause } => {
+                o.push_str(&format!(",\"object\":{object},\"cause\":"));
+                push_str_escaped(&mut o, cause);
+            }
+            EventKind::Fault { desc } => {
+                o.push_str(",\"desc\":");
+                push_str_escaped(&mut o, desc);
+            }
+            EventKind::ReReplication {
+                object,
+                target,
+                elapsed,
+            } => {
+                o.push_str(&format!(
+                    ",\"object\":{object},\"target\":{target},\"elapsed\":"
+                ));
+                push_f64(&mut o, *elapsed);
+            }
+        }
+        o.push('}');
+        o
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// Error from parsing a JSONL event line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError(String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError(msg.into()))
+}
+
+/// Minimal JSON document model for the reader side.
+#[derive(Debug, Clone, PartialEq)]
+enum Val {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Val>),
+    Obj(Vec<(String, Val)>),
+}
+
+impl Val {
+    fn get<'a>(&'a self, key: &str) -> Option<&'a Val> {
+        match self {
+            Val::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn u64(&self) -> Option<u64> {
+        match self {
+            Val::Num(v) if *v >= 0.0 && v.fract() == 0.0 => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    fn str(&self) -> Option<&str> {
+        match self {
+            Val::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Self {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            err(format!("expected {:?} at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Val, ParseError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Val::Str(self.string()?)),
+            Some(b't') => self.literal("true", Val::Bool(true)),
+            Some(b'f') => self.literal("false", Val::Bool(false)),
+            Some(b'n') => self.literal("null", Val::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => err(format!("unexpected input at byte {}", self.pos)),
+        }
+    }
+
+    fn literal(&mut self, word: &str, val: Val) -> Result<Val, ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(val)
+        } else {
+            err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Val, ParseError> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii slice");
+        match text.parse::<f64>() {
+            Ok(v) => Ok(Val::Num(v)),
+            Err(_) => err(format!("bad number {text:?}")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .and_then(char::from_u32);
+                            match hex {
+                                Some(c) => {
+                                    out.push(c);
+                                    self.pos += 4;
+                                }
+                                None => return err("bad \\u escape"),
+                            }
+                        }
+                        _ => return err("bad escape"),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| ParseError("invalid utf-8".into()))?;
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Val, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Val::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Val::Arr(items));
+                }
+                _ => return err("expected ',' or ']'"),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Val, ParseError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Val::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Val::Obj(fields));
+                }
+                _ => return err("expected ',' or '}'"),
+            }
+        }
+    }
+}
+
+fn need<'a>(v: &'a Val, key: &str) -> Result<&'a Val, ParseError> {
+    match v.get(key) {
+        Some(f) => Ok(f),
+        None => err(format!("missing field {key:?}")),
+    }
+}
+
+fn need_u64(v: &Val, key: &str) -> Result<u64, ParseError> {
+    match need(v, key)?.u64() {
+        Some(n) => Ok(n),
+        None => err(format!("field {key:?} is not an unsigned integer")),
+    }
+}
+
+fn need_u32(v: &Val, key: &str) -> Result<u32, ParseError> {
+    u32::try_from(need_u64(v, key)?).map_err(|_| ParseError(format!("field {key:?} overflows u32")))
+}
+
+fn need_u16(v: &Val, key: &str) -> Result<u16, ParseError> {
+    u16::try_from(need_u64(v, key)?).map_err(|_| ParseError(format!("field {key:?} overflows u16")))
+}
+
+fn need_f64(v: &Val, key: &str) -> Result<f64, ParseError> {
+    match need(v, key)? {
+        Val::Num(n) => Ok(*n),
+        Val::Null => Ok(f64::NAN),
+        _ => err(format!("field {key:?} is not a number")),
+    }
+}
+
+fn need_str(v: &Val, key: &str) -> Result<String, ParseError> {
+    match need(v, key)?.str() {
+        Some(s) => Ok(s.to_string()),
+        None => err(format!("field {key:?} is not a string")),
+    }
+}
+
+fn opt_u16(v: &Val, key: &str) -> Result<Option<u16>, ParseError> {
+    match v.get(key) {
+        None | Some(Val::Null) => Ok(None),
+        Some(f) => match f.u64() {
+            Some(n) => u16::try_from(n)
+                .map(Some)
+                .map_err(|_| ParseError(format!("field {key:?} overflows u16"))),
+            None => err(format!("field {key:?} is not an unsigned integer")),
+        },
+    }
+}
+
+fn opt_f64(v: &Val, key: &str) -> Result<Option<f64>, ParseError> {
+    match v.get(key) {
+        None | Some(Val::Null) => Ok(None),
+        Some(Val::Num(n)) => Ok(Some(*n)),
+        Some(_) => err(format!("field {key:?} is not a number")),
+    }
+}
+
+impl Event {
+    /// Parses one JSONL line produced by
+    /// [`to_json_line`](Self::to_json_line).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] describing the first malformed or
+    /// missing field.
+    pub fn from_json_line(line: &str) -> Result<Self, ParseError> {
+        let mut p = Parser::new(line);
+        let root = p.value()?;
+        p.skip_ws();
+        if p.pos != line.len() {
+            return err("trailing garbage after JSON object");
+        }
+        let seq = need_u64(&root, "seq")?;
+        let t = need_f64(&root, "t")?;
+        let parent = match root.get("parent") {
+            None | Some(Val::Null) => None,
+            Some(f) => match f.u64() {
+                Some(n) => Some(n),
+                None => return err("field \"parent\" is not an unsigned integer"),
+            },
+        };
+        let queue_depth = need_u32(&root, "qd")?;
+        let kind_tag = need_str(&root, "type")?;
+        let kind = match kind_tag.as_str() {
+            "request" => EventKind::RequestArrived {
+                gateway: need_u16(&root, "gateway")?,
+                object: need_u32(&root, "object")?,
+            },
+            "decision" => {
+                let raw = match need(&root, "candidates")? {
+                    Val::Arr(items) => items.clone(),
+                    _ => return err("field \"candidates\" is not an array"),
+                };
+                let mut candidates = Vec::with_capacity(raw.len());
+                for c in &raw {
+                    candidates.push(CandidateSnapshot {
+                        host: need_u16(c, "host")?,
+                        rcnt: need_u64(c, "rcnt")?,
+                        aff: need_u32(c, "aff")?,
+                        unit: need_f64(c, "unit")?,
+                        distance: need_u32(c, "distance")?,
+                    });
+                }
+                EventKind::Decision(DecisionEvent {
+                    object: need_u32(&root, "object")?,
+                    gateway: need_u16(&root, "gateway")?,
+                    chosen: need_u16(&root, "chosen")?,
+                    branch: need_str(&root, "branch")?,
+                    constant: need_f64(&root, "constant")?,
+                    closest: opt_u16(&root, "closest")?,
+                    least: opt_u16(&root, "least")?,
+                    unit_closest: opt_f64(&root, "unit_closest")?,
+                    unit_least: opt_f64(&root, "unit_least")?,
+                    candidates,
+                })
+            }
+            "served" => EventKind::RequestServed {
+                gateway: need_u16(&root, "gateway")?,
+                object: need_u32(&root, "object")?,
+                host: need_u16(&root, "host")?,
+                latency: need_f64(&root, "latency")?,
+                hops: need_u32(&root, "hops")?,
+            },
+            "failed" => EventKind::RequestFailed {
+                gateway: need_u16(&root, "gateway")?,
+                object: need_u32(&root, "object")?,
+                reason: need_str(&root, "reason")?,
+            },
+            "placement" => EventKind::PlacementAction(PlacementActionEvent {
+                host: need_u16(&root, "host")?,
+                object: need_u32(&root, "object")?,
+                action: need_str(&root, "action")?,
+                target: opt_u16(&root, "target")?,
+                unit_rate: need_f64(&root, "unit_rate")?,
+                share: opt_f64(&root, "share")?,
+                ratio: opt_f64(&root, "ratio")?,
+                deletion_threshold: need_f64(&root, "u")?,
+                replication_threshold: need_f64(&root, "m")?,
+            }),
+            "counts-reset" => EventKind::CountsReset {
+                object: need_u32(&root, "object")?,
+                cause: need_str(&root, "cause")?,
+            },
+            "fault" => EventKind::Fault {
+                desc: need_str(&root, "desc")?,
+            },
+            "re-replication" => EventKind::ReReplication {
+                object: need_u32(&root, "object")?,
+                target: need_u16(&root, "target")?,
+                elapsed: need_f64(&root, "elapsed")?,
+            },
+            other => return err(format!("unknown event type {other:?}")),
+        };
+        Ok(Event {
+            seq,
+            parent,
+            t,
+            queue_depth,
+            kind,
+        })
+    }
+}
+
+/// Parses a whole JSONL document (blank lines skipped), reporting the
+/// first error with its 1-based line number.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] naming the offending line.
+pub fn parse_jsonl(text: &str) -> Result<Vec<Event>, ParseError> {
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let event =
+            Event::from_json_line(line).map_err(|e| ParseError(format!("line {}: {e}", i + 1)))?;
+        events.push(event);
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(event: Event) {
+        let line = event.to_json_line();
+        let back = Event::from_json_line(&line).expect("round trip parses");
+        assert_eq!(back, event, "line: {line}");
+        // Re-serialization is byte-stable.
+        assert_eq!(back.to_json_line(), line);
+    }
+
+    #[test]
+    fn round_trips_every_variant() {
+        let base = |kind| Event {
+            seq: 9,
+            parent: Some(3),
+            t: 12.5,
+            queue_depth: 4,
+            kind,
+        };
+        round_trip(base(EventKind::RequestArrived {
+            gateway: 1,
+            object: 2,
+        }));
+        round_trip(base(EventKind::Decision(DecisionEvent {
+            object: 42,
+            gateway: 7,
+            chosen: 3,
+            branch: "least-requested".into(),
+            constant: 2.0,
+            closest: Some(5),
+            least: Some(3),
+            unit_closest: Some(10.0),
+            unit_least: Some(2.5),
+            candidates: vec![
+                CandidateSnapshot {
+                    host: 3,
+                    rcnt: 5,
+                    aff: 2,
+                    unit: 2.5,
+                    distance: 6,
+                },
+                CandidateSnapshot {
+                    host: 5,
+                    rcnt: 10,
+                    aff: 1,
+                    unit: 10.0,
+                    distance: 1,
+                },
+            ],
+        })));
+        round_trip(base(EventKind::RequestServed {
+            gateway: 1,
+            object: 2,
+            host: 3,
+            latency: 0.125,
+            hops: 4,
+        }));
+        round_trip(base(EventKind::RequestFailed {
+            gateway: 1,
+            object: 2,
+            reason: "unreachable".into(),
+        }));
+        round_trip(base(EventKind::PlacementAction(PlacementActionEvent {
+            host: 3,
+            object: 42,
+            action: "geo-replicate".into(),
+            target: Some(9),
+            unit_rate: 0.21,
+            share: Some(0.4),
+            ratio: Some(0.3),
+            deletion_threshold: 0.01,
+            replication_threshold: 0.18,
+        })));
+        round_trip(base(EventKind::CountsReset {
+            object: 42,
+            cause: "created".into(),
+        }));
+        round_trip(base(EventKind::Fault {
+            desc: "link-degrade 3-12 x4".into(),
+        }));
+        round_trip(base(EventKind::ReReplication {
+            object: 42,
+            target: 9,
+            elapsed: 61.5,
+        }));
+    }
+
+    #[test]
+    fn none_parent_serializes_as_null() {
+        let e = Event {
+            seq: 1,
+            parent: None,
+            t: 0.0,
+            queue_depth: 0,
+            kind: EventKind::RequestArrived {
+                gateway: 0,
+                object: 0,
+            },
+        };
+        let line = e.to_json_line();
+        assert!(line.contains("\"parent\":null"), "{line}");
+        round_trip(e);
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        round_trip(Event {
+            seq: 2,
+            parent: None,
+            t: 1.0,
+            queue_depth: 0,
+            kind: EventKind::Fault {
+                desc: "weird \"desc\"\n\\tab\t".into(),
+            },
+        });
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Event::from_json_line("not json").is_err());
+        assert!(Event::from_json_line("{}").is_err());
+        assert!(Event::from_json_line(
+            "{\"seq\":1,\"t\":0,\"parent\":null,\"qd\":0,\"type\":\"mystery\"}"
+        )
+        .is_err());
+        let valid = "{\"seq\":1,\"t\":0,\"parent\":null,\"qd\":0,\
+                     \"type\":\"request\",\"gateway\":0,\"object\":0}";
+        assert!(Event::from_json_line(valid).is_ok());
+        assert!(Event::from_json_line(&format!("{valid} extra")).is_err());
+    }
+
+    #[test]
+    fn parse_jsonl_reports_line_numbers() {
+        let good = Event {
+            seq: 1,
+            parent: None,
+            t: 0.0,
+            queue_depth: 0,
+            kind: EventKind::RequestArrived {
+                gateway: 0,
+                object: 0,
+            },
+        }
+        .to_json_line();
+        let text = format!("{good}\n\nbroken\n");
+        let e = parse_jsonl(&text).unwrap_err();
+        assert!(e.to_string().contains("line 3"), "{e}");
+        assert_eq!(parse_jsonl(&format!("{good}\n{good}\n")).unwrap().len(), 2);
+    }
+}

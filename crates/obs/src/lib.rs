@@ -1,0 +1,52 @@
+//! Flight recorder for the RaDaR reproduction.
+//!
+//! This crate is the platform's observability spine: a typed event
+//! vocabulary ([`Event`] / [`EventKind`]) covering every redirector
+//! decision, placement action, fault transition, re-replication, and
+//! count reset; a bounded ring-buffer [`Recorder`] with streaming
+//! JSONL export; and [`LoopProfile`] counters for event-loop wall time
+//! and queue depth.
+//!
+//! Design rules:
+//!
+//! - **Dependency-free.** Serialization and parsing are implemented
+//!   here (see [`jsonl`]); event logs can be read without the
+//!   simulator.
+//! - **Deterministic.** Events carry sim time, sequence numbers,
+//!   causal parents, and queue depth — never wall clock — so two
+//!   identical seeded runs serialize byte-identically. Wall-clock
+//!   profiling lives in [`LoopProfile`], outside the event stream.
+//! - **Bounded.** The ring evicts oldest-first at capacity; an
+//!   optional sink still sees the full stream.
+//!
+//! ```
+//! use radar_obs::{Event, EventKind, SharedRecorder};
+//!
+//! let rec = SharedRecorder::new(1024);
+//! rec.record(&Event {
+//!     seq: 1,
+//!     parent: None,
+//!     t: 0.5,
+//!     queue_depth: 0,
+//!     kind: EventKind::RequestArrived { gateway: 0, object: 7 },
+//! });
+//! let jsonl = rec.to_jsonl();
+//! let parsed = radar_obs::parse_jsonl(&jsonl).unwrap();
+//! assert_eq!(parsed[0].object(), Some(7));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+mod explain;
+pub mod jsonl;
+mod profile;
+mod recorder;
+
+pub use event::{
+    CandidateSnapshot, DecisionEvent, Event, EventKind, PlacementActionEvent, EVENT_TYPES,
+};
+pub use jsonl::{parse_jsonl, ParseError};
+pub use profile::{HandlerStats, LoopProfile};
+pub use recorder::{Recorder, SharedRecorder, DEFAULT_CAPACITY};

@@ -1,0 +1,283 @@
+//! The bounded ring-buffer recorder and its shared (post-run
+//! inspectable) wrapper.
+
+use crate::event::Event;
+use std::collections::VecDeque;
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+/// Default ring capacity used by the CLI and examples.
+pub const DEFAULT_CAPACITY: usize = 65_536;
+
+/// A bounded in-memory flight recorder.
+///
+/// Events are kept in a ring of fixed capacity: once full, the oldest
+/// event is evicted per new event, so memory stays bounded no matter
+/// how long the run. An optional *sink* additionally streams every
+/// event as a JSONL line the moment it is recorded — the sink sees the
+/// full stream even after the ring has started evicting.
+///
+/// ```
+/// use radar_obs::{Event, EventKind, Recorder};
+///
+/// let mut rec = Recorder::new(2);
+/// for seq in 1..=3 {
+///     rec.record(&Event {
+///         seq,
+///         parent: None,
+///         t: seq as f64,
+///         queue_depth: 0,
+///         kind: EventKind::Fault { desc: format!("f{seq}") },
+///     });
+/// }
+/// assert_eq!(rec.len(), 2); // ring holds the newest two
+/// assert_eq!(rec.evicted(), 1); // ...and remembers it dropped one
+/// assert_eq!(rec.events().next().unwrap().seq, 2);
+/// ```
+pub struct Recorder {
+    capacity: usize,
+    ring: VecDeque<Event>,
+    evicted: u64,
+    sink: Option<Box<dyn Write + Send>>,
+    sink_error: Option<String>,
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recorder")
+            .field("capacity", &self.capacity)
+            .field("len", &self.ring.len())
+            .field("evicted", &self.evicted)
+            .field("has_sink", &self.sink.is_some())
+            .field("sink_error", &self.sink_error)
+            .finish()
+    }
+}
+
+impl Recorder {
+    /// Creates a recorder holding at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            capacity,
+            ring: VecDeque::with_capacity(capacity.min(1024)),
+            evicted: 0,
+            sink: None,
+            sink_error: None,
+        }
+    }
+
+    /// Attaches a streaming sink: every subsequently recorded event is
+    /// also written to `sink` as one JSONL line. Use this to capture
+    /// the *complete* stream of a long run to a file while the
+    /// in-memory ring stays bounded.
+    pub fn with_sink(mut self, sink: Box<dyn Write + Send>) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Records one event, evicting the oldest if the ring is full.
+    pub fn record(&mut self, event: &Event) {
+        if let Some(sink) = &mut self.sink {
+            let mut line = event.to_json_line();
+            line.push('\n');
+            if let Err(e) = sink.write_all(line.as_bytes()) {
+                if self.sink_error.is_none() {
+                    self.sink_error = Some(e.to_string());
+                }
+                self.sink = None;
+            }
+        }
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+            self.evicted += 1;
+        }
+        self.ring.push_back(event.clone());
+    }
+
+    /// Flushes the sink, if any. Returns the first write error the
+    /// sink ever produced (also set if flushing fails now).
+    pub fn finish(&mut self) -> Option<String> {
+        if let Some(sink) = &mut self.sink {
+            if let Err(e) = sink.flush() {
+                if self.sink_error.is_none() {
+                    self.sink_error = Some(e.to_string());
+                }
+            }
+        }
+        self.sink_error.clone()
+    }
+
+    /// Number of events currently held in the ring.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// True when no events have been recorded (or all were evicted).
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// The ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// How many events were evicted from the ring so far.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Iterates the retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &Event> {
+        self.ring.iter()
+    }
+
+    /// Serializes the retained events as a JSONL document (one event
+    /// per line, oldest first, trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in &self.ring {
+            out.push_str(&e.to_json_line());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A cloneable, thread-safe handle around a [`Recorder`].
+///
+/// The simulator takes ownership of attached observers, so a plain
+/// `Recorder` cannot be inspected after the run. `SharedRecorder`
+/// solves this: attach one clone to the simulation and keep another to
+/// read the events back afterwards.
+#[derive(Clone, Debug)]
+pub struct SharedRecorder(Arc<Mutex<Recorder>>);
+
+impl SharedRecorder {
+    /// Creates a shared recorder with the given ring capacity.
+    pub fn new(capacity: usize) -> Self {
+        Self(Arc::new(Mutex::new(Recorder::new(capacity))))
+    }
+
+    /// Wraps an already-configured recorder (e.g. one with a sink).
+    pub fn from_recorder(recorder: Recorder) -> Self {
+        Self(Arc::new(Mutex::new(recorder)))
+    }
+
+    /// Records one event.
+    pub fn record(&self, event: &Event) {
+        self.0.lock().expect("recorder lock").record(event);
+    }
+
+    /// Runs `f` with shared access to the inner recorder.
+    pub fn with<R>(&self, f: impl FnOnce(&Recorder) -> R) -> R {
+        f(&self.0.lock().expect("recorder lock"))
+    }
+
+    /// Clones out the retained events, oldest first.
+    pub fn snapshot(&self) -> Vec<Event> {
+        self.with(|r| r.events().cloned().collect())
+    }
+
+    /// Serializes the retained events as a JSONL document.
+    pub fn to_jsonl(&self) -> String {
+        self.with(|r| r.to_jsonl())
+    }
+
+    /// Flushes the sink, if any, returning the first sink error.
+    pub fn finish(&self) -> Option<String> {
+        self.0.lock().expect("recorder lock").finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use std::sync::mpsc;
+
+    fn fault(seq: u64) -> Event {
+        Event {
+            seq,
+            parent: None,
+            t: seq as f64,
+            queue_depth: 0,
+            kind: EventKind::Fault {
+                desc: format!("f{seq}"),
+            },
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut rec = Recorder::new(3);
+        for seq in 1..=5 {
+            rec.record(&fault(seq));
+        }
+        assert_eq!(rec.len(), 3);
+        assert_eq!(rec.evicted(), 2);
+        let seqs: Vec<u64> = rec.events().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![3, 4, 5]);
+        assert_eq!(rec.capacity(), 3);
+        assert!(!rec.is_empty());
+    }
+
+    #[test]
+    fn sink_sees_evicted_events() {
+        struct Chan(mpsc::Sender<Vec<u8>>);
+        impl std::io::Write for Chan {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.send(buf.to_vec()).ok();
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let (tx, rx) = mpsc::channel();
+        let mut rec = Recorder::new(1).with_sink(Box::new(Chan(tx)));
+        for seq in 1..=4 {
+            rec.record(&fault(seq));
+        }
+        assert_eq!(rec.finish(), None);
+        drop(rec);
+        let text: String = rx.iter().map(|b| String::from_utf8(b).unwrap()).collect();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4, "sink sees the full stream");
+        assert!(lines[0].contains("\"seq\":1"));
+        assert!(lines[3].contains("\"seq\":4"));
+    }
+
+    #[test]
+    fn sink_errors_are_sticky_not_fatal() {
+        struct Broken;
+        impl std::io::Write for Broken {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut rec = Recorder::new(8).with_sink(Box::new(Broken));
+        rec.record(&fault(1));
+        rec.record(&fault(2));
+        assert_eq!(rec.len(), 2, "ring still records");
+        let err = rec.finish().expect("error reported");
+        assert!(err.contains("disk full"), "{err}");
+    }
+
+    #[test]
+    fn shared_recorder_round_trip() {
+        let shared = SharedRecorder::new(16);
+        let clone = shared.clone();
+        clone.record(&fault(1));
+        clone.record(&fault(2));
+        assert_eq!(shared.snapshot().len(), 2);
+        assert_eq!(shared.with(|r| r.len()), 2);
+        let jsonl = shared.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 2);
+        assert_eq!(shared.finish(), None);
+    }
+}

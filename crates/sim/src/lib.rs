@@ -77,3 +77,7 @@ pub use platform::Simulation;
 pub use report::{ReplicaCensus, RunReport};
 pub use selection::{RadarSelection, SelectionPolicy};
 pub use trace::{Trace, TraceEntry, TraceError};
+
+/// The flight-recorder crate, re-exported so observers can name its
+/// event types without a separate dependency declaration.
+pub use radar_obs as obs;

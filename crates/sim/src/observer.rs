@@ -17,6 +17,18 @@ pub enum FailureReason {
     CrashedMidService,
 }
 
+impl FailureReason {
+    /// Stable kebab-case tag, as recorded in flight-recorder
+    /// [`radar_obs::EventKind::RequestFailed`] events.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FailureReason::AllReplicasDown => "all-replicas-down",
+            FailureReason::Unreachable => "unreachable",
+            FailureReason::CrashedMidService => "crashed-mid-service",
+        }
+    }
+}
+
 /// One served request, as delivered to observers.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RequestRecord {
@@ -105,5 +117,54 @@ pub trait Observer: Send {
     /// count, `elapsed` seconds after it fell below the floor.
     fn on_re_replication(&mut self, t: f64, object: u32, target: u16, elapsed: f64) {
         let _ = (t, object, target, elapsed);
+    }
+
+    /// Whether this observer wants the flight-recorder event feed
+    /// ([`on_event`](Self::on_event)). The platform only builds the
+    /// typed [`radar_obs::Event`]s — decision snapshots, placement
+    /// explanations, causal parents — when at least one attached
+    /// observer returns `true`, so with no recorder the hot path pays
+    /// only a branch.
+    fn wants_events(&self) -> bool {
+        false
+    }
+
+    /// A flight-recorder event was emitted. Only called on observers
+    /// whose [`wants_events`](Self::wants_events) returns `true`.
+    fn on_event(&mut self, event: &radar_obs::Event) {
+        let _ = event;
+    }
+
+    /// The run finished with event-loop profiling enabled
+    /// ([`crate::Simulation::enable_loop_profile`]); called once at
+    /// finalization with the accumulated per-handler counters.
+    fn on_loop_profile(&mut self, profile: &radar_obs::LoopProfile) {
+        let _ = profile;
+    }
+}
+
+/// A [`radar_obs::Recorder`] is an observer: it subscribes to the event
+/// feed and records every event into its ring (and streaming sink, if
+/// configured).
+impl Observer for radar_obs::Recorder {
+    fn wants_events(&self) -> bool {
+        true
+    }
+
+    fn on_event(&mut self, event: &radar_obs::Event) {
+        self.record(event);
+    }
+}
+
+/// A [`radar_obs::SharedRecorder`] is an observer too — attach one
+/// clone to the simulation and keep another to read the events back
+/// after the run.
+impl Observer for radar_obs::SharedRecorder {
+    fn wants_events(&self) -> bool {
+        true
+    }
+
+    fn on_event(&mut self, event: &radar_obs::Event) {
+        self.record(event);
     }
 }

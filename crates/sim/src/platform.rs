@@ -2,6 +2,9 @@
 
 use radar_core::placement::{handle_create_obj, run_placement, PlacementEnv};
 use radar_core::{Catalog, CreateObjRequest, CreateObjResponse, HostState, ObjectId, Redirector};
+use radar_obs::{
+    CandidateSnapshot, DecisionEvent, EventKind as ObsEventKind, LoopProfile, PlacementActionEvent,
+};
 use radar_simcore::{EventQueue, FifoServer, SimDuration, SimRng, SimTime};
 use radar_simnet::{NodeId, RoutingTable};
 use radar_workload::{ArrivalProcess, Workload};
@@ -23,18 +26,23 @@ use crate::trace::{Trace, TraceEntry};
 enum Event {
     /// A client request enters at its gateway.
     Arrival { gateway: NodeId },
-    /// The request reaches the redirector.
+    /// The request reaches the redirector. `cause` is the
+    /// flight-recorder sequence number of the arrival event (0 when
+    /// tracing is off).
     Redirect {
         object: ObjectId,
         gateway: NodeId,
         t0: SimTime,
+        cause: u64,
     },
-    /// The request reaches the chosen host.
+    /// The request reaches the chosen host. `cause` chains to the
+    /// redirector's decision event.
     ArriveAtHost {
         object: ObjectId,
         gateway: NodeId,
         host: NodeId,
         t0: SimTime,
+        cause: u64,
     },
     /// The host finishes serving; the response departs. `epoch` is the
     /// host's crash epoch when the request entered service — a mismatch
@@ -45,6 +53,7 @@ enum Event {
         host: NodeId,
         t0: SimTime,
         epoch: u32,
+        cause: u64,
     },
     /// Periodic load measurement sampling (Fig. 8a / 8b).
     LoadSample,
@@ -63,6 +72,88 @@ enum Event {
     /// crash — `epoch` guards that), its replicas are purged and
     /// re-replicated elsewhere.
     DeclareDead { host: NodeId, epoch: u32 },
+}
+
+impl Event {
+    /// Stable handler label for event-loop profiling
+    /// ([`Simulation::enable_loop_profile`]).
+    fn label(&self) -> &'static str {
+        match self {
+            Event::Arrival { .. } => "arrival",
+            Event::Redirect { .. } => "redirect",
+            Event::ArriveAtHost { .. } => "arrive-at-host",
+            Event::ServiceComplete { .. } => "service-complete",
+            Event::LoadSample => "load-sample",
+            Event::Placement { .. } => "placement",
+            Event::ProviderUpdate => "provider-update",
+            Event::TraceArrival { .. } => "trace-arrival",
+            Event::Fault { .. } => "fault",
+            Event::DeclareDead { .. } => "declare-dead",
+        }
+    }
+}
+
+/// The platform's observer fan-out plus the flight-recorder sequence
+/// counter. Kept as one separable struct so the placement environment
+/// can emit events while the rest of the simulation is mutably
+/// borrowed.
+struct EventSink {
+    observers: Vec<Box<dyn Observer>>,
+    /// Monotonic flight-recorder sequence. Numbers are 1-based so that
+    /// 0 can double as "no causal parent" in scheduled events.
+    next_seq: u64,
+    /// True when at least one attached observer wants the typed event
+    /// feed; with no recorder attached, emission sites pay one branch.
+    tracing: bool,
+}
+
+impl EventSink {
+    fn new() -> Self {
+        EventSink {
+            observers: Vec::new(),
+            next_seq: 0,
+            tracing: false,
+        }
+    }
+
+    /// Emits one flight-recorder event to every subscribed observer and
+    /// returns its sequence number — or 0 without side effects when
+    /// tracing is off. `cause` is the parent's sequence number (0 for
+    /// none). Callers should guard [`radar_obs::EventKind`]
+    /// construction behind [`tracing`](Self::tracing) so the disabled
+    /// path allocates nothing.
+    fn emit(&mut self, t: f64, queue_depth: u32, cause: u64, kind: ObsEventKind) -> u64 {
+        if !self.tracing {
+            return 0;
+        }
+        self.next_seq += 1;
+        let event = radar_obs::Event {
+            seq: self.next_seq,
+            parent: (cause != 0).then_some(cause),
+            t,
+            queue_depth,
+            kind,
+        };
+        for obs in &mut self.observers {
+            if obs.wants_events() {
+                obs.on_event(&event);
+            }
+        }
+        self.next_seq
+    }
+}
+
+/// Human-readable description of a fault transition, for
+/// [`radar_obs::EventKind::Fault`] events.
+fn transition_desc(kind: TransitionKind) -> String {
+    match kind {
+        TransitionKind::HostCrash(h) => format!("host-crash {h}"),
+        TransitionKind::HostRecover(h) => format!("host-recover {h}"),
+        TransitionKind::LinkFail(a, b) => format!("link-fail {a}-{b}"),
+        TransitionKind::LinkHeal(a, b) => format!("link-heal {a}-{b}"),
+        TransitionKind::LinkDegrade(a, b, f) => format!("link-degrade {a}-{b} x{f}"),
+        TransitionKind::LinkRestore(a, b, f) => format!("link-restore {a}-{b} x{f}"),
+    }
 }
 
 /// A configured simulation, ready to [`run`](Simulation::run).
@@ -94,7 +185,11 @@ pub struct Simulation {
     arrivals: Vec<ArrivalProcess>,
     /// Whether bootstrap (initial placement + first events) has run.
     started: bool,
-    observers: Vec<Box<dyn Observer>>,
+    /// Attached observers plus the flight-recorder state.
+    events: EventSink,
+    /// Event-loop profiling accumulator; `None` until
+    /// [`enable_loop_profile`](Simulation::enable_loop_profile).
+    profile: Option<LoopProfile>,
     /// The load-report board (§4.2.2 / the TR's recipient discovery):
     /// "hosts periodically exchange load reports, so that each host
     /// knows a few probable candidates." Each entry is the host's last
@@ -233,7 +328,8 @@ impl Simulation {
             queue: EventQueue::new(),
             arrivals,
             started: false,
-            observers: Vec::new(),
+            events: EventSink::new(),
+            profile: None,
             load_reports: vec![(0.0, 0.0); n],
             replay: None,
             recorded: None,
@@ -286,8 +382,25 @@ impl Simulation {
 
     /// Attaches an [`Observer`] receiving a live feed of simulation
     /// events. Multiple observers are invoked in attachment order.
+    ///
+    /// Attaching an observer whose [`Observer::wants_events`] returns
+    /// `true` (e.g. a [`radar_obs::Recorder`]) switches on the flight
+    /// recorder: the platform then builds and delivers the typed
+    /// [`radar_obs::Event`] feed — decision snapshots, placement
+    /// explanations, causal parents.
     pub fn attach_observer(&mut self, observer: Box<dyn Observer>) {
-        self.observers.push(observer);
+        self.events.tracing |= observer.wants_events();
+        self.events.observers.push(observer);
+    }
+
+    /// Enables event-loop profiling: each handled event is timed and
+    /// binned by type, together with queue-depth samples. The profile
+    /// is delivered to observers via [`Observer::on_loop_profile`] and
+    /// returned in [`RunReport::loop_profile`]. Wall-clock numbers stay
+    /// out of the event stream and the report JSON, so profiling never
+    /// perturbs determinism of recorded outputs.
+    pub fn enable_loop_profile(&mut self) {
+        self.profile = Some(LoopProfile::new());
     }
 
     /// The nodes hosting the redirectors (the most central nodes; one
@@ -325,7 +438,18 @@ impl Simulation {
                 break;
             }
             let (t, ev) = self.queue.pop().expect("peeked event exists");
-            self.handle(t, ev);
+            if self.profile.is_some() {
+                let label = ev.label();
+                let depth = self.queue.len() as u32;
+                let started = std::time::Instant::now();
+                self.handle(t, ev);
+                let nanos = started.elapsed().as_nanos() as u64;
+                if let Some(profile) = &mut self.profile {
+                    profile.record(label, nanos, depth);
+                }
+            } else {
+                self.handle(t, ev);
+            }
         }
     }
 
@@ -456,20 +580,23 @@ impl Simulation {
                 object,
                 gateway,
                 t0,
-            } => self.on_redirect(t, object, gateway, t0),
+                cause,
+            } => self.on_redirect(t, object, gateway, t0, cause),
             Event::ArriveAtHost {
                 object,
                 gateway,
                 host,
                 t0,
-            } => self.on_arrive_at_host(t, object, gateway, host, t0),
+                cause,
+            } => self.on_arrive_at_host(t, object, gateway, host, t0, cause),
             Event::ServiceComplete {
                 object,
                 gateway,
                 host,
                 t0,
                 epoch,
-            } => self.on_service_complete(t, object, gateway, host, t0, epoch),
+                cause,
+            } => self.on_service_complete(t, object, gateway, host, t0, epoch, cause),
             Event::LoadSample => self.on_load_sample(t),
             Event::Placement { host } => self.on_placement(t, host),
             Event::ProviderUpdate => self.on_provider_update(t),
@@ -527,10 +654,24 @@ impl Simulation {
         object: ObjectId,
         gateway: NodeId,
         reason: FailureReason,
+        cause: u64,
     ) {
         self.metrics.failed_requests += 1;
         let now = t.as_secs();
-        for obs in &mut self.observers {
+        if self.events.tracing {
+            let qd = self.queue.len() as u32;
+            self.events.emit(
+                now,
+                qd,
+                cause,
+                ObsEventKind::RequestFailed {
+                    gateway: gateway.index() as u16,
+                    object: object.index() as u32,
+                    reason: reason.as_str().to_string(),
+                },
+            );
+        }
+        for obs in &mut self.events.observers {
             obs.on_request_failed(now, object.index() as u32, gateway.index() as u16, reason);
         }
     }
@@ -551,9 +692,10 @@ impl Simulation {
         }
         // Gateway → the object's redirector: propagation only (requests
         // are tiny).
+        let cause = self.emit_arrival(t, object, gateway);
         let rnode = self.redirector_node_of(object);
         if !self.connected(gateway, rnode) {
-            self.fail_request(t, object, gateway, FailureReason::Unreachable);
+            self.fail_request(t, object, gateway, FailureReason::Unreachable, cause);
             return;
         }
         let delay = self.propagation(gateway, rnode);
@@ -563,8 +705,27 @@ impl Simulation {
                 object,
                 gateway,
                 t0: t,
+                cause,
             },
         );
+    }
+
+    /// Emits the root of a request's causal chain (a `RequestArrived`
+    /// event) and returns its sequence number (0 when tracing is off).
+    fn emit_arrival(&mut self, t: SimTime, object: ObjectId, gateway: NodeId) -> u64 {
+        if !self.events.tracing {
+            return 0;
+        }
+        let qd = self.queue.len() as u32;
+        self.events.emit(
+            t.as_secs(),
+            qd,
+            0,
+            ObsEventKind::RequestArrived {
+                gateway: gateway.index() as u16,
+                object: object.index() as u32,
+            },
+        )
     }
 
     fn on_trace_arrival(&mut self, t: SimTime, index: usize) {
@@ -584,9 +745,10 @@ impl Simulation {
                 object: entry.object,
             });
         }
+        let cause = self.emit_arrival(t, object, gateway);
         let rnode = self.redirector_node_of(object);
         if !self.connected(gateway, rnode) {
-            self.fail_request(t, object, gateway, FailureReason::Unreachable);
+            self.fail_request(t, object, gateway, FailureReason::Unreachable, cause);
             return;
         }
         let delay = self.propagation(gateway, rnode);
@@ -596,11 +758,19 @@ impl Simulation {
                 object,
                 gateway,
                 t0: t,
+                cause,
             },
         );
     }
 
-    fn on_redirect(&mut self, t: SimTime, object: ObjectId, gateway: NodeId, t0: SimTime) {
+    fn on_redirect(
+        &mut self,
+        t: SimTime,
+        object: ObjectId,
+        gateway: NodeId,
+        t0: SimTime,
+        cause: u64,
+    ) {
         let rnode = self.redirector_node_of(object);
         *self
             .metrics
@@ -616,13 +786,25 @@ impl Simulation {
                 && !paths[rnode.index()][h.index()].is_empty()
                 && !paths[h.index()][gateway.index()].is_empty()
         };
-        let chosen = self.selection.choose_available(
-            object,
-            gateway,
-            &mut self.redirector,
-            &self.routes,
-            &usable,
-        );
+        let (chosen, explanation) = if self.events.tracing {
+            self.selection.choose_available_explained(
+                object,
+                gateway,
+                &mut self.redirector,
+                &self.routes,
+                &usable,
+            )
+        } else {
+            let pick = self.selection.choose_available(
+                object,
+                gateway,
+                &mut self.redirector,
+                &self.routes,
+                &usable,
+            );
+            (pick, None)
+        };
+        let mut fallback_used = false;
         let host = match chosen {
             Some(h) => h,
             None => {
@@ -650,7 +832,7 @@ impl Simulation {
                     } else {
                         FailureReason::AllReplicasDown
                     };
-                    self.fail_request(t, object, gateway, reason);
+                    self.fail_request(t, object, gateway, reason, cause);
                     return;
                 };
                 if !self.redirector.replicas(object).iter().any(|r| r.host == p) {
@@ -658,8 +840,60 @@ impl Simulation {
                     self.refresh_one(now, object);
                 }
                 self.metrics.primary_fallbacks += 1;
+                fallback_used = true;
                 p
             }
+        };
+        let decision = if self.events.tracing {
+            let qd = self.queue.len() as u32;
+            let event = match explanation {
+                Some(e) => DecisionEvent {
+                    object: object.index() as u32,
+                    gateway: gateway.index() as u16,
+                    chosen: host.index() as u16,
+                    branch: e.branch.as_str().to_string(),
+                    constant: e.constant,
+                    closest: Some(e.closest.index() as u16),
+                    least: Some(e.least.index() as u16),
+                    unit_closest: Some(e.unit_closest),
+                    unit_least: Some(e.unit_least),
+                    candidates: e
+                        .candidates
+                        .iter()
+                        .map(|c| CandidateSnapshot {
+                            host: c.host.index() as u16,
+                            rcnt: c.rcnt,
+                            aff: c.aff,
+                            unit: c.unit_rcnt(),
+                            distance: c.distance,
+                        })
+                        .collect(),
+                },
+                // Either the selection policy has no Fig. 2 data (a
+                // baseline) or no usable replica existed and the
+                // primary fallback served.
+                None => DecisionEvent {
+                    object: object.index() as u32,
+                    gateway: gateway.index() as u16,
+                    chosen: host.index() as u16,
+                    branch: if fallback_used {
+                        "primary-fallback"
+                    } else {
+                        "policy"
+                    }
+                    .to_string(),
+                    constant: self.scenario.params.distribution_constant,
+                    closest: None,
+                    least: None,
+                    unit_closest: None,
+                    unit_least: None,
+                    candidates: Vec::new(),
+                },
+            };
+            self.events
+                .emit(t.as_secs(), qd, cause, ObsEventKind::Decision(event))
+        } else {
+            0
         };
         let delay = self.propagation(rnode, host);
         self.queue.schedule(
@@ -669,6 +903,7 @@ impl Simulation {
                 gateway,
                 host,
                 t0,
+                cause: decision,
             },
         );
     }
@@ -680,11 +915,12 @@ impl Simulation {
         gateway: NodeId,
         host: NodeId,
         t0: SimTime,
+        cause: u64,
     ) {
         let i = host.index();
         if !self.fault_state.host_up(i as u16) {
             // The host crashed while the redirect was in flight.
-            self.fail_request(t, object, gateway, FailureReason::CrashedMidService);
+            self.fail_request(t, object, gateway, FailureReason::CrashedMidService, cause);
             return;
         }
         // Record the preference path (host → gateway) for placement.
@@ -706,10 +942,12 @@ impl Simulation {
                 host,
                 t0,
                 epoch: self.host_epoch[i],
+                cause,
             },
         );
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn on_service_complete(
         &mut self,
         t: SimTime,
@@ -718,19 +956,20 @@ impl Simulation {
         host: NodeId,
         t0: SimTime,
         epoch: u32,
+        cause: u64,
     ) {
         let i = host.index();
         if epoch != self.host_epoch[i] {
             // The host crashed while this request was queued or in
             // service; the work is lost.
-            self.fail_request(t, object, gateway, FailureReason::CrashedMidService);
+            self.fail_request(t, object, gateway, FailureReason::CrashedMidService, cause);
             return;
         }
         self.hosts[i].record_serviced(t.as_secs(), object);
         if !self.connected(host, gateway) {
             // The response has nowhere to go: a partition opened while
             // the request was in service.
-            self.fail_request(t, object, gateway, FailureReason::Unreachable);
+            self.fail_request(t, object, gateway, FailureReason::Unreachable, cause);
             return;
         }
         let hops = self.routes.distance(host, gateway);
@@ -747,7 +986,22 @@ impl Simulation {
             self.node_regions[gateway.index()].index(),
         );
         self.metrics.region_matrix[from][to] += bytes_hops;
-        if !self.observers.is_empty() {
+        if self.events.tracing {
+            let qd = self.queue.len() as u32;
+            self.events.emit(
+                t.as_secs(),
+                qd,
+                cause,
+                ObsEventKind::RequestServed {
+                    gateway: gateway.index() as u16,
+                    object: object.index() as u32,
+                    host: host.index() as u16,
+                    latency,
+                    hops,
+                },
+            );
+        }
+        if !self.events.observers.is_empty() {
             let record = RequestRecord {
                 entered: t0.as_secs(),
                 delivered: delivered.as_secs(),
@@ -757,7 +1011,7 @@ impl Simulation {
                 latency,
                 hops,
             };
-            for obs in &mut self.observers {
+            for obs in &mut self.events.observers {
                 obs.on_request_served(&record);
             }
         }
@@ -784,7 +1038,7 @@ impl Simulation {
         }
         self.metrics.max_load.record(now, max);
         self.metrics.max_load_host.push((now, max_host, max));
-        for obs in &mut self.observers {
+        for obs in &mut self.events.observers {
             obs.on_load_sample(now, max);
         }
         // Replica census for Table 2 (sampled here rather than at
@@ -842,15 +1096,40 @@ impl Simulation {
                 alive: &alive,
                 object_size: self.scenario.object_size,
                 now,
+                events: &mut self.events,
+                queue_depth: self.queue.len() as u32,
             };
             run_placement(&mut host, now, &mut env)
         };
+        if self.events.tracing {
+            // One flight-recorder event per placement decision, carrying
+            // the threshold comparison that triggered it.
+            let qd = self.queue.len() as u32;
+            for d in &outcome.decisions {
+                self.events.emit(
+                    now,
+                    qd,
+                    0,
+                    ObsEventKind::PlacementAction(PlacementActionEvent {
+                        host: i as u16,
+                        object: d.object.index() as u32,
+                        action: d.action.as_str().to_string(),
+                        target: d.target.map(|n| n.index() as u16),
+                        unit_rate: d.unit_rate,
+                        share: d.share,
+                        ratio: d.ratio,
+                        deletion_threshold: d.deletion_threshold,
+                        replication_threshold: d.replication_threshold,
+                    }),
+                );
+            }
+        }
         let log_before = self.metrics.relocation_log.len();
         self.metrics.record_placement(now, i as u16, &outcome);
-        if !self.observers.is_empty() {
+        if !self.events.observers.is_empty() {
             for k in log_before..self.metrics.relocation_log.len() {
                 let event = self.metrics.relocation_log[k];
-                for obs in &mut self.observers {
+                for obs in &mut self.events.observers {
                     obs.on_relocation(&event);
                 }
             }
@@ -929,7 +1208,18 @@ impl Simulation {
         let now = t.as_secs();
         let routes_dirty = self.fault_state.apply(transition.kind);
         self.metrics.faults_injected += 1;
-        for obs in &mut self.observers {
+        if self.events.tracing {
+            let qd = self.queue.len() as u32;
+            self.events.emit(
+                now,
+                qd,
+                0,
+                ObsEventKind::Fault {
+                    desc: transition_desc(transition.kind),
+                },
+            );
+        }
+        for obs in &mut self.events.observers {
             obs.on_fault(&transition);
         }
         match transition.kind {
@@ -987,7 +1277,23 @@ impl Simulation {
             return;
         }
         self.declared_dead[i] = true;
-        self.redirector.purge_host(host);
+        let purged = self.redirector.purge_host(host);
+        if self.events.tracing {
+            // Purging resets the surviving replicas' request counts —
+            // one CountsReset per affected object.
+            let qd = self.queue.len() as u32;
+            for object in purged {
+                self.events.emit(
+                    t.as_secs(),
+                    qd,
+                    0,
+                    ObsEventKind::CountsReset {
+                        object: object.index() as u32,
+                        cause: "purge".to_string(),
+                    },
+                );
+            }
+        }
         self.refresh_object_health(t.as_secs());
         self.re_replicate(t);
     }
@@ -1128,7 +1434,20 @@ impl Simulation {
                 };
                 self.install(object, target);
                 self.metrics.re_replications += 1;
-                for obs in &mut self.observers {
+                if self.events.tracing {
+                    let qd = self.queue.len() as u32;
+                    self.events.emit(
+                        now,
+                        qd,
+                        0,
+                        ObsEventKind::ReReplication {
+                            object: i,
+                            target: target.index() as u16,
+                            elapsed,
+                        },
+                    );
+                }
+                for obs in &mut self.events.observers {
                     obs.on_re_replication(now, i, target.index() as u16, elapsed);
                 }
             }
@@ -1186,6 +1505,12 @@ impl Simulation {
             .zip(&self.metrics.link_bytes)
             .map(|(&(a, b), &bytes)| ((a.index() as u16, b.index() as u16), bytes))
             .collect();
+        let profile = self.profile.take();
+        if let Some(profile) = &profile {
+            for obs in &mut self.events.observers {
+                obs.on_loop_profile(profile);
+            }
+        }
         let mut report = RunReport::from_metrics(
             self.metrics,
             self.workload.name().to_string(),
@@ -1198,6 +1523,7 @@ impl Simulation {
         report.trace = self
             .recorded
             .map(|entries| entries.into_iter().collect::<Trace>());
+        report.loop_profile = profile;
         report
     }
 }
@@ -1235,6 +1561,31 @@ struct SimEnv<'a> {
     alive: &'a [bool],
     object_size: u64,
     now: f64,
+    /// Flight-recorder sink for replica-set change events (count
+    /// resets) triggered by the placement run.
+    events: &'a mut EventSink,
+    /// Queue depth snapshot at the placement event, stamped onto events
+    /// emitted during it.
+    queue_depth: u32,
+}
+
+impl SimEnv<'_> {
+    /// Emits a `CountsReset` flight-recorder event (replica-set change →
+    /// "request counts are re-initialized to 1", §4.1).
+    fn emit_counts_reset(&mut self, object: ObjectId, cause: &str) {
+        if !self.events.tracing {
+            return;
+        }
+        self.events.emit(
+            self.now,
+            self.queue_depth,
+            0,
+            ObsEventKind::CountsReset {
+                object: object.index() as u32,
+                cause: cause.to_string(),
+            },
+        );
+    }
 }
 
 impl PlacementEnv for SimEnv<'_> {
@@ -1253,6 +1604,7 @@ impl PlacementEnv for SimEnv<'_> {
         if let CreateObjResponse::Accepted { new_copy } = resp {
             // Notify the redirector *after* the copy exists.
             self.redirector.notify_created(req.object, target);
+            self.emit_counts_reset(req.object, "created");
             if new_copy {
                 // The object data crosses the backbone: overhead traffic.
                 let hops = self.routes.distance(req.source, target);
@@ -1270,11 +1622,16 @@ impl PlacementEnv for SimEnv<'_> {
     }
 
     fn request_drop(&mut self, object: ObjectId, host: NodeId) -> bool {
-        self.redirector.request_drop(object, host)
+        let approved = self.redirector.request_drop(object, host);
+        if approved {
+            self.emit_counts_reset(object, "dropped");
+        }
+        approved
     }
 
     fn notify_affinity(&mut self, object: ObjectId, host: NodeId, aff: u32) {
         self.redirector.notify_affinity(object, host, aff);
+        self.emit_counts_reset(object, "affinity");
     }
 
     fn find_offload_recipient(&mut self, requester: NodeId) -> Option<(NodeId, f64)> {

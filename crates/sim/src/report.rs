@@ -115,6 +115,11 @@ pub struct RunReport {
     pub restore_time: Summary,
     /// Fault transitions applied over the run.
     pub faults_injected: u64,
+    /// Event-loop profile (per-event-type wall time and queue depth),
+    /// when [`crate::Simulation::enable_loop_profile`] was on. Carries
+    /// host wall-clock measurements, so it is deliberately excluded
+    /// from the JSON report to keep that output deterministic.
+    pub loop_profile: Option<radar_obs::LoopProfile>,
 }
 
 impl RunReport {
@@ -169,6 +174,7 @@ impl RunReport {
             unavailable_object_seconds: metrics.unavailable_object_seconds,
             restore_time: metrics.restore_time.snapshot(),
             faults_injected: metrics.faults_injected,
+            loop_profile: None,
         }
     }
 

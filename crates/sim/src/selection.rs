@@ -5,7 +5,7 @@
 //! `radar-baselines` crate and implement the same [`SelectionPolicy`]
 //! trait, so every policy runs against identical replica bookkeeping.
 
-use radar_core::{ObjectId, Redirector};
+use radar_core::{ChoiceExplanation, ObjectId, Redirector};
 use radar_simnet::{NodeId, RoutingTable};
 
 /// Chooses which replica serves a request. Implementations may keep
@@ -44,6 +44,26 @@ pub trait SelectionPolicy: Send {
             .filter(|&h| usable(h))
     }
 
+    /// [`choose_available`](Self::choose_available) that additionally
+    /// returns a [`ChoiceExplanation`] when the policy can produce one —
+    /// the flight recorder's entry point. The default implementation
+    /// delegates to [`choose_available`](Self::choose_available) with no
+    /// explanation (baseline policies have no Fig. 2 data); the platform
+    /// only calls this variant when event tracing is on.
+    fn choose_available_explained(
+        &mut self,
+        object: ObjectId,
+        gateway: NodeId,
+        redirector: &mut Redirector,
+        routes: &RoutingTable,
+        usable: &dyn Fn(NodeId) -> bool,
+    ) -> (Option<NodeId>, Option<ChoiceExplanation>) {
+        (
+            self.choose_available(object, gateway, redirector, routes, usable),
+            None,
+        )
+    }
+
     /// Policy name for reports.
     fn name(&self) -> &str;
 }
@@ -80,6 +100,20 @@ impl SelectionPolicy for RadarSelection {
         usable: &dyn Fn(NodeId) -> bool,
     ) -> Option<NodeId> {
         redirector.choose_replica_filtered(object, gateway, routes, usable)
+    }
+
+    fn choose_available_explained(
+        &mut self,
+        object: ObjectId,
+        gateway: NodeId,
+        redirector: &mut Redirector,
+        routes: &RoutingTable,
+        usable: &dyn Fn(NodeId) -> bool,
+    ) -> (Option<NodeId>, Option<ChoiceExplanation>) {
+        match redirector.choose_replica_explained(object, gateway, routes, usable) {
+            Some((host, expl)) => (Some(host), Some(expl)),
+            None => (None, None),
+        }
     }
 
     fn name(&self) -> &str {
