@@ -1,18 +1,25 @@
 //! `radar events` — inspect a flight-recorder JSONL log.
 //!
 //! Logs come from `radar simulate --events FILE` (or any
-//! [`radar_obs::Recorder`] sink). Four subcommands: `tail` shows the
+//! [`radar_obs::Recorder`] sink). Six subcommands: `tail` shows the
 //! most recent events, `filter` selects by type/object/gateway/host/
 //! time, `explain` prints one event's full decision narrative plus its
-//! causal chain, and `summary` aggregates per-event-type counts, rates,
-//! and queue-depth statistics.
+//! causal chain, `summary` aggregates per-event-type counts, rates,
+//! queue-depth statistics, and ring-eviction losses, `watch` replays a
+//! log through the streaming metrics fold and renders the dashboard,
+//! and `diff` compares two logs and pinpoints the first divergence
+//! with both sides' causal context.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-use radar_obs::{parse_jsonl, Event, EventKind, EVENT_TYPES};
+use radar_obs::{
+    diff_events, parse_jsonl_log, DiffOutcome, Event, EventKind, EventLog, MetricsConfig,
+    MetricsObserver, EVENT_TYPES,
+};
 
 use crate::args::Parsed;
+use crate::dashboard;
 
 pub(crate) fn command(args: &[&str]) -> Result<String, String> {
     let Some((&sub, rest)) = args.split_first() else {
@@ -23,15 +30,21 @@ pub(crate) fn command(args: &[&str]) -> Result<String, String> {
         "filter" => filter(rest),
         "explain" => explain(rest),
         "summary" => summary(rest),
+        "watch" => watch(rest),
+        "diff" => diff(rest),
         "--help" | "-h" => Ok(help()),
         other => Err(format!("unknown events subcommand {other:?}\n\n{}", help())),
     }
 }
 
-fn load(path: &str) -> Result<Vec<Event>, String> {
+fn load_log(path: &str) -> Result<EventLog, String> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| format!("cannot read events file {path}: {e}"))?;
-    parse_jsonl(&text).map_err(|e| format!("{path}: {e}"))
+    parse_jsonl_log(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn load(path: &str) -> Result<Vec<Event>, String> {
+    load_log(path).map(|log| log.events)
 }
 
 /// The single FILE positional every subcommand except `explain` takes.
@@ -164,8 +177,16 @@ fn explain(args: &[&str]) -> Result<String, String> {
     };
 
     let mut out = event.explain();
-    // Walk the causal chain: ancestors back to the root, then direct
-    // consequences (events naming this one as parent).
+    out.push_str(&causal_chain(&events, event));
+    Ok(out)
+}
+
+/// Renders an event's causal context within `events`: its ancestors
+/// back to the root ("caused by") and its direct consequences ("led
+/// to"). Shared by `explain` and `diff`.
+fn causal_chain(events: &[Event], event: &Event) -> String {
+    let by_seq: BTreeMap<u64, &Event> = events.iter().map(|e| (e.seq, e)).collect();
+    let mut out = String::new();
     let mut ancestors = Vec::new();
     let mut cursor = event.parent;
     while let Some(p) = cursor {
@@ -191,14 +212,17 @@ fn explain(args: &[&str]) -> Result<String, String> {
             }
         }
     }
-    let children: Vec<&Event> = events.iter().filter(|e| e.parent == Some(seq)).collect();
+    let children: Vec<&Event> = events
+        .iter()
+        .filter(|e| e.parent == Some(event.seq))
+        .collect();
     if !children.is_empty() {
         out.push_str("\nled to:\n");
         for e in children {
             let _ = writeln!(out, "  {}", e.brief());
         }
     }
-    Ok(out)
+    out
 }
 
 /// Placeholder for a causal parent that is absent from the log (ring
@@ -214,6 +238,116 @@ static MISSING: Event = Event {
     },
 };
 
+fn watch(args: &[&str]) -> Result<String, String> {
+    const OPTIONS: &[&str] = &["top", "object-size", "bin", "interval", "duration"];
+    let parsed = Parsed::parse(args, OPTIONS, &["help"]).map_err(|e| e.to_string())?;
+    if parsed.has("help") {
+        return Ok(help());
+    }
+    let path = one_positional(&parsed, "watch")?;
+    let top: usize = parsed
+        .get_parsed("top", 8, "a row count")
+        .map_err(|e| e.to_string())?;
+    let cfg = MetricsConfig {
+        object_size: parsed
+            .get_parsed("object-size", MetricsConfig::default().object_size, "bytes")
+            .map_err(|e| e.to_string())?,
+        bandwidth_bin: parsed
+            .get_parsed("bin", MetricsConfig::default().bandwidth_bin, "seconds")
+            .map_err(|e| e.to_string())?,
+        load_interval: parsed
+            .get_parsed(
+                "interval",
+                MetricsConfig::default().load_interval,
+                "seconds",
+            )
+            .map_err(|e| e.to_string())?,
+        ..MetricsConfig::default()
+    };
+    let events = load(&path)?;
+    if events.is_empty() {
+        return Ok("no events\n".to_string());
+    }
+    let mut m = MetricsObserver::new(cfg);
+    // On a terminal, replay the log as an animated dashboard on stderr;
+    // otherwise just fold and print the final frame.
+    let live = {
+        use std::io::IsTerminal;
+        std::io::stderr().is_terminal()
+    };
+    let frames = 60usize;
+    let chunk = (events.len() / frames).max(1);
+    for (i, e) in events.iter().enumerate() {
+        m.fold(e);
+        if live && (i + 1) % chunk == 0 {
+            use std::io::Write as _;
+            let mut err = std::io::stderr().lock();
+            let _ = write!(err, "\x1b[H\x1b[J{}", dashboard::render(&m, top));
+            let _ = err.flush();
+            std::thread::sleep(std::time::Duration::from_millis(25));
+        }
+    }
+    let t_end: f64 = parsed
+        .get_parsed("duration", events.last().expect("non-empty").t, "seconds")
+        .map_err(|e| e.to_string())?;
+    m.finalize(t_end);
+    Ok(dashboard::render(&m, top))
+}
+
+fn diff(args: &[&str]) -> Result<String, String> {
+    let parsed = Parsed::parse(args, &[], &["help"]).map_err(|e| e.to_string())?;
+    if parsed.has("help") {
+        return Ok(help());
+    }
+    let [left_path, right_path] = parsed.positionals.as_slice() else {
+        return Err(format!("events diff expects two FILEs (A B)\n\n{}", help()));
+    };
+    let left = load(left_path)?;
+    let right = load(right_path)?;
+    match diff_events(&left, &right) {
+        DiffOutcome::Identical { events } => {
+            Ok(format!("logs identical: {events} events, no divergence\n"))
+        }
+        DiffOutcome::Divergent {
+            index,
+            seq,
+            left: le,
+            right: re,
+        } => {
+            let mut out = String::new();
+            let _ = writeln!(
+                out,
+                "logs diverge at position {index} (first differing seq {seq}):"
+            );
+            let _ = writeln!(out, "  left  ({left_path}):  {}", side_brief(le.as_deref()));
+            let _ = writeln!(out, "  right ({right_path}): {}", side_brief(re.as_deref()));
+            out.push_str(&side_detail("left", left_path, &left, le.as_deref()));
+            out.push_str(&side_detail("right", right_path, &right, re.as_deref()));
+            Err(out)
+        }
+    }
+}
+
+fn side_brief(event: Option<&Event>) -> String {
+    match event {
+        Some(e) => e.brief(),
+        None => "(log ends here)".to_string(),
+    }
+}
+
+/// The divergent event in full — its decision/placement narrative plus
+/// the causal chain that led to it — for one side of a diff.
+fn side_detail(label: &str, path: &str, events: &[Event], event: Option<&Event>) -> String {
+    match event {
+        None => format!("\n{label} log {path} ends after {} events\n", events.len()),
+        Some(e) => format!(
+            "\n{label} event in {path}:\n{}{}",
+            e.explain(),
+            causal_chain(events, e)
+        ),
+    }
+}
+
 fn summary(args: &[&str]) -> Result<String, String> {
     let parsed = Parsed::parse(args, &["top"], &["help"]).map_err(|e| e.to_string())?;
     if parsed.has("help") {
@@ -223,7 +357,8 @@ fn summary(args: &[&str]) -> Result<String, String> {
     let top: usize = parsed
         .get_parsed("top", 5, "a row count")
         .map_err(|e| e.to_string())?;
-    let events = load(&path)?;
+    let log = load_log(&path)?;
+    let events = log.events;
     if events.is_empty() {
         return Ok("no events\n".to_string());
     }
@@ -259,6 +394,36 @@ fn summary(args: &[&str]) -> Result<String, String> {
         out,
         "{total} events over t=[{first:.3}, {last:.3}] ({span:.3} s)"
     );
+    if let Some(ev) = &log.evictions {
+        let lost = ev.routine + ev.notable + ev.critical;
+        let _ = writeln!(
+            out,
+            "ring evictions: {lost} events lost before export \
+             (routine {} · notable {} · critical {})",
+            ev.routine, ev.notable, ev.critical
+        );
+        if ev.critical > 0 {
+            let _ = writeln!(
+                out,
+                "WARNING: {} critical events (faults, placements, re-replications) \
+                 were evicted; raise the ring capacity or stream the full run with \
+                 `radar simulate --events FILE`",
+                ev.critical
+            );
+        }
+    } else {
+        // No eviction trailer — infer losses from sequence-number gaps
+        // (the recorder numbers every event densely from 1).
+        let expected = events.last().map_or(0, |e| e.seq);
+        let missing = expected.saturating_sub(total as u64);
+        if missing > 0 {
+            let _ = writeln!(
+                out,
+                "ring evictions: {missing} events inferred lost \
+                 (sequence gaps; log has no eviction trailer)"
+            );
+        }
+    }
     out.push('\n');
     let _ = writeln!(
         out,
@@ -324,7 +489,17 @@ fn help() -> String {
      \x20                                           decision or placement test that\n\
      \x20                                           produced it, plus its causal chain\n\
      \x20 radar events summary FILE [--top N]       per-type counts, rates, queue\n\
-     \x20                                           depths, busiest objects/hosts\n\
+     \x20                                           depths, busiest objects/hosts,\n\
+     \x20                                           ring-eviction losses\n\
+     \x20 radar events watch FILE [--top N]         replay the log through the\n\
+     \x20                                           streaming metrics fold and render\n\
+     \x20                                           the dashboard (animated on a TTY)\n\
+     \x20         [--object-size B] [--bin S] [--interval S] [--duration S]\n\
+     \x20                                           match the run's scenario so\n\
+     \x20                                           aggregates line up with the report\n\
+     \x20 radar events diff A B                     compare two logs; report the first\n\
+     \x20                                           diverging event with its causal\n\
+     \x20                                           chain (exit 2 on divergence)\n\
      \n\
      FILTERS:\n\
      \x20 --type T      request | decision | served | failed | placement |\n\
@@ -464,6 +639,74 @@ mod tests {
         assert!(out.contains("#3"), "{out}");
         let err = explain(&["99", path.as_str()]).unwrap_err();
         assert!(err.contains("no event #99"), "{err}");
+    }
+
+    #[test]
+    fn watch_renders_final_dashboard_frame() {
+        let events: Vec<Event> = (1..=30).map(|i| served(i, None, i as f64, 7)).collect();
+        let (_guard, path) = write_log(&events);
+        let out = watch(&[path.as_str(), "--top", "3", "--duration", "40"]).unwrap();
+        assert!(out.contains("RaDaR dashboard"), "{out}");
+        assert!(out.contains("30 events"), "{out}");
+        assert!(out.contains("object 7"), "{out}");
+        assert!(out.contains("t=40.0s"), "{out}");
+    }
+
+    #[test]
+    fn diff_reports_identical_and_divergent_logs() {
+        let a: Vec<Event> = (1..=5).map(|i| served(i, None, i as f64, 7)).collect();
+        let mut b = a.clone();
+        let (_ga, pa) = write_log(&a);
+        let same = diff(&[pa.as_str(), pa.as_str()]).unwrap();
+        assert!(same.contains("logs identical: 5 events"), "{same}");
+
+        // Perturb one payload field: first divergence at seq 3.
+        if let EventKind::RequestServed { host, .. } = &mut b[2].kind {
+            *host = 9;
+        }
+        let (_gb, pb) = write_log(&b);
+        let err = diff(&[pa.as_str(), pb.as_str()]).unwrap_err();
+        assert!(err.contains("position 2"), "{err}");
+        assert!(err.contains("first differing seq 3"), "{err}");
+        assert!(err.contains("left event in"), "{err}");
+        assert!(err.contains("right event in"), "{err}");
+    }
+
+    #[test]
+    fn diff_handles_truncated_logs() {
+        let a: Vec<Event> = (1..=3).map(|i| served(i, None, i as f64, 7)).collect();
+        let (_ga, pa) = write_log(&a);
+        let (_gb, pb) = write_log(&a[..2]);
+        let err = diff(&[pa.as_str(), pb.as_str()]).unwrap_err();
+        assert!(err.contains("(log ends here)"), "{err}");
+        assert!(err.contains("ends after 2 events"), "{err}");
+    }
+
+    #[test]
+    fn summary_reports_eviction_trailer_with_warning() {
+        let mut text = String::new();
+        for e in [served(1, None, 1.0, 7), served(2, None, 2.0, 7)] {
+            text.push_str(&e.to_json_line());
+            text.push('\n');
+        }
+        text.push_str("{\"type\":\"evictions\",\"routine\":10,\"notable\":0,\"critical\":3}\n");
+        let path = tempdir::path("events-trailer");
+        std::fs::write(&path, text).unwrap();
+        let s = path.to_string_lossy().into_owned();
+        let _guard = tempdir::TempPath(path);
+        let out = summary(&[s.as_str()]).unwrap();
+        assert!(out.contains("13 events lost before export"), "{out}");
+        assert!(out.contains("critical 3"), "{out}");
+        assert!(out.contains("WARNING: 3 critical events"), "{out}");
+    }
+
+    #[test]
+    fn summary_infers_evictions_from_sequence_gaps() {
+        // Seqs 5 and 9 survive from a run that emitted 9 events: 7 lost.
+        let events = vec![served(5, None, 1.0, 7), served(9, None, 2.0, 7)];
+        let (_guard, path) = write_log(&events);
+        let out = summary(&[path.as_str()]).unwrap();
+        assert!(out.contains("7 events inferred lost"), "{out}");
     }
 
     #[test]

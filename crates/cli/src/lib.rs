@@ -7,13 +7,15 @@
 //! radar simulate [--workload W] [--objects N] [--rate R] [--duration S] …
 //! radar topology <uunet|FILE> [--stats] [--dot] [--spec]
 //! radar trace <stats|validate> FILE
-//! radar events <tail|filter|explain|summary> … FILE
+//! radar events <tail|filter|explain|summary|watch> … FILE
+//! radar events diff A B
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod args;
+mod dashboard;
 mod events;
 pub mod json;
 mod render;
@@ -52,7 +54,8 @@ pub fn usage() -> String {
      \x20 radar topology <uunet|FILE>     inspect or convert a backbone topology\n\
      \x20 radar trace <stats|validate> F  inspect a request trace\n\
      \x20 radar events <SUBCOMMAND> FILE  inspect a flight-recorder event log\n\
-     \x20                                 (tail | filter | explain | summary)\n\
+     \x20                                 (tail | filter | explain | summary |\n\
+     \x20                                 watch | diff)\n\
      \n\
      Run `radar simulate --help` (etc.) for per-command options.\n"
         .to_string()

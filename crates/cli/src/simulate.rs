@@ -28,7 +28,10 @@ const OPTIONS: &[&str] = &[
     "events",
     "out",
 ];
-const SWITCHES: &[&str] = &["static", "json", "help"];
+const SWITCHES: &[&str] = &["static", "json", "dashboard", "help"];
+
+/// How many hosts/objects the dashboard panels display.
+const DASHBOARD_TOP: usize = 8;
 
 /// The workload families the CLI can instantiate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -93,6 +96,9 @@ pub struct SimulateArgs {
     /// Stream flight-recorder events (JSONL) here and enable event-loop
     /// profiling.
     pub events_to: Option<String>,
+    /// Fold the event stream into live dashboard metrics (repainted on
+    /// stderr when it is a terminal; the final frame joins the report).
+    pub dashboard: bool,
     /// Emit the full report as JSON instead of the text summary.
     pub json: bool,
     /// Write output here instead of returning it for stdout.
@@ -211,6 +217,7 @@ impl SimulateArgs {
             replay,
             record_trace_to: parsed.get("record-trace").map(str::to_string),
             events_to: parsed.get("events").map(str::to_string),
+            dashboard: parsed.has("dashboard"),
             json: parsed.has("json"),
             out: parsed.get("out").map(str::to_string),
         })
@@ -255,17 +262,40 @@ impl SimulateArgs {
                 Some((path.clone(), shared))
             }
         };
+        let metrics = if self.dashboard {
+            // Mirror the scenario parameters the simulator's own metrics
+            // use, so the folded aggregates line up with the report.
+            let cfg = radar_sim::obs::MetricsConfig {
+                object_size: self.scenario.object_size,
+                bandwidth_bin: self.scenario.metric_bin,
+                load_interval: self.scenario.params.measurement_interval,
+                ..radar_sim::obs::MetricsConfig::default()
+            };
+            let shared = radar_sim::obs::SharedMetrics::new(cfg);
+            sim.attach_observer(Box::new(crate::dashboard::LiveDashboard::new(
+                shared.clone(),
+                DASHBOARD_TOP,
+            )));
+            Some(shared)
+        } else {
+            None
+        };
+        let duration = self.scenario.duration;
         let report = sim.run();
         if let Some((path, shared)) = &events {
             if let Some(err) = shared.finish() {
                 return Err(format!("error writing events file {path}: {err}"));
             }
         }
+        if let Some(shared) = &metrics {
+            shared.finalize(duration);
+        }
         Ok((
             report,
             OutputSettings {
                 record_trace_to: self.record_trace_to,
                 events_to: events.map(|(path, _)| path),
+                metrics,
                 json: self.json,
                 out: self.out,
             },
@@ -278,6 +308,7 @@ impl SimulateArgs {
 pub struct OutputSettings {
     record_trace_to: Option<String>,
     events_to: Option<String>,
+    metrics: Option<radar_sim::obs::SharedMetrics>,
     json: bool,
     out: Option<String>,
 }
@@ -299,6 +330,10 @@ pub(crate) fn command(args: &[&str]) -> Result<String, String> {
         render::summary(&report)
     };
     if !output.json {
+        if let Some(shared) = &output.metrics {
+            body.push('\n');
+            body.push_str(&shared.with(|m| crate::dashboard::render(m, DASHBOARD_TOP)));
+        }
         if let Some(profile) = &report.loop_profile {
             body.push('\n');
             body.push_str(&profile.to_string());
@@ -339,6 +374,9 @@ fn help() -> String {
      \x20 --record-trace FILE capture this run's arrivals for later replay\n\
      \x20 --events FILE       stream flight-recorder events (JSONL) to FILE and\n\
      \x20                     profile the event loop (see `radar events --help`)\n\
+     \x20 --dashboard         fold the event stream into live metrics: repaint a\n\
+     \x20                     dashboard on stderr while running (TTY only) and\n\
+     \x20                     append the final frame to the report\n\
      \x20 --json              emit the full report as JSON\n\
      \x20 --out FILE          write output to FILE instead of stdout\n"
         .to_string()

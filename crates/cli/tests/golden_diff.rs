@@ -1,0 +1,96 @@
+//! Golden-log regression diffing through the CLI.
+//!
+//! Rerunning the committed golden scenario with the same seed must
+//! reproduce the flight-recorder stream byte-for-byte, and a perturbed
+//! seed must be caught with a located first divergence and its causal
+//! chain — the mechanism `scripts/golden-diff.sh` gates CI with.
+
+use radar_cli::run;
+use std::path::PathBuf;
+
+/// The committed baseline (see tests/golden/README.md; keep the
+/// scenario flags in sync with scripts/golden-diff.sh).
+fn golden_path() -> String {
+    concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/golden/events-seed42.jsonl"
+    )
+    .to_string()
+}
+
+fn simulate_events(seed: &str, events_path: &str) {
+    let args: Vec<String> = [
+        "simulate",
+        "--objects",
+        "16",
+        "--rate",
+        "0.05",
+        "--duration",
+        "150",
+        "--seed",
+        seed,
+        "--events",
+        events_path,
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    run(&args).expect("golden scenario runs");
+}
+
+fn diff(a: &str, b: &str) -> Result<String, String> {
+    let args: Vec<String> = ["events", "diff", a, b]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    run(&args)
+}
+
+struct TempPath(PathBuf);
+impl Drop for TempPath {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+fn temp(stem: &str) -> (TempPath, String) {
+    let path = std::env::temp_dir().join(format!("radar-{stem}-{}.jsonl", std::process::id()));
+    let s = path.to_string_lossy().into_owned();
+    (TempPath(path), s)
+}
+
+#[test]
+fn same_seed_rerun_matches_the_committed_golden_log() {
+    let golden = golden_path();
+    let (_guard, fresh) = temp("golden-same");
+    simulate_events("42", &fresh);
+    assert_eq!(
+        std::fs::read_to_string(&golden).expect("golden log committed"),
+        std::fs::read_to_string(&fresh).expect("fresh log written"),
+        "seeded rerun is not byte-identical to tests/golden/events-seed42.jsonl \
+         (if the behaviour change is intentional, run scripts/golden-diff.sh --regen)"
+    );
+    let out = diff(&golden, &fresh).expect("identical logs diff clean");
+    assert!(out.contains("logs identical"), "{out}");
+}
+
+#[test]
+fn perturbed_seed_diverges_with_located_causal_chain() {
+    let golden = golden_path();
+    let (_guard, fresh) = temp("golden-perturbed");
+    simulate_events("43", &fresh);
+    let err = diff(&golden, &fresh).expect_err("different seeds must diverge");
+    assert!(err.contains("logs diverge at position"), "{err}");
+    let seq: u64 = err
+        .split("first differing seq ")
+        .nth(1)
+        .and_then(|rest| rest.split(')').next())
+        .and_then(|n| n.parse().ok())
+        .unwrap_or_else(|| panic!("no divergence seq in report:\n{err}"));
+    assert!(seq > 0, "divergence seq must be a real event: {err}");
+    // The report carries each side's causal context, not just the line.
+    assert!(
+        err.contains("led to:") || err.contains("caused by:"),
+        "no causal chain in report:\n{err}"
+    );
+}

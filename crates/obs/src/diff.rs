@@ -1,0 +1,138 @@
+//! Structural comparison of two flight-recorder event logs.
+//!
+//! Seeded runs serialize byte-identically, so the first divergence
+//! between two logs pinpoints the first behavioural difference between
+//! two runs (or two builds). Events are compared by their serialized
+//! JSONL form — the canonical representation — so `NaN` payloads and
+//! float formatting cannot produce false positives.
+
+use crate::event::Event;
+
+/// The result of diffing two event sequences.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DiffOutcome {
+    /// Every event matched, position by position.
+    Identical {
+        /// How many events each log contained.
+        events: usize,
+    },
+    /// The logs diverge.
+    Divergent {
+        /// 0-based position of the first difference.
+        index: usize,
+        /// Sequence number at the divergence (from the left event when
+        /// present, otherwise the right).
+        seq: u64,
+        /// The left log's event at the divergence (`None` when the left
+        /// log ended first; boxed to keep the enum small).
+        left: Option<Box<Event>>,
+        /// The right log's event at the divergence (`None` when the
+        /// right log ended first).
+        right: Option<Box<Event>>,
+    },
+}
+
+/// Compares two event sequences position by position and reports the
+/// first divergence, if any.
+pub fn diff_events(a: &[Event], b: &[Event]) -> DiffOutcome {
+    let shared = a.len().min(b.len());
+    for i in 0..shared {
+        if a[i].to_json_line() != b[i].to_json_line() {
+            return DiffOutcome::Divergent {
+                index: i,
+                seq: a[i].seq,
+                left: Some(Box::new(a[i].clone())),
+                right: Some(Box::new(b[i].clone())),
+            };
+        }
+    }
+    if a.len() != b.len() {
+        let left = a.get(shared).cloned().map(Box::new);
+        let right = b.get(shared).cloned().map(Box::new);
+        let seq = left.as_ref().or(right.as_ref()).map(|e| e.seq).unwrap_or(0);
+        return DiffOutcome::Divergent {
+            index: shared,
+            seq,
+            left,
+            right,
+        };
+    }
+    DiffOutcome::Identical { events: shared }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    fn fault(seq: u64, desc: &str) -> Event {
+        Event {
+            seq,
+            parent: None,
+            t: seq as f64,
+            queue_depth: 0,
+            kind: EventKind::Fault { desc: desc.into() },
+        }
+    }
+
+    #[test]
+    fn identical_logs_match() {
+        let a = vec![fault(1, "x"), fault(2, "y")];
+        assert_eq!(
+            diff_events(&a, &a.clone()),
+            DiffOutcome::Identical { events: 2 }
+        );
+        assert_eq!(diff_events(&[], &[]), DiffOutcome::Identical { events: 0 });
+    }
+
+    #[test]
+    fn first_payload_divergence_reported() {
+        let a = vec![fault(1, "x"), fault(2, "y"), fault(3, "z")];
+        let b = vec![fault(1, "x"), fault(2, "Y"), fault(3, "z")];
+        match diff_events(&a, &b) {
+            DiffOutcome::Divergent {
+                index,
+                seq,
+                left,
+                right,
+            } => {
+                assert_eq!(index, 1);
+                assert_eq!(seq, 2);
+                assert_eq!(left.unwrap().seq, 2);
+                assert_eq!(right.unwrap().seq, 2);
+            }
+            other => panic!("expected divergence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_log_diverges_at_the_missing_event() {
+        let a = vec![fault(1, "x"), fault(2, "y")];
+        let b = vec![fault(1, "x")];
+        match diff_events(&a, &b) {
+            DiffOutcome::Divergent {
+                index,
+                seq,
+                left,
+                right,
+            } => {
+                assert_eq!(index, 1);
+                assert_eq!(seq, 2);
+                assert!(left.is_some());
+                assert!(right.is_none());
+            }
+            other => panic!("expected divergence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nan_payloads_do_not_false_positive() {
+        // A non-finite float serializes as null and parses back as NaN;
+        // comparing serialized forms keeps such logs equal to themselves.
+        let mut e = fault(1, "x");
+        e.t = f64::NAN;
+        let a = vec![e.clone()];
+        let b = vec![e];
+        assert_eq!(diff_events(&a, &b), DiffOutcome::Identical { events: 1 });
+    }
+}

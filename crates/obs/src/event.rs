@@ -10,6 +10,38 @@
 //! platform types — so the crate stays dependency-free and event logs
 //! parse without the simulator.
 
+/// Retention class of an event, used by the severity-aware recorder
+/// ring: when the ring is full, lower-severity events are evicted
+/// first, so a long run never loses the faults and placement actions
+/// that explain its request traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Per-request lifecycle traffic (`request`, `decision`, `served`) —
+    /// the bulk of any log, evicted first.
+    Routine = 0,
+    /// Infrequent bookkeeping (`counts-reset`) — evicted only once no
+    /// routine events remain.
+    Notable = 1,
+    /// Events that explain everything else (`failed`, `placement`,
+    /// `fault`, `re-replication`) — evicted last, and only to make room
+    /// for other critical events.
+    Critical = 2,
+}
+
+impl Severity {
+    /// All severities, lowest (evicted first) to highest.
+    pub const ALL: [Severity; 3] = [Severity::Routine, Severity::Notable, Severity::Critical];
+
+    /// Stable lowercase tag (`routine`, `notable`, `critical`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Routine => "routine",
+            Severity::Notable => "notable",
+            Severity::Critical => "critical",
+        }
+    }
+}
+
 /// One recorded platform event.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Event {
@@ -181,6 +213,21 @@ impl Event {
         }
     }
 
+    /// The event's retention class for the severity-aware recorder
+    /// ring (see [`Severity`]).
+    pub fn severity(&self) -> Severity {
+        match &self.kind {
+            EventKind::RequestArrived { .. }
+            | EventKind::Decision(_)
+            | EventKind::RequestServed { .. } => Severity::Routine,
+            EventKind::CountsReset { .. } => Severity::Notable,
+            EventKind::RequestFailed { .. }
+            | EventKind::PlacementAction(_)
+            | EventKind::Fault { .. }
+            | EventKind::ReReplication { .. } => Severity::Critical,
+        }
+    }
+
     /// The object the event concerns, when it concerns one.
     pub fn object(&self) -> Option<u32> {
         match &self.kind {
@@ -230,6 +277,14 @@ impl Event {
             EventKind::RequestArrived { gateway, object } => {
                 format!("object {object} enters at gateway {gateway}")
             }
+            EventKind::Decision(d) if d.candidates.is_empty() => format!(
+                "object {} gw {} -> host {} ({} branch, degraded: {})",
+                d.object,
+                d.gateway,
+                d.chosen,
+                d.branch,
+                degradation_reason(&d.branch)
+            ),
             EventKind::Decision(d) => format!(
                 "object {} gw {} -> host {} ({} branch, {} candidates)",
                 d.object,
@@ -275,6 +330,16 @@ impl Event {
             } => format!("object {object} restored on host {target} after {elapsed:.1}s"),
         };
         format!("{head} {detail}")
+    }
+}
+
+/// Why a decision carries no candidate snapshot: the degraded-mode
+/// explanation shown in place of an empty candidate table.
+pub(crate) fn degradation_reason(branch: &str) -> &'static str {
+    match branch {
+        "primary-fallback" => "no usable replica was reachable; served from the primary copy",
+        "policy" => "baseline policy decision; no Fig. 2 candidate data",
+        _ => "no candidate snapshot recorded",
     }
 }
 
@@ -331,6 +396,71 @@ mod tests {
         };
         assert_eq!(fault.object(), None);
         assert_eq!(fault.host(), None);
+    }
+
+    #[test]
+    fn severity_partitions_all_types() {
+        let base = |kind| Event {
+            seq: 1,
+            parent: None,
+            t: 0.0,
+            queue_depth: 0,
+            kind,
+        };
+        assert_eq!(sample().severity(), Severity::Routine);
+        assert_eq!(
+            base(EventKind::CountsReset {
+                object: 1,
+                cause: "created".into(),
+            })
+            .severity(),
+            Severity::Notable
+        );
+        assert_eq!(
+            base(EventKind::Fault {
+                desc: "host-crash 7".into(),
+            })
+            .severity(),
+            Severity::Critical
+        );
+        assert_eq!(
+            base(EventKind::RequestFailed {
+                gateway: 0,
+                object: 1,
+                reason: "unreachable".into(),
+            })
+            .severity(),
+            Severity::Critical
+        );
+        assert!(Severity::Routine < Severity::Notable);
+        assert!(Severity::Notable < Severity::Critical);
+        assert_eq!(Severity::Critical.as_str(), "critical");
+    }
+
+    #[test]
+    fn degraded_decision_brief_names_the_reason() {
+        let e = Event {
+            seq: 3,
+            parent: Some(2),
+            t: 9.0,
+            queue_depth: 1,
+            kind: EventKind::Decision(DecisionEvent {
+                object: 7,
+                gateway: 2,
+                chosen: 0,
+                branch: "primary-fallback".into(),
+                constant: 2.0,
+                closest: None,
+                least: None,
+                unit_closest: None,
+                unit_least: None,
+                candidates: Vec::new(),
+            }),
+        };
+        let line = e.brief();
+        assert!(!line.contains("0 candidates"), "{line}");
+        assert!(line.contains("degraded"), "{line}");
+        assert!(line.contains("no usable replica"), "{line}");
     }
 
     #[test]

@@ -41,7 +41,10 @@ impl Event {
                     d.object, d.gateway
                 ));
                 if d.candidates.is_empty() {
-                    out.push_str("  no candidate snapshot recorded");
+                    out.push_str(&format!(
+                        "  degraded mode: {}\n",
+                        crate::event::degradation_reason(&d.branch)
+                    ));
                 } else {
                     out.push_str(&format!(
                         "  {:<6} {:>8} {:>5} {:>10} {:>9}\n",
@@ -300,6 +303,32 @@ mod tests {
         assert!(text.contains("m = 0.18"), "{text}");
         assert!(text.contains("0.450"), "{text}");
         assert!(text.contains("replication test"), "{text}");
+    }
+
+    #[test]
+    fn degraded_decision_explains_instead_of_empty_table() {
+        let e = Event {
+            seq: 5,
+            parent: None,
+            t: 44.0,
+            queue_depth: 0,
+            kind: EventKind::Decision(DecisionEvent {
+                object: 9,
+                gateway: 3,
+                chosen: 1,
+                branch: "primary-fallback".into(),
+                constant: 2.0,
+                closest: None,
+                least: None,
+                unit_closest: None,
+                unit_least: None,
+                candidates: Vec::new(),
+            }),
+        };
+        let text = e.explain();
+        assert!(text.contains("degraded mode"), "{text}");
+        assert!(text.contains("no usable replica"), "{text}");
+        assert!(text.ends_with('\n'), "explanation must end with newline");
     }
 
     #[test]

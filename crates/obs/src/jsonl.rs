@@ -166,6 +166,45 @@ impl Event {
     }
 }
 
+/// Per-severity tally of events the recorder ring evicted before the
+/// log was written, serialized as the optional final
+/// `{"type":"evictions",…}` trailer line of a JSONL document.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvictionSummary {
+    /// Routine events (request/decision/served) evicted.
+    pub routine: u64,
+    /// Notable events (counts-reset) evicted.
+    pub notable: u64,
+    /// Critical events (failed/placement/fault/re-replication) evicted.
+    pub critical: u64,
+}
+
+impl EvictionSummary {
+    /// Total events evicted across all severities.
+    pub fn total(&self) -> u64 {
+        self.routine + self.notable + self.critical
+    }
+
+    /// Serializes the trailer as one JSON object (no trailing newline),
+    /// with the same fixed key order every time.
+    pub fn to_json_line(&self) -> String {
+        format!(
+            "{{\"type\":\"evictions\",\"routine\":{},\"notable\":{},\"critical\":{}}}",
+            self.routine, self.notable, self.critical
+        )
+    }
+}
+
+/// A parsed JSONL document: the events plus the eviction trailer, when
+/// the recorder ring lost anything before the log was written.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventLog {
+    /// The recorded events, in file order.
+    pub events: Vec<Event>,
+    /// The `{"type":"evictions",…}` trailer, if present.
+    pub evictions: Option<EvictionSummary>,
+}
+
 // ---------------------------------------------------------------------------
 // Parsing
 // ---------------------------------------------------------------------------
@@ -463,12 +502,12 @@ impl Event {
     /// Returns a [`ParseError`] describing the first malformed or
     /// missing field.
     pub fn from_json_line(line: &str) -> Result<Self, ParseError> {
-        let mut p = Parser::new(line);
-        let root = p.value()?;
-        p.skip_ws();
-        if p.pos != line.len() {
-            return err("trailing garbage after JSON object");
-        }
+        Self::from_val(&parse_root(line)?)
+    }
+
+    /// Builds an event from an already-parsed JSON object.
+    fn from_val(root: &Val) -> Result<Self, ParseError> {
+        let root = root.clone();
         let seq = need_u64(&root, "seq")?;
         let t = need_f64(&root, "t")?;
         let parent = match root.get("parent") {
@@ -560,23 +599,57 @@ impl Event {
     }
 }
 
+/// Parses one line into the JSON document model, rejecting trailing
+/// garbage.
+fn parse_root(line: &str) -> Result<Val, ParseError> {
+    let mut p = Parser::new(line);
+    let root = p.value()?;
+    p.skip_ws();
+    if p.pos != line.len() {
+        return err("trailing garbage after JSON object");
+    }
+    Ok(root)
+}
+
 /// Parses a whole JSONL document (blank lines skipped), reporting the
-/// first error with its 1-based line number.
+/// first error with its 1-based line number. An `evictions` trailer
+/// line, if present, is parsed and discarded; use [`parse_jsonl_log`]
+/// to keep it.
 ///
 /// # Errors
 ///
 /// Returns a [`ParseError`] naming the offending line.
 pub fn parse_jsonl(text: &str) -> Result<Vec<Event>, ParseError> {
+    parse_jsonl_log(text).map(|log| log.events)
+}
+
+/// Parses a whole JSONL document into an [`EventLog`]: the events plus
+/// the recorder's `{"type":"evictions",…}` trailer when one is present
+/// (written by [`crate::Recorder::to_jsonl`] after ring evictions).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] naming the offending line.
+pub fn parse_jsonl_log(text: &str) -> Result<EventLog, ParseError> {
     let mut events = Vec::new();
+    let mut evictions = None;
     for (i, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
         }
-        let event =
-            Event::from_json_line(line).map_err(|e| ParseError(format!("line {}: {e}", i + 1)))?;
-        events.push(event);
+        let at = |e: ParseError| ParseError(format!("line {}: {e}", i + 1));
+        let root = parse_root(line).map_err(at)?;
+        if root.get("type").and_then(Val::str) == Some("evictions") {
+            evictions = Some(EvictionSummary {
+                routine: need_u64(&root, "routine").map_err(at)?,
+                notable: need_u64(&root, "notable").map_err(at)?,
+                critical: need_u64(&root, "critical").map_err(at)?,
+            });
+            continue;
+        }
+        events.push(Event::from_val(&root).map_err(at)?);
     }
-    Ok(events)
+    Ok(EventLog { events, evictions })
 }
 
 #[cfg(test)]
@@ -710,6 +783,34 @@ mod tests {
                      \"type\":\"request\",\"gateway\":0,\"object\":0}";
         assert!(Event::from_json_line(valid).is_ok());
         assert!(Event::from_json_line(&format!("{valid} extra")).is_err());
+    }
+
+    #[test]
+    fn eviction_trailer_round_trips_through_parse_jsonl_log() {
+        let event = Event {
+            seq: 5,
+            parent: None,
+            t: 2.0,
+            queue_depth: 1,
+            kind: EventKind::Fault {
+                desc: "host-crash 7".into(),
+            },
+        };
+        let summary = EvictionSummary {
+            routine: 120,
+            notable: 3,
+            critical: 0,
+        };
+        let text = format!("{}\n{}\n", event.to_json_line(), summary.to_json_line());
+        let log = parse_jsonl_log(&text).expect("parses");
+        assert_eq!(log.events.len(), 1);
+        assert_eq!(log.evictions, Some(summary));
+        assert_eq!(summary.total(), 123);
+        // parse_jsonl tolerates (and discards) the trailer.
+        assert_eq!(parse_jsonl(&text).expect("parses").len(), 1);
+        // A log without a trailer reports None.
+        let bare = parse_jsonl_log(&format!("{}\n", event.to_json_line())).unwrap();
+        assert_eq!(bare.evictions, None);
     }
 
     #[test]

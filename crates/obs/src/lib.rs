@@ -3,9 +3,12 @@
 //! This crate is the platform's observability spine: a typed event
 //! vocabulary ([`Event`] / [`EventKind`]) covering every redirector
 //! decision, placement action, fault transition, re-replication, and
-//! count reset; a bounded ring-buffer [`Recorder`] with streaming
-//! JSONL export; and [`LoopProfile`] counters for event-loop wall time
-//! and queue depth.
+//! count reset; a bounded, severity-aware ring-buffer [`Recorder`]
+//! with streaming JSONL export; a streaming [`MetricsObserver`] that
+//! folds the same event feed into dashboard aggregates; a structural
+//! log differ ([`diff_events`]) for regression diffing of seeded runs;
+//! and [`LoopProfile`] counters for event-loop wall time and queue
+//! depth.
 //!
 //! Design rules:
 //!
@@ -38,15 +41,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod diff;
 mod event;
 mod explain;
 pub mod jsonl;
+mod metrics;
 mod profile;
 mod recorder;
 
+pub use diff::{diff_events, DiffOutcome};
 pub use event::{
-    CandidateSnapshot, DecisionEvent, Event, EventKind, PlacementActionEvent, EVENT_TYPES,
+    CandidateSnapshot, DecisionEvent, Event, EventKind, PlacementActionEvent, Severity, EVENT_TYPES,
 };
-pub use jsonl::{parse_jsonl, ParseError};
+pub use jsonl::{parse_jsonl, parse_jsonl_log, EventLog, EvictionSummary, ParseError};
+pub use metrics::{MetricsConfig, MetricsObserver, ObjectCounters, SharedMetrics};
 pub use profile::{HandlerStats, LoopProfile};
 pub use recorder::{Recorder, SharedRecorder, DEFAULT_CAPACITY};

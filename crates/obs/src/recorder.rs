@@ -1,7 +1,8 @@
-//! The bounded ring-buffer recorder and its shared (post-run
-//! inspectable) wrapper.
+//! The bounded, severity-aware ring-buffer recorder and its shared
+//! (post-run inspectable) wrapper.
 
-use crate::event::Event;
+use crate::event::{Event, Severity};
+use crate::jsonl::EvictionSummary;
 use std::collections::VecDeque;
 use std::io::Write;
 use std::sync::{Arc, Mutex};
@@ -11,11 +12,14 @@ pub const DEFAULT_CAPACITY: usize = 65_536;
 
 /// A bounded in-memory flight recorder.
 ///
-/// Events are kept in a ring of fixed capacity: once full, the oldest
-/// event is evicted per new event, so memory stays bounded no matter
-/// how long the run. An optional *sink* additionally streams every
-/// event as a JSONL line the moment it is recorded — the sink sees the
-/// full stream even after the ring has started evicting.
+/// Events are kept in a ring of fixed total capacity, segregated by
+/// [`Severity`]: once full, the oldest event of the *lowest occupied
+/// severity* is evicted per new event, so memory stays bounded no
+/// matter how long the run while faults, placement actions, and
+/// re-replications outlive the routine request traffic around them.
+/// An optional *sink* additionally streams every event as a JSONL line
+/// the moment it is recorded — the sink sees the full stream even
+/// after the ring has started evicting.
 ///
 /// ```
 /// use radar_obs::{Event, EventKind, Recorder};
@@ -36,8 +40,10 @@ pub const DEFAULT_CAPACITY: usize = 65_536;
 /// ```
 pub struct Recorder {
     capacity: usize,
-    ring: VecDeque<Event>,
-    evicted: u64,
+    /// One FIFO per severity, each internally seq-ascending.
+    rings: [VecDeque<Event>; 3],
+    /// Events evicted so far, per severity.
+    evicted: [u64; 3],
     sink: Option<Box<dyn Write + Send>>,
     sink_error: Option<String>,
 }
@@ -46,7 +52,7 @@ impl std::fmt::Debug for Recorder {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Recorder")
             .field("capacity", &self.capacity)
-            .field("len", &self.ring.len())
+            .field("len", &self.len())
             .field("evicted", &self.evicted)
             .field("has_sink", &self.sink.is_some())
             .field("sink_error", &self.sink_error)
@@ -55,13 +61,14 @@ impl std::fmt::Debug for Recorder {
 }
 
 impl Recorder {
-    /// Creates a recorder holding at most `capacity` events (min 1).
+    /// Creates a recorder holding at most `capacity` events (min 1)
+    /// across all severities.
     pub fn new(capacity: usize) -> Self {
         let capacity = capacity.max(1);
         Self {
             capacity,
-            ring: VecDeque::with_capacity(capacity.min(1024)),
-            evicted: 0,
+            rings: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
+            evicted: [0; 3],
             sink: None,
             sink_error: None,
         }
@@ -76,7 +83,9 @@ impl Recorder {
         self
     }
 
-    /// Records one event, evicting the oldest if the ring is full.
+    /// Records one event. At capacity, the oldest event of the lowest
+    /// occupied severity is evicted — served requests go first, faults
+    /// and placement actions last.
     pub fn record(&mut self, event: &Event) {
         if let Some(sink) = &mut self.sink {
             let mut line = event.to_json_line();
@@ -88,11 +97,15 @@ impl Recorder {
                 self.sink = None;
             }
         }
-        if self.ring.len() == self.capacity {
-            self.ring.pop_front();
-            self.evicted += 1;
+        self.rings[event.severity() as usize].push_back(event.clone());
+        if self.len() > self.capacity {
+            for sev in 0..3 {
+                if self.rings[sev].pop_front().is_some() {
+                    self.evicted[sev] += 1;
+                    break;
+                }
+            }
         }
-        self.ring.push_back(event.clone());
     }
 
     /// Flushes the sink, if any. Returns the first write error the
@@ -110,12 +123,12 @@ impl Recorder {
 
     /// Number of events currently held in the ring.
     pub fn len(&self) -> usize {
-        self.ring.len()
+        self.rings.iter().map(VecDeque::len).sum()
     }
 
     /// True when no events have been recorded (or all were evicted).
     pub fn is_empty(&self) -> bool {
-        self.ring.is_empty()
+        self.rings.iter().all(VecDeque::is_empty)
     }
 
     /// The ring capacity.
@@ -123,22 +136,51 @@ impl Recorder {
         self.capacity
     }
 
-    /// How many events were evicted from the ring so far.
+    /// How many events were evicted from the ring so far, all
+    /// severities combined.
     pub fn evicted(&self) -> u64 {
-        self.evicted
+        self.evicted.iter().sum()
     }
 
-    /// Iterates the retained events, oldest first.
+    /// Events evicted so far for one severity class.
+    pub fn evicted_of(&self, severity: Severity) -> u64 {
+        self.evicted[severity as usize]
+    }
+
+    /// The per-severity eviction tally as a serializable summary, or
+    /// `None` when nothing was evicted.
+    pub fn eviction_summary(&self) -> Option<EvictionSummary> {
+        if self.evicted() == 0 {
+            return None;
+        }
+        Some(EvictionSummary {
+            routine: self.evicted[Severity::Routine as usize],
+            notable: self.evicted[Severity::Notable as usize],
+            critical: self.evicted[Severity::Critical as usize],
+        })
+    }
+
+    /// Iterates the retained events in sequence order (each severity
+    /// ring is internally ordered; this merges the three).
     pub fn events(&self) -> impl Iterator<Item = &Event> {
-        self.ring.iter()
+        let mut refs: Vec<&Event> = self.rings.iter().flatten().collect();
+        refs.sort_by_key(|e| e.seq);
+        refs.into_iter()
     }
 
     /// Serializes the retained events as a JSONL document (one event
-    /// per line, oldest first, trailing newline).
+    /// per line, sequence order, trailing newline). When the ring
+    /// evicted anything, a final `{"type":"evictions",…}` trailer line
+    /// records the per-severity losses so downstream tools can report
+    /// them (see [`crate::parse_jsonl_log`]).
     pub fn to_jsonl(&self) -> String {
         let mut out = String::new();
-        for e in &self.ring {
+        for e in self.events() {
             out.push_str(&e.to_json_line());
+            out.push('\n');
+        }
+        if let Some(summary) = self.eviction_summary() {
+            out.push_str(&summary.to_json_line());
             out.push('\n');
         }
         out
@@ -175,7 +217,7 @@ impl SharedRecorder {
         f(&self.0.lock().expect("recorder lock"))
     }
 
-    /// Clones out the retained events, oldest first.
+    /// Clones out the retained events, sequence order.
     pub fn snapshot(&self) -> Vec<Event> {
         self.with(|r| r.events().cloned().collect())
     }
@@ -209,6 +251,22 @@ mod tests {
         }
     }
 
+    fn served(seq: u64) -> Event {
+        Event {
+            seq,
+            parent: None,
+            t: seq as f64,
+            queue_depth: 0,
+            kind: EventKind::RequestServed {
+                gateway: 0,
+                object: 1,
+                host: 2,
+                latency: 0.05,
+                hops: 2,
+            },
+        }
+    }
+
     #[test]
     fn ring_evicts_oldest() {
         let mut rec = Recorder::new(3);
@@ -221,6 +279,64 @@ mod tests {
         assert_eq!(seqs, vec![3, 4, 5]);
         assert_eq!(rec.capacity(), 3);
         assert!(!rec.is_empty());
+    }
+
+    #[test]
+    fn routine_events_evicted_before_critical() {
+        let mut rec = Recorder::new(4);
+        // Interleave: served 1, fault 2, served 3, fault 4, served 5…
+        rec.record(&served(1));
+        rec.record(&fault(2));
+        rec.record(&served(3));
+        rec.record(&fault(4));
+        rec.record(&served(5)); // evicts served #1
+        rec.record(&fault(6)); // evicts served #3
+        rec.record(&fault(7)); // evicts served #5
+        let seqs: Vec<u64> = rec.events().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![2, 4, 6, 7], "faults survive, served evicted");
+        assert_eq!(rec.evicted_of(Severity::Routine), 3);
+        assert_eq!(rec.evicted_of(Severity::Critical), 0);
+        let summary = rec.eviction_summary().expect("evictions happened");
+        assert_eq!(summary.routine, 3);
+        assert_eq!(summary.total(), 3);
+    }
+
+    #[test]
+    fn critical_events_evict_among_themselves_when_alone() {
+        let mut rec = Recorder::new(2);
+        for seq in 1..=4 {
+            rec.record(&fault(seq));
+        }
+        let seqs: Vec<u64> = rec.events().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![3, 4]);
+        assert_eq!(rec.evicted_of(Severity::Critical), 2);
+    }
+
+    #[test]
+    fn incoming_routine_event_yields_to_resident_critical() {
+        let mut rec = Recorder::new(2);
+        rec.record(&fault(1));
+        rec.record(&fault(2));
+        rec.record(&served(3)); // ring full of criticals: the newcomer goes
+        let seqs: Vec<u64> = rec.events().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![1, 2]);
+        assert_eq!(rec.evicted_of(Severity::Routine), 1);
+    }
+
+    #[test]
+    fn to_jsonl_appends_eviction_trailer() {
+        let mut rec = Recorder::new(1);
+        rec.record(&served(1));
+        rec.record(&fault(2)); // evicts served #1
+        let jsonl = rec.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[1].contains("\"type\":\"evictions\""), "{jsonl}");
+        assert!(lines[1].contains("\"routine\":1"), "{jsonl}");
+        // No trailer when nothing was evicted.
+        let mut quiet = Recorder::new(8);
+        quiet.record(&fault(1));
+        assert_eq!(quiet.to_jsonl().lines().count(), 1);
     }
 
     #[test]

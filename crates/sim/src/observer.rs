@@ -168,3 +168,28 @@ impl Observer for radar_obs::SharedRecorder {
         self.record(event);
     }
 }
+
+/// A [`radar_obs::MetricsObserver`] subscribes to the event feed and
+/// folds every event into its streaming dashboard aggregates.
+impl Observer for radar_obs::MetricsObserver {
+    fn wants_events(&self) -> bool {
+        true
+    }
+
+    fn on_event(&mut self, event: &radar_obs::Event) {
+        self.fold(event);
+    }
+}
+
+/// A [`radar_obs::SharedMetrics`] is an observer too — attach one
+/// clone to the simulation and read the live aggregates (or the final
+/// ones) from another.
+impl Observer for radar_obs::SharedMetrics {
+    fn wants_events(&self) -> bool {
+        true
+    }
+
+    fn on_event(&mut self, event: &radar_obs::Event) {
+        self.fold(event);
+    }
+}

@@ -1,0 +1,79 @@
+//! The streaming metrics fold reproduces the simulator's own report.
+//!
+//! `radar_obs::MetricsObserver` consumes only the flight-recorder event
+//! stream, yet on a fault-free run its end-of-run aggregates must equal
+//! the simulator's built-in accounting exactly: served events carry the
+//! service-completion time the simulator uses for its bandwidth series
+//! and host-load windows, and latency samples arrive in the same order
+//! they were recorded. This is what makes `radar simulate --dashboard`
+//! and `radar events watch` trustworthy views of a run.
+
+use radar_sim::obs::{MetricsConfig, SharedMetrics};
+use radar_sim::{Scenario, Simulation};
+use radar_workload::ZipfReeds;
+
+const OBJECTS: u32 = 40;
+
+#[test]
+fn folded_metrics_match_the_end_of_run_report() {
+    // 150 s covers a full placement round (period 100 s), so the event
+    // stream includes placements, not just the request lifecycle.
+    let scenario = Scenario::builder()
+        .num_objects(OBJECTS)
+        .node_request_rate(2.0)
+        .duration(150.0)
+        .seed(23)
+        .build()
+        .expect("valid scenario");
+    let cfg = MetricsConfig {
+        object_size: scenario.object_size,
+        bandwidth_bin: scenario.metric_bin,
+        load_interval: scenario.params.measurement_interval,
+        ..MetricsConfig::default()
+    };
+    let duration = scenario.duration;
+    let metrics = SharedMetrics::new(cfg);
+    let mut sim = Simulation::new(scenario, Box::new(ZipfReeds::new(OBJECTS)));
+    sim.attach_observer(Box::new(metrics.clone()));
+    let report = sim.run();
+    metrics.finalize(duration);
+
+    metrics.with(|m| {
+        assert!(m.served() > 0, "run served no requests");
+        assert_eq!(m.served(), report.total_requests);
+        assert_eq!(m.failed(), report.failed_requests);
+        assert_eq!(m.re_replications(), report.re_replications);
+
+        // Latency: both folds see the same samples in the same order,
+        // so the streaming aggregates agree to the last bit.
+        let lat = m.latency_summary().snapshot();
+        assert_eq!(lat.count, report.latency.count);
+        assert_eq!(lat.mean, report.latency.mean);
+        assert_eq!(lat.min, report.latency.min);
+        assert_eq!(lat.max, report.latency.max);
+        assert_eq!(m.latency_p50().unwrap_or(0.0), report.latency_p50);
+        assert_eq!(m.latency_p99().unwrap_or(0.0), report.latency_p99);
+
+        // Client bandwidth: served events carry the hop count and the
+        // service-completion time the simulator bins by.
+        assert_eq!(m.bandwidth().sums(), report.client_bandwidth.sums());
+        assert_eq!(m.bandwidth().counts(), report.client_bandwidth.counts());
+
+        // Max measured host load, sampled at every measurement-interval
+        // boundary (the Fig. 8a series).
+        assert_eq!(m.max_load().sums(), report.max_load.sums());
+        assert_eq!(m.max_load().counts(), report.max_load.counts());
+
+        // Placement accounting seen through the event stream.
+        let placements: u64 = m.placement_counts().values().sum();
+        assert_eq!(
+            placements,
+            report.geo_migrations
+                + report.geo_replications
+                + report.offload_migrations
+                + report.offload_replications
+                + report.drops
+                + report.affinity_reductions
+        );
+    });
+}

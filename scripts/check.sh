@@ -15,4 +15,6 @@ echo "== examples build =="
 cargo build --release --examples
 echo "== benches compile and self-test =="
 cargo bench --workspace -- --test
+echo "== golden event-log regression diff =="
+./scripts/golden-diff.sh
 echo "ALL CHECKS PASSED"
