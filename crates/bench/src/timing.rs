@@ -82,3 +82,86 @@ fn report(name: &str, elapsed: Duration, iters: u64, test_only: bool) {
         println!("{name:<44} {per_iter:>14.1} ns/iter  ({iters} iters)");
     }
 }
+
+/// One per-event-type row of the loop-profile baseline written to
+/// `BENCH_loop.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoopRow {
+    /// Event-loop handler label (e.g. `redirect`, `placement`).
+    pub label: String,
+    /// Events dispatched with this label over the profiled run.
+    pub count: u64,
+    /// Mean handler wall time per dispatch, in nanoseconds.
+    pub mean_ns: f64,
+    /// Slowest single dispatch, in nanoseconds.
+    pub max_ns: u64,
+}
+
+/// Serializes the loop-profile baseline as the `BENCH_loop.json`
+/// document: the generating configuration plus one object per handler
+/// label with `count`/`mean_ns`/`max_ns`.
+///
+/// The JSON is hand-rolled (this workspace takes no external
+/// dependencies) and emitted with keys in a fixed order so successive
+/// baselines diff cleanly.
+pub fn loop_baseline_json(config: &[(&str, String)], rows: &[LoopRow]) -> String {
+    let mut out = String::from("{\n  \"config\": {");
+    for (i, (key, value)) in config.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("\"{key}\": {value}"));
+    }
+    out.push_str("},\n  \"handlers\": {\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{}\": {{\"count\": {}, \"mean_ns\": {:.1}, \"max_ns\": {}}}",
+            row.label, row.count, row.mean_ns, row.max_ns
+        ));
+        out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loop_baseline_json_is_well_formed() {
+        let rows = vec![
+            LoopRow {
+                label: "placement".into(),
+                count: 26,
+                mean_ns: 5220.4,
+                max_ns: 51650,
+            },
+            LoopRow {
+                label: "redirect".into(),
+                count: 398,
+                mean_ns: 3340.0,
+                max_ns: 33760,
+            },
+        ];
+        let json = loop_baseline_json(&[("seed", "42".into()), ("objects", "64".into())], &rows);
+        assert!(json.contains("\"seed\": 42"), "{json}");
+        assert!(json.contains("\"redirect\": {\"count\": 398"), "{json}");
+        assert!(json.contains("\"mean_ns\": 5220.4"), "{json}");
+        // Balanced braces and a trailing newline keep the file friendly
+        // to line-oriented diffing.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+        assert!(json.ends_with("}\n"), "{json}");
+    }
+
+    #[test]
+    fn loop_baseline_json_handles_empty_rows() {
+        let json = loop_baseline_json(&[], &[]);
+        assert!(json.contains("\"handlers\""), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

@@ -238,6 +238,31 @@ static MISSING: Event = Event {
     },
 };
 
+/// Renders the ring-eviction banner for a log carrying an evictions
+/// trailer, with a warning when critical events were lost. `None` when
+/// the log has no trailer. Shared by `summary` and `watch`.
+fn eviction_banner(log: &EventLog) -> Option<String> {
+    let ev = log.evictions.as_ref()?;
+    let lost = ev.routine + ev.notable + ev.critical;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "ring evictions: {lost} events lost before export \
+         (routine {} · notable {} · critical {})",
+        ev.routine, ev.notable, ev.critical
+    );
+    if ev.critical > 0 {
+        let _ = writeln!(
+            out,
+            "WARNING: {} critical events (faults, placements, re-replications) \
+             were evicted; raise the ring capacity or stream the full run with \
+             `radar simulate --events FILE`",
+            ev.critical
+        );
+    }
+    Some(out)
+}
+
 fn watch(args: &[&str]) -> Result<String, String> {
     const OPTIONS: &[&str] = &["top", "object-size", "bin", "interval", "duration"];
     let parsed = Parsed::parse(args, OPTIONS, &["help"]).map_err(|e| e.to_string())?;
@@ -264,7 +289,8 @@ fn watch(args: &[&str]) -> Result<String, String> {
             .map_err(|e| e.to_string())?,
         ..MetricsConfig::default()
     };
-    let events = load(&path)?;
+    let log = load_log(&path)?;
+    let events = &log.events;
     if events.is_empty() {
         return Ok("no events\n".to_string());
     }
@@ -291,7 +317,14 @@ fn watch(args: &[&str]) -> Result<String, String> {
         .get_parsed("duration", events.last().expect("non-empty").t, "seconds")
         .map_err(|e| e.to_string())?;
     m.finalize(t_end);
-    Ok(dashboard::render(&m, top))
+    let mut out = dashboard::render(&m, top);
+    // A log missing events renders a misleading dashboard — surface the
+    // recorder's eviction trailer here, not only in `summary`.
+    if let Some(banner) = eviction_banner(&log) {
+        out.push('\n');
+        out.push_str(&banner);
+    }
+    Ok(out)
 }
 
 fn diff(args: &[&str]) -> Result<String, String> {
@@ -358,6 +391,7 @@ fn summary(args: &[&str]) -> Result<String, String> {
         .get_parsed("top", 5, "a row count")
         .map_err(|e| e.to_string())?;
     let log = load_log(&path)?;
+    let banner = eviction_banner(&log);
     let events = log.events;
     if events.is_empty() {
         return Ok("no events\n".to_string());
@@ -394,23 +428,8 @@ fn summary(args: &[&str]) -> Result<String, String> {
         out,
         "{total} events over t=[{first:.3}, {last:.3}] ({span:.3} s)"
     );
-    if let Some(ev) = &log.evictions {
-        let lost = ev.routine + ev.notable + ev.critical;
-        let _ = writeln!(
-            out,
-            "ring evictions: {lost} events lost before export \
-             (routine {} · notable {} · critical {})",
-            ev.routine, ev.notable, ev.critical
-        );
-        if ev.critical > 0 {
-            let _ = writeln!(
-                out,
-                "WARNING: {} critical events (faults, placements, re-replications) \
-                 were evicted; raise the ring capacity or stream the full run with \
-                 `radar simulate --events FILE`",
-                ev.critical
-            );
-        }
+    if let Some(banner) = banner {
+        out.push_str(&banner);
     } else {
         // No eviction trailer — infer losses from sequence-number gaps
         // (the recorder numbers every event densely from 1).
@@ -650,6 +669,24 @@ mod tests {
         assert!(out.contains("30 events"), "{out}");
         assert!(out.contains("object 7"), "{out}");
         assert!(out.contains("t=40.0s"), "{out}");
+    }
+
+    #[test]
+    fn watch_renders_eviction_banner_from_trailer() {
+        let mut text = String::new();
+        for e in [served(1, None, 1.0, 7), served(2, None, 2.0, 7)] {
+            text.push_str(&e.to_json_line());
+            text.push('\n');
+        }
+        text.push_str("{\"type\":\"evictions\",\"routine\":4,\"notable\":1,\"critical\":2}\n");
+        let path = tempdir::path("events-watch-trailer");
+        std::fs::write(&path, text).unwrap();
+        let s = path.to_string_lossy().into_owned();
+        let _guard = tempdir::TempPath(path);
+        let out = watch(&[s.as_str()]).unwrap();
+        assert!(out.contains("RaDaR dashboard"), "{out}");
+        assert!(out.contains("7 events lost before export"), "{out}");
+        assert!(out.contains("WARNING: 2 critical events"), "{out}");
     }
 
     #[test]

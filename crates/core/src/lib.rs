@@ -65,6 +65,7 @@
 
 pub mod bounds;
 mod catalog;
+mod directory;
 pub mod guide;
 mod host;
 mod load;
@@ -74,6 +75,7 @@ mod redirector;
 mod types;
 
 pub use catalog::{Catalog, ObjectKind};
+pub use directory::Directory;
 pub use host::{HostState, ObjectState};
 pub use load::LoadEstimator;
 pub use params::{Params, ParamsBuilder, ParamsError};

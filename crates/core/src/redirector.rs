@@ -1,8 +1,9 @@
-//! The redirector: replica-set tracking and the request distribution
-//! algorithm (paper Fig. 2).
+//! The redirector: the request distribution algorithm (paper Fig. 2)
+//! over a replica [`Directory`].
 
 use radar_simnet::{NodeId, RoutingTable};
 
+use crate::directory::Directory;
 use crate::ObjectId;
 
 /// Per-replica bookkeeping the redirector keeps (paper §3): the request
@@ -93,28 +94,6 @@ pub struct ChoiceExplanation {
     pub candidates: Vec<ChoiceCandidate>,
 }
 
-/// Replica set of a single object. Entries are kept sorted by host id so
-/// all scans are deterministic.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-struct ReplicaSet {
-    entries: Vec<ReplicaInfo>,
-}
-
-impl ReplicaSet {
-    fn find(&self, host: NodeId) -> Option<usize> {
-        self.entries.iter().position(|e| e.host == host)
-    }
-
-    /// Resets all request counts to 1 — the paper's rule on any replica
-    /// set change, preventing a new replica from soaking up every request
-    /// while its count catches up.
-    fn reset_counts(&mut self) {
-        for e in &mut self.entries {
-            e.rcnt = 1;
-        }
-    }
-}
-
 /// The redirector responsible for a set of objects.
 ///
 /// A RaDaR deployment hash-partitions the URL namespace over many
@@ -123,15 +102,15 @@ impl ReplicaSet {
 /// simulation likewise uses one redirector co-located with the network
 /// centroid).
 ///
-/// The redirector maintains, per object, the set of replicas with their
-/// request counts and affinities, and implements:
+/// The redirector is a thin decision layer over a replica [`Directory`]
+/// (which owns the per-object replica sets, request counts, and
+/// affinities — see that type for the membership protocol):
 ///
 /// * [`choose_replica`](Self::choose_replica) — Fig. 2's distribution rule;
-/// * creation/affinity notifications (*after* the fact) and drop
-///   arbitration (*before* the fact), preserving the invariant that the
-///   recorded replica set is always a subset of physically existing
-///   replicas;
-/// * protection of an object's last replica from deletion.
+/// * the directory's notification surface, re-exposed here
+///   ([`notify_created`](Self::notify_created),
+///   [`request_drop`](Self::request_drop), …) so protocol call sites keep
+///   one entry point.
 ///
 /// # A note on the published pseudocode
 ///
@@ -142,11 +121,8 @@ impl ReplicaSet {
 /// replica `q`, in which case serve from `q`*.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Redirector {
-    sets: Vec<ReplicaSet>,
+    directory: Directory,
     constant: f64,
-    /// Count of replica-set change notifications processed, exposed for
-    /// overhead accounting.
-    notifications: u64,
 }
 
 impl Redirector {
@@ -162,37 +138,25 @@ impl Redirector {
             "distribution constant must be finite and > 1, got {constant}"
         );
         Self {
-            sets: vec![ReplicaSet::default(); num_objects as usize],
+            directory: Directory::new(num_objects),
             constant,
-            notifications: 0,
         }
+    }
+
+    /// The replica directory behind this redirector.
+    pub fn directory(&self) -> &Directory {
+        &self.directory
     }
 
     /// Number of objects this redirector is responsible for.
     pub fn num_objects(&self) -> usize {
-        self.sets.len()
+        self.directory.num_objects()
     }
 
-    /// Installs an initial replica (bootstrap placement). Equivalent to a
-    /// creation notification but does not reset request counts, so it can
-    /// seed many objects cheaply.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `object` is out of range.
+    /// Installs an initial replica (bootstrap placement); see
+    /// [`Directory::install`].
     pub fn install(&mut self, object: ObjectId, host: NodeId) {
-        let set = &mut self.sets[object.index()];
-        match set.find(host) {
-            Some(i) => set.entries[i].aff += 1,
-            None => {
-                set.entries.push(ReplicaInfo {
-                    host,
-                    rcnt: 1,
-                    aff: 1,
-                });
-                set.entries.sort_unstable_by_key(|e| e.host);
-            }
-        }
+        self.directory.install(object, host);
     }
 
     /// The current replicas of `object` (sorted by host id).
@@ -201,27 +165,36 @@ impl Redirector {
     ///
     /// Panics if `object` is out of range.
     pub fn replicas(&self, object: ObjectId) -> &[ReplicaInfo] {
-        &self.sets[object.index()].entries
+        self.directory.replicas(object)
     }
 
     /// Number of distinct hosts holding `object`.
     pub fn replica_count(&self, object: ObjectId) -> usize {
-        self.sets[object.index()].entries.len()
+        self.directory.replica_count(object)
     }
 
     /// Sum of affinities across all replicas of `object` — the number of
     /// *logical* replicas.
     pub fn total_affinity(&self, object: ObjectId) -> u32 {
-        self.sets[object.index()]
-            .entries
-            .iter()
-            .map(|e| e.aff)
-            .sum()
+        self.directory.total_affinity(object)
     }
 
     /// Total number of replica-set change notifications processed.
     pub fn notifications(&self) -> u64 {
-        self.notifications
+        self.directory.notifications()
+    }
+
+    /// Starts a placement-epoch batch on the directory; see
+    /// [`Directory::begin_batch`].
+    pub fn begin_batch(&mut self) {
+        self.directory.begin_batch();
+    }
+
+    /// Commits the directory's placement-epoch batch; see
+    /// [`Directory::commit_batch`]. Returns the number of objects whose
+    /// counts were reset.
+    pub fn commit_batch(&mut self) -> usize {
+        self.directory.commit_batch()
     }
 
     /// The request distribution algorithm (paper Fig. 2).
@@ -277,10 +250,42 @@ impl Redirector {
             .map(|(host, expl)| (host, expl.expect("explanation requested")))
     }
 
-    /// The single Fig. 2 code path behind both public variants.
-    /// `explain` controls whether the decision snapshot is built (before
-    /// the winner's count increments, so the explanation shows the
-    /// counts the algorithm actually compared).
+    /// Fig. 2 over a pre-filtered candidate list — the entry point for
+    /// redirect engines that cache candidates across requests. Each
+    /// candidate is `(entry_index, distance)`: the replica's index in
+    /// [`replicas`](Self::replicas) and its precomputed hop distance to
+    /// the requesting gateway. The caller guarantees the list matches the
+    /// object's *current* replica set (cache keyed on
+    /// [`Directory::version`]); usability filtering has already happened.
+    ///
+    /// `closest` optionally names the entry index of the closest
+    /// candidate `p` (minimum `(distance, host)`). Unlike request
+    /// counts, `p` is a pure function of the candidate list, so callers
+    /// caching the list can precompute it once and skip the per-request
+    /// scan; `None` scans here.
+    ///
+    /// Identical decision semantics and side effects to the other
+    /// variants: the winner's request count increments. Returns `None`
+    /// for an empty candidate list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an entry index is out of range for the replica set —
+    /// the symptom of a stale cache.
+    pub fn choose_among(
+        &mut self,
+        object: ObjectId,
+        candidates: &[(u32, u32)],
+        closest: Option<u32>,
+        explain: bool,
+    ) -> Option<(NodeId, Option<ChoiceExplanation>)> {
+        self.decide(object, candidates, closest, explain)
+    }
+
+    /// Builds the usable candidate list, then runs the shared decision
+    /// path. `explain` controls whether the decision snapshot is built
+    /// (before the winner's count increments, so the explanation shows
+    /// the counts the algorithm actually compared).
     fn choose_inner(
         &mut self,
         object: ObjectId,
@@ -289,58 +294,76 @@ impl Redirector {
         usable: &dyn Fn(NodeId) -> bool,
         explain: bool,
     ) -> Option<(NodeId, Option<ChoiceExplanation>)> {
-        let set = &mut self.sets[object.index()];
-        let candidates: Vec<usize> = (0..set.entries.len())
-            .filter(|&i| usable(set.entries[i].host))
+        let candidates: Vec<(u32, u32)> = self
+            .directory
+            .replicas(object)
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| usable(e.host))
+            .map(|(i, e)| (i as u32, routes.distance(e.host, gateway)))
             .collect();
+        self.decide(object, &candidates, None, explain)
+    }
+
+    /// The single Fig. 2 code path behind every `choose_*` variant:
+    /// identify `p` (closest) and `q` (least unit request count) among
+    /// `candidates`, pick the branch, increment the winner.
+    fn decide(
+        &mut self,
+        object: ObjectId,
+        candidates: &[(u32, u32)],
+        closest: Option<u32>,
+        explain: bool,
+    ) -> Option<(NodeId, Option<ChoiceExplanation>)> {
         if candidates.is_empty() {
             return None;
         }
-        // p: closest usable replica to the gateway.
-        let p_idx = candidates
-            .iter()
-            .copied()
-            .min_by_key(|&i| {
-                let e = &set.entries[i];
-                (routes.distance(e.host, gateway), e.host)
-            })
-            .expect("non-empty candidate set");
+        let constant = self.constant;
+        let set = self.directory.set_mut(object);
+        // p: closest usable replica to the gateway (precomputed by
+        // caching callers — it does not depend on request counts).
+        let p_idx = closest.unwrap_or_else(|| {
+            candidates
+                .iter()
+                .min_by_key(|&&(i, dist)| (dist, set.entries[i as usize].host))
+                .expect("non-empty candidate set")
+                .0
+        });
         // q: usable replica with the smallest unit request count.
-        let q_idx = candidates
+        let &(q_idx, _) = candidates
             .iter()
-            .copied()
-            .min_by(|&a, &b| {
-                let (ea, eb) = (&set.entries[a], &set.entries[b]);
+            .min_by(|&&(a, _), &&(b, _)| {
+                let (ea, eb) = (&set.entries[a as usize], &set.entries[b as usize]);
                 ea.unit_rcnt()
                     .partial_cmp(&eb.unit_rcnt())
                     .expect("unit request counts are finite")
                     .then(ea.host.cmp(&eb.host))
             })
             .expect("non-empty candidate set");
-        let ratio1 = set.entries[p_idx].unit_rcnt();
-        let ratio2 = set.entries[q_idx].unit_rcnt();
-        let (chosen, branch) = if ratio1 / self.constant > ratio2 {
-            (q_idx, ChoiceBranch::LeastRequested)
+        let ratio1 = set.entries[p_idx as usize].unit_rcnt();
+        let ratio2 = set.entries[q_idx as usize].unit_rcnt();
+        let (chosen, branch) = if ratio1 / constant > ratio2 {
+            (q_idx as usize, ChoiceBranch::LeastRequested)
         } else {
-            (p_idx, ChoiceBranch::Closest)
+            (p_idx as usize, ChoiceBranch::Closest)
         };
         let explanation = explain.then(|| ChoiceExplanation {
             chosen: set.entries[chosen].host,
             branch,
-            constant: self.constant,
-            closest: set.entries[p_idx].host,
-            least: set.entries[q_idx].host,
+            constant,
+            closest: set.entries[p_idx as usize].host,
+            least: set.entries[q_idx as usize].host,
             unit_closest: ratio1,
             unit_least: ratio2,
             candidates: candidates
                 .iter()
-                .map(|&i| {
-                    let e = &set.entries[i];
+                .map(|&(i, dist)| {
+                    let e = &set.entries[i as usize];
                     ChoiceCandidate {
                         host: e.host,
                         rcnt: e.rcnt,
                         aff: e.aff,
-                        distance: routes.distance(e.host, gateway),
+                        distance: dist,
                     }
                 })
                 .collect(),
@@ -349,97 +372,30 @@ impl Redirector {
         Some((set.entries[chosen].host, explanation))
     }
 
-    /// Force-removes every replica hosted on `host` — crash recovery,
-    /// *not* the drop handshake: a host declared dead cannot negotiate,
-    /// and even a last replica is removed (the data is gone with the
-    /// host; the platform restores availability by re-fetching from the
-    /// object's primary/origin). Returns the affected objects, for the
-    /// caller's re-replication sweep. Request counts of affected sets
-    /// reset, like any other replica-set change.
+    /// Force-removes every replica hosted on `host` — crash recovery;
+    /// see [`Directory::purge_host`]. Returns the affected objects, for
+    /// the caller's re-replication sweep.
     pub fn purge_host(&mut self, host: NodeId) -> Vec<ObjectId> {
-        let mut affected = Vec::new();
-        for (i, set) in self.sets.iter_mut().enumerate() {
-            if let Some(pos) = set.find(host) {
-                set.entries.remove(pos);
-                set.reset_counts();
-                self.notifications += 1;
-                affected.push(ObjectId::new(i as u32));
-            }
-        }
-        affected
+        self.directory.purge_host(host)
     }
 
-    /// Notification that `host` created a new copy of `object` (or
-    /// incremented its affinity). Sent *after* the copy exists, so the
-    /// redirector never directs requests at a replica that is not there.
-    /// Resets all request counts of the object to 1 per Fig. 2's
-    /// accompanying rule.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `object` is out of range.
+    /// Notification that `host` created a new copy of `object`; see
+    /// [`Directory::notify_created`].
     pub fn notify_created(&mut self, object: ObjectId, host: NodeId) {
-        self.notifications += 1;
-        let set = &mut self.sets[object.index()];
-        match set.find(host) {
-            Some(i) => set.entries[i].aff += 1,
-            None => {
-                set.entries.push(ReplicaInfo {
-                    host,
-                    rcnt: 1,
-                    aff: 1,
-                });
-                set.entries.sort_unstable_by_key(|e| e.host);
-            }
-        }
-        set.reset_counts();
+        self.directory.notify_created(object, host);
     }
 
-    /// Notification that `host` reduced the affinity of its replica of
-    /// `object` to `new_aff` (which must remain ≥ 1; a reduction to zero
-    /// goes through [`request_drop`](Self::request_drop) instead).
-    /// Resets request counts.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the replica is unknown or `new_aff` is zero.
+    /// Notification that `host` reduced a replica's affinity; see
+    /// [`Directory::notify_affinity`].
     pub fn notify_affinity(&mut self, object: ObjectId, host: NodeId, new_aff: u32) {
-        assert!(
-            new_aff >= 1,
-            "affinity reductions to zero must use request_drop"
-        );
-        self.notifications += 1;
-        let set = &mut self.sets[object.index()];
-        let i = set
-            .find(host)
-            .unwrap_or_else(|| panic!("affinity notification for unknown replica {object}@{host}"));
-        set.entries[i].aff = new_aff;
-        set.reset_counts();
+        self.directory.notify_affinity(object, host, new_aff);
     }
 
-    /// A host's *intention to drop* its replica of `object` (the
-    /// `ReduceAffinity` handshake, Fig. 3). The redirector arbitrates:
-    /// the last remaining replica may never be dropped. On approval the
-    /// replica is removed from the set *before* the host deletes it,
-    /// preserving the subset invariant; request counts reset.
-    ///
-    /// Returns `true` if the drop was approved.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `object` is out of range.
+    /// A host's *intention to drop* its replica of `object`; see
+    /// [`Directory::request_drop`]. Returns `true` if the drop was
+    /// approved.
     pub fn request_drop(&mut self, object: ObjectId, host: NodeId) -> bool {
-        let set = &mut self.sets[object.index()];
-        let Some(i) = set.find(host) else {
-            return false;
-        };
-        if set.entries.len() == 1 {
-            return false; // never drop the last replica
-        }
-        self.notifications += 1;
-        set.entries.remove(i);
-        set.reset_counts();
-        true
+        self.directory.request_drop(object, host)
     }
 }
 
@@ -684,6 +640,42 @@ mod tests {
     }
 
     #[test]
+    fn choose_among_matches_choose_inner() {
+        // Feeding the cached-candidate entry point the same (index,
+        // distance) pairs choose_inner would build must reproduce the
+        // decision stream exactly — the correctness contract the redirect
+        // engine's candidate cache relies on.
+        let (mut r1, routes) = setup();
+        let mut r2 = r1.clone();
+        for i in 0..200 {
+            let gw = NodeId::new(if i % 3 == 0 { 1 } else { 0 });
+            let cands: Vec<(u32, u32)> = r2
+                .replicas(x())
+                .iter()
+                .enumerate()
+                .map(|(j, e)| (j as u32, routes.distance(e.host, gw)))
+                .collect();
+            // Alternate between scanning for p here and letting decide()
+            // scan — the precomputed hint must be a pure optimization.
+            let closest = (i % 2 == 0).then(|| {
+                cands
+                    .iter()
+                    .min_by_key(|&&(j, d)| (d, r2.replicas(x())[j as usize].host))
+                    .expect("non-empty")
+                    .0
+            });
+            let plain = r1.choose_replica(x(), gw, &routes);
+            let (host, expl) = r2
+                .choose_among(x(), &cands, closest, false)
+                .expect("replicas exist");
+            assert_eq!(plain, Some(host));
+            assert!(expl.is_none());
+        }
+        assert_eq!(r1, r2, "identical state after identical decisions");
+        assert_eq!(r2.choose_among(x(), &[], None, true), None);
+    }
+
+    #[test]
     fn purge_host_removes_even_last_replicas() {
         let mut r = Redirector::new(3, 2.0);
         r.install(ObjectId::new(0), NodeId::new(0)); // only replica
@@ -707,6 +699,33 @@ mod tests {
         r.notify_affinity(x(), NodeId::new(0), 1);
         r.request_drop(x(), NodeId::new(0));
         assert_eq!(r.notifications(), 3);
+    }
+
+    #[test]
+    fn version_visible_through_directory_accessor() {
+        let (mut r, routes) = setup();
+        let v = r.directory().version(x());
+        // Decisions increment counts but never the version.
+        r.choose_replica(x(), NodeId::new(0), &routes);
+        assert_eq!(r.directory().version(x()), v);
+        r.notify_created(x(), NodeId::new(0));
+        assert!(r.directory().version(x()) > v);
+    }
+
+    #[test]
+    fn batch_passthrough_defers_resets() {
+        let (mut r, routes) = setup();
+        for _ in 0..30 {
+            r.choose_replica(x(), NodeId::new(0), &routes);
+        }
+        r.begin_batch();
+        r.notify_created(x(), NodeId::new(0));
+        assert!(
+            r.replicas(x()).iter().any(|e| e.rcnt > 1),
+            "reset deferred while batching"
+        );
+        assert_eq!(r.commit_batch(), 1);
+        assert!(r.replicas(x()).iter().all(|e| e.rcnt == 1));
     }
 
     #[test]

@@ -1,0 +1,340 @@
+//! The placement layer: the environment a deciding host sees
+//! ([`SimEnv`]) and the periodic handlers (placement epochs, load
+//! sampling, provider updates).
+//!
+//! Placement epochs run inside a directory batch
+//! ([`radar_core::Directory::begin_batch`]): replica-set membership
+//! changes apply immediately (drop arbitration and replication caps
+//! read live state), while the accompanying request-count resets
+//! coalesce to one per touched object at commit. No redirect runs
+//! between the mutations of one epoch, so the observable decision
+//! stream is identical to unbatched resets.
+
+use radar_core::placement::{handle_create_obj, run_placement, PlacementEnv};
+use radar_core::{Catalog, CreateObjRequest, CreateObjResponse, HostState, ObjectId, Redirector};
+use radar_obs::{EventKind as ObsEventKind, PlacementActionEvent};
+use radar_simcore::{SimDuration, SimTime};
+use radar_simnet::{NodeId, RoutingView};
+
+use crate::metrics::{LoadEstimateSample, Metrics};
+use crate::platform::{Event, Simulation};
+use crate::sink::EventSink;
+
+impl Simulation {
+    pub(crate) fn on_load_sample(&mut self, t: SimTime) {
+        let now = t.as_secs();
+        let mut max = 0.0f64;
+        let mut max_host = 0u16;
+        for (i, host) in self.hosts.iter_mut().enumerate() {
+            if !self.fault_state.host_up(i as u16) {
+                // A crashed host publishes nothing; an infinite report
+                // keeps it off everyone's offload candidate list.
+                self.load_reports[i] = (now, f64::INFINITY);
+                continue;
+            }
+            host.advance(now);
+            // Publish this measurement round's load report.
+            self.load_reports[i] = (now, host.load_upper());
+            if host.measured_load() > max {
+                max = host.measured_load();
+                max_host = i as u16;
+            }
+        }
+        self.metrics.max_load.record(now, max);
+        self.metrics.max_load_host.push((now, max_host, max));
+        for obs in &mut self.events.observers {
+            obs.on_load_sample(now, max);
+        }
+        // Replica census for Table 2 (sampled here rather than at
+        // placement epochs so static runs are covered too).
+        let total: u64 = (0..self.scenario.num_objects)
+            .map(|i| self.redirector.replica_count(ObjectId::new(i)) as u64)
+            .sum();
+        let avg = total as f64 / self.scenario.num_objects as f64;
+        self.metrics.replica_series.push((now, avg));
+        let tracked = &self.hosts[self.scenario.tracked_host as usize];
+        self.metrics.load_estimates.push(LoadEstimateSample {
+            t: now,
+            actual: tracked.measured_load(),
+            upper: tracked.load_upper(),
+            lower: tracked.load_lower(),
+        });
+        let next = t + SimDuration::from_secs(self.scenario.params.measurement_interval);
+        if next.as_secs() <= self.scenario.duration {
+            self.queue.schedule(next, Event::LoadSample);
+        }
+    }
+
+    pub(crate) fn on_placement(&mut self, t: SimTime, node: NodeId) {
+        let now = t.as_secs();
+        let i = node.index();
+        if !self.fault_state.host_up(i as u16) {
+            // A crashed host makes no placement decisions, but its timer
+            // keeps ticking so decisions resume after recovery.
+            let next = t + SimDuration::from_secs(self.scenario.params.placement_period);
+            if next.as_secs() <= self.scenario.duration {
+                self.queue.schedule(next, Event::Placement { host: node });
+            }
+            return;
+        }
+        let alive: Vec<bool> = (0..self.hosts.len())
+            .map(|j| self.fault_state.host_up(j as u16))
+            .collect();
+        // Take the deciding host out of the vector so the environment
+        // can borrow the rest mutably.
+        let mut host = std::mem::replace(
+            &mut self.hosts[i],
+            HostState::new(node, self.scenario.params_of(i)),
+        );
+        // One placement epoch = one directory batch: count resets for
+        // objects this epoch touches apply once, at commit.
+        self.redirector.begin_batch();
+        let outcome = {
+            let mut env = SimEnv {
+                self_index: i,
+                hosts: &mut self.hosts,
+                redirector: &mut self.redirector,
+                metrics: &mut self.metrics,
+                view: &self.view,
+                catalog: &self.catalog,
+                load_reports: &self.load_reports,
+                alive: &alive,
+                object_size: self.scenario.object_size,
+                now,
+                events: &mut self.events,
+                queue_depth: self.queue.len() as u32,
+            };
+            run_placement(&mut host, now, &mut env)
+        };
+        self.redirector.commit_batch();
+        if self.events.tracing {
+            // One flight-recorder event per placement decision, carrying
+            // the threshold comparison that triggered it.
+            let qd = self.queue.len() as u32;
+            for d in &outcome.decisions {
+                self.events.emit(
+                    now,
+                    qd,
+                    0,
+                    ObsEventKind::PlacementAction(PlacementActionEvent {
+                        host: i as u16,
+                        object: d.object.index() as u32,
+                        action: d.action.as_str().to_string(),
+                        target: d.target.map(|n| n.index() as u16),
+                        unit_rate: d.unit_rate,
+                        share: d.share,
+                        ratio: d.ratio,
+                        deletion_threshold: d.deletion_threshold,
+                        replication_threshold: d.replication_threshold,
+                    }),
+                );
+            }
+        }
+        let log_before = self.metrics.relocation_log.len();
+        self.metrics.record_placement(now, i as u16, &outcome);
+        if !self.events.observers.is_empty() {
+            for k in log_before..self.metrics.relocation_log.len() {
+                let event = self.metrics.relocation_log[k];
+                for obs in &mut self.events.observers {
+                    obs.on_relocation(&event);
+                }
+            }
+        }
+        self.hosts[i] = host;
+        self.debug_check_invariants();
+        let next = t + SimDuration::from_secs(self.scenario.params.placement_period);
+        if next.as_secs() <= self.scenario.duration {
+            self.queue.schedule(next, Event::Placement { host: node });
+        }
+    }
+
+    /// A provider update (§5): pick a random object, propagate the new
+    /// version asynchronously from the primary copy to every other
+    /// replica, consuming update-propagation bandwidth. If the primary's
+    /// host no longer holds the object (it migrated or was dropped), the
+    /// primary moves to the object's lowest-id replica — "the location of
+    /// the primary copy is tracked by the object's redirector".
+    pub(crate) fn on_provider_update(&mut self, t: SimTime) {
+        let now = t.as_secs();
+        let gap = self.rng.exponential(self.scenario.update_rate);
+        self.queue
+            .schedule(t + SimDuration::from_secs(gap), Event::ProviderUpdate);
+
+        let object = ObjectId::new(self.rng.index(self.scenario.num_objects as usize) as u32);
+        let replicas = self.redirector.replicas(object);
+        debug_assert!(
+            !replicas.is_empty() || !self.scenario.faults.is_empty(),
+            "every object keeps a replica"
+        );
+        if replicas.is_empty() {
+            // Every copy is on a purged host; the re-replication sweep
+            // will restore the object — nothing to propagate to.
+            return;
+        }
+        let mut primary = self.catalog.primary(object);
+        let mut reassigned = false;
+        if !replicas.iter().any(|r| r.host == primary) {
+            // Prefer a live replica as the new primary (they are all
+            // live on fault-free runs, where this picks replicas[0]).
+            primary = replicas
+                .iter()
+                .map(|r| r.host)
+                .find(|h| self.fault_state.host_up(h.index() as u16))
+                .unwrap_or(replicas[0].host);
+            self.catalog.set_primary(object, primary);
+            reassigned = true;
+        }
+        let bytes = self.catalog.object_size();
+        let targets: Vec<NodeId> = replicas
+            .iter()
+            .filter(|r| r.host != primary)
+            .map(|r| r.host)
+            .collect();
+        let bytes_hops: u64 = targets
+            .iter()
+            .map(|&t| bytes * self.view.distance(primary, t) as u64)
+            .sum();
+        for target in targets {
+            self.charge_links(primary, target, bytes);
+        }
+        self.metrics
+            .record_update(now, bytes_hops as f64, reassigned);
+    }
+}
+
+/// The placement environment the simulator exposes to a deciding host:
+/// all *other* hosts (slot `self_index` holds a placeholder), the
+/// redirector, and overhead accounting.
+struct SimEnv<'a> {
+    self_index: usize,
+    hosts: &'a mut [HostState],
+    redirector: &'a mut Redirector,
+    metrics: &'a mut Metrics,
+    view: &'a RoutingView,
+    catalog: &'a Catalog,
+    load_reports: &'a [(f64, f64)],
+    /// Host liveness snapshot: crashed hosts accept nothing and are
+    /// skipped during offload-recipient discovery.
+    alive: &'a [bool],
+    object_size: u64,
+    now: f64,
+    /// Flight-recorder sink for replica-set change events (count
+    /// resets) triggered by the placement run.
+    events: &'a mut EventSink,
+    /// Queue depth snapshot at the placement event, stamped onto events
+    /// emitted during it.
+    queue_depth: u32,
+}
+
+impl SimEnv<'_> {
+    /// Emits a `CountsReset` flight-recorder event (replica-set change →
+    /// "request counts are re-initialized to 1", §4.1). Emission stays
+    /// per-mutation even though the batched directory applies the
+    /// actual resets once per object at epoch commit — the recorded
+    /// protocol chatter is unchanged by batching.
+    fn emit_counts_reset(&mut self, object: ObjectId, cause: &str) {
+        if !self.events.tracing {
+            return;
+        }
+        self.events.emit(
+            self.now,
+            self.queue_depth,
+            0,
+            ObsEventKind::CountsReset {
+                object: object.index() as u32,
+                cause: cause.to_string(),
+            },
+        );
+    }
+}
+
+impl PlacementEnv for SimEnv<'_> {
+    fn create_obj(&mut self, target: NodeId, req: CreateObjRequest) -> CreateObjResponse {
+        assert_ne!(
+            target.index(),
+            self.self_index,
+            "a host never offers an object to itself"
+        );
+        if !self.alive[target.index()] {
+            // A crashed candidate cannot respond to CreateObj.
+            return CreateObjResponse::Refused;
+        }
+        let host = &mut self.hosts[target.index()];
+        let resp = handle_create_obj(host, self.now, &req);
+        if let CreateObjResponse::Accepted { new_copy } = resp {
+            // Notify the redirector *after* the copy exists.
+            self.redirector.notify_created(req.object, target);
+            self.emit_counts_reset(req.object, "created");
+            if new_copy {
+                // The object data crosses the backbone: overhead traffic.
+                let hops = self.view.distance(req.source, target);
+                self.metrics
+                    .record_overhead(self.now, (self.object_size * hops as u64) as f64);
+                let path = self.view.path(req.source, target);
+                for w in path.windows(2) {
+                    let idx = self.view.link_id(w[0], w[1]).expect("adjacent on a path");
+                    self.metrics.link_bytes[idx] += self.object_size as f64;
+                }
+            }
+        }
+        resp
+    }
+
+    fn request_drop(&mut self, object: ObjectId, host: NodeId) -> bool {
+        let approved = self.redirector.request_drop(object, host);
+        if approved {
+            self.emit_counts_reset(object, "dropped");
+        }
+        approved
+    }
+
+    fn notify_affinity(&mut self, object: ObjectId, host: NodeId, aff: u32) {
+        self.redirector.notify_affinity(object, host, aff);
+        self.emit_counts_reset(object, "affinity");
+    }
+
+    fn find_offload_recipient(&mut self, requester: NodeId) -> Option<(NodeId, f64)> {
+        // "Hosts periodically exchange load reports, so that each host
+        // knows a few probable candidates": *discovery* reads the
+        // gossiped board (up to one measurement interval stale), but the
+        // paper's recipient "responds to the requesting host with its
+        // load value" — acceptance is a fresh check at the candidate.
+        // Without the fresh check, every overloaded host in an epoch
+        // herds onto the same stale best candidate and offloading
+        // starves. Candidates are ranked by board headroom against their
+        // *own* low watermarks (hosts may be heterogeneous); the first
+        // few are probed.
+        const PROBES: usize = 5;
+        let mut candidates: Vec<(f64, usize)> = self
+            .hosts
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != self.self_index && j != requester.index() && self.alive[j])
+            .filter_map(|(j, host)| {
+                let (_, reported) = self.load_reports[j];
+                let headroom = host.params().low_watermark - reported;
+                (headroom > 0.0).then_some((headroom, j))
+            })
+            .collect();
+        candidates.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite headroom"));
+        for &(_, j) in candidates.iter().take(PROBES) {
+            let host = &mut self.hosts[j];
+            host.advance(self.now);
+            let current = host.load_upper();
+            if current < host.params().low_watermark {
+                return Some((host.node(), current));
+            }
+        }
+        None
+    }
+
+    fn distance(&self, a: NodeId, b: NodeId) -> u32 {
+        self.view.distance(a, b)
+    }
+
+    fn may_replicate(&self, object: ObjectId) -> bool {
+        self.catalog
+            .kind(object)
+            .may_add_replica(self.redirector.replica_count(object))
+    }
+}

@@ -1,0 +1,281 @@
+//! Fault handling and platform-health maintenance: applying scheduled
+//! fault transitions (with incremental routing repair), the
+//! declare-dead sweep, and re-replication back to the replica floor.
+
+use radar_core::{HostState, ObjectId};
+use radar_obs::EventKind as ObsEventKind;
+use radar_simcore::{FifoServer, SimDuration, SimTime};
+use radar_simnet::NodeId;
+
+use crate::faults::TransitionKind;
+use crate::platform::{Event, Simulation};
+
+/// Human-readable description of a fault transition, for
+/// [`radar_obs::EventKind::Fault`] events.
+fn transition_desc(kind: TransitionKind) -> String {
+    match kind {
+        TransitionKind::HostCrash(h) => format!("host-crash {h}"),
+        TransitionKind::HostRecover(h) => format!("host-recover {h}"),
+        TransitionKind::LinkFail(a, b) => format!("link-fail {a}-{b}"),
+        TransitionKind::LinkHeal(a, b) => format!("link-heal {a}-{b}"),
+        TransitionKind::LinkDegrade(a, b, f) => format!("link-degrade {a}-{b} x{f}"),
+        TransitionKind::LinkRestore(a, b, f) => format!("link-restore {a}-{b} x{f}"),
+    }
+}
+
+impl Simulation {
+    /// Applies the `index`-th scheduled fault transition and schedules
+    /// the next one.
+    pub(crate) fn on_fault(&mut self, t: SimTime, index: usize) {
+        if let Some(next) = self.fault_schedule.get(index + 1) {
+            self.queue.schedule(
+                SimTime::from_secs(next.t),
+                Event::Fault { index: index + 1 },
+            );
+        }
+        let transition = self.fault_schedule[index];
+        let now = t.as_secs();
+        let routes_dirty = self.fault_state.apply(transition.kind);
+        // Any transition can change replica usability (crashes most of
+        // all); bumping unconditionally keeps the redirect engine's
+        // invalidation rule trivially safe.
+        self.fault_gen += 1;
+        self.metrics.faults_injected += 1;
+        if self.events.tracing {
+            let qd = self.queue.len() as u32;
+            self.events.emit(
+                now,
+                qd,
+                0,
+                ObsEventKind::Fault {
+                    desc: transition_desc(transition.kind),
+                },
+            );
+        }
+        for obs in &mut self.events.observers {
+            obs.on_fault(&transition);
+        }
+        match transition.kind {
+            TransitionKind::HostCrash(h) => {
+                let i = h as usize;
+                // Everything queued or in service on the host is lost:
+                // bump the epoch (stale completions fail) and replace
+                // the server with an empty one.
+                self.host_epoch[i] += 1;
+                self.servers[i] = FifoServer::with_capacity(self.scenario.capacity_of(i));
+                self.queue.schedule(
+                    t + SimDuration::from_secs(self.scenario.faults.declare_dead_after()),
+                    Event::DeclareDead {
+                        host: NodeId::new(h),
+                        epoch: self.host_epoch[i],
+                    },
+                );
+                self.refresh_object_health(now);
+            }
+            TransitionKind::HostRecover(h) => {
+                if self.fault_state.host_up(h) {
+                    let i = h as usize;
+                    if self.declared_dead[i] {
+                        // Its replicas were purged while it was away; it
+                        // rejoins as an empty host.
+                        self.declared_dead[i] = false;
+                        let mut fresh = HostState::new(NodeId::new(h), self.scenario.params_of(i));
+                        if let Some(limit) = self.scenario.storage_limit {
+                            fresh.set_storage_limit(limit as usize);
+                        }
+                        self.hosts[i] = fresh;
+                    }
+                    self.refresh_object_health(now);
+                    self.re_replicate(t);
+                }
+            }
+            TransitionKind::LinkFail(a, b) => {
+                if routes_dirty {
+                    // Incremental repair: only destinations whose BFS
+                    // the severed link could change are recomputed.
+                    self.view.set_link(NodeId::new(a), NodeId::new(b), false);
+                }
+            }
+            TransitionKind::LinkHeal(a, b) => {
+                if routes_dirty {
+                    self.view.set_link(NodeId::new(a), NodeId::new(b), true);
+                }
+            }
+            TransitionKind::LinkDegrade(..) | TransitionKind::LinkRestore(..) => {}
+        }
+    }
+
+    /// The declare-dead timer fired: if the host is still down from the
+    /// same crash, purge its replicas and re-replicate what fell below
+    /// the floor.
+    pub(crate) fn on_declare_dead(&mut self, t: SimTime, host: NodeId, epoch: u32) {
+        let i = host.index();
+        if self.host_epoch[i] != epoch
+            || self.fault_state.host_up(i as u16)
+            || self.declared_dead[i]
+        {
+            return;
+        }
+        self.declared_dead[i] = true;
+        let purged = self.redirector.purge_host(host);
+        if self.events.tracing {
+            // Purging resets the surviving replicas' request counts —
+            // one CountsReset per affected object.
+            let qd = self.queue.len() as u32;
+            for object in purged {
+                self.events.emit(
+                    t.as_secs(),
+                    qd,
+                    0,
+                    ObsEventKind::CountsReset {
+                        object: object.index() as u32,
+                        cause: "purge".to_string(),
+                    },
+                );
+            }
+        }
+        self.refresh_object_health(t.as_secs());
+        self.re_replicate(t);
+    }
+
+    /// The object's primary node, standing in for the provider's origin
+    /// server. When the recorded primary is itself down, the designation
+    /// moves to the most central live host. `None` when every host is
+    /// down.
+    pub(crate) fn live_primary(&mut self, object: ObjectId) -> Option<NodeId> {
+        let p = self.catalog.primary(object);
+        if self.fault_state.host_up(p.index() as u16) {
+            return Some(p);
+        }
+        let c = self
+            .view
+            .table()
+            .nodes_by_centrality()
+            .into_iter()
+            .find(|n| self.fault_state.host_up(n.index() as u16))?;
+        self.catalog.set_primary(object, c);
+        Some(c)
+    }
+
+    /// Re-checks one object's live-replica count against the
+    /// availability and replica-floor trackers, opening or closing the
+    /// corresponding intervals.
+    pub(crate) fn refresh_one(&mut self, now: f64, object: ObjectId) {
+        let i = object.index() as u32;
+        let live = self
+            .redirector
+            .replicas(object)
+            .iter()
+            .filter(|r| self.fault_state.host_up(r.host.index() as u16))
+            .count() as u32;
+        if live == 0 {
+            self.unavailable_since.entry(i).or_insert(now);
+        } else if let Some(since) = self.unavailable_since.remove(&i) {
+            self.metrics.unavailable_object_seconds += now - since;
+        }
+        if live < self.scenario.faults.min_replicas() {
+            self.below_min_since.entry(i).or_insert(now);
+        } else if let Some(since) = self.below_min_since.remove(&i) {
+            self.metrics.restore_time.record(now - since);
+        }
+    }
+
+    /// Full sweep of [`refresh_one`](Self::refresh_one) after a liveness
+    /// change.
+    fn refresh_object_health(&mut self, now: f64) {
+        if self.scenario.faults.is_empty() {
+            return;
+        }
+        for i in 0..self.scenario.num_objects {
+            self.refresh_one(now, ObjectId::new(i));
+        }
+    }
+
+    /// Restores every object to the replica floor: copies from a live
+    /// replica onto the live host with the most load-report headroom, or
+    /// — when no live copy exists anywhere — re-installs the object at
+    /// its primary (an origin fetch). Runs after a host is declared dead
+    /// and after recoveries.
+    fn re_replicate(&mut self, t: SimTime) {
+        if self.scenario.faults.is_empty() {
+            return;
+        }
+        let now = t.as_secs();
+        let floor = self.scenario.faults.min_replicas();
+        for i in 0..self.scenario.num_objects {
+            let object = ObjectId::new(i);
+            loop {
+                let live: Vec<NodeId> = self
+                    .redirector
+                    .replicas(object)
+                    .iter()
+                    .map(|r| r.host)
+                    .filter(|h| self.fault_state.host_up(h.index() as u16))
+                    .collect();
+                if live.len() as u32 >= floor {
+                    break;
+                }
+                let elapsed = now - self.below_min_since.get(&i).copied().unwrap_or(now);
+                let target = if let Some(&source) = live.first() {
+                    // Copy onto the live host with the most headroom on
+                    // the load-report board (ties broken by node id).
+                    let holders: Vec<NodeId> = self
+                        .redirector
+                        .replicas(object)
+                        .iter()
+                        .map(|r| r.host)
+                        .collect();
+                    let mut cands: Vec<(f64, usize)> = (0..self.hosts.len())
+                        .filter(|&j| self.fault_state.host_up(j as u16))
+                        .filter(|&j| !holders.contains(&NodeId::new(j as u16)))
+                        .map(|j| {
+                            (
+                                self.hosts[j].params().low_watermark - self.load_reports[j].1,
+                                j,
+                            )
+                        })
+                        .collect();
+                    if cands.is_empty() {
+                        break; // fewer live hosts than the floor
+                    }
+                    cands.sort_by(|a, b| {
+                        b.0.partial_cmp(&a.0)
+                            .expect("headroom is never NaN")
+                            .then(a.1.cmp(&b.1))
+                    });
+                    let target = NodeId::new(cands[0].1 as u16);
+                    let hops = self.view.distance(source, target);
+                    self.metrics
+                        .record_overhead(now, (self.scenario.object_size * hops as u64) as f64);
+                    self.charge_links(source, target, self.scenario.object_size);
+                    target
+                } else {
+                    // Origin fetch: every copy was lost with its hosts.
+                    let Some(p) = self.live_primary(object) else {
+                        break; // the whole platform is down
+                    };
+                    p
+                };
+                self.install(object, target);
+                self.metrics.re_replications += 1;
+                if self.events.tracing {
+                    let qd = self.queue.len() as u32;
+                    self.events.emit(
+                        now,
+                        qd,
+                        0,
+                        ObsEventKind::ReReplication {
+                            object: i,
+                            target: target.index() as u16,
+                            elapsed,
+                        },
+                    );
+                }
+                for obs in &mut self.events.observers {
+                    obs.on_re_replication(now, i, target.index() as u16, elapsed);
+                }
+            }
+            self.refresh_one(now, object);
+        }
+    }
+}

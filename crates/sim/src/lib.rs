@@ -57,13 +57,18 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 mod config;
+mod env;
 mod faults;
+mod health;
 mod json;
+mod lifecycle;
 mod metrics;
 mod observer;
 mod platform;
+mod redirect;
 mod report;
 mod selection;
+mod sink;
 mod trace;
 
 pub use config::{

@@ -1,0 +1,456 @@
+//! Request-lifecycle handlers: arrival → redirect → host arrival →
+//! service completion, plus the network-delay helpers they share.
+//!
+//! All routing questions (distances, preference paths, reachability) go
+//! through the platform's [`radar_simnet::RoutingView`]; replica
+//! decisions go through the [`crate::redirect::RedirectEngine`] when
+//! the selection policy supports candidate caching, and the pluggable
+//! [`crate::selection::SelectionPolicy`] surface otherwise.
+
+use radar_core::ObjectId;
+use radar_obs::{CandidateSnapshot, DecisionEvent, EventKind as ObsEventKind};
+use radar_simcore::{SimDuration, SimTime};
+use radar_simnet::NodeId;
+
+use crate::observer::{FailureReason, RequestRecord};
+use crate::platform::{Event, Simulation};
+use crate::trace::TraceEntry;
+
+impl Simulation {
+    /// `true` when nodes `a` and `b` can currently exchange traffic
+    /// (always true until a link partition severs them).
+    pub(crate) fn connected(&self, a: NodeId, b: NodeId) -> bool {
+        !self.view.path(a, b).is_empty()
+    }
+
+    /// Propagation-only delay over the current route, honoring per-link
+    /// degradation factors. Callers must have checked [`connected`](Self::connected).
+    pub(crate) fn propagation(&self, from: NodeId, to: NodeId) -> f64 {
+        if !self.fault_state.any_link_degraded() {
+            return self
+                .scenario
+                .network
+                .propagation_time(self.view.distance(from, to));
+        }
+        self.scenario.network.hop_delay * self.weighted_hops(from, to)
+    }
+
+    /// Store-and-forward transfer time over the current route. Degraded
+    /// links stretch the propagation term only — the bandwidth term of
+    /// the §6.1 cost model is a link property, not a congestion signal.
+    pub(crate) fn transfer(&self, from: NodeId, to: NodeId, bytes: u64) -> f64 {
+        let hops = self.view.distance(from, to);
+        if !self.fault_state.any_link_degraded() {
+            return self.scenario.network.transfer_time(bytes, hops);
+        }
+        self.scenario.network.hop_delay * self.weighted_hops(from, to)
+            + hops as f64 * (bytes as f64 / self.scenario.network.link_bandwidth)
+    }
+
+    /// Sum of per-link delay factors along the current route (equals the
+    /// hop count when nothing is degraded).
+    fn weighted_hops(&self, from: NodeId, to: NodeId) -> f64 {
+        self.view
+            .path(from, to)
+            .windows(2)
+            .map(|w| {
+                self.fault_state
+                    .link_factor(w[0].index() as u16, w[1].index() as u16)
+            })
+            .sum()
+    }
+
+    /// Charges `bytes` to every link on the current path from `from` to
+    /// `to`.
+    pub(crate) fn charge_links(&mut self, from: NodeId, to: NodeId, bytes: u64) {
+        let path = self.view.path(from, to);
+        for w in path.windows(2) {
+            let idx = self.view.link_id(w[0], w[1]).expect("adjacent on a path");
+            self.metrics.link_bytes[idx] += bytes as f64;
+        }
+    }
+
+    pub(crate) fn fail_request(
+        &mut self,
+        t: SimTime,
+        object: ObjectId,
+        gateway: NodeId,
+        reason: FailureReason,
+        cause: u64,
+    ) {
+        self.metrics.failed_requests += 1;
+        let now = t.as_secs();
+        if self.events.tracing {
+            let qd = self.queue.len() as u32;
+            self.events.emit(
+                now,
+                qd,
+                cause,
+                ObsEventKind::RequestFailed {
+                    gateway: gateway.index() as u16,
+                    object: object.index() as u32,
+                    reason: reason.as_str().to_string(),
+                },
+            );
+        }
+        for obs in &mut self.events.observers {
+            obs.on_request_failed(now, object.index() as u32, gateway.index() as u16, reason);
+        }
+    }
+
+    pub(crate) fn on_arrival(&mut self, t: SimTime, gateway: NodeId) {
+        // Next arrival of this stream.
+        let gap = self.arrivals[gateway.index()].next_interarrival(&mut self.rng);
+        self.queue
+            .schedule(t + SimDuration::from_secs(gap), Event::Arrival { gateway });
+
+        let object = self.workload.choose(t.as_secs(), gateway, &mut self.rng);
+        if let Some(recorded) = &mut self.recorded {
+            recorded.push(TraceEntry {
+                t: t.as_secs(),
+                gateway: gateway.index() as u16,
+                object: object.index() as u32,
+            });
+        }
+        // Gateway → the object's redirector: propagation only (requests
+        // are tiny).
+        let cause = self.emit_arrival(t, object, gateway);
+        let rnode = self.redirector_node_of(object);
+        if !self.connected(gateway, rnode) {
+            self.fail_request(t, object, gateway, FailureReason::Unreachable, cause);
+            return;
+        }
+        let delay = self.propagation(gateway, rnode);
+        self.queue.schedule(
+            t + SimDuration::from_secs(delay),
+            Event::Redirect {
+                object,
+                gateway,
+                t0: t,
+                cause,
+            },
+        );
+    }
+
+    /// Emits the root of a request's causal chain (a `RequestArrived`
+    /// event) and returns its sequence number (0 when tracing is off).
+    fn emit_arrival(&mut self, t: SimTime, object: ObjectId, gateway: NodeId) -> u64 {
+        if !self.events.tracing {
+            return 0;
+        }
+        let qd = self.queue.len() as u32;
+        self.events.emit(
+            t.as_secs(),
+            qd,
+            0,
+            ObsEventKind::RequestArrived {
+                gateway: gateway.index() as u16,
+                object: object.index() as u32,
+            },
+        )
+    }
+
+    pub(crate) fn on_trace_arrival(&mut self, t: SimTime, index: usize) {
+        let trace = self.replay.as_ref().expect("replay trace present");
+        let entry = trace.entries()[index];
+        if let Some(next) = trace.entries().get(index + 1) {
+            let at = SimTime::from_secs(next.t).max(t);
+            self.queue
+                .schedule(at, Event::TraceArrival { index: index + 1 });
+        }
+        let gateway = NodeId::new(entry.gateway);
+        let object = ObjectId::new(entry.object);
+        if let Some(recorded) = &mut self.recorded {
+            recorded.push(TraceEntry {
+                t: t.as_secs(),
+                gateway: entry.gateway,
+                object: entry.object,
+            });
+        }
+        let cause = self.emit_arrival(t, object, gateway);
+        let rnode = self.redirector_node_of(object);
+        if !self.connected(gateway, rnode) {
+            self.fail_request(t, object, gateway, FailureReason::Unreachable, cause);
+            return;
+        }
+        let delay = self.propagation(gateway, rnode);
+        self.queue.schedule(
+            t + SimDuration::from_secs(delay),
+            Event::Redirect {
+                object,
+                gateway,
+                t0: t,
+                cause,
+            },
+        );
+    }
+
+    pub(crate) fn on_redirect(
+        &mut self,
+        t: SimTime,
+        object: ObjectId,
+        gateway: NodeId,
+        t0: SimTime,
+        cause: u64,
+    ) {
+        let rnode = self.redirector_node_of(object);
+        self.metrics.redirector_requests[rnode.index()] += 1;
+        let (chosen, explanation) = if self.selection.supports_candidate_cache() {
+            // The engine applies the same usability filter and distance
+            // source as the policy path below, but reuses the candidate
+            // list across requests (invalidated by directory, routing,
+            // and fault generations).
+            match self.redirect.choose(
+                object,
+                gateway,
+                rnode,
+                &mut self.redirector,
+                &self.view,
+                &self.fault_state,
+                self.fault_gen,
+                self.events.tracing,
+            ) {
+                Some((host, expl)) => (Some(host), expl),
+                None => (None, None),
+            }
+        } else {
+            // A replica is usable when its host is up and traffic can
+            // flow redirector → host and host → gateway.
+            let fault_state = &self.fault_state;
+            let view = &self.view;
+            let usable = |h: NodeId| {
+                fault_state.host_up(h.index() as u16)
+                    && !view.path(rnode, h).is_empty()
+                    && !view.path(h, gateway).is_empty()
+            };
+            if self.events.tracing {
+                self.selection.choose_available_explained(
+                    object,
+                    gateway,
+                    &mut self.redirector,
+                    self.view.table(),
+                    &usable,
+                )
+            } else {
+                let pick = self.selection.choose_available(
+                    object,
+                    gateway,
+                    &mut self.redirector,
+                    self.view.table(),
+                    &usable,
+                );
+                (pick, None)
+            }
+        };
+        let mut fallback_used = false;
+        let host = match chosen {
+            Some(h) => h,
+            None => {
+                // Graceful degradation: no usable replica, so fetch from
+                // the provider's origin — modeled as re-installing the
+                // object at its primary node (reassigned to the most
+                // central live host when the primary itself is down).
+                debug_assert!(
+                    !self.scenario.faults.is_empty(),
+                    "every object keeps at least one replica"
+                );
+                let now = t.as_secs();
+                let fallback = self.live_primary(object).filter(|&p| {
+                    !self.view.path(rnode, p).is_empty() && !self.view.path(p, gateway).is_empty()
+                });
+                let Some(p) = fallback else {
+                    let any_live = self
+                        .redirector
+                        .replicas(object)
+                        .iter()
+                        .any(|r| self.fault_state.host_up(r.host.index() as u16));
+                    let reason = if any_live {
+                        FailureReason::Unreachable
+                    } else {
+                        FailureReason::AllReplicasDown
+                    };
+                    self.fail_request(t, object, gateway, reason, cause);
+                    return;
+                };
+                if !self.redirector.replicas(object).iter().any(|r| r.host == p) {
+                    self.install(object, p);
+                    self.refresh_one(now, object);
+                }
+                self.metrics.primary_fallbacks += 1;
+                fallback_used = true;
+                p
+            }
+        };
+        let decision = if self.events.tracing {
+            let qd = self.queue.len() as u32;
+            let event = match explanation {
+                Some(e) => DecisionEvent {
+                    object: object.index() as u32,
+                    gateway: gateway.index() as u16,
+                    chosen: host.index() as u16,
+                    branch: e.branch.as_str().to_string(),
+                    constant: e.constant,
+                    closest: Some(e.closest.index() as u16),
+                    least: Some(e.least.index() as u16),
+                    unit_closest: Some(e.unit_closest),
+                    unit_least: Some(e.unit_least),
+                    candidates: e
+                        .candidates
+                        .iter()
+                        .map(|c| CandidateSnapshot {
+                            host: c.host.index() as u16,
+                            rcnt: c.rcnt,
+                            aff: c.aff,
+                            unit: c.unit_rcnt(),
+                            distance: c.distance,
+                        })
+                        .collect(),
+                },
+                // Either the selection policy has no Fig. 2 data (a
+                // baseline) or no usable replica existed and the
+                // primary fallback served.
+                None => DecisionEvent {
+                    object: object.index() as u32,
+                    gateway: gateway.index() as u16,
+                    chosen: host.index() as u16,
+                    branch: if fallback_used {
+                        "primary-fallback"
+                    } else {
+                        "policy"
+                    }
+                    .to_string(),
+                    constant: self.scenario.params.distribution_constant,
+                    closest: None,
+                    least: None,
+                    unit_closest: None,
+                    unit_least: None,
+                    candidates: Vec::new(),
+                },
+            };
+            self.events
+                .emit(t.as_secs(), qd, cause, ObsEventKind::Decision(event))
+        } else {
+            0
+        };
+        let delay = self.propagation(rnode, host);
+        self.queue.schedule(
+            t + SimDuration::from_secs(delay),
+            Event::ArriveAtHost {
+                object,
+                gateway,
+                host,
+                t0,
+                cause: decision,
+            },
+        );
+    }
+
+    pub(crate) fn on_arrive_at_host(
+        &mut self,
+        t: SimTime,
+        object: ObjectId,
+        gateway: NodeId,
+        host: NodeId,
+        t0: SimTime,
+        cause: u64,
+    ) {
+        let i = host.index();
+        if !self.fault_state.host_up(i as u16) {
+            // The host crashed while the redirect was in flight.
+            self.fail_request(t, object, gateway, FailureReason::CrashedMidService, cause);
+            return;
+        }
+        // Record the preference path (host → gateway) for placement.
+        let path = self.view.path(host, gateway);
+        self.hosts[i].record_access(object, path);
+        // FIFO service.
+        let outcome = self.servers[i].offer(t);
+        // Latency breakdown: the redirect leg is everything before host
+        // arrival; queueing is time until service begins.
+        self.metrics.redirect_delay.record((t - t0).as_secs());
+        self.metrics
+            .queueing_delay
+            .record(outcome.queueing_delay(t).as_secs());
+        self.queue.schedule(
+            outcome.completion,
+            Event::ServiceComplete {
+                object,
+                gateway,
+                host,
+                t0,
+                epoch: self.host_epoch[i],
+                cause,
+            },
+        );
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn on_service_complete(
+        &mut self,
+        t: SimTime,
+        object: ObjectId,
+        gateway: NodeId,
+        host: NodeId,
+        t0: SimTime,
+        epoch: u32,
+        cause: u64,
+    ) {
+        let i = host.index();
+        if epoch != self.host_epoch[i] {
+            // The host crashed while this request was queued or in
+            // service; the work is lost.
+            self.fail_request(t, object, gateway, FailureReason::CrashedMidService, cause);
+            return;
+        }
+        self.hosts[i].record_serviced(t.as_secs(), object);
+        if !self.connected(host, gateway) {
+            // The response has nowhere to go: a partition opened while
+            // the request was in service.
+            self.fail_request(t, object, gateway, FailureReason::Unreachable, cause);
+            return;
+        }
+        let hops = self.view.distance(host, gateway);
+        let travel = self.transfer(host, gateway, self.scenario.object_size);
+        let delivered = t + SimDuration::from_secs(travel);
+        let latency = (delivered - t0).as_secs();
+        let bytes_hops = (self.scenario.object_size * hops as u64) as f64;
+        self.metrics
+            .record_response(t.as_secs(), delivered.as_secs(), latency, bytes_hops);
+        self.metrics.response_travel.record(travel);
+        self.charge_links(host, gateway, self.scenario.object_size);
+        let (from, to) = (
+            self.node_regions[host.index()].index(),
+            self.node_regions[gateway.index()].index(),
+        );
+        self.metrics.region_matrix[from][to] += bytes_hops;
+        if self.events.tracing {
+            let qd = self.queue.len() as u32;
+            self.events.emit(
+                t.as_secs(),
+                qd,
+                cause,
+                ObsEventKind::RequestServed {
+                    gateway: gateway.index() as u16,
+                    object: object.index() as u32,
+                    host: host.index() as u16,
+                    latency,
+                    hops,
+                },
+            );
+        }
+        if !self.events.observers.is_empty() {
+            let record = RequestRecord {
+                entered: t0.as_secs(),
+                delivered: delivered.as_secs(),
+                gateway: gateway.index() as u16,
+                object: object.index() as u32,
+                host: host.index() as u16,
+                latency,
+                hops,
+            };
+            for obs in &mut self.events.observers {
+                obs.on_request_served(&record);
+            }
+        }
+    }
+}

@@ -94,8 +94,11 @@ pub struct Metrics {
     pub relocation_log: Vec<RelocationEvent>,
     /// Per load sample: `(t, node with the maximum load, that load)`.
     pub max_load_host: Vec<(f64, u16, f64)>,
-    /// Requests handled per redirector, keyed by redirector node.
-    pub redirector_requests: std::collections::BTreeMap<u16, u64>,
+    /// Requests handled per redirector, indexed by node id (sized by the
+    /// platform at startup; zero for nodes that are not redirectors).
+    /// Kept flat because it is bumped on every redirect — the report
+    /// layer converts to a sparse map when summarizing.
+    pub redirector_requests: Vec<u64>,
     /// Total bytes carried per backbone link (indexed like the
     /// topology's link list), all traffic classes combined.
     pub link_bytes: Vec<f64>,
@@ -158,7 +161,7 @@ impl Metrics {
             affinity_reductions: 0,
             relocation_log: Vec::new(),
             max_load_host: Vec::new(),
-            redirector_requests: std::collections::BTreeMap::new(),
+            redirector_requests: Vec::new(),
             link_bytes: Vec::new(),
             region_matrix: [[0.0; 4]; 4],
             redirect_delay: OnlineSummary::new(),

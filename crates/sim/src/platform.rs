@@ -1,29 +1,44 @@
-//! The discrete-event hosting-platform simulation.
+//! The discrete-event hosting-platform sequencer.
+//!
+//! [`Simulation`] only owns state and sequences events; the actual
+//! work lives in the layer modules:
+//!
+//! * routing — [`radar_simnet::RoutingView`] (incremental distances,
+//!   paths, and reachability over the live links);
+//! * directory — [`radar_core::Directory`] behind the [`Redirector`]
+//!   (replica sets, affinities, request counts, batched epoch updates);
+//! * redirect — [`crate::redirect::RedirectEngine`] (the Fig. 2
+//!   decision with a per-(gateway, object) candidate cache);
+//! * request lifecycle — `lifecycle.rs` (arrival → redirect → service
+//!   → delivery handlers);
+//! * placement — `env.rs` (the [`radar_core::placement::PlacementEnv`]
+//!   wiring and periodic epochs);
+//! * health — `health.rs` (fault transitions, declare-dead,
+//!   re-replication).
 
-use radar_core::placement::{handle_create_obj, run_placement, PlacementEnv};
-use radar_core::{Catalog, CreateObjRequest, CreateObjResponse, HostState, ObjectId, Redirector};
-use radar_obs::{
-    CandidateSnapshot, DecisionEvent, EventKind as ObsEventKind, LoopProfile, PlacementActionEvent,
-};
-use radar_simcore::{EventQueue, FifoServer, SimDuration, SimRng, SimTime};
-use radar_simnet::{NodeId, RoutingTable};
+use radar_core::{Catalog, HostState, ObjectId, Redirector};
+use radar_obs::LoopProfile;
+use radar_simcore::{EventQueue, FifoServer, SimRng, SimTime};
+use radar_simnet::{NodeId, RoutingView};
 use radar_workload::{ArrivalProcess, Workload};
 
 use std::collections::BTreeMap;
 
 use crate::config::{InitialPlacement, PlacementMode, Scenario};
-use crate::faults::{FaultState, FaultTransition, TransitionKind};
-use crate::metrics::{LoadEstimateSample, Metrics};
-use crate::observer::{FailureReason, Observer, RequestRecord};
+use crate::faults::{FaultState, FaultTransition};
+use crate::metrics::Metrics;
+use crate::observer::Observer;
+use crate::redirect::RedirectEngine;
 use crate::report::RunReport;
 use crate::selection::{RadarSelection, SelectionPolicy};
+use crate::sink::EventSink;
 use crate::trace::{Trace, TraceEntry};
 
 /// Simulation events. Per client request: `Arrival` → `Redirect` →
 /// `ArriveAtHost` → `ServiceComplete` (delivery statistics are computed
 /// arithmetically at completion; no fourth hop event is needed).
 #[derive(Debug, Clone, Copy)]
-enum Event {
+pub(crate) enum Event {
     /// A client request enters at its gateway.
     Arrival { gateway: NodeId },
     /// The request reaches the redirector. `cause` is the
@@ -93,100 +108,37 @@ impl Event {
     }
 }
 
-/// The platform's observer fan-out plus the flight-recorder sequence
-/// counter. Kept as one separable struct so the placement environment
-/// can emit events while the rest of the simulation is mutably
-/// borrowed.
-struct EventSink {
-    observers: Vec<Box<dyn Observer>>,
-    /// Monotonic flight-recorder sequence. Numbers are 1-based so that
-    /// 0 can double as "no causal parent" in scheduled events.
-    next_seq: u64,
-    /// True when at least one attached observer wants the typed event
-    /// feed; with no recorder attached, emission sites pay one branch.
-    tracing: bool,
-}
-
-impl EventSink {
-    fn new() -> Self {
-        EventSink {
-            observers: Vec::new(),
-            next_seq: 0,
-            tracing: false,
-        }
-    }
-
-    /// Emits one flight-recorder event to every subscribed observer and
-    /// returns its sequence number — or 0 without side effects when
-    /// tracing is off. `cause` is the parent's sequence number (0 for
-    /// none). Callers should guard [`radar_obs::EventKind`]
-    /// construction behind [`tracing`](Self::tracing) so the disabled
-    /// path allocates nothing.
-    fn emit(&mut self, t: f64, queue_depth: u32, cause: u64, kind: ObsEventKind) -> u64 {
-        if !self.tracing {
-            return 0;
-        }
-        self.next_seq += 1;
-        let event = radar_obs::Event {
-            seq: self.next_seq,
-            parent: (cause != 0).then_some(cause),
-            t,
-            queue_depth,
-            kind,
-        };
-        for obs in &mut self.observers {
-            if obs.wants_events() {
-                obs.on_event(&event);
-            }
-        }
-        self.next_seq
-    }
-}
-
-/// Human-readable description of a fault transition, for
-/// [`radar_obs::EventKind::Fault`] events.
-fn transition_desc(kind: TransitionKind) -> String {
-    match kind {
-        TransitionKind::HostCrash(h) => format!("host-crash {h}"),
-        TransitionKind::HostRecover(h) => format!("host-recover {h}"),
-        TransitionKind::LinkFail(a, b) => format!("link-fail {a}-{b}"),
-        TransitionKind::LinkHeal(a, b) => format!("link-heal {a}-{b}"),
-        TransitionKind::LinkDegrade(a, b, f) => format!("link-degrade {a}-{b} x{f}"),
-        TransitionKind::LinkRestore(a, b, f) => format!("link-restore {a}-{b} x{f}"),
-    }
-}
-
 /// A configured simulation, ready to [`run`](Simulation::run).
 ///
 /// See the crate documentation for the modeled request lifecycle. Every
 /// run is a deterministic function of `(Scenario, workload, selection)` —
 /// the scenario carries the RNG seed.
 pub struct Simulation {
-    scenario: Scenario,
-    routes: RoutingTable,
-    /// `paths[from][to]`: precomputed node sequences, `from` inclusive.
-    paths: Vec<Vec<Vec<NodeId>>>,
+    pub(crate) scenario: Scenario,
+    /// Routing layer: incremental distances/paths over the live links.
+    pub(crate) view: RoutingView,
     /// Homes of the hash-partitioned redirectors, most central first.
-    redirector_nodes: Vec<NodeId>,
-    /// Link id for each normalized `(min, max)` node pair.
-    link_index: std::collections::HashMap<(u16, u16), usize>,
+    pub(crate) redirector_nodes: Vec<NodeId>,
     /// Region of each node, by node index.
-    node_regions: Vec<radar_simnet::Region>,
-    workload: Box<dyn Workload + Send>,
-    selection: Box<dyn SelectionPolicy + Send>,
-    hosts: Vec<HostState>,
-    servers: Vec<FifoServer>,
-    redirector: Redirector,
-    catalog: Catalog,
-    metrics: Metrics,
-    rng: SimRng,
-    queue: EventQueue<Event>,
+    pub(crate) node_regions: Vec<radar_simnet::Region>,
+    pub(crate) workload: Box<dyn Workload + Send>,
+    pub(crate) selection: Box<dyn SelectionPolicy + Send>,
+    pub(crate) hosts: Vec<HostState>,
+    pub(crate) servers: Vec<FifoServer>,
+    pub(crate) redirector: Redirector,
+    /// Decision layer: Fig. 2 with a per-(gateway, object) candidate
+    /// cache (engaged when the selection policy supports it).
+    pub(crate) redirect: RedirectEngine,
+    pub(crate) catalog: Catalog,
+    pub(crate) metrics: Metrics,
+    pub(crate) rng: SimRng,
+    pub(crate) queue: EventQueue<Event>,
     /// One arrival process per gateway.
-    arrivals: Vec<ArrivalProcess>,
+    pub(crate) arrivals: Vec<ArrivalProcess>,
     /// Whether bootstrap (initial placement + first events) has run.
     started: bool,
     /// Attached observers plus the flight-recorder state.
-    events: EventSink,
+    pub(crate) events: EventSink,
     /// Event-loop profiling accumulator; `None` until
     /// [`enable_loop_profile`](Simulation::enable_loop_profile).
     profile: Option<LoopProfile>,
@@ -196,26 +148,30 @@ pub struct Simulation {
     /// *published* upper-estimate load and its publication time; offload
     /// recipient discovery reads these possibly-stale reports, while
     /// `CreateObj` admission remains authoritative at the recipient.
-    load_reports: Vec<(f64, f64)>,
+    pub(crate) load_reports: Vec<(f64, f64)>,
     /// Replay source: when set, arrivals come from this trace instead of
     /// the arrival processes + workload.
-    replay: Option<Trace>,
+    pub(crate) replay: Option<Trace>,
     /// Capture sink: when enabled, every arrival is recorded.
-    recorded: Option<Vec<TraceEntry>>,
+    pub(crate) recorded: Option<Vec<TraceEntry>>,
     /// Compiled fault schedule, time-sorted (empty on fault-free runs).
-    fault_schedule: Vec<FaultTransition>,
+    pub(crate) fault_schedule: Vec<FaultTransition>,
     /// Live fault state replayed from the schedule.
-    fault_state: FaultState,
+    pub(crate) fault_state: FaultState,
+    /// Bumped on every applied fault transition; part of the redirect
+    /// engine's cache key (host liveness changes replica usability
+    /// without touching routing).
+    pub(crate) fault_gen: u32,
     /// Per-host crash epoch. Completions carry the epoch they entered
     /// service under, so work queued before a crash is seen as lost.
-    host_epoch: Vec<u32>,
+    pub(crate) host_epoch: Vec<u32>,
     /// Hosts the platform has declared dead (replicas purged; the host
     /// rejoins empty if it ever recovers).
-    declared_dead: Vec<bool>,
+    pub(crate) declared_dead: Vec<bool>,
     /// Objects currently below the replica floor → when they fell below.
-    below_min_since: BTreeMap<u32, f64>,
+    pub(crate) below_min_since: BTreeMap<u32, f64>,
     /// Objects with zero live replicas → when they lost the last one.
-    unavailable_since: BTreeMap<u32, f64>,
+    pub(crate) unavailable_since: BTreeMap<u32, f64>,
 }
 
 impl std::fmt::Debug for Simulation {
@@ -243,31 +199,17 @@ impl Simulation {
         workload: Box<dyn Workload + Send>,
         selection: Box<dyn SelectionPolicy + Send>,
     ) -> Self {
-        let routes = scenario.topology.routes();
+        let view = RoutingView::new(scenario.topology.clone());
         let n = scenario.topology.len();
-        let mut paths = Vec::with_capacity(n);
-        for from in scenario.topology.nodes() {
-            let mut row = Vec::with_capacity(n);
-            for to in scenario.topology.nodes() {
-                row.push(routes.path(from, to));
-            }
-            paths.push(row);
-        }
         // "The redirector is co-located with a node whose average
         // distance in hops to other nodes is minimum" (§6.1); with more
         // than one redirector the URL namespace is hash-partitioned over
         // the most central nodes (§2).
-        let redirector_nodes: Vec<NodeId> = routes
+        let redirector_nodes: Vec<NodeId> = view
+            .table()
             .nodes_by_centrality()
             .into_iter()
             .take(scenario.num_redirectors as usize)
-            .collect();
-        let link_index: std::collections::HashMap<(u16, u16), usize> = scenario
-            .topology
-            .links()
-            .iter()
-            .enumerate()
-            .map(|(i, &(a, b))| ((a.index() as u16, b.index() as u16), i))
             .collect();
         let node_regions: Vec<radar_simnet::Region> = scenario
             .topology
@@ -290,11 +232,13 @@ impl Simulation {
             .collect();
         let redirector =
             Redirector::new(scenario.num_objects, scenario.params.distribution_constant);
+        let redirect = RedirectEngine::new(scenario.num_objects, n);
         let catalog = scenario.catalog.clone().unwrap_or_else(|| {
             Catalog::uniform(scenario.num_objects, scenario.object_size, n as u16)
         });
         let mut metrics = Metrics::new(scenario.metric_bin, scenario.params.measurement_interval);
         metrics.link_bytes = vec![0.0; scenario.topology.links().len()];
+        metrics.redirector_requests = vec![0; n];
         let rng = SimRng::seed_from(scenario.seed);
         let fault_schedule = scenario.faults.transitions(scenario.duration);
         let arrivals = (0..n)
@@ -312,16 +256,15 @@ impl Simulation {
             .collect();
         Self {
             scenario,
-            routes,
-            paths,
+            view,
             redirector_nodes,
-            link_index,
             node_regions,
             workload,
             selection,
             hosts,
             servers,
             redirector,
+            redirect,
             catalog,
             metrics,
             rng,
@@ -335,6 +278,7 @@ impl Simulation {
             recorded: None,
             fault_schedule,
             fault_state: FaultState::new(n),
+            fault_gen: 0,
             host_epoch: vec![0; n],
             declared_dead: vec![false; n],
             below_min_since: BTreeMap::new(),
@@ -411,7 +355,7 @@ impl Simulation {
 
     /// The redirector responsible for `object` (URL-hash partitioning,
     /// §2 — here the hash is the object id).
-    fn redirector_node_of(&self, object: ObjectId) -> NodeId {
+    pub(crate) fn redirector_node_of(&self, object: ObjectId) -> NodeId {
         self.redirector_nodes[object.index() % self.redirector_nodes.len()]
     }
 
@@ -556,19 +500,7 @@ impl Simulation {
         }
     }
 
-    /// Charges `bytes` to every link on the precomputed path from `from`
-    /// to `to`.
-    fn charge_links(&mut self, from: NodeId, to: NodeId, bytes: u64) {
-        let path = &self.paths[from.index()][to.index()];
-        for w in path.windows(2) {
-            let (a, b) = (w[0].index() as u16, w[1].index() as u16);
-            let key = (a.min(b), a.max(b));
-            let idx = self.link_index[&key];
-            self.metrics.link_bytes[idx] += bytes as f64;
-        }
-    }
-
-    fn install(&mut self, object: ObjectId, node: NodeId) {
+    pub(crate) fn install(&mut self, object: ObjectId, node: NodeId) {
         self.redirector.install(object, node);
         self.hosts[node.index()].install_object(object);
     }
@@ -606,858 +538,9 @@ impl Simulation {
         }
     }
 
-    /// `true` when nodes `a` and `b` can currently exchange traffic
-    /// (always true until a link partition severs them).
-    fn connected(&self, a: NodeId, b: NodeId) -> bool {
-        !self.paths[a.index()][b.index()].is_empty()
-    }
-
-    /// Propagation-only delay over the current route, honoring per-link
-    /// degradation factors. Callers must have checked [`connected`].
-    fn propagation(&self, from: NodeId, to: NodeId) -> f64 {
-        if !self.fault_state.any_link_degraded() {
-            return self
-                .scenario
-                .network
-                .propagation_time(self.routes.distance(from, to));
-        }
-        self.scenario.network.hop_delay * self.weighted_hops(from, to)
-    }
-
-    /// Store-and-forward transfer time over the current route. Degraded
-    /// links stretch the propagation term only — the bandwidth term of
-    /// the §6.1 cost model is a link property, not a congestion signal.
-    fn transfer(&self, from: NodeId, to: NodeId, bytes: u64) -> f64 {
-        let hops = self.routes.distance(from, to);
-        if !self.fault_state.any_link_degraded() {
-            return self.scenario.network.transfer_time(bytes, hops);
-        }
-        self.scenario.network.hop_delay * self.weighted_hops(from, to)
-            + hops as f64 * (bytes as f64 / self.scenario.network.link_bandwidth)
-    }
-
-    /// Sum of per-link delay factors along the current route (equals the
-    /// hop count when nothing is degraded).
-    fn weighted_hops(&self, from: NodeId, to: NodeId) -> f64 {
-        self.paths[from.index()][to.index()]
-            .windows(2)
-            .map(|w| {
-                self.fault_state
-                    .link_factor(w[0].index() as u16, w[1].index() as u16)
-            })
-            .sum()
-    }
-
-    fn fail_request(
-        &mut self,
-        t: SimTime,
-        object: ObjectId,
-        gateway: NodeId,
-        reason: FailureReason,
-        cause: u64,
-    ) {
-        self.metrics.failed_requests += 1;
-        let now = t.as_secs();
-        if self.events.tracing {
-            let qd = self.queue.len() as u32;
-            self.events.emit(
-                now,
-                qd,
-                cause,
-                ObsEventKind::RequestFailed {
-                    gateway: gateway.index() as u16,
-                    object: object.index() as u32,
-                    reason: reason.as_str().to_string(),
-                },
-            );
-        }
-        for obs in &mut self.events.observers {
-            obs.on_request_failed(now, object.index() as u32, gateway.index() as u16, reason);
-        }
-    }
-
-    fn on_arrival(&mut self, t: SimTime, gateway: NodeId) {
-        // Next arrival of this stream.
-        let gap = self.arrivals[gateway.index()].next_interarrival(&mut self.rng);
-        self.queue
-            .schedule(t + SimDuration::from_secs(gap), Event::Arrival { gateway });
-
-        let object = self.workload.choose(t.as_secs(), gateway, &mut self.rng);
-        if let Some(recorded) = &mut self.recorded {
-            recorded.push(TraceEntry {
-                t: t.as_secs(),
-                gateway: gateway.index() as u16,
-                object: object.index() as u32,
-            });
-        }
-        // Gateway → the object's redirector: propagation only (requests
-        // are tiny).
-        let cause = self.emit_arrival(t, object, gateway);
-        let rnode = self.redirector_node_of(object);
-        if !self.connected(gateway, rnode) {
-            self.fail_request(t, object, gateway, FailureReason::Unreachable, cause);
-            return;
-        }
-        let delay = self.propagation(gateway, rnode);
-        self.queue.schedule(
-            t + SimDuration::from_secs(delay),
-            Event::Redirect {
-                object,
-                gateway,
-                t0: t,
-                cause,
-            },
-        );
-    }
-
-    /// Emits the root of a request's causal chain (a `RequestArrived`
-    /// event) and returns its sequence number (0 when tracing is off).
-    fn emit_arrival(&mut self, t: SimTime, object: ObjectId, gateway: NodeId) -> u64 {
-        if !self.events.tracing {
-            return 0;
-        }
-        let qd = self.queue.len() as u32;
-        self.events.emit(
-            t.as_secs(),
-            qd,
-            0,
-            ObsEventKind::RequestArrived {
-                gateway: gateway.index() as u16,
-                object: object.index() as u32,
-            },
-        )
-    }
-
-    fn on_trace_arrival(&mut self, t: SimTime, index: usize) {
-        let trace = self.replay.as_ref().expect("replay trace present");
-        let entry = trace.entries()[index];
-        if let Some(next) = trace.entries().get(index + 1) {
-            let at = SimTime::from_secs(next.t).max(t);
-            self.queue
-                .schedule(at, Event::TraceArrival { index: index + 1 });
-        }
-        let gateway = NodeId::new(entry.gateway);
-        let object = ObjectId::new(entry.object);
-        if let Some(recorded) = &mut self.recorded {
-            recorded.push(TraceEntry {
-                t: t.as_secs(),
-                gateway: entry.gateway,
-                object: entry.object,
-            });
-        }
-        let cause = self.emit_arrival(t, object, gateway);
-        let rnode = self.redirector_node_of(object);
-        if !self.connected(gateway, rnode) {
-            self.fail_request(t, object, gateway, FailureReason::Unreachable, cause);
-            return;
-        }
-        let delay = self.propagation(gateway, rnode);
-        self.queue.schedule(
-            t + SimDuration::from_secs(delay),
-            Event::Redirect {
-                object,
-                gateway,
-                t0: t,
-                cause,
-            },
-        );
-    }
-
-    fn on_redirect(
-        &mut self,
-        t: SimTime,
-        object: ObjectId,
-        gateway: NodeId,
-        t0: SimTime,
-        cause: u64,
-    ) {
-        let rnode = self.redirector_node_of(object);
-        *self
-            .metrics
-            .redirector_requests
-            .entry(rnode.index() as u16)
-            .or_insert(0) += 1;
-        // A replica is usable when its host is up and traffic can flow
-        // redirector → host and host → gateway.
-        let fault_state = &self.fault_state;
-        let paths = &self.paths;
-        let usable = |h: NodeId| {
-            fault_state.host_up(h.index() as u16)
-                && !paths[rnode.index()][h.index()].is_empty()
-                && !paths[h.index()][gateway.index()].is_empty()
-        };
-        let (chosen, explanation) = if self.events.tracing {
-            self.selection.choose_available_explained(
-                object,
-                gateway,
-                &mut self.redirector,
-                &self.routes,
-                &usable,
-            )
-        } else {
-            let pick = self.selection.choose_available(
-                object,
-                gateway,
-                &mut self.redirector,
-                &self.routes,
-                &usable,
-            );
-            (pick, None)
-        };
-        let mut fallback_used = false;
-        let host = match chosen {
-            Some(h) => h,
-            None => {
-                // Graceful degradation: no usable replica, so fetch from
-                // the provider's origin — modeled as re-installing the
-                // object at its primary node (reassigned to the most
-                // central live host when the primary itself is down).
-                debug_assert!(
-                    !self.scenario.faults.is_empty(),
-                    "every object keeps at least one replica"
-                );
-                let now = t.as_secs();
-                let fallback = self.live_primary(object).filter(|&p| {
-                    !self.paths[rnode.index()][p.index()].is_empty()
-                        && !self.paths[p.index()][gateway.index()].is_empty()
-                });
-                let Some(p) = fallback else {
-                    let any_live = self
-                        .redirector
-                        .replicas(object)
-                        .iter()
-                        .any(|r| self.fault_state.host_up(r.host.index() as u16));
-                    let reason = if any_live {
-                        FailureReason::Unreachable
-                    } else {
-                        FailureReason::AllReplicasDown
-                    };
-                    self.fail_request(t, object, gateway, reason, cause);
-                    return;
-                };
-                if !self.redirector.replicas(object).iter().any(|r| r.host == p) {
-                    self.install(object, p);
-                    self.refresh_one(now, object);
-                }
-                self.metrics.primary_fallbacks += 1;
-                fallback_used = true;
-                p
-            }
-        };
-        let decision = if self.events.tracing {
-            let qd = self.queue.len() as u32;
-            let event = match explanation {
-                Some(e) => DecisionEvent {
-                    object: object.index() as u32,
-                    gateway: gateway.index() as u16,
-                    chosen: host.index() as u16,
-                    branch: e.branch.as_str().to_string(),
-                    constant: e.constant,
-                    closest: Some(e.closest.index() as u16),
-                    least: Some(e.least.index() as u16),
-                    unit_closest: Some(e.unit_closest),
-                    unit_least: Some(e.unit_least),
-                    candidates: e
-                        .candidates
-                        .iter()
-                        .map(|c| CandidateSnapshot {
-                            host: c.host.index() as u16,
-                            rcnt: c.rcnt,
-                            aff: c.aff,
-                            unit: c.unit_rcnt(),
-                            distance: c.distance,
-                        })
-                        .collect(),
-                },
-                // Either the selection policy has no Fig. 2 data (a
-                // baseline) or no usable replica existed and the
-                // primary fallback served.
-                None => DecisionEvent {
-                    object: object.index() as u32,
-                    gateway: gateway.index() as u16,
-                    chosen: host.index() as u16,
-                    branch: if fallback_used {
-                        "primary-fallback"
-                    } else {
-                        "policy"
-                    }
-                    .to_string(),
-                    constant: self.scenario.params.distribution_constant,
-                    closest: None,
-                    least: None,
-                    unit_closest: None,
-                    unit_least: None,
-                    candidates: Vec::new(),
-                },
-            };
-            self.events
-                .emit(t.as_secs(), qd, cause, ObsEventKind::Decision(event))
-        } else {
-            0
-        };
-        let delay = self.propagation(rnode, host);
-        self.queue.schedule(
-            t + SimDuration::from_secs(delay),
-            Event::ArriveAtHost {
-                object,
-                gateway,
-                host,
-                t0,
-                cause: decision,
-            },
-        );
-    }
-
-    fn on_arrive_at_host(
-        &mut self,
-        t: SimTime,
-        object: ObjectId,
-        gateway: NodeId,
-        host: NodeId,
-        t0: SimTime,
-        cause: u64,
-    ) {
-        let i = host.index();
-        if !self.fault_state.host_up(i as u16) {
-            // The host crashed while the redirect was in flight.
-            self.fail_request(t, object, gateway, FailureReason::CrashedMidService, cause);
-            return;
-        }
-        // Record the preference path (host → gateway) for placement.
-        let path = &self.paths[i][gateway.index()];
-        self.hosts[i].record_access(object, path);
-        // FIFO service.
-        let outcome = self.servers[i].offer(t);
-        // Latency breakdown: the redirect leg is everything before host
-        // arrival; queueing is time until service begins.
-        self.metrics.redirect_delay.record((t - t0).as_secs());
-        self.metrics
-            .queueing_delay
-            .record(outcome.queueing_delay(t).as_secs());
-        self.queue.schedule(
-            outcome.completion,
-            Event::ServiceComplete {
-                object,
-                gateway,
-                host,
-                t0,
-                epoch: self.host_epoch[i],
-                cause,
-            },
-        );
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn on_service_complete(
-        &mut self,
-        t: SimTime,
-        object: ObjectId,
-        gateway: NodeId,
-        host: NodeId,
-        t0: SimTime,
-        epoch: u32,
-        cause: u64,
-    ) {
-        let i = host.index();
-        if epoch != self.host_epoch[i] {
-            // The host crashed while this request was queued or in
-            // service; the work is lost.
-            self.fail_request(t, object, gateway, FailureReason::CrashedMidService, cause);
-            return;
-        }
-        self.hosts[i].record_serviced(t.as_secs(), object);
-        if !self.connected(host, gateway) {
-            // The response has nowhere to go: a partition opened while
-            // the request was in service.
-            self.fail_request(t, object, gateway, FailureReason::Unreachable, cause);
-            return;
-        }
-        let hops = self.routes.distance(host, gateway);
-        let travel = self.transfer(host, gateway, self.scenario.object_size);
-        let delivered = t + SimDuration::from_secs(travel);
-        let latency = (delivered - t0).as_secs();
-        let bytes_hops = (self.scenario.object_size * hops as u64) as f64;
-        self.metrics
-            .record_response(t.as_secs(), delivered.as_secs(), latency, bytes_hops);
-        self.metrics.response_travel.record(travel);
-        self.charge_links(host, gateway, self.scenario.object_size);
-        let (from, to) = (
-            self.node_regions[host.index()].index(),
-            self.node_regions[gateway.index()].index(),
-        );
-        self.metrics.region_matrix[from][to] += bytes_hops;
-        if self.events.tracing {
-            let qd = self.queue.len() as u32;
-            self.events.emit(
-                t.as_secs(),
-                qd,
-                cause,
-                ObsEventKind::RequestServed {
-                    gateway: gateway.index() as u16,
-                    object: object.index() as u32,
-                    host: host.index() as u16,
-                    latency,
-                    hops,
-                },
-            );
-        }
-        if !self.events.observers.is_empty() {
-            let record = RequestRecord {
-                entered: t0.as_secs(),
-                delivered: delivered.as_secs(),
-                gateway: gateway.index() as u16,
-                object: object.index() as u32,
-                host: host.index() as u16,
-                latency,
-                hops,
-            };
-            for obs in &mut self.events.observers {
-                obs.on_request_served(&record);
-            }
-        }
-    }
-
-    fn on_load_sample(&mut self, t: SimTime) {
-        let now = t.as_secs();
-        let mut max = 0.0f64;
-        let mut max_host = 0u16;
-        for (i, host) in self.hosts.iter_mut().enumerate() {
-            if !self.fault_state.host_up(i as u16) {
-                // A crashed host publishes nothing; an infinite report
-                // keeps it off everyone's offload candidate list.
-                self.load_reports[i] = (now, f64::INFINITY);
-                continue;
-            }
-            host.advance(now);
-            // Publish this measurement round's load report.
-            self.load_reports[i] = (now, host.load_upper());
-            if host.measured_load() > max {
-                max = host.measured_load();
-                max_host = i as u16;
-            }
-        }
-        self.metrics.max_load.record(now, max);
-        self.metrics.max_load_host.push((now, max_host, max));
-        for obs in &mut self.events.observers {
-            obs.on_load_sample(now, max);
-        }
-        // Replica census for Table 2 (sampled here rather than at
-        // placement epochs so static runs are covered too).
-        let total: u64 = (0..self.scenario.num_objects)
-            .map(|i| self.redirector.replica_count(ObjectId::new(i)) as u64)
-            .sum();
-        let avg = total as f64 / self.scenario.num_objects as f64;
-        self.metrics.replica_series.push((now, avg));
-        let tracked = &self.hosts[self.scenario.tracked_host as usize];
-        self.metrics.load_estimates.push(LoadEstimateSample {
-            t: now,
-            actual: tracked.measured_load(),
-            upper: tracked.load_upper(),
-            lower: tracked.load_lower(),
-        });
-        let next = t + SimDuration::from_secs(self.scenario.params.measurement_interval);
-        if next.as_secs() <= self.scenario.duration {
-            self.queue.schedule(next, Event::LoadSample);
-        }
-    }
-
-    fn on_placement(&mut self, t: SimTime, node: NodeId) {
-        let now = t.as_secs();
-        let i = node.index();
-        if !self.fault_state.host_up(i as u16) {
-            // A crashed host makes no placement decisions, but its timer
-            // keeps ticking so decisions resume after recovery.
-            let next = t + SimDuration::from_secs(self.scenario.params.placement_period);
-            if next.as_secs() <= self.scenario.duration {
-                self.queue.schedule(next, Event::Placement { host: node });
-            }
-            return;
-        }
-        let alive: Vec<bool> = (0..self.hosts.len())
-            .map(|j| self.fault_state.host_up(j as u16))
-            .collect();
-        // Take the deciding host out of the vector so the environment
-        // can borrow the rest mutably.
-        let mut host = std::mem::replace(
-            &mut self.hosts[i],
-            HostState::new(node, self.scenario.params_of(i)),
-        );
-        let outcome = {
-            let mut env = SimEnv {
-                self_index: i,
-                hosts: &mut self.hosts,
-                redirector: &mut self.redirector,
-                metrics: &mut self.metrics,
-                routes: &self.routes,
-                paths: &self.paths,
-                link_index: &self.link_index,
-                catalog: &self.catalog,
-                load_reports: &self.load_reports,
-                alive: &alive,
-                object_size: self.scenario.object_size,
-                now,
-                events: &mut self.events,
-                queue_depth: self.queue.len() as u32,
-            };
-            run_placement(&mut host, now, &mut env)
-        };
-        if self.events.tracing {
-            // One flight-recorder event per placement decision, carrying
-            // the threshold comparison that triggered it.
-            let qd = self.queue.len() as u32;
-            for d in &outcome.decisions {
-                self.events.emit(
-                    now,
-                    qd,
-                    0,
-                    ObsEventKind::PlacementAction(PlacementActionEvent {
-                        host: i as u16,
-                        object: d.object.index() as u32,
-                        action: d.action.as_str().to_string(),
-                        target: d.target.map(|n| n.index() as u16),
-                        unit_rate: d.unit_rate,
-                        share: d.share,
-                        ratio: d.ratio,
-                        deletion_threshold: d.deletion_threshold,
-                        replication_threshold: d.replication_threshold,
-                    }),
-                );
-            }
-        }
-        let log_before = self.metrics.relocation_log.len();
-        self.metrics.record_placement(now, i as u16, &outcome);
-        if !self.events.observers.is_empty() {
-            for k in log_before..self.metrics.relocation_log.len() {
-                let event = self.metrics.relocation_log[k];
-                for obs in &mut self.events.observers {
-                    obs.on_relocation(&event);
-                }
-            }
-        }
-        self.hosts[i] = host;
-        self.debug_check_invariants();
-        let next = t + SimDuration::from_secs(self.scenario.params.placement_period);
-        if next.as_secs() <= self.scenario.duration {
-            self.queue.schedule(next, Event::Placement { host: node });
-        }
-    }
-
-    /// A provider update (§5): pick a random object, propagate the new
-    /// version asynchronously from the primary copy to every other
-    /// replica, consuming update-propagation bandwidth. If the primary's
-    /// host no longer holds the object (it migrated or was dropped), the
-    /// primary moves to the object's lowest-id replica — "the location of
-    /// the primary copy is tracked by the object's redirector".
-    fn on_provider_update(&mut self, t: SimTime) {
-        let now = t.as_secs();
-        let gap = self.rng.exponential(self.scenario.update_rate);
-        self.queue
-            .schedule(t + SimDuration::from_secs(gap), Event::ProviderUpdate);
-
-        let object = ObjectId::new(self.rng.index(self.scenario.num_objects as usize) as u32);
-        let replicas = self.redirector.replicas(object);
-        debug_assert!(
-            !replicas.is_empty() || !self.scenario.faults.is_empty(),
-            "every object keeps a replica"
-        );
-        if replicas.is_empty() {
-            // Every copy is on a purged host; the re-replication sweep
-            // will restore the object — nothing to propagate to.
-            return;
-        }
-        let mut primary = self.catalog.primary(object);
-        let mut reassigned = false;
-        if !replicas.iter().any(|r| r.host == primary) {
-            // Prefer a live replica as the new primary (they are all
-            // live on fault-free runs, where this picks replicas[0]).
-            primary = replicas
-                .iter()
-                .map(|r| r.host)
-                .find(|h| self.fault_state.host_up(h.index() as u16))
-                .unwrap_or(replicas[0].host);
-            self.catalog.set_primary(object, primary);
-            reassigned = true;
-        }
-        let bytes = self.catalog.object_size();
-        let targets: Vec<NodeId> = replicas
-            .iter()
-            .filter(|r| r.host != primary)
-            .map(|r| r.host)
-            .collect();
-        let bytes_hops: u64 = targets
-            .iter()
-            .map(|&t| bytes * self.routes.distance(primary, t) as u64)
-            .sum();
-        for target in targets {
-            self.charge_links(primary, target, bytes);
-        }
-        self.metrics
-            .record_update(now, bytes_hops as f64, reassigned);
-    }
-
-    /// Applies the `index`-th scheduled fault transition and schedules
-    /// the next one.
-    fn on_fault(&mut self, t: SimTime, index: usize) {
-        if let Some(next) = self.fault_schedule.get(index + 1) {
-            self.queue.schedule(
-                SimTime::from_secs(next.t),
-                Event::Fault { index: index + 1 },
-            );
-        }
-        let transition = self.fault_schedule[index];
-        let now = t.as_secs();
-        let routes_dirty = self.fault_state.apply(transition.kind);
-        self.metrics.faults_injected += 1;
-        if self.events.tracing {
-            let qd = self.queue.len() as u32;
-            self.events.emit(
-                now,
-                qd,
-                0,
-                ObsEventKind::Fault {
-                    desc: transition_desc(transition.kind),
-                },
-            );
-        }
-        for obs in &mut self.events.observers {
-            obs.on_fault(&transition);
-        }
-        match transition.kind {
-            TransitionKind::HostCrash(h) => {
-                let i = h as usize;
-                // Everything queued or in service on the host is lost:
-                // bump the epoch (stale completions fail) and replace
-                // the server with an empty one.
-                self.host_epoch[i] += 1;
-                self.servers[i] = FifoServer::with_capacity(self.scenario.capacity_of(i));
-                self.queue.schedule(
-                    t + SimDuration::from_secs(self.scenario.faults.declare_dead_after()),
-                    Event::DeclareDead {
-                        host: NodeId::new(h),
-                        epoch: self.host_epoch[i],
-                    },
-                );
-                self.refresh_object_health(now);
-            }
-            TransitionKind::HostRecover(h) => {
-                if self.fault_state.host_up(h) {
-                    let i = h as usize;
-                    if self.declared_dead[i] {
-                        // Its replicas were purged while it was away; it
-                        // rejoins as an empty host.
-                        self.declared_dead[i] = false;
-                        let mut fresh = HostState::new(NodeId::new(h), self.scenario.params_of(i));
-                        if let Some(limit) = self.scenario.storage_limit {
-                            fresh.set_storage_limit(limit as usize);
-                        }
-                        self.hosts[i] = fresh;
-                    }
-                    self.refresh_object_health(now);
-                    self.re_replicate(t);
-                }
-            }
-            TransitionKind::LinkFail(..) | TransitionKind::LinkHeal(..) => {
-                if routes_dirty {
-                    self.recompute_routes();
-                }
-            }
-            TransitionKind::LinkDegrade(..) | TransitionKind::LinkRestore(..) => {}
-        }
-    }
-
-    /// The declare-dead timer fired: if the host is still down from the
-    /// same crash, purge its replicas and re-replicate what fell below
-    /// the floor.
-    fn on_declare_dead(&mut self, t: SimTime, host: NodeId, epoch: u32) {
-        let i = host.index();
-        if self.host_epoch[i] != epoch
-            || self.fault_state.host_up(i as u16)
-            || self.declared_dead[i]
-        {
-            return;
-        }
-        self.declared_dead[i] = true;
-        let purged = self.redirector.purge_host(host);
-        if self.events.tracing {
-            // Purging resets the surviving replicas' request counts —
-            // one CountsReset per affected object.
-            let qd = self.queue.len() as u32;
-            for object in purged {
-                self.events.emit(
-                    t.as_secs(),
-                    qd,
-                    0,
-                    ObsEventKind::CountsReset {
-                        object: object.index() as u32,
-                        cause: "purge".to_string(),
-                    },
-                );
-            }
-        }
-        self.refresh_object_health(t.as_secs());
-        self.re_replicate(t);
-    }
-
-    /// Rebuilds routing and the path cache over the currently-up links.
-    fn recompute_routes(&mut self) {
-        let fault_state = &self.fault_state;
-        let routes = RoutingTable::for_topology_masked(&self.scenario.topology, &|a, b| {
-            fault_state.link_up(a.index() as u16, b.index() as u16)
-        });
-        self.routes = routes;
-        let n = self.paths.len();
-        for from in 0..n {
-            for to in 0..n {
-                self.paths[from][to] = self
-                    .routes
-                    .try_path(NodeId::new(from as u16), NodeId::new(to as u16))
-                    .unwrap_or_default();
-            }
-        }
-    }
-
-    /// The object's primary node, standing in for the provider's origin
-    /// server. When the recorded primary is itself down, the designation
-    /// moves to the most central live host. `None` when every host is
-    /// down.
-    fn live_primary(&mut self, object: ObjectId) -> Option<NodeId> {
-        let p = self.catalog.primary(object);
-        if self.fault_state.host_up(p.index() as u16) {
-            return Some(p);
-        }
-        let c = self
-            .routes
-            .nodes_by_centrality()
-            .into_iter()
-            .find(|n| self.fault_state.host_up(n.index() as u16))?;
-        self.catalog.set_primary(object, c);
-        Some(c)
-    }
-
-    /// Re-checks one object's live-replica count against the
-    /// availability and replica-floor trackers, opening or closing the
-    /// corresponding intervals.
-    fn refresh_one(&mut self, now: f64, object: ObjectId) {
-        let i = object.index() as u32;
-        let live = self
-            .redirector
-            .replicas(object)
-            .iter()
-            .filter(|r| self.fault_state.host_up(r.host.index() as u16))
-            .count() as u32;
-        if live == 0 {
-            self.unavailable_since.entry(i).or_insert(now);
-        } else if let Some(since) = self.unavailable_since.remove(&i) {
-            self.metrics.unavailable_object_seconds += now - since;
-        }
-        if live < self.scenario.faults.min_replicas() {
-            self.below_min_since.entry(i).or_insert(now);
-        } else if let Some(since) = self.below_min_since.remove(&i) {
-            self.metrics.restore_time.record(now - since);
-        }
-    }
-
-    /// Full sweep of [`refresh_one`] after a liveness change.
-    fn refresh_object_health(&mut self, now: f64) {
-        if self.scenario.faults.is_empty() {
-            return;
-        }
-        for i in 0..self.scenario.num_objects {
-            self.refresh_one(now, ObjectId::new(i));
-        }
-    }
-
-    /// Restores every object to the replica floor: copies from a live
-    /// replica onto the live host with the most load-report headroom, or
-    /// — when no live copy exists anywhere — re-installs the object at
-    /// its primary (an origin fetch). Runs after a host is declared dead
-    /// and after recoveries.
-    fn re_replicate(&mut self, t: SimTime) {
-        if self.scenario.faults.is_empty() {
-            return;
-        }
-        let now = t.as_secs();
-        let floor = self.scenario.faults.min_replicas();
-        for i in 0..self.scenario.num_objects {
-            let object = ObjectId::new(i);
-            loop {
-                let live: Vec<NodeId> = self
-                    .redirector
-                    .replicas(object)
-                    .iter()
-                    .map(|r| r.host)
-                    .filter(|h| self.fault_state.host_up(h.index() as u16))
-                    .collect();
-                if live.len() as u32 >= floor {
-                    break;
-                }
-                let elapsed = now - self.below_min_since.get(&i).copied().unwrap_or(now);
-                let target = if let Some(&source) = live.first() {
-                    // Copy onto the live host with the most headroom on
-                    // the load-report board (ties broken by node id).
-                    let holders: Vec<NodeId> = self
-                        .redirector
-                        .replicas(object)
-                        .iter()
-                        .map(|r| r.host)
-                        .collect();
-                    let mut cands: Vec<(f64, usize)> = (0..self.hosts.len())
-                        .filter(|&j| self.fault_state.host_up(j as u16))
-                        .filter(|&j| !holders.contains(&NodeId::new(j as u16)))
-                        .map(|j| {
-                            (
-                                self.hosts[j].params().low_watermark - self.load_reports[j].1,
-                                j,
-                            )
-                        })
-                        .collect();
-                    if cands.is_empty() {
-                        break; // fewer live hosts than the floor
-                    }
-                    cands.sort_by(|a, b| {
-                        b.0.partial_cmp(&a.0)
-                            .expect("headroom is never NaN")
-                            .then(a.1.cmp(&b.1))
-                    });
-                    let target = NodeId::new(cands[0].1 as u16);
-                    let hops = self.routes.distance(source, target);
-                    self.metrics
-                        .record_overhead(now, (self.scenario.object_size * hops as u64) as f64);
-                    self.charge_links(source, target, self.scenario.object_size);
-                    target
-                } else {
-                    // Origin fetch: every copy was lost with its hosts.
-                    let Some(p) = self.live_primary(object) else {
-                        break; // the whole platform is down
-                    };
-                    p
-                };
-                self.install(object, target);
-                self.metrics.re_replications += 1;
-                if self.events.tracing {
-                    let qd = self.queue.len() as u32;
-                    self.events.emit(
-                        now,
-                        qd,
-                        0,
-                        ObsEventKind::ReReplication {
-                            object: i,
-                            target: target.index() as u16,
-                            elapsed,
-                        },
-                    );
-                }
-                for obs in &mut self.events.observers {
-                    obs.on_re_replication(now, i, target.index() as u16, elapsed);
-                }
-            }
-            self.refresh_one(now, object);
-        }
-    }
-
     /// Debug-build check of the protocol's replica-set subset invariant:
     /// every replica the redirector knows physically exists on its host.
-    fn debug_check_invariants(&self) {
+    pub(crate) fn debug_check_invariants(&self) {
         if cfg!(debug_assertions) {
             for i in 0..self.scenario.num_objects {
                 let object = ObjectId::new(i);
@@ -1540,142 +623,5 @@ impl Workload for NullWorkload {
 
     fn name(&self) -> &str {
         "replay"
-    }
-}
-
-/// The placement environment the simulator exposes to a deciding host:
-/// all *other* hosts (slot `self_index` holds a placeholder), the
-/// redirector, and overhead accounting.
-struct SimEnv<'a> {
-    self_index: usize,
-    hosts: &'a mut [HostState],
-    redirector: &'a mut Redirector,
-    metrics: &'a mut Metrics,
-    routes: &'a RoutingTable,
-    paths: &'a [Vec<Vec<NodeId>>],
-    link_index: &'a std::collections::HashMap<(u16, u16), usize>,
-    catalog: &'a Catalog,
-    load_reports: &'a [(f64, f64)],
-    /// Host liveness snapshot: crashed hosts accept nothing and are
-    /// skipped during offload-recipient discovery.
-    alive: &'a [bool],
-    object_size: u64,
-    now: f64,
-    /// Flight-recorder sink for replica-set change events (count
-    /// resets) triggered by the placement run.
-    events: &'a mut EventSink,
-    /// Queue depth snapshot at the placement event, stamped onto events
-    /// emitted during it.
-    queue_depth: u32,
-}
-
-impl SimEnv<'_> {
-    /// Emits a `CountsReset` flight-recorder event (replica-set change →
-    /// "request counts are re-initialized to 1", §4.1).
-    fn emit_counts_reset(&mut self, object: ObjectId, cause: &str) {
-        if !self.events.tracing {
-            return;
-        }
-        self.events.emit(
-            self.now,
-            self.queue_depth,
-            0,
-            ObsEventKind::CountsReset {
-                object: object.index() as u32,
-                cause: cause.to_string(),
-            },
-        );
-    }
-}
-
-impl PlacementEnv for SimEnv<'_> {
-    fn create_obj(&mut self, target: NodeId, req: CreateObjRequest) -> CreateObjResponse {
-        assert_ne!(
-            target.index(),
-            self.self_index,
-            "a host never offers an object to itself"
-        );
-        if !self.alive[target.index()] {
-            // A crashed candidate cannot respond to CreateObj.
-            return CreateObjResponse::Refused;
-        }
-        let host = &mut self.hosts[target.index()];
-        let resp = handle_create_obj(host, self.now, &req);
-        if let CreateObjResponse::Accepted { new_copy } = resp {
-            // Notify the redirector *after* the copy exists.
-            self.redirector.notify_created(req.object, target);
-            self.emit_counts_reset(req.object, "created");
-            if new_copy {
-                // The object data crosses the backbone: overhead traffic.
-                let hops = self.routes.distance(req.source, target);
-                self.metrics
-                    .record_overhead(self.now, (self.object_size * hops as u64) as f64);
-                let path = &self.paths[req.source.index()][target.index()];
-                for w in path.windows(2) {
-                    let (a, b) = (w[0].index() as u16, w[1].index() as u16);
-                    let idx = self.link_index[&(a.min(b), a.max(b))];
-                    self.metrics.link_bytes[idx] += self.object_size as f64;
-                }
-            }
-        }
-        resp
-    }
-
-    fn request_drop(&mut self, object: ObjectId, host: NodeId) -> bool {
-        let approved = self.redirector.request_drop(object, host);
-        if approved {
-            self.emit_counts_reset(object, "dropped");
-        }
-        approved
-    }
-
-    fn notify_affinity(&mut self, object: ObjectId, host: NodeId, aff: u32) {
-        self.redirector.notify_affinity(object, host, aff);
-        self.emit_counts_reset(object, "affinity");
-    }
-
-    fn find_offload_recipient(&mut self, requester: NodeId) -> Option<(NodeId, f64)> {
-        // "Hosts periodically exchange load reports, so that each host
-        // knows a few probable candidates": *discovery* reads the
-        // gossiped board (up to one measurement interval stale), but the
-        // paper's recipient "responds to the requesting host with its
-        // load value" — acceptance is a fresh check at the candidate.
-        // Without the fresh check, every overloaded host in an epoch
-        // herds onto the same stale best candidate and offloading
-        // starves. Candidates are ranked by board headroom against their
-        // *own* low watermarks (hosts may be heterogeneous); the first
-        // few are probed.
-        const PROBES: usize = 5;
-        let mut candidates: Vec<(f64, usize)> = self
-            .hosts
-            .iter()
-            .enumerate()
-            .filter(|&(j, _)| j != self.self_index && j != requester.index() && self.alive[j])
-            .filter_map(|(j, host)| {
-                let (_, reported) = self.load_reports[j];
-                let headroom = host.params().low_watermark - reported;
-                (headroom > 0.0).then_some((headroom, j))
-            })
-            .collect();
-        candidates.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite headroom"));
-        for &(_, j) in candidates.iter().take(PROBES) {
-            let host = &mut self.hosts[j];
-            host.advance(self.now);
-            let current = host.load_upper();
-            if current < host.params().low_watermark {
-                return Some((host.node(), current));
-            }
-        }
-        None
-    }
-
-    fn distance(&self, a: NodeId, b: NodeId) -> u32 {
-        self.routes.distance(a, b)
-    }
-
-    fn may_replicate(&self, object: ObjectId) -> bool {
-        self.catalog
-            .kind(object)
-            .may_add_replica(self.redirector.replica_count(object))
     }
 }

@@ -1,0 +1,204 @@
+//! The redirect engine: the per-request decision layer between the
+//! event loop and the [`Redirector`], with a per-(gateway, object)
+//! candidate cache.
+//!
+//! Every redirect must (1) filter the object's replicas down to the
+//! *usable* ones — host up, redirector→host and host→gateway routes
+//! intact — with their hop distances to the gateway, then (2) run the
+//! Fig. 2 decision over that list. Step (2) is inherently per-request
+//! (the winner's request count increments every choice), but step (1)
+//! only changes when the replica set, the routing state, or the fault
+//! state changes. [`RedirectEngine`] caches step (1) per
+//! (gateway, object) slot, keyed on:
+//!
+//! * the object's [`Directory` version](radar_core::Directory::version)
+//!   — bumped on every membership/affinity change, including the
+//!   mid-redirect primary-fallback `install`;
+//! * the [`RoutingView` generation](radar_simnet::RoutingView::generation)
+//!   — bumped on every effective link up/down transition;
+//! * the platform's fault generation — bumped on every fault transition
+//!   (host crashes and recoveries change the `usable` filter without
+//!   touching routing).
+//!
+//! A hit skips the per-replica liveness and path checks, the distance
+//! lookups, and the candidate-vector allocation the uncached path pays
+//! on every request. The decision itself is *never* cached: cached
+//! candidates feed [`Redirector::choose_among`], which runs the same
+//! Fig. 2 arithmetic as the uncached path — decisions are bit-identical
+//! either way.
+
+use radar_core::{ChoiceExplanation, ObjectId, Redirector};
+use radar_simnet::{NodeId, RoutingView};
+
+use crate::faults::FaultState;
+
+/// One cached usable-candidate list with the state versions it was
+/// computed under.
+struct CacheSlot {
+    dir_version: u64,
+    routing_gen: u64,
+    fault_gen: u32,
+    /// `(entry_index, distance)` pairs in replica-set order — exactly
+    /// what the uncached filter would build.
+    candidates: Vec<(u32, u32)>,
+    /// Entry index of the closest candidate `p` (minimum
+    /// `(distance, host)`). Fig. 2's `p` is a pure function of the
+    /// candidate list — unlike `q`, it never depends on request counts —
+    /// so it is computed once per slot fill instead of once per request.
+    /// Unused (zero) when `candidates` is empty.
+    closest: u32,
+}
+
+/// Per-(gateway, object) candidate cache over the Fig. 2 decision rule.
+/// See the module docs for the invalidation contract.
+pub(crate) struct RedirectEngine {
+    /// Flat slot table indexed `object * num_nodes + gateway`.
+    slots: Vec<Option<CacheSlot>>,
+    num_nodes: usize,
+}
+
+impl RedirectEngine {
+    pub(crate) fn new(num_objects: u32, num_nodes: usize) -> Self {
+        let mut slots = Vec::new();
+        slots.resize_with(num_objects as usize * num_nodes, || None);
+        Self { slots, num_nodes }
+    }
+
+    /// Chooses the replica of `object` serving a request entering at
+    /// `gateway`, through redirector node `rnode`. Reuses the cached
+    /// candidate list when every version key matches; rebuilds it (with
+    /// the same filter and distance source as the uncached path)
+    /// otherwise. `explain` requests the Fig. 2 decision snapshot for
+    /// the flight recorder.
+    ///
+    /// Returns `None` when no usable replica exists — the platform then
+    /// runs its primary-fallback path.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn choose(
+        &mut self,
+        object: ObjectId,
+        gateway: NodeId,
+        rnode: NodeId,
+        redirector: &mut Redirector,
+        view: &RoutingView,
+        fault_state: &FaultState,
+        fault_gen: u32,
+        explain: bool,
+    ) -> Option<(NodeId, Option<ChoiceExplanation>)> {
+        let slot = &mut self.slots[object.index() * self.num_nodes + gateway.index()];
+        let dir_version = redirector.directory().version(object);
+        let routing_gen = view.generation();
+        let fresh = matches!(
+            slot,
+            Some(s) if s.dir_version == dir_version
+                && s.routing_gen == routing_gen
+                && s.fault_gen == fault_gen
+        );
+        if !fresh {
+            // A replica is usable when its host is up and traffic can
+            // flow redirector → host and host → gateway (the same
+            // predicate the uncached filter applies). The closest
+            // candidate is identified in the same pass.
+            let mut candidates = Vec::new();
+            let mut closest = 0u32;
+            let mut best = (u32::MAX, NodeId::new(u16::MAX));
+            for (i, e) in redirector.replicas(object).iter().enumerate() {
+                if fault_state.host_up(e.host.index() as u16)
+                    && !view.path(rnode, e.host).is_empty()
+                    && !view.path(e.host, gateway).is_empty()
+                {
+                    let dist = view.distance(e.host, gateway);
+                    candidates.push((i as u32, dist));
+                    if (dist, e.host) < best {
+                        best = (dist, e.host);
+                        closest = i as u32;
+                    }
+                }
+            }
+            *slot = Some(CacheSlot {
+                dir_version,
+                routing_gen,
+                fault_gen,
+                candidates,
+                closest,
+            });
+        }
+        let slot = slot.as_ref().expect("slot filled above");
+        redirector.choose_among(object, &slot.candidates, Some(slot.closest), explain)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radar_simnet::builders;
+
+    fn x() -> ObjectId {
+        ObjectId::new(0)
+    }
+
+    #[test]
+    fn cached_decisions_match_uncached_stream() {
+        let view = RoutingView::new(builders::uunet());
+        let fault_state = FaultState::new(view.topology().len());
+        let mut cached = Redirector::new(1, 2.0);
+        cached.install(x(), NodeId::new(3));
+        cached.install(x(), NodeId::new(40));
+        let mut plain = cached.clone();
+        let mut engine = RedirectEngine::new(1, view.topology().len());
+        let rnode = view.table().centroid();
+        for i in 0..300u16 {
+            let gw = NodeId::new(i % view.topology().len() as u16);
+            let expect = plain.choose_replica_filtered(x(), gw, view.table(), &|_| true);
+            let got = engine
+                .choose(x(), gw, rnode, &mut cached, &view, &fault_state, 0, false)
+                .map(|(h, _)| h);
+            assert_eq!(got, expect, "request {i}");
+        }
+        assert_eq!(cached, plain, "identical bookkeeping after the stream");
+    }
+
+    #[test]
+    fn membership_change_invalidates_the_slot() {
+        let view = RoutingView::new(builders::star(5));
+        let fault_state = FaultState::new(view.topology().len());
+        let mut r = Redirector::new(1, 2.0);
+        r.install(x(), NodeId::new(1));
+        let mut engine = RedirectEngine::new(1, view.topology().len());
+        let gw = NodeId::new(2);
+        let rnode = NodeId::new(0);
+        let first = engine
+            .choose(x(), gw, rnode, &mut r, &view, &fault_state, 0, false)
+            .map(|(h, _)| h);
+        assert_eq!(first, Some(NodeId::new(1)));
+        // A new much-closer replica must be seen immediately.
+        r.notify_created(x(), gw);
+        let second = engine
+            .choose(x(), gw, rnode, &mut r, &view, &fault_state, 0, false)
+            .map(|(h, _)| h);
+        assert_eq!(second, Some(gw), "stale cache would still pick node 1");
+    }
+
+    #[test]
+    fn fault_generation_invalidates_the_slot() {
+        let view = RoutingView::new(builders::star(5));
+        let mut fault_state = FaultState::new(view.topology().len());
+        let mut r = Redirector::new(1, 2.0);
+        r.install(x(), NodeId::new(1));
+        r.install(x(), NodeId::new(3));
+        let mut engine = RedirectEngine::new(1, view.topology().len());
+        let gw = NodeId::new(1);
+        let rnode = NodeId::new(0);
+        let first = engine
+            .choose(x(), gw, rnode, &mut r, &view, &fault_state, 0, false)
+            .map(|(h, _)| h);
+        assert_eq!(first, Some(NodeId::new(1)), "local replica wins");
+        // Crash the local replica's host: with a bumped fault
+        // generation the filter re-runs and only node 3 remains.
+        fault_state.apply(crate::faults::TransitionKind::HostCrash(1));
+        let second = engine
+            .choose(x(), gw, rnode, &mut r, &view, &fault_state, 1, false)
+            .map(|(h, _)| h);
+        assert_eq!(second, Some(NodeId::new(3)));
+    }
+}

@@ -160,7 +160,15 @@ impl RunReport {
             relocation_log: metrics.relocation_log,
             max_load_host: metrics.max_load_host,
             trace: None,
-            redirector_requests: metrics.redirector_requests,
+            // The hot path keeps a flat per-node vector; the report's
+            // sparse map lists only nodes that actually served requests.
+            redirector_requests: metrics
+                .redirector_requests
+                .iter()
+                .enumerate()
+                .filter(|&(_, &count)| count > 0)
+                .map(|(node, &count)| (node as u16, count))
+                .collect(),
             link_traffic: Vec::new(),
             region_matrix: metrics.region_matrix,
             redirect_delay: metrics.redirect_delay.snapshot(),

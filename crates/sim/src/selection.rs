@@ -66,6 +66,16 @@ pub trait SelectionPolicy: Send {
 
     /// Policy name for reports.
     fn name(&self) -> &str;
+
+    /// `true` when the policy's decisions are a pure function of the
+    /// usable candidate set — i.e. it delegates to the redirector's
+    /// Fig. 2 rule — so the platform may route requests through its
+    /// candidate-caching redirect engine instead of this trait. Stateful
+    /// policies (round-robin cursors, randomized picks) must leave this
+    /// `false`.
+    fn supports_candidate_cache(&self) -> bool {
+        false
+    }
 }
 
 /// The paper's request distribution algorithm (Fig. 2), delegating to
@@ -118,6 +128,10 @@ impl SelectionPolicy for RadarSelection {
 
     fn name(&self) -> &str {
         "radar"
+    }
+
+    fn supports_candidate_cache(&self) -> bool {
+        true
     }
 }
 

@@ -1,0 +1,56 @@
+//! The observer fan-out and flight-recorder sequencing shared by every
+//! simulation layer.
+
+use radar_obs::EventKind as ObsEventKind;
+
+use crate::observer::Observer;
+
+/// The platform's observer fan-out plus the flight-recorder sequence
+/// counter. Kept as one separable struct so the placement environment
+/// can emit events while the rest of the simulation is mutably
+/// borrowed.
+pub(crate) struct EventSink {
+    pub(crate) observers: Vec<Box<dyn Observer>>,
+    /// Monotonic flight-recorder sequence. Numbers are 1-based so that
+    /// 0 can double as "no causal parent" in scheduled events.
+    pub(crate) next_seq: u64,
+    /// True when at least one attached observer wants the typed event
+    /// feed; with no recorder attached, emission sites pay one branch.
+    pub(crate) tracing: bool,
+}
+
+impl EventSink {
+    pub(crate) fn new() -> Self {
+        EventSink {
+            observers: Vec::new(),
+            next_seq: 0,
+            tracing: false,
+        }
+    }
+
+    /// Emits one flight-recorder event to every subscribed observer and
+    /// returns its sequence number — or 0 without side effects when
+    /// tracing is off. `cause` is the parent's sequence number (0 for
+    /// none). Callers should guard [`radar_obs::EventKind`]
+    /// construction behind [`tracing`](Self::tracing) so the disabled
+    /// path allocates nothing.
+    pub(crate) fn emit(&mut self, t: f64, queue_depth: u32, cause: u64, kind: ObsEventKind) -> u64 {
+        if !self.tracing {
+            return 0;
+        }
+        self.next_seq += 1;
+        let event = radar_obs::Event {
+            seq: self.next_seq,
+            parent: (cause != 0).then_some(cause),
+            t,
+            queue_depth,
+            kind,
+        };
+        for obs in &mut self.observers {
+            if obs.wants_events() {
+                obs.on_event(&event);
+            }
+        }
+        self.next_seq
+    }
+}

@@ -48,7 +48,9 @@ pub mod builders;
 mod graph;
 mod routing;
 mod spec;
+mod view;
 
 pub use graph::{NodeId, Region, Topology, TopologyBuilder, TopologyError};
 pub use routing::RoutingTable;
 pub use spec::SpecError;
+pub use view::RoutingView;

@@ -33,10 +33,13 @@ use crate::{NodeId, Topology};
 pub struct RoutingTable {
     n: usize,
     /// `dist[d][u]` = hops from `u` to destination `d`.
-    dist: Vec<Vec<u32>>,
+    ///
+    /// Crate-visible so [`crate::RoutingView`] can swap single
+    /// destination rows during incremental rebuilds.
+    pub(crate) dist: Vec<Vec<u32>>,
     /// `next_hop[d][u]` = the neighbor `u` forwards to when sending to
     /// `d`; `u == d` maps to itself.
-    next_hop: Vec<Vec<NodeId>>,
+    pub(crate) next_hop: Vec<Vec<NodeId>>,
     /// Eccentricity-minimal node (lowest id among ties): the paper
     /// co-locates the redirector with "a node whose average distance in
     /// hops to other nodes is minimum".
@@ -72,15 +75,31 @@ impl RoutingTable {
             dist.push(dv);
             next_hop.push(nv);
         }
-        // Centroid: minimal total distance to all other nodes, lowest id
-        // breaking ties. Unreachable pairs saturate so a partitioned
-        // node never wins.
+        let mut table = Self {
+            n,
+            dist,
+            next_hop,
+            centroid: NodeId::new(0),
+            diameter: 0,
+        };
+        table.refresh_metadata();
+        table
+    }
+
+    /// Recomputes the centroid and diameter from the distance matrix —
+    /// called after construction and after an incremental per-destination
+    /// rebuild ([`crate::RoutingView`]) replaces distance rows.
+    ///
+    /// Centroid: minimal total distance to all other nodes, lowest id
+    /// breaking ties. Unreachable pairs saturate so a partitioned node
+    /// never wins. Diameter ignores unreachable pairs.
+    pub(crate) fn refresh_metadata(&mut self) {
         let mut centroid = NodeId::new(0);
         let mut best: u64 = u64::MAX;
-        for u in topology.nodes() {
-            let total: u64 = (0..n)
+        for u in 0..self.n {
+            let total: u64 = (0..self.n)
                 .map(|d| {
-                    let x = dist[d][u.index()];
+                    let x = self.dist[d][u];
                     if x == u32::MAX {
                         u32::MAX as u64
                     } else {
@@ -90,22 +109,17 @@ impl RoutingTable {
                 .sum();
             if total < best {
                 best = total;
-                centroid = u;
+                centroid = NodeId::new(u as u16);
             }
         }
-        let diameter = dist
+        self.centroid = centroid;
+        self.diameter = self
+            .dist
             .iter()
             .flat_map(|row| row.iter().copied())
             .filter(|&x| x != u32::MAX)
             .max()
             .unwrap_or(0);
-        Self {
-            n,
-            dist,
-            next_hop,
-            centroid,
-            diameter,
-        }
     }
 
     /// Sentinel distance for pairs with no surviving path.
@@ -220,7 +234,10 @@ impl RoutingTable {
 /// BFS from destination `d` over links passing the `link_up` mask; for
 /// each node, record distance to `d` and the lowest-id neighbor one hop
 /// closer. Nodes cut off by the mask keep `u32::MAX`.
-fn bfs_to_destination(
+///
+/// Crate-visible so [`crate::RoutingView`] can rebuild single
+/// destinations during incremental link-event updates.
+pub(crate) fn bfs_to_destination(
     topology: &Topology,
     d: NodeId,
     link_up: &dyn Fn(NodeId, NodeId) -> bool,

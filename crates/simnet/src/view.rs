@@ -1,0 +1,294 @@
+//! An incrementally maintained view of routing state: distances, paths,
+//! and link liveness, with a generation counter for downstream caches.
+//!
+//! [`RoutingView`] is the routing layer of the simulator's layered
+//! engine: it owns a [`Topology`], the live [`RoutingTable`] over the
+//! currently-up links, and the materialized preference paths the
+//! protocol consumes. Link up/down transitions are applied with
+//! [`set_link`](RoutingView::set_link), which rebuilds **only the
+//! destinations whose BFS could actually change** instead of re-running
+//! the full O(n³) all-pairs construction.
+//!
+//! # Why the dirty rule is exact
+//!
+//! Routing is one BFS per destination `d` with a deterministic
+//! discovery-order tie-break. For a link event on edge `(a, b)`,
+//! destination `d` needs recomputation **iff the pre-event distances
+//! `dist[d][a]` and `dist[d][b]` differ** (treating two unreachable
+//! endpoints as equal):
+//!
+//! * Every present edge connects nodes whose depths from `d` differ by
+//!   at most one, so equal depths mean depth difference zero.
+//! * BFS enqueues all depth-`k` nodes while processing depth `k-1`,
+//!   before any depth-`k` node is dequeued. When the first endpoint of
+//!   an equal-depth edge is dequeued, the other endpoint is therefore
+//!   already discovered, so scanning that edge is a no-op. Removing or
+//!   adding such an edge removes or adds only no-op scans: the entire
+//!   BFS trace — distances, parent (next-hop) assignments, and queue
+//!   order — is unchanged.
+//! * An edge connecting different depths (or a reachable endpoint to an
+//!   unreachable one) can shorten paths or change the deterministic
+//!   parent assignment; those destinations are rebuilt by re-running
+//!   the same per-destination BFS a from-scratch build uses.
+//!
+//! Dirty destinations are thus recomputed exactly and clean ones are
+//! provably identical, so the incremental view always equals a full
+//! rebuild (property-tested in `tests/routing_view_incremental.rs`).
+
+use std::collections::HashMap;
+
+use crate::routing::bfs_to_destination;
+use crate::{NodeId, RoutingTable, Topology};
+
+/// Incrementally maintained routing state over a [`Topology`] with
+/// per-link liveness, materialized paths, and a generation counter.
+///
+/// # Examples
+///
+/// ```
+/// use radar_simnet::{builders, NodeId, RoutingView};
+///
+/// let mut view = RoutingView::new(builders::ring(4));
+/// let (a, b) = (NodeId::new(0), NodeId::new(1));
+/// assert_eq!(view.distance(a, b), 1);
+/// let g0 = view.generation();
+/// view.set_link(a, b, false);
+/// assert_eq!(view.distance(a, b), 3); // the long way around
+/// assert!(view.generation() > g0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RoutingView {
+    topology: Topology,
+    table: RoutingTable,
+    /// `paths[d][u]` = materialized path from `u` to destination `d`
+    /// (empty when unreachable; `[u]` for `u == d`).
+    paths: Vec<Vec<Vec<NodeId>>>,
+    /// Liveness per link id (parallel to `topology.links()`).
+    link_up: Vec<bool>,
+    /// Link id for each normalized `(min, max)` endpoint pair.
+    link_index: HashMap<(u16, u16), usize>,
+    /// Bumped on every effective link transition; caches keyed on the
+    /// generation stay valid exactly as long as routing is unchanged.
+    generation: u64,
+}
+
+impl RoutingView {
+    /// Builds the view over `topology` with every link up.
+    pub fn new(topology: Topology) -> Self {
+        let table = topology.routes();
+        let n = topology.len();
+        let mut paths = Vec::with_capacity(n);
+        for d in topology.nodes() {
+            let mut row = Vec::with_capacity(n);
+            for u in topology.nodes() {
+                row.push(table.path(u, d));
+            }
+            paths.push(row);
+        }
+        let link_index = topology
+            .links()
+            .iter()
+            .enumerate()
+            .map(|(i, &(a, b))| ((a.index() as u16, b.index() as u16), i))
+            .collect();
+        Self {
+            link_up: vec![true; topology.links().len()],
+            topology,
+            table,
+            paths,
+            link_index,
+            generation: 0,
+        }
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The live routing table over the currently-up links.
+    pub fn table(&self) -> &RoutingTable {
+        &self.table
+    }
+
+    /// Monotonic counter, bumped whenever a link transition changes the
+    /// routing state. Equal generations guarantee identical distances,
+    /// paths, and reachability.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Hop distance between two nodes over the currently-up links
+    /// ([`RoutingTable::UNREACHABLE`] when partitioned).
+    pub fn distance(&self, from: NodeId, to: NodeId) -> u32 {
+        self.table.distance(from, to)
+    }
+
+    /// `true` when a path currently exists between the two nodes.
+    pub fn reachable(&self, from: NodeId, to: NodeId) -> bool {
+        self.table.reachable(from, to)
+    }
+
+    /// The materialized path from `from` to `to` (the paper's preference
+    /// path), or an empty slice when unreachable. No allocation — the
+    /// paths are kept materialized and patched per destination on link
+    /// events.
+    pub fn path(&self, from: NodeId, to: NodeId) -> &[NodeId] {
+        &self.paths[to.index()][from.index()]
+    }
+
+    /// Current liveness of the link between `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no such link exists in the topology.
+    pub fn link_is_up(&self, a: NodeId, b: NodeId) -> bool {
+        self.link_up[self.link_id(a, b).expect("unknown link")]
+    }
+
+    /// The dense link id of the `a`–`b` link (its index in
+    /// [`Topology::links`]), or `None` when the nodes are not adjacent.
+    pub fn link_id(&self, a: NodeId, b: NodeId) -> Option<usize> {
+        let (x, y) = (a.index() as u16, b.index() as u16);
+        self.link_index.get(&(x.min(y), x.max(y))).copied()
+    }
+
+    /// Applies a link up/down transition and incrementally rebuilds the
+    /// affected destinations (see the module docs for why the dirty set
+    /// is exact). Returns `true` when the transition changed anything
+    /// (and hence bumped [`generation`](Self::generation)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no `a`–`b` link exists in the topology.
+    pub fn set_link(&mut self, a: NodeId, b: NodeId, up: bool) -> bool {
+        let id = self.link_id(a, b).expect("unknown link");
+        if self.link_up[id] == up {
+            return false;
+        }
+        self.link_up[id] = up;
+        self.generation += 1;
+
+        let RoutingView {
+            ref topology,
+            ref link_up,
+            ref link_index,
+            ref mut table,
+            ref mut paths,
+            ..
+        } = *self;
+        let mask = |x: NodeId, y: NodeId| {
+            let (i, j) = (x.index() as u16, y.index() as u16);
+            link_up[link_index[&(i.min(j), i.max(j))]]
+        };
+        for (d, dest_paths) in paths.iter_mut().enumerate() {
+            // Pre-event depths: `table.dist` still holds the old BFS for
+            // this destination at this point.
+            let da = table.dist[d][a.index()];
+            let db = table.dist[d][b.index()];
+            if da == db {
+                continue;
+            }
+            let (dv, nv) = bfs_to_destination(topology, NodeId::new(d as u16), &mask);
+            table.dist[d] = dv;
+            table.next_hop[d] = nv;
+            let dest = NodeId::new(d as u16);
+            for (u, path) in dest_paths.iter_mut().enumerate() {
+                *path = table
+                    .try_path(NodeId::new(u as u16), dest)
+                    .unwrap_or_default();
+            }
+        }
+        table.refresh_metadata();
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+
+    fn node(i: u16) -> NodeId {
+        NodeId::new(i)
+    }
+
+    /// Full rebuild over the view's current link state, for equivalence
+    /// checks.
+    fn scratch(view: &RoutingView) -> RoutingTable {
+        RoutingTable::for_topology_masked(view.topology(), &|a, b| view.link_is_up(a, b))
+    }
+
+    #[test]
+    fn fresh_view_matches_plain_routes() {
+        let topo = builders::uunet();
+        let view = RoutingView::new(topo.clone());
+        assert_eq!(*view.table(), topo.routes());
+        assert_eq!(view.generation(), 0);
+        for a in topo.nodes() {
+            for b in topo.nodes() {
+                assert_eq!(view.path(a, b), topo.routes().path(a, b).as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn link_down_reroutes_and_bumps_generation() {
+        let mut view = RoutingView::new(builders::ring(4));
+        assert!(view.set_link(node(0), node(1), false));
+        assert_eq!(view.generation(), 1);
+        assert_eq!(view.distance(node(0), node(1)), 3);
+        assert_eq!(
+            view.path(node(0), node(1)),
+            &[node(0), node(3), node(2), node(1)]
+        );
+        assert_eq!(*view.table(), scratch(&view));
+    }
+
+    #[test]
+    fn redundant_transition_is_a_no_op() {
+        let mut view = RoutingView::new(builders::ring(4));
+        assert!(!view.set_link(node(0), node(1), true), "already up");
+        assert_eq!(view.generation(), 0);
+        assert!(view.set_link(node(0), node(1), false));
+        assert!(!view.set_link(node(0), node(1), false), "already down");
+        assert_eq!(view.generation(), 1);
+    }
+
+    #[test]
+    fn partition_reported_unreachable_and_heals() {
+        // Line 0-1-2: killing 1-2 strands node 2.
+        let mut view = RoutingView::new(builders::line(3));
+        view.set_link(node(1), node(2), false);
+        assert!(!view.reachable(node(0), node(2)));
+        assert!(view.path(node(0), node(2)).is_empty());
+        assert_eq!(*view.table(), scratch(&view));
+        view.set_link(node(1), node(2), true);
+        assert!(view.reachable(node(0), node(2)));
+        assert_eq!(view.path(node(0), node(2)), &[node(0), node(1), node(2)]);
+        assert_eq!(
+            *view.table(),
+            RoutingView::new(builders::line(3)).table().clone()
+        );
+    }
+
+    #[test]
+    fn metadata_tracks_the_masked_rebuild() {
+        let mut view = RoutingView::new(builders::uunet());
+        view.set_link(node(0), node(1), false);
+        let full = scratch(&view);
+        assert_eq!(view.table().centroid(), full.centroid());
+        assert_eq!(view.table().diameter(), full.diameter());
+    }
+
+    #[test]
+    fn link_id_matches_topology_order() {
+        let topo = builders::uunet();
+        let view = RoutingView::new(topo.clone());
+        for (i, &(a, b)) in topo.links().iter().enumerate() {
+            assert_eq!(view.link_id(a, b), Some(i));
+            assert_eq!(view.link_id(b, a), Some(i), "lookup is symmetric");
+        }
+        assert_eq!(view.link_id(node(0), node(0)), None);
+    }
+}

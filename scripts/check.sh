@@ -15,6 +15,8 @@ echo "== examples build =="
 cargo build --release --examples
 echo "== benches compile and self-test =="
 cargo bench --workspace -- --test
+echo "== loop-profile baseline (BENCH_loop.json) =="
+cargo bench -q -p radar-bench --bench loop_profile
 echo "== golden event-log regression diff =="
 ./scripts/golden-diff.sh
 echo "ALL CHECKS PASSED"
