@@ -1,0 +1,131 @@
+//! End-to-end throughput baseline and regression gate
+//! (`BENCH_throughput.json`).
+//!
+//! Runs the simulator on the fixed loop-profile scenario (seed 42) with
+//! the flight recorder attached — the configuration whose hot paths the
+//! allocation-free work targets — and reports two whole-run numbers:
+//!
+//! * **events/sec** — flight-recorder events emitted per wall-clock
+//!   second, best of the repetitions (a throughput proxy covering the
+//!   entire event loop plus the tracing pipeline);
+//! * **allocations/event** — allocator calls per emitted event, counted
+//!   by [`radar_bench::timing::CountingAlloc`] (deterministic for a
+//!   fixed seed, so it gates exactly).
+//!
+//! Before overwriting the committed baseline, the previous numbers are
+//! read back and the run **fails** (exit 1) when events/sec regressed
+//! by more than 10% or allocations/event grew by more than 10% — the
+//! regression gate `scripts/check.sh` and CI rely on.
+//!
+//! With `--test`, a miniature run executes once as a smoke test and
+//! nothing is written or gated.
+
+use std::time::{Duration, Instant};
+
+use radar_bench::timing::{
+    throughput_baseline_json, throughput_gate, CountingAlloc, ThroughputRow,
+};
+use radar_sim::obs::{Recorder, SharedRecorder};
+use radar_sim::{Scenario, Simulation};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Fixed seed shared by every baseline run (same as the golden log).
+const SEED: u64 = 42;
+/// Same run shape as the `loop_profile` baseline, so the two documents
+/// describe one scenario.
+const OBJECTS: u32 = 64;
+const RATE: f64 = 0.5;
+const DURATION: f64 = 600.0;
+const REPS: usize = 5;
+/// Recorder ring for the traced run: small enough to reach the evicting
+/// (steady-state) regime early, as a long-running deployment would.
+const RING: usize = 4_096;
+/// Tolerated regression before the gate fails, as a fraction.
+const TOLERANCE: f64 = 0.10;
+
+/// One traced run: returns events emitted, wall time, and allocator
+/// calls over the run.
+fn traced_run(objects: u32, rate: f64, duration: f64) -> (u64, Duration, u64) {
+    let scenario = Scenario::builder()
+        .num_objects(objects)
+        .node_request_rate(rate)
+        .duration(duration)
+        .seed(SEED)
+        .build()
+        .expect("valid scenario");
+    let workload = radar_bench::make_workload("zipf", objects, SEED);
+    let recorder = SharedRecorder::from_recorder(Recorder::new(RING));
+    let mut sim = Simulation::new(scenario, workload);
+    sim.attach_observer(Box::new(recorder.clone()));
+    let allocs_before = CountingAlloc::allocations();
+    let start = Instant::now();
+    let _ = sim.run();
+    let wall = start.elapsed();
+    let allocs = CountingAlloc::allocations() - allocs_before;
+    let events = recorder.with(|r| r.len() as u64 + r.evicted());
+    (events, wall, allocs)
+}
+
+fn main() {
+    let test_only = std::env::args().any(|a| a == "--test");
+    if test_only {
+        let (events, _, allocs) = traced_run(16, 0.05, 60.0);
+        assert!(events > 0, "traced run emitted no events");
+        assert!(allocs > 0, "counting allocator observed nothing");
+        println!("{:<44} ok (smoke)", "throughput/baseline");
+        return;
+    }
+
+    // The run is deterministic per seed: events and allocations are
+    // identical across repetitions, only wall time varies. Use the
+    // median wall time — unlike the minimum, it doesn't enshrine a
+    // one-off fast outlier as a baseline later runs can't reproduce.
+    let mut events = 0u64;
+    let mut allocs = u64::MAX;
+    let mut walls = Vec::with_capacity(REPS);
+    for _ in 0..REPS {
+        let (e, wall, a) = traced_run(OBJECTS, RATE, DURATION);
+        events = e;
+        allocs = allocs.min(a);
+        walls.push(wall);
+    }
+    walls.sort();
+    let median = walls[REPS / 2];
+    let row = ThroughputRow {
+        events,
+        events_per_sec: events as f64 / median.as_secs_f64(),
+        allocations: allocs,
+        allocations_per_event: allocs as f64 / events as f64,
+    };
+
+    let config = [
+        ("objects", OBJECTS.to_string()),
+        ("rate", format!("{RATE:.2}")),
+        ("duration", format!("{DURATION:.1}")),
+        ("seed", SEED.to_string()),
+        ("ring", RING.to_string()),
+        ("repetitions", REPS.to_string()),
+    ];
+    let json = throughput_baseline_json(&config, &row);
+
+    // CARGO_MANIFEST_DIR is crates/bench; the baseline lives at the
+    // workspace root next to BENCH_loop.json.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_throughput.json");
+    let verdict = match std::fs::read_to_string(&path) {
+        Ok(previous) => throughput_gate(&previous, &row, TOLERANCE),
+        Err(_) => Ok(()), // first baseline: nothing to gate against
+    };
+    if verdict.is_ok() {
+        std::fs::write(&path, &json).expect("write BENCH_throughput.json");
+        println!("wrote {}", path.display());
+    }
+    print!("{json}");
+    if let Err(msg) = verdict {
+        eprintln!("FAIL: {msg}");
+        std::process::exit(1);
+    }
+}

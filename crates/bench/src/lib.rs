@@ -30,11 +30,22 @@
 //! them at [`ExpConfig::tiny`] scale, the binary at [`ExpConfig::full`]
 //! (the paper's Table 1 scale) or [`ExpConfig::quick`].
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the counting allocator in [`timing`] is
+// the workspace's one sanctioned `unsafe` item (a `GlobalAlloc` impl
+// must be `unsafe`), scoped by an explicit `allow` at the impl.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;
 pub mod timing;
+
+/// Run the library's own tests under the counting allocator so the
+/// allocation-budget tests in [`timing`] observe real allocator
+/// traffic. Delegates to the system allocator, so every other test is
+/// unaffected.
+#[cfg(test)]
+#[global_allocator]
+static TEST_ALLOC: timing::CountingAlloc = timing::CountingAlloc;
 
 use std::fmt::Write as _;
 use std::path::PathBuf;

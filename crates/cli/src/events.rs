@@ -639,7 +639,7 @@ mod tests {
                     object: 7,
                     gateway: 1,
                     chosen: 4,
-                    branch: "closest".into(),
+                    branch: radar_obs::DecisionBranch::Closest,
                     constant: 2.0,
                     closest: Some(4),
                     least: Some(5),

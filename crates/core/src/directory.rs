@@ -79,9 +79,17 @@ pub struct Directory {
     /// Objects touched by the active batch (unsorted, may repeat);
     /// `None` when updates apply immediately.
     batch: Option<Vec<ObjectId>>,
+    /// Retired batch buffer, reused by the next `begin_batch` so
+    /// steady-state epochs allocate nothing.
+    batch_spare: Vec<ObjectId>,
     /// Total object-level count resets applied, for tests asserting the
     /// exactly-once batching contract.
     resets_applied: u64,
+    /// Running count of physical replicas across all objects (one per
+    /// `(object, host)` entry, regardless of affinity). Maintained
+    /// incrementally so platform-wide censuses never rescan every
+    /// object's set.
+    total_replicas: u64,
 }
 
 impl Directory {
@@ -92,7 +100,9 @@ impl Directory {
             versions: vec![0; num_objects as usize],
             notifications: 0,
             batch: None,
+            batch_spare: Vec::new(),
             resets_applied: 0,
+            total_replicas: 0,
         }
     }
 
@@ -113,6 +123,13 @@ impl Directory {
     /// Number of distinct hosts holding `object`.
     pub fn replica_count(&self, object: ObjectId) -> usize {
         self.sets[object.index()].entries.len()
+    }
+
+    /// Total physical replicas across every object — the platform-wide
+    /// census `Σ replica_count(o)`, maintained incrementally on every
+    /// create / drop / purge so callers never rescan all objects.
+    pub fn total_replicas(&self) -> u64 {
+        self.total_replicas
     }
 
     /// Sum of affinities across all replicas of `object` — the number of
@@ -154,7 +171,7 @@ impl Directory {
     /// Panics if a batch is already active (epochs never nest).
     pub fn begin_batch(&mut self) {
         assert!(self.batch.is_none(), "placement-epoch batches never nest");
-        self.batch = Some(Vec::new());
+        self.batch = Some(std::mem::take(&mut self.batch_spare));
     }
 
     /// `true` while a placement-epoch batch is active.
@@ -178,7 +195,10 @@ impl Directory {
             self.sets[object.index()].reset_counts();
             self.resets_applied += 1;
         }
-        touched.len()
+        let n = touched.len();
+        touched.clear();
+        self.batch_spare = touched;
+        n
     }
 
     /// Routes one object's count reset: immediate outside a batch,
@@ -212,6 +232,7 @@ impl Directory {
                     aff: 1,
                 });
                 set.entries.sort_unstable_by_key(|e| e.host);
+                self.total_replicas += 1;
             }
         }
     }
@@ -238,6 +259,7 @@ impl Directory {
                     aff: 1,
                 });
                 set.entries.sort_unstable_by_key(|e| e.host);
+                self.total_replicas += 1;
             }
         }
         self.touch(object);
@@ -289,6 +311,7 @@ impl Directory {
         self.notifications += 1;
         self.versions[object.index()] += 1;
         set.entries.remove(i);
+        self.total_replicas -= 1;
         self.touch(object);
         true
     }
@@ -304,6 +327,7 @@ impl Directory {
         for (i, set) in self.sets.iter_mut().enumerate() {
             if let Some(pos) = set.find(host) {
                 set.entries.remove(pos);
+                self.total_replicas -= 1;
                 self.versions[i] += 1;
                 self.notifications += 1;
                 affected.push(ObjectId::new(i as u32));
@@ -445,6 +469,63 @@ mod tests {
         assert_eq!(affected, vec![x(), ObjectId::new(1)]);
         assert_eq!(d.replicas(x())[0].rcnt, 1, "survivors reset immediately");
         assert_eq!(d.replica_count(ObjectId::new(1)), 0, "last replica purged");
+    }
+
+    #[test]
+    fn total_replica_counter_matches_per_object_sum() {
+        // Randomized create/drop/purge/batch sequences: after every
+        // mutation the incremental census equals the per-object rescan
+        // it replaces.
+        use radar_simcore::SimRng;
+        let num_objects = 12u32;
+        let num_hosts = 6u16;
+        let check = |d: &Directory| {
+            let rescan: u64 = (0..num_objects)
+                .map(|i| d.replica_count(ObjectId::new(i)) as u64)
+                .sum();
+            assert_eq!(d.total_replicas(), rescan);
+        };
+        for seed in 0..4u64 {
+            let mut rng = SimRng::seed_from(0xD1CE_0000 + seed);
+            let mut d = Directory::new(num_objects);
+            for i in 0..num_objects {
+                d.install(ObjectId::new(i), node(rng.index(num_hosts as usize) as u16));
+            }
+            check(&d);
+            for step in 0..400 {
+                let object = ObjectId::new(rng.index(num_objects as usize) as u32);
+                let host = node(rng.index(num_hosts as usize) as u16);
+                match rng.index(5) {
+                    0 => d.install(object, host),
+                    1 => d.notify_created(object, host),
+                    2 => {
+                        // Drops may be refused (unknown replica / last
+                        // copy); the counter must be untouched then.
+                        let _ = d.request_drop(object, host);
+                    }
+                    3 => {
+                        let purged = d.purge_host(host);
+                        // Re-seed purged-empty objects so the run keeps
+                        // exercising drops.
+                        for object in purged {
+                            if d.replica_count(object) == 0 {
+                                d.install(object, host);
+                            }
+                        }
+                    }
+                    _ => {
+                        d.begin_batch();
+                        d.notify_created(object, host);
+                        let victim = node(rng.index(num_hosts as usize) as u16);
+                        let _ = d.request_drop(object, victim);
+                        check(&d);
+                        d.commit_batch();
+                    }
+                }
+                check(&d);
+                let _ = step;
+            }
+        }
     }
 
     #[test]

@@ -16,8 +16,12 @@ pub struct ObjectState {
     aff: u32,
     /// `cnt(p, x_s)`: how many requests for this object had node `p` on
     /// their preference path since the last placement run. The own node's
-    /// entry is the total access count `cnt(x_s)`.
-    access_counts: BTreeMap<NodeId, u64>,
+    /// entry is the total access count `cnt(x_s)`. A flat vector beats a
+    /// tree map here: the set of path members seen in one window is
+    /// small, increments are linear probes over contiguous memory, and
+    /// the per-epoch reset keeps the capacity instead of freeing nodes.
+    /// Entries are in first-seen order; no consumer depends on order.
+    access_counts: Vec<(NodeId, u64)>,
     /// Requests for this object serviced in the current (incomplete)
     /// measurement window.
     window_serviced: u64,
@@ -47,12 +51,17 @@ impl ObjectState {
 
     /// Access count of candidate `p` since the last placement run.
     pub fn count(&self, p: NodeId) -> u64 {
-        self.access_counts.get(&p).copied().unwrap_or(0)
+        self.access_counts
+            .iter()
+            .find(|&&(q, _)| q == p)
+            .map_or(0, |&(_, c)| c)
     }
 
-    /// Iterates `(candidate, count)` pairs in ascending node order.
+    /// Iterates `(candidate, count)` pairs in first-seen order. Every
+    /// consumer either folds over the counts or re-sorts by its own key,
+    /// so the iteration order is not observable in protocol decisions.
     pub fn counts(&self) -> impl Iterator<Item = (NodeId, u64)> + '_ {
-        self.access_counts.iter().map(|(&p, &c)| (p, c))
+        self.access_counts.iter().copied()
     }
 
     /// When this replica was last acquired via `CreateObj` (0 for
@@ -188,6 +197,13 @@ impl HostState {
         self.objects.keys().copied().collect()
     }
 
+    /// Snapshots the hosted object ids (ascending) into a caller-owned
+    /// buffer, so hot placement paths reuse one allocation across runs.
+    pub fn collect_object_ids(&self, out: &mut Vec<ObjectId>) {
+        out.clear();
+        out.extend(self.objects.keys().copied());
+    }
+
     // ---- measurement ----------------------------------------------------
 
     /// Rolls the measurement clock forward to `now`, completing any
@@ -218,7 +234,10 @@ impl HostState {
     pub fn record_access(&mut self, object: ObjectId, preference_path: &[NodeId]) {
         if let Some(obj) = self.objects.get_mut(&object) {
             for &p in preference_path {
-                *obj.access_counts.entry(p).or_insert(0) += 1;
+                match obj.access_counts.iter_mut().find(|&&mut (q, _)| q == p) {
+                    Some(&mut (_, ref mut c)) => *c += 1,
+                    None => obj.access_counts.push((p, 1)),
+                }
             }
         }
     }
@@ -238,6 +257,9 @@ impl HostState {
     /// algorithm").
     pub fn reset_access_counts(&mut self) {
         for obj in self.objects.values_mut() {
+            // `Vec::clear` keeps the capacity: the next window's
+            // `record_access` refills in place, so the per-epoch
+            // reset/refill cycle performs no heap traffic.
             obj.access_counts.clear();
         }
     }

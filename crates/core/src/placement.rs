@@ -70,6 +70,25 @@ pub trait PlacementEnv {
     fn may_replicate(&self, object: ObjectId) -> bool;
 }
 
+/// Reusable working memory for [`run_placement_into`]: every buffer the
+/// placement algorithms need, owned by the caller so a steady-state
+/// epoch performs no heap allocation once the buffers reached their
+/// high-water capacity.
+#[derive(Debug, Clone, Default)]
+pub struct PlacementScratch {
+    /// Snapshot of the host's object ids (the host table is mutated
+    /// while iterating).
+    object_ids: Vec<ObjectId>,
+    /// Qualified-candidate buffer for the geo phases:
+    /// `(hop distance from the deciding host, candidate, share)`.
+    candidates: Vec<(u32, NodeId, f64)>,
+    /// Offload ordering buffer `(object, foreign share)`.
+    offload_objects: Vec<(ObjectId, f64)>,
+    /// Objects the geo phase relocated this run (sorted; the offloader
+    /// must not re-move them).
+    moved: Vec<ObjectId>,
+}
+
 /// What a placement run did — returned by [`run_placement`] for metrics
 /// and tests.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -162,6 +181,19 @@ impl PlacementOutcome {
             + self.offload_migrations.len()
             + self.offload_replications.len()
     }
+
+    /// Empties every list while keeping their capacity, so one outcome
+    /// value can be reused across placement epochs allocation-free.
+    pub fn clear(&mut self) {
+        self.offloading_mode = false;
+        self.affinity_reductions.clear();
+        self.drops.clear();
+        self.geo_migrations.clear();
+        self.geo_replications.clear();
+        self.offload_migrations.clear();
+        self.offload_replications.clear();
+        self.decisions.clear();
+    }
 }
 
 /// Result of the `ReduceAffinity` procedure (Fig. 3).
@@ -245,15 +277,36 @@ pub fn handle_create_obj(
 ///
 /// Returns a [`PlacementOutcome`] describing every action taken. All
 /// per-candidate access counts are reset at the end of the run.
+///
+/// Convenience wrapper over [`run_placement_into`] that allocates fresh
+/// working memory; hot callers (the simulator's placement handler) hold
+/// a [`PlacementScratch`] + [`PlacementOutcome`] and reuse them instead.
 pub fn run_placement(
     host: &mut HostState,
     now: f64,
     env: &mut dyn PlacementEnv,
 ) -> PlacementOutcome {
+    let mut scratch = PlacementScratch::default();
+    let mut out = PlacementOutcome::default();
+    run_placement_into(host, now, env, &mut scratch, &mut out);
+    out
+}
+
+/// [`run_placement`] with caller-owned working memory: `out` is cleared
+/// and refilled, and every intermediate list lives in `scratch`, so a
+/// steady-state epoch allocates nothing once the buffers have grown to
+/// their high-water capacity.
+pub fn run_placement_into(
+    host: &mut HostState,
+    now: f64,
+    env: &mut dyn PlacementEnv,
+    scratch: &mut PlacementScratch,
+    out: &mut PlacementOutcome,
+) {
+    out.clear();
     host.advance(now);
     let params = *host.params();
     let s = host.node();
-    let mut out = PlacementOutcome::default();
 
     // Mode transitions, using the lower-limit load estimate (§2.1: "the
     // host decides it needs to offload based on a lower-limit estimate").
@@ -266,11 +319,16 @@ pub fn run_placement(
     }
     out.offloading_mode = host.is_offloading();
 
-    for x in host.object_ids() {
-        let (aff, cnt_s, unit_load, acquired_at) = {
-            let o = host.object(x).expect("object_ids() returns hosted objects");
-            (o.aff(), o.count(s), o.unit_load(), o.acquired_at())
-        };
+    host.collect_object_ids(&mut scratch.object_ids);
+    for i in 0..scratch.object_ids.len() {
+        let x = scratch.object_ids[i];
+        // One map lookup per object: the borrow is reused by the geo-
+        // migration candidate scan below (it ends before the first
+        // `&mut host` use, so the deletion/migration mutations borrow-
+        // check against a fresh `host`).
+        let o = host.object(x).expect("object_ids() returns hosted objects");
+        let (aff, cnt_s, unit_load, acquired_at) =
+            (o.aff(), o.count(s), o.unit_load(), o.acquired_at());
         // A replica acquired since the last run has only partial-window
         // access counts; judging it now would re-create the
         // replicate/delete vicious cycle. Defer to the next run.
@@ -310,8 +368,15 @@ pub fn run_placement(
         //    farthest candidate first.
         let mut migrated = false;
         if cnt_s > 0 {
-            let candidates = qualified_candidates(host, x, s, cnt_s, params.migration_ratio, env);
-            for (p, share) in candidates {
+            qualified_candidates(
+                o,
+                s,
+                cnt_s,
+                params.migration_ratio,
+                env,
+                &mut scratch.candidates,
+            );
+            for &(_, p, share) in &scratch.candidates {
                 let req = CreateObjRequest {
                     kind: RelocationKind::Migrate,
                     object: x,
@@ -345,8 +410,17 @@ pub fn run_placement(
 
         // 3. Geo-replication: hot objects (> m) that were not migrated.
         if !migrated && unit_rate > params.replication_threshold && env.may_replicate(x) {
-            let candidates = qualified_candidates(host, x, s, cnt_s, params.replication_ratio, env);
-            for (p, share) in candidates {
+            // Fresh borrow: a migration attempt may have mutated `host`.
+            let o = host.object(x).expect("object survives a refused migration");
+            qualified_candidates(
+                o,
+                s,
+                cnt_s,
+                params.replication_ratio,
+                env,
+                &mut scratch.candidates,
+            );
+            for &(_, p, share) in &scratch.candidates {
                 let req = CreateObjRequest {
                     kind: RelocationKind::Replicate,
                     object: x,
@@ -381,43 +455,45 @@ pub fn run_placement(
     //    moved": offloading proceeds whenever the host remains in
     //    offloading mode, skipping objects the geo phase just relocated.
     if host.is_offloading() {
-        let moved: std::collections::BTreeSet<ObjectId> = out
-            .geo_migrations
-            .iter()
-            .chain(&out.geo_replications)
-            .map(|&(x, _)| x)
-            .collect();
-        offload(host, now, env, &mut out, &moved);
+        scratch.moved.clear();
+        scratch.moved.extend(
+            out.geo_migrations
+                .iter()
+                .chain(&out.geo_replications)
+                .map(|&(x, _)| x),
+        );
+        scratch.moved.sort_unstable();
+        offload(host, now, env, out, scratch);
     }
 
     host.reset_access_counts();
     host.mark_placement_run(now);
-    out
 }
 
-/// Candidates `p ≠ s` whose access-count share exceeds `ratio` (returned
-/// with that share, for the decision record), ordered farthest-from-`s`
-/// first (the paper's responsiveness heuristic: "s attempts to place the
-/// replica on the farthest among all qualified candidates"), with lowest
-/// node id breaking distance ties.
+/// Candidates `p ≠ s` whose access-count share exceeds `ratio` (written
+/// into `out` with that share, for the decision record), ordered
+/// farthest-from-`s` first (the paper's responsiveness heuristic: "s
+/// attempts to place the replica on the farthest among all qualified
+/// candidates"), with lowest node id breaking distance ties. The hop
+/// distance is computed once per candidate while filtering and carried
+/// in the buffer, so the sort needs no cached-key side allocation and
+/// no `env.distance` virtual calls per comparison.
 fn qualified_candidates(
-    host: &HostState,
-    object: ObjectId,
+    o: &crate::ObjectState,
     s: NodeId,
     cnt_s: u64,
     ratio: f64,
     env: &dyn PlacementEnv,
-) -> Vec<(NodeId, f64)> {
-    let o = host.object(object).expect("candidates of hosted object");
-    let mut candidates: Vec<(NodeId, f64)> = o
-        .counts()
-        .filter_map(|(p, c)| {
-            let share = c as f64 / cnt_s as f64;
-            (p != s && share > ratio).then_some((p, share))
-        })
-        .collect();
-    candidates.sort_by_key(|&(p, _)| (std::cmp::Reverse(env.distance(s, p)), p));
-    candidates
+    out: &mut Vec<(u32, NodeId, f64)>,
+) {
+    out.clear();
+    out.extend(o.counts().filter_map(|(p, c)| {
+        let share = c as f64 / cnt_s as f64;
+        (p != s && share > ratio).then(|| (env.distance(s, p), p, share))
+    }));
+    // Unstable sort is safe: (distance, id) is unique per candidate, so
+    // the order is total and identical to a stable sort's.
+    out.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
 }
 
 /// `Offload()` (paper Fig. 5): shed objects in bulk to one under-loaded
@@ -429,7 +505,7 @@ fn offload(
     now: f64,
     env: &mut dyn PlacementEnv,
     out: &mut PlacementOutcome,
-    skip: &std::collections::BTreeSet<ObjectId>,
+    scratch: &mut PlacementScratch,
 ) {
     let Some((recipient, mut recipient_load)) = env.find_offload_recipient(host.node()) else {
         return;
@@ -444,37 +520,41 @@ fn offload(
 
     // Objects with the highest foreign-request share first: these gain
     // (or lose least) proximity when moved.
-    let mut objects: Vec<(ObjectId, f64)> = host
-        .object_ids()
-        .into_iter()
-        .filter(|&x| {
-            // Same partial-window rule as the geo phase (never shed a
-            // replica acquired since the last placement run), and don't
-            // double-move objects the geo phase just relocated.
-            !skip.contains(&x)
-                && host.object(x).expect("hosted").acquired_at() <= host.last_placement_run()
-        })
-        .map(|x| {
-            let o = host.object(x).expect("hosted");
-            let cnt_s = o.count(s);
-            let foreign = if cnt_s == 0 {
-                0.0
-            } else {
-                o.counts()
-                    .filter(|&(p, _)| p != s)
-                    .map(|(_, c)| c as f64 / cnt_s as f64)
-                    .fold(0.0, f64::max)
-            };
-            (x, foreign)
-        })
-        .collect();
-    objects.sort_by(|a, b| {
+    host.collect_object_ids(&mut scratch.object_ids);
+    scratch.offload_objects.clear();
+    for &x in &scratch.object_ids {
+        // Same partial-window rule as the geo phase (never shed a
+        // replica acquired since the last placement run), and don't
+        // double-move objects the geo phase just relocated
+        // (`scratch.moved` is sorted by the caller).
+        if scratch.moved.binary_search(&x).is_ok() {
+            continue;
+        }
+        let o = host.object(x).expect("hosted");
+        if o.acquired_at() > host.last_placement_run() {
+            continue;
+        }
+        let cnt_s = o.count(s);
+        let foreign = if cnt_s == 0 {
+            0.0
+        } else {
+            o.counts()
+                .filter(|&(p, _)| p != s)
+                .map(|(_, c)| c as f64 / cnt_s as f64)
+                .fold(0.0, f64::max)
+        };
+        scratch.offload_objects.push((x, foreign));
+    }
+    // Unstable sort is safe (and allocation-free): the id tiebreak makes
+    // the order total, so the result is identical to a stable sort.
+    scratch.offload_objects.sort_unstable_by(|a, b| {
         b.1.partial_cmp(&a.1)
             .expect("foreign ratios are finite")
             .then(a.0.cmp(&b.0))
     });
 
-    for (x, foreign) in objects {
+    for i in 0..scratch.offload_objects.len() {
+        let (x, foreign) = scratch.offload_objects[i];
         if host.load_lower() <= params.low_watermark {
             break;
         }
@@ -645,6 +725,89 @@ mod tests {
             host.record_serviced(t, object);
             host.record_access(object, path);
         }
+    }
+
+    #[test]
+    fn qualified_candidate_order_matches_uncached_comparator() {
+        // The precomputed-distance sort must reproduce the original
+        // comparator's order exactly: farthest from the source first,
+        // lowest node id breaking distance ties.
+        let topo = builders::uunet();
+        let env = MockEnv::new(&topo, 1);
+        let mut host = HostState::new(n(20), Params::paper());
+        host.install_object(x(0));
+        // Access counts over many gateways: every node on a preference
+        // path through the whole topology picks up a count, producing a
+        // wide candidate set with plenty of equal-distance ties.
+        for g in 0..topo.len() as u16 {
+            let path: Vec<NodeId> = env.routes.path(n(20), n(g));
+            for _ in 0..1 + (g % 3) {
+                host.record_access(x(0), &path);
+            }
+        }
+        let cnt_s = host.object(x(0)).unwrap().count(n(20));
+        assert!(cnt_s > 0);
+
+        let mut cached = Vec::new();
+        let o = host.object(x(0)).unwrap();
+        qualified_candidates(o, n(20), cnt_s, 0.0, &env, &mut cached);
+        assert!(cached.len() > 10, "want a wide candidate set");
+
+        // The pre-optimization ordering: the same key derived inside the
+        // comparator on every comparison.
+        let mut reference = cached.clone();
+        reference.sort_by_key(|&(_, p, _)| (std::cmp::Reverse(env.distance(n(20), p)), p));
+        assert_eq!(cached, reference);
+
+        // Spot-check the contract itself on the leaders: distances are
+        // non-increasing, ids ascending within equal distance, and the
+        // carried distance matches the routing database.
+        for w in cached.windows(2) {
+            let (a, b) = (w[0].1, w[1].1);
+            let (da, db) = (env.distance(n(20), a), env.distance(n(20), b));
+            assert_eq!((w[0].0, w[1].0), (da, db));
+            assert!(da > db || (da == db && a < b), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_reproduces_fresh_run() {
+        // Two identical hosts, one run through the allocating wrapper and
+        // one through run_placement_into with dirty reused buffers: the
+        // outcomes and host states must match.
+        let build = || {
+            let topo = builders::line(3);
+            let mut env = MockEnv::new(&topo, 3);
+            env.add_peer(n(1), Params::paper());
+            env.add_peer(n(2), Params::paper());
+            let mut host = HostState::new(n(0), Params::paper());
+            seed(&mut host, &mut env, x(0));
+            feed(&mut host, x(0), &[n(0)], 40, 0.0);
+            feed(&mut host, x(0), &[n(0), n(1), n(2)], 20, 0.0);
+            seed(&mut host, &mut env, x(1));
+            env.redirector.install(x(1), n(1));
+            seed(&mut host, &mut env, x(2));
+            feed(&mut host, x(2), &[n(0), n(1), n(2)], 10, 0.0);
+            (env, host)
+        };
+        let (mut env_a, mut host_a) = build();
+        let fresh = run_placement(&mut host_a, 100.0, &mut env_a);
+
+        let (mut env_b, mut host_b) = build();
+        let mut scratch = PlacementScratch::default();
+        // Dirty the buffers so the test catches any missing clear().
+        scratch.object_ids.push(x(99));
+        scratch.candidates.push((3, n(9), 0.5));
+        scratch.offload_objects.push((x(98), 1.0));
+        scratch.moved.push(x(97));
+        let mut out = PlacementOutcome {
+            offloading_mode: true,
+            drops: vec![x(96)],
+            ..PlacementOutcome::default()
+        };
+        run_placement_into(&mut host_b, 100.0, &mut env_b, &mut scratch, &mut out);
+        assert_eq!(fresh, out);
+        assert_eq!(host_a.object_ids(), host_b.object_ids());
     }
 
     #[test]

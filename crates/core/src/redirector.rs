@@ -94,6 +94,23 @@ pub struct ChoiceExplanation {
     pub candidates: Vec<ChoiceCandidate>,
 }
 
+impl Default for ChoiceExplanation {
+    /// A placeholder value for reusable scratch explanations; every
+    /// field is overwritten when a decision fills it.
+    fn default() -> Self {
+        Self {
+            chosen: NodeId::new(0),
+            branch: ChoiceBranch::Closest,
+            constant: 0.0,
+            closest: NodeId::new(0),
+            least: NodeId::new(0),
+            unit_closest: 0.0,
+            unit_least: 0.0,
+            candidates: Vec::new(),
+        }
+    }
+}
+
 /// The redirector responsible for a set of objects.
 ///
 /// A RaDaR deployment hash-partitions the URL namespace over many
@@ -177,6 +194,12 @@ impl Redirector {
     /// *logical* replicas.
     pub fn total_affinity(&self, object: ObjectId) -> u32 {
         self.directory.total_affinity(object)
+    }
+
+    /// Total physical replicas across every object, maintained
+    /// incrementally by the directory (no per-object rescan).
+    pub fn total_replicas(&self) -> u64 {
+        self.directory.total_replicas()
     }
 
     /// Total number of replica-set change notifications processed.
@@ -279,7 +302,31 @@ impl Redirector {
         closest: Option<u32>,
         explain: bool,
     ) -> Option<(NodeId, Option<ChoiceExplanation>)> {
-        self.decide(object, candidates, closest, explain)
+        if explain {
+            let mut expl = ChoiceExplanation::default();
+            let host = self.decide(object, candidates, closest, Some(&mut expl))?;
+            Some((host, Some(expl)))
+        } else {
+            self.decide(object, candidates, closest, None)
+                .map(|host| (host, None))
+        }
+    }
+
+    /// [`choose_among`](Self::choose_among) that fills a caller-owned
+    /// explanation instead of allocating one — the allocation-free
+    /// tracing entry point. When `explanation` is `Some`, the scratch's
+    /// candidate buffer is cleared and refilled in place (its fields are
+    /// only meaningful when the call returns `Some`); `None` skips the
+    /// snapshot entirely. Decision semantics and side effects are
+    /// identical to every other `choose_*` variant.
+    pub fn choose_among_into(
+        &mut self,
+        object: ObjectId,
+        candidates: &[(u32, u32)],
+        closest: Option<u32>,
+        explanation: Option<&mut ChoiceExplanation>,
+    ) -> Option<NodeId> {
+        self.decide(object, candidates, closest, explanation)
     }
 
     /// Builds the usable candidate list, then runs the shared decision
@@ -302,19 +349,29 @@ impl Redirector {
             .filter(|(_, e)| usable(e.host))
             .map(|(i, e)| (i as u32, routes.distance(e.host, gateway)))
             .collect();
-        self.decide(object, &candidates, None, explain)
+        if explain {
+            let mut expl = ChoiceExplanation::default();
+            let host = self.decide(object, &candidates, None, Some(&mut expl))?;
+            Some((host, Some(expl)))
+        } else {
+            self.decide(object, &candidates, None, None)
+                .map(|host| (host, None))
+        }
     }
 
     /// The single Fig. 2 code path behind every `choose_*` variant:
     /// identify `p` (closest) and `q` (least unit request count) among
-    /// `candidates`, pick the branch, increment the winner.
+    /// `candidates`, pick the branch, increment the winner. When
+    /// `explanation` is `Some`, the snapshot is written into it in place
+    /// (candidate buffer cleared and refilled) so tracing callers reuse
+    /// one allocation across requests.
     fn decide(
         &mut self,
         object: ObjectId,
         candidates: &[(u32, u32)],
         closest: Option<u32>,
-        explain: bool,
-    ) -> Option<(NodeId, Option<ChoiceExplanation>)> {
+        explanation: Option<&mut ChoiceExplanation>,
+    ) -> Option<NodeId> {
         if candidates.is_empty() {
             return None;
         }
@@ -347,29 +404,27 @@ impl Redirector {
         } else {
             (p_idx as usize, ChoiceBranch::Closest)
         };
-        let explanation = explain.then(|| ChoiceExplanation {
-            chosen: set.entries[chosen].host,
-            branch,
-            constant,
-            closest: set.entries[p_idx as usize].host,
-            least: set.entries[q_idx as usize].host,
-            unit_closest: ratio1,
-            unit_least: ratio2,
-            candidates: candidates
-                .iter()
-                .map(|&(i, dist)| {
-                    let e = &set.entries[i as usize];
-                    ChoiceCandidate {
-                        host: e.host,
-                        rcnt: e.rcnt,
-                        aff: e.aff,
-                        distance: dist,
-                    }
-                })
-                .collect(),
-        });
+        if let Some(out) = explanation {
+            out.chosen = set.entries[chosen].host;
+            out.branch = branch;
+            out.constant = constant;
+            out.closest = set.entries[p_idx as usize].host;
+            out.least = set.entries[q_idx as usize].host;
+            out.unit_closest = ratio1;
+            out.unit_least = ratio2;
+            out.candidates.clear();
+            out.candidates.extend(candidates.iter().map(|&(i, dist)| {
+                let e = &set.entries[i as usize];
+                ChoiceCandidate {
+                    host: e.host,
+                    rcnt: e.rcnt,
+                    aff: e.aff,
+                    distance: dist,
+                }
+            }));
+        }
         set.entries[chosen].rcnt += 1;
-        Some((set.entries[chosen].host, explanation))
+        Some(set.entries[chosen].host)
     }
 
     /// Force-removes every replica hosted on `host` — crash recovery;

@@ -6,9 +6,13 @@
 //! forms a chain `request → decision → served`, traceable from gateway
 //! through redirector to host.
 //!
-//! All payload fields are plain integers, floats, and strings — no
-//! platform types — so the crate stays dependency-free and event logs
-//! parse without the simulator.
+//! All payload fields are plain integers, floats, and small interned
+//! enums (plus a free-form string only where the vocabulary is open,
+//! like fault descriptions) — no platform types — so the crate stays
+//! dependency-free, event logs parse without the simulator, and the
+//! steady-state tracing path allocates nothing per event.
+
+use std::fmt;
 
 /// Retention class of an event, used by the severity-aware recorder
 /// ring: when the ring is full, lower-severity events are evicted
@@ -39,6 +43,186 @@ impl Severity {
             Severity::Notable => "notable",
             Severity::Critical => "critical",
         }
+    }
+}
+
+/// Which Fig. 2 rule picked the serving host. Interned: the tag set is
+/// closed, so events carry a copyable enum instead of a heap `String`
+/// (the JSONL wire format still writes the lowercase tag).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DecisionBranch {
+    /// The closest replica was under the distribution constant.
+    Closest,
+    /// Load spread to the least unit-requested replica.
+    LeastRequested,
+    /// Degraded mode: no usable replica, served from the primary copy.
+    PrimaryFallback,
+    /// Baseline (non-RaDaR) selection policy.
+    Policy,
+}
+
+impl DecisionBranch {
+    /// Stable lowercase tag, as serialized in the JSONL `branch` field.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DecisionBranch::Closest => "closest",
+            DecisionBranch::LeastRequested => "least-requested",
+            DecisionBranch::PrimaryFallback => "primary-fallback",
+            DecisionBranch::Policy => "policy",
+        }
+    }
+
+    /// Parses the JSONL tag back into the enum.
+    pub fn from_tag(tag: &str) -> Option<Self> {
+        Some(match tag {
+            "closest" => DecisionBranch::Closest,
+            "least-requested" => DecisionBranch::LeastRequested,
+            "primary-fallback" => DecisionBranch::PrimaryFallback,
+            "policy" => DecisionBranch::Policy,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for DecisionBranch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Why a request failed outright. Interned like [`DecisionBranch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FailReason {
+    /// Every replica host was down.
+    AllReplicasDown,
+    /// Replicas were up but no route reached any of them.
+    Unreachable,
+    /// The serving host crashed while the request was in flight.
+    CrashedMidService,
+}
+
+impl FailReason {
+    /// Stable lowercase tag, as serialized in the JSONL `reason` field.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FailReason::AllReplicasDown => "all-replicas-down",
+            FailReason::Unreachable => "unreachable",
+            FailReason::CrashedMidService => "crashed-mid-service",
+        }
+    }
+
+    /// Parses the JSONL tag back into the enum.
+    pub fn from_tag(tag: &str) -> Option<Self> {
+        Some(match tag {
+            "all-replicas-down" => FailReason::AllReplicasDown,
+            "unreachable" => FailReason::Unreachable,
+            "crashed-mid-service" => FailReason::CrashedMidService,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for FailReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// What changed a replica set and triggered the Fig. 2 companion
+/// count reset. Interned like [`DecisionBranch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ResetCause {
+    /// A new replica was created.
+    Created,
+    /// A replica's affinity changed.
+    Affinity,
+    /// A replica was dropped.
+    Dropped,
+    /// A host purge removed the replica.
+    Purge,
+}
+
+impl ResetCause {
+    /// Stable lowercase tag, as serialized in the JSONL `cause` field.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ResetCause::Created => "created",
+            ResetCause::Affinity => "affinity",
+            ResetCause::Dropped => "dropped",
+            ResetCause::Purge => "purge",
+        }
+    }
+
+    /// Parses the JSONL tag back into the enum.
+    pub fn from_tag(tag: &str) -> Option<Self> {
+        Some(match tag {
+            "created" => ResetCause::Created,
+            "affinity" => ResetCause::Affinity,
+            "dropped" => ResetCause::Dropped,
+            "purge" => ResetCause::Purge,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for ResetCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The action a placement run took on one object (paper Figs. 3–5).
+/// Interned like [`DecisionBranch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PlacementActionKind {
+    /// Deletion test: the replica was dropped.
+    Drop,
+    /// Deletion test on the last copy: affinity reduced instead.
+    AffinityReduce,
+    /// Deletion test fired but the directory refused the drop.
+    DropRefused,
+    /// Geographic migration along a preference path.
+    GeoMigrate,
+    /// Geographic replication along a preference path.
+    GeoReplicate,
+    /// Offload migration to a less-loaded host.
+    LoadMigrate,
+    /// Offload replication to a less-loaded host.
+    LoadReplicate,
+}
+
+impl PlacementActionKind {
+    /// Stable lowercase tag, as serialized in the JSONL `action` field.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PlacementActionKind::Drop => "drop",
+            PlacementActionKind::AffinityReduce => "affinity-reduce",
+            PlacementActionKind::DropRefused => "drop-refused",
+            PlacementActionKind::GeoMigrate => "geo-migrate",
+            PlacementActionKind::GeoReplicate => "geo-replicate",
+            PlacementActionKind::LoadMigrate => "load-migrate",
+            PlacementActionKind::LoadReplicate => "load-replicate",
+        }
+    }
+
+    /// Parses the JSONL tag back into the enum.
+    pub fn from_tag(tag: &str) -> Option<Self> {
+        Some(match tag {
+            "drop" => PlacementActionKind::Drop,
+            "affinity-reduce" => PlacementActionKind::AffinityReduce,
+            "drop-refused" => PlacementActionKind::DropRefused,
+            "geo-migrate" => PlacementActionKind::GeoMigrate,
+            "geo-replicate" => PlacementActionKind::GeoReplicate,
+            "load-migrate" => PlacementActionKind::LoadMigrate,
+            "load-replicate" => PlacementActionKind::LoadReplicate,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for PlacementActionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
     }
 }
 
@@ -90,9 +274,8 @@ pub enum EventKind {
         gateway: u16,
         /// The requested object.
         object: u32,
-        /// Failure cause (`all-replicas-down`, `unreachable`,
-        /// `crashed-mid-service`).
-        reason: String,
+        /// Failure cause.
+        reason: FailReason,
     },
     /// A placement run took an action on one object (paper Figs. 3–5),
     /// with the threshold comparison that triggered it.
@@ -102,9 +285,8 @@ pub enum EventKind {
     CountsReset {
         /// The affected object.
         object: u32,
-        /// What changed the set (`created`, `affinity`, `dropped`,
-        /// `purge`).
-        cause: String,
+        /// What changed the set.
+        cause: ResetCause,
     },
     /// A scheduled fault transition was applied.
     Fault {
@@ -143,7 +325,7 @@ pub struct CandidateSnapshot {
 ///
 /// `closest`/`least` and the unit counts are `None` when the run used a
 /// baseline policy (no Fig. 2 data) or the primary-copy fallback; the
-/// `branch` string tells which.
+/// `branch` tag tells which.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DecisionEvent {
     /// The requested object.
@@ -152,9 +334,8 @@ pub struct DecisionEvent {
     pub gateway: u16,
     /// The host chosen to serve the request.
     pub chosen: u16,
-    /// Which rule picked the host: `closest`, `least-requested`,
-    /// `primary-fallback`, or `policy` (non-RaDaR selection).
-    pub branch: String,
+    /// Which rule picked the host.
+    pub branch: DecisionBranch,
     /// The distribution constant in force (2.0 in the paper).
     pub constant: f64,
     /// The closest usable replica `p`.
@@ -169,6 +350,25 @@ pub struct DecisionEvent {
     pub candidates: Vec<CandidateSnapshot>,
 }
 
+impl Default for DecisionEvent {
+    /// A placeholder value for reusable scratch decisions; every field
+    /// is overwritten before the event is observed.
+    fn default() -> Self {
+        Self {
+            object: 0,
+            gateway: 0,
+            chosen: 0,
+            branch: DecisionBranch::Policy,
+            constant: 0.0,
+            closest: None,
+            least: None,
+            unit_closest: None,
+            unit_least: None,
+            candidates: Vec::new(),
+        }
+    }
+}
+
 /// One placement action with the test values that triggered it.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PlacementActionEvent {
@@ -176,9 +376,8 @@ pub struct PlacementActionEvent {
     pub host: u16,
     /// The object acted on.
     pub object: u32,
-    /// The action taken: `drop`, `affinity-reduce`, `drop-refused`,
-    /// `geo-migrate`, `geo-replicate`, `load-migrate`, `load-replicate`.
-    pub action: String,
+    /// The action taken.
+    pub action: PlacementActionKind,
     /// The recipient host, for migrations and replications.
     pub target: Option<u16>,
     /// The object's unit access rate `cnt_s/aff/period` that the
@@ -283,7 +482,7 @@ impl Event {
                 d.gateway,
                 d.chosen,
                 d.branch,
-                degradation_reason(&d.branch)
+                degradation_reason(d.branch)
             ),
             EventKind::Decision(d) => format!(
                 "object {} gw {} -> host {} ({} branch, {} candidates)",
@@ -335,10 +534,12 @@ impl Event {
 
 /// Why a decision carries no candidate snapshot: the degraded-mode
 /// explanation shown in place of an empty candidate table.
-pub(crate) fn degradation_reason(branch: &str) -> &'static str {
+pub(crate) fn degradation_reason(branch: DecisionBranch) -> &'static str {
     match branch {
-        "primary-fallback" => "no usable replica was reachable; served from the primary copy",
-        "policy" => "baseline policy decision; no Fig. 2 candidate data",
+        DecisionBranch::PrimaryFallback => {
+            "no usable replica was reachable; served from the primary copy"
+        }
+        DecisionBranch::Policy => "baseline policy decision; no Fig. 2 candidate data",
         _ => "no candidate snapshot recorded",
     }
 }
@@ -411,7 +612,7 @@ mod tests {
         assert_eq!(
             base(EventKind::CountsReset {
                 object: 1,
-                cause: "created".into(),
+                cause: ResetCause::Created,
             })
             .severity(),
             Severity::Notable
@@ -427,7 +628,7 @@ mod tests {
             base(EventKind::RequestFailed {
                 gateway: 0,
                 object: 1,
-                reason: "unreachable".into(),
+                reason: FailReason::Unreachable,
             })
             .severity(),
             Severity::Critical
@@ -448,7 +649,7 @@ mod tests {
                 object: 7,
                 gateway: 2,
                 chosen: 0,
-                branch: "primary-fallback".into(),
+                branch: DecisionBranch::PrimaryFallback,
                 constant: 2.0,
                 closest: None,
                 least: None,
@@ -461,6 +662,39 @@ mod tests {
         assert!(!line.contains("0 candidates"), "{line}");
         assert!(line.contains("degraded"), "{line}");
         assert!(line.contains("no usable replica"), "{line}");
+    }
+
+    #[test]
+    fn interned_tags_round_trip() {
+        use DecisionBranch as B;
+        use FailReason as F;
+        use PlacementActionKind as P;
+        use ResetCause as R;
+        for b in [B::Closest, B::LeastRequested, B::PrimaryFallback, B::Policy] {
+            assert_eq!(B::from_tag(b.as_str()), Some(b));
+        }
+        for r in [F::AllReplicasDown, F::Unreachable, F::CrashedMidService] {
+            assert_eq!(F::from_tag(r.as_str()), Some(r));
+        }
+        for c in [R::Created, R::Affinity, R::Dropped, R::Purge] {
+            assert_eq!(R::from_tag(c.as_str()), Some(c));
+        }
+        for a in [
+            P::Drop,
+            P::AffinityReduce,
+            P::DropRefused,
+            P::GeoMigrate,
+            P::GeoReplicate,
+            P::LoadMigrate,
+            P::LoadReplicate,
+        ] {
+            assert_eq!(P::from_tag(a.as_str()), Some(a));
+        }
+        assert_eq!(B::from_tag("mystery"), None);
+        assert_eq!(F::from_tag(""), None);
+        assert_eq!(R::from_tag("reset"), None);
+        assert_eq!(P::from_tag("replicate"), None);
+        assert_eq!(format!("{}", B::LeastRequested), "least-requested");
     }
 
     #[test]

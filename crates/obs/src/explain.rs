@@ -1,7 +1,7 @@
 //! Long-form, human-readable explanations of recorded events, used by
 //! `radar events explain <seq>`.
 
-use crate::event::{Event, EventKind};
+use crate::event::{DecisionBranch, Event, EventKind, PlacementActionKind};
 
 fn opt_host(h: Option<u16>) -> String {
     match h {
@@ -43,7 +43,7 @@ impl Event {
                 if d.candidates.is_empty() {
                     out.push_str(&format!(
                         "  degraded mode: {}\n",
-                        crate::event::degradation_reason(&d.branch)
+                        crate::event::degradation_reason(d.branch)
                     ));
                 } else {
                     out.push_str(&format!(
@@ -85,18 +85,18 @@ impl Event {
                         _ => out.push_str("  test: not evaluated\n"),
                     }
                 }
-                let why = match d.branch.as_str() {
-                    "closest" => {
+                let why = match d.branch {
+                    DecisionBranch::Closest => {
                         "p is not sufficiently more loaded than q, so the closest replica serves"
                     }
-                    "least-requested" => {
+                    DecisionBranch::LeastRequested => {
                         "p's unit request count exceeds q's by more than the constant factor, \
                          so load wins over proximity"
                     }
-                    "primary-fallback" => {
+                    DecisionBranch::PrimaryFallback => {
                         "no usable replica answered; the request fell back to the primary copy"
                     }
-                    _ => "a non-RaDaR selection policy chose the host",
+                    DecisionBranch::Policy => "a non-RaDaR selection policy chose the host",
                 };
                 out.push_str(&format!(
                     "  => host {} serves ({} branch): {}.\n",
@@ -143,16 +143,17 @@ impl Event {
                     "  unit access rate (cnt_s/aff/period) = {:.4}\n",
                     p.unit_rate
                 ));
-                match p.action.as_str() {
-                    "drop" | "affinity-reduce" | "drop-refused" => {
+                use PlacementActionKind as Action;
+                match p.action {
+                    Action::Drop | Action::AffinityReduce | Action::DropRefused => {
                         out.push_str(&format!(
                             "  deletion test (Fig. 3): unit rate {:.4} < u = {} => replica is \
                              underused",
                             p.unit_rate, p.deletion_threshold
                         ));
-                        match p.action.as_str() {
-                            "drop" => out.push_str("; the copy was deleted.\n"),
-                            "affinity-reduce" => {
+                        match p.action {
+                            Action::Drop => out.push_str("; the copy was deleted.\n"),
+                            Action::AffinityReduce => {
                                 out.push_str("; its affinity was reduced instead of deleting.\n")
                             }
                             _ => out.push_str(
@@ -160,7 +161,7 @@ impl Event {
                             ),
                         }
                     }
-                    "geo-migrate" | "geo-replicate" => {
+                    Action::GeoMigrate | Action::GeoReplicate => {
                         if let (Some(share), Some(ratio)) = (p.share, p.ratio) {
                             out.push_str(&format!(
                                 "  qualifying test (Figs. 4-5): share of accesses whose \
@@ -168,7 +169,7 @@ impl Event {
                                  ratio {ratio:.3}\n"
                             ));
                         }
-                        if p.action == "geo-replicate" {
+                        if p.action == Action::GeoReplicate {
                             out.push_str(&format!(
                                 "  replication test: unit rate {:.4} > m = {} => object is hot \
                                  enough to copy rather than move.\n",
@@ -182,14 +183,14 @@ impl Event {
                             ));
                         }
                     }
-                    "load-migrate" | "load-replicate" => {
+                    Action::LoadMigrate | Action::LoadReplicate => {
                         if let Some(foreign) = p.share {
                             out.push_str(&format!(
                                 "  offload ordering: foreign-request share = {foreign:.3} \
                                  (most-foreign objects leave first)\n"
                             ));
                         }
-                        if p.action == "load-replicate" {
+                        if p.action == Action::LoadReplicate {
                             out.push_str(&format!(
                                 "  host over high watermark and unit rate {:.4} > m = {} => hot \
                                  object is replicated to the target rather than migrated.\n",
@@ -201,9 +202,6 @@ impl Event {
                                  the low watermark.\n",
                             );
                         }
-                    }
-                    other => {
-                        out.push_str(&format!("  (unrecognized action tag {other:?})\n"));
                     }
                 }
             }
@@ -234,7 +232,9 @@ impl Event {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::event::{CandidateSnapshot, DecisionEvent, PlacementActionEvent};
+    use crate::event::{
+        CandidateSnapshot, DecisionEvent, FailReason, PlacementActionEvent, ResetCause,
+    };
 
     #[test]
     fn decision_explanation_names_branch_and_candidates() {
@@ -247,7 +247,7 @@ mod tests {
                 object: 42,
                 gateway: 1,
                 chosen: 3,
-                branch: "least-requested".into(),
+                branch: DecisionBranch::LeastRequested,
                 constant: 2.0,
                 closest: Some(5),
                 least: Some(3),
@@ -289,7 +289,7 @@ mod tests {
             kind: EventKind::PlacementAction(PlacementActionEvent {
                 host: 2,
                 object: 42,
-                action: "geo-replicate".into(),
+                action: PlacementActionKind::GeoReplicate,
                 target: Some(8),
                 unit_rate: 0.31,
                 share: Some(0.45),
@@ -316,7 +316,7 @@ mod tests {
                 object: 9,
                 gateway: 3,
                 chosen: 1,
-                branch: "primary-fallback".into(),
+                branch: DecisionBranch::PrimaryFallback,
                 constant: 2.0,
                 closest: None,
                 least: None,
@@ -348,11 +348,11 @@ mod tests {
             EventKind::RequestFailed {
                 gateway: 0,
                 object: 1,
-                reason: "unreachable".into(),
+                reason: FailReason::Unreachable,
             },
             EventKind::CountsReset {
                 object: 1,
-                cause: "created".into(),
+                cause: ResetCause::Created,
             },
             EventKind::Fault {
                 desc: "host-crash 7".into(),

@@ -7,12 +7,20 @@
 //! full RFC 8259 minus nothing we use: objects, arrays, strings with
 //! escapes, numbers, booleans, null).
 
-use crate::event::{CandidateSnapshot, DecisionEvent, Event, EventKind, PlacementActionEvent};
+use crate::event::{
+    CandidateSnapshot, DecisionBranch, DecisionEvent, Event, EventKind, FailReason,
+    PlacementActionEvent, PlacementActionKind, ResetCause,
+};
 use std::fmt;
+use std::fmt::Write as _;
 
 // ---------------------------------------------------------------------------
 // Writing
 // ---------------------------------------------------------------------------
+//
+// All serialization goes through `write!` into a caller-owned `String`
+// (`fmt::Write` on `String` is infallible), so a recorder that reuses
+// its line buffer serializes events with zero heap allocations.
 
 fn push_str_escaped(out: &mut String, s: &str) {
     out.push('"');
@@ -23,16 +31,26 @@ fn push_str_escaped(out: &mut String, s: &str) {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
             c => out.push(c),
         }
     }
     out.push('"');
 }
 
+/// Interned tags contain no characters needing escapes, so they skip
+/// the per-character scan.
+fn push_tag(out: &mut String, tag: &'static str) {
+    out.push('"');
+    out.push_str(tag);
+    out.push('"');
+}
+
 fn push_f64(out: &mut String, v: f64) {
     if v.is_finite() {
-        out.push_str(&format!("{v}"));
+        let _ = write!(out, "{v}");
     } else {
         out.push_str("null");
     }
@@ -40,7 +58,9 @@ fn push_f64(out: &mut String, v: f64) {
 
 fn push_opt_u64(out: &mut String, v: Option<u64>) {
     match v {
-        Some(v) => out.push_str(&format!("{v}")),
+        Some(v) => {
+            let _ = write!(out, "{v}");
+        }
         None => out.push_str("null"),
     }
 }
@@ -56,47 +76,58 @@ impl Event {
     /// Serializes the event as one JSON object (no trailing newline).
     ///
     /// Key order is fixed per event type, so identical event sequences
-    /// serialize byte-identically.
+    /// serialize byte-identically. Convenience wrapper around
+    /// [`write_json_line`](Self::write_json_line).
     pub fn to_json_line(&self) -> String {
         let mut o = String::with_capacity(128);
-        o.push_str(&format!("{{\"seq\":{},\"t\":", self.seq));
-        push_f64(&mut o, self.t);
+        self.write_json_line(&mut o);
+        o
+    }
+
+    /// Serializes the event into a caller-owned buffer (appended; no
+    /// trailing newline). Reusing the buffer across events makes the
+    /// serialization path allocation-free once its capacity plateaus.
+    pub fn write_json_line(&self, o: &mut String) {
+        let _ = write!(o, "{{\"seq\":{},\"t\":", self.seq);
+        push_f64(o, self.t);
         o.push_str(",\"parent\":");
-        push_opt_u64(&mut o, self.parent);
-        o.push_str(&format!(",\"qd\":{},\"type\":\"", self.queue_depth));
+        push_opt_u64(o, self.parent);
+        let _ = write!(o, ",\"qd\":{},\"type\":\"", self.queue_depth);
         o.push_str(self.type_name());
         o.push('"');
         match &self.kind {
             EventKind::RequestArrived { gateway, object } => {
-                o.push_str(&format!(",\"gateway\":{gateway},\"object\":{object}"));
+                let _ = write!(o, ",\"gateway\":{gateway},\"object\":{object}");
             }
             EventKind::Decision(d) => {
-                o.push_str(&format!(
+                let _ = write!(
+                    o,
                     ",\"object\":{},\"gateway\":{},\"chosen\":{},\"branch\":",
                     d.object, d.gateway, d.chosen
-                ));
-                push_str_escaped(&mut o, &d.branch);
+                );
+                push_tag(o, d.branch.as_str());
                 o.push_str(",\"constant\":");
-                push_f64(&mut o, d.constant);
+                push_f64(o, d.constant);
                 o.push_str(",\"closest\":");
-                push_opt_u64(&mut o, d.closest.map(u64::from));
+                push_opt_u64(o, d.closest.map(u64::from));
                 o.push_str(",\"least\":");
-                push_opt_u64(&mut o, d.least.map(u64::from));
+                push_opt_u64(o, d.least.map(u64::from));
                 o.push_str(",\"unit_closest\":");
-                push_opt_f64(&mut o, d.unit_closest);
+                push_opt_f64(o, d.unit_closest);
                 o.push_str(",\"unit_least\":");
-                push_opt_f64(&mut o, d.unit_least);
+                push_opt_f64(o, d.unit_least);
                 o.push_str(",\"candidates\":[");
                 for (i, c) in d.candidates.iter().enumerate() {
                     if i > 0 {
                         o.push(',');
                     }
-                    o.push_str(&format!(
+                    let _ = write!(
+                        o,
                         "{{\"host\":{},\"rcnt\":{},\"aff\":{},\"unit\":",
                         c.host, c.rcnt, c.aff
-                    ));
-                    push_f64(&mut o, c.unit);
-                    o.push_str(&format!(",\"distance\":{}}}", c.distance));
+                    );
+                    push_f64(o, c.unit);
+                    let _ = write!(o, ",\"distance\":{}}}", c.distance);
                 }
                 o.push(']');
             }
@@ -107,62 +138,59 @@ impl Event {
                 latency,
                 hops,
             } => {
-                o.push_str(&format!(
+                let _ = write!(
+                    o,
                     ",\"gateway\":{gateway},\"object\":{object},\"host\":{host},\"latency\":"
-                ));
-                push_f64(&mut o, *latency);
-                o.push_str(&format!(",\"hops\":{hops}"));
+                );
+                push_f64(o, *latency);
+                let _ = write!(o, ",\"hops\":{hops}");
             }
             EventKind::RequestFailed {
                 gateway,
                 object,
                 reason,
             } => {
-                o.push_str(&format!(
-                    ",\"gateway\":{gateway},\"object\":{object},\"reason\":"
-                ));
-                push_str_escaped(&mut o, reason);
+                let _ = write!(o, ",\"gateway\":{gateway},\"object\":{object},\"reason\":");
+                push_tag(o, reason.as_str());
             }
             EventKind::PlacementAction(p) => {
-                o.push_str(&format!(
+                let _ = write!(
+                    o,
                     ",\"host\":{},\"object\":{},\"action\":",
                     p.host, p.object
-                ));
-                push_str_escaped(&mut o, &p.action);
+                );
+                push_tag(o, p.action.as_str());
                 o.push_str(",\"target\":");
-                push_opt_u64(&mut o, p.target.map(u64::from));
+                push_opt_u64(o, p.target.map(u64::from));
                 o.push_str(",\"unit_rate\":");
-                push_f64(&mut o, p.unit_rate);
+                push_f64(o, p.unit_rate);
                 o.push_str(",\"share\":");
-                push_opt_f64(&mut o, p.share);
+                push_opt_f64(o, p.share);
                 o.push_str(",\"ratio\":");
-                push_opt_f64(&mut o, p.ratio);
+                push_opt_f64(o, p.ratio);
                 o.push_str(",\"u\":");
-                push_f64(&mut o, p.deletion_threshold);
+                push_f64(o, p.deletion_threshold);
                 o.push_str(",\"m\":");
-                push_f64(&mut o, p.replication_threshold);
+                push_f64(o, p.replication_threshold);
             }
             EventKind::CountsReset { object, cause } => {
-                o.push_str(&format!(",\"object\":{object},\"cause\":"));
-                push_str_escaped(&mut o, cause);
+                let _ = write!(o, ",\"object\":{object},\"cause\":");
+                push_tag(o, cause.as_str());
             }
             EventKind::Fault { desc } => {
                 o.push_str(",\"desc\":");
-                push_str_escaped(&mut o, desc);
+                push_str_escaped(o, desc);
             }
             EventKind::ReReplication {
                 object,
                 target,
                 elapsed,
             } => {
-                o.push_str(&format!(
-                    ",\"object\":{object},\"target\":{target},\"elapsed\":"
-                ));
-                push_f64(&mut o, *elapsed);
+                let _ = write!(o, ",\"object\":{object},\"target\":{target},\"elapsed\":");
+                push_f64(o, *elapsed);
             }
         }
         o.push('}');
-        o
     }
 }
 
@@ -473,6 +501,20 @@ fn need_str(v: &Val, key: &str) -> Result<String, ParseError> {
     }
 }
 
+/// Decodes an interned-tag field, rejecting tags outside the closed
+/// vocabulary so a corrupted log fails loudly instead of folding into a
+/// catch-all value.
+fn need_tag<T>(v: &Val, key: &str, parse: fn(&str) -> Option<T>) -> Result<T, ParseError> {
+    let s = match need(v, key)?.str() {
+        Some(s) => s,
+        None => return err(format!("field {key:?} is not a string")),
+    };
+    match parse(s) {
+        Some(t) => Ok(t),
+        None => err(format!("field {key:?} has unknown tag {s:?}")),
+    }
+}
+
 fn opt_u16(v: &Val, key: &str) -> Result<Option<u16>, ParseError> {
     match v.get(key) {
         None | Some(Val::Null) => Ok(None),
@@ -543,7 +585,7 @@ impl Event {
                     object: need_u32(&root, "object")?,
                     gateway: need_u16(&root, "gateway")?,
                     chosen: need_u16(&root, "chosen")?,
-                    branch: need_str(&root, "branch")?,
+                    branch: need_tag(&root, "branch", DecisionBranch::from_tag)?,
                     constant: need_f64(&root, "constant")?,
                     closest: opt_u16(&root, "closest")?,
                     least: opt_u16(&root, "least")?,
@@ -562,12 +604,12 @@ impl Event {
             "failed" => EventKind::RequestFailed {
                 gateway: need_u16(&root, "gateway")?,
                 object: need_u32(&root, "object")?,
-                reason: need_str(&root, "reason")?,
+                reason: need_tag(&root, "reason", FailReason::from_tag)?,
             },
             "placement" => EventKind::PlacementAction(PlacementActionEvent {
                 host: need_u16(&root, "host")?,
                 object: need_u32(&root, "object")?,
-                action: need_str(&root, "action")?,
+                action: need_tag(&root, "action", PlacementActionKind::from_tag)?,
                 target: opt_u16(&root, "target")?,
                 unit_rate: need_f64(&root, "unit_rate")?,
                 share: opt_f64(&root, "share")?,
@@ -577,7 +619,7 @@ impl Event {
             }),
             "counts-reset" => EventKind::CountsReset {
                 object: need_u32(&root, "object")?,
-                cause: need_str(&root, "cause")?,
+                cause: need_tag(&root, "cause", ResetCause::from_tag)?,
             },
             "fault" => EventKind::Fault {
                 desc: need_str(&root, "desc")?,
@@ -681,7 +723,7 @@ mod tests {
             object: 42,
             gateway: 7,
             chosen: 3,
-            branch: "least-requested".into(),
+            branch: DecisionBranch::LeastRequested,
             constant: 2.0,
             closest: Some(5),
             least: Some(3),
@@ -714,12 +756,12 @@ mod tests {
         round_trip(base(EventKind::RequestFailed {
             gateway: 1,
             object: 2,
-            reason: "unreachable".into(),
+            reason: FailReason::Unreachable,
         }));
         round_trip(base(EventKind::PlacementAction(PlacementActionEvent {
             host: 3,
             object: 42,
-            action: "geo-replicate".into(),
+            action: PlacementActionKind::GeoReplicate,
             target: Some(9),
             unit_rate: 0.21,
             share: Some(0.4),
@@ -729,7 +771,7 @@ mod tests {
         })));
         round_trip(base(EventKind::CountsReset {
             object: 42,
-            cause: "created".into(),
+            cause: ResetCause::Created,
         }));
         round_trip(base(EventKind::Fault {
             desc: "link-degrade 3-12 x4".into(),
@@ -769,6 +811,35 @@ mod tests {
                 desc: "weird \"desc\"\n\\tab\t".into(),
             },
         });
+    }
+
+    #[test]
+    fn unknown_interned_tag_is_a_parse_error() {
+        let line = "{\"seq\":1,\"t\":0,\"parent\":null,\"qd\":0,\
+                    \"type\":\"counts-reset\",\"object\":3,\"cause\":\"vibes\"}";
+        let e = Event::from_json_line(line).unwrap_err();
+        assert!(e.to_string().contains("unknown tag"), "{e}");
+        assert!(e.to_string().contains("vibes"), "{e}");
+    }
+
+    #[test]
+    fn write_json_line_appends_to_reused_buffer() {
+        let e = Event {
+            seq: 4,
+            parent: None,
+            t: 1.5,
+            queue_depth: 2,
+            kind: EventKind::RequestArrived {
+                gateway: 3,
+                object: 8,
+            },
+        };
+        let mut buf = String::from("prefix|");
+        e.write_json_line(&mut buf);
+        assert_eq!(buf, format!("prefix|{}", e.to_json_line()));
+        buf.clear();
+        e.write_json_line(&mut buf);
+        assert_eq!(buf, e.to_json_line());
     }
 
     #[test]

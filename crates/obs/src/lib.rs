@@ -51,7 +51,8 @@ mod recorder;
 
 pub use diff::{diff_events, DiffOutcome};
 pub use event::{
-    CandidateSnapshot, DecisionEvent, Event, EventKind, PlacementActionEvent, Severity, EVENT_TYPES,
+    CandidateSnapshot, DecisionBranch, DecisionEvent, Event, EventKind, FailReason,
+    PlacementActionEvent, PlacementActionKind, ResetCause, Severity, EVENT_TYPES,
 };
 pub use jsonl::{parse_jsonl, parse_jsonl_log, EventLog, EvictionSummary, ParseError};
 pub use metrics::{MetricsConfig, MetricsObserver, ObjectCounters, SharedMetrics};

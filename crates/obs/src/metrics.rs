@@ -17,7 +17,7 @@
 //! windows, and latency samples arrive in the same order they were
 //! recorded.
 
-use crate::event::{Event, EventKind};
+use crate::event::{Event, EventKind, PlacementActionKind};
 use radar_stats::{BinSpec, Histogram, OnlineSummary, P2Quantile, TimeSeries, WindowedRate};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::{Arc, Mutex};
@@ -130,8 +130,8 @@ pub struct MetricsObserver {
     served_rate: WindowedRate,
     failed_rate: WindowedRate,
     re_replication_rate: WindowedRate,
-    branch_counts: BTreeMap<String, u64>,
-    placement_counts: BTreeMap<String, u64>,
+    branch_counts: BTreeMap<&'static str, u64>,
+    placement_counts: BTreeMap<&'static str, u64>,
     recent_faults: VecDeque<(f64, String)>,
     faults_total: u64,
     failed_total: u64,
@@ -221,7 +221,7 @@ impl MetricsObserver {
                 self.objects.entry(*object).or_default().requests += 1;
             }
             EventKind::Decision(d) => {
-                *self.branch_counts.entry(d.branch.clone()).or_insert(0) += 1;
+                *self.branch_counts.entry(d.branch.as_str()).or_insert(0) += 1;
             }
             EventKind::RequestServed {
                 object,
@@ -252,12 +252,12 @@ impl MetricsObserver {
                 self.objects.entry(*object).or_default().failed += 1;
             }
             EventKind::PlacementAction(p) => {
-                *self.placement_counts.entry(p.action.clone()).or_insert(0) += 1;
+                *self.placement_counts.entry(p.action.as_str()).or_insert(0) += 1;
                 let counters = self.objects.entry(p.object).or_default();
                 counters.placement_actions += 1;
-                counters.replica_delta += match p.action.as_str() {
-                    "geo-replicate" | "load-replicate" => 1,
-                    "drop" => -1,
+                counters.replica_delta += match p.action {
+                    PlacementActionKind::GeoReplicate | PlacementActionKind::LoadReplicate => 1,
+                    PlacementActionKind::Drop => -1,
                     _ => 0,
                 };
             }
@@ -411,13 +411,15 @@ impl MetricsObserver {
         &self.type_counts
     }
 
-    /// Redirector branch counts (`closest`, `least-requested`, …).
-    pub fn branch_counts(&self) -> &BTreeMap<String, u64> {
+    /// Redirector branch counts (`closest`, `least-requested`, …),
+    /// keyed by the interned branch tag.
+    pub fn branch_counts(&self) -> &BTreeMap<&'static str, u64> {
         &self.branch_counts
     }
 
-    /// Placement action counts (`drop`, `geo-migrate`, …).
-    pub fn placement_counts(&self) -> &BTreeMap<String, u64> {
+    /// Placement action counts (`drop`, `geo-migrate`, …), keyed by the
+    /// interned action tag.
+    pub fn placement_counts(&self) -> &BTreeMap<&'static str, u64> {
         &self.placement_counts
     }
 }
@@ -459,7 +461,7 @@ impl Default for SharedMetrics {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::event::{DecisionEvent, PlacementActionEvent};
+    use crate::event::{DecisionBranch, DecisionEvent, FailReason, PlacementActionEvent};
 
     fn ev(seq: u64, t: f64, kind: EventKind) -> Event {
         Event {
@@ -538,14 +540,14 @@ mod tests {
     #[test]
     fn placement_and_rereplication_track_replica_delta() {
         let mut m = MetricsObserver::default();
-        let action = |seq, action: &str, target| {
+        let action = |seq, action: PlacementActionKind, target| {
             ev(
                 seq,
                 30.0,
                 EventKind::PlacementAction(PlacementActionEvent {
                     host: 1,
                     object: 5,
-                    action: action.into(),
+                    action,
                     target,
                     unit_rate: 0.2,
                     share: None,
@@ -555,9 +557,9 @@ mod tests {
                 }),
             )
         };
-        m.fold(&action(1, "geo-replicate", Some(2)));
-        m.fold(&action(2, "geo-migrate", Some(3)));
-        m.fold(&action(3, "drop", None));
+        m.fold(&action(1, PlacementActionKind::GeoReplicate, Some(2)));
+        m.fold(&action(2, PlacementActionKind::GeoMigrate, Some(3)));
+        m.fold(&action(3, PlacementActionKind::Drop, None));
         m.fold(&ev(
             4,
             40.0,
@@ -596,7 +598,7 @@ mod tests {
             EventKind::RequestFailed {
                 gateway: 0,
                 object: 1,
-                reason: "all-replicas-down".into(),
+                reason: FailReason::AllReplicasDown,
             },
         ));
         assert_eq!(m.faults(), 3);
@@ -626,7 +628,7 @@ mod tests {
                 object: 9,
                 gateway: 2,
                 chosen: 1,
-                branch: "closest".into(),
+                branch: DecisionBranch::Closest,
                 constant: 2.0,
                 closest: Some(1),
                 least: Some(1),

@@ -1,7 +1,7 @@
 //! The bounded, severity-aware ring-buffer recorder and its shared
 //! (post-run inspectable) wrapper.
 
-use crate::event::{Event, Severity};
+use crate::event::{CandidateSnapshot, DecisionEvent, Event, EventKind, Severity};
 use crate::jsonl::EvictionSummary;
 use std::collections::VecDeque;
 use std::io::Write;
@@ -9,6 +9,9 @@ use std::sync::{Arc, Mutex};
 
 /// Default ring capacity used by the CLI and examples.
 pub const DEFAULT_CAPACITY: usize = 65_536;
+
+/// How many evicted candidate buffers the recorder keeps for reuse.
+const SPARE_CANDIDATE_BUFFERS: usize = 8;
 
 /// A bounded in-memory flight recorder.
 ///
@@ -46,6 +49,12 @@ pub struct Recorder {
     evicted: [u64; 3],
     sink: Option<Box<dyn Write + Send>>,
     sink_error: Option<String>,
+    /// Reused serialization buffer for the streaming sink, so a traced
+    /// run serializes events without per-event allocations.
+    line_buf: String,
+    /// Candidate buffers harvested from evicted decision events
+    /// (stored cleared), reused when the next decision is ring-cloned.
+    spare_candidates: Vec<Vec<CandidateSnapshot>>,
 }
 
 impl std::fmt::Debug for Recorder {
@@ -71,6 +80,8 @@ impl Recorder {
             evicted: [0; 3],
             sink: None,
             sink_error: None,
+            line_buf: String::new(),
+            spare_candidates: Vec::new(),
         }
     }
 
@@ -86,22 +97,55 @@ impl Recorder {
     /// Records one event. At capacity, the oldest event of the lowest
     /// occupied severity is evicted — served requests go first, faults
     /// and placement actions last.
+    ///
+    /// Steady-state recording is allocation-free: the sink line buffer
+    /// is reused, and decision candidate buffers are recycled from
+    /// evicted events instead of freshly cloned.
     pub fn record(&mut self, event: &Event) {
         if let Some(sink) = &mut self.sink {
-            let mut line = event.to_json_line();
-            line.push('\n');
-            if let Err(e) = sink.write_all(line.as_bytes()) {
+            self.line_buf.clear();
+            event.write_json_line(&mut self.line_buf);
+            self.line_buf.push('\n');
+            if let Err(e) = sink.write_all(self.line_buf.as_bytes()) {
                 if self.sink_error.is_none() {
                     self.sink_error = Some(e.to_string());
                 }
                 self.sink = None;
             }
         }
-        self.rings[event.severity() as usize].push_back(event.clone());
+        let stored = match &event.kind {
+            EventKind::Decision(d) => {
+                let mut candidates = self.spare_candidates.pop().unwrap_or_default();
+                candidates.extend_from_slice(&d.candidates);
+                Event {
+                    kind: EventKind::Decision(DecisionEvent {
+                        object: d.object,
+                        gateway: d.gateway,
+                        chosen: d.chosen,
+                        branch: d.branch,
+                        constant: d.constant,
+                        closest: d.closest,
+                        least: d.least,
+                        unit_closest: d.unit_closest,
+                        unit_least: d.unit_least,
+                        candidates,
+                    }),
+                    ..*event
+                }
+            }
+            _ => event.clone(),
+        };
+        self.rings[event.severity() as usize].push_back(stored);
         if self.len() > self.capacity {
             for sev in 0..3 {
-                if self.rings[sev].pop_front().is_some() {
+                if let Some(victim) = self.rings[sev].pop_front() {
                     self.evicted[sev] += 1;
+                    if let EventKind::Decision(mut d) = victim.kind {
+                        if self.spare_candidates.len() < SPARE_CANDIDATE_BUFFERS {
+                            d.candidates.clear();
+                            self.spare_candidates.push(d.candidates);
+                        }
+                    }
                     break;
                 }
             }
@@ -321,6 +365,51 @@ mod tests {
         let seqs: Vec<u64> = rec.events().map(|e| e.seq).collect();
         assert_eq!(seqs, vec![1, 2]);
         assert_eq!(rec.evicted_of(Severity::Routine), 1);
+    }
+
+    #[test]
+    fn decision_candidate_buffers_recycle_without_corruption() {
+        use crate::event::{CandidateSnapshot, DecisionBranch, DecisionEvent};
+        let decision = |seq: u64| Event {
+            seq,
+            parent: None,
+            t: seq as f64,
+            queue_depth: 0,
+            kind: EventKind::Decision(DecisionEvent {
+                object: 1,
+                gateway: 0,
+                chosen: seq as u16,
+                branch: DecisionBranch::Closest,
+                constant: 2.0,
+                closest: Some(seq as u16),
+                least: Some(seq as u16),
+                unit_closest: Some(1.0),
+                unit_least: Some(1.0),
+                candidates: vec![CandidateSnapshot {
+                    host: seq as u16,
+                    rcnt: seq,
+                    aff: 1,
+                    unit: seq as f64,
+                    distance: 2,
+                }],
+            }),
+        };
+        let mut rec = Recorder::new(2);
+        for seq in 1..=5 {
+            rec.record(&decision(seq));
+        }
+        let held: Vec<&Event> = rec.events().collect();
+        assert_eq!(held.len(), 2);
+        for e in held {
+            match &e.kind {
+                EventKind::Decision(d) => {
+                    assert_eq!(d.candidates.len(), 1, "recycled buffer was cleared");
+                    assert_eq!(d.candidates[0].rcnt, e.seq, "right snapshot retained");
+                }
+                other => panic!("unexpected kind {other:?}"),
+            }
+        }
+        assert_eq!(rec.evicted(), 3);
     }
 
     #[test]

@@ -10,9 +10,9 @@
 //! between the mutations of one epoch, so the observable decision
 //! stream is identical to unbatched resets.
 
-use radar_core::placement::{handle_create_obj, run_placement, PlacementEnv};
+use radar_core::placement::{handle_create_obj, run_placement_into, PlacementEnv};
 use radar_core::{Catalog, CreateObjRequest, CreateObjResponse, HostState, ObjectId, Redirector};
-use radar_obs::{EventKind as ObsEventKind, PlacementActionEvent};
+use radar_obs::{EventKind as ObsEventKind, PlacementActionEvent, PlacementActionKind, ResetCause};
 use radar_simcore::{SimDuration, SimTime};
 use radar_simnet::{NodeId, RoutingView};
 
@@ -46,10 +46,10 @@ impl Simulation {
             obs.on_load_sample(now, max);
         }
         // Replica census for Table 2 (sampled here rather than at
-        // placement epochs so static runs are covered too).
-        let total: u64 = (0..self.scenario.num_objects)
-            .map(|i| self.redirector.replica_count(ObjectId::new(i)) as u64)
-            .sum();
+        // placement epochs so static runs are covered too). The
+        // directory maintains the total incrementally, so this no longer
+        // rescans every object's replica set.
+        let total = self.redirector.total_replicas();
         let avg = total as f64 / self.scenario.num_objects as f64;
         self.metrics.replica_series.push((now, avg));
         let tracked = &self.hosts[self.scenario.tracked_host as usize];
@@ -77,19 +77,19 @@ impl Simulation {
             }
             return;
         }
-        let alive: Vec<bool> = (0..self.hosts.len())
-            .map(|j| self.fault_state.host_up(j as u16))
-            .collect();
-        // Take the deciding host out of the vector so the environment
-        // can borrow the rest mutably.
-        let mut host = std::mem::replace(
-            &mut self.hosts[i],
-            HostState::new(node, self.scenario.params_of(i)),
-        );
+        self.alive_scratch.clear();
+        for j in 0..self.hosts.len() {
+            let up = self.fault_state.host_up(j as u16);
+            self.alive_scratch.push(up);
+        }
+        // Swap the deciding host out of the vector (into the persistent
+        // spare slot) so the environment can borrow the rest mutably —
+        // no fresh placeholder `HostState` per epoch.
+        std::mem::swap(&mut self.hosts[i], &mut self.spare_host);
         // One placement epoch = one directory batch: count resets for
         // objects this epoch touches apply once, at commit.
         self.redirector.begin_batch();
-        let outcome = {
+        {
             let mut env = SimEnv {
                 self_index: i,
                 hosts: &mut self.hosts,
@@ -98,15 +98,23 @@ impl Simulation {
                 view: &self.view,
                 catalog: &self.catalog,
                 load_reports: &self.load_reports,
-                alive: &alive,
+                alive: &self.alive_scratch,
+                offload_probes: &mut self.offload_probe_scratch,
                 object_size: self.scenario.object_size,
                 now,
                 events: &mut self.events,
                 queue_depth: self.queue.len() as u32,
             };
-            run_placement(&mut host, now, &mut env)
-        };
+            run_placement_into(
+                &mut self.spare_host,
+                now,
+                &mut env,
+                &mut self.placement_scratch,
+                &mut self.placement_outcome,
+            );
+        }
         self.redirector.commit_batch();
+        let outcome = &self.placement_outcome;
         if self.events.tracing {
             // One flight-recorder event per placement decision, carrying
             // the threshold comparison that triggered it.
@@ -119,7 +127,7 @@ impl Simulation {
                     ObsEventKind::PlacementAction(PlacementActionEvent {
                         host: i as u16,
                         object: d.object.index() as u32,
-                        action: d.action.as_str().to_string(),
+                        action: action_kind(d.action),
                         target: d.target.map(|n| n.index() as u16),
                         unit_rate: d.unit_rate,
                         share: d.share,
@@ -131,7 +139,8 @@ impl Simulation {
             }
         }
         let log_before = self.metrics.relocation_log.len();
-        self.metrics.record_placement(now, i as u16, &outcome);
+        self.metrics
+            .record_placement(now, i as u16, &self.placement_outcome);
         if !self.events.observers.is_empty() {
             for k in log_before..self.metrics.relocation_log.len() {
                 let event = self.metrics.relocation_log[k];
@@ -140,7 +149,7 @@ impl Simulation {
                 }
             }
         }
-        self.hosts[i] = host;
+        std::mem::swap(&mut self.hosts[i], &mut self.spare_host);
         self.debug_check_invariants();
         let next = t + SimDuration::from_secs(self.scenario.params.placement_period);
         if next.as_secs() <= self.scenario.duration {
@@ -202,6 +211,47 @@ impl Simulation {
     }
 }
 
+/// Maps the core protocol's placement action onto the flight
+/// recorder's interned event tag.
+fn action_kind(action: radar_core::placement::PlacementAction) -> PlacementActionKind {
+    use radar_core::placement::PlacementAction as Core;
+    match action {
+        Core::Drop => PlacementActionKind::Drop,
+        Core::AffinityReduce => PlacementActionKind::AffinityReduce,
+        Core::DropRefused => PlacementActionKind::DropRefused,
+        Core::GeoMigrate => PlacementActionKind::GeoMigrate,
+        Core::GeoReplicate => PlacementActionKind::GeoReplicate,
+        Core::LoadMigrate => PlacementActionKind::LoadMigrate,
+        Core::LoadReplicate => PlacementActionKind::LoadReplicate,
+    }
+}
+
+/// How many ranked candidates offload-recipient discovery probes with a
+/// fresh load check (§4.2.2's "a few probable candidates").
+const OFFLOAD_PROBES: usize = 5;
+
+/// Ranks offload candidates `(headroom, host index)` — highest headroom
+/// first, lowest index breaking ties — and returns the leading `probes`
+/// entries in that order. A partial selection places the leaders and
+/// then sorts only them, instead of fully sorting every candidate to
+/// examine five. The index tiebreak makes the order total, so the probe
+/// prefix is identical to what the previous full stable sort (no
+/// tiebreak, insertion order = ascending index) produced.
+fn select_probe_candidates(candidates: &mut [(f64, usize)], probes: usize) -> &[(f64, usize)] {
+    fn cmp(a: &(f64, usize), b: &(f64, usize)) -> std::cmp::Ordering {
+        b.0.partial_cmp(&a.0)
+            .expect("finite headroom")
+            .then(a.1.cmp(&b.1))
+    }
+    let k = candidates.len().min(probes);
+    if candidates.len() > k && k > 0 {
+        candidates.select_nth_unstable_by(k - 1, cmp);
+    }
+    let lead = &mut candidates[..k];
+    lead.sort_unstable_by(cmp);
+    lead
+}
+
 /// The placement environment the simulator exposes to a deciding host:
 /// all *other* hosts (slot `self_index` holds a placeholder), the
 /// redirector, and overhead accounting.
@@ -216,6 +266,9 @@ struct SimEnv<'a> {
     /// Host liveness snapshot: crashed hosts accept nothing and are
     /// skipped during offload-recipient discovery.
     alive: &'a [bool],
+    /// Reusable `(headroom, host index)` buffer for offload-recipient
+    /// discovery.
+    offload_probes: &'a mut Vec<(f64, usize)>,
     object_size: u64,
     now: f64,
     /// Flight-recorder sink for replica-set change events (count
@@ -232,7 +285,7 @@ impl SimEnv<'_> {
     /// per-mutation even though the batched directory applies the
     /// actual resets once per object at epoch commit — the recorded
     /// protocol chatter is unchanged by batching.
-    fn emit_counts_reset(&mut self, object: ObjectId, cause: &str) {
+    fn emit_counts_reset(&mut self, object: ObjectId, cause: ResetCause) {
         if !self.events.tracing {
             return;
         }
@@ -242,7 +295,7 @@ impl SimEnv<'_> {
             0,
             ObsEventKind::CountsReset {
                 object: object.index() as u32,
-                cause: cause.to_string(),
+                cause,
             },
         );
     }
@@ -264,7 +317,7 @@ impl PlacementEnv for SimEnv<'_> {
         if let CreateObjResponse::Accepted { new_copy } = resp {
             // Notify the redirector *after* the copy exists.
             self.redirector.notify_created(req.object, target);
-            self.emit_counts_reset(req.object, "created");
+            self.emit_counts_reset(req.object, ResetCause::Created);
             if new_copy {
                 // The object data crosses the backbone: overhead traffic.
                 let hops = self.view.distance(req.source, target);
@@ -283,14 +336,14 @@ impl PlacementEnv for SimEnv<'_> {
     fn request_drop(&mut self, object: ObjectId, host: NodeId) -> bool {
         let approved = self.redirector.request_drop(object, host);
         if approved {
-            self.emit_counts_reset(object, "dropped");
+            self.emit_counts_reset(object, ResetCause::Dropped);
         }
         approved
     }
 
     fn notify_affinity(&mut self, object: ObjectId, host: NodeId, aff: u32) {
         self.redirector.notify_affinity(object, host, aff);
-        self.emit_counts_reset(object, "affinity");
+        self.emit_counts_reset(object, ResetCause::Affinity);
     }
 
     fn find_offload_recipient(&mut self, requester: NodeId) -> Option<(NodeId, f64)> {
@@ -303,23 +356,31 @@ impl PlacementEnv for SimEnv<'_> {
         // herds onto the same stale best candidate and offloading
         // starves. Candidates are ranked by board headroom against their
         // *own* low watermarks (hosts may be heterogeneous); the first
-        // few are probed.
-        const PROBES: usize = 5;
-        let mut candidates: Vec<(f64, usize)> = self
-            .hosts
-            .iter()
-            .enumerate()
-            .filter(|&(j, _)| j != self.self_index && j != requester.index() && self.alive[j])
-            .filter_map(|(j, host)| {
-                let (_, reported) = self.load_reports[j];
-                let headroom = host.params().low_watermark - reported;
-                (headroom > 0.0).then_some((headroom, j))
-            })
-            .collect();
-        candidates.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite headroom"));
-        for &(_, j) in candidates.iter().take(PROBES) {
-            let host = &mut self.hosts[j];
-            host.advance(self.now);
+        // few are probed, so only those few are ever ordered.
+        let SimEnv {
+            self_index,
+            hosts,
+            load_reports,
+            alive,
+            offload_probes,
+            now,
+            ..
+        } = self;
+        offload_probes.clear();
+        offload_probes.extend(
+            hosts
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != *self_index && j != requester.index() && alive[j])
+                .filter_map(|(j, host)| {
+                    let (_, reported) = load_reports[j];
+                    let headroom = host.params().low_watermark - reported;
+                    (headroom > 0.0).then_some((headroom, j))
+                }),
+        );
+        for &(_, j) in select_probe_candidates(offload_probes.as_mut_slice(), OFFLOAD_PROBES) {
+            let host = &mut hosts[j];
+            host.advance(*now);
             let current = host.load_upper();
             if current < host.params().low_watermark {
                 return Some((host.node(), current));
@@ -336,5 +397,51 @@ impl PlacementEnv for SimEnv<'_> {
         self.catalog
             .kind(object)
             .may_add_replica(self.redirector.replica_count(object))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::select_probe_candidates;
+    use radar_simcore::SimRng;
+
+    /// The pre-optimization ranking: full stable sort, descending
+    /// headroom, *no* tiebreak — ties keep insertion (ascending index)
+    /// order.
+    fn reference_probes(mut candidates: Vec<(f64, usize)>, probes: usize) -> Vec<(f64, usize)> {
+        candidates.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite headroom"));
+        candidates.truncate(probes);
+        candidates
+    }
+
+    #[test]
+    fn probe_order_matches_full_sort() {
+        // Randomized candidate boards, with deliberate headroom ties
+        // (quantized values), must yield byte-identical probe prefixes.
+        let mut rng = SimRng::seed_from(0x00FF_10AD);
+        for len in 0..40usize {
+            for _ in 0..20 {
+                let candidates: Vec<(f64, usize)> =
+                    (0..len).map(|j| (rng.index(6) as f64 * 2.5, j)).collect();
+                let reference = reference_probes(candidates.clone(), 5);
+                let mut buf = candidates;
+                let got = select_probe_candidates(&mut buf, 5).to_vec();
+                assert_eq!(got, reference, "len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn probe_order_handles_degenerate_sizes() {
+        let mut empty: Vec<(f64, usize)> = Vec::new();
+        assert!(select_probe_candidates(&mut empty, 5).is_empty());
+        let mut one = vec![(3.0, 7)];
+        assert_eq!(select_probe_candidates(&mut one, 5), &[(3.0, 7)]);
+        // Exactly `probes` candidates: no selection step, just the sort.
+        let mut exact = vec![(1.0, 4), (9.0, 1), (1.0, 0), (9.0, 3), (5.0, 2)];
+        assert_eq!(
+            select_probe_candidates(&mut exact, 5),
+            &[(9.0, 1), (9.0, 3), (5.0, 2), (1.0, 0), (1.0, 4)]
+        );
     }
 }

@@ -129,7 +129,7 @@ impl Simulation {
                     0,
                     ObsEventKind::CountsReset {
                         object: object.index() as u32,
-                        cause: "purge".to_string(),
+                        cause: radar_obs::ResetCause::Purge,
                     },
                 );
             }

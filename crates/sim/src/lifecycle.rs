@@ -7,14 +7,23 @@
 //! the selection policy supports candidate caching, and the pluggable
 //! [`crate::selection::SelectionPolicy`] surface otherwise.
 
-use radar_core::ObjectId;
-use radar_obs::{CandidateSnapshot, DecisionEvent, EventKind as ObsEventKind};
+use radar_core::{ChoiceBranch, ObjectId};
+use radar_obs::{CandidateSnapshot, DecisionBranch, EventKind as ObsEventKind, FailReason};
 use radar_simcore::{SimDuration, SimTime};
 use radar_simnet::NodeId;
 
 use crate::observer::{FailureReason, RequestRecord};
 use crate::platform::{Event, Simulation};
 use crate::trace::TraceEntry;
+
+/// The flight-recorder tag for a simulation-level failure reason.
+fn fail_reason_tag(reason: FailureReason) -> FailReason {
+    match reason {
+        FailureReason::AllReplicasDown => FailReason::AllReplicasDown,
+        FailureReason::Unreachable => FailReason::Unreachable,
+        FailureReason::CrashedMidService => FailReason::CrashedMidService,
+    }
+}
 
 impl Simulation {
     /// `true` when nodes `a` and `b` can currently exchange traffic
@@ -89,7 +98,7 @@ impl Simulation {
                 ObsEventKind::RequestFailed {
                     gateway: gateway.index() as u16,
                     object: object.index() as u32,
-                    reason: reason.as_str().to_string(),
+                    reason: fail_reason_tag(reason),
                 },
             );
         }
@@ -195,12 +204,21 @@ impl Simulation {
     ) {
         let rnode = self.redirector_node_of(object);
         self.metrics.redirector_requests[rnode.index()] += 1;
-        let (chosen, explanation) = if self.selection.supports_candidate_cache() {
+        // When tracing, the chosen path fills `explain_scratch` in place
+        // and sets this flag — no per-request explanation allocation.
+        let mut explained = false;
+        let chosen = if self.selection.supports_candidate_cache() {
             // The engine applies the same usability filter and distance
             // source as the policy path below, but reuses the candidate
             // list across requests (invalidated by directory, routing,
             // and fault generations).
-            match self.redirect.choose(
+            let explanation = if self.events.tracing {
+                explained = true;
+                Some(&mut self.explain_scratch)
+            } else {
+                None
+            };
+            let pick = self.redirect.choose(
                 object,
                 gateway,
                 rnode,
@@ -208,11 +226,12 @@ impl Simulation {
                 &self.view,
                 &self.fault_state,
                 self.fault_gen,
-                self.events.tracing,
-            ) {
-                Some((host, expl)) => (Some(host), expl),
-                None => (None, None),
+                explanation,
+            );
+            if pick.is_none() {
+                explained = false;
             }
+            pick
         } else {
             // A replica is usable when its host is up and traffic can
             // flow redirector → host and host → gateway.
@@ -224,22 +243,26 @@ impl Simulation {
                     && !view.path(h, gateway).is_empty()
             };
             if self.events.tracing {
-                self.selection.choose_available_explained(
-                    object,
-                    gateway,
-                    &mut self.redirector,
-                    self.view.table(),
-                    &usable,
-                )
-            } else {
-                let pick = self.selection.choose_available(
+                let (pick, explanation) = self.selection.choose_available_explained(
                     object,
                     gateway,
                     &mut self.redirector,
                     self.view.table(),
                     &usable,
                 );
-                (pick, None)
+                if let Some(e) = explanation {
+                    self.explain_scratch = e;
+                    explained = true;
+                }
+                pick
+            } else {
+                self.selection.choose_available(
+                    object,
+                    gateway,
+                    &mut self.redirector,
+                    self.view.table(),
+                    &usable,
+                )
             }
         };
         let mut fallback_used = false;
@@ -283,52 +306,46 @@ impl Simulation {
         };
         let decision = if self.events.tracing {
             let qd = self.queue.len() as u32;
-            let event = match explanation {
-                Some(e) => DecisionEvent {
-                    object: object.index() as u32,
-                    gateway: gateway.index() as u16,
-                    chosen: host.index() as u16,
-                    branch: e.branch.as_str().to_string(),
-                    constant: e.constant,
-                    closest: Some(e.closest.index() as u16),
-                    least: Some(e.least.index() as u16),
-                    unit_closest: Some(e.unit_closest),
-                    unit_least: Some(e.unit_least),
-                    candidates: e
-                        .candidates
-                        .iter()
-                        .map(|c| CandidateSnapshot {
+            let scratch = &self.explain_scratch;
+            let constant = self.scenario.params.distribution_constant;
+            self.events.emit_decision(t.as_secs(), qd, cause, |d| {
+                d.object = object.index() as u32;
+                d.gateway = gateway.index() as u16;
+                d.chosen = host.index() as u16;
+                if explained {
+                    d.branch = match scratch.branch {
+                        ChoiceBranch::Closest => DecisionBranch::Closest,
+                        ChoiceBranch::LeastRequested => DecisionBranch::LeastRequested,
+                    };
+                    d.constant = scratch.constant;
+                    d.closest = Some(scratch.closest.index() as u16);
+                    d.least = Some(scratch.least.index() as u16);
+                    d.unit_closest = Some(scratch.unit_closest);
+                    d.unit_least = Some(scratch.unit_least);
+                    d.candidates
+                        .extend(scratch.candidates.iter().map(|c| CandidateSnapshot {
                             host: c.host.index() as u16,
                             rcnt: c.rcnt,
                             aff: c.aff,
                             unit: c.unit_rcnt(),
                             distance: c.distance,
-                        })
-                        .collect(),
-                },
-                // Either the selection policy has no Fig. 2 data (a
-                // baseline) or no usable replica existed and the
-                // primary fallback served.
-                None => DecisionEvent {
-                    object: object.index() as u32,
-                    gateway: gateway.index() as u16,
-                    chosen: host.index() as u16,
-                    branch: if fallback_used {
-                        "primary-fallback"
+                        }));
+                } else {
+                    // Either the selection policy has no Fig. 2 data (a
+                    // baseline) or no usable replica existed and the
+                    // primary fallback served.
+                    d.branch = if fallback_used {
+                        DecisionBranch::PrimaryFallback
                     } else {
-                        "policy"
-                    }
-                    .to_string(),
-                    constant: self.scenario.params.distribution_constant,
-                    closest: None,
-                    least: None,
-                    unit_closest: None,
-                    unit_least: None,
-                    candidates: Vec::new(),
-                },
-            };
-            self.events
-                .emit(t.as_secs(), qd, cause, ObsEventKind::Decision(event))
+                        DecisionBranch::Policy
+                    };
+                    d.constant = constant;
+                    d.closest = None;
+                    d.least = None;
+                    d.unit_closest = None;
+                    d.unit_least = None;
+                }
+            })
         } else {
             0
         };

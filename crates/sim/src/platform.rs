@@ -172,6 +172,20 @@ pub struct Simulation {
     pub(crate) below_min_since: BTreeMap<u32, f64>,
     /// Objects with zero live replicas → when they lost the last one.
     pub(crate) unavailable_since: BTreeMap<u32, f64>,
+    /// Reusable working memory for the core placement algorithms.
+    pub(crate) placement_scratch: radar_core::placement::PlacementScratch,
+    /// Reusable placement outcome, cleared and refilled each epoch.
+    pub(crate) placement_outcome: radar_core::placement::PlacementOutcome,
+    /// Reusable host-liveness snapshot taken at each placement epoch.
+    pub(crate) alive_scratch: Vec<bool>,
+    /// Reusable offload-recipient candidate buffer.
+    pub(crate) offload_probe_scratch: Vec<(f64, usize)>,
+    /// Persistent placeholder swapped into the deciding host's slot for
+    /// the duration of a placement epoch.
+    pub(crate) spare_host: HostState,
+    /// Reusable Fig. 2 decision snapshot filled by the redirect path
+    /// when tracing, so explained choices allocate nothing per request.
+    pub(crate) explain_scratch: radar_core::ChoiceExplanation,
 }
 
 impl std::fmt::Debug for Simulation {
@@ -283,6 +297,12 @@ impl Simulation {
             declared_dead: vec![false; n],
             below_min_since: BTreeMap::new(),
             unavailable_since: BTreeMap::new(),
+            placement_scratch: radar_core::placement::PlacementScratch::default(),
+            placement_outcome: radar_core::placement::PlacementOutcome::default(),
+            alive_scratch: Vec::new(),
+            offload_probe_scratch: Vec::new(),
+            spare_host: HostState::new(NodeId::new(0), radar_core::Params::paper()),
+            explain_scratch: radar_core::ChoiceExplanation::default(),
         }
     }
 

@@ -68,8 +68,9 @@ impl RedirectEngine {
     /// `gateway`, through redirector node `rnode`. Reuses the cached
     /// candidate list when every version key matches; rebuilds it (with
     /// the same filter and distance source as the uncached path)
-    /// otherwise. `explain` requests the Fig. 2 decision snapshot for
-    /// the flight recorder.
+    /// otherwise. Passing `explanation` requests the Fig. 2 decision
+    /// snapshot for the flight recorder, filled into the caller's
+    /// scratch so tracing allocates nothing per request.
     ///
     /// Returns `None` when no usable replica exists — the platform then
     /// runs its primary-fallback path.
@@ -83,8 +84,8 @@ impl RedirectEngine {
         view: &RoutingView,
         fault_state: &FaultState,
         fault_gen: u32,
-        explain: bool,
-    ) -> Option<(NodeId, Option<ChoiceExplanation>)> {
+        explanation: Option<&mut ChoiceExplanation>,
+    ) -> Option<NodeId> {
         let slot = &mut self.slots[object.index() * self.num_nodes + gateway.index()];
         let dir_version = redirector.directory().version(object);
         let routing_gen = view.generation();
@@ -98,8 +99,17 @@ impl RedirectEngine {
             // A replica is usable when its host is up and traffic can
             // flow redirector → host and host → gateway (the same
             // predicate the uncached filter applies). The closest
-            // candidate is identified in the same pass.
-            let mut candidates = Vec::new();
+            // candidate is identified in the same pass. A stale slot
+            // donates its vector, so steady-state invalidations (after
+            // placement actions) refill in place instead of allocating.
+            let mut candidates = match slot.take() {
+                Some(stale) => {
+                    let mut v = stale.candidates;
+                    v.clear();
+                    v
+                }
+                None => Vec::new(),
+            };
             let mut closest = 0u32;
             let mut best = (u32::MAX, NodeId::new(u16::MAX));
             for (i, e) in redirector.replicas(object).iter().enumerate() {
@@ -124,7 +134,7 @@ impl RedirectEngine {
             });
         }
         let slot = slot.as_ref().expect("slot filled above");
-        redirector.choose_among(object, &slot.candidates, Some(slot.closest), explain)
+        redirector.choose_among_into(object, &slot.candidates, Some(slot.closest), explanation)
     }
 }
 
@@ -150,9 +160,7 @@ mod tests {
         for i in 0..300u16 {
             let gw = NodeId::new(i % view.topology().len() as u16);
             let expect = plain.choose_replica_filtered(x(), gw, view.table(), &|_| true);
-            let got = engine
-                .choose(x(), gw, rnode, &mut cached, &view, &fault_state, 0, false)
-                .map(|(h, _)| h);
+            let got = engine.choose(x(), gw, rnode, &mut cached, &view, &fault_state, 0, None);
             assert_eq!(got, expect, "request {i}");
         }
         assert_eq!(cached, plain, "identical bookkeeping after the stream");
@@ -167,15 +175,11 @@ mod tests {
         let mut engine = RedirectEngine::new(1, view.topology().len());
         let gw = NodeId::new(2);
         let rnode = NodeId::new(0);
-        let first = engine
-            .choose(x(), gw, rnode, &mut r, &view, &fault_state, 0, false)
-            .map(|(h, _)| h);
+        let first = engine.choose(x(), gw, rnode, &mut r, &view, &fault_state, 0, None);
         assert_eq!(first, Some(NodeId::new(1)));
         // A new much-closer replica must be seen immediately.
         r.notify_created(x(), gw);
-        let second = engine
-            .choose(x(), gw, rnode, &mut r, &view, &fault_state, 0, false)
-            .map(|(h, _)| h);
+        let second = engine.choose(x(), gw, rnode, &mut r, &view, &fault_state, 0, None);
         assert_eq!(second, Some(gw), "stale cache would still pick node 1");
     }
 
@@ -189,16 +193,12 @@ mod tests {
         let mut engine = RedirectEngine::new(1, view.topology().len());
         let gw = NodeId::new(1);
         let rnode = NodeId::new(0);
-        let first = engine
-            .choose(x(), gw, rnode, &mut r, &view, &fault_state, 0, false)
-            .map(|(h, _)| h);
+        let first = engine.choose(x(), gw, rnode, &mut r, &view, &fault_state, 0, None);
         assert_eq!(first, Some(NodeId::new(1)), "local replica wins");
         // Crash the local replica's host: with a bumped fault
         // generation the filter re-runs and only node 3 remains.
         fault_state.apply(crate::faults::TransitionKind::HostCrash(1));
-        let second = engine
-            .choose(x(), gw, rnode, &mut r, &view, &fault_state, 1, false)
-            .map(|(h, _)| h);
+        let second = engine.choose(x(), gw, rnode, &mut r, &view, &fault_state, 1, None);
         assert_eq!(second, Some(NodeId::new(3)));
     }
 }

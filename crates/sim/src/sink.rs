@@ -1,7 +1,7 @@
 //! The observer fan-out and flight-recorder sequencing shared by every
 //! simulation layer.
 
-use radar_obs::EventKind as ObsEventKind;
+use radar_obs::{DecisionEvent, EventKind as ObsEventKind};
 
 use crate::observer::Observer;
 
@@ -17,6 +17,10 @@ pub(crate) struct EventSink {
     /// True when at least one attached observer wants the typed event
     /// feed; with no recorder attached, emission sites pay one branch.
     pub(crate) tracing: bool,
+    /// Reusable decision payload: its candidate vector survives across
+    /// redirects, so tracing the hottest event type allocates nothing
+    /// once the vector reaches the platform's widest replica set.
+    decision_scratch: DecisionEvent,
 }
 
 impl EventSink {
@@ -25,6 +29,7 @@ impl EventSink {
             observers: Vec::new(),
             next_seq: 0,
             tracing: false,
+            decision_scratch: DecisionEvent::default(),
         }
     }
 
@@ -51,6 +56,45 @@ impl EventSink {
                 obs.on_event(&event);
             }
         }
+        self.next_seq
+    }
+
+    /// Emits one [`ObsEventKind::Decision`] without constructing the
+    /// payload at the call site: `fill` receives the sink's scratch
+    /// decision — candidate vector cleared but capacity kept — and the
+    /// finished event is lent to the observers, then reclaimed so the
+    /// next redirect reuses the same buffers. Returns the sequence
+    /// number, or 0 without calling `fill` when tracing is off.
+    pub(crate) fn emit_decision(
+        &mut self,
+        t: f64,
+        queue_depth: u32,
+        cause: u64,
+        fill: impl FnOnce(&mut DecisionEvent),
+    ) -> u64 {
+        if !self.tracing {
+            return 0;
+        }
+        let mut decision = std::mem::take(&mut self.decision_scratch);
+        decision.candidates.clear();
+        fill(&mut decision);
+        self.next_seq += 1;
+        let event = radar_obs::Event {
+            seq: self.next_seq,
+            parent: (cause != 0).then_some(cause),
+            t,
+            queue_depth,
+            kind: ObsEventKind::Decision(decision),
+        };
+        for obs in &mut self.observers {
+            if obs.wants_events() {
+                obs.on_event(&event);
+            }
+        }
+        let ObsEventKind::Decision(decision) = event.kind else {
+            unreachable!("constructed as a decision above");
+        };
+        self.decision_scratch = decision;
         self.next_seq
     }
 }

@@ -49,7 +49,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Find the first geo-replication the placement algorithm performed.
     let replication = events
         .iter()
-        .find(|e| matches!(&e.kind, EventKind::PlacementAction(p) if p.action == "geo-replicate"))
+        .find(|e| {
+            matches!(&e.kind, EventKind::PlacementAction(p)
+                if p.action == radar_obs::PlacementActionKind::GeoReplicate)
+        })
         .expect("this scenario geo-replicates its hottest objects");
     println!("=== the placement action ===\n{}", replication.explain());
 

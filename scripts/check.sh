@@ -17,6 +17,10 @@ echo "== benches compile and self-test =="
 cargo bench --workspace -- --test
 echo "== loop-profile baseline (BENCH_loop.json) =="
 cargo bench -q -p radar-bench --bench loop_profile
+echo "== throughput baseline + regression gate (BENCH_throughput.json) =="
+# Fails on >10% events/sec regression or >10% allocations/event growth
+# against the committed baseline, then refreshes it.
+cargo bench -q -p radar-bench --bench throughput
 echo "== golden event-log regression diff =="
 ./scripts/golden-diff.sh
 echo "ALL CHECKS PASSED"
