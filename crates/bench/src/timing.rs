@@ -227,10 +227,39 @@ pub struct ThroughputRow {
     pub allocations_per_event: f64,
 }
 
+/// One point of the per-shard-count scaling curve appended to
+/// `BENCH_throughput.json`: the same seed-42 workload replayed through
+/// [`run_sharded`](../radar_sim/struct.Simulation.html#method.run_sharded)
+/// at a fixed shard count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalingRow {
+    /// Worker shards the run was split across (1 = the serial loop).
+    pub shards: usize,
+    /// Events emitted per wall-clock second at this shard count.
+    pub events_per_sec: f64,
+}
+
+impl ScalingRow {
+    /// The JSON key this row is recorded and gated under, e.g.
+    /// `shard2_events_per_sec`. Each shard count gets a distinct key so
+    /// [`json_number`]'s first-occurrence lookup addresses each row
+    /// unambiguously (and never collides with the serial
+    /// `events_per_sec`, which keeps its leading quote in the needle).
+    pub fn key(&self) -> String {
+        format!("shard{}_events_per_sec", self.shards)
+    }
+}
+
 /// Serializes the end-to-end throughput baseline as the
 /// `BENCH_throughput.json` document, in the same hand-rolled fixed-key
-/// style as [`loop_baseline_json`].
-pub fn throughput_baseline_json(config: &[(&str, String)], row: &ThroughputRow) -> String {
+/// style as [`loop_baseline_json`]. A non-empty `scaling` slice appends
+/// a `"scaling"` section with one `shardN_events_per_sec` entry per
+/// recorded shard count.
+pub fn throughput_baseline_json(
+    config: &[(&str, String)],
+    row: &ThroughputRow,
+    scaling: &[ScalingRow],
+) -> String {
     let mut out = String::from("{\n  \"config\": {");
     for (i, (key, value)) in config.iter().enumerate() {
         if i > 0 {
@@ -249,6 +278,19 @@ pub fn throughput_baseline_json(config: &[(&str, String)], row: &ThroughputRow) 
         "    \"allocations_per_event\": {:.4}\n",
         row.allocations_per_event
     ));
+    if scaling.is_empty() {
+        out.push_str("  }\n}\n");
+        return out;
+    }
+    out.push_str("  },\n  \"scaling\": {\n");
+    for (i, point) in scaling.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{}\": {:.1}",
+            point.key(),
+            point.events_per_sec
+        ));
+        out.push_str(if i + 1 < scaling.len() { ",\n" } else { "\n" });
+    }
     out.push_str("  }\n}\n");
     out
 }
@@ -260,6 +302,44 @@ pub fn throughput_baseline_json(config: &[(&str, String)], row: &ThroughputRow) 
 /// gate behind the `throughput` bench, `scripts/check.sh`, and CI.
 /// A baseline missing either number gates nothing.
 pub fn throughput_gate(previous: &str, row: &ThroughputRow, tolerance: f64) -> Result<(), String> {
+    throughput_gate_with_scaling(previous, row, &[], tolerance)
+}
+
+/// Like [`throughput_gate`], but additionally checks every point of the
+/// per-shard-count scaling curve: each fresh `shardN_events_per_sec`
+/// must stay within `tolerance` of the committed value under the same
+/// key. Shard counts absent from the baseline (or a baseline with no
+/// scaling section at all) gate nothing, so the curve can grow new
+/// points without a flag day.
+pub fn throughput_gate_with_scaling(
+    previous: &str,
+    row: &ThroughputRow,
+    scaling: &[ScalingRow],
+    tolerance: f64,
+) -> Result<(), String> {
+    for point in scaling {
+        let key = point.key();
+        if let Some(old_eps) = json_number(previous, &key) {
+            if point.events_per_sec < old_eps * (1.0 - tolerance) {
+                return Err(format!(
+                    "scaling regression at {} shards: {:.1} events/sec is more \
+                     than {:.0}% below the baseline {:.1}",
+                    point.shards,
+                    point.events_per_sec,
+                    tolerance * 100.0,
+                    old_eps
+                ));
+            }
+        }
+    }
+    throughput_gate_serial(previous, row, tolerance)
+}
+
+fn throughput_gate_serial(
+    previous: &str,
+    row: &ThroughputRow,
+    tolerance: f64,
+) -> Result<(), String> {
     if let Some(old_eps) = json_number(previous, "events_per_sec") {
         if row.events_per_sec < old_eps * (1.0 - tolerance) {
             return Err(format!(
@@ -347,7 +427,7 @@ mod tests {
             allocations: 50,
             allocations_per_event: 0.05,
         };
-        let same = throughput_baseline_json(&[], &row);
+        let same = throughput_baseline_json(&[], &row, &[]);
         assert!(throughput_gate(&same, &row, 0.1).is_ok());
         let mut slower = row.clone();
         slower.events_per_sec = 700.0; // >10% below 900
@@ -360,6 +440,44 @@ mod tests {
     }
 
     #[test]
+    fn scaling_gate_trips_per_shard_count() {
+        let row = ThroughputRow {
+            events: 1_000,
+            events_per_sec: 900.0,
+            allocations: 50,
+            allocations_per_event: 0.05,
+        };
+        let curve = [
+            ScalingRow {
+                shards: 1,
+                events_per_sec: 900.0,
+            },
+            ScalingRow {
+                shards: 2,
+                events_per_sec: 500.0,
+            },
+        ];
+        let baseline = throughput_baseline_json(&[], &row, &curve);
+        // Fresh numbers equal to the baseline pass.
+        assert!(throughput_gate_with_scaling(&baseline, &row, &curve, 0.1).is_ok());
+        // A regression at one shard count trips even when the serial
+        // number and the other shard counts are healthy.
+        let mut slower = curve.to_vec();
+        slower[1].events_per_sec = 400.0; // >10% below 500
+        let err = throughput_gate_with_scaling(&baseline, &row, &slower, 0.1).unwrap_err();
+        assert!(err.contains("2 shards"), "{err}");
+        // A shard count the baseline never recorded gates nothing.
+        let novel = [ScalingRow {
+            shards: 8,
+            events_per_sec: 1.0,
+        }];
+        assert!(throughput_gate_with_scaling(&baseline, &row, &novel, 0.1).is_ok());
+        // A baseline without a scaling section gates only the serial row.
+        let bare = throughput_baseline_json(&[], &row, &[]);
+        assert!(throughput_gate_with_scaling(&bare, &row, &slower, 0.1).is_ok());
+    }
+
+    #[test]
     fn throughput_baseline_json_round_trips() {
         let row = ThroughputRow {
             events: 16934,
@@ -367,13 +485,43 @@ mod tests {
             allocations: 420,
             allocations_per_event: 0.0248,
         };
-        let json = throughput_baseline_json(&[("seed", "42".into())], &row);
+        let json = throughput_baseline_json(&[("seed", "42".into())], &row, &[]);
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json_number(&json, "events"), Some(16934.0));
         assert_eq!(json_number(&json, "events_per_sec"), Some(1_234_567.8));
         assert_eq!(json_number(&json, "allocations_per_event"), Some(0.0248));
         assert_eq!(json_number(&json, "missing"), None);
         assert_eq!(json_number("{\"x\": nope}", "x"), None);
+    }
+
+    #[test]
+    fn throughput_baseline_json_with_scaling_round_trips() {
+        let row = ThroughputRow {
+            events: 100,
+            events_per_sec: 1_000.0,
+            allocations: 10,
+            allocations_per_event: 0.1,
+        };
+        let curve = [
+            ScalingRow {
+                shards: 1,
+                events_per_sec: 1_000.0,
+            },
+            ScalingRow {
+                shards: 4,
+                events_per_sec: 1_600.5,
+            },
+        ];
+        let json = throughput_baseline_json(&[], &row, &curve);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.contains("\"scaling\""), "{json}");
+        // The serial key still resolves to the throughput section (the
+        // shardN_ keys do not shadow it: the needle's leading quote
+        // rules out substring hits inside them).
+        assert_eq!(json_number(&json, "events_per_sec"), Some(1_000.0));
+        assert_eq!(json_number(&json, "shard1_events_per_sec"), Some(1_000.0));
+        assert_eq!(json_number(&json, "shard4_events_per_sec"), Some(1_600.5));
+        assert_eq!(json_number(&json, "shard2_events_per_sec"), None);
     }
 
     #[test]

@@ -26,6 +26,7 @@ const OPTIONS: &[&str] = &[
     "record-trace",
     "faults",
     "events",
+    "shards",
     "out",
 ];
 const SWITCHES: &[&str] = &["static", "json", "dashboard", "help"];
@@ -96,6 +97,8 @@ pub struct SimulateArgs {
     /// Stream flight-recorder events (JSONL) here and enable event-loop
     /// profiling.
     pub events_to: Option<String>,
+    /// Worker shards for the parallel event loop (1 = serial loop).
+    pub shards: usize,
     /// Fold the event stream into live dashboard metrics (repainted on
     /// stderr when it is a terminal; the final frame joins the report).
     pub dashboard: bool,
@@ -140,6 +143,12 @@ impl SimulateArgs {
         let update_rate = parsed
             .get_parsed("update-rate", 0.0f64, "updates/second")
             .map_err(|e| e.to_string())?;
+        let shards = parsed
+            .get_parsed("shards", 1usize, "a shard count")
+            .map_err(|e| e.to_string())?;
+        if shards == 0 {
+            return Err("--shards expects at least 1".to_string());
+        }
 
         let mut builder = Scenario::builder()
             .num_objects(objects)
@@ -217,6 +226,7 @@ impl SimulateArgs {
             replay,
             record_trace_to: parsed.get("record-trace").map(str::to_string),
             events_to: parsed.get("events").map(str::to_string),
+            shards,
             dashboard: parsed.has("dashboard"),
             json: parsed.has("json"),
             out: parsed.get("out").map(str::to_string),
@@ -281,7 +291,7 @@ impl SimulateArgs {
             None
         };
         let duration = self.scenario.duration;
-        let report = sim.run();
+        let report = sim.run_sharded(self.shards);
         if let Some((path, shared)) = &events {
             if let Some(err) = shared.finish() {
                 return Err(format!("error writing events file {path}: {err}"));
@@ -374,6 +384,8 @@ fn help() -> String {
      \x20 --record-trace FILE capture this run's arrivals for later replay\n\
      \x20 --events FILE       stream flight-recorder events (JSONL) to FILE and\n\
      \x20                     profile the event loop (see `radar events --help`)\n\
+     \x20 --shards N          run the event loop on N worker shards (default 1);\n\
+     \x20                     any fixed N reproduces the same seeded outputs\n\
      \x20 --dashboard         fold the event stream into live metrics: repaint a\n\
      \x20                     dashboard on stderr while running (TTY only) and\n\
      \x20                     append the final frame to the report\n\

@@ -344,6 +344,273 @@ impl Directory {
     pub(crate) fn set_mut(&mut self, object: ObjectId) -> &mut ReplicaSet {
         &mut self.sets[object.index()]
     }
+
+    /// Splits the directory into `num_shards` contiguous object-range
+    /// shards (ranges from [`shard_ranges`]), *moving* each object's
+    /// replica set and version into its shard. The parent keeps its
+    /// aggregate counters (`notifications`, `resets_applied`,
+    /// `total_replicas`) but owns no object state until
+    /// [`absorb_shards`](Self::absorb_shards) reunites it — reading or
+    /// mutating objects on the parent in between panics on the empty
+    /// slice, which is exactly the bug it would be.
+    ///
+    /// Shards never batch: the placement epoch that needs batching runs
+    /// only on the reunited parent, so each shard applies count resets
+    /// immediately, exactly like an unbatched directory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a placement-epoch batch is active (a split mid-epoch
+    /// would lose the deferred resets) or `num_shards` is zero.
+    pub fn split_shards(&mut self, num_shards: usize) -> Vec<DirectoryShard> {
+        assert!(
+            self.batch.is_none(),
+            "cannot split a directory while a placement-epoch batch is active"
+        );
+        let ranges = shard_ranges(self.sets.len() as u32, num_shards);
+        let mut sets = std::mem::take(&mut self.sets);
+        let mut versions = std::mem::take(&mut self.versions);
+        let mut shards = Vec::with_capacity(num_shards);
+        for &(start, _) in ranges.iter().rev() {
+            shards.push(DirectoryShard {
+                base: start,
+                sets: sets.split_off(start as usize),
+                versions: versions.split_off(start as usize),
+                notifications: 0,
+                resets: 0,
+                created: 0,
+                dropped: 0,
+            });
+        }
+        shards.reverse();
+        shards
+    }
+
+    /// Reunites shards produced by [`split_shards`](Self::split_shards):
+    /// moves every object's state back and folds each shard's local
+    /// counters into the parent's aggregates, so the reunited directory
+    /// is indistinguishable from one that processed the same operations
+    /// unsplit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parent still owns object state (it was never split)
+    /// or the shards are not presented in ascending, gap-free object
+    /// order covering every object.
+    pub fn absorb_shards(&mut self, shards: Vec<DirectoryShard>) {
+        assert!(
+            self.sets.is_empty(),
+            "absorb_shards must reunite a split directory"
+        );
+        for shard in shards {
+            assert_eq!(
+                shard.base as usize,
+                self.sets.len(),
+                "shards must be absorbed in ascending object order without gaps"
+            );
+            self.sets.extend(shard.sets);
+            self.versions.extend(shard.versions);
+            self.notifications += shard.notifications;
+            self.resets_applied += shard.resets;
+            self.total_replicas += shard.created;
+            self.total_replicas -= shard.dropped;
+        }
+    }
+}
+
+/// Contiguous object-id ranges partitioning `0..num_items` into
+/// `num_shards` near-equal slices: shard `s` owns
+/// `[s·n/k, (s+1)·n/k)`. This is the simulator's object→shard hash: ids
+/// are already assigned round-robin across nodes, so contiguous ranges
+/// are as balanced as a modulo hash while keeping every shard's state a
+/// single `split_off`/`append` away from the parent vectors.
+///
+/// Every consumer of the partition (directory, redirect-engine cache,
+/// the sharded event loop's dispatch table) derives it from this one
+/// function, so the slices can never disagree.
+///
+/// # Panics
+///
+/// Panics if `num_shards` is zero.
+pub fn shard_ranges(num_items: u32, num_shards: usize) -> Vec<(u32, u32)> {
+    assert!(num_shards > 0, "need at least one shard");
+    let (n, k) = (num_items as u64, num_shards as u64);
+    (0..k)
+        .map(|s| (((s * n) / k) as u32, (((s + 1) * n) / k) as u32))
+        .collect()
+}
+
+/// One contiguous-range shard of a [`Directory`]: exclusive ownership of
+/// the replica sets and versions of objects `base..base+len`, plus local
+/// overhead counters that fold back into the parent at
+/// [`Directory::absorb_shards`].
+///
+/// The sharded simulator moves these values onto worker threads between
+/// epoch barriers. All membership semantics — notify-*after*-create,
+/// drop arbitration *before* deletion, last-replica protection,
+/// count-reset-on-change — are identical to the parent directory's;
+/// the shard merely restricts them to its own object range (calls
+/// outside the range panic rather than silently touching a neighbour's
+/// state).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DirectoryShard {
+    base: u32,
+    sets: Vec<ReplicaSet>,
+    versions: Vec<u64>,
+    notifications: u64,
+    resets: u64,
+    /// Physical replicas added since the split (folds into the parent's
+    /// incremental census).
+    created: u64,
+    /// Physical replicas removed since the split.
+    dropped: u64,
+}
+
+impl DirectoryShard {
+    /// The first object id this shard owns.
+    pub fn base(&self) -> u32 {
+        self.base
+    }
+
+    /// Number of objects this shard owns.
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// `true` if the shard owns no objects (possible when there are more
+    /// shards than objects).
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+
+    /// `true` if `object` belongs to this shard's range.
+    pub fn contains(&self, object: ObjectId) -> bool {
+        let i = object.index();
+        i >= self.base as usize && i < self.base as usize + self.sets.len()
+    }
+
+    fn idx(&self, object: ObjectId) -> usize {
+        assert!(
+            self.contains(object),
+            "object {object} outside shard range {}..{}",
+            self.base,
+            self.base as usize + self.sets.len()
+        );
+        object.index() - self.base as usize
+    }
+
+    /// The current replicas of `object` (sorted by host id).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `object` is outside the shard's range.
+    pub fn replicas(&self, object: ObjectId) -> &[ReplicaInfo] {
+        &self.sets[self.idx(object)].entries
+    }
+
+    /// Number of distinct hosts holding `object`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `object` is outside the shard's range.
+    pub fn replica_count(&self, object: ObjectId) -> usize {
+        self.sets[self.idx(object)].entries.len()
+    }
+
+    /// The object's membership/affinity version; same contract as
+    /// [`Directory::version`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `object` is outside the shard's range.
+    pub fn version(&self, object: ObjectId) -> u64 {
+        self.versions[self.idx(object)]
+    }
+
+    /// Installs a replica without a count reset; same contract as
+    /// [`Directory::install`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `object` is outside the shard's range.
+    pub fn install(&mut self, object: ObjectId, host: NodeId) {
+        let i = self.idx(object);
+        self.versions[i] += 1;
+        let set = &mut self.sets[i];
+        match set.find(host) {
+            Some(j) => set.entries[j].aff += 1,
+            None => {
+                set.entries.push(ReplicaInfo {
+                    host,
+                    rcnt: 1,
+                    aff: 1,
+                });
+                set.entries.sort_unstable_by_key(|e| e.host);
+                self.created += 1;
+            }
+        }
+    }
+
+    /// Creation notification (sent *after* the copy exists); same
+    /// contract as [`Directory::notify_created`]. Shards never batch, so
+    /// the count reset applies immediately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `object` is outside the shard's range.
+    pub fn notify_created(&mut self, object: ObjectId, host: NodeId) {
+        let i = self.idx(object);
+        self.notifications += 1;
+        self.versions[i] += 1;
+        let set = &mut self.sets[i];
+        match set.find(host) {
+            Some(j) => set.entries[j].aff += 1,
+            None => {
+                set.entries.push(ReplicaInfo {
+                    host,
+                    rcnt: 1,
+                    aff: 1,
+                });
+                set.entries.sort_unstable_by_key(|e| e.host);
+                self.created += 1;
+            }
+        }
+        set.reset_counts();
+        self.resets += 1;
+    }
+
+    /// Drop arbitration: the replica is removed *before* the host deletes
+    /// its copy, and the last remaining replica is never dropped; same
+    /// contract as [`Directory::request_drop`]. Returns `true` if
+    /// approved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `object` is outside the shard's range.
+    pub fn request_drop(&mut self, object: ObjectId, host: NodeId) -> bool {
+        let i = self.idx(object);
+        let set = &mut self.sets[i];
+        let Some(j) = set.find(host) else {
+            return false;
+        };
+        if set.entries.len() == 1 {
+            return false; // never drop the last replica
+        }
+        self.notifications += 1;
+        self.versions[i] += 1;
+        set.entries.remove(j);
+        self.dropped += 1;
+        set.reset_counts();
+        self.resets += 1;
+        true
+    }
+
+    /// Crate-internal mutable access for the decision rule, mirroring
+    /// [`Directory::set_mut`].
+    pub(crate) fn set_mut(&mut self, object: ObjectId) -> &mut ReplicaSet {
+        let i = self.idx(object);
+        &mut self.sets[i]
+    }
 }
 
 #[cfg(test)]
@@ -526,6 +793,117 @@ mod tests {
                 let _ = step;
             }
         }
+    }
+
+    #[test]
+    fn shard_ranges_cover_exactly_once() {
+        for n in [0u32, 1, 5, 16, 53, 1000] {
+            for k in [1usize, 2, 3, 7, 64] {
+                let ranges = shard_ranges(n, k);
+                assert_eq!(ranges.len(), k);
+                assert_eq!(ranges[0].0, 0);
+                assert_eq!(ranges[k - 1].1, n);
+                for w in ranges.windows(2) {
+                    assert_eq!(w[0].1, w[1].0, "ranges must be contiguous");
+                }
+                // Near-equal: sizes differ by at most one.
+                let sizes: Vec<u32> = ranges.iter().map(|&(a, b)| b - a).collect();
+                let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                assert!(max - min <= 1, "unbalanced ranges {sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn split_absorb_roundtrip_is_identity() {
+        let mut d = Directory::new(10);
+        for i in 0..10 {
+            d.install(ObjectId::new(i), node((i % 4) as u16));
+            d.install(ObjectId::new(i), node(((i + 1) % 4) as u16));
+        }
+        d.set_mut(ObjectId::new(3)).entries[0].rcnt = 42;
+        let reference = d.clone();
+        for k in [1usize, 2, 3, 7, 16] {
+            let mut split = d.clone();
+            let shards = split.split_shards(k);
+            assert_eq!(shards.iter().map(DirectoryShard::len).sum::<usize>(), 10);
+            split.absorb_shards(shards);
+            assert_eq!(split, reference, "{k}-way split/absorb must be identity");
+        }
+    }
+
+    #[test]
+    fn shard_operations_match_unsplit_directory() {
+        // The same operation stream applied to shards and to an unsplit
+        // directory converges to identical state and identical aggregate
+        // counters after absorb — the sharded simulator's correctness
+        // contract.
+        let build = || {
+            let mut d = Directory::new(8);
+            for i in 0..8 {
+                d.install(ObjectId::new(i), node((i % 3) as u16));
+            }
+            d
+        };
+        let mut serial = build();
+        let mut sharded = build();
+        let mut shards = sharded.split_shards(3);
+
+        let shard_of = |shards: &mut Vec<DirectoryShard>, o: ObjectId| -> usize {
+            shards.iter().position(|s| s.contains(o)).expect("in range")
+        };
+        let ops: Vec<(u32, u16)> = vec![(0, 4), (3, 5), (7, 1), (2, 2), (5, 0)];
+        for &(obj, host) in &ops {
+            let (o, h) = (ObjectId::new(obj), node(host));
+            serial.notify_created(o, h);
+            let s = shard_of(&mut shards, o);
+            shards[s].notify_created(o, h);
+        }
+        // Drops, including a refused last-replica drop.
+        for (obj, host) in [(3u32, 0u16), (1, 1)] {
+            let (o, h) = (ObjectId::new(obj), node(host));
+            let s = shard_of(&mut shards, o);
+            assert_eq!(serial.request_drop(o, h), shards[s].request_drop(o, h));
+        }
+        // Plain installs (no reset).
+        serial.install(ObjectId::new(6), node(5));
+        let s = shard_of(&mut shards, ObjectId::new(6));
+        shards[s].install(ObjectId::new(6), node(5));
+
+        sharded.absorb_shards(shards);
+        assert_eq!(serial, sharded);
+        assert_eq!(serial.notifications(), sharded.notifications());
+        assert_eq!(serial.resets_applied(), sharded.resets_applied());
+        assert_eq!(serial.total_replicas(), sharded.total_replicas());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside shard range")]
+    fn shard_rejects_foreign_object() {
+        let mut d = Directory::new(4);
+        for i in 0..4 {
+            d.install(ObjectId::new(i), node(0));
+        }
+        let mut shards = d.split_shards(2);
+        // Object 0 lives in shard 0; shard 1 must refuse it.
+        shards[1].install(ObjectId::new(0), node(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "placement-epoch batch is active")]
+    fn split_during_batch_panics() {
+        let mut d = Directory::new(2);
+        d.begin_batch();
+        let _ = d.split_shards(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending object order")]
+    fn absorb_out_of_order_panics() {
+        let mut d = Directory::new(4);
+        let mut shards = d.split_shards(2);
+        shards.swap(0, 1);
+        d.absorb_shards(shards);
     }
 
     #[test]

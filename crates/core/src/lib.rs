@@ -75,9 +75,11 @@ mod redirector;
 mod types;
 
 pub use catalog::{Catalog, ObjectKind};
-pub use directory::Directory;
+pub use directory::{shard_ranges, Directory, DirectoryShard};
 pub use host::{HostState, ObjectState};
 pub use load::LoadEstimator;
 pub use params::{Params, ParamsBuilder, ParamsError};
-pub use redirector::{ChoiceBranch, ChoiceCandidate, ChoiceExplanation, Redirector, ReplicaInfo};
+pub use redirector::{
+    ChoiceBranch, ChoiceCandidate, ChoiceExplanation, Redirector, RedirectorShard, ReplicaInfo,
+};
 pub use types::{CreateObjRequest, CreateObjResponse, ObjectId, PlacementReason, RelocationKind};

@@ -1,0 +1,191 @@
+//! Property test: cross-shard migrations under delayed notifications.
+//!
+//! The paper's directory invariant — "the redirector is notified of copy
+//! creation *after* the fact and of deletion *before* the fact" — is
+//! what keeps every object continuously servable while replicas move.
+//! The sharded event loop splits the directory into per-thread shards
+//! ([`Directory::split_shards`]), so the invariant must survive
+//! migrations whose create lands on one shard epoch and whose drop lands
+//! on another, with notification delays in between (a slow or faulted
+//! link delivering the `notify_created` long after the copy exists).
+//!
+//! The harness replays a random migration script three ways — directly
+//! against one [`Directory`], and against 2-way and 3-way shard splits
+//! with barrier cadences drawn from the same seeded [`SimRng`] stream —
+//! and checks after every step and at every absorb:
+//!
+//! * every object keeps at least one replica (drop-of-last refused);
+//! * a drop is only ever granted for a host the directory listed
+//!   (deletion arbitration precedes the physical delete);
+//! * after absorbing, the sharded directory equals the serially-built
+//!   one, counters included.
+
+use radar_core::{shard_ranges, Directory, ObjectId};
+use radar_simcore::SimRng;
+use radar_simnet::NodeId;
+
+const OBJECTS: u32 = 24;
+const HOSTS: u16 = 8;
+const STEPS: usize = 400;
+
+/// One directory operation of a migration script.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// The copy exists; the notification arrives now (possibly long
+    /// after a link fault delayed it).
+    NotifyCreated(ObjectId, NodeId),
+    /// The host asks to delete its copy; refusal means it must keep it.
+    RequestDrop(ObjectId, NodeId),
+}
+
+/// Generates a migration-heavy script: each "migration" is a create on
+/// a (usually different) host followed — after a random delay measured
+/// in interleaved steps — by a drop request on the source host. Delays
+/// model notification latency under link faults: the drop of one
+/// migration can arrive before the create notification of the next.
+fn script(rng: &mut SimRng) -> Vec<Op> {
+    let mut ops = Vec::with_capacity(STEPS * 2);
+    // Pending delayed ops: (remaining steps, op).
+    let mut delayed: Vec<(usize, Op)> = Vec::new();
+    for _ in 0..STEPS {
+        // Deliver any delayed notifications that are due.
+        let mut i = 0;
+        while i < delayed.len() {
+            if delayed[i].0 == 0 {
+                ops.push(delayed.swap_remove(i).1);
+            } else {
+                delayed[i].0 -= 1;
+                i += 1;
+            }
+        }
+        let object = ObjectId::new(rng.index(OBJECTS as usize) as u32);
+        let target = NodeId::new(rng.index(HOSTS as usize) as u16);
+        let source = NodeId::new(rng.index(HOSTS as usize) as u16);
+        // A migration: create at the target now; the create notification
+        // and the source's drop request each suffer independent delays.
+        let create_delay = rng.index(4);
+        let drop_delay = create_delay + rng.index(6);
+        delayed.push((create_delay, Op::NotifyCreated(object, target)));
+        delayed.push((drop_delay, Op::RequestDrop(object, source)));
+    }
+    // Flush the tail in delay order so every create eventually lands.
+    delayed.sort_by_key(|&(d, _)| d);
+    ops.extend(delayed.into_iter().map(|(_, op)| op));
+    ops
+}
+
+fn seeded_directory() -> Directory {
+    let mut dir = Directory::new(OBJECTS);
+    for i in 0..OBJECTS {
+        dir.install(ObjectId::new(i), NodeId::new((i % u32::from(HOSTS)) as u16));
+    }
+    dir
+}
+
+/// Applies one op to a plain directory, asserting the invariants.
+fn apply_serial(dir: &mut Directory, op: Op) {
+    match op {
+        Op::NotifyCreated(object, host) => dir.notify_created(object, host),
+        Op::RequestDrop(object, host) => {
+            let listed = dir.replicas(object).iter().any(|r| r.host == host);
+            let granted = dir.request_drop(object, host);
+            assert!(
+                !granted || listed,
+                "drop granted for a replica the directory never listed"
+            );
+            assert!(
+                dir.replica_count(object) >= 1,
+                "object {object} lost its last replica"
+            );
+        }
+    }
+}
+
+/// Replays the script through `num_shards` shards with random barrier
+/// cadence, returning the reunited directory. Every op lands on the
+/// shard owning its object — a migration's create and drop may land on
+/// different shards and in different split epochs.
+fn apply_sharded(script: &[Op], num_shards: usize, rng: &mut SimRng) -> Directory {
+    let mut dir = seeded_directory();
+    let ranges = shard_ranges(OBJECTS, num_shards);
+    let shard_of = |object: ObjectId| -> usize {
+        ranges
+            .iter()
+            .position(|&(start, end)| {
+                (object.index() as u32) >= start && (object.index() as u32) < end
+            })
+            .expect("object within range")
+    };
+    let mut shards = dir.split_shards(num_shards);
+    for &op in script {
+        match op {
+            Op::NotifyCreated(object, host) => {
+                shards[shard_of(object)].notify_created(object, host);
+            }
+            Op::RequestDrop(object, host) => {
+                let s = &mut shards[shard_of(object)];
+                let listed = s.replicas(object).iter().any(|r| r.host == host);
+                let granted = s.request_drop(object, host);
+                assert!(!granted || listed, "shard granted an unlisted drop");
+                assert!(
+                    s.replica_count(object) >= 1,
+                    "shard let {object} lose its last replica"
+                );
+            }
+        }
+        // Random epoch barrier: reunite and re-split.
+        if rng.chance(0.05) {
+            dir.absorb_shards(shards);
+            for i in 0..OBJECTS {
+                assert!(
+                    dir.replica_count(ObjectId::new(i)) >= 1,
+                    "absorb lost the last replica of object {i}"
+                );
+            }
+            shards = dir.split_shards(num_shards);
+        }
+    }
+    dir.absorb_shards(shards);
+    dir
+}
+
+#[test]
+fn cross_shard_migrations_preserve_the_notification_invariant() {
+    for seed in 0..8u64 {
+        let mut rng = SimRng::seed_from(0xD1CE ^ seed);
+        let ops = script(&mut rng);
+
+        let mut serial = seeded_directory();
+        for &op in &ops {
+            apply_serial(&mut serial, op);
+        }
+
+        for num_shards in [2usize, 3] {
+            let mut barrier_rng = rng.fork(num_shards as u64);
+            let sharded = apply_sharded(&ops, num_shards, &mut barrier_rng);
+            assert_eq!(
+                sharded, serial,
+                "seed {seed}: {num_shards}-shard replay diverged from serial"
+            );
+        }
+    }
+}
+
+#[test]
+fn drop_of_last_replica_is_refused_on_shards() {
+    let mut dir = Directory::new(1);
+    let x = ObjectId::new(0);
+    dir.install(x, NodeId::new(0));
+    let mut shards = dir.split_shards(2);
+    let owner = shards
+        .iter_mut()
+        .find(|s| s.contains(x))
+        .expect("one shard owns the object");
+    assert!(
+        !owner.request_drop(x, NodeId::new(0)),
+        "a shard must refuse to drop the last replica"
+    );
+    assert_eq!(owner.replica_count(x), 1);
+    dir.absorb_shards(shards);
+    assert_eq!(dir.replica_count(x), 1);
+}

@@ -48,6 +48,7 @@ pub mod jsonl;
 mod metrics;
 mod profile;
 mod recorder;
+mod reorder;
 
 pub use diff::{diff_events, DiffOutcome};
 pub use event::{
@@ -58,3 +59,4 @@ pub use jsonl::{parse_jsonl, parse_jsonl_log, EventLog, EvictionSummary, ParseEr
 pub use metrics::{MetricsConfig, MetricsObserver, ObjectCounters, SharedMetrics};
 pub use profile::{HandlerStats, LoopProfile};
 pub use recorder::{Recorder, SharedRecorder, DEFAULT_CAPACITY};
+pub use reorder::EventReorderBuffer;

@@ -1,0 +1,185 @@
+//! Sequence-order merging of out-of-order event emissions.
+//!
+//! The sharded simulation loop (`radar-sim`'s `simulate --shards N`)
+//! reserves flight-recorder sequence numbers when it hands a redirect
+//! to a worker shard, and only emits the finished `Decision` event when
+//! the shard's answer is committed. Meanwhile the sequencer keeps
+//! emitting inline events with *later* sequence numbers. Observers,
+//! however, are promised the same stream a serial run produces: strictly
+//! increasing sequence numbers, parents before children.
+//!
+//! [`EventReorderBuffer`] restores that promise. Emissions are pushed in
+//! whatever order they complete; [`pop_ready`](EventReorderBuffer::pop_ready)
+//! releases them in exact sequence order, holding back any event whose
+//! predecessors are still outstanding. Because every reserved number is
+//! eventually emitted exactly once, the buffer drains completely at each
+//! epoch barrier — the merged per-shard streams form one causally
+//! ordered JSONL log, byte-identical to the serial run's.
+
+use std::collections::BTreeMap;
+
+use crate::Event;
+
+/// Re-sequencing buffer between out-of-order event producers and
+/// in-order observers. Sequence numbers are 1-based, matching the
+/// platform's flight-recorder counter.
+///
+/// ```
+/// use radar_obs::{Event, EventKind, EventReorderBuffer};
+///
+/// let ev = |seq| Event {
+///     seq,
+///     parent: None,
+///     t: 0.0,
+///     queue_depth: 0,
+///     kind: EventKind::RequestArrived { gateway: 0, object: 0 },
+/// };
+/// let mut buf = EventReorderBuffer::new();
+/// buf.push(ev(2)); // completed early, held back
+/// assert!(buf.pop_ready().is_none());
+/// buf.push(ev(1));
+/// assert_eq!(buf.pop_ready().unwrap().seq, 1);
+/// assert_eq!(buf.pop_ready().unwrap().seq, 2);
+/// assert!(buf.is_empty());
+/// ```
+#[derive(Debug)]
+pub struct EventReorderBuffer {
+    /// The next sequence number to release.
+    next: u64,
+    /// Events that completed ahead of a still-outstanding predecessor.
+    held: BTreeMap<u64, Event>,
+}
+
+impl EventReorderBuffer {
+    /// Creates an empty buffer expecting sequence number 1 first.
+    pub fn new() -> Self {
+        Self {
+            next: 1,
+            held: BTreeMap::new(),
+        }
+    }
+
+    /// Accepts one completed event, in any order relative to its
+    /// neighbors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `event.seq` was already released or pushed — each
+    /// sequence number must be emitted exactly once.
+    pub fn push(&mut self, event: Event) {
+        assert!(
+            event.seq >= self.next,
+            "event {} was already released (next expected is {})",
+            event.seq,
+            self.next
+        );
+        let clash = self.held.insert(event.seq, event);
+        assert!(
+            clash.is_none(),
+            "duplicate emission for an event sequence number"
+        );
+    }
+
+    /// Releases the next event in sequence order, or `None` while a
+    /// predecessor is still outstanding. Call in a loop after each
+    /// [`push`](Self::push) to drain everything that became ready.
+    pub fn pop_ready(&mut self) -> Option<Event> {
+        let event = self.held.remove(&self.next)?;
+        self.next += 1;
+        Some(event)
+    }
+
+    /// Number of events held back waiting on a predecessor.
+    pub fn len(&self) -> usize {
+        self.held.len()
+    }
+
+    /// `true` when nothing is held back — every pushed event has been
+    /// released in order.
+    pub fn is_empty(&self) -> bool {
+        self.held.is_empty()
+    }
+
+    /// The sequence number the buffer will release next.
+    pub fn next_expected(&self) -> u64 {
+        self.next
+    }
+}
+
+impl Default for EventReorderBuffer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EventKind;
+
+    fn ev(seq: u64) -> Event {
+        Event {
+            seq,
+            parent: (seq > 1).then(|| seq - 1),
+            t: seq as f64,
+            queue_depth: 0,
+            kind: EventKind::RequestArrived {
+                gateway: 0,
+                object: seq as u32,
+            },
+        }
+    }
+
+    #[test]
+    fn in_order_stream_passes_straight_through() {
+        let mut buf = EventReorderBuffer::new();
+        for seq in 1..=5 {
+            buf.push(ev(seq));
+            assert_eq!(buf.pop_ready().unwrap().seq, seq);
+            assert!(buf.pop_ready().is_none());
+        }
+        assert!(buf.is_empty());
+        assert_eq!(buf.next_expected(), 6);
+    }
+
+    #[test]
+    fn out_of_order_emissions_release_in_sequence() {
+        let mut buf = EventReorderBuffer::new();
+        for seq in [3, 5, 2, 1, 4] {
+            buf.push(ev(seq));
+        }
+        let released: Vec<u64> = std::iter::from_fn(|| buf.pop_ready().map(|e| e.seq)).collect();
+        assert_eq!(released, vec![1, 2, 3, 4, 5]);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn gap_holds_back_later_events() {
+        let mut buf = EventReorderBuffer::new();
+        buf.push(ev(1));
+        buf.push(ev(3));
+        assert_eq!(buf.pop_ready().unwrap().seq, 1);
+        assert!(buf.pop_ready().is_none(), "2 is outstanding");
+        assert_eq!(buf.len(), 1);
+        buf.push(ev(2));
+        assert_eq!(buf.pop_ready().unwrap().seq, 2);
+        assert_eq!(buf.pop_ready().unwrap().seq, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "already released")]
+    fn replaying_a_released_sequence_panics() {
+        let mut buf = EventReorderBuffer::new();
+        buf.push(ev(1));
+        buf.pop_ready();
+        buf.push(ev(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate emission")]
+    fn duplicate_held_sequence_panics() {
+        let mut buf = EventReorderBuffer::new();
+        buf.push(ev(2));
+        buf.push(ev(2));
+    }
+}

@@ -89,6 +89,7 @@ impl Simulation {
         // One placement epoch = one directory batch: count resets for
         // objects this epoch touches apply once, at commit.
         self.redirector.begin_batch();
+        let queue_depth = self.depth();
         {
             let mut env = SimEnv {
                 self_index: i,
@@ -103,7 +104,7 @@ impl Simulation {
                 object_size: self.scenario.object_size,
                 now,
                 events: &mut self.events,
-                queue_depth: self.queue.len() as u32,
+                queue_depth,
             };
             run_placement_into(
                 &mut self.spare_host,
@@ -118,7 +119,7 @@ impl Simulation {
         if self.events.tracing {
             // One flight-recorder event per placement decision, carrying
             // the threshold comparison that triggered it.
-            let qd = self.queue.len() as u32;
+            let qd = self.depth();
             for d in &outcome.decisions {
                 self.events.emit(
                     now,

@@ -610,6 +610,17 @@ impl FaultState {
     pub(crate) fn any_link_degraded(&self) -> bool {
         self.link_factor.values().any(|stack| !stack.is_empty())
     }
+
+    /// `true` when no fault of any kind is active: every host up, every
+    /// link carrying traffic, no degradation factor applied. The sharded
+    /// event loop only runs its parallel fast path inside all-clear
+    /// windows; while any fault holds, it falls back to the serial loop
+    /// (see `crate::shard`).
+    pub(crate) fn all_clear(&self) -> bool {
+        self.host_down.iter().all(|&c| c == 0)
+            && self.link_down.values().all(|&c| c == 0)
+            && self.link_factor.values().all(|stack| stack.is_empty())
+    }
 }
 
 #[cfg(test)]
@@ -689,6 +700,24 @@ mod tests {
         state.apply(TransitionKind::LinkRestore(0, 1, 3.0));
         assert_eq!(state.link_factor(0, 1), 1.0);
         assert!(!state.any_link_degraded());
+    }
+
+    #[test]
+    fn all_clear_tracks_every_fault_kind() {
+        let mut state = FaultState::new(3);
+        assert!(state.all_clear());
+        state.apply(TransitionKind::HostCrash(1));
+        assert!(!state.all_clear());
+        state.apply(TransitionKind::HostRecover(1));
+        assert!(state.all_clear());
+        state.apply(TransitionKind::LinkFail(0, 2));
+        assert!(!state.all_clear());
+        state.apply(TransitionKind::LinkHeal(0, 2));
+        assert!(state.all_clear());
+        state.apply(TransitionKind::LinkDegrade(0, 1, 2.0));
+        assert!(!state.all_clear());
+        state.apply(TransitionKind::LinkRestore(0, 1, 2.0));
+        assert!(state.all_clear());
     }
 
     #[test]

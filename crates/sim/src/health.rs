@@ -42,7 +42,7 @@ impl Simulation {
         self.fault_gen += 1;
         self.metrics.faults_injected += 1;
         if self.events.tracing {
-            let qd = self.queue.len() as u32;
+            let qd = self.depth();
             self.events.emit(
                 now,
                 qd,
@@ -121,7 +121,7 @@ impl Simulation {
         if self.events.tracing {
             // Purging resets the surviving replicas' request counts —
             // one CountsReset per affected object.
-            let qd = self.queue.len() as u32;
+            let qd = self.depth();
             for object in purged {
                 self.events.emit(
                     t.as_secs(),
@@ -259,7 +259,7 @@ impl Simulation {
                 self.install(object, target);
                 self.metrics.re_replications += 1;
                 if self.events.tracing {
-                    let qd = self.queue.len() as u32;
+                    let qd = self.depth();
                     self.events.emit(
                         now,
                         qd,

@@ -68,6 +68,7 @@ mod platform;
 mod redirect;
 mod report;
 mod selection;
+mod shard;
 mod sink;
 mod trace;
 

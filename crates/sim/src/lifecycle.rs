@@ -7,8 +7,10 @@
 //! the selection policy supports candidate caching, and the pluggable
 //! [`crate::selection::SelectionPolicy`] surface otherwise.
 
-use radar_core::{ChoiceBranch, ObjectId};
-use radar_obs::{CandidateSnapshot, DecisionBranch, EventKind as ObsEventKind, FailReason};
+use radar_core::{ChoiceBranch, ChoiceExplanation, ObjectId};
+use radar_obs::{
+    CandidateSnapshot, DecisionBranch, DecisionEvent, EventKind as ObsEventKind, FailReason,
+};
 use radar_simcore::{SimDuration, SimTime};
 use radar_simnet::NodeId;
 
@@ -22,6 +24,58 @@ fn fail_reason_tag(reason: FailureReason) -> FailReason {
         FailureReason::AllReplicasDown => FailReason::AllReplicasDown,
         FailureReason::Unreachable => FailReason::Unreachable,
         FailureReason::CrashedMidService => FailReason::CrashedMidService,
+    }
+}
+
+/// Fills a flight-recorder [`DecisionEvent`] from a redirect outcome.
+/// Shared between the serial redirect handler and the sharded
+/// sequencer's deferred commits, so both produce byte-identical decision
+/// records. `explanation` is `Some` when the Fig. 2 branch data was
+/// captured; otherwise the branch collapses to `PrimaryFallback` or
+/// `Policy` per `fallback_used`.
+pub(crate) fn fill_decision(
+    d: &mut DecisionEvent,
+    object: ObjectId,
+    gateway: NodeId,
+    host: NodeId,
+    explanation: Option<&ChoiceExplanation>,
+    fallback_used: bool,
+    constant: f64,
+) {
+    d.object = object.index() as u32;
+    d.gateway = gateway.index() as u16;
+    d.chosen = host.index() as u16;
+    if let Some(scratch) = explanation {
+        d.branch = match scratch.branch {
+            ChoiceBranch::Closest => DecisionBranch::Closest,
+            ChoiceBranch::LeastRequested => DecisionBranch::LeastRequested,
+        };
+        d.constant = scratch.constant;
+        d.closest = Some(scratch.closest.index() as u16);
+        d.least = Some(scratch.least.index() as u16);
+        d.unit_closest = Some(scratch.unit_closest);
+        d.unit_least = Some(scratch.unit_least);
+        d.candidates
+            .extend(scratch.candidates.iter().map(|c| CandidateSnapshot {
+                host: c.host.index() as u16,
+                rcnt: c.rcnt,
+                aff: c.aff,
+                unit: c.unit_rcnt(),
+                distance: c.distance,
+            }));
+    } else {
+        // Either the selection policy has no Fig. 2 data (a baseline)
+        // or no usable replica existed and the primary fallback served.
+        d.branch = if fallback_used {
+            DecisionBranch::PrimaryFallback
+        } else {
+            DecisionBranch::Policy
+        };
+        d.constant = constant;
+        d.closest = None;
+        d.least = None;
+        d.unit_closest = None;
+        d.unit_least = None;
     }
 }
 
@@ -90,7 +144,7 @@ impl Simulation {
         self.metrics.failed_requests += 1;
         let now = t.as_secs();
         if self.events.tracing {
-            let qd = self.queue.len() as u32;
+            let qd = self.depth();
             self.events.emit(
                 now,
                 qd,
@@ -147,7 +201,7 @@ impl Simulation {
         if !self.events.tracing {
             return 0;
         }
-        let qd = self.queue.len() as u32;
+        let qd = self.depth();
         self.events.emit(
             t.as_secs(),
             qd,
@@ -305,46 +359,19 @@ impl Simulation {
             }
         };
         let decision = if self.events.tracing {
-            let qd = self.queue.len() as u32;
+            let qd = self.depth();
             let scratch = &self.explain_scratch;
             let constant = self.scenario.params.distribution_constant;
             self.events.emit_decision(t.as_secs(), qd, cause, |d| {
-                d.object = object.index() as u32;
-                d.gateway = gateway.index() as u16;
-                d.chosen = host.index() as u16;
-                if explained {
-                    d.branch = match scratch.branch {
-                        ChoiceBranch::Closest => DecisionBranch::Closest,
-                        ChoiceBranch::LeastRequested => DecisionBranch::LeastRequested,
-                    };
-                    d.constant = scratch.constant;
-                    d.closest = Some(scratch.closest.index() as u16);
-                    d.least = Some(scratch.least.index() as u16);
-                    d.unit_closest = Some(scratch.unit_closest);
-                    d.unit_least = Some(scratch.unit_least);
-                    d.candidates
-                        .extend(scratch.candidates.iter().map(|c| CandidateSnapshot {
-                            host: c.host.index() as u16,
-                            rcnt: c.rcnt,
-                            aff: c.aff,
-                            unit: c.unit_rcnt(),
-                            distance: c.distance,
-                        }));
-                } else {
-                    // Either the selection policy has no Fig. 2 data (a
-                    // baseline) or no usable replica existed and the
-                    // primary fallback served.
-                    d.branch = if fallback_used {
-                        DecisionBranch::PrimaryFallback
-                    } else {
-                        DecisionBranch::Policy
-                    };
-                    d.constant = constant;
-                    d.closest = None;
-                    d.least = None;
-                    d.unit_closest = None;
-                    d.unit_least = None;
-                }
+                fill_decision(
+                    d,
+                    object,
+                    gateway,
+                    host,
+                    explained.then_some(scratch),
+                    fallback_used,
+                    constant,
+                );
             })
         } else {
             0
@@ -441,7 +468,7 @@ impl Simulation {
         );
         self.metrics.region_matrix[from][to] += bytes_hops;
         if self.events.tracing {
-            let qd = self.queue.len() as u32;
+            let qd = self.depth();
             self.events.emit(
                 t.as_secs(),
                 qd,

@@ -136,7 +136,13 @@ pub struct Simulation {
     /// One arrival process per gateway.
     pub(crate) arrivals: Vec<ArrivalProcess>,
     /// Whether bootstrap (initial placement + first events) has run.
-    started: bool,
+    pub(crate) started: bool,
+    /// Redirects handed to worker shards but not yet committed back into
+    /// the queue: each will push exactly one `ArriveAtHost`. Always 0 in
+    /// the serial loop; the sharded sequencer keeps it current so
+    /// [`depth`](Self::depth) reports the queue depth a serial run would
+    /// see at the same point in the event order.
+    pub(crate) pending_push_estimate: u32,
     /// Attached observers plus the flight-recorder state.
     pub(crate) events: EventSink,
     /// Event-loop profiling accumulator; `None` until
@@ -285,6 +291,7 @@ impl Simulation {
             queue: EventQueue::new(),
             arrivals,
             started: false,
+            pending_push_estimate: 0,
             events: EventSink::new(),
             profile: None,
             load_reports: vec![(0.0, 0.0); n],
@@ -442,7 +449,7 @@ impl Simulation {
         self.finalize()
     }
 
-    fn bootstrap(&mut self) {
+    pub(crate) fn bootstrap(&mut self) {
         // Initial object placement.
         match self.scenario.initial_placement.clone() {
             InitialPlacement::RoundRobin => {
@@ -525,7 +532,17 @@ impl Simulation {
         self.hosts[node.index()].install_object(object);
     }
 
-    fn handle(&mut self, t: SimTime, ev: Event) {
+    /// Recorder-visible queue depth: the scheduled events plus the
+    /// `ArriveAtHost` pushes owed by redirects still in flight on worker
+    /// shards. Equals `queue.len()` in the serial loop, and is invariant
+    /// to commit timing in the sharded loop (each commit pushes one event
+    /// and decrements the estimate), so emitted `queue_depth` values
+    /// match the serial run exactly.
+    pub(crate) fn depth(&self) -> u32 {
+        self.queue.len() as u32 + self.pending_push_estimate
+    }
+
+    pub(crate) fn handle(&mut self, t: SimTime, ev: Event) {
         match ev {
             Event::Arrival { gateway } => self.on_arrival(t, gateway),
             Event::Redirect {

@@ -136,6 +136,112 @@ impl RedirectEngine {
         let slot = slot.as_ref().expect("slot filled above");
         redirector.choose_among_into(object, &slot.candidates, Some(slot.closest), explanation)
     }
+
+    /// Splits the cache into `num_shards` contiguous object-range shards
+    /// (the same partition as [`radar_core::shard_ranges`]), each owning
+    /// its objects' slots so worker threads can serve cache hits without
+    /// synchronization. The parent keeps an empty table and must not
+    /// serve decisions until [`absorb_shards`](Self::absorb_shards)
+    /// reunites the slots.
+    pub(crate) fn split_shards(&mut self, num_shards: usize) -> Vec<EngineShard> {
+        let num_objects = (self.slots.len() / self.num_nodes.max(1)) as u32;
+        let ranges = radar_core::shard_ranges(num_objects, num_shards);
+        let mut rest = std::mem::take(&mut self.slots);
+        let mut shards: Vec<EngineShard> = Vec::with_capacity(num_shards);
+        for s in (0..num_shards).rev() {
+            let (start, _) = ranges[s];
+            let slots = rest.split_off(start as usize * self.num_nodes);
+            shards.push(EngineShard {
+                base: start,
+                num_nodes: self.num_nodes,
+                slots,
+            });
+        }
+        shards.reverse();
+        debug_assert!(rest.is_empty());
+        shards
+    }
+
+    /// Reunites shards produced by [`split_shards`](Self::split_shards),
+    /// in the same order.
+    pub(crate) fn absorb_shards(&mut self, shards: Vec<EngineShard>) {
+        debug_assert!(self.slots.is_empty(), "absorb into a split engine only");
+        for shard in shards {
+            debug_assert_eq!(shard.base as usize * self.num_nodes, self.slots.len());
+            self.slots.extend(shard.slots);
+        }
+    }
+}
+
+/// One worker thread's slice of the [`RedirectEngine`] candidate cache:
+/// the slots for a contiguous object range. Decisions made through a
+/// shard are bit-identical to the unsplit engine's — same filter output,
+/// same Fig. 2 arithmetic — because inside a parallel window (no faults,
+/// full connectivity) the usability filter passes every replica.
+pub(crate) struct EngineShard {
+    /// First object id this shard owns.
+    base: u32,
+    num_nodes: usize,
+    /// Slot table indexed `(object - base) * num_nodes + gateway`.
+    slots: Vec<Option<CacheSlot>>,
+}
+
+impl EngineShard {
+    /// The shard-local Fig. 2 decision. Mirrors
+    /// [`RedirectEngine::choose`] except that the usable-replica filter
+    /// is vacuous: the sharded loop only defers redirects while every
+    /// host is up and every route intact (see `crate::shard`), so every
+    /// replica is usable and only the distance lookup remains. Candidate
+    /// lists and the cached closest replica are therefore identical to
+    /// what the serial engine would build at the same point in the event
+    /// order.
+    pub(crate) fn choose(
+        &mut self,
+        object: ObjectId,
+        gateway: NodeId,
+        shard: &mut radar_core::RedirectorShard,
+        net: &crate::shard::NetSnapshot,
+        explanation: Option<&mut ChoiceExplanation>,
+    ) -> Option<NodeId> {
+        let idx = (object.index() - self.base as usize) * self.num_nodes + gateway.index();
+        let slot = &mut self.slots[idx];
+        let dir_version = shard.version(object);
+        let fresh = matches!(
+            slot,
+            Some(s) if s.dir_version == dir_version
+                && s.routing_gen == net.routing_gen()
+                && s.fault_gen == net.fault_gen()
+        );
+        if !fresh {
+            let mut candidates = match slot.take() {
+                Some(stale) => {
+                    let mut v = stale.candidates;
+                    v.clear();
+                    v
+                }
+                None => Vec::new(),
+            };
+            let mut closest = 0u32;
+            let mut best = (u32::MAX, NodeId::new(u16::MAX));
+            for (i, e) in shard.replicas(object).iter().enumerate() {
+                let dist = net.distance(e.host, gateway);
+                candidates.push((i as u32, dist));
+                if (dist, e.host) < best {
+                    best = (dist, e.host);
+                    closest = i as u32;
+                }
+            }
+            *slot = Some(CacheSlot {
+                dir_version,
+                routing_gen: net.routing_gen(),
+                fault_gen: net.fault_gen(),
+                candidates,
+                closest,
+            });
+        }
+        let slot = slot.as_ref().expect("slot filled above");
+        shard.choose_among_into(object, &slot.candidates, Some(slot.closest), explanation)
+    }
 }
 
 #[cfg(test)]
@@ -181,6 +287,38 @@ mod tests {
         r.notify_created(x(), gw);
         let second = engine.choose(x(), gw, rnode, &mut r, &view, &fault_state, 0, None);
         assert_eq!(second, Some(gw), "stale cache would still pick node 1");
+    }
+
+    #[test]
+    fn shard_decisions_match_the_unsplit_engine() {
+        // Inside a parallel window (no faults, full connectivity) a
+        // shard must reproduce the serial engine's decision stream and
+        // bookkeeping exactly — that is the sharded loop's whole claim.
+        let view = RoutingView::new(builders::uunet());
+        let fault_state = FaultState::new(view.topology().len());
+        let net = crate::shard::NetSnapshot::from_view(&view, 0);
+        let mut serial = Redirector::new(4, 2.0);
+        for i in 0..4 {
+            serial.install(ObjectId::new(i), NodeId::new(3));
+            serial.install(ObjectId::new(i), NodeId::new(40));
+        }
+        let mut sharded = serial.clone();
+        let mut engine = RedirectEngine::new(4, view.topology().len());
+        let mut split_engine = RedirectEngine::new(4, view.topology().len());
+        let mut dir_shards = sharded.split_shards(2);
+        let mut engine_shards = split_engine.split_shards(2);
+        let rnode = view.table().centroid();
+        for i in 0..600u16 {
+            let object = ObjectId::new(u32::from(i) % 4);
+            let gw = NodeId::new(i % view.topology().len() as u16);
+            let expect =
+                engine.choose(object, gw, rnode, &mut serial, &view, &fault_state, 0, None);
+            let s = (object.index() * 2) / 4;
+            let got = engine_shards[s].choose(object, gw, &mut dir_shards[s], &net, None);
+            assert_eq!(got, expect, "request {i}");
+        }
+        sharded.absorb_shards(dir_shards);
+        assert_eq!(sharded, serial, "identical bookkeeping after the stream");
     }
 
     #[test]

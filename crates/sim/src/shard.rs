@@ -1,0 +1,698 @@
+//! The sharded parallel event loop with deterministic epoch barriers.
+//!
+//! [`Simulation::run_sharded`] splits the object space across worker
+//! threads by the same hash partition the paper uses for redirectors
+//! (§2 — contiguous object-id ranges, [`radar_core::shard_ranges`]).
+//! Each worker owns its slice of the directory
+//! ([`radar_core::RedirectorShard`]) and of the redirect engine's
+//! candidate cache ([`crate::redirect::EngineShard`]); the main thread
+//! keeps sequencing the event queue and handles everything except the
+//! hot redirect decision, which it *defers* to the owning shard.
+//!
+//! # The two modes
+//!
+//! The loop runs in **parallel mode** only while the platform is inside
+//! an all-clear window: no fault of any kind active
+//! ([`FaultState`](crate::faults) `all_clear`) and the topology fully
+//! connected. Inside such a window every replica host is up and every
+//! route intact, so the redirect usability filter passes every replica:
+//! a decision can never come up empty, the primary-fallback path can
+//! never run, and replica sets can only change at events the loop treats
+//! as barriers. Outside the window — from the fault transition that
+//! breaks it to the one that restores it — the loop falls back to the
+//! **serial** handler for every event, which is trivially equivalent to
+//! [`Simulation::run`].
+//!
+//! # Determinism
+//!
+//! A seeded run is byte-identical for any fixed shard count, and
+//! byte-identical to the serial run, because every observable effect of
+//! a deferred redirect is pinned at *defer* time (which happens at the
+//! exact position the serial loop would handle it):
+//!
+//! * **Queue order** — the eventual `ArriveAtHost` gets its tie-break
+//!   sequence number reserved at defer time
+//!   ([`radar_simcore::EventQueue::reserve_seq`]), so it sorts exactly
+//!   where the serial loop's immediate `schedule` would have put it.
+//! * **Pop safety** — the sequencer never pops an event that could sort
+//!   after a still-uncommitted deferred arrival: each pending redirect
+//!   carries a lower bound on its arrival key (defer time + the minimum
+//!   propagation delay over the object's replicas, frozen for the
+//!   window), and the queue head is only popped while its `(time, seq)`
+//!   key is below the minimum pending bound.
+//! * **Recorder order** — the decision event's flight-recorder sequence
+//!   is reserved at defer time and the whole stream passes through an
+//!   [`radar_obs::EventReorderBuffer`], so observers see sequence order
+//!   regardless of commit timing.
+//! * **Queue depth** — emitted `queue_depth` values use
+//!   [`Simulation::depth`], which counts the arrivals still owed by
+//!   in-flight redirects and is therefore invariant to commit timing.
+//! * **Decisions themselves** — Fig. 2 state is per-object, objects are
+//!   partitioned, and each shard processes its items in defer order =
+//!   serial pop order restricted to its objects, so every request count
+//!   and every choice evolves exactly as in the serial run.
+//!
+//! Epoch barriers (placement runs, provider updates, declare-dead
+//! sweeps, fault transitions) flush all pending work, recall every
+//! shard's state, and run the handler on the reunited directory; the
+//! window is then re-split (or the loop drops to serial mode if the
+//! fault broke the invariants).
+
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
+
+use radar_core::{shard_ranges, ChoiceExplanation, ObjectId, RedirectorShard};
+use radar_simcore::{SimDuration, SimTime};
+use radar_simnet::{NodeId, RoutingView};
+
+use crate::lifecycle::fill_decision;
+use crate::platform::{Event, Simulation};
+use crate::redirect::EngineShard;
+use crate::report::RunReport;
+
+/// Read-only network facts a worker needs to fill candidate-cache slots:
+/// the full hop-distance matrix plus the generation counters that key
+/// cache freshness. Captured once per parallel window (distances cannot
+/// change inside one — the window ends at any fault transition).
+pub(crate) struct NetSnapshot {
+    num_nodes: usize,
+    /// Row-major `num_nodes × num_nodes` hop distances.
+    distances: Vec<u32>,
+    routing_gen: u64,
+    fault_gen: u32,
+}
+
+impl NetSnapshot {
+    pub(crate) fn from_view(view: &RoutingView, fault_gen: u32) -> Self {
+        let n = view.topology().len();
+        let mut distances = vec![0u32; n * n];
+        for a in 0..n {
+            for b in 0..n {
+                distances[a * n + b] = view.distance(NodeId::new(a as u16), NodeId::new(b as u16));
+            }
+        }
+        NetSnapshot {
+            num_nodes: n,
+            distances,
+            routing_gen: view.generation(),
+            fault_gen,
+        }
+    }
+
+    /// Hop distance between two nodes, as the routing view reported at
+    /// capture time.
+    pub(crate) fn distance(&self, from: NodeId, to: NodeId) -> u32 {
+        self.distances[from.index() * self.num_nodes + to.index()]
+    }
+
+    pub(crate) fn routing_gen(&self) -> u64 {
+        self.routing_gen
+    }
+
+    pub(crate) fn fault_gen(&self) -> u32 {
+        self.fault_gen
+    }
+}
+
+/// One deferred redirect, sent to the shard owning its object.
+struct WorkItem {
+    /// Monotonic defer counter; outcomes are matched back by id.
+    id: u64,
+    object: ObjectId,
+    gateway: NodeId,
+    /// Capture the Fig. 2 explanation for the flight recorder.
+    explain: bool,
+}
+
+/// A shard's answer to one [`WorkItem`].
+struct WorkOutcome {
+    host: NodeId,
+    explanation: Option<Box<ChoiceExplanation>>,
+}
+
+/// Everything a worker owns between a split and the next barrier.
+struct ShardState {
+    redirector: RedirectorShard,
+    engine: EngineShard,
+}
+
+enum ToShard {
+    /// Install this window's state (sent at each split).
+    State(Box<ShardState>, Arc<NetSnapshot>),
+    /// Decide one redirect.
+    Item(WorkItem),
+    /// Return the state (sent at each barrier).
+    Collect,
+}
+
+enum FromShard {
+    Outcome {
+        id: u64,
+        outcome: WorkOutcome,
+    },
+    State {
+        shard: usize,
+        state: Box<ShardState>,
+    },
+}
+
+/// A deferred redirect awaiting its outcome, with every serial-order
+/// fact pinned at defer time.
+struct PendingSlot {
+    id: u64,
+    object: ObjectId,
+    gateway: NodeId,
+    rnode: NodeId,
+    /// Time the redirect event fired.
+    t: SimTime,
+    /// Original request arrival time.
+    t0: SimTime,
+    /// Causal parent (the arrival's recorder sequence).
+    cause: u64,
+    /// Queue depth snapshot for the decision event.
+    qd: u32,
+    /// Reserved tie-break for the eventual `ArriveAtHost`.
+    queue_seq: u64,
+    /// Reserved flight-recorder sequence for the decision (0 untraced).
+    rec_seq: u64,
+    outcome: Option<WorkOutcome>,
+}
+
+/// Spin briefly before blocking: the round trip to a worker is far
+/// shorter than a thread park/unpark, so a bounded spin keeps the
+/// common case off the scheduler.
+const RECV_SPIN_ITERS: u32 = 1000;
+
+fn recv_spin<T>(rx: &Receiver<T>) -> Option<T> {
+    for _ in 0..RECV_SPIN_ITERS {
+        match rx.try_recv() {
+            Ok(msg) => return Some(msg),
+            Err(std::sync::mpsc::TryRecvError::Empty) => std::hint::spin_loop(),
+            Err(std::sync::mpsc::TryRecvError::Disconnected) => return None,
+        }
+    }
+    rx.recv().ok()
+}
+
+fn worker_loop(shard_idx: usize, rx: Receiver<ToShard>, tx: Sender<FromShard>) {
+    let mut state: Option<(Box<ShardState>, Arc<NetSnapshot>)> = None;
+    while let Some(msg) = recv_spin(&rx) {
+        match msg {
+            ToShard::State(s, net) => state = Some((s, net)),
+            ToShard::Item(item) => {
+                let (s, net) = state.as_mut().expect("state installed before items");
+                let mut explanation = item.explain.then(|| Box::new(ChoiceExplanation::default()));
+                let host = s
+                    .engine
+                    .choose(
+                        item.object,
+                        item.gateway,
+                        &mut s.redirector,
+                        net,
+                        explanation.as_deref_mut(),
+                    )
+                    .expect("a fault-free connected window always has a usable replica");
+                // Send failure means the sequencer is gone (panic
+                // unwinding); just exit quietly.
+                if tx
+                    .send(FromShard::Outcome {
+                        id: item.id,
+                        outcome: WorkOutcome { host, explanation },
+                    })
+                    .is_err()
+                {
+                    return;
+                }
+            }
+            ToShard::Collect => {
+                let (s, _) = state.take().expect("state installed before collect");
+                if tx
+                    .send(FromShard::State {
+                        shard: shard_idx,
+                        state: s,
+                    })
+                    .is_err()
+                {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// The sequencer-side runtime: worker handles, the pending FIFO, and the
+/// arrival-key floor that guards pop order.
+struct ShardRuntime {
+    senders: Vec<Sender<ToShard>>,
+    from_rx: Receiver<FromShard>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    /// Object index → owning shard (contiguous ranges).
+    shard_of: Vec<usize>,
+    /// Deferred redirects in defer (= serial pop) order.
+    pending: VecDeque<PendingSlot>,
+    /// Min-heap of `(arrival-key lower bound in µs, queue_seq, id)` over
+    /// pending items; entries for committed items are stale and removed
+    /// lazily.
+    floor: BinaryHeap<std::cmp::Reverse<(u64, u64, u64)>>,
+    /// Per-object lower bound (µs) on redirector→replica propagation,
+    /// rebuilt at each split while replica sets are frozen.
+    bounds: Vec<u64>,
+    next_item_id: u64,
+    /// Whether shard state is currently out with the workers.
+    split: bool,
+}
+
+impl ShardRuntime {
+    fn new(sim: &Simulation, shards: usize) -> Self {
+        let num_objects = sim.scenario.num_objects as usize;
+        let mut shard_of = vec![0usize; num_objects];
+        for (s, &(start, end)) in shard_ranges(sim.scenario.num_objects, shards)
+            .iter()
+            .enumerate()
+        {
+            for slot in &mut shard_of[start as usize..end as usize] {
+                *slot = s;
+            }
+        }
+        let (from_tx, from_rx) = std::sync::mpsc::channel();
+        let mut senders = Vec::with_capacity(shards);
+        let mut workers = Vec::with_capacity(shards);
+        for s in 0..shards {
+            let (tx, rx) = std::sync::mpsc::channel();
+            senders.push(tx);
+            let from = from_tx.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("radar-shard-{s}"))
+                .spawn(move || worker_loop(s, rx, from))
+                .expect("spawn shard worker");
+            workers.push(handle);
+        }
+        ShardRuntime {
+            senders,
+            from_rx,
+            workers,
+            shard_of,
+            pending: VecDeque::new(),
+            floor: BinaryHeap::new(),
+            bounds: vec![0; num_objects],
+            next_item_id: 0,
+            split: false,
+        }
+    }
+
+    /// Recomputes each object's arrival-key lower bound: the minimum
+    /// propagation delay from its redirector to any replica. Valid for
+    /// the whole window because replica sets only change at barriers.
+    fn rebuild_bounds(&mut self, sim: &Simulation) {
+        for (i, bound) in self.bounds.iter_mut().enumerate() {
+            let object = ObjectId::new(i as u32);
+            let rnode = sim.redirector_node_of(object);
+            *bound = sim
+                .redirector
+                .replicas(object)
+                .iter()
+                .map(|r| {
+                    let delay = sim
+                        .scenario
+                        .network
+                        .propagation_time(sim.view.distance(rnode, r.host));
+                    SimDuration::from_secs(delay).as_micros()
+                })
+                .min()
+                .unwrap_or(u64::MAX);
+        }
+    }
+
+    /// Splits directory + engine state across the workers for a new
+    /// parallel window.
+    fn split(&mut self, sim: &mut Simulation) {
+        debug_assert!(!self.split);
+        self.rebuild_bounds(sim);
+        let net = Arc::new(NetSnapshot::from_view(&sim.view, sim.fault_gen));
+        let dirs = sim.redirector.split_shards(self.senders.len());
+        let engines = sim.redirect.split_shards(self.senders.len());
+        for ((sender, redirector), engine) in self.senders.iter().zip(dirs).zip(engines) {
+            sender
+                .send(ToShard::State(
+                    Box::new(ShardState { redirector, engine }),
+                    Arc::clone(&net),
+                ))
+                .expect("worker alive");
+        }
+        self.split = true;
+    }
+
+    /// Hands one redirect to its owning shard, pinning every
+    /// serial-order fact (metrics increment, queue-depth snapshot,
+    /// queue and recorder sequence numbers) at this point in the event
+    /// order.
+    fn defer(
+        &mut self,
+        sim: &mut Simulation,
+        t: SimTime,
+        object: ObjectId,
+        gateway: NodeId,
+        t0: SimTime,
+        cause: u64,
+    ) {
+        let rnode = sim.redirector_node_of(object);
+        sim.metrics.redirector_requests[rnode.index()] += 1;
+        let qd = sim.depth();
+        let rec_seq = if sim.events.tracing {
+            sim.events.reserve_seq()
+        } else {
+            0
+        };
+        let queue_seq = sim.queue.reserve_seq();
+        let id = self.next_item_id;
+        self.next_item_id += 1;
+        let key = t.as_micros().saturating_add(self.bounds[object.index()]);
+        self.floor.push(std::cmp::Reverse((key, queue_seq, id)));
+        self.pending.push_back(PendingSlot {
+            id,
+            object,
+            gateway,
+            rnode,
+            t,
+            t0,
+            cause,
+            qd,
+            queue_seq,
+            rec_seq,
+            outcome: None,
+        });
+        sim.pending_push_estimate += 1;
+        self.senders[self.shard_of[object.index()]]
+            .send(ToShard::Item(WorkItem {
+                id,
+                object,
+                gateway,
+                explain: sim.events.tracing,
+            }))
+            .expect("worker alive");
+    }
+
+    /// The smallest `(µs, seq)` key any pending arrival could be
+    /// scheduled under, or `None` with nothing pending. The queue head
+    /// may be popped only while its key is strictly below this floor.
+    fn floor_key(&mut self) -> Option<(u64, u64)> {
+        let front_id = self.pending.front()?.id;
+        while let Some(&std::cmp::Reverse((key, seq, id))) = self.floor.peek() {
+            if id < front_id {
+                self.floor.pop();
+            } else {
+                return Some((key, seq));
+            }
+        }
+        None
+    }
+
+    fn store(&mut self, msg: FromShard) {
+        match msg {
+            FromShard::Outcome { id, outcome } => {
+                let front_id = self.pending.front().expect("outcome for a pending item").id;
+                let idx = (id - front_id) as usize;
+                self.pending[idx].outcome = Some(outcome);
+            }
+            FromShard::State { .. } => unreachable!("states are only collected at barriers"),
+        }
+    }
+
+    /// Absorbs any outcomes already delivered and commits the pending
+    /// front as far as it goes, without blocking.
+    fn drain_ready(&mut self, sim: &mut Simulation) {
+        while let Ok(msg) = self.from_rx.try_recv() {
+            self.store(msg);
+        }
+        while self.pending.front().is_some_and(|s| s.outcome.is_some()) {
+            let slot = self.pending.pop_front().expect("front exists");
+            commit_slot(sim, slot);
+        }
+    }
+
+    /// Blocks until the pending front's outcome arrives, then commits it.
+    fn commit_front_blocking(&mut self, sim: &mut Simulation) {
+        while self.pending.front().is_some_and(|s| s.outcome.is_none()) {
+            let msg = recv_spin(&self.from_rx).expect("workers alive while items pending");
+            self.store(msg);
+        }
+        if let Some(slot) = self.pending.pop_front() {
+            commit_slot(sim, slot);
+        }
+    }
+
+    /// Epoch barrier: flush every pending redirect, recall every shard's
+    /// state, and reunite it with the parent directory and engine. On
+    /// return the sequencer may run any handler on fully-consistent
+    /// state.
+    fn barrier(&mut self, sim: &mut Simulation) {
+        if !self.split {
+            return;
+        }
+        while !self.pending.is_empty() {
+            self.commit_front_blocking(sim);
+        }
+        self.floor.clear();
+        for sender in &self.senders {
+            sender.send(ToShard::Collect).expect("worker alive");
+        }
+        let mut states: Vec<Option<Box<ShardState>>> =
+            (0..self.senders.len()).map(|_| None).collect();
+        let mut collected = 0;
+        while collected < states.len() {
+            match recv_spin(&self.from_rx).expect("workers alive during collect") {
+                FromShard::State { shard, state } => {
+                    debug_assert!(states[shard].is_none());
+                    states[shard] = Some(state);
+                    collected += 1;
+                }
+                FromShard::Outcome { .. } => {
+                    unreachable!("all outcomes were committed before collect")
+                }
+            }
+        }
+        let mut dirs = Vec::with_capacity(states.len());
+        let mut engines = Vec::with_capacity(states.len());
+        for state in states {
+            let state = state.expect("collected above");
+            dirs.push(state.redirector);
+            engines.push(state.engine);
+        }
+        sim.redirector.absorb_shards(dirs);
+        sim.redirect.absorb_shards(engines);
+        self.split = false;
+        debug_assert!(
+            sim.events.reorder_drained(),
+            "reserved recorder sequences must be emitted by the barrier"
+        );
+    }
+
+    fn shutdown(mut self) {
+        debug_assert!(!self.split && self.pending.is_empty());
+        self.senders.clear();
+        for worker in self.workers.drain(..) {
+            if worker.join().is_err() {
+                panic!("a shard worker panicked");
+            }
+        }
+    }
+}
+
+/// Commits one answered redirect: emits the decision under its reserved
+/// recorder sequence and schedules the `ArriveAtHost` under its reserved
+/// queue sequence — reproducing exactly what the serial handler's tail
+/// would have done at defer time.
+fn commit_slot(sim: &mut Simulation, slot: PendingSlot) {
+    sim.pending_push_estimate -= 1;
+    let outcome = slot.outcome.expect("committed with an outcome");
+    let host = outcome.host;
+    let decision = if sim.events.tracing {
+        let constant = sim.scenario.params.distribution_constant;
+        sim.events.emit_reserved_decision(
+            slot.rec_seq,
+            slot.t.as_secs(),
+            slot.qd,
+            slot.cause,
+            |d| {
+                fill_decision(
+                    d,
+                    slot.object,
+                    slot.gateway,
+                    host,
+                    outcome.explanation.as_deref(),
+                    false,
+                    constant,
+                );
+            },
+        );
+        slot.rec_seq
+    } else {
+        0
+    };
+    let delay = sim.propagation(slot.rnode, host);
+    sim.queue.schedule_reserved(
+        slot.t + SimDuration::from_secs(delay),
+        slot.queue_seq,
+        Event::ArriveAtHost {
+            object: slot.object,
+            gateway: slot.gateway,
+            host,
+            t0: slot.t0,
+            cause: decision,
+        },
+    );
+}
+
+impl Simulation {
+    /// `true` while the invariants of a parallel window hold: no active
+    /// fault and a fully connected topology, so every replica of every
+    /// object is usable from everywhere.
+    fn parallel_window_ok(&self) -> bool {
+        self.fault_state.all_clear() && self.topology_connected()
+    }
+
+    /// `true` when every node is reachable from node 0 (which, on an
+    /// undirected topology, makes every pair mutually reachable).
+    fn topology_connected(&self) -> bool {
+        let zero = NodeId::new(0);
+        (1..self.hosts.len()).all(|i| !self.view.path(zero, NodeId::new(i as u16)).is_empty())
+    }
+
+    /// Runs the simulation to completion on `shards` worker threads and
+    /// returns the finalized report.
+    ///
+    /// The run is deterministic for any fixed shard count, and its
+    /// observable outputs — the flight-recorder stream, the metrics, the
+    /// final report — are byte-identical to [`run`](Simulation::run).
+    /// `--shards 1`, selection policies without candidate caching, and
+    /// partially-run simulations delegate to the serial loop outright.
+    /// See the module docs of `shard.rs` for the design.
+    ///
+    /// Event-loop profiling ([`Simulation::enable_loop_profile`]) is
+    /// not collected by the sharded loop; the report's `loop_profile`
+    /// stays empty. Observer
+    /// callbacks other than the typed event feed (`on_request_served`,
+    /// load samples, …) are delivered when their handler runs, which in
+    /// parallel windows may interleave differently with the event feed
+    /// than in a serial run; the callbacks themselves, their order, and
+    /// all aggregates are unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is 0.
+    pub fn run_sharded(mut self, shards: usize) -> RunReport {
+        assert!(shards >= 1, "at least one shard is required");
+        // The serial loop IS the single-shard loop; it is also the only
+        // correct loop for policies that bypass the candidate cache and
+        // for simulations that already emitted events serially.
+        if shards == 1 || !self.selection.supports_candidate_cache() || self.events.next_seq != 0 {
+            self.run_until(self.scenario.duration);
+            return self.finish();
+        }
+        self.events.enable_reorder();
+        if !self.started {
+            self.bootstrap();
+            self.started = true;
+        }
+        let end = SimTime::from_secs(self.scenario.duration);
+        let mut runtime = ShardRuntime::new(&self, shards);
+        let mut parallel = self.parallel_window_ok();
+        if parallel {
+            runtime.split(&mut self);
+        }
+        loop {
+            if parallel {
+                runtime.drain_ready(&mut self);
+                let Some((head_t, head_seq)) = self.queue.peek_key() else {
+                    if runtime.pending.is_empty() {
+                        break;
+                    }
+                    runtime.commit_front_blocking(&mut self);
+                    continue;
+                };
+                if head_t > end {
+                    if runtime.pending.is_empty() {
+                        break;
+                    }
+                    runtime.commit_front_blocking(&mut self);
+                    continue;
+                }
+                if let Some(floor) = runtime.floor_key() {
+                    if (head_t.as_micros(), head_seq) >= floor {
+                        // The queue head might sort after a pending
+                        // arrival; resolve the front before popping.
+                        runtime.commit_front_blocking(&mut self);
+                        continue;
+                    }
+                }
+                let (t, ev) = self.queue.pop().expect("peeked event exists");
+                match ev {
+                    Event::Redirect {
+                        object,
+                        gateway,
+                        t0,
+                        cause,
+                    } => runtime.defer(&mut self, t, object, gateway, t0, cause),
+                    Event::Placement { .. } | Event::ProviderUpdate | Event::DeclareDead { .. } => {
+                        runtime.barrier(&mut self);
+                        self.handle(t, ev);
+                        runtime.split(&mut self);
+                    }
+                    Event::Fault { .. } => {
+                        runtime.barrier(&mut self);
+                        self.handle(t, ev);
+                        parallel = self.parallel_window_ok();
+                        if parallel {
+                            runtime.split(&mut self);
+                        }
+                    }
+                    other => self.handle(t, other),
+                }
+            } else {
+                let Some(next) = self.queue.peek_time() else {
+                    break;
+                };
+                if next > end {
+                    break;
+                }
+                let (t, ev) = self.queue.pop().expect("peeked event exists");
+                let was_fault = matches!(ev, Event::Fault { .. });
+                self.handle(t, ev);
+                if was_fault {
+                    parallel = self.parallel_window_ok();
+                    if parallel {
+                        runtime.split(&mut self);
+                    }
+                }
+            }
+        }
+        if parallel {
+            runtime.barrier(&mut self);
+        }
+        runtime.shutdown();
+        debug_assert!(self.events.reorder_drained());
+        self.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radar_simnet::builders;
+
+    #[test]
+    fn snapshot_mirrors_the_routing_view() {
+        let view = RoutingView::new(builders::uunet());
+        let net = NetSnapshot::from_view(&view, 7);
+        let n = view.topology().len();
+        for a in 0..n {
+            for b in 0..n {
+                let (a, b) = (NodeId::new(a as u16), NodeId::new(b as u16));
+                assert_eq!(net.distance(a, b), view.distance(a, b));
+            }
+        }
+        assert_eq!(net.routing_gen(), view.generation());
+        assert_eq!(net.fault_gen(), 7);
+    }
+}

@@ -1,7 +1,7 @@
 //! The observer fan-out and flight-recorder sequencing shared by every
 //! simulation layer.
 
-use radar_obs::{DecisionEvent, EventKind as ObsEventKind};
+use radar_obs::{DecisionEvent, Event, EventKind as ObsEventKind, EventReorderBuffer};
 
 use crate::observer::Observer;
 
@@ -9,6 +9,15 @@ use crate::observer::Observer;
 /// counter. Kept as one separable struct so the placement environment
 /// can emit events while the rest of the simulation is mutably
 /// borrowed.
+///
+/// In the sharded event loop (`Simulation::run_sharded`), sequence
+/// numbers for deferred redirect decisions are reserved up front via
+/// [`reserve_seq`](Self::reserve_seq) and filled in later with
+/// [`emit_reserved_decision`](Self::emit_reserved_decision). While that
+/// mode is active ([`enable_reorder`](Self::enable_reorder)), every
+/// emission passes through an [`EventReorderBuffer`] so observers still
+/// see the stream in strict sequence order — byte-identical to a serial
+/// run.
 pub(crate) struct EventSink {
     pub(crate) observers: Vec<Box<dyn Observer>>,
     /// Monotonic flight-recorder sequence. Numbers are 1-based so that
@@ -21,6 +30,9 @@ pub(crate) struct EventSink {
     /// redirects, so tracing the hottest event type allocates nothing
     /// once the vector reaches the platform's widest replica set.
     decision_scratch: DecisionEvent,
+    /// Present while the sharded loop runs: holds back emissions that
+    /// complete ahead of a still-reserved predecessor.
+    reorder: Option<EventReorderBuffer>,
 }
 
 impl EventSink {
@@ -30,6 +42,53 @@ impl EventSink {
             next_seq: 0,
             tracing: false,
             decision_scratch: DecisionEvent::default(),
+            reorder: None,
+        }
+    }
+
+    /// Switches the sink into reorder mode for the sharded loop. Must be
+    /// called before the first emission (the reorder buffer starts at
+    /// sequence 1).
+    pub(crate) fn enable_reorder(&mut self) {
+        assert_eq!(self.next_seq, 0, "reorder mode must start before emission");
+        self.reorder = Some(EventReorderBuffer::new());
+    }
+
+    /// `true` when no emission is held back waiting on a reserved
+    /// predecessor (trivially true outside reorder mode). The sharded
+    /// loop asserts this at every epoch barrier and at shutdown.
+    pub(crate) fn reorder_drained(&self) -> bool {
+        self.reorder.as_ref().is_none_or(|buf| buf.is_empty())
+    }
+
+    /// Claims the next sequence number without emitting anything. The
+    /// caller must eventually emit exactly one event carrying it (see
+    /// [`emit_reserved_decision`](Self::emit_reserved_decision)), or
+    /// reorder mode will hold back every later emission forever.
+    pub(crate) fn reserve_seq(&mut self) -> u64 {
+        self.next_seq += 1;
+        self.next_seq
+    }
+
+    /// Fans one finished event out to subscribed observers, routing
+    /// through the reorder buffer when reserved sequence numbers may
+    /// still be outstanding.
+    fn deliver(&mut self, event: Event) {
+        if let Some(buf) = &mut self.reorder {
+            buf.push(event);
+            while let Some(ready) = buf.pop_ready() {
+                for obs in &mut self.observers {
+                    if obs.wants_events() {
+                        obs.on_event(&ready);
+                    }
+                }
+            }
+        } else {
+            for obs in &mut self.observers {
+                if obs.wants_events() {
+                    obs.on_event(&event);
+                }
+            }
         }
     }
 
@@ -43,20 +102,15 @@ impl EventSink {
         if !self.tracing {
             return 0;
         }
-        self.next_seq += 1;
-        let event = radar_obs::Event {
-            seq: self.next_seq,
+        let seq = self.reserve_seq();
+        self.deliver(Event {
+            seq,
             parent: (cause != 0).then_some(cause),
             t,
             queue_depth,
             kind,
-        };
-        for obs in &mut self.observers {
-            if obs.wants_events() {
-                obs.on_event(&event);
-            }
-        }
-        self.next_seq
+        });
+        seq
     }
 
     /// Emits one [`ObsEventKind::Decision`] without constructing the
@@ -75,12 +129,54 @@ impl EventSink {
         if !self.tracing {
             return 0;
         }
+        let seq = self.reserve_seq();
+        self.emit_decision_with_seq(seq, t, queue_depth, cause, fill);
+        seq
+    }
+
+    /// Emits the [`ObsEventKind::Decision`] for a sequence number that
+    /// was reserved earlier with [`reserve_seq`](Self::reserve_seq).
+    /// Only meaningful in reorder mode; the buffer releases the event
+    /// (and any emissions it was holding back) in sequence order.
+    pub(crate) fn emit_reserved_decision(
+        &mut self,
+        seq: u64,
+        t: f64,
+        queue_depth: u32,
+        cause: u64,
+        fill: impl FnOnce(&mut DecisionEvent),
+    ) {
+        debug_assert!(self.tracing, "a sequence was reserved without tracing");
+        self.emit_decision_with_seq(seq, t, queue_depth, cause, fill);
+    }
+
+    fn emit_decision_with_seq(
+        &mut self,
+        seq: u64,
+        t: f64,
+        queue_depth: u32,
+        cause: u64,
+        fill: impl FnOnce(&mut DecisionEvent),
+    ) {
+        if self.reorder.is_some() {
+            // Reorder mode may hold the event, so the scratch payload
+            // cannot be lent out and reclaimed; build an owned one.
+            let mut decision = DecisionEvent::default();
+            fill(&mut decision);
+            self.deliver(Event {
+                seq,
+                parent: (cause != 0).then_some(cause),
+                t,
+                queue_depth,
+                kind: ObsEventKind::Decision(decision),
+            });
+            return;
+        }
         let mut decision = std::mem::take(&mut self.decision_scratch);
         decision.candidates.clear();
         fill(&mut decision);
-        self.next_seq += 1;
-        let event = radar_obs::Event {
-            seq: self.next_seq,
+        let event = Event {
+            seq,
             parent: (cause != 0).then_some(cause),
             t,
             queue_depth,
@@ -95,6 +191,5 @@ impl EventSink {
             unreachable!("constructed as a decision above");
         };
         self.decision_scratch = decision;
-        self.next_seq
     }
 }

@@ -3,11 +3,28 @@
 //! seed-deterministic, and declared-dead hosts must have their objects
 //! re-replicated onto live hosts.
 
-use radar_sim::{FaultSpec, FaultTransition, Observer, RequestRecord, Scenario, Simulation};
+use radar_sim::{
+    FaultSpec, FaultTransition, Observer, RequestRecord, RunReport, Scenario, Simulation,
+};
 use radar_workload::ZipfReeds;
 use std::sync::{Arc, Mutex};
 
 const OBJECTS: u32 = 200;
+
+/// Runs a simulation to completion, honouring `RADAR_TEST_SHARDS`: CI
+/// re-runs this whole suite with `RADAR_TEST_SHARDS=2` so every fault
+/// scenario is also exercised through the sharded event loop (whose
+/// output is byte-equivalent to serial, so the assertions are
+/// unchanged). Unset or `1`, the serial loop runs as before.
+fn run_to_report(sim: Simulation) -> RunReport {
+    match std::env::var("RADAR_TEST_SHARDS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        Some(shards) if shards > 1 => sim.run_sharded(shards),
+        _ => sim.run(),
+    }
+}
 
 /// host 5 crashes at t=100 and recovers at t=300; host 12 crashes at
 /// t=200 and never comes back (declared dead 30 s later). The catalog
@@ -67,7 +84,7 @@ fn no_request_is_served_by_a_crashed_host() {
     let recorder = SharedRecorder::default();
     let mut sim = Simulation::new(faulted_scenario(), Box::new(ZipfReeds::new(OBJECTS)));
     sim.attach_observer(Box::new(recorder.clone()));
-    let report = sim.run();
+    let report = run_to_report(sim);
 
     let state = recorder.0.lock().unwrap();
     assert!(!state.served.is_empty(), "run served no requests at all");
@@ -103,16 +120,21 @@ fn no_request_is_served_by_a_crashed_host() {
 #[test]
 fn faulted_runs_are_seed_deterministic() {
     let run = || {
-        Simulation::new(faulted_scenario(), Box::new(ZipfReeds::new(OBJECTS)))
-            .run()
-            .to_json_pretty()
+        run_to_report(Simulation::new(
+            faulted_scenario(),
+            Box::new(ZipfReeds::new(OBJECTS)),
+        ))
+        .to_json_pretty()
     };
     assert_eq!(run(), run(), "same seed and faults must reproduce exactly");
 }
 
 #[test]
 fn declared_dead_hosts_lose_their_replicas_to_live_hosts() {
-    let report = Simulation::new(faulted_scenario(), Box::new(ZipfReeds::new(OBJECTS))).run();
+    let report = run_to_report(Simulation::new(
+        faulted_scenario(),
+        Box::new(ZipfReeds::new(OBJECTS)),
+    ));
     assert_eq!(report.final_replicas.len(), OBJECTS as usize);
     for (object, replicas) in report.final_replicas.iter().enumerate() {
         assert!(
@@ -138,17 +160,15 @@ fn empty_fault_spec_is_bit_identical_to_no_faults() {
         .node_request_rate(2.0)
         .duration(300.0)
         .seed(7);
-    let plain = Simulation::new(
+    let plain = run_to_report(Simulation::new(
         base.clone().build().expect("valid scenario"),
         Box::new(ZipfReeds::new(OBJECTS)),
-    )
-    .run();
-    let with_empty = Simulation::new(
+    ));
+    let with_empty = run_to_report(Simulation::new(
         base.faults(FaultSpec::new())
             .build()
             .expect("valid scenario"),
         Box::new(ZipfReeds::new(OBJECTS)),
-    )
-    .run();
+    ));
     assert_eq!(plain.to_json_pretty(), with_empty.to_json_pretty());
 }

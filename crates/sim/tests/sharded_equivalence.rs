@@ -1,0 +1,101 @@
+//! Equivalence guarantees of the sharded parallel event loop.
+//!
+//! `Simulation::run_sharded` promises that a seeded run's observable
+//! outputs — the flight-recorder JSONL stream and the final report — are
+//! byte-identical to the serial loop's for **any** fixed shard count,
+//! fault-free or faulted. These tests pin that contract, which is what
+//! lets `scripts/check.sh` keep diffing the golden seed-42 log at
+//! `--shards 1` while CI also exercises multi-shard runs.
+
+use radar_sim::obs::SharedRecorder;
+use radar_sim::{FaultSpec, Scenario, Simulation};
+use radar_workload::ZipfReeds;
+
+const OBJECTS: u32 = 40;
+
+fn scenario(faults: Option<FaultSpec>) -> Scenario {
+    // 150 s covers at least one full placement round (period 100 s), so
+    // the comparison includes epoch barriers, not just the request path.
+    let mut builder = Scenario::builder()
+        .num_objects(OBJECTS)
+        .node_request_rate(2.0)
+        .duration(150.0)
+        .seed(42);
+    if let Some(spec) = faults {
+        builder = builder.faults(spec);
+    }
+    builder.build().expect("valid scenario")
+}
+
+fn faults() -> FaultSpec {
+    FaultSpec::new()
+        .with_declare_dead_after(20.0)
+        .with_min_replicas(2)
+        .host_down(5, 40.0, Some(110.0))
+        .host_down(12, 60.0, None)
+        .link_down(0, 1, 70.0, Some(90.0))
+}
+
+/// Runs one traced simulation and returns `(jsonl, report_json)`.
+fn run(faults_spec: Option<FaultSpec>, shards: usize) -> (String, String) {
+    let recorder = SharedRecorder::new(radar_sim::obs::DEFAULT_CAPACITY);
+    let mut sim = Simulation::new(scenario(faults_spec), Box::new(ZipfReeds::new(OBJECTS)));
+    sim.attach_observer(Box::new(recorder.clone()));
+    let report = if shards == 0 {
+        sim.run() // the serial reference
+    } else {
+        sim.run_sharded(shards)
+    };
+    (recorder.to_jsonl(), report.to_json_pretty())
+}
+
+#[test]
+fn fault_free_sharded_runs_match_serial_byte_for_byte() {
+    let (serial_log, serial_report) = run(None, 0);
+    assert!(!serial_log.is_empty(), "serial run recorded no events");
+    for shards in [2, 3] {
+        let (log, report) = run(None, shards);
+        assert!(
+            log == serial_log,
+            "{shards}-shard event log diverged from serial"
+        );
+        assert!(
+            report == serial_report,
+            "{shards}-shard report diverged from serial"
+        );
+    }
+}
+
+#[test]
+fn faulted_sharded_runs_match_serial_byte_for_byte() {
+    let (serial_log, serial_report) = run(Some(faults()), 0);
+    assert!(
+        serial_log.contains("\"type\":\"fault\""),
+        "fault schedule did not fire"
+    );
+    let (log, report) = run(Some(faults()), 2);
+    assert!(
+        log == serial_log,
+        "2-shard faulted log diverged from serial"
+    );
+    assert!(
+        report == serial_report,
+        "2-shard faulted report diverged from serial"
+    );
+}
+
+#[test]
+fn fixed_shard_count_is_deterministic() {
+    let (a_log, a_report) = run(Some(faults()), 2);
+    let (b_log, b_report) = run(Some(faults()), 2);
+    assert!(a_log == b_log, "two 2-shard seeded runs diverged");
+    assert!(a_report == b_report, "two 2-shard seeded reports diverged");
+}
+
+#[test]
+fn single_shard_delegates_to_the_serial_loop() {
+    let (serial_log, serial_report) = run(None, 0);
+    let (log, report) = run(None, 1);
+    assert!(log == serial_log);
+    assert!(report == serial_report);
+}

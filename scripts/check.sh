@@ -21,6 +21,20 @@ echo "== throughput baseline + regression gate (BENCH_throughput.json) =="
 # Fails on >10% events/sec regression or >10% allocations/event growth
 # against the committed baseline, then refreshes it.
 cargo bench -q -p radar-bench --bench throughput
-echo "== golden event-log regression diff =="
+echo "== golden event-log regression diff (serial, --shards 1) =="
 ./scripts/golden-diff.sh
+echo "== sharded end-state equivalence (2 shards vs 1) =="
+# The sharded loop promises byte-identical observable output for any
+# fixed shard count; spot-check it end to end through the CLI by
+# comparing the full JSON reports of a 1-shard and a 2-shard run.
+mkdir -p target
+cargo run -q -p radar-cli --bin radar -- simulate \
+  --objects 16 --rate 0.05 --duration 150 --seed 42 --shards 1 --json \
+  > target/report-shards1.json
+cargo run -q -p radar-cli --bin radar -- simulate \
+  --objects 16 --rate 0.05 --duration 150 --seed 42 --shards 2 --json \
+  > target/report-shards2.json
+diff target/report-shards1.json target/report-shards2.json \
+  || { echo "FAIL: 2-shard report diverged from 1-shard"; exit 1; }
+echo "reports identical"
 echo "ALL CHECKS PASSED"
