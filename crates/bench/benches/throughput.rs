@@ -23,6 +23,12 @@
 //! or allocations/event grew by more than 10% — the regression gate
 //! `scripts/check.sh` and CI rely on.
 //!
+//! After the gate, one extra *profiled* run per scaling shard count
+//! captures the shard telemetry (`Simulation::enable_shard_profile`) as
+//! `BENCH_profile.json` — stall attribution for the exact runs the
+//! scaling curve times. The profiled runs are excluded from the timed
+//! repetitions, so profiling never perturbs the gated numbers.
+//!
 //! With `--test`, a miniature run executes once per mode (serial and
 //! 2-shard) as a smoke test and nothing is written or gated.
 
@@ -107,6 +113,64 @@ fn best_wall(objects: u32, rate: f64, duration: f64, shards: usize, reps: usize)
         .expect("at least one repetition")
 }
 
+/// One profiled (untimed) run at `shards`, returning its shard profile.
+/// Runs after the gate so the telemetry describes the same build and
+/// scenario the baselines measure without contaminating their timings.
+fn profiled_run(
+    objects: u32,
+    rate: f64,
+    duration: f64,
+    shards: usize,
+) -> radar_sim::obs::ShardProfile {
+    let scenario = Scenario::builder()
+        .num_objects(objects)
+        .node_request_rate(rate)
+        .duration(duration)
+        .seed(SEED)
+        .build()
+        .expect("valid scenario");
+    let workload = radar_bench::make_workload("zipf", objects, SEED);
+    let recorder = SharedRecorder::from_recorder(Recorder::new(RING));
+    let mut sim = Simulation::new(scenario, workload);
+    sim.attach_observer(Box::new(recorder.clone()));
+    sim.enable_shard_profile();
+    let report = sim.run_sharded(shards);
+    report
+        .shard_profile
+        .expect("multi-shard profiled run collects a profile")
+}
+
+/// Serializes the profiled scaling runs as `BENCH_profile.json`:
+/// `{"config": {...}, "profiles": [...]}` with one profile per shard
+/// count, in [`SHARD_COUNTS`] order (readable via `radar perf`).
+fn profile_artifact_json(
+    config: &[(&str, String)],
+    profiles: &[radar_sim::obs::ShardProfile],
+) -> String {
+    let config_obj = radar_sim::Json::Obj(
+        config
+            .iter()
+            .map(|(k, v)| {
+                let value = v
+                    .parse::<f64>()
+                    .map(radar_sim::Json::Num)
+                    .unwrap_or_else(|_| radar_sim::Json::Str(v.clone()));
+                ((*k).to_string(), value)
+            })
+            .collect(),
+    );
+    let doc = radar_sim::Json::Obj(vec![
+        ("config".to_string(), config_obj),
+        (
+            "profiles".to_string(),
+            radar_sim::Json::Arr(profiles.iter().map(radar_sim::shard_profile_json).collect()),
+        ),
+    ]);
+    let mut out = doc.pretty();
+    out.push('\n');
+    out
+}
+
 fn main() {
     let test_only = std::env::args().any(|a| a == "--test");
     if test_only {
@@ -117,6 +181,16 @@ fn main() {
         assert_eq!(
             sharded_events, events,
             "2-shard smoke run emitted a different event count"
+        );
+        let profile = profiled_run(16, 0.05, 60.0, 2);
+        assert!(
+            profile.min_coverage() > 0.9,
+            "profiled smoke run left wall-clock unattributed"
+        );
+        let artifact = profile_artifact_json(&[("objects", "16".to_string())], &[profile]);
+        assert!(
+            artifact.contains("\"profiles\""),
+            "profile artifact missing profiles array"
         );
         println!("{:<44} ok (smoke)", "throughput/baseline");
         return;
@@ -182,6 +256,20 @@ fn main() {
     if verdict.is_ok() {
         std::fs::write(&path, &json).expect("write BENCH_throughput.json");
         println!("wrote {}", path.display());
+
+        // One profiled run per scaling shard count, after the timed
+        // repetitions so the telemetry overhead can't touch the gated
+        // numbers. The artifact is `radar perf`-readable.
+        let profiles: Vec<_> = SHARD_COUNTS
+            .iter()
+            .map(|&shards| profiled_run(OBJECTS, RATE, DURATION, shards))
+            .collect();
+        let profile_path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join("BENCH_profile.json");
+        std::fs::write(&profile_path, profile_artifact_json(&config, &profiles))
+            .expect("write BENCH_profile.json");
+        println!("wrote {}", profile_path.display());
     }
     print!("{json}");
     if let Err(msg) = verdict {

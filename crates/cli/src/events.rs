@@ -493,6 +493,32 @@ fn summary(args: &[&str]) -> Result<String, String> {
             let _ = writeln!(out, "  host {host:<8} {count:>9}");
         }
     }
+    // Multi-shard runs append a reorder trailer: how hard the
+    // deterministic sequencing had to work to keep this log in order.
+    if let Some(r) = &log.reorder {
+        out.push('\n');
+        let _ = writeln!(out, "reorder buffer (sharded run)");
+        let _ = writeln!(
+            out,
+            "  reserved seqs {:>9}   (decisions deferred to worker shards)",
+            r.reserved
+        );
+        let _ = writeln!(
+            out,
+            "  max in-flight {:>9}   (reserved but not yet committed)",
+            r.max_in_flight
+        );
+        let _ = writeln!(
+            out,
+            "  max held      {:>9}   (events buffered awaiting sequence order)",
+            r.max_held
+        );
+        let _ = writeln!(
+            out,
+            "  drains        {:>9}   (out-of-order episodes fully released)",
+            r.drains
+        );
+    }
     Ok(out)
 }
 
@@ -509,7 +535,8 @@ fn help() -> String {
      \x20                                           produced it, plus its causal chain\n\
      \x20 radar events summary FILE [--top N]       per-type counts, rates, queue\n\
      \x20                                           depths, busiest objects/hosts,\n\
-     \x20                                           ring-eviction losses\n\
+     \x20                                           ring-eviction losses, and (for\n\
+     \x20                                           sharded runs) reorder-buffer stats\n\
      \x20 radar events watch FILE [--top N]         replay the log through the\n\
      \x20                                           streaming metrics fold and render\n\
      \x20                                           the dashboard (animated on a TTY)\n\
@@ -744,6 +771,33 @@ mod tests {
         let (_guard, path) = write_log(&events);
         let out = summary(&[path.as_str()]).unwrap();
         assert!(out.contains("7 events inferred lost"), "{out}");
+    }
+
+    #[test]
+    fn summary_reports_reorder_trailer_for_sharded_logs() {
+        let mut text = String::new();
+        for e in [served(1, None, 1.0, 7), served(2, None, 2.0, 7)] {
+            text.push_str(&e.to_json_line());
+            text.push('\n');
+        }
+        text.push_str(
+            "{\"type\":\"reorder\",\"reserved\":120,\"max_in_flight\":6,\
+             \"max_held\":4,\"drains\":17}\n",
+        );
+        let path = tempdir::path("events-reorder-trailer");
+        std::fs::write(&path, text).unwrap();
+        let s = path.to_string_lossy().into_owned();
+        let _guard = tempdir::TempPath(path);
+        let out = summary(&[s.as_str()]).unwrap();
+        assert!(out.contains("reorder buffer (sharded run)"), "{out}");
+        assert!(out.contains("reserved seqs       120"), "{out}");
+        assert!(out.contains("max in-flight         6"), "{out}");
+        assert!(out.contains("max held              4"), "{out}");
+        assert!(out.contains("drains               17"), "{out}");
+        // Serial logs have no trailer and no section.
+        let (_g2, p2) = write_log(&[served(1, None, 1.0, 7)]);
+        let serial = summary(&[p2.as_str()]).unwrap();
+        assert!(!serial.contains("reorder buffer"), "{serial}");
     }
 
     #[test]

@@ -1,0 +1,306 @@
+//! `radar perf` — render shard-profile telemetry from a report or a
+//! bench artifact.
+//!
+//! Accepts either a `radar simulate --json --profile` report (a
+//! `shard_profile` section), a `BENCH_profile.json` artifact from the
+//! throughput bench (a `profiles` array), or a bare profile object —
+//! and prints each profile's utilization table with a top-stalls
+//! breakdown. `--check-coverage PCT` turns the renderer into a gate:
+//! the command errors unless every lane of every profile attributes at
+//! least `PCT` percent of the run's wall-clock to named span
+//! categories, which is how CI asserts the profiler itself stays
+//! honest.
+
+use radar_obs::{BarrierCause, LaneProfile, Log2Histogram, ShardProfile, SpanKind};
+
+use crate::args::Parsed;
+use crate::json::Value;
+
+const OPTIONS: &[&str] = &["top", "check-coverage"];
+const SWITCHES: &[&str] = &["help"];
+
+/// Default number of stall rows in the breakdown.
+const DEFAULT_TOP: usize = 8;
+
+pub(crate) fn command(args: &[&str]) -> Result<String, String> {
+    let parsed = Parsed::parse(args, OPTIONS, SWITCHES).map_err(|e| e.to_string())?;
+    if parsed.has("help") {
+        return Err(help());
+    }
+    let path = match parsed.positionals.as_slice() {
+        [path] => path,
+        [] => return Err(format!("perf expects a FILE argument\n\n{}", help())),
+        extra => return Err(format!("perf takes one FILE, got {extra:?}")),
+    };
+    let top = parsed
+        .get_parsed("top", DEFAULT_TOP, "a row count")
+        .map_err(|e| e.to_string())?;
+    let min_coverage: Option<f64> = match parsed.get("check-coverage") {
+        None => None,
+        Some(raw) => Some(
+            raw.parse()
+                .map_err(|_| format!("--check-coverage expects a percentage, got {raw:?}"))?,
+        ),
+    };
+
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let value = Value::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+    let profiles = extract_profiles(&value).map_err(|e| format!("{path}: {e}"))?;
+
+    let mut out = String::new();
+    for (i, profile) in profiles.iter().enumerate() {
+        if profiles.len() > 1 {
+            out.push_str(&format!("== profile {} ==\n", i + 1));
+        }
+        out.push_str(&profile.render(top));
+        if profiles.len() > 1 && i + 1 < profiles.len() {
+            out.push('\n');
+        }
+    }
+    if let Some(pct) = min_coverage {
+        for (i, profile) in profiles.iter().enumerate() {
+            for (label, lane) in profile.lanes() {
+                let cov = 100.0 * profile.coverage(lane);
+                if cov < pct {
+                    return Err(format!(
+                        "coverage check failed: profile {} lane {label} attributes \
+                         {cov:.1}% of wall-clock (< {pct}%)",
+                        i + 1
+                    ));
+                }
+            }
+        }
+        out.push_str(&format!(
+            "coverage check passed: every lane ≥ {pct}% attributed\n"
+        ));
+    }
+    Ok(out)
+}
+
+/// Pulls every profile object out of whichever container the file is:
+/// a report (`shard_profile`), a bench artifact (`profiles`), or a
+/// bare profile object (`lanes` at top level).
+fn extract_profiles(value: &Value) -> Result<Vec<ShardProfile>, String> {
+    if let Some(section) = value.get("shard_profile") {
+        return Ok(vec![parse_profile(section)?]);
+    }
+    if let Some(list) = value.get("profiles").and_then(Value::as_array) {
+        if list.is_empty() {
+            return Err("the `profiles` array is empty".to_string());
+        }
+        return list.iter().map(parse_profile).collect();
+    }
+    if value.get("lanes").is_some() {
+        return Ok(vec![parse_profile(value)?]);
+    }
+    Err(
+        "no shard profile found — run `radar simulate --profile --shards N --json` \
+         or point at a BENCH_profile.json artifact"
+            .to_string(),
+    )
+}
+
+fn need_u64(v: &Value, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("profile field {key:?} is missing or not an integer"))
+}
+
+fn parse_histogram(v: &Value, key: &str) -> Result<Log2Histogram, String> {
+    let h = v
+        .get(key)
+        .ok_or_else(|| format!("profile field {key:?} is missing"))?;
+    let buckets: Vec<u64> = h
+        .get("buckets")
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("{key}.buckets is missing"))?
+        .iter()
+        .map(|b| {
+            b.as_u64()
+                .ok_or_else(|| format!("{key}.buckets holds a non-integer"))
+        })
+        .collect::<Result<_, _>>()?;
+    Ok(Log2Histogram::from_parts(
+        need_u64(h, "count")?,
+        need_u64(h, "sum")?,
+        need_u64(h, "max")?,
+        &buckets,
+    ))
+}
+
+fn parse_lane(v: &Value) -> Result<(String, LaneProfile), String> {
+    let label = v
+        .get("lane")
+        .and_then(Value::as_str)
+        .ok_or("lane entry is missing its `lane` label")?
+        .to_string();
+    let mut lane = LaneProfile {
+        items: need_u64(v, "items")?,
+        cache_hits: need_u64(v, "cache_hits")?,
+        cache_misses: need_u64(v, "cache_misses")?,
+        ..LaneProfile::default()
+    };
+    let spans = v
+        .get("spans_ns")
+        .ok_or_else(|| format!("lane {label} is missing spans_ns"))?;
+    match spans {
+        Value::Obj(members) => {
+            for (name, ns) in members {
+                let kind = SpanKind::from_str_opt(name)
+                    .ok_or_else(|| format!("lane {label}: unknown span category {name:?}"))?;
+                let ns = ns
+                    .as_u64()
+                    .ok_or_else(|| format!("lane {label}: span {name:?} is not an integer"))?;
+                lane.add_span(kind, ns);
+            }
+        }
+        _ => return Err(format!("lane {label}: spans_ns is not an object")),
+    }
+    Ok((label, lane))
+}
+
+fn parse_profile(v: &Value) -> Result<ShardProfile, String> {
+    let mut profile = ShardProfile {
+        shards: need_u64(v, "shards")? as usize,
+        wall_ns: need_u64(v, "wall_ns")?,
+        handoff_ns: parse_histogram(v, "handoff_ns")?,
+        batch_items: parse_histogram(v, "batch_items")?,
+        ..ShardProfile::default()
+    };
+    let lanes = v
+        .get("lanes")
+        .and_then(Value::as_array)
+        .ok_or("profile is missing its `lanes` array")?;
+    for entry in lanes {
+        let (label, lane) = parse_lane(entry)?;
+        if label == "sequencer" {
+            profile.sequencer = lane;
+        } else {
+            // Worker lanes are serialized in shard order.
+            profile.workers.push(lane);
+        }
+    }
+    let barriers = v.get("barriers").ok_or("profile is missing `barriers`")?;
+    for cause in BarrierCause::ALL {
+        profile.barriers[cause as usize] = need_u64(barriers, cause.as_str())?;
+    }
+    Ok(profile)
+}
+
+fn help() -> String {
+    "radar perf — render shard-profile telemetry from a profiled run\n\
+     \n\
+     USAGE:\n\
+     \x20 radar perf FILE [--top N] [--check-coverage PCT]\n\
+     \n\
+     FILE is a `radar simulate --profile --shards N --json` report, a\n\
+     BENCH_profile.json bench artifact, or a bare profile object.\n\
+     \n\
+     OPTIONS:\n\
+     \x20 --top N               stall rows in the breakdown (default 8)\n\
+     \x20 --check-coverage PCT  error unless every lane attributes at least\n\
+     \x20                       PCT percent of wall-clock to named categories\n"
+        .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_profile() -> ShardProfile {
+        let mut p = ShardProfile {
+            shards: 2,
+            wall_ns: 1_000_000,
+            ..ShardProfile::default()
+        };
+        p.sequencer.add_span(SpanKind::Busy, 300_000);
+        p.sequencer.add_span(SpanKind::ChannelWait, 690_000);
+        p.sequencer.items = 500;
+        p.sequencer.cache_hits = 10;
+        let mut w = LaneProfile::default();
+        w.add_span(SpanKind::Busy, 100_000);
+        w.add_span(SpanKind::Idle, 890_000);
+        w.items = 200;
+        w.cache_hits = 150;
+        w.cache_misses = 50;
+        p.workers = vec![w, w];
+        for _ in 0..400 {
+            p.handoff_ns.record(58_000);
+        }
+        p.batch_items.record(3);
+        p.barriers[BarrierCause::Placement as usize] = 4;
+        p.barriers[BarrierCause::Fault as usize] = 1;
+        p
+    }
+
+    fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!("radar-perf-{}-{name}", std::process::id()));
+        std::fs::write(&path, contents).expect("write temp file");
+        path
+    }
+
+    #[test]
+    fn profile_round_trips_through_json_and_renders() {
+        let profile = sample_profile();
+        let json = format!(
+            "{{\"total_requests\": 1,\n\"shard_profile\": {}\n}}",
+            radar_sim::shard_profile_json(&profile).pretty()
+        );
+        let reparsed = extract_profiles(&Value::parse(&json).unwrap()).unwrap();
+        assert_eq!(reparsed, vec![profile.clone()]);
+
+        let path = write_temp("report.json", &json);
+        let out = command(&[path.to_str().unwrap()]).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(out.contains("sequencer"), "{out}");
+        assert!(out.contains("worker-1"), "{out}");
+        assert!(out.contains("channel-wait"), "{out}");
+        assert!(out.contains("hand-off latency"), "{out}");
+        assert!(out.contains("placement 4"), "{out}");
+    }
+
+    #[test]
+    fn bench_artifact_with_multiple_profiles_renders_each() {
+        let profile = sample_profile();
+        let json = format!(
+            "{{\"config\": {{\"seed\": 42}}, \"profiles\": [{p}, {p}]}}",
+            p = radar_sim::shard_profile_json(&profile).pretty()
+        );
+        let path = write_temp("bench.json", &json);
+        let out = command(&[path.to_str().unwrap(), "--top", "3"]).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(out.contains("== profile 1 =="), "{out}");
+        assert!(out.contains("== profile 2 =="), "{out}");
+    }
+
+    #[test]
+    fn coverage_gate_passes_and_fails() {
+        let profile = sample_profile();
+        let json = format!(
+            "{{\"shard_profile\": {}}}",
+            radar_sim::shard_profile_json(&profile).pretty()
+        );
+        let path = write_temp("gate.json", &json);
+        let ok = command(&[path.to_str().unwrap(), "--check-coverage", "95"]).unwrap();
+        assert!(ok.contains("coverage check passed"), "{ok}");
+        let err = command(&[path.to_str().unwrap(), "--check-coverage", "99.9"]).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(err.contains("coverage check failed"), "{err}");
+        assert!(err.contains("sequencer"), "{err}");
+    }
+
+    #[test]
+    fn unprofiled_report_is_a_clear_error() {
+        let path = write_temp("plain.json", "{\"total_requests\": 5}");
+        let err = command(&[path.to_str().unwrap()]).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(err.contains("no shard profile found"), "{err}");
+    }
+
+    #[test]
+    fn help_and_bad_args() {
+        assert!(command(&["--help"]).unwrap_err().contains("radar perf"));
+        assert!(command(&[]).unwrap_err().contains("FILE"));
+        assert!(command(&["a", "b"]).unwrap_err().contains("one FILE"));
+    }
+}

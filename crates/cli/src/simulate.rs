@@ -29,7 +29,7 @@ const OPTIONS: &[&str] = &[
     "shards",
     "out",
 ];
-const SWITCHES: &[&str] = &["static", "json", "dashboard", "help"];
+const SWITCHES: &[&str] = &["static", "json", "dashboard", "profile", "help"];
 
 /// How many hosts/objects the dashboard panels display.
 const DASHBOARD_TOP: usize = 8;
@@ -99,6 +99,10 @@ pub struct SimulateArgs {
     pub events_to: Option<String>,
     /// Worker shards for the parallel event loop (1 = serial loop).
     pub shards: usize,
+    /// Collect per-shard performance telemetry (span accounting,
+    /// hand-off histograms, barrier counters) for the report's
+    /// `shard_profile` section and the dashboard's shard panel.
+    pub profile: bool,
     /// Fold the event stream into live dashboard metrics (repainted on
     /// stderr when it is a terminal; the final frame joins the report).
     pub dashboard: bool,
@@ -227,6 +231,7 @@ impl SimulateArgs {
             record_trace_to: parsed.get("record-trace").map(str::to_string),
             events_to: parsed.get("events").map(str::to_string),
             shards,
+            profile: parsed.has("profile"),
             dashboard: parsed.has("dashboard"),
             json: parsed.has("json"),
             out: parsed.get("out").map(str::to_string),
@@ -272,6 +277,15 @@ impl SimulateArgs {
                 Some((path.clone(), shared))
             }
         };
+        let shard_profile = if self.profile {
+            // Loop profiling is compiled in regardless; --profile adds
+            // the per-shard span/stall telemetry and, without --events,
+            // still turns on the loop profile for the text output.
+            sim.enable_loop_profile();
+            Some(sim.enable_shard_profile())
+        } else {
+            None
+        };
         let metrics = if self.dashboard {
             // Mirror the scenario parameters the simulator's own metrics
             // use, so the folded aggregates line up with the report.
@@ -282,10 +296,13 @@ impl SimulateArgs {
                 ..radar_sim::obs::MetricsConfig::default()
             };
             let shared = radar_sim::obs::SharedMetrics::new(cfg);
-            sim.attach_observer(Box::new(crate::dashboard::LiveDashboard::new(
-                shared.clone(),
-                DASHBOARD_TOP,
-            )));
+            let mut dash = crate::dashboard::LiveDashboard::new(shared.clone(), DASHBOARD_TOP);
+            if let Some(live) = &shard_profile {
+                // Live frames gain a per-shard utilization column,
+                // refreshed from the snapshot each barrier publishes.
+                dash = dash.with_shard_profile(live.clone());
+            }
+            sim.attach_observer(Box::new(dash));
             Some(shared)
         } else {
             None
@@ -348,6 +365,10 @@ pub(crate) fn command(args: &[&str]) -> Result<String, String> {
             body.push('\n');
             body.push_str(&profile.to_string());
         }
+        if let Some(profile) = &report.shard_profile {
+            body.push('\n');
+            body.push_str(&profile.render(DASHBOARD_TOP));
+        }
         if let Some(path) = &output.events_to {
             body.push_str(&format!(
                 "\nevents written to {path} (inspect with `radar events summary {path}`)\n"
@@ -386,6 +407,10 @@ fn help() -> String {
      \x20                     profile the event loop (see `radar events --help`)\n\
      \x20 --shards N          run the event loop on N worker shards (default 1);\n\
      \x20                     any fixed N reproduces the same seeded outputs\n\
+     \x20 --profile           collect per-shard telemetry (span accounting, hand-off\n\
+     \x20                     histograms, barrier counts): a `shard_profile` report\n\
+     \x20                     section, a text table, and a dashboard panel — wall-clock\n\
+     \x20                     numbers only, the event stream stays untouched\n\
      \x20 --dashboard         fold the event stream into live metrics: repaint a\n\
      \x20                     dashboard on stderr while running (TTY only) and\n\
      \x20                     append the final frame to the report\n\

@@ -49,14 +49,21 @@ mod metrics;
 mod profile;
 mod recorder;
 mod reorder;
+mod shard_profile;
 
 pub use diff::{diff_events, DiffOutcome};
 pub use event::{
     CandidateSnapshot, DecisionBranch, DecisionEvent, Event, EventKind, FailReason,
     PlacementActionEvent, PlacementActionKind, ResetCause, Severity, EVENT_TYPES,
 };
-pub use jsonl::{parse_jsonl, parse_jsonl_log, EventLog, EvictionSummary, ParseError};
+pub use jsonl::{
+    parse_jsonl, parse_jsonl_log, EventLog, EvictionSummary, ParseError, ReorderStats,
+};
 pub use metrics::{MetricsConfig, MetricsObserver, ObjectCounters, SharedMetrics};
 pub use profile::{HandlerStats, LoopProfile};
 pub use recorder::{Recorder, SharedRecorder, DEFAULT_CAPACITY};
 pub use reorder::EventReorderBuffer;
+pub use shard_profile::{
+    BarrierCause, LaneProfile, Log2Histogram, ShardProfile, SharedShardProfile, SpanKind,
+    LOG2_BUCKETS,
+};

@@ -62,12 +62,16 @@ impl LoopProfile {
 
     /// Records one handler dispatch: its label, elapsed wall time in
     /// nanoseconds, and the queue depth when it was popped.
+    ///
+    /// All accumulation is saturating: a clock step backwards (seen
+    /// under VM suspend/resume) surfaces as a pinned counter, never a
+    /// panic in the recorder.
     pub fn record(&mut self, label: &'static str, nanos: u64, depth: u32) {
         let row = self.rows.entry(label).or_default();
-        row.count += 1;
-        row.total_ns += nanos;
+        row.count = row.count.saturating_add(1);
+        row.total_ns = row.total_ns.saturating_add(nanos);
         row.max_ns = row.max_ns.max(nanos);
-        row.depth_sum += u64::from(depth);
+        row.depth_sum = row.depth_sum.saturating_add(u64::from(depth));
         row.depth_max = row.depth_max.max(depth);
     }
 
@@ -88,12 +92,17 @@ impl LoopProfile {
 
     /// Total dispatches across all labels.
     pub fn total_events(&self) -> u64 {
-        self.rows.values().map(|s| s.count).sum()
+        self.rows
+            .values()
+            .fold(0u64, |acc, s| acc.saturating_add(s.count))
     }
 
-    /// Total wall time across all labels, in nanoseconds.
+    /// Total wall time across all labels, in nanoseconds (saturating,
+    /// like [`record`](Self::record)).
     pub fn total_ns(&self) -> u64 {
-        self.rows.values().map(|s| s.total_ns).sum()
+        self.rows
+            .values()
+            .fold(0u64, |acc, s| acc.saturating_add(s.total_ns))
     }
 
     /// Renders the profile as an aligned text table (used by
@@ -105,7 +114,9 @@ impl LoopProfile {
     }
 }
 
-fn fmt_ns(ns: f64) -> String {
+/// Human-readable duration formatting shared by the loop and shard
+/// profile renderers.
+pub(crate) fn fmt_ns(ns: f64) -> String {
     if ns >= 1e6 {
         format!("{:.2} ms", ns / 1e6)
     } else if ns >= 1e3 {
@@ -168,6 +179,25 @@ mod tests {
         assert_eq!(r.depth_max, 4);
         assert_eq!(p.total_events(), 3);
         assert_eq!(p.total_ns(), 5_400);
+    }
+
+    #[test]
+    fn record_saturates_instead_of_panicking() {
+        // A clock step backwards can hand the profiler a nonsense
+        // elapsed value near u64::MAX; accumulation must pin, not
+        // overflow.
+        let mut p = LoopProfile::new();
+        p.record("redirect", u64::MAX, u32::MAX);
+        p.record("redirect", u64::MAX, u32::MAX);
+        let r = p.get("redirect").unwrap();
+        assert_eq!(r.count, 2);
+        assert_eq!(r.total_ns, u64::MAX);
+        assert_eq!(r.max_ns, u64::MAX);
+        assert_eq!(r.depth_sum, u64::from(u32::MAX) * 2);
+        assert_eq!(r.depth_max, u32::MAX);
+        // total_ns() sums across labels; it must saturate too.
+        p.record("placement", u64::MAX, 0);
+        assert_eq!(p.total_ns(), u64::MAX);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! (post-run inspectable) wrapper.
 
 use crate::event::{CandidateSnapshot, DecisionEvent, Event, EventKind, Severity};
-use crate::jsonl::EvictionSummary;
+use crate::jsonl::{EvictionSummary, ReorderStats};
 use std::collections::VecDeque;
 use std::io::Write;
 use std::sync::{Arc, Mutex};
@@ -55,6 +55,8 @@ pub struct Recorder {
     /// Candidate buffers harvested from evicted decision events
     /// (stored cleared), reused when the next decision is ring-cloned.
     spare_candidates: Vec<Vec<CandidateSnapshot>>,
+    /// Reorder-buffer statistics delivered at the end of a sharded run.
+    reorder: Option<ReorderStats>,
 }
 
 impl std::fmt::Debug for Recorder {
@@ -82,6 +84,7 @@ impl Recorder {
             sink_error: None,
             line_buf: String::new(),
             spare_candidates: Vec::new(),
+            reorder: None,
         }
     }
 
@@ -150,6 +153,31 @@ impl Recorder {
                 }
             }
         }
+    }
+
+    /// Stores the reorder-buffer statistics of a sharded run, called
+    /// once at the end of the run (see `Observer::on_reorder_stats`).
+    /// A streaming sink gets the `{"type":"reorder",…}` trailer line
+    /// immediately, so `--events` files carry it; [`Self::to_jsonl`]
+    /// appends the same trailer.
+    pub fn set_reorder_stats(&mut self, stats: ReorderStats) {
+        self.reorder = Some(stats);
+        if let Some(sink) = &mut self.sink {
+            self.line_buf.clear();
+            self.line_buf.push_str(&stats.to_json_line());
+            self.line_buf.push('\n');
+            if let Err(e) = sink.write_all(self.line_buf.as_bytes()) {
+                if self.sink_error.is_none() {
+                    self.sink_error = Some(e.to_string());
+                }
+                self.sink = None;
+            }
+        }
+    }
+
+    /// The reorder-buffer statistics, when a sharded run reported any.
+    pub fn reorder_stats(&self) -> Option<ReorderStats> {
+        self.reorder
     }
 
     /// Flushes the sink, if any. Returns the first write error the
@@ -227,6 +255,10 @@ impl Recorder {
             out.push_str(&summary.to_json_line());
             out.push('\n');
         }
+        if let Some(stats) = self.reorder {
+            out.push_str(&stats.to_json_line());
+            out.push('\n');
+        }
         out
     }
 }
@@ -274,6 +306,14 @@ impl SharedRecorder {
     /// Flushes the sink, if any, returning the first sink error.
     pub fn finish(&self) -> Option<String> {
         self.0.lock().expect("recorder lock").finish()
+    }
+
+    /// Stores the reorder-buffer statistics of a sharded run.
+    pub fn set_reorder_stats(&self, stats: ReorderStats) {
+        self.0
+            .lock()
+            .expect("recorder lock")
+            .set_reorder_stats(stats);
     }
 }
 

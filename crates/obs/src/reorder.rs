@@ -48,6 +48,14 @@ pub struct EventReorderBuffer {
     next: u64,
     /// Events that completed ahead of a still-outstanding predecessor.
     held: BTreeMap<u64, Event>,
+    /// High-water mark of `held.len()`, observed after each push.
+    max_held: usize,
+    /// Completed reorder episodes: times the buffer returned to empty
+    /// after holding at least one out-of-order event.
+    drains: u64,
+    /// An out-of-order event is currently (or was, since the last
+    /// drain) held back — arms the next drain count.
+    reordering: bool,
 }
 
 impl EventReorderBuffer {
@@ -56,6 +64,9 @@ impl EventReorderBuffer {
         Self {
             next: 1,
             held: BTreeMap::new(),
+            max_held: 0,
+            drains: 0,
+            reordering: false,
         }
     }
 
@@ -73,11 +84,17 @@ impl EventReorderBuffer {
             event.seq,
             self.next
         );
+        if event.seq > self.next {
+            // Pushed ahead of an outstanding predecessor: this episode
+            // will require reordering before the buffer drains.
+            self.reordering = true;
+        }
         let clash = self.held.insert(event.seq, event);
         assert!(
             clash.is_none(),
             "duplicate emission for an event sequence number"
         );
+        self.max_held = self.max_held.max(self.held.len());
     }
 
     /// Releases the next event in sequence order, or `None` while a
@@ -86,6 +103,10 @@ impl EventReorderBuffer {
     pub fn pop_ready(&mut self) -> Option<Event> {
         let event = self.held.remove(&self.next)?;
         self.next += 1;
+        if self.held.is_empty() && self.reordering {
+            self.drains += 1;
+            self.reordering = false;
+        }
         Some(event)
     }
 
@@ -103,6 +124,19 @@ impl EventReorderBuffer {
     /// The sequence number the buffer will release next.
     pub fn next_expected(&self) -> u64 {
         self.next
+    }
+
+    /// High-water mark of events held at once (including the one just
+    /// pushed, so an in-order stream reports 1).
+    pub fn max_held(&self) -> usize {
+        self.max_held
+    }
+
+    /// Completed reorder episodes: the number of times the buffer
+    /// fully drained after holding at least one event back for an
+    /// outstanding predecessor. An in-order stream reports 0.
+    pub fn drains(&self) -> u64 {
+        self.drains
     }
 }
 
@@ -164,6 +198,96 @@ mod tests {
         buf.push(ev(2));
         assert_eq!(buf.pop_ready().unwrap().seq, 2);
         assert_eq!(buf.pop_ready().unwrap().seq, 3);
+    }
+
+    #[test]
+    fn gap_at_capacity_holds_a_full_ring_of_events() {
+        // A single outstanding predecessor can force the buffer to
+        // hold a flight-recorder ring's worth of later events; nothing
+        // may be released (or lost) until the gap fills.
+        const CAPACITY: u64 = 4096;
+        let mut buf = EventReorderBuffer::new();
+        for seq in 2..=CAPACITY {
+            buf.push(ev(seq));
+            assert!(buf.pop_ready().is_none(), "released across the gap");
+        }
+        assert_eq!(buf.len(), (CAPACITY - 1) as usize);
+        buf.push(ev(1));
+        assert_eq!(buf.max_held(), CAPACITY as usize);
+        let released: Vec<u64> = std::iter::from_fn(|| buf.pop_ready().map(|e| e.seq)).collect();
+        assert_eq!(released.len(), CAPACITY as usize);
+        assert!(released.windows(2).all(|w| w[1] == w[0] + 1));
+        assert!(buf.is_empty());
+        assert_eq!(buf.drains(), 1, "one reorder episode");
+    }
+
+    #[test]
+    fn out_of_order_release_across_an_epoch_barrier() {
+        // The sharded loop drains the buffer at every epoch barrier
+        // and keeps using the same buffer afterwards: sequence numbers
+        // keep climbing, and a pre-barrier seq arriving late must
+        // still panic rather than silently reorder across the epoch.
+        let mut buf = EventReorderBuffer::new();
+        // Epoch 1: seqs 1..=4 complete out of order, then the barrier
+        // requires a full drain.
+        for seq in [2, 4, 1, 3] {
+            buf.push(ev(seq));
+        }
+        while buf.pop_ready().is_some() {}
+        assert!(buf.is_empty(), "barrier requires a drained buffer");
+        assert_eq!(buf.drains(), 1);
+        assert_eq!(buf.next_expected(), 5);
+        // Epoch 2: later seqs reorder independently of epoch 1.
+        for seq in [6, 5] {
+            buf.push(ev(seq));
+        }
+        let released: Vec<u64> = std::iter::from_fn(|| buf.pop_ready().map(|e| e.seq)).collect();
+        assert_eq!(released, vec![5, 6]);
+        assert_eq!(buf.drains(), 2);
+        assert_eq!(buf.max_held(), 4, "epoch-1 backlog was the high water");
+    }
+
+    #[test]
+    #[should_panic(expected = "already released")]
+    fn pre_barrier_sequence_arriving_after_the_barrier_panics() {
+        let mut buf = EventReorderBuffer::new();
+        buf.push(ev(1));
+        buf.push(ev(2));
+        while buf.pop_ready().is_some() {}
+        // A worker echoing an epoch-1 seq after the drain is a bug the
+        // buffer must catch, not reorder.
+        buf.push(ev(2));
+    }
+
+    #[test]
+    fn reserved_but_never_filled_seq_stalls_without_corruption() {
+        // Seq 1 was reserved by the sequencer but its decision never
+        // committed (the bug the sharded loop's barrier debug_assert
+        // exists to catch). The buffer must stall — releasing nothing,
+        // losing nothing — and stay safe to drop with events held.
+        let mut buf = EventReorderBuffer::new();
+        for seq in [2, 3, 4] {
+            buf.push(ev(seq));
+        }
+        for _ in 0..3 {
+            assert!(buf.pop_ready().is_none(), "released past the hole");
+        }
+        assert_eq!(buf.len(), 3, "no event was dropped");
+        assert_eq!(buf.next_expected(), 1, "still waiting on the hole");
+        assert!(!buf.is_empty());
+        assert_eq!(buf.drains(), 0, "a stalled episode never drains");
+        drop(buf); // held events are simply discarded, no panic
+    }
+
+    #[test]
+    fn stats_stay_zero_for_in_order_streams() {
+        let mut buf = EventReorderBuffer::new();
+        for seq in 1..=8 {
+            buf.push(ev(seq));
+            buf.pop_ready();
+        }
+        assert_eq!(buf.drains(), 0);
+        assert_eq!(buf.max_held(), 1);
     }
 
     #[test]

@@ -265,7 +265,10 @@ impl Simulation {
             // The engine applies the same usability filter and distance
             // source as the policy path below, but reuses the candidate
             // list across requests (invalidated by directory, routing,
-            // and fault generations).
+            // and fault generations). Each decision also tallies the
+            // engine's hit/miss counters; under `--profile` a sharded
+            // run credits this serial-window traffic to the sequencer
+            // lane of the shard profile.
             let explanation = if self.events.tracing {
                 explained = true;
                 Some(&mut self.explain_scratch)

@@ -17,7 +17,7 @@
 //!   re-replication).
 
 use radar_core::{Catalog, HostState, ObjectId, Redirector};
-use radar_obs::LoopProfile;
+use radar_obs::{LoopProfile, ShardProfile, SharedShardProfile};
 use radar_simcore::{EventQueue, FifoServer, SimRng, SimTime};
 use radar_simnet::{NodeId, RoutingView};
 use radar_workload::{ArrivalProcess, Workload};
@@ -148,6 +148,14 @@ pub struct Simulation {
     /// Event-loop profiling accumulator; `None` until
     /// [`enable_loop_profile`](Simulation::enable_loop_profile).
     profile: Option<LoopProfile>,
+    /// Live per-shard telemetry handle; `None` until
+    /// [`enable_shard_profile`](Simulation::enable_shard_profile). The
+    /// sharded loop publishes snapshots here at every epoch barrier so
+    /// a dashboard can render stall attribution mid-run.
+    pub(crate) shard_profile_live: Option<SharedShardProfile>,
+    /// Completed per-shard telemetry, moved into
+    /// [`RunReport::shard_profile`] at finalization.
+    pub(crate) shard_profile: Option<ShardProfile>,
     /// The load-report board (§4.2.2 / the TR's recipient discovery):
     /// "hosts periodically exchange load reports, so that each host
     /// knows a few probable candidates." Each entry is the host's last
@@ -294,6 +302,8 @@ impl Simulation {
             pending_push_estimate: 0,
             events: EventSink::new(),
             profile: None,
+            shard_profile_live: None,
+            shard_profile: None,
             load_reports: vec![(0.0, 0.0); n],
             replay: None,
             recorded: None,
@@ -374,6 +384,22 @@ impl Simulation {
         self.profile = Some(LoopProfile::new());
     }
 
+    /// Enables per-shard telemetry for [`Simulation::run_sharded`]:
+    /// span accounting (busy / channel-wait /
+    /// barrier-drain / reunite / idle) on the sequencer and every
+    /// worker, hand-off latency and batch-size histograms, barrier
+    /// counters by cause, and candidate-cache hit/miss tallies. The
+    /// returned handle yields live snapshots (published at every epoch
+    /// barrier) for dashboards; the completed profile lands in
+    /// [`RunReport::shard_profile`]. Like loop profiling, all numbers
+    /// stay out of the deterministic event stream. Serial runs (and
+    /// `run_sharded(1)`'s serial fallback) collect nothing.
+    pub fn enable_shard_profile(&mut self) -> SharedShardProfile {
+        let live = SharedShardProfile::new();
+        self.shard_profile_live = Some(live.clone());
+        live
+    }
+
     /// The nodes hosting the redirectors (the most central nodes; one
     /// per hash partition).
     pub fn redirector_nodes(&self) -> &[NodeId] {
@@ -409,18 +435,26 @@ impl Simulation {
                 break;
             }
             let (t, ev) = self.queue.pop().expect("peeked event exists");
-            if self.profile.is_some() {
-                let label = ev.label();
-                let depth = self.queue.len() as u32;
-                let started = std::time::Instant::now();
-                self.handle(t, ev);
-                let nanos = started.elapsed().as_nanos() as u64;
-                if let Some(profile) = &mut self.profile {
-                    profile.record(label, nanos, depth);
-                }
-            } else {
-                self.handle(t, ev);
+            self.dispatch(t, ev);
+        }
+    }
+
+    /// Handles one popped event, timing it into the loop profile when
+    /// profiling is on. Shared by the serial loop and the sharded
+    /// sequencer's inline-handling paths, so `--profile` attributes
+    /// per-handler wall time identically in both modes.
+    pub(crate) fn dispatch(&mut self, t: SimTime, ev: Event) {
+        if self.profile.is_some() {
+            let label = ev.label();
+            let depth = self.queue.len() as u32;
+            let started = std::time::Instant::now();
+            self.handle(t, ev);
+            let nanos = started.elapsed().as_nanos() as u64;
+            if let Some(profile) = &mut self.profile {
+                profile.record(label, nanos, depth);
             }
+        } else {
+            self.handle(t, ev);
         }
     }
 
@@ -631,6 +665,11 @@ impl Simulation {
                 obs.on_loop_profile(profile);
             }
         }
+        if let Some(stats) = self.events.reorder_stats() {
+            for obs in &mut self.events.observers {
+                obs.on_reorder_stats(&stats);
+            }
+        }
         let mut report = RunReport::from_metrics(
             self.metrics,
             self.workload.name().to_string(),
@@ -644,6 +683,7 @@ impl Simulation {
             .recorded
             .map(|entries| entries.into_iter().collect::<Trace>());
         report.loop_profile = profile;
+        report.shard_profile = self.shard_profile;
         report
     }
 }

@@ -120,6 +120,14 @@ pub struct RunReport {
     /// host wall-clock measurements, so it is deliberately excluded
     /// from the JSON report to keep that output deterministic.
     pub loop_profile: Option<radar_obs::LoopProfile>,
+    /// Per-shard telemetry of a sharded run (stall attribution,
+    /// hand-off histograms, barrier counts), when
+    /// [`crate::Simulation::enable_shard_profile`] was on. Unlike
+    /// [`loop_profile`](Self::loop_profile) this *is* serialized into
+    /// the JSON report — as an explicitly opt-in, wall-clock-bearing
+    /// `shard_profile` section that `radar perf` consumes. Reports
+    /// from unprofiled runs stay byte-identical.
+    pub shard_profile: Option<radar_obs::ShardProfile>,
 }
 
 impl RunReport {
@@ -183,6 +191,7 @@ impl RunReport {
             restore_time: metrics.restore_time.snapshot(),
             faults_injected: metrics.faults_injected,
             loop_profile: None,
+            shard_profile: None,
         }
     }
 

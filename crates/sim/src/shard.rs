@@ -61,8 +61,12 @@
 use std::collections::{BinaryHeap, VecDeque};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
+use std::time::Instant;
 
 use radar_core::{shard_ranges, ChoiceExplanation, ObjectId, RedirectorShard};
+use radar_obs::{
+    BarrierCause, LaneProfile, Log2Histogram, ShardProfile, SharedShardProfile, SpanKind,
+};
 use radar_simcore::{SimDuration, SimTime};
 use radar_simnet::{NodeId, RoutingView};
 
@@ -154,7 +158,85 @@ enum FromShard {
     State {
         shard: usize,
         state: Box<ShardState>,
+        /// Cumulative worker telemetry, piggybacked on every collect
+        /// when profiling is on (`None` otherwise).
+        lane: Option<LaneProfile>,
     },
+}
+
+/// Cursor-based span accounting: the cursor marks when the current
+/// span began; every transition charges `now - cursor` to exactly one
+/// [`SpanKind`] and advances the cursor. One `Instant::now()` per
+/// transition, no unattributed gaps.
+struct SpanClock {
+    cursor: Instant,
+}
+
+impl SpanClock {
+    fn new() -> Self {
+        Self {
+            cursor: Instant::now(),
+        }
+    }
+
+    fn charge(&mut self, lane: &mut LaneProfile, kind: SpanKind) {
+        let now = Instant::now();
+        // duration_since saturates to zero on a non-monotonic step.
+        lane.add_span(kind, now.duration_since(self.cursor).as_nanos() as u64);
+        self.cursor = now;
+    }
+}
+
+/// A worker thread's profiling state (engaged by `--profile`).
+struct WorkerProf {
+    clock: SpanClock,
+    lane: LaneProfile,
+}
+
+/// The sequencer's profiling state: its own lane, the latest cumulative
+/// lane snapshot from each worker, the sequencer-side histograms, and
+/// the barrier counters.
+struct SeqProf {
+    clock: SpanClock,
+    /// Run start, for wall-clock coverage.
+    started: Instant,
+    lane: LaneProfile,
+    worker_lanes: Vec<LaneProfile>,
+    handoff_ns: Log2Histogram,
+    batch_items: Log2Histogram,
+    barriers: [u64; BarrierCause::COUNT],
+    /// What a blocking front-commit wait counts as: `ChannelWait` in
+    /// steady state, `BarrierDrain` while a barrier flushes pending.
+    wait_kind: SpanKind,
+}
+
+impl SeqProf {
+    fn new(shards: usize) -> Self {
+        SeqProf {
+            clock: SpanClock::new(),
+            started: Instant::now(),
+            lane: LaneProfile::default(),
+            worker_lanes: vec![LaneProfile::default(); shards],
+            handoff_ns: Log2Histogram::new(),
+            batch_items: Log2Histogram::new(),
+            barriers: [0; BarrierCause::COUNT],
+            wait_kind: SpanKind::ChannelWait,
+        }
+    }
+
+    /// Builds the profile as of now (published live at barriers; the
+    /// final call becomes [`crate::RunReport::shard_profile`]).
+    fn assemble(&self, shards: usize) -> ShardProfile {
+        ShardProfile {
+            shards,
+            wall_ns: self.started.elapsed().as_nanos() as u64,
+            sequencer: self.lane,
+            workers: self.worker_lanes.clone(),
+            handoff_ns: self.handoff_ns,
+            batch_items: self.batch_items,
+            barriers: self.barriers,
+        }
+    }
 }
 
 /// A deferred redirect awaiting its outcome, with every serial-order
@@ -176,6 +258,9 @@ struct PendingSlot {
     queue_seq: u64,
     /// Reserved flight-recorder sequence for the decision (0 untraced).
     rec_seq: u64,
+    /// Wall-clock defer instant, set only when profiling: the hand-off
+    /// latency histogram records defer → outcome-received per decision.
+    deferred_at: Option<Instant>,
     outcome: Option<WorkOutcome>,
 }
 
@@ -195,11 +280,28 @@ fn recv_spin<T>(rx: &Receiver<T>) -> Option<T> {
     rx.recv().ok()
 }
 
-fn worker_loop(shard_idx: usize, rx: Receiver<ToShard>, tx: Sender<FromShard>) {
+fn worker_loop(shard_idx: usize, rx: Receiver<ToShard>, tx: Sender<FromShard>, profiled: bool) {
     let mut state: Option<(Box<ShardState>, Arc<NetSnapshot>)> = None;
+    // Worker span accounting: time waiting on the channel is `Idle`,
+    // deciding an item is `Busy`, installing/returning window state is
+    // `Reunite`. The lane is cumulative for the whole run and a copy
+    // rides back on every `Collect`, so the sequencer always holds a
+    // complete snapshot after a barrier.
+    let mut prof = profiled.then(|| WorkerProf {
+        clock: SpanClock::new(),
+        lane: LaneProfile::default(),
+    });
     while let Some(msg) = recv_spin(&rx) {
+        if let Some(p) = &mut prof {
+            p.clock.charge(&mut p.lane, SpanKind::Idle);
+        }
         match msg {
-            ToShard::State(s, net) => state = Some((s, net)),
+            ToShard::State(s, net) => {
+                state = Some((s, net));
+                if let Some(p) = &mut prof {
+                    p.clock.charge(&mut p.lane, SpanKind::Reunite);
+                }
+            }
             ToShard::Item(item) => {
                 let (s, net) = state.as_mut().expect("state installed before items");
                 let mut explanation = item.explain.then(|| Box::new(ChoiceExplanation::default()));
@@ -224,13 +326,28 @@ fn worker_loop(shard_idx: usize, rx: Receiver<ToShard>, tx: Sender<FromShard>) {
                 {
                     return;
                 }
+                if let Some(p) = &mut prof {
+                    p.lane.items += 1;
+                    p.clock.charge(&mut p.lane, SpanKind::Busy);
+                }
             }
             ToShard::Collect => {
-                let (s, _) = state.take().expect("state installed before collect");
+                let (mut s, _) = state.take().expect("state installed before collect");
+                // Harvest the engine shard's cache tally before the
+                // shard is sent back and absorbed, so it is counted
+                // exactly once — on this worker's lane.
+                let lane = prof.as_mut().map(|p| {
+                    let (hits, misses) = s.engine.take_cache_stats();
+                    p.lane.cache_hits += hits;
+                    p.lane.cache_misses += misses;
+                    p.clock.charge(&mut p.lane, SpanKind::Reunite);
+                    p.lane
+                });
                 if tx
                     .send(FromShard::State {
                         shard: shard_idx,
                         state: s,
+                        lane,
                     })
                     .is_err()
                 {
@@ -261,10 +378,15 @@ struct ShardRuntime {
     next_item_id: u64,
     /// Whether shard state is currently out with the workers.
     split: bool,
+    /// Sequencer-side telemetry, engaged by `--profile`.
+    prof: Option<Box<SeqProf>>,
+    /// Live snapshot handle for the dashboard, published at barriers.
+    live: Option<SharedShardProfile>,
 }
 
 impl ShardRuntime {
     fn new(sim: &Simulation, shards: usize) -> Self {
+        let profiled = sim.shard_profile_live.is_some();
         let num_objects = sim.scenario.num_objects as usize;
         let mut shard_of = vec![0usize; num_objects];
         for (s, &(start, end)) in shard_ranges(sim.scenario.num_objects, shards)
@@ -284,7 +406,7 @@ impl ShardRuntime {
             let from = from_tx.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("radar-shard-{s}"))
-                .spawn(move || worker_loop(s, rx, from))
+                .spawn(move || worker_loop(s, rx, from, profiled))
                 .expect("spawn shard worker");
             workers.push(handle);
         }
@@ -298,6 +420,8 @@ impl ShardRuntime {
             bounds: vec![0; num_objects],
             next_item_id: 0,
             split: false,
+            prof: profiled.then(|| Box::new(SeqProf::new(shards))),
+            live: sim.shard_profile_live.clone(),
         }
     }
 
@@ -328,6 +452,10 @@ impl ShardRuntime {
     /// parallel window.
     fn split(&mut self, sim: &mut Simulation) {
         debug_assert!(!self.split);
+        if let Some(p) = &mut self.prof {
+            // Everything since the last transition was handler work.
+            p.clock.charge(&mut p.lane, SpanKind::Busy);
+        }
         self.rebuild_bounds(sim);
         let net = Arc::new(NetSnapshot::from_view(&sim.view, sim.fault_gen));
         let dirs = sim.redirector.split_shards(self.senders.len());
@@ -341,6 +469,9 @@ impl ShardRuntime {
                 .expect("worker alive");
         }
         self.split = true;
+        if let Some(p) = &mut self.prof {
+            p.clock.charge(&mut p.lane, SpanKind::Reunite);
+        }
     }
 
     /// Hands one redirect to its owning shard, pinning every
@@ -369,6 +500,7 @@ impl ShardRuntime {
         self.next_item_id += 1;
         let key = t.as_micros().saturating_add(self.bounds[object.index()]);
         self.floor.push(std::cmp::Reverse((key, queue_seq, id)));
+        let deferred_at = self.prof.is_some().then(Instant::now);
         self.pending.push_back(PendingSlot {
             id,
             object,
@@ -380,6 +512,7 @@ impl ShardRuntime {
             qd,
             queue_seq,
             rec_seq,
+            deferred_at,
             outcome: None,
         });
         sim.pending_push_estimate += 1;
@@ -414,6 +547,14 @@ impl ShardRuntime {
                 let front_id = self.pending.front().expect("outcome for a pending item").id;
                 let idx = (id - front_id) as usize;
                 self.pending[idx].outcome = Some(outcome);
+                if let Some(p) = &mut self.prof {
+                    // Hand-off latency = defer → outcome received back
+                    // on the sequencer, the full per-decision round
+                    // trip through the worker.
+                    if let Some(at) = self.pending[idx].deferred_at.take() {
+                        p.handoff_ns.record(at.elapsed().as_nanos() as u64);
+                    }
+                }
             }
             FromShard::State { .. } => unreachable!("states are only collected at barriers"),
         }
@@ -422,8 +563,15 @@ impl ShardRuntime {
     /// Absorbs any outcomes already delivered and commits the pending
     /// front as far as it goes, without blocking.
     fn drain_ready(&mut self, sim: &mut Simulation) {
+        let mut batch = 0u64;
         while let Ok(msg) = self.from_rx.try_recv() {
             self.store(msg);
+            batch += 1;
+        }
+        if batch > 0 {
+            if let Some(p) = &mut self.prof {
+                p.batch_items.record(batch);
+            }
         }
         while self.pending.front().is_some_and(|s| s.outcome.is_some()) {
             let slot = self.pending.pop_front().expect("front exists");
@@ -433,9 +581,19 @@ impl ShardRuntime {
 
     /// Blocks until the pending front's outcome arrives, then commits it.
     fn commit_front_blocking(&mut self, sim: &mut Simulation) {
+        if let Some(p) = &mut self.prof {
+            // Everything since the last transition was sequencer work.
+            p.clock.charge(&mut p.lane, SpanKind::Busy);
+        }
         while self.pending.front().is_some_and(|s| s.outcome.is_none()) {
             let msg = recv_spin(&self.from_rx).expect("workers alive while items pending");
             self.store(msg);
+        }
+        if let Some(p) = &mut self.prof {
+            // Attributed to the channel in steady state, to the barrier
+            // while a flush is draining the pending FIFO.
+            let kind = p.wait_kind;
+            p.clock.charge(&mut p.lane, kind);
         }
         if let Some(slot) = self.pending.pop_front() {
             commit_slot(sim, slot);
@@ -446,9 +604,22 @@ impl ShardRuntime {
     /// state, and reunite it with the parent directory and engine. On
     /// return the sequencer may run any handler on fully-consistent
     /// state.
-    fn barrier(&mut self, sim: &mut Simulation) {
+    ///
+    /// `cause` names the event class that forced the barrier for the
+    /// profile's barrier counters; the final end-of-run barrier passes
+    /// `None`.
+    fn barrier(&mut self, sim: &mut Simulation, cause: Option<BarrierCause>) {
         if !self.split {
             return;
+        }
+        if let Some(p) = &mut self.prof {
+            if let Some(c) = cause {
+                p.barriers[c as usize] += 1;
+            }
+            p.clock.charge(&mut p.lane, SpanKind::Busy);
+            // Front-commit waits inside the flush drain the barrier,
+            // not the steady-state channel.
+            p.wait_kind = SpanKind::BarrierDrain;
         }
         while !self.pending.is_empty() {
             self.commit_front_blocking(sim);
@@ -462,15 +633,24 @@ impl ShardRuntime {
         let mut collected = 0;
         while collected < states.len() {
             match recv_spin(&self.from_rx).expect("workers alive during collect") {
-                FromShard::State { shard, state } => {
+                FromShard::State { shard, state, lane } => {
                     debug_assert!(states[shard].is_none());
                     states[shard] = Some(state);
+                    if let (Some(p), Some(lane)) = (&mut self.prof, lane) {
+                        // Cumulative snapshot; newer collects replace
+                        // older ones outright.
+                        p.worker_lanes[shard] = lane;
+                    }
                     collected += 1;
                 }
                 FromShard::Outcome { .. } => {
                     unreachable!("all outcomes were committed before collect")
                 }
             }
+        }
+        if let Some(p) = &mut self.prof {
+            p.clock.charge(&mut p.lane, SpanKind::BarrierDrain);
+            p.wait_kind = SpanKind::ChannelWait;
         }
         let mut dirs = Vec::with_capacity(states.len());
         let mut engines = Vec::with_capacity(states.len());
@@ -482,6 +662,12 @@ impl ShardRuntime {
         sim.redirector.absorb_shards(dirs);
         sim.redirect.absorb_shards(engines);
         self.split = false;
+        if let Some(p) = &mut self.prof {
+            p.clock.charge(&mut p.lane, SpanKind::Reunite);
+            if let Some(live) = &self.live {
+                live.publish(p.assemble(self.senders.len()));
+            }
+        }
         debug_assert!(
             sim.events.reorder_drained(),
             "reserved recorder sequences must be emitted by the barrier"
@@ -569,9 +755,11 @@ impl Simulation {
     /// partially-run simulations delegate to the serial loop outright.
     /// See the module docs of `shard.rs` for the design.
     ///
-    /// Event-loop profiling ([`Simulation::enable_loop_profile`]) is
-    /// not collected by the sharded loop; the report's `loop_profile`
-    /// stays empty. Observer
+    /// Event-loop profiling ([`Simulation::enable_loop_profile`]) covers
+    /// every event the sequencer handles itself; redirects decided on a
+    /// worker shard do not appear as loop-profile rows — their cost is
+    /// captured by the shard profile
+    /// ([`Simulation::enable_shard_profile`]) instead. Observer
     /// callbacks other than the typed event feed (`on_request_served`,
     /// load samples, …) are delivered when their handler runs, which in
     /// parallel windows may interleave differently with the event feed
@@ -627,6 +815,9 @@ impl Simulation {
                     }
                 }
                 let (t, ev) = self.queue.pop().expect("peeked event exists");
+                if let Some(p) = &mut runtime.prof {
+                    p.lane.items += 1;
+                }
                 match ev {
                     Event::Redirect {
                         object,
@@ -634,20 +825,27 @@ impl Simulation {
                         t0,
                         cause,
                     } => runtime.defer(&mut self, t, object, gateway, t0, cause),
-                    Event::Placement { .. } | Event::ProviderUpdate | Event::DeclareDead { .. } => {
-                        runtime.barrier(&mut self);
-                        self.handle(t, ev);
+                    ev @ (Event::Placement { .. }
+                    | Event::ProviderUpdate
+                    | Event::DeclareDead { .. }) => {
+                        let cause = match &ev {
+                            Event::Placement { .. } => BarrierCause::Placement,
+                            Event::ProviderUpdate => BarrierCause::ProviderUpdate,
+                            _ => BarrierCause::DeclareDead,
+                        };
+                        runtime.barrier(&mut self, Some(cause));
+                        self.dispatch(t, ev);
                         runtime.split(&mut self);
                     }
                     Event::Fault { .. } => {
-                        runtime.barrier(&mut self);
-                        self.handle(t, ev);
+                        runtime.barrier(&mut self, Some(BarrierCause::Fault));
+                        self.dispatch(t, ev);
                         parallel = self.parallel_window_ok();
                         if parallel {
                             runtime.split(&mut self);
                         }
                     }
-                    other => self.handle(t, other),
+                    other => self.dispatch(t, other),
                 }
             } else {
                 let Some(next) = self.queue.peek_time() else {
@@ -657,8 +855,11 @@ impl Simulation {
                     break;
                 }
                 let (t, ev) = self.queue.pop().expect("peeked event exists");
+                if let Some(p) = &mut runtime.prof {
+                    p.lane.items += 1;
+                }
                 let was_fault = matches!(ev, Event::Fault { .. });
-                self.handle(t, ev);
+                self.dispatch(t, ev);
                 if was_fault {
                     parallel = self.parallel_window_ok();
                     if parallel {
@@ -668,7 +869,20 @@ impl Simulation {
             }
         }
         if parallel {
-            runtime.barrier(&mut self);
+            runtime.barrier(&mut self, None);
+        }
+        if let Some(mut p) = runtime.prof.take() {
+            // Close the final span and claim serial-window cache traffic
+            // (the parent engine's own tally) for the sequencer lane.
+            p.clock.charge(&mut p.lane, SpanKind::Busy);
+            let (hits, misses) = self.redirect.take_cache_stats();
+            p.lane.cache_hits += hits;
+            p.lane.cache_misses += misses;
+            let profile = p.assemble(shards);
+            if let Some(live) = &runtime.live {
+                live.publish(profile.clone());
+            }
+            self.shard_profile = Some(profile);
         }
         runtime.shutdown();
         debug_assert!(self.events.reorder_drained());

@@ -1,7 +1,9 @@
 //! The observer fan-out and flight-recorder sequencing shared by every
 //! simulation layer.
 
-use radar_obs::{DecisionEvent, Event, EventKind as ObsEventKind, EventReorderBuffer};
+use radar_obs::{
+    DecisionEvent, Event, EventKind as ObsEventKind, EventReorderBuffer, ReorderStats,
+};
 
 use crate::observer::Observer;
 
@@ -33,6 +35,12 @@ pub(crate) struct EventSink {
     /// Present while the sharded loop runs: holds back emissions that
     /// complete ahead of a still-reserved predecessor.
     reorder: Option<EventReorderBuffer>,
+    /// Total sequence numbers reserved via [`reserve_seq`](Self::reserve_seq).
+    reserved_total: u64,
+    /// Reserved sequence numbers not yet filled in.
+    reserved_outstanding: u64,
+    /// High-water mark of `reserved_outstanding`.
+    reserved_peak: u64,
 }
 
 impl EventSink {
@@ -43,6 +51,9 @@ impl EventSink {
             tracing: false,
             decision_scratch: DecisionEvent::default(),
             reorder: None,
+            reserved_total: 0,
+            reserved_outstanding: 0,
+            reserved_peak: 0,
         }
     }
 
@@ -65,9 +76,33 @@ impl EventSink {
     /// caller must eventually emit exactly one event carrying it (see
     /// [`emit_reserved_decision`](Self::emit_reserved_decision)), or
     /// reorder mode will hold back every later emission forever.
+    /// Reservations are tallied for the `{"type":"reorder",…}` log
+    /// trailer of a sharded run.
     pub(crate) fn reserve_seq(&mut self) -> u64 {
+        self.reserved_total += 1;
+        self.reserved_outstanding += 1;
+        self.reserved_peak = self.reserved_peak.max(self.reserved_outstanding);
+        self.next()
+    }
+
+    /// Advances and returns the sequence counter (internal emissions —
+    /// these never sit outstanding, so they stay out of the reserve
+    /// tallies).
+    fn next(&mut self) -> u64 {
         self.next_seq += 1;
         self.next_seq
+    }
+
+    /// Reorder-machinery statistics of a sharded run: reservation
+    /// tallies from this sink plus buffer high-water marks. `None`
+    /// outside reorder mode — serial runs write no trailer.
+    pub(crate) fn reorder_stats(&self) -> Option<ReorderStats> {
+        self.reorder.as_ref().map(|buf| ReorderStats {
+            reserved: self.reserved_total,
+            max_in_flight: self.reserved_peak,
+            max_held: buf.max_held() as u64,
+            drains: buf.drains(),
+        })
     }
 
     /// Fans one finished event out to subscribed observers, routing
@@ -102,7 +137,7 @@ impl EventSink {
         if !self.tracing {
             return 0;
         }
-        let seq = self.reserve_seq();
+        let seq = self.next();
         self.deliver(Event {
             seq,
             parent: (cause != 0).then_some(cause),
@@ -129,7 +164,7 @@ impl EventSink {
         if !self.tracing {
             return 0;
         }
-        let seq = self.reserve_seq();
+        let seq = self.next();
         self.emit_decision_with_seq(seq, t, queue_depth, cause, fill);
         seq
     }
@@ -147,6 +182,7 @@ impl EventSink {
         fill: impl FnOnce(&mut DecisionEvent),
     ) {
         debug_assert!(self.tracing, "a sequence was reserved without tracing");
+        self.reserved_outstanding = self.reserved_outstanding.saturating_sub(1);
         self.emit_decision_with_seq(seq, t, queue_depth, cause, fill);
     }
 

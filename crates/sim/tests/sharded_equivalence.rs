@@ -49,14 +49,35 @@ fn run(faults_spec: Option<FaultSpec>, shards: usize) -> (String, String) {
     (recorder.to_jsonl(), report.to_json_pretty())
 }
 
+/// Strips the `{"type":"reorder",...}` trailer, the one log line that is
+/// deliberately outside the determinism contract: reorder-buffer
+/// occupancy depends on wall-clock commit timing (how far the
+/// opportunistic `try_recv` drain got), so the trailer is operational
+/// metadata, present only on multi-shard runs and excluded from the
+/// byte-for-byte comparison.
+fn strip_reorder_trailer(log: &str) -> String {
+    log.lines()
+        .filter(|line| !line.starts_with("{\"type\":\"reorder\""))
+        .map(|line| format!("{line}\n"))
+        .collect()
+}
+
 #[test]
 fn fault_free_sharded_runs_match_serial_byte_for_byte() {
     let (serial_log, serial_report) = run(None, 0);
     assert!(!serial_log.is_empty(), "serial run recorded no events");
+    assert!(
+        !serial_log.contains("\"type\":\"reorder\""),
+        "serial runs must not emit the reorder trailer"
+    );
     for shards in [2, 3] {
         let (log, report) = run(None, shards);
         assert!(
-            log == serial_log,
+            log.contains("\"type\":\"reorder\""),
+            "{shards}-shard run is missing the reorder trailer"
+        );
+        assert!(
+            strip_reorder_trailer(&log) == serial_log,
             "{shards}-shard event log diverged from serial"
         );
         assert!(
@@ -75,7 +96,7 @@ fn faulted_sharded_runs_match_serial_byte_for_byte() {
     );
     let (log, report) = run(Some(faults()), 2);
     assert!(
-        log == serial_log,
+        strip_reorder_trailer(&log) == serial_log,
         "2-shard faulted log diverged from serial"
     );
     assert!(
@@ -88,7 +109,10 @@ fn faulted_sharded_runs_match_serial_byte_for_byte() {
 fn fixed_shard_count_is_deterministic() {
     let (a_log, a_report) = run(Some(faults()), 2);
     let (b_log, b_report) = run(Some(faults()), 2);
-    assert!(a_log == b_log, "two 2-shard seeded runs diverged");
+    assert!(
+        strip_reorder_trailer(&a_log) == strip_reorder_trailer(&b_log),
+        "two 2-shard seeded runs diverged"
+    );
     assert!(a_report == b_report, "two 2-shard seeded reports diverged");
 }
 

@@ -37,4 +37,12 @@ cargo run -q -p radar-cli --bin radar -- simulate \
 diff target/report-shards1.json target/report-shards2.json \
   || { echo "FAIL: 2-shard report diverged from 1-shard"; exit 1; }
 echo "reports identical"
+echo "== shard-profile coverage gate (--profile + radar perf) =="
+# A profiled sharded run must attribute at least 95% of every lane's
+# wall-clock to named spans (busy / waits / barrier / reunite / idle).
+cargo run -q -p radar-cli --bin radar -- simulate \
+  --objects 16 --rate 0.05 --duration 150 --seed 42 --shards 2 --profile \
+  --json > target/report-profiled.json
+cargo run -q -p radar-cli --bin radar -- perf target/report-profiled.json \
+  --check-coverage 95
 echo "ALL CHECKS PASSED"
