@@ -11,7 +11,10 @@
 use std::fmt::Write as _;
 use std::io::{IsTerminal, Write as _};
 
-use radar_obs::{MetricsObserver, ShardProfile, SharedMetrics, SharedShardProfile, SpanKind};
+use radar_obs::{
+    MetricsObserver, ProtocolHealth, ShardProfile, SharedMetrics, SharedObjectLedger,
+    SharedShardProfile, SpanKind,
+};
 use radar_sim::Observer;
 
 /// Width of the host-load bars, in characters.
@@ -207,6 +210,34 @@ pub fn render_shard_panel(p: &ShardProfile) -> String {
     out
 }
 
+/// Renders the live protocol-health panel from a ledger snapshot:
+/// active replicas, churn counters, relocation cost per served
+/// request, and the invariant-audit badge.
+pub fn render_protocol_panel(h: &ProtocolHealth) -> String {
+    let mut out = String::new();
+    let badge = if h.violations == 0 {
+        "invariants ok".to_string()
+    } else {
+        format!("INVARIANTS VIOLATED ({})", h.violations)
+    };
+    let _ = writeln!(
+        out,
+        "\nprotocol health: {} active replicas · [{badge}]",
+        h.active_replicas
+    );
+    let churn = h.churn_events();
+    let _ = writeln!(
+        out,
+        "  relocations {} · churn {churn} (ping-pong {} / rep-drop {}) · \
+         {:.1} B moved per request served",
+        h.relocations,
+        h.ping_pong,
+        h.replicate_drop,
+        h.bytes_per_served()
+    );
+    out
+}
+
 /// A simulation observer that folds every event into a [`SharedMetrics`]
 /// and repaints the dashboard on stderr as the run progresses.
 ///
@@ -222,6 +253,9 @@ pub struct LiveDashboard {
     /// Shard-telemetry snapshots (published by the sequencer at each
     /// epoch barrier) appended to every frame when profiling is on.
     shard_profile: Option<SharedShardProfile>,
+    /// Live protocol-health snapshots appended to every frame when the
+    /// object ledger is on.
+    ledger: Option<SharedObjectLedger>,
 }
 
 impl LiveDashboard {
@@ -234,12 +268,19 @@ impl LiveDashboard {
             live: std::io::stderr().is_terminal(),
             last_frame: None,
             shard_profile: None,
+            ledger: None,
         }
     }
 
     /// Adds a live per-shard utilization panel fed from `live`.
     pub fn with_shard_profile(mut self, live: SharedShardProfile) -> Self {
         self.shard_profile = Some(live);
+        self
+    }
+
+    /// Adds a live protocol-health panel fed from `ledger`.
+    pub fn with_ledger(mut self, ledger: SharedObjectLedger) -> Self {
+        self.ledger = Some(ledger);
         self
     }
 
@@ -253,6 +294,9 @@ impl LiveDashboard {
         }
         self.last_frame = Some(std::time::Instant::now());
         let mut frame = self.metrics.with(|m| render(m, self.top));
+        if let Some(ledger) = &self.ledger {
+            frame.push_str(&render_protocol_panel(&ledger.health()));
+        }
         if let Some(snapshot) = self.shard_profile.as_ref().and_then(|p| p.snapshot()) {
             frame.push_str(&render_shard_panel(&snapshot));
         }
@@ -363,6 +407,39 @@ mod tests {
         assert!(panel.contains("idle 85.0%"), "{panel}");
         assert!(panel.contains("cache 90.0%"), "{panel}");
         assert!(panel.contains("hand-off p50"), "{panel}");
+    }
+
+    #[test]
+    fn protocol_panel_shows_badge_and_churn_price() {
+        let clean = ProtocolHealth {
+            events_seen: 100,
+            active_replicas: 18,
+            requests: 50,
+            served: 48,
+            relocations: 4,
+            bytes_moved: 48_000,
+            ping_pong: 1,
+            replicate_drop: 0,
+            violations: 0,
+            violation_seqs: Vec::new(),
+            churn_window: 120.0,
+            top_objects: Vec::new(),
+        };
+        let panel = render_protocol_panel(&clean);
+        assert!(panel.contains("18 active replicas"), "{panel}");
+        assert!(panel.contains("[invariants ok]"), "{panel}");
+        assert!(
+            panel.contains("1000.0 B moved per request served"),
+            "{panel}"
+        );
+
+        let dirty = ProtocolHealth {
+            violations: 2,
+            violation_seqs: vec![7, 9],
+            ..clean
+        };
+        let panel = render_protocol_panel(&dirty);
+        assert!(panel.contains("INVARIANTS VIOLATED (2)"), "{panel}");
     }
 
     #[test]

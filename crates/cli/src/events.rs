@@ -37,7 +37,7 @@ pub(crate) fn command(args: &[&str]) -> Result<String, String> {
     }
 }
 
-fn load_log(path: &str) -> Result<EventLog, String> {
+pub(crate) fn load_log(path: &str) -> Result<EventLog, String> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| format!("cannot read events file {path}: {e}"))?;
     parse_jsonl_log(&text).map_err(|e| format!("{path}: {e}"))
@@ -183,8 +183,8 @@ fn explain(args: &[&str]) -> Result<String, String> {
 
 /// Renders an event's causal context within `events`: its ancestors
 /// back to the root ("caused by") and its direct consequences ("led
-/// to"). Shared by `explain` and `diff`.
-fn causal_chain(events: &[Event], event: &Event) -> String {
+/// to"). Shared by `explain`, `diff`, and `objects timeline`.
+pub(crate) fn causal_chain(events: &[Event], event: &Event) -> String {
     let by_seq: BTreeMap<u64, &Event> = events.iter().map(|e| (e.seq, e)).collect();
     let mut out = String::new();
     let mut ancestors = Vec::new();
@@ -263,6 +263,37 @@ fn eviction_banner(log: &EventLog) -> Option<String> {
     Some(out)
 }
 
+/// Renders the reorder-buffer section for a log carrying a sharded-run
+/// reorder trailer: how hard the deterministic sequencing had to work
+/// to keep the log in order. `None` for serial logs (no trailer).
+/// Shared by `summary` and `watch`.
+fn reorder_banner(log: &EventLog) -> Option<String> {
+    let r = log.reorder.as_ref()?;
+    let mut out = String::new();
+    let _ = writeln!(out, "reorder buffer (sharded run)");
+    let _ = writeln!(
+        out,
+        "  reserved seqs {:>9}   (decisions deferred to worker shards)",
+        r.reserved
+    );
+    let _ = writeln!(
+        out,
+        "  max in-flight {:>9}   (reserved but not yet committed)",
+        r.max_in_flight
+    );
+    let _ = writeln!(
+        out,
+        "  max held      {:>9}   (events buffered awaiting sequence order)",
+        r.max_held
+    );
+    let _ = writeln!(
+        out,
+        "  drains        {:>9}   (out-of-order episodes fully released)",
+        r.drains
+    );
+    Some(out)
+}
+
 fn watch(args: &[&str]) -> Result<String, String> {
     const OPTIONS: &[&str] = &["top", "object-size", "bin", "interval", "duration"];
     let parsed = Parsed::parse(args, OPTIONS, &["help"]).map_err(|e| e.to_string())?;
@@ -319,8 +350,13 @@ fn watch(args: &[&str]) -> Result<String, String> {
     m.finalize(t_end);
     let mut out = dashboard::render(&m, top);
     // A log missing events renders a misleading dashboard — surface the
-    // recorder's eviction trailer here, not only in `summary`.
+    // recorder's eviction trailer here, not only in `summary`; same for
+    // a sharded run's reorder trailer.
     if let Some(banner) = eviction_banner(&log) {
+        out.push('\n');
+        out.push_str(&banner);
+    }
+    if let Some(banner) = reorder_banner(&log) {
         out.push('\n');
         out.push_str(&banner);
     }
@@ -392,6 +428,7 @@ fn summary(args: &[&str]) -> Result<String, String> {
         .map_err(|e| e.to_string())?;
     let log = load_log(&path)?;
     let banner = eviction_banner(&log);
+    let reorder = reorder_banner(&log);
     let events = log.events;
     if events.is_empty() {
         return Ok("no events\n".to_string());
@@ -495,29 +532,9 @@ fn summary(args: &[&str]) -> Result<String, String> {
     }
     // Multi-shard runs append a reorder trailer: how hard the
     // deterministic sequencing had to work to keep this log in order.
-    if let Some(r) = &log.reorder {
+    if let Some(banner) = reorder {
         out.push('\n');
-        let _ = writeln!(out, "reorder buffer (sharded run)");
-        let _ = writeln!(
-            out,
-            "  reserved seqs {:>9}   (decisions deferred to worker shards)",
-            r.reserved
-        );
-        let _ = writeln!(
-            out,
-            "  max in-flight {:>9}   (reserved but not yet committed)",
-            r.max_in_flight
-        );
-        let _ = writeln!(
-            out,
-            "  max held      {:>9}   (events buffered awaiting sequence order)",
-            r.max_held
-        );
-        let _ = writeln!(
-            out,
-            "  drains        {:>9}   (out-of-order episodes fully released)",
-            r.drains
-        );
+        out.push_str(&banner);
     }
     Ok(out)
 }
@@ -539,7 +556,8 @@ fn help() -> String {
      \x20                                           sharded runs) reorder-buffer stats\n\
      \x20 radar events watch FILE [--top N]         replay the log through the\n\
      \x20                                           streaming metrics fold and render\n\
-     \x20                                           the dashboard (animated on a TTY)\n\
+     \x20                                           the dashboard (animated on a TTY),\n\
+     \x20                                           plus any eviction/reorder trailers\n\
      \x20         [--object-size B] [--bin S] [--interval S] [--duration S]\n\
      \x20                                           match the run's scenario so\n\
      \x20                                           aggregates line up with the report\n\
@@ -714,6 +732,27 @@ mod tests {
         assert!(out.contains("RaDaR dashboard"), "{out}");
         assert!(out.contains("7 events lost before export"), "{out}");
         assert!(out.contains("WARNING: 2 critical events"), "{out}");
+    }
+
+    #[test]
+    fn watch_renders_reorder_trailer_like_summary() {
+        let mut text = String::new();
+        for e in [served(1, None, 1.0, 7), served(2, None, 2.0, 7)] {
+            text.push_str(&e.to_json_line());
+            text.push('\n');
+        }
+        text.push_str(
+            "{\"type\":\"reorder\",\"reserved\":12,\"max_in_flight\":3,\
+             \"max_held\":2,\"drains\":5}\n",
+        );
+        let path = tempdir::path("events-watch-reorder");
+        std::fs::write(&path, text).unwrap();
+        let s = path.to_string_lossy().into_owned();
+        let _guard = tempdir::TempPath(path);
+        let out = watch(&[s.as_str()]).unwrap();
+        assert!(out.contains("RaDaR dashboard"), "{out}");
+        assert!(out.contains("reorder buffer (sharded run)"), "{out}");
+        assert!(out.contains("reserved seqs        12"), "{out}");
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! radar trace <stats|validate> FILE
 //! radar events <tail|filter|explain|summary|watch> … FILE
 //! radar events diff A B
+//! radar objects <timeline|churn|audit> … FILE
 //! radar perf FILE [--top N] [--check-coverage PCT]
 //! ```
 
@@ -19,6 +20,7 @@ mod args;
 mod dashboard;
 mod events;
 pub mod json;
+mod objects;
 mod perf;
 mod render;
 mod simulate;
@@ -42,6 +44,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
         Some("topology") => topology::command(&args.collect::<Vec<_>>()),
         Some("trace") => tracecmd::command(&args.collect::<Vec<_>>()),
         Some("events") => events::command(&args.collect::<Vec<_>>()),
+        Some("objects") => objects::command(&args.collect::<Vec<_>>()),
         Some("perf") => perf::command(&args.collect::<Vec<_>>()),
         Some("--help") | Some("-h") | None => Ok(usage()),
         Some(other) => Err(format!("unknown command {other:?}\n\n{}", usage())),
@@ -59,6 +62,8 @@ pub fn usage() -> String {
      \x20 radar events <SUBCOMMAND> FILE  inspect a flight-recorder event log\n\
      \x20                                 (tail | filter | explain | summary |\n\
      \x20                                 watch | diff)\n\
+     \x20 radar objects <SUBCOMMAND> …    protocol-level behaviour of an event log\n\
+     \x20                                 (timeline | churn | audit)\n\
      \x20 radar perf FILE                 render shard-profile telemetry from a\n\
      \x20                                 profiled run or bench artifact\n\
      \n\

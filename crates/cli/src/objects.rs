@@ -1,0 +1,464 @@
+//! `radar objects` — protocol-level inspection of a flight-recorder
+//! log: per-object lifecycle timelines, churn/cost attribution, and
+//! the replica-set-invariant audit.
+//!
+//! All three subcommands replay a JSONL event log through the same
+//! [`radar_obs::ObjectLedger`] streaming fold the simulator uses for
+//! its `protocol_health` report section, so offline inspection and
+//! in-run accounting can never disagree.
+
+use std::fmt::Write as _;
+
+use radar_obs::{EventLog, LedgerConfig, ObjectLedger};
+
+use crate::args::Parsed;
+use crate::events::{causal_chain, load_log};
+
+pub(crate) fn command(args: &[&str]) -> Result<String, String> {
+    let Some((&sub, rest)) = args.split_first() else {
+        return Ok(help());
+    };
+    match sub {
+        "timeline" => timeline(rest),
+        "churn" => churn(rest),
+        "audit" => audit(rest),
+        "--help" | "-h" => Ok(help()),
+        other => Err(format!(
+            "unknown objects subcommand {other:?}\n\n{}",
+            help()
+        )),
+    }
+}
+
+/// Ledger configuration from the shared `--object-size` / `--window`
+/// flags (defaults match [`LedgerConfig::default`], which mirrors the
+/// default scenario).
+fn ledger_config(parsed: &Parsed) -> Result<LedgerConfig, String> {
+    let defaults = LedgerConfig::default();
+    Ok(LedgerConfig {
+        object_size: parsed
+            .get_parsed("object-size", defaults.object_size, "bytes")
+            .map_err(|e| e.to_string())?,
+        churn_window: parsed
+            .get_parsed("window", defaults.churn_window, "seconds")
+            .map_err(|e| e.to_string())?,
+        ..defaults
+    })
+}
+
+/// Replays every event of `log` through a fresh ledger.
+fn fold_log(log: &EventLog, cfg: LedgerConfig) -> ObjectLedger {
+    let mut ledger = ObjectLedger::new(cfg);
+    for e in &log.events {
+        ledger.fold(e);
+    }
+    if let Some(last) = log.events.last() {
+        ledger.finalize(last.t);
+    }
+    ledger
+}
+
+fn timeline(args: &[&str]) -> Result<String, String> {
+    const OPTIONS: &[&str] = &["object-size", "window"];
+    let parsed = Parsed::parse(args, OPTIONS, &["help"]).map_err(|e| e.to_string())?;
+    if parsed.has("help") {
+        return Ok(help());
+    }
+    let [id, path] = parsed.positionals.as_slice() else {
+        return Err(format!("objects timeline expects ID FILE\n\n{}", help()));
+    };
+    let object: u32 = id
+        .parse()
+        .map_err(|_| format!("expected an object id, got {id:?}"))?;
+    let log = load_log(path)?;
+    let ledger = fold_log(&log, ledger_config(&parsed)?);
+
+    let Some(c) = ledger.object(object) else {
+        return Err(format!("no events concern object {object} in {path}"));
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "object {object} — lifecycle from {path}");
+    let _ = writeln!(
+        out,
+        "  requests {} · served {} · relocations {} · bytes moved {} ({:.1} B/served)",
+        c.requests,
+        c.served,
+        c.relocations,
+        c.bytes_moved,
+        c.bytes_per_served()
+    );
+    let _ = writeln!(
+        out,
+        "  churn: ping-pong {} · replicate-then-drop {} (window {:.0}s)",
+        c.ping_pong,
+        c.replicate_drop,
+        ledger.config().churn_window
+    );
+    let replicas = ledger.replicas_of(object);
+    if replicas.is_empty() {
+        let _ = writeln!(out, "  replicas now: none observed");
+    } else {
+        let hosts: Vec<String> = replicas.iter().map(|h| h.to_string()).collect();
+        let _ = writeln!(out, "  replicas now: hosts {}", hosts.join(", "));
+    }
+    let violations: Vec<_> = ledger
+        .auditor()
+        .violations()
+        .iter()
+        .filter(|v| v.object == object)
+        .collect();
+    if !violations.is_empty() {
+        let _ = writeln!(out, "  INVARIANT VIOLATIONS involving this object:");
+        for v in &violations {
+            let _ = writeln!(out, "    {v}");
+        }
+    }
+
+    let steps = ledger.timeline(object);
+    if steps.is_empty() {
+        let _ = writeln!(out, "\nno replica-set changes recorded");
+        return Ok(out);
+    }
+    let dropped = ledger.timeline_dropped(object);
+    if dropped > 0 {
+        let _ = writeln!(out, "\n… {dropped} earlier steps beyond the timeline cap");
+    }
+    for step in steps {
+        let _ = writeln!(
+            out,
+            "\n#{:<6} t={:<9.3} {}",
+            step.seq,
+            step.t,
+            step.change.describe()
+        );
+        // The paper-facing "why": the Fig. 2 decision / placement-test
+        // narrative of the chain that produced this step.
+        if let Some(event) = log.events.iter().find(|e| e.seq == step.seq) {
+            let chain = causal_chain(&log.events, event);
+            for line in chain.lines().filter(|l| !l.is_empty()) {
+                let _ = writeln!(out, "    {line}");
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn churn(args: &[&str]) -> Result<String, String> {
+    const OPTIONS: &[&str] = &["top", "object-size", "window"];
+    let parsed = Parsed::parse(args, OPTIONS, &["help"]).map_err(|e| e.to_string())?;
+    if parsed.has("help") {
+        return Ok(help());
+    }
+    let [path] = parsed.positionals.as_slice() else {
+        return Err(format!(
+            "objects churn expects an events FILE\n\n{}",
+            help()
+        ));
+    };
+    let top: usize = parsed
+        .get_parsed("top", 10, "a row count")
+        .map_err(|e| e.to_string())?;
+    let log = load_log(path)?;
+    if log.events.is_empty() {
+        return Ok("no events\n".to_string());
+    }
+    let ledger = fold_log(&log, ledger_config(&parsed)?);
+
+    let mut out = ledger.health().render();
+    let rows = ledger.churn_table(top);
+    if !rows.is_empty() {
+        out.push('\n');
+        let _ = writeln!(
+            out,
+            "{:<8} {:>9} {:>8} {:>6} {:>10} {:>9} {:>10} {:>9}",
+            "object", "requests", "served", "reloc", "bytes", "B/served", "ping-pong", "rep-drop"
+        );
+        for (object, c) in &rows {
+            let _ = writeln!(
+                out,
+                "{:<8} {:>9} {:>8} {:>6} {:>10} {:>9.1} {:>10} {:>9}",
+                object,
+                c.requests,
+                c.served,
+                c.relocations,
+                c.bytes_moved,
+                c.bytes_per_served(),
+                c.ping_pong,
+                c.replicate_drop
+            );
+        }
+    }
+    let nodes = ledger.node_table();
+    if !nodes.is_empty() {
+        out.push('\n');
+        let _ = writeln!(
+            out,
+            "{:<6} {:>8} {:>10} {:>10} {:>9}",
+            "node", "served", "bytes-in", "bytes-out", "B/served"
+        );
+        for (node, c) in &nodes {
+            let _ = writeln!(
+                out,
+                "{:<6} {:>8} {:>10} {:>10} {:>9.1}",
+                node,
+                c.served,
+                c.bytes_in,
+                c.bytes_out,
+                c.bytes_per_served()
+            );
+        }
+    }
+    Ok(out)
+}
+
+/// Violations printed in full before the audit verdict truncates.
+const AUDIT_VIOLATION_LINES: usize = 20;
+
+fn audit(args: &[&str]) -> Result<String, String> {
+    let parsed = Parsed::parse(args, &[], &["help"]).map_err(|e| e.to_string())?;
+    if parsed.has("help") {
+        return Ok(help());
+    }
+    let [path] = parsed.positionals.as_slice() else {
+        return Err(format!(
+            "objects audit expects an events FILE\n\n{}",
+            help()
+        ));
+    };
+    let log = load_log(path)?;
+    let ledger = fold_log(&log, LedgerConfig::default());
+    let auditor = ledger.auditor();
+    let events = auditor.events_seen();
+
+    let mut caveat = String::new();
+    if let Some(ev) = &log.evictions {
+        if ev.total() > 0 {
+            let _ = writeln!(
+                caveat,
+                "note: {} events were evicted before export; the audit only \
+                 covers what survived (stream the full run with \
+                 `radar simulate --events FILE` for a complete audit)",
+                ev.total()
+            );
+        }
+    }
+
+    let violations = auditor.violations();
+    if violations.is_empty() {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "audit clean: {events} events, {} active replicas, 0 violations",
+            auditor.active_replicas()
+        );
+        out.push_str(&caveat);
+        return Ok(out);
+    }
+    // A dirty audit is an error: the caller's exit code becomes 2, so
+    // CI can gate on it.
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "audit FAILED: {} violations in {events} events of {path}",
+        violations.len()
+    );
+    out.push_str(&caveat);
+    for v in violations.iter().take(AUDIT_VIOLATION_LINES) {
+        let _ = writeln!(out, "  {v}");
+    }
+    if violations.len() > AUDIT_VIOLATION_LINES {
+        let _ = writeln!(
+            out,
+            "  … {} more violations",
+            violations.len() - AUDIT_VIOLATION_LINES
+        );
+    }
+    Err(out)
+}
+
+fn help() -> String {
+    "radar objects — protocol-level behaviour of a flight-recorder log\n\
+     \n\
+     Produce a log with `radar simulate --events FILE …`. All subcommands\n\
+     replay it through the same ObjectLedger fold the simulator uses for\n\
+     the `protocol_health` report section.\n\
+     \n\
+     USAGE:\n\
+     \x20 radar objects timeline ID FILE    one object's replica-set lifecycle:\n\
+     \x20                                   every create/drop/migrate/re-replication\n\
+     \x20                                   with the causal chain that produced it\n\
+     \x20 radar objects churn FILE [--top N]\n\
+     \x20                                   churn and relocation-cost attribution:\n\
+     \x20                                   ping-pong migrations, replicate-then-drop\n\
+     \x20                                   cycles, bytes moved per request served,\n\
+     \x20                                   per object and per node\n\
+     \x20 radar objects audit FILE          replica-set-invariant audit: flags any\n\
+     \x20                                   unnotified drop, orphaned replica, or\n\
+     \x20                                   directory/host disagreement (exit 2 with\n\
+     \x20                                   the offending event seqs on violations)\n\
+     \n\
+     OPTIONS (timeline / churn):\n\
+     \x20 --object-size B   bytes per object copy, for relocation pricing\n\
+     \x20                   (default 12288 — the default scenario's size)\n\
+     \x20 --window S        churn hysteresis window in seconds (default 120 —\n\
+     \x20                   two placement periods)\n"
+        .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radar_obs::{Event, EventKind, PlacementActionEvent, PlacementActionKind, ResetCause};
+
+    fn ev(seq: u64, parent: Option<u64>, t: f64, kind: EventKind) -> Event {
+        Event {
+            seq,
+            parent,
+            t,
+            queue_depth: 0,
+            kind,
+        }
+    }
+
+    fn write_log(lines: &[String]) -> (tempdir::TempPath, String) {
+        let path = tempdir::path("objects-test");
+        std::fs::write(&path, lines.join("\n") + "\n").unwrap();
+        let s = path.to_string_lossy().into_owned();
+        (tempdir::TempPath(path), s)
+    }
+
+    /// Minimal self-cleaning temp files (std-only).
+    mod tempdir {
+        use std::path::PathBuf;
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+
+        pub struct TempPath(pub PathBuf);
+        impl Drop for TempPath {
+            fn drop(&mut self) {
+                let _ = std::fs::remove_file(&self.0);
+            }
+        }
+
+        pub fn path(stem: &str) -> PathBuf {
+            let n = NEXT.fetch_add(1, Ordering::Relaxed);
+            std::env::temp_dir().join(format!("radar-{stem}-{}-{n}.jsonl", std::process::id()))
+        }
+    }
+
+    fn replication_log() -> Vec<String> {
+        [
+            ev(
+                1,
+                None,
+                10.0,
+                EventKind::RequestServed {
+                    gateway: 0,
+                    object: 7,
+                    host: 1,
+                    latency: 0.05,
+                    hops: 2,
+                },
+            ),
+            ev(
+                2,
+                None,
+                60.0,
+                EventKind::CountsReset {
+                    object: 7,
+                    cause: ResetCause::Created,
+                },
+            ),
+            ev(
+                3,
+                Some(2),
+                60.0,
+                EventKind::PlacementAction(PlacementActionEvent {
+                    host: 1,
+                    object: 7,
+                    action: PlacementActionKind::GeoReplicate,
+                    target: Some(2),
+                    unit_rate: 0.3,
+                    share: None,
+                    ratio: Some(0.4),
+                    deletion_threshold: 0.01,
+                    replication_threshold: 0.18,
+                }),
+            ),
+        ]
+        .iter()
+        .map(Event::to_json_line)
+        .collect()
+    }
+
+    #[test]
+    fn timeline_renders_lifecycle_and_chain() {
+        let (_g, path) = write_log(&replication_log());
+        let out = timeline(&["7", path.as_str()]).unwrap();
+        assert!(out.contains("object 7"), "{out}");
+        assert!(out.contains("replica created on host 2"), "{out}");
+        assert!(out.contains("replicas now: hosts 1, 2"), "{out}");
+        assert!(out.contains("caused by:"), "{out}");
+        assert!(out.contains("bytes moved 12288"), "{out}");
+    }
+
+    #[test]
+    fn timeline_rejects_unknown_object() {
+        let (_g, path) = write_log(&replication_log());
+        let err = timeline(&["99", path.as_str()]).unwrap_err();
+        assert!(err.contains("no events concern object 99"), "{err}");
+    }
+
+    #[test]
+    fn churn_prices_relocations_per_object_and_node() {
+        let (_g, path) = write_log(&replication_log());
+        let out = churn(&[path.as_str(), "--object-size", "1000"]).unwrap();
+        assert!(out.contains("protocol health"), "{out}");
+        assert!(out.contains("bytes moved 1000"), "{out}");
+        assert!(out.contains("[ok]"), "{out}");
+        // Node table: host 1 shipped the copy out, host 2 received it.
+        assert!(out.contains("bytes-in"), "{out}");
+    }
+
+    #[test]
+    fn audit_passes_clean_log_and_fails_dirty_one() {
+        let (_g, path) = write_log(&replication_log());
+        let out = audit(&[path.as_str()]).unwrap();
+        assert!(out.contains("audit clean"), "{out}");
+
+        // A drop with no matching directory notification.
+        let dirty = vec![ev(
+            1,
+            None,
+            30.0,
+            EventKind::PlacementAction(PlacementActionEvent {
+                host: 3,
+                object: 9,
+                action: PlacementActionKind::Drop,
+                target: None,
+                unit_rate: 0.001,
+                share: None,
+                ratio: None,
+                deletion_threshold: 0.01,
+                replication_threshold: 0.18,
+            }),
+        )
+        .to_json_line()];
+        let (_g2, dirty_path) = write_log(&dirty);
+        let err = audit(&[dirty_path.as_str()]).unwrap_err();
+        assert!(err.contains("audit FAILED"), "{err}");
+        assert!(err.contains("seq 1"), "{err}");
+        assert!(err.contains("drop-before-notify"), "{err}");
+    }
+
+    #[test]
+    fn audit_notes_evicted_events() {
+        let mut lines = replication_log();
+        lines.push("{\"type\":\"evictions\",\"routine\":5,\"notable\":0,\"critical\":1}".into());
+        let (_g, path) = write_log(&lines);
+        let out = audit(&[path.as_str()]).unwrap();
+        assert!(out.contains("audit clean"), "{out}");
+        assert!(out.contains("6 events were evicted"), "{out}");
+    }
+}

@@ -29,7 +29,7 @@ const OPTIONS: &[&str] = &[
     "shards",
     "out",
 ];
-const SWITCHES: &[&str] = &["static", "json", "dashboard", "profile", "help"];
+const SWITCHES: &[&str] = &["static", "json", "dashboard", "profile", "ledger", "help"];
 
 /// How many hosts/objects the dashboard panels display.
 const DASHBOARD_TOP: usize = 8;
@@ -103,6 +103,11 @@ pub struct SimulateArgs {
     /// hand-off histograms, barrier counters) for the report's
     /// `shard_profile` section and the dashboard's shard panel.
     pub profile: bool,
+    /// Enable the protocol-health ledger (per-object timelines, churn
+    /// attribution, invariant audit) for the report's
+    /// `protocol_health` section. Implied by `--dashboard`, which
+    /// renders the live protocol panel from it.
+    pub ledger: bool,
     /// Fold the event stream into live dashboard metrics (repainted on
     /// stderr when it is a terminal; the final frame joins the report).
     pub dashboard: bool,
@@ -232,6 +237,7 @@ impl SimulateArgs {
             events_to: parsed.get("events").map(str::to_string),
             shards,
             profile: parsed.has("profile"),
+            ledger: parsed.has("ledger"),
             dashboard: parsed.has("dashboard"),
             json: parsed.has("json"),
             out: parsed.get("out").map(str::to_string),
@@ -286,6 +292,13 @@ impl SimulateArgs {
         } else {
             None
         };
+        // The dashboard's protocol panel reads live ledger snapshots,
+        // so --dashboard implies the ledger.
+        let ledger = if self.ledger || self.dashboard {
+            Some(sim.enable_object_ledger())
+        } else {
+            None
+        };
         let metrics = if self.dashboard {
             // Mirror the scenario parameters the simulator's own metrics
             // use, so the folded aggregates line up with the report.
@@ -301,6 +314,9 @@ impl SimulateArgs {
                 // Live frames gain a per-shard utilization column,
                 // refreshed from the snapshot each barrier publishes.
                 dash = dash.with_shard_profile(live.clone());
+            }
+            if let Some(ledger) = &ledger {
+                dash = dash.with_ledger(ledger.clone());
             }
             sim.attach_observer(Box::new(dash));
             Some(shared)
@@ -369,6 +385,10 @@ pub(crate) fn command(args: &[&str]) -> Result<String, String> {
             body.push('\n');
             body.push_str(&profile.render(DASHBOARD_TOP));
         }
+        if let Some(health) = &report.protocol_health {
+            body.push('\n');
+            body.push_str(&health.render());
+        }
         if let Some(path) = &output.events_to {
             body.push_str(&format!(
                 "\nevents written to {path} (inspect with `radar events summary {path}`)\n"
@@ -411,9 +431,14 @@ fn help() -> String {
      \x20                     histograms, barrier counts): a `shard_profile` report\n\
      \x20                     section, a text table, and a dashboard panel — wall-clock\n\
      \x20                     numbers only, the event stream stays untouched\n\
+     \x20 --ledger            reconstruct per-object replica timelines, churn and\n\
+     \x20                     relocation-cost attribution, and run the replica-set\n\
+     \x20                     invariant audit: a `protocol_health` report section\n\
+     \x20                     plus a text summary (see `radar objects --help`)\n\
      \x20 --dashboard         fold the event stream into live metrics: repaint a\n\
      \x20                     dashboard on stderr while running (TTY only) and\n\
-     \x20                     append the final frame to the report\n\
+     \x20                     append the final frame to the report; implies\n\
+     \x20                     --ledger and adds its live protocol-health panel\n\
      \x20 --json              emit the full report as JSON\n\
      \x20 --out FILE          write output to FILE instead of stdout\n"
         .to_string()

@@ -1,0 +1,230 @@
+//! End-to-end replica-set-invariant auditing through the CLI.
+//!
+//! The audit is the PR's CI gate: the committed golden log and a
+//! faulted sharded run must both satisfy the paper's replica-set
+//! invariant, seeded violations must fail with the offending event
+//! seq (exit 2 via `main`), and enabling the ledger must not perturb
+//! the event stream.
+
+use radar_cli::run;
+use radar_obs::{Event, EventKind, PlacementActionEvent, PlacementActionKind, ResetCause};
+use std::path::PathBuf;
+
+fn args(a: &[&str]) -> Vec<String> {
+    a.iter().map(|s| s.to_string()).collect()
+}
+
+/// The committed baseline (kept in sync with scripts/golden-diff.sh).
+fn golden_path() -> String {
+    concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/golden/events-seed42.jsonl"
+    )
+    .to_string()
+}
+
+struct TempPath(PathBuf);
+impl Drop for TempPath {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+fn temp(stem: &str, ext: &str) -> (TempPath, String) {
+    let path =
+        std::env::temp_dir().join(format!("radar-audit-{stem}-{}.{ext}", std::process::id()));
+    let s = path.to_string_lossy().into_owned();
+    (TempPath(path), s)
+}
+
+fn ev(seq: u64, t: f64, kind: EventKind) -> Event {
+    Event {
+        seq,
+        parent: None,
+        t,
+        queue_depth: 0,
+        kind,
+    }
+}
+
+fn placement(
+    seq: u64,
+    t: f64,
+    host: u16,
+    object: u32,
+    action: PlacementActionKind,
+    target: Option<u16>,
+) -> Event {
+    ev(
+        seq,
+        t,
+        EventKind::PlacementAction(PlacementActionEvent {
+            host,
+            object,
+            action,
+            target,
+            unit_rate: 0.3,
+            share: None,
+            ratio: None,
+            deletion_threshold: 0.01,
+            replication_threshold: 0.18,
+        }),
+    )
+}
+
+fn write_log(stem: &str, events: &[Event]) -> (TempPath, String) {
+    let body: String = events.iter().map(|e| e.to_json_line() + "\n").collect();
+    let (guard, path) = temp(stem, "jsonl");
+    std::fs::write(&path, body).expect("temp log writable");
+    (guard, path)
+}
+
+/// Golden scenario flags from tests/golden/README.md, plus extras.
+fn simulate(extra: &[&str], events_path: &str) {
+    let mut a = vec![
+        "simulate",
+        "--objects",
+        "16",
+        "--rate",
+        "0.05",
+        "--duration",
+        "150",
+        "--seed",
+        "42",
+        "--events",
+        events_path,
+    ];
+    a.extend_from_slice(extra);
+    run(&args(&a)).expect("scenario runs");
+}
+
+/// The wall-clock-dependent reorder trailer is the one permitted
+/// difference between runs; everything else must match byte-for-byte.
+fn without_reorder_trailer(path: &str) -> String {
+    std::fs::read_to_string(path)
+        .expect("log readable")
+        .lines()
+        .filter(|l| !l.contains("\"type\":\"reorder\""))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn golden_log_audits_clean() {
+    let out = run(&args(&["objects", "audit", &golden_path()]))
+        .expect("golden log satisfies the replica-set invariant");
+    assert!(out.contains("audit clean"), "{out}");
+    assert!(out.contains("0 violations"), "{out}");
+}
+
+#[test]
+fn seeded_drop_before_notify_fails_naming_the_seq() {
+    // A drop placement action with no counts-reset(dropped) pairing:
+    // the host deleted its copy without notifying the directory.
+    let (_g, path) = write_log(
+        "drop-before-notify",
+        &[placement(17, 60.0, 3, 9, PlacementActionKind::Drop, None)],
+    );
+    let err = run(&args(&["objects", "audit", &path])).expect_err("violation must fail the audit");
+    assert!(err.contains("audit FAILED"), "{err}");
+    assert!(err.contains("seq 17"), "{err}");
+    assert!(err.contains("drop-before-notify"), "{err}");
+}
+
+#[test]
+fn seeded_orphaned_replica_fails_naming_the_seq() {
+    // A replicate with no counts-reset(created) pairing: a physical
+    // copy the directory was never told about.
+    let (_g, path) = write_log(
+        "orphan",
+        &[
+            ev(
+                1,
+                10.0,
+                EventKind::RequestServed {
+                    gateway: 0,
+                    object: 4,
+                    host: 1,
+                    latency: 0.05,
+                    hops: 2,
+                },
+            ),
+            placement(23, 60.0, 1, 4, PlacementActionKind::GeoReplicate, Some(6)),
+        ],
+    );
+    let err = run(&args(&["objects", "audit", &path])).expect_err("violation must fail the audit");
+    assert!(err.contains("audit FAILED"), "{err}");
+    assert!(err.contains("seq 23"), "{err}");
+    assert!(err.contains("orphaned-replica"), "{err}");
+}
+
+#[test]
+fn notified_lifecycle_passes_the_audit() {
+    let (_g, path) = write_log(
+        "notified",
+        &[
+            ev(
+                1,
+                60.0,
+                EventKind::CountsReset {
+                    object: 7,
+                    cause: ResetCause::Created,
+                },
+            ),
+            placement(2, 60.0, 1, 7, PlacementActionKind::GeoReplicate, Some(2)),
+            ev(
+                3,
+                120.0,
+                EventKind::CountsReset {
+                    object: 7,
+                    cause: ResetCause::Dropped,
+                },
+            ),
+            placement(4, 120.0, 2, 7, PlacementActionKind::Drop, None),
+        ],
+    );
+    let out = run(&args(&["objects", "audit", &path])).expect("notified lifecycle is clean");
+    assert!(out.contains("audit clean"), "{out}");
+}
+
+#[test]
+fn faulted_sharded_run_audits_clean_and_matches_serial() {
+    // Crash-and-recover plus a permanent loss, exercising purges,
+    // re-replication, and the primary-fallback origin fetch — the
+    // paths where a lenient-but-sound auditor earns its keep.
+    let (_gf, faults) = temp("faults", "txt");
+    std::fs::write(
+        &faults,
+        "min-replicas 2\ndeclare-dead-after 30\nhost-down 5 60 180\nhost-down 12 120\n",
+    )
+    .expect("fault spec writable");
+
+    let (_g1, serial) = temp("faulted-serial", "jsonl");
+    let (_g2, sharded) = temp("faulted-sharded", "jsonl");
+    simulate(&["--faults", &faults], &serial);
+    simulate(&["--faults", &faults, "--shards", "2"], &sharded);
+
+    for path in [&serial, &sharded] {
+        let out = run(&args(&["objects", "audit", path]))
+            .expect("faulted run satisfies the replica-set invariant");
+        assert!(out.contains("0 violations"), "{path}: {out}");
+    }
+    assert_eq!(
+        without_reorder_trailer(&serial),
+        without_reorder_trailer(&sharded),
+        "2-shard faulted log must match the serial log apart from the reorder trailer"
+    );
+}
+
+#[test]
+fn ledger_does_not_perturb_the_event_stream() {
+    // The ledger is observation only: the golden scenario re-run with
+    // --ledger must reproduce the committed log byte-for-byte.
+    let (_g, fresh) = temp("ledger-golden", "jsonl");
+    simulate(&["--ledger"], &fresh);
+    assert_eq!(
+        std::fs::read_to_string(golden_path()).expect("golden log committed"),
+        std::fs::read_to_string(&fresh).expect("fresh log written"),
+        "--ledger changed the event stream"
+    );
+}

@@ -1,0 +1,928 @@
+//! Per-object replica lifecycle reconstruction, churn classification,
+//! and relocation-cost attribution over the event stream.
+//!
+//! [`ObjectLedger`] is a streaming fold in the same idiom as
+//! [`crate::MetricsObserver`]: feed it the flight-recorder event feed
+//! in sequence order (attach it to a simulation as an observer, or
+//! replay a JSONL log) and it maintains, per object, a lifecycle
+//! timeline of replica-set changes, oscillation counters, and the
+//! relocation bytes spent versus the requests usefully served. An
+//! embedded [`InvariantAuditor`] performs the replica-set-invariant
+//! checks on the same pass, so the ledger's replica accounting and the
+//! audit verdicts can never disagree.
+//!
+//! Churn classification follows the paper's hysteresis rationale: the
+//! watermark gap and the deletion/replication threshold gap exist
+//! precisely to prevent an object bouncing between hosts
+//! (migrate A→B then B→A) or being replicated and immediately dropped.
+//! The ledger counts both patterns inside a configurable window
+//! ([`LedgerConfig::churn_window`], defaulting to two placement
+//! periods) and prices every physical copy moved at
+//! [`LedgerConfig::object_size`] bytes.
+
+use crate::audit::InvariantAuditor;
+use crate::event::{Event, EventKind, PlacementActionKind, ResetCause};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// Violation sequence numbers retained in a [`ProtocolHealth`]
+/// snapshot (the full list stays on the auditor).
+const VIOLATION_SEQS_CAP: usize = 16;
+/// Objects listed in a [`ProtocolHealth`] snapshot, ranked by bytes
+/// moved.
+const TOP_OBJECTS_CAP: usize = 8;
+
+/// Tuning knobs for an [`ObjectLedger`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LedgerConfig {
+    /// Bytes per physical copy moved (the scenario's object size).
+    pub object_size: u64,
+    /// Oscillation window, seconds: a migrate-back or a drop after a
+    /// create within this window counts as churn. The protocol's
+    /// hysteresis (watermark gap, `u`/`m` threshold gap) should make
+    /// this rare; two placement periods is a natural default.
+    pub churn_window: f64,
+    /// Per-object cap on retained timeline steps; the oldest steps are
+    /// discarded past it (the drop count is reported per object).
+    pub timeline_capacity: usize,
+}
+
+impl Default for LedgerConfig {
+    fn default() -> Self {
+        Self {
+            object_size: 12 * 1024,
+            churn_window: 120.0,
+            timeline_capacity: 256,
+        }
+    }
+}
+
+/// One replica-set change in an object's lifecycle timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ReplicaChange {
+    /// A copy was created on `host` (replication); `new_copy` is false
+    /// when the host already held one and only its affinity grew.
+    Created {
+        /// The replication target.
+        host: u16,
+        /// Whether data actually moved.
+        new_copy: bool,
+    },
+    /// `host`'s copy was dropped by the deletion test.
+    Dropped {
+        /// The host that shed its copy.
+        host: u16,
+    },
+    /// The object migrated `from` → `to`; `source_dropped` is false
+    /// when the source kept its copy and only reduced affinity.
+    Migrated {
+        /// Migration source.
+        from: u16,
+        /// Migration target.
+        to: u16,
+        /// Whether the source's physical copy went away.
+        source_dropped: bool,
+    },
+    /// `host` shed one affinity unit but kept its copy.
+    AffinityReduced {
+        /// The host involved.
+        host: u16,
+    },
+    /// The replica floor refused to drop `host`'s last live copy.
+    DropRefused {
+        /// The host whose drop was vetoed.
+        host: u16,
+    },
+    /// The re-replication sweep restored a copy on `host`.
+    ReReplicated {
+        /// The install target.
+        host: u16,
+    },
+    /// A declared-dead host's replicas were purged.
+    Purged,
+}
+
+impl ReplicaChange {
+    /// Short human-readable description of the change.
+    pub fn describe(&self) -> String {
+        match self {
+            ReplicaChange::Created {
+                host,
+                new_copy: true,
+            } => {
+                format!("replica created on host {host}")
+            }
+            ReplicaChange::Created {
+                host,
+                new_copy: false,
+            } => {
+                format!("affinity added to existing replica on host {host}")
+            }
+            ReplicaChange::Dropped { host } => format!("replica dropped from host {host}"),
+            ReplicaChange::Migrated {
+                from,
+                to,
+                source_dropped,
+            } => {
+                if *source_dropped {
+                    format!("migrated host {from} -> host {to}")
+                } else {
+                    format!("migrated host {from} -> host {to} (source kept reduced copy)")
+                }
+            }
+            ReplicaChange::AffinityReduced { host } => {
+                format!("affinity reduced on host {host}")
+            }
+            ReplicaChange::DropRefused { host } => {
+                format!("drop refused on host {host} (last live copy)")
+            }
+            ReplicaChange::ReReplicated { host } => {
+                format!("re-replicated onto host {host}")
+            }
+            ReplicaChange::Purged => "replicas purged from a declared-dead host".to_string(),
+        }
+    }
+}
+
+/// One timeline entry: when a replica-set change happened and which
+/// flight-recorder event carried it (so causal chains can be followed
+/// back through the log).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimelineStep {
+    /// Sequence number of the event behind the change.
+    pub seq: u64,
+    /// Simulated time, seconds.
+    pub t: f64,
+    /// What changed.
+    pub change: ReplicaChange,
+}
+
+/// Per-object churn and cost counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ObjectChurn {
+    /// Requests that entered a gateway for this object.
+    pub requests: u64,
+    /// Responses delivered.
+    pub served: u64,
+    /// Relocation actions (replications, migrations, re-replications).
+    pub relocations: u64,
+    /// Bytes of object data physically moved by relocations.
+    pub bytes_moved: u64,
+    /// A→B→A migrations completed within the churn window.
+    pub ping_pong: u64,
+    /// Copies dropped within the churn window of their creation.
+    pub replicate_drop: u64,
+}
+
+impl ObjectChurn {
+    /// Relocation bytes per request usefully served (the churn price).
+    /// Objects that moved but never served report the full byte count.
+    pub fn bytes_per_served(&self) -> f64 {
+        self.bytes_moved as f64 / (self.served.max(1)) as f64
+    }
+
+    /// Oscillation events (ping-pong + replicate-then-drop).
+    pub fn churn_events(&self) -> u64 {
+        self.ping_pong + self.replicate_drop
+    }
+}
+
+/// Per-node relocation traffic and service counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeChurn {
+    /// Responses this node served.
+    pub served: u64,
+    /// Bytes of object data installed onto this node by relocations.
+    pub bytes_in: u64,
+    /// Bytes of object data this node shipped out as a relocation
+    /// source.
+    pub bytes_out: u64,
+}
+
+impl NodeChurn {
+    /// Relocation bytes (in + out) per request this node served.
+    pub fn bytes_per_served(&self) -> f64 {
+        (self.bytes_in + self.bytes_out) as f64 / (self.served.max(1)) as f64
+    }
+}
+
+/// Internal per-object state: public counters plus the oscillation
+/// detectors' working memory.
+#[derive(Debug, Clone, Default)]
+struct ObjectState {
+    churn: ObjectChurn,
+    timeline: Vec<TimelineStep>,
+    timeline_dropped: u64,
+    /// Last migration seen: `(from, to, t)` — a later `to → from`
+    /// within the window is a ping-pong.
+    last_migration: Option<(u16, u16, f64)>,
+    /// When each host's current physical copy was created in-stream —
+    /// a drop within the window of this time is a replicate-then-drop
+    /// cycle.
+    created_at: BTreeMap<u16, f64>,
+}
+
+/// A point-in-time summary of protocol health: the section surfaced in
+/// the run report JSON and the live dashboard panel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtocolHealth {
+    /// Events folded.
+    pub events_seen: u64,
+    /// Replicas currently reconstructed as present across all objects.
+    pub active_replicas: u64,
+    /// Requests that entered gateways.
+    pub requests: u64,
+    /// Responses delivered.
+    pub served: u64,
+    /// Relocation actions (replications, migrations, re-replications).
+    pub relocations: u64,
+    /// Bytes of object data physically moved.
+    pub bytes_moved: u64,
+    /// A→B→A migrations within the churn window.
+    pub ping_pong: u64,
+    /// Copies dropped within the churn window of their creation.
+    pub replicate_drop: u64,
+    /// Replica-set invariant violations detected.
+    pub violations: u64,
+    /// Sequence numbers of the first violations (capped; the full list
+    /// stays on the [`InvariantAuditor`]).
+    pub violation_seqs: Vec<u64>,
+    /// The churn window in force, seconds.
+    pub churn_window: f64,
+    /// The most relocation-expensive objects, `(object, counters)`
+    /// ranked by bytes moved then churn events (capped).
+    pub top_objects: Vec<(u32, ObjectChurn)>,
+}
+
+impl ProtocolHealth {
+    /// Relocation bytes per request usefully served across the run.
+    pub fn bytes_per_served(&self) -> f64 {
+        self.bytes_moved as f64 / (self.served.max(1)) as f64
+    }
+
+    /// Oscillation events (ping-pong + replicate-then-drop).
+    pub fn churn_events(&self) -> u64 {
+        self.ping_pong + self.replicate_drop
+    }
+
+    /// Multi-line text summary (the `radar simulate --ledger` footer).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("protocol health\n");
+        out.push_str(&format!(
+            "  active replicas      {:>10}\n",
+            self.active_replicas
+        ));
+        out.push_str(&format!(
+            "  relocations          {:>10}   bytes moved {} ({:.1} B/request served)\n",
+            self.relocations,
+            self.bytes_moved,
+            self.bytes_per_served()
+        ));
+        out.push_str(&format!(
+            "  churn (window {:.0}s)   {:>10}   ping-pong {} · replicate-then-drop {}\n",
+            self.churn_window,
+            self.churn_events(),
+            self.ping_pong,
+            self.replicate_drop
+        ));
+        if self.violations == 0 {
+            out.push_str("  invariant violations          0   [ok]\n");
+        } else {
+            let seqs: Vec<String> = self.violation_seqs.iter().map(|s| s.to_string()).collect();
+            out.push_str(&format!(
+                "  invariant violations {:>10}   [VIOLATED] first seqs: {}\n",
+                self.violations,
+                seqs.join(", ")
+            ));
+        }
+        out
+    }
+}
+
+/// Streaming per-object protocol-health fold.
+///
+/// ```
+/// use radar_obs::{Event, EventKind, LedgerConfig, ObjectLedger};
+///
+/// let mut ledger = ObjectLedger::new(LedgerConfig::default());
+/// ledger.fold(&Event {
+///     seq: 1,
+///     parent: None,
+///     t: 0.5,
+///     queue_depth: 0,
+///     kind: EventKind::RequestServed {
+///         gateway: 0,
+///         object: 7,
+///         host: 3,
+///         latency: 0.08,
+///         hops: 2,
+///     },
+/// });
+/// ledger.finalize(20.0);
+/// let health = ledger.health();
+/// assert_eq!(health.served, 1);
+/// assert_eq!(health.violations, 0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ObjectLedger {
+    cfg: LedgerConfig,
+    auditor: InvariantAuditor,
+    objects: BTreeMap<u32, ObjectState>,
+    nodes: BTreeMap<u16, NodeChurn>,
+    requests_total: u64,
+    served_total: u64,
+    relocations_total: u64,
+    bytes_moved_total: u64,
+    ping_pong_total: u64,
+    replicate_drop_total: u64,
+    t_end: f64,
+}
+
+impl ObjectLedger {
+    /// Creates an empty ledger with the given configuration.
+    pub fn new(cfg: LedgerConfig) -> Self {
+        Self {
+            cfg,
+            ..Self::default()
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &LedgerConfig {
+        &self.cfg
+    }
+
+    /// The embedded invariant auditor (violations live here).
+    pub fn auditor(&self) -> &InvariantAuditor {
+        &self.auditor
+    }
+
+    /// One object's lifecycle timeline, oldest step first (empty for
+    /// objects the stream never relocated).
+    pub fn timeline(&self, object: u32) -> &[TimelineStep] {
+        self.objects
+            .get(&object)
+            .map(|s| s.timeline.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Timeline steps discarded for `object` past the capacity cap.
+    pub fn timeline_dropped(&self, object: u32) -> u64 {
+        self.objects
+            .get(&object)
+            .map(|s| s.timeline_dropped)
+            .unwrap_or(0)
+    }
+
+    /// One object's churn counters, if any event mentioned it.
+    pub fn object(&self, object: u32) -> Option<ObjectChurn> {
+        self.objects.get(&object).map(|s| s.churn)
+    }
+
+    /// Hosts `object` is currently reconstructed to have replicas on.
+    pub fn replicas_of(&self, object: u32) -> Vec<u16> {
+        let mut hosts: Vec<u16> = self
+            .nodes
+            .keys()
+            .copied()
+            .filter(|&h| self.auditor.is_present(object, h))
+            .collect();
+        // Nodes only enter `self.nodes` once they serve or move bytes;
+        // fall back to the auditor for hosts that merely hold copies.
+        for step in self.timeline(object) {
+            let candidates: [Option<u16>; 2] = match step.change {
+                ReplicaChange::Created { host, .. }
+                | ReplicaChange::ReReplicated { host }
+                | ReplicaChange::AffinityReduced { host }
+                | ReplicaChange::DropRefused { host }
+                | ReplicaChange::Dropped { host } => [Some(host), None],
+                ReplicaChange::Migrated { from, to, .. } => [Some(from), Some(to)],
+                ReplicaChange::Purged => [None, None],
+            };
+            for host in candidates.into_iter().flatten() {
+                if self.auditor.is_present(object, host) && !hosts.contains(&host) {
+                    hosts.push(host);
+                }
+            }
+        }
+        hosts.sort_unstable();
+        hosts
+    }
+
+    /// All per-object churn rows, sorted by bytes moved descending,
+    /// then churn events, then object id; truncated to `top` rows
+    /// (`usize::MAX` for all).
+    pub fn churn_table(&self, top: usize) -> Vec<(u32, ObjectChurn)> {
+        let mut rows: Vec<(u32, ObjectChurn)> =
+            self.objects.iter().map(|(&o, s)| (o, s.churn)).collect();
+        rows.sort_by(|a, b| {
+            b.1.bytes_moved
+                .cmp(&a.1.bytes_moved)
+                .then(b.1.churn_events().cmp(&a.1.churn_events()))
+                .then(a.0.cmp(&b.0))
+        });
+        rows.truncate(top);
+        rows
+    }
+
+    /// Per-node relocation/service rows, ascending by node id.
+    pub fn node_table(&self) -> Vec<(u16, NodeChurn)> {
+        self.nodes.iter().map(|(&n, &c)| (n, c)).collect()
+    }
+
+    /// Folds one event (must arrive in sequence order, as every
+    /// observer and every written JSONL log already guarantees).
+    pub fn fold(&mut self, event: &Event) {
+        let delta = self.auditor.fold(event);
+        if event.t > self.t_end {
+            self.t_end = event.t;
+        }
+        match &event.kind {
+            EventKind::RequestArrived { object, .. } => {
+                self.requests_total += 1;
+                self.objects.entry(*object).or_default().churn.requests += 1;
+            }
+            EventKind::RequestServed { object, host, .. } => {
+                self.served_total += 1;
+                self.objects.entry(*object).or_default().churn.served += 1;
+                self.nodes.entry(*host).or_default().served += 1;
+            }
+            _ => {}
+        }
+        let Some(object) = event.object() else {
+            return;
+        };
+        let object_size = self.cfg.object_size;
+        let churn_window = self.cfg.churn_window;
+
+        // Relocation accounting from the auditor's delta.
+        if let Some((target, new_copy)) = delta.created {
+            let state = self.objects.entry(object).or_default();
+            state.churn.relocations += 1;
+            self.relocations_total += 1;
+            if new_copy {
+                state.churn.bytes_moved += object_size;
+                state.created_at.insert(target, event.t);
+                self.bytes_moved_total += object_size;
+                self.nodes.entry(target).or_default().bytes_in += object_size;
+                if let EventKind::PlacementAction(p) = &event.kind {
+                    self.nodes.entry(p.host).or_default().bytes_out += object_size;
+                }
+            }
+        }
+        if let Some((from, to)) = delta.migration {
+            let state = self.objects.entry(object).or_default();
+            if let Some((prev_from, prev_to, prev_t)) = state.last_migration {
+                if prev_from == to && prev_to == from && event.t - prev_t <= churn_window {
+                    state.churn.ping_pong += 1;
+                    self.ping_pong_total += 1;
+                }
+            }
+            state.last_migration = Some((from, to, event.t));
+        }
+        if let Some(host) = delta.removed {
+            let state = self.objects.entry(object).or_default();
+            if let Some(created) = state.created_at.remove(&host) {
+                if event.t - created <= churn_window {
+                    state.churn.replicate_drop += 1;
+                    self.replicate_drop_total += 1;
+                }
+            }
+        }
+
+        // Timeline step, when the event changed the replica set.
+        let change = match &event.kind {
+            EventKind::PlacementAction(p) => match p.action {
+                PlacementActionKind::Drop => Some(ReplicaChange::Dropped { host: p.host }),
+                PlacementActionKind::AffinityReduce => {
+                    Some(ReplicaChange::AffinityReduced { host: p.host })
+                }
+                PlacementActionKind::DropRefused => {
+                    Some(ReplicaChange::DropRefused { host: p.host })
+                }
+                PlacementActionKind::GeoMigrate | PlacementActionKind::LoadMigrate => {
+                    p.target.map(|to| ReplicaChange::Migrated {
+                        from: p.host,
+                        to,
+                        source_dropped: delta.removed.is_some(),
+                    })
+                }
+                PlacementActionKind::GeoReplicate | PlacementActionKind::LoadReplicate => delta
+                    .created
+                    .map(|(host, new_copy)| ReplicaChange::Created { host, new_copy }),
+            },
+            EventKind::ReReplication { target, .. } => {
+                Some(ReplicaChange::ReReplicated { host: *target })
+            }
+            EventKind::CountsReset {
+                cause: ResetCause::Purge,
+                ..
+            } => Some(ReplicaChange::Purged),
+            _ => None,
+        };
+        if let Some(change) = change {
+            let cap = self.cfg.timeline_capacity.max(1);
+            let state = self.objects.entry(object).or_default();
+            if state.timeline.len() >= cap {
+                state.timeline.remove(0);
+                state.timeline_dropped += 1;
+            }
+            state.timeline.push(TimelineStep {
+                seq: event.seq,
+                t: event.t,
+                change,
+            });
+        }
+    }
+
+    /// Marks the end of the observed interval (the run duration). The
+    /// ledger has no windowed gauges to roll forward; this only pins
+    /// the horizon reported by [`last_t`](Self::last_t).
+    pub fn finalize(&mut self, t_end: f64) {
+        if t_end > self.t_end {
+            self.t_end = t_end;
+        }
+    }
+
+    /// Latest time observed (event time or `finalize` horizon).
+    pub fn last_t(&self) -> f64 {
+        self.t_end
+    }
+
+    /// Snapshots the current protocol-health summary. Callable mid-run
+    /// (the live dashboard does) or after [`finalize`](Self::finalize).
+    pub fn health(&self) -> ProtocolHealth {
+        let violations = self.auditor.violations();
+        ProtocolHealth {
+            events_seen: self.auditor.events_seen(),
+            active_replicas: self.auditor.active_replicas(),
+            requests: self.requests_total,
+            served: self.served_total,
+            relocations: self.relocations_total,
+            bytes_moved: self.bytes_moved_total,
+            ping_pong: self.ping_pong_total,
+            replicate_drop: self.replicate_drop_total,
+            violations: violations.len() as u64,
+            violation_seqs: violations
+                .iter()
+                .take(VIOLATION_SEQS_CAP)
+                .map(|v| v.seq)
+                .collect(),
+            churn_window: self.cfg.churn_window,
+            top_objects: self
+                .churn_table(TOP_OBJECTS_CAP)
+                .into_iter()
+                .filter(|(_, c)| c.bytes_moved > 0 || c.churn_events() > 0)
+                .collect(),
+        }
+    }
+}
+
+/// A cloneable, thread-safe handle around an [`ObjectLedger`]: attach
+/// one clone to the simulation as an observer and read timelines or
+/// health snapshots from another (the live dashboard does exactly
+/// this).
+#[derive(Clone, Debug, Default)]
+pub struct SharedObjectLedger(Arc<Mutex<ObjectLedger>>);
+
+impl SharedObjectLedger {
+    /// Creates a shared ledger with the given configuration.
+    pub fn new(cfg: LedgerConfig) -> Self {
+        Self(Arc::new(Mutex::new(ObjectLedger::new(cfg))))
+    }
+
+    /// Folds one event.
+    pub fn fold(&self, event: &Event) {
+        self.0.lock().expect("ledger lock").fold(event);
+    }
+
+    /// Pins the end of the observed interval.
+    pub fn finalize(&self, t_end: f64) {
+        self.0.lock().expect("ledger lock").finalize(t_end);
+    }
+
+    /// Snapshots the current protocol-health summary.
+    pub fn health(&self) -> ProtocolHealth {
+        self.0.lock().expect("ledger lock").health()
+    }
+
+    /// Runs `f` with shared access to the inner ledger.
+    pub fn with<R>(&self, f: impl FnOnce(&ObjectLedger) -> R) -> R {
+        f(&self.0.lock().expect("ledger lock"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::PlacementActionEvent;
+
+    fn ev(seq: u64, t: f64, kind: EventKind) -> Event {
+        Event {
+            seq,
+            parent: None,
+            t,
+            queue_depth: 0,
+            kind,
+        }
+    }
+
+    fn reset(seq: u64, t: f64, object: u32, cause: ResetCause) -> Event {
+        ev(seq, t, EventKind::CountsReset { object, cause })
+    }
+
+    fn action(
+        seq: u64,
+        t: f64,
+        host: u16,
+        object: u32,
+        kind: PlacementActionKind,
+        target: Option<u16>,
+    ) -> Event {
+        ev(
+            seq,
+            t,
+            EventKind::PlacementAction(PlacementActionEvent {
+                host,
+                object,
+                action: kind,
+                target,
+                unit_rate: 0.1,
+                share: None,
+                ratio: None,
+                deletion_threshold: 0.01,
+                replication_threshold: 0.18,
+            }),
+        )
+    }
+
+    fn served(seq: u64, t: f64, object: u32, host: u16) -> Event {
+        ev(
+            seq,
+            t,
+            EventKind::RequestServed {
+                gateway: 0,
+                object,
+                host,
+                latency: 0.05,
+                hops: 2,
+            },
+        )
+    }
+
+    fn migrate(ledger: &mut ObjectLedger, seq: u64, t: f64, object: u32, from: u16, to: u16) {
+        ledger.fold(&reset(seq, t, object, ResetCause::Created));
+        ledger.fold(&reset(seq + 1, t, object, ResetCause::Dropped));
+        ledger.fold(&action(
+            seq + 2,
+            t,
+            from,
+            object,
+            PlacementActionKind::GeoMigrate,
+            Some(to),
+        ));
+    }
+
+    #[test]
+    fn ping_pong_within_window_is_counted() {
+        let mut l = ObjectLedger::new(LedgerConfig {
+            churn_window: 100.0,
+            ..LedgerConfig::default()
+        });
+        migrate(&mut l, 1, 60.0, 7, 1, 2);
+        migrate(&mut l, 10, 120.0, 7, 2, 1);
+        let c = l.object(7).unwrap();
+        assert_eq!(c.ping_pong, 1);
+        // A third bounce back is another ping-pong.
+        migrate(&mut l, 20, 180.0, 7, 1, 2);
+        assert_eq!(l.object(7).unwrap().ping_pong, 2);
+        assert_eq!(l.health().ping_pong, 2);
+    }
+
+    #[test]
+    fn slow_migrate_back_outside_window_is_not_churn() {
+        let mut l = ObjectLedger::new(LedgerConfig {
+            churn_window: 100.0,
+            ..LedgerConfig::default()
+        });
+        migrate(&mut l, 1, 60.0, 7, 1, 2);
+        migrate(&mut l, 10, 600.0, 7, 2, 1);
+        assert_eq!(l.object(7).unwrap().ping_pong, 0);
+    }
+
+    #[test]
+    fn replicate_then_drop_within_window_is_a_cycle() {
+        let mut l = ObjectLedger::new(LedgerConfig {
+            object_size: 1000,
+            churn_window: 100.0,
+            ..LedgerConfig::default()
+        });
+        l.fold(&reset(1, 60.0, 7, ResetCause::Created));
+        l.fold(&action(
+            2,
+            60.0,
+            1,
+            7,
+            PlacementActionKind::GeoReplicate,
+            Some(2),
+        ));
+        l.fold(&reset(3, 120.0, 7, ResetCause::Dropped));
+        l.fold(&action(4, 120.0, 2, 7, PlacementActionKind::Drop, None));
+        let c = l.object(7).unwrap();
+        assert_eq!(c.replicate_drop, 1);
+        assert_eq!(c.bytes_moved, 1000);
+        assert_eq!(c.relocations, 1);
+        assert!(l.auditor().violations().is_empty());
+    }
+
+    #[test]
+    fn affinity_transfer_moves_no_bytes() {
+        let mut l = ObjectLedger::new(LedgerConfig {
+            object_size: 1000,
+            ..LedgerConfig::default()
+        });
+        // Host 2 already holds a copy (inferred from serving).
+        l.fold(&served(1, 10.0, 7, 2));
+        l.fold(&reset(2, 60.0, 7, ResetCause::Created));
+        l.fold(&action(
+            3,
+            60.0,
+            1,
+            7,
+            PlacementActionKind::GeoReplicate,
+            Some(2),
+        ));
+        let c = l.object(7).unwrap();
+        assert_eq!(c.relocations, 1);
+        assert_eq!(c.bytes_moved, 0, "affinity transfer ships no data");
+    }
+
+    #[test]
+    fn node_attribution_tracks_bytes_in_and_out() {
+        let mut l = ObjectLedger::new(LedgerConfig {
+            object_size: 500,
+            ..LedgerConfig::default()
+        });
+        l.fold(&reset(1, 60.0, 7, ResetCause::Created));
+        l.fold(&action(
+            2,
+            60.0,
+            1,
+            7,
+            PlacementActionKind::GeoReplicate,
+            Some(2),
+        ));
+        l.fold(&served(3, 61.0, 7, 2));
+        let nodes = l.node_table();
+        let n1 = nodes.iter().find(|(n, _)| *n == 1).unwrap().1;
+        let n2 = nodes.iter().find(|(n, _)| *n == 2).unwrap().1;
+        assert_eq!(n1.bytes_out, 500);
+        assert_eq!(n2.bytes_in, 500);
+        assert_eq!(n2.served, 1);
+        assert_eq!(n2.bytes_per_served(), 500.0);
+    }
+
+    #[test]
+    fn timeline_records_lifecycle_with_seqs() {
+        let mut l = ObjectLedger::new(LedgerConfig::default());
+        l.fold(&reset(1, 60.0, 7, ResetCause::Created));
+        l.fold(&action(
+            2,
+            60.0,
+            1,
+            7,
+            PlacementActionKind::GeoReplicate,
+            Some(2),
+        ));
+        migrate(&mut l, 3, 120.0, 7, 2, 3);
+        l.fold(&ev(
+            8,
+            200.0,
+            EventKind::ReReplication {
+                object: 7,
+                target: 4,
+                elapsed: 12.0,
+            },
+        ));
+        let steps = l.timeline(7);
+        assert_eq!(steps.len(), 3);
+        assert_eq!(steps[0].seq, 2);
+        assert!(matches!(
+            steps[0].change,
+            ReplicaChange::Created {
+                host: 2,
+                new_copy: true
+            }
+        ));
+        assert!(matches!(
+            steps[1].change,
+            ReplicaChange::Migrated {
+                from: 2,
+                to: 3,
+                source_dropped: true
+            }
+        ));
+        assert!(matches!(
+            steps[2].change,
+            ReplicaChange::ReReplicated { host: 4 }
+        ));
+        assert!(l.timeline(99).is_empty());
+    }
+
+    #[test]
+    fn timeline_capacity_caps_and_counts_drops() {
+        let mut l = ObjectLedger::new(LedgerConfig {
+            timeline_capacity: 2,
+            ..LedgerConfig::default()
+        });
+        for i in 0..4u64 {
+            let t = 60.0 * (i + 1) as f64;
+            l.fold(&reset(i * 10 + 1, t, 7, ResetCause::Created));
+            l.fold(&action(
+                i * 10 + 2,
+                t,
+                1,
+                7,
+                PlacementActionKind::GeoReplicate,
+                Some(2 + i as u16),
+            ));
+        }
+        assert_eq!(l.timeline(7).len(), 2);
+        assert_eq!(l.timeline_dropped(7), 2);
+        assert_eq!(l.timeline(7)[0].seq, 22, "oldest steps evicted first");
+    }
+
+    #[test]
+    fn health_snapshot_summarizes_and_ranks() {
+        let mut l = ObjectLedger::new(LedgerConfig {
+            object_size: 1000,
+            churn_window: 100.0,
+            ..LedgerConfig::default()
+        });
+        l.fold(&served(1, 1.0, 7, 1));
+        l.fold(&served(2, 2.0, 8, 1));
+        l.fold(&reset(3, 60.0, 7, ResetCause::Created));
+        l.fold(&action(
+            4,
+            60.0,
+            1,
+            7,
+            PlacementActionKind::GeoReplicate,
+            Some(2),
+        ));
+        l.finalize(150.0);
+        let h = l.health();
+        assert_eq!(h.served, 2);
+        assert_eq!(h.relocations, 1);
+        assert_eq!(h.bytes_moved, 1000);
+        assert_eq!(h.violations, 0);
+        assert_eq!(h.bytes_per_served(), 500.0);
+        assert_eq!(h.top_objects.len(), 1, "unmoved object 8 not listed");
+        assert_eq!(h.top_objects[0].0, 7);
+        assert_eq!(l.last_t(), 150.0);
+        let text = h.render();
+        assert!(text.contains("[ok]"), "{text}");
+    }
+
+    #[test]
+    fn health_render_flags_violations_with_seqs() {
+        let mut l = ObjectLedger::new(LedgerConfig::default());
+        l.fold(&action(41, 60.0, 3, 9, PlacementActionKind::Drop, None));
+        let h = l.health();
+        assert_eq!(h.violations, 1);
+        assert_eq!(h.violation_seqs, vec![41]);
+        let text = h.render();
+        assert!(text.contains("VIOLATED"), "{text}");
+        assert!(text.contains("41"), "{text}");
+    }
+
+    #[test]
+    fn replicas_of_reflects_reconstruction() {
+        let mut l = ObjectLedger::new(LedgerConfig::default());
+        l.fold(&served(1, 1.0, 7, 1));
+        l.fold(&reset(2, 60.0, 7, ResetCause::Created));
+        l.fold(&action(
+            3,
+            60.0,
+            1,
+            7,
+            PlacementActionKind::GeoReplicate,
+            Some(2),
+        ));
+        assert_eq!(l.replicas_of(7), vec![1, 2]);
+        l.fold(&reset(4, 120.0, 7, ResetCause::Dropped));
+        l.fold(&action(5, 120.0, 2, 7, PlacementActionKind::Drop, None));
+        assert_eq!(l.replicas_of(7), vec![1]);
+    }
+
+    #[test]
+    fn shared_ledger_round_trip() {
+        let shared = SharedObjectLedger::new(LedgerConfig::default());
+        let clone = shared.clone();
+        clone.fold(&served(1, 1.0, 3, 2));
+        clone.finalize(20.0);
+        assert_eq!(shared.health().served, 1);
+        assert_eq!(shared.with(|l| l.last_t()), 20.0);
+    }
+}

@@ -41,16 +41,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod audit;
 mod diff;
 mod event;
 mod explain;
 pub mod jsonl;
+mod ledger;
 mod metrics;
 mod profile;
 mod recorder;
 mod reorder;
 mod shard_profile;
 
+pub use audit::{AuditDelta, InvariantAuditor, Violation, ViolationKind};
 pub use diff::{diff_events, DiffOutcome};
 pub use event::{
     CandidateSnapshot, DecisionBranch, DecisionEvent, Event, EventKind, FailReason,
@@ -58,6 +61,10 @@ pub use event::{
 };
 pub use jsonl::{
     parse_jsonl, parse_jsonl_log, EventLog, EvictionSummary, ParseError, ReorderStats,
+};
+pub use ledger::{
+    LedgerConfig, NodeChurn, ObjectChurn, ObjectLedger, ProtocolHealth, ReplicaChange,
+    SharedObjectLedger, TimelineStep,
 };
 pub use metrics::{MetricsConfig, MetricsObserver, ObjectCounters, SharedMetrics};
 pub use profile::{HandlerStats, LoopProfile};

@@ -6,7 +6,7 @@
 //! shortest-roundtrip `f64` formatting; non-finite values become `null`.
 
 use crate::report::RunReport;
-use radar_obs::{BarrierCause, LaneProfile, Log2Histogram, ShardProfile, SpanKind};
+use radar_obs::{BarrierCause, LaneProfile, Log2Histogram, ProtocolHealth, ShardProfile, SpanKind};
 
 /// A JSON document: the minimal tree the report emitter needs.
 #[derive(Debug, Clone, PartialEq)]
@@ -206,6 +206,48 @@ pub fn shard_profile_json(p: &ShardProfile) -> Json {
     ])
 }
 
+/// Serializes a [`ProtocolHealth`] snapshot as the `protocol_health`
+/// report section (also reused by the check-suite's deterministic
+/// `BENCH_protocol_health.json` artifact, which is why it is public).
+pub fn protocol_health_json(h: &ProtocolHealth) -> Json {
+    Json::Obj(vec![
+        ("events_seen".into(), uint(h.events_seen)),
+        ("active_replicas".into(), uint(h.active_replicas)),
+        ("requests".into(), uint(h.requests)),
+        ("served".into(), uint(h.served)),
+        ("relocations".into(), uint(h.relocations)),
+        ("bytes_moved".into(), uint(h.bytes_moved)),
+        ("bytes_per_served".into(), num(h.bytes_per_served())),
+        ("churn_window".into(), num(h.churn_window)),
+        ("ping_pong".into(), uint(h.ping_pong)),
+        ("replicate_drop".into(), uint(h.replicate_drop)),
+        ("violations".into(), uint(h.violations)),
+        (
+            "violation_seqs".into(),
+            Json::Arr(h.violation_seqs.iter().map(|&s| uint(s)).collect()),
+        ),
+        (
+            "top_objects".into(),
+            Json::Arr(
+                h.top_objects
+                    .iter()
+                    .map(|&(object, c)| {
+                        Json::Obj(vec![
+                            ("object".into(), uint(object as u64)),
+                            ("requests".into(), uint(c.requests)),
+                            ("served".into(), uint(c.served)),
+                            ("relocations".into(), uint(c.relocations)),
+                            ("bytes_moved".into(), uint(c.bytes_moved)),
+                            ("ping_pong".into(), uint(c.ping_pong)),
+                            ("replicate_drop".into(), uint(c.replicate_drop)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
 impl RunReport {
     /// Serializes the full report as pretty-printed JSON.
     ///
@@ -399,6 +441,10 @@ impl RunReport {
         // in check.sh both rely on.
         if let Some(profile) = &self.shard_profile {
             fields.push(("shard_profile".into(), shard_profile_json(profile)));
+        }
+        // Same opt-in rule: only ledger-enabled runs carry the section.
+        if let Some(health) = &self.protocol_health {
+            fields.push(("protocol_health".into(), protocol_health_json(health)));
         }
         Json::Obj(fields).pretty()
     }

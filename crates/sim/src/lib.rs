@@ -76,7 +76,7 @@ pub use config::{
     InitialPlacement, NetworkParams, PlacementMode, Scenario, ScenarioBuilder, ScenarioError,
 };
 pub use faults::{Fault, FaultError, FaultSpec, FaultTransition, TransitionKind};
-pub use json::{shard_profile_json, Json};
+pub use json::{protocol_health_json, shard_profile_json, Json};
 pub use metrics::{LoadEstimateSample, Metrics, RelocationAction, RelocationEvent};
 pub use observer::{FailureReason, Observer, RequestRecord};
 pub use platform::Simulation;

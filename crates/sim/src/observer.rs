@@ -210,3 +210,17 @@ impl Observer for radar_obs::SharedMetrics {
         self.fold(event);
     }
 }
+
+/// A [`radar_obs::SharedObjectLedger`] is an observer too — attach one
+/// clone to the simulation and read live protocol-health snapshots (or
+/// object timelines) from another. [`crate::Simulation::enable_object_ledger`]
+/// does exactly this.
+impl Observer for radar_obs::SharedObjectLedger {
+    fn wants_events(&self) -> bool {
+        true
+    }
+
+    fn on_event(&mut self, event: &radar_obs::Event) {
+        self.fold(event);
+    }
+}

@@ -17,7 +17,7 @@
 //!   re-replication).
 
 use radar_core::{Catalog, HostState, ObjectId, Redirector};
-use radar_obs::{LoopProfile, ShardProfile, SharedShardProfile};
+use radar_obs::{LedgerConfig, LoopProfile, ShardProfile, SharedObjectLedger, SharedShardProfile};
 use radar_simcore::{EventQueue, FifoServer, SimRng, SimTime};
 use radar_simnet::{NodeId, RoutingView};
 use radar_workload::{ArrivalProcess, Workload};
@@ -156,6 +156,11 @@ pub struct Simulation {
     /// Completed per-shard telemetry, moved into
     /// [`RunReport::shard_profile`] at finalization.
     pub(crate) shard_profile: Option<ShardProfile>,
+    /// Protocol-health ledger handle; `None` until
+    /// [`enable_object_ledger`](Simulation::enable_object_ledger). The
+    /// ledger folds the same ordered event feed every observer sees, so
+    /// it works identically in serial and sharded runs.
+    pub(crate) object_ledger: Option<SharedObjectLedger>,
     /// The load-report board (§4.2.2 / the TR's recipient discovery):
     /// "hosts periodically exchange load reports, so that each host
     /// knows a few probable candidates." Each entry is the host's last
@@ -304,6 +309,7 @@ impl Simulation {
             profile: None,
             shard_profile_live: None,
             shard_profile: None,
+            object_ledger: None,
             load_reports: vec![(0.0, 0.0); n],
             replay: None,
             recorded: None,
@@ -398,6 +404,30 @@ impl Simulation {
         let live = SharedShardProfile::new();
         self.shard_profile_live = Some(live.clone());
         live
+    }
+
+    /// Enables the protocol-health ledger: a
+    /// [`radar_obs::ObjectLedger`] is attached as an observer, folding
+    /// the flight-recorder feed into per-object replica timelines, an
+    /// online replica-set-invariant audit, and churn/cost attribution.
+    /// The returned handle yields live [`radar_obs::ProtocolHealth`]
+    /// snapshots mid-run (the dashboard's protocol panel reads it);
+    /// the final snapshot lands in [`RunReport::protocol_health`].
+    ///
+    /// The ledger prices relocations at the scenario's object size and
+    /// uses two placement periods as its churn window. Attaching it
+    /// switches on event tracing (the feed it folds), but — like every
+    /// observer — consumes no randomness and never alters outcomes:
+    /// recorded event logs stay byte-identical either way.
+    pub fn enable_object_ledger(&mut self) -> SharedObjectLedger {
+        let ledger = SharedObjectLedger::new(LedgerConfig {
+            object_size: self.scenario.object_size,
+            churn_window: 2.0 * self.scenario.params.placement_period,
+            ..LedgerConfig::default()
+        });
+        self.attach_observer(Box::new(ledger.clone()));
+        self.object_ledger = Some(ledger.clone());
+        ledger
     }
 
     /// The nodes hosting the redirectors (the most central nodes; one
@@ -684,6 +714,10 @@ impl Simulation {
             .map(|entries| entries.into_iter().collect::<Trace>());
         report.loop_profile = profile;
         report.shard_profile = self.shard_profile;
+        if let Some(ledger) = &self.object_ledger {
+            ledger.finalize(end);
+            report.protocol_health = Some(ledger.health());
+        }
         report
     }
 }

@@ -128,6 +128,12 @@ pub struct RunReport {
     /// `shard_profile` section that `radar perf` consumes. Reports
     /// from unprofiled runs stay byte-identical.
     pub shard_profile: Option<radar_obs::ShardProfile>,
+    /// Protocol-health summary (replica churn, relocation cost, and
+    /// invariant-audit verdict), when
+    /// [`crate::Simulation::enable_object_ledger`] was on. Serialized
+    /// into the JSON report as an opt-in `protocol_health` section;
+    /// reports from runs without the ledger stay byte-identical.
+    pub protocol_health: Option<radar_obs::ProtocolHealth>,
 }
 
 impl RunReport {
@@ -192,6 +198,7 @@ impl RunReport {
             faults_injected: metrics.faults_injected,
             loop_profile: None,
             shard_profile: None,
+            protocol_health: None,
         }
     }
 

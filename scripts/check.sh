@@ -23,6 +23,33 @@ echo "== throughput baseline + regression gate (BENCH_throughput.json) =="
 cargo bench -q -p radar-bench --bench throughput
 echo "== golden event-log regression diff (serial, --shards 1) =="
 ./scripts/golden-diff.sh
+echo "== replica-set invariant audit (golden log + faulted 2-shard run) =="
+# The paper's correctness contract (notify after create, before
+# delete) must hold on the committed golden log and on a faulted
+# sharded run — crashes, purges and re-replication are exactly where
+# an unnotified drop would slip through. Exit code 2 names the seqs.
+mkdir -p target
+cargo run -q -p radar-cli --bin radar -- objects audit \
+  tests/golden/events-seed42.jsonl
+printf 'min-replicas 2\ndeclare-dead-after 30\nhost-down 5 60 180\nhost-down 12 120\n' \
+  > target/audit-faults.txt
+cargo run -q -p radar-cli --bin radar -- simulate \
+  --objects 16 --rate 0.05 --duration 150 --seed 42 --shards 2 \
+  --faults target/audit-faults.txt --events target/audit-faulted.jsonl \
+  >/dev/null
+cargo run -q -p radar-cli --bin radar -- objects audit target/audit-faulted.jsonl
+echo "== protocol-health baseline (BENCH_protocol_health.json) =="
+# The ledger-enabled golden run is deterministic, so its
+# protocol_health report section doubles as a committed churn/audit
+# baseline next to the perf baselines.
+cargo run -q -p radar-cli --bin radar -- simulate \
+  --objects 16 --rate 0.05 --duration 150 --seed 42 --ledger --json \
+  > target/report-ledger.json
+# protocol_health is the report's final section; re-wrapping the tail
+# in braces yields a standalone JSON document.
+{ echo '{'; sed -n '/^  "protocol_health": {$/,$p' target/report-ledger.json; } \
+  > BENCH_protocol_health.json
+echo "wrote BENCH_protocol_health.json"
 echo "== sharded end-state equivalence (2 shards vs 1) =="
 # The sharded loop promises byte-identical observable output for any
 # fixed shard count; spot-check it end to end through the CLI by
