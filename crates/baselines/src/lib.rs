@@ -14,9 +14,13 @@
 //! * [`RandomSelection`] — uniformly random over current replicas, a
 //!   proximity- and load-oblivious control.
 //!
-//! Placement baselines need no code of their own: the static baseline is
-//! [`radar_sim::PlacementMode::Static`] with the paper's round-robin
-//! initial placement, and replicate-everywhere is
+//! Placement baselines mirror the selection seam on the other half of
+//! the protocol ([`radar_sim::PlacementPolicy`]): see
+//! [`AvailabilityPlacement`] (availability-aware continuous placement)
+//! and [`ClusterPlacement`] (cluster-based load-balancing replication)
+//! in [`placement`]. The degenerate baselines still need no code: static
+//! placement is [`radar_sim::PlacementMode::Static`] with the paper's
+//! round-robin initial placement, and replicate-everywhere is
 //! [`radar_sim::InitialPlacement::Everywhere`].
 //!
 //! # Examples
@@ -45,6 +49,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
+
+pub mod placement;
+
+pub use placement::{AvailabilityPlacement, ClusterPlacement};
 
 use std::collections::HashMap;
 

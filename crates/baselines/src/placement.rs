@@ -1,0 +1,401 @@
+//! Baseline *placement* policies for head-to-head comparison with the
+//! paper's distribution algorithm ([`radar_sim::RadarPlacement`]).
+//!
+//! Both implement [`radar_sim::PlacementPolicy`] over the identical
+//! [`PlacementEnv`] surface the paper's algorithm uses, so a comparison
+//! run differs only in the decision rule:
+//!
+//! * [`AvailabilityPlacement`] — availability-aware continuous
+//!   placement (after arXiv 1605.04069): steer every object toward a
+//!   fixed replica-count target, replicating under-replicated objects
+//!   toward their demand and shedding excess copies, with no load
+//!   awareness at all;
+//! * [`ClusterPlacement`] — cluster-based load-balancing replication
+//!   (after arXiv 1009.4563): replicate hot objects to the candidate
+//!   carrying the *largest* demand share (the cluster head of its
+//!   access cluster, vs. the paper's farthest-qualified rule) and shed
+//!   load watermark-to-watermark like a classic load balancer.
+
+use radar_core::placement::{
+    PlacementAction, PlacementDecision, PlacementEnv, PlacementOutcome, PlacementScratch,
+};
+use radar_core::{bounds, CreateObjRequest, HostState, ObjectId, RelocationKind};
+use radar_sim::PlacementPolicy;
+use radar_simnet::NodeId;
+
+/// Pushes one decision record with no share/ratio context (the baseline
+/// rules are threshold tests, not path-share tests).
+#[allow(clippy::too_many_arguments)]
+fn record(
+    out: &mut PlacementOutcome,
+    object: ObjectId,
+    action: PlacementAction,
+    target: Option<NodeId>,
+    unit_rate: f64,
+    share: Option<f64>,
+    u: f64,
+    m: f64,
+) {
+    out.decisions.push(PlacementDecision {
+        object,
+        action,
+        target,
+        unit_rate,
+        share,
+        ratio: None,
+        deletion_threshold: u,
+        replication_threshold: m,
+    });
+}
+
+/// Availability-aware continuous replica placement: every object is
+/// driven toward `target` replicas, continuously.
+///
+/// Each epoch, for every hosted object, the policy reads the live
+/// replica count from the directory ([`PlacementEnv::replica_count`]):
+/// an under-replicated object is copied to the demand candidate
+/// farthest along its preference paths (falling back to an under-loaded
+/// host when demand is purely local), an over-replicated one sheds this
+/// host's copy (the redirector still protects the last replica). Load
+/// plays no part — that is the point of the comparison: availability
+/// stays flat while max load and update traffic drift wherever the
+/// replica floor pushes them.
+#[derive(Debug, Clone, Copy)]
+pub struct AvailabilityPlacement {
+    target: usize,
+}
+
+impl AvailabilityPlacement {
+    /// Default replica-count target (2 copies: survives one host loss).
+    pub const DEFAULT_TARGET: usize = 2;
+
+    /// Creates the policy with the default target of
+    /// [`Self::DEFAULT_TARGET`] replicas per object.
+    pub fn new() -> Self {
+        Self::with_target(Self::DEFAULT_TARGET)
+    }
+
+    /// Creates the policy with an explicit replica-count target (≥ 1).
+    pub fn with_target(target: usize) -> Self {
+        assert!(target >= 1, "replica target must be at least 1");
+        Self { target }
+    }
+}
+
+impl Default for AvailabilityPlacement {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PlacementPolicy for AvailabilityPlacement {
+    fn run_epoch(
+        &mut self,
+        host: &mut HostState,
+        now: f64,
+        env: &mut dyn PlacementEnv,
+        scratch: &mut PlacementScratch,
+        out: &mut PlacementOutcome,
+    ) {
+        out.clear();
+        host.advance(now);
+        let params = *host.params();
+        let s = host.node();
+        let mut object_ids = std::mem::take(scratch.object_ids_mut());
+        host.collect_object_ids(&mut object_ids);
+        for &x in &object_ids {
+            let o = host.object(x).expect("object_ids() returns hosted objects");
+            let (aff, cnt_s, unit_load, acquired_at) =
+                (o.aff(), o.count(s), o.unit_load(), o.acquired_at());
+            // Same partial-window rule as the paper's algorithm: never
+            // judge a replica acquired since the last run.
+            if acquired_at > host.last_placement_run() {
+                continue;
+            }
+            let unit_rate = cnt_s as f64 / aff as f64 / params.placement_period;
+            let n = env.replica_count(x);
+            if n > self.target {
+                // Excess copy: offer this host's replica back. The
+                // redirector refuses the last copy, and because each
+                // host's epoch re-reads the live count, a wave of epochs
+                // converges on the target without undershooting.
+                if env.request_drop(x, s) {
+                    host.drop_object(x);
+                    out.drops.push(x);
+                    record(
+                        out,
+                        x,
+                        PlacementAction::Drop,
+                        None,
+                        unit_rate,
+                        None,
+                        params.deletion_threshold,
+                        params.replication_threshold,
+                    );
+                }
+                continue;
+            }
+            if n >= self.target || !env.may_replicate(x) {
+                continue;
+            }
+            // Under-replicated: place the missing copy where the demand
+            // is, farthest demand candidate first (availability against
+            // regional failures improves with spread), falling back to
+            // any under-loaded host when all demand is local.
+            let o = host.object(x).expect("still hosted");
+            let mut best: Option<(u32, NodeId, f64)> = None;
+            for (p, c) in o.counts() {
+                if p == s || c == 0 {
+                    continue;
+                }
+                let share = if cnt_s == 0 {
+                    0.0
+                } else {
+                    c as f64 / cnt_s as f64
+                };
+                let key = (env.distance(s, p), p, share);
+                best = match best {
+                    None => Some(key),
+                    Some(b)
+                        if (key.0, std::cmp::Reverse(key.1)) > (b.0, std::cmp::Reverse(b.1)) =>
+                    {
+                        Some(key)
+                    }
+                    b => b,
+                };
+            }
+            let candidate = best
+                .map(|(_, p, share)| (p, Some(share)))
+                .or_else(|| env.find_offload_recipient(s).map(|(p, _)| (p, None)));
+            let Some((p, share)) = candidate else {
+                continue;
+            };
+            let req = CreateObjRequest {
+                kind: RelocationKind::Replicate,
+                object: x,
+                source: s,
+                unit_load,
+            };
+            if env.create_obj(p, req).is_accepted() {
+                out.geo_replications.push((x, p));
+                record(
+                    out,
+                    x,
+                    PlacementAction::GeoReplicate,
+                    Some(p),
+                    unit_rate,
+                    share,
+                    params.deletion_threshold,
+                    params.replication_threshold,
+                );
+            }
+        }
+        *scratch.object_ids_mut() = object_ids;
+        host.reset_access_counts();
+        host.mark_placement_run(now);
+    }
+
+    fn name(&self) -> &str {
+        "availability"
+    }
+}
+
+/// Cluster-based load-balancing replication: hot objects are copied to
+/// the head of their access cluster, overload is shed to under-loaded
+/// hosts, cold copies are dropped.
+///
+/// The contrast with the paper's rule is the candidate choice: where
+/// RaDaR places on the *farthest* qualified candidate (responsiveness),
+/// the cluster balancer places on the candidate with the *largest*
+/// demand share — the cluster head — concentrating replicas inside hot
+/// clusters and leaving the periphery to eat the latency.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClusterPlacement;
+
+impl ClusterPlacement {
+    /// Creates the cluster-based load-balancing policy.
+    pub fn new() -> Self {
+        ClusterPlacement
+    }
+}
+
+impl PlacementPolicy for ClusterPlacement {
+    fn run_epoch(
+        &mut self,
+        host: &mut HostState,
+        now: f64,
+        env: &mut dyn PlacementEnv,
+        scratch: &mut PlacementScratch,
+        out: &mut PlacementOutcome,
+    ) {
+        out.clear();
+        host.advance(now);
+        let params = *host.params();
+        let s = host.node();
+
+        // Watermark hysteresis identical to the paper's (the comparison
+        // should isolate the replication rule, not the overload sensor).
+        let load = host.load_lower();
+        if load > params.high_watermark {
+            host.set_offloading(true);
+        }
+        if load < params.low_watermark {
+            host.set_offloading(false);
+        }
+        out.offloading_mode = host.is_offloading();
+
+        let mut object_ids = std::mem::take(scratch.object_ids_mut());
+        host.collect_object_ids(&mut object_ids);
+        for &x in &object_ids {
+            let o = host.object(x).expect("object_ids() returns hosted objects");
+            let (aff, cnt_s, unit_load, acquired_at) =
+                (o.aff(), o.count(s), o.unit_load(), o.acquired_at());
+            if acquired_at > host.last_placement_run() {
+                continue;
+            }
+            let unit_rate = cnt_s as f64 / aff as f64 / params.placement_period;
+
+            // Cold copies leave (same deletion test as the paper, so
+            // replicas do not accumulate without bound).
+            if unit_rate < params.deletion_threshold {
+                if aff > 1 {
+                    let new_aff = host.reduce_affinity(x);
+                    env.notify_affinity(x, s, new_aff);
+                    out.affinity_reductions.push(x);
+                    record(
+                        out,
+                        x,
+                        PlacementAction::AffinityReduce,
+                        None,
+                        unit_rate,
+                        None,
+                        params.deletion_threshold,
+                        params.replication_threshold,
+                    );
+                } else if env.request_drop(x, s) {
+                    host.drop_object(x);
+                    out.drops.push(x);
+                    record(
+                        out,
+                        x,
+                        PlacementAction::Drop,
+                        None,
+                        unit_rate,
+                        None,
+                        params.deletion_threshold,
+                        params.replication_threshold,
+                    );
+                }
+                continue;
+            }
+
+            // Hot objects replicate to their cluster head: the foreign
+            // candidate carrying the largest demand share (lowest id on
+            // ties — total, deterministic order).
+            if unit_rate > params.replication_threshold && env.may_replicate(x) {
+                // Fresh borrow: the cold branch above may mutate `host`.
+                let o = host.object(x).expect("hot object is still hosted");
+                let head = o
+                    .counts()
+                    .filter(|&(p, c)| p != s && c > 0)
+                    .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)));
+                if let Some((p, c)) = head {
+                    let share = c as f64 / cnt_s as f64;
+                    let req = CreateObjRequest {
+                        kind: RelocationKind::Replicate,
+                        object: x,
+                        source: s,
+                        unit_load,
+                    };
+                    if env.create_obj(p, req).is_accepted() {
+                        out.geo_replications.push((x, p));
+                        record(
+                            out,
+                            x,
+                            PlacementAction::GeoReplicate,
+                            Some(p),
+                            unit_rate,
+                            Some(share),
+                            params.deletion_threshold,
+                            params.replication_threshold,
+                        );
+                    }
+                }
+            }
+        }
+
+        // Load balancing: shed watermark-to-watermark to one
+        // under-loaded recipient, coldest objects first (a classic LB
+        // moves the cheapest load units; hot objects were already
+        // replicated above and stay for their cluster).
+        if host.is_offloading() {
+            if let Some((recipient, mut recipient_load)) = env.find_offload_recipient(s) {
+                let shed = scratch.keyed_objects_mut();
+                shed.clear();
+                host.collect_object_ids(&mut object_ids);
+                for &x in &object_ids {
+                    let o = host.object(x).expect("hosted");
+                    if o.acquired_at() > host.last_placement_run() {
+                        continue;
+                    }
+                    let ur = o.count(s) as f64 / o.aff() as f64 / params.placement_period;
+                    shed.push((x, ur));
+                }
+                shed.sort_unstable_by(|a, b| {
+                    a.1.partial_cmp(&b.1)
+                        .expect("unit rates are finite")
+                        .then(a.0.cmp(&b.0))
+                });
+                let shed = std::mem::take(scratch.keyed_objects_mut());
+                for &(x, unit_rate) in &shed {
+                    if host.load_lower() <= params.low_watermark
+                        || recipient_load >= params.low_watermark
+                    {
+                        break;
+                    }
+                    let (aff, rate, unit_load) = {
+                        let o = host.object(x).expect("hosted");
+                        (o.aff(), o.rate(), o.unit_load())
+                    };
+                    let req = CreateObjRequest {
+                        kind: RelocationKind::Migrate,
+                        object: x,
+                        source: s,
+                        unit_load,
+                    };
+                    if !env.create_obj(recipient, req).is_accepted() {
+                        break;
+                    }
+                    host.note_shed(now, bounds::migration_source_decrease(rate, aff));
+                    recipient_load += bounds::target_increase(rate, aff);
+                    if aff > 1 {
+                        let new_aff = host.reduce_affinity(x);
+                        env.notify_affinity(x, s, new_aff);
+                    } else if env.request_drop(x, s) {
+                        host.drop_object(x);
+                    }
+                    out.offload_migrations.push((x, recipient));
+                    record(
+                        out,
+                        x,
+                        PlacementAction::LoadMigrate,
+                        Some(recipient),
+                        unit_rate,
+                        None,
+                        params.deletion_threshold,
+                        params.replication_threshold,
+                    );
+                }
+                *scratch.keyed_objects_mut() = shed;
+            }
+        }
+
+        *scratch.object_ids_mut() = object_ids;
+        host.reset_access_counts();
+        host.mark_placement_run(now);
+    }
+
+    fn name(&self) -> &str {
+        "cluster"
+    }
+}

@@ -61,6 +61,10 @@ impl PlacementEnv for AcceptAll {
     fn may_replicate(&self, _object: ObjectId) -> bool {
         true
     }
+
+    fn replica_count(&self, object: ObjectId) -> usize {
+        self.redirector.replica_count(object)
+    }
 }
 
 /// One full `DecidePlacement` run over a host with 200 objects (the

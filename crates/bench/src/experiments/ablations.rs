@@ -408,6 +408,151 @@ pub fn updates(h: &mut Harness) -> String {
     out
 }
 
+/// Placement-policy head-to-head across §5 consistency mixes: the
+/// paper's distribution algorithm against the availability-target and
+/// cluster-replication baselines, each run under read-only, mixed, and
+/// write-heavy catalogs with live provider updates. Besides the table,
+/// writes the machine-readable `BENCH_policies.json` artifact at the
+/// workspace root (next to the perf baselines) so CI can gate on the
+/// sweep's presence and shape.
+pub fn policies(h: &mut Harness) -> String {
+    use radar_baselines::{AvailabilityPlacement, ClusterPlacement};
+    use radar_core::{Catalog, ConsistencyMix};
+    use radar_sim::{Json, PlacementPolicy, RadarPlacement, RadarSelection};
+
+    let workload = "zipf";
+    // Aggregate provider-update rate for the update-bearing mixes; zero
+    // for read-only keeps that column the exact default configuration.
+    let update_rate = 2.0;
+    let mut out =
+        String::from("== Placement policies × consistency mixes (BENCH_policies.json) ==\n");
+    let mut rows = Vec::new();
+    let mut runs = Vec::new();
+    for &mix in ConsistencyMix::ALL {
+        for placement_name in ["radar", "availability", "cluster"] {
+            eprintln!("  [sim] placement {placement_name} / {mix}");
+            let mut builder = h.cfg.scenario();
+            if mix != ConsistencyMix::ReadOnly {
+                builder = builder.update_rate(update_rate).catalog(Catalog::with_mix(
+                    h.cfg.num_objects,
+                    12 * 1024,
+                    53,
+                    mix,
+                ));
+            }
+            let scenario = builder.build().expect("valid scenario");
+            let placement: Box<dyn PlacementPolicy + Send> = match placement_name {
+                "radar" => Box::new(RadarPlacement::new()),
+                "availability" => Box::new(AvailabilityPlacement::new()),
+                _ => Box::new(ClusterPlacement::new()),
+            };
+            let r = Simulation::with_policies(
+                scenario,
+                make_workload(workload, h.cfg.num_objects, h.cfg.seed),
+                Box::new(RadarSelection::new()),
+                placement,
+            )
+            .run();
+            let warmup = r.max_load.len() * 3 / 4;
+            let peak_overhead = r.overhead_fractions().into_iter().fold(0.0f64, f64::max) * 100.0;
+            // `.max(0.0)` normalizes the empty series' `-0.0` sum.
+            let update_traffic: f64 = r.update_bandwidth.sums().iter().sum::<f64>().max(0.0);
+            rows.push(vec![
+                mix.name().to_string(),
+                r.placement_policy.clone(),
+                fmt_bw(r.equilibrium_bandwidth_rate()),
+                format!("{:.1}", r.peak_load_after(warmup)),
+                format!("{:.2}", r.equilibrium_avg_replicas()),
+                format!("{peak_overhead:.3}%"),
+                if r.update_lag_type1.count > 0 {
+                    format!("{:.2}", r.update_lag_type1.mean)
+                } else {
+                    "-".into()
+                },
+                format!("{:.2}", update_traffic / 1e6),
+            ]);
+            runs.push(Json::Obj(vec![
+                ("placement".into(), Json::Str(r.placement_policy.clone())),
+                ("mix".into(), Json::Str(mix.name().into())),
+                (
+                    "eq_bandwidth_mb_hops_per_s".into(),
+                    Json::Num(r.equilibrium_bandwidth_rate() / 1e6),
+                ),
+                (
+                    "peak_load_final_quarter".into(),
+                    Json::Num(r.peak_load_after(warmup)),
+                ),
+                (
+                    "avg_replicas".into(),
+                    Json::Num(r.equilibrium_avg_replicas()),
+                ),
+                (
+                    "peak_relocation_overhead_pct".into(),
+                    Json::Num(peak_overhead),
+                ),
+                ("relocations".into(), Json::UInt(r.relocations())),
+                ("updates".into(), Json::UInt(r.updates_propagated)),
+                (
+                    "update_traffic_mb_hops".into(),
+                    Json::Num(update_traffic / 1e6),
+                ),
+                (
+                    "staleness_t1_mean_s".into(),
+                    Json::Num(r.update_lag_type1.mean),
+                ),
+                (
+                    "staleness_t1_max_s".into(),
+                    Json::Num(r.update_lag_type1.max),
+                ),
+                ("wasted_deliveries".into(), Json::UInt(r.wasted_deliveries)),
+            ]));
+        }
+    }
+    let headers = [
+        "mix",
+        "placement",
+        "eq bw (MB·hops/s)",
+        "peak load (final quarter)",
+        "avg replicas",
+        "peak overhead",
+        "t1 staleness (s)",
+        "update traffic (MB·hops)",
+    ];
+    out.push_str(&format_table(&headers, &rows));
+    write_csv(&h.cfg, "policies", &headers, &rows);
+
+    let doc = Json::Obj(vec![
+        ("schema".into(), Json::Str("radar-bench-policies-v1".into())),
+        (
+            "config".into(),
+            Json::Obj(vec![
+                ("objects".into(), Json::UInt(h.cfg.num_objects as u64)),
+                ("rate".into(), Json::Num(h.cfg.node_rate)),
+                ("duration".into(), Json::Num(h.cfg.duration)),
+                ("seed".into(), Json::UInt(h.cfg.seed)),
+                ("workload".into(), Json::Str(workload.into())),
+                ("update_rate".into(), Json::Num(update_rate)),
+            ]),
+        ),
+        ("runs".into(), Json::Arr(runs)),
+    ]);
+    // CARGO_MANIFEST_DIR is crates/bench; the artifact lives at the
+    // workspace root next to BENCH_loop.json.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_policies.json");
+    let mut body = doc.pretty();
+    body.push('\n');
+    std::fs::write(&path, body).expect("write BENCH_policies.json");
+    let _ = writeln!(out, "\nwrote {}", path.display());
+    out.push_str(
+        "(availability pins a replica target and ignores load; cluster replicates\n\
+         to the heaviest-demand node only — the §4 algorithm is the one that\n\
+         trades all four columns at once)\n",
+    );
+    out
+}
+
 /// Redirector partitioning (§2): more hash-partitioned redirectors at
 /// central nodes shorten the control round-trip every request pays.
 pub fn redirectors(h: &mut Harness) -> String {

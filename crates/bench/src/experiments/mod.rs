@@ -5,7 +5,7 @@ mod faults;
 
 pub use ablations::{
     ablation_constant, ablation_period, ablation_thresholds, baselines, demand_shift,
-    heterogeneous, links, redirectors, storage, updates, variance,
+    heterogeneous, links, policies, redirectors, storage, updates, variance,
 };
 pub use faults::faults;
 

@@ -19,6 +19,7 @@
 //! | `ablation-period` | §6.1 — placement-period sweep |
 //! | `demand-shift` | §1 — responsiveness to a demand change |
 //! | `updates` | §5 — update-propagation cost vs replica caps |
+//! | `policies` | §4/§5 — placement policies × consistency mixes (`BENCH_policies.json`) |
 //! | `redirectors` | §2 — hash-partitioned redirector sweep |
 //! | `heterogeneous` | §2 — weighted (heterogeneous) hosts |
 //! | `links` | per-link traffic: where the reduction lands |

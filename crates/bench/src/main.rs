@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! experiments [--quick] [--seed N] [--out DIR] <command>...
+//! experiments [--quick|--tiny] [--seed N] [--out DIR] <command>...
 //!
 //! commands: table1 fig6 fig7 fig8a fig8b table2 fig9 baselines
 //!           ablation-constant ablation-thresholds ablation-period
@@ -12,7 +12,9 @@
 //!
 //! Default scale is the paper's Table 1 (10 000 objects, 40 req/s per
 //! node, 3 000 simulated seconds); `--quick` runs a reduced scale for
-//! smoke-testing. `--out DIR` additionally writes each series as CSV.
+//! smoke-testing and `--tiny` the unit-test scale (used by
+//! `scripts/check.sh` to regenerate `BENCH_policies.json` cheaply).
+//! `--out DIR` additionally writes each series as CSV.
 
 use radar_bench::experiments::{self, Harness};
 use radar_bench::ExpConfig;
@@ -31,6 +33,7 @@ const COMMANDS: &[&str] = &[
     "ablation-period",
     "demand-shift",
     "updates",
+    "policies",
     "redirectors",
     "heterogeneous",
     "links",
@@ -50,6 +53,13 @@ fn main() {
                 let seed = cfg.seed;
                 let out = cfg.out_dir.clone();
                 cfg = ExpConfig::quick();
+                cfg.seed = seed;
+                cfg.out_dir = out;
+            }
+            "--tiny" => {
+                let seed = cfg.seed;
+                let out = cfg.out_dir.clone();
+                cfg = ExpConfig::tiny();
                 cfg.seed = seed;
                 cfg.out_dir = out;
             }
@@ -108,6 +118,7 @@ fn run_command(h: &mut Harness, cmd: &str) -> String {
         "ablation-period" => experiments::ablation_period(h),
         "demand-shift" => experiments::demand_shift(h),
         "updates" => experiments::updates(h),
+        "policies" => experiments::policies(h),
         "redirectors" => experiments::redirectors(h),
         "heterogeneous" => experiments::heterogeneous(h),
         "links" => experiments::links(h),
@@ -123,7 +134,7 @@ fn usage(error: &str) -> ! {
         eprintln!("error: {error}\n");
     }
     eprintln!(
-        "usage: experiments [--quick] [--seed N] [--out DIR] <command>...\n\
+        "usage: experiments [--quick|--tiny] [--seed N] [--out DIR] <command>...\n\
          commands: {} all",
         COMMANDS.join(" ")
     );

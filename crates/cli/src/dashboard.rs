@@ -39,6 +39,13 @@ fn ms(seconds: Option<f64>) -> String {
     }
 }
 
+fn secs(seconds: Option<f64>) -> String {
+    match seconds {
+        Some(s) => format!("{s:.2} s"),
+        None => "n/a".to_string(),
+    }
+}
+
 /// Renders one dashboard frame from the current aggregates: header,
 /// fault banner, rolling rates, latency and bandwidth summaries,
 /// per-host load bars, and the top-`top` objects by request count.
@@ -94,6 +101,28 @@ pub fn render(m: &MetricsObserver, top: usize) -> String {
         },
         bw.total()
     );
+    if m.updates() > 0 {
+        let [t1, t2, t3] = m.updates_by_class();
+        let _ = writeln!(
+            out,
+            "updates {:>8} ({} t1 / {} t2 / {} t3) · {:.3e} bytes×hops · {} moves",
+            m.updates(),
+            t1,
+            t2,
+            t3,
+            m.update_bandwidth().total(),
+            m.primary_reassignments()
+        );
+        let _ = writeln!(
+            out,
+            "  deliveries {:>5} applied · {} merged · {} wasted · staleness {} t1 / {} t2",
+            m.update_deliveries(),
+            m.updates_merged(),
+            m.wasted_deliveries(),
+            secs(m.update_lag_type1().mean()),
+            secs(m.update_lag_type2().mean()),
+        );
+    }
 
     let mut hosts = m.host_loads();
     if !hosts.is_empty() {

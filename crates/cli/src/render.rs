@@ -7,9 +7,10 @@ use radar_stats::EquilibriumSpec;
 pub fn summary(report: &RunReport) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "workload {} | policy {} | placement {}\n",
+        "workload {} | policy {} | placement {} ({})\n",
         report.workload,
         report.policy,
+        report.placement_policy,
         if report.dynamic_placement {
             "dynamic"
         } else {
@@ -67,6 +68,28 @@ pub fn summary(report: &RunReport) -> String {
         out.push_str(&format!(
             "updates            {:>9} propagated | {} primary moves\n",
             report.updates_propagated, report.primary_reassignments
+        ));
+        let [t1, t2, t3] = report.updates_by_class;
+        out.push_str(&format!(
+            "  by class         {:>9} type-1 | {} type-2 | {} type-3\n",
+            t1, t2, t3
+        ));
+        out.push_str(&format!(
+            "  deliveries       {:>9} applied | {} merged (type-2) | {} wasted\n",
+            report.update_deliveries, report.updates_merged, report.wasted_deliveries
+        ));
+        if report.update_lag_type1.count > 0 || report.update_lag_type2.count > 0 {
+            out.push_str(&format!(
+                "  staleness        {:>9.2} s mean type-1 lag (max {:.2}) | {:.2} s mean type-2\n",
+                report.update_lag_type1.mean,
+                report.update_lag_type1.max,
+                report.update_lag_type2.mean,
+            ));
+        }
+        let update_total: f64 = report.update_bandwidth.sums().iter().sum();
+        out.push_str(&format!(
+            "  propagation      {:>9.2} MB·hops of update traffic\n",
+            update_total / 1e6
         ));
     }
     if report.faults_injected > 0 {

@@ -1,8 +1,12 @@
 //! `radar simulate` — configure and run one simulation.
 
-use radar_baselines::{ClosestSelection, RandomSelection, RoundRobinSelection};
+use radar_baselines::{
+    AvailabilityPlacement, ClosestSelection, ClusterPlacement, RandomSelection, RoundRobinSelection,
+};
+use radar_core::{Catalog, ConsistencyMix};
 use radar_sim::{
-    PlacementMode, RadarSelection, RunReport, Scenario, SelectionPolicy, Simulation, Trace,
+    PlacementMode, PlacementPolicy, RadarPlacement, RadarSelection, RunReport, Scenario,
+    SelectionPolicy, Simulation, Trace,
 };
 use radar_simnet::Topology;
 use radar_workload::{HotPages, HotSites, Regional, Uniform, Workload, ZipfReeds};
@@ -13,6 +17,8 @@ use crate::render;
 const OPTIONS: &[&str] = &[
     "workload",
     "policy",
+    "placement",
+    "consistency",
     "objects",
     "rate",
     "duration",
@@ -90,6 +96,8 @@ pub struct SimulateArgs {
     pub workload: Option<WorkloadKind>,
     /// Replica-selection policy name.
     pub policy: String,
+    /// Replica-placement policy name.
+    pub placement: String,
     /// Replay source, if any.
     pub replay: Option<Trace>,
     /// Capture arrivals and write them here.
@@ -166,11 +174,28 @@ impl SimulateArgs {
             .seed(seed)
             .num_redirectors(redirectors)
             .update_rate(update_rate);
-        if let Some(path) = parsed.get("topology") {
-            let text = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read topology {path}: {e}"))?;
-            let topo = Topology::from_spec(&text).map_err(|e| e.to_string())?;
-            builder = builder.topology(topo);
+        // The topology is resolved before build() because the §5 catalog
+        // below round-robins primaries over its node count.
+        let topology = match parsed.get("topology") {
+            Some(path) => {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read topology {path}: {e}"))?;
+                Topology::from_spec(&text).map_err(|e| e.to_string())?
+            }
+            None => radar_simnet::builders::uunet(),
+        };
+        let nodes = topology.len() as u16;
+        builder = builder.topology(topology);
+        let consistency = match parsed.get("consistency") {
+            None => ConsistencyMix::ReadOnly,
+            Some(name) => ConsistencyMix::parse(name).ok_or_else(|| {
+                format!("unknown consistency mix {name:?} (read-only, mixed, write-heavy)")
+            })?,
+        };
+        if consistency != ConsistencyMix::ReadOnly {
+            // 12 KiB matches the default uniform catalog's object size
+            // (paper §6.1), so the mixes differ only in §5 kinds.
+            builder = builder.catalog(Catalog::with_mix(objects, 12 * 1024, nodes, consistency));
         }
         if let Some(spec) = parsed.get("watermarks") {
             let (lw, hw) = spec
@@ -224,14 +249,24 @@ impl SimulateArgs {
                 "unknown policy {policy:?} (radar, round-robin, closest, random)"
             ));
         }
+        let placement = parsed.get("placement").unwrap_or("radar").to_string();
+        if !["radar", "availability", "cluster"].contains(&placement.as_str()) {
+            return Err(format!(
+                "unknown placement {placement:?} (radar, availability, cluster)"
+            ));
+        }
         if replay.is_some() && policy != "radar" {
             return Err("--replay currently supports only the radar policy".to_string());
+        }
+        if replay.is_some() && placement != "radar" {
+            return Err("--replay currently supports only the radar placement".to_string());
         }
 
         Ok(SimulateArgs {
             scenario,
             workload,
             policy,
+            placement,
             replay,
             record_trace_to: parsed.get("record-trace").map(str::to_string),
             events_to: parsed.get("events").map(str::to_string),
@@ -260,7 +295,13 @@ impl SimulateArgs {
                     "random" => Box::new(RandomSelection::new(seed)),
                     other => unreachable!("validated policy {other}"),
                 };
-                Simulation::with_selection(self.scenario.clone(), workload, policy)
+                let placement: Box<dyn PlacementPolicy + Send> = match self.placement.as_str() {
+                    "radar" => Box::new(RadarPlacement::new()),
+                    "availability" => Box::new(AvailabilityPlacement::new()),
+                    "cluster" => Box::new(ClusterPlacement::new()),
+                    other => unreachable!("validated placement {other}"),
+                };
+                Simulation::with_policies(self.scenario.clone(), workload, policy, placement)
             }
             (None, None) => unreachable!("parse() sets workload unless replaying"),
         };
@@ -410,6 +451,11 @@ fn help() -> String {
      OPTIONS:\n\
      \x20 --workload W        zipf | hot-sites | hot-pages | regional | uniform (default zipf)\n\
      \x20 --policy P          radar | round-robin | closest | random (default radar)\n\
+     \x20 --placement P       replica-placement policy: radar | availability | cluster\n\
+     \x20                     (default radar, the paper's §4 distribution algorithm)\n\
+     \x20 --consistency M     §5 consistency mix: read-only | mixed | write-heavy\n\
+     \x20                     (default read-only; mixes add type-2/type-3 objects\n\
+     \x20                     with merge / replica-cap semantics under --update-rate)\n\
      \x20 --objects N         hosted objects (default 1000)\n\
      \x20 --rate R            requests/second per gateway (default 10)\n\
      \x20 --duration S        simulated seconds (default 600)\n\

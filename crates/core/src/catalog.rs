@@ -39,6 +39,73 @@ impl ObjectKind {
     }
 }
 
+/// A named mix of §5 consistency classes for catalog construction —
+/// the simulator's `--consistency` knob. Kinds are assigned to objects
+/// deterministically by object index, so the same mix name always
+/// yields the same catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConsistencyMix {
+    /// Every object is type-1 ([`ObjectKind::Immutable`]) — the paper's
+    /// simulated configuration and this simulator's default.
+    ReadOnly,
+    /// 80% type-1, 15% type-2, 5% type-3 (migrate-only, cap 1) — the
+    /// low end of the paper's "80–95% of Web accesses" estimate for
+    /// type-1 content.
+    Mixed,
+    /// 50% type-1, 30% type-2, 20% type-3 (half capped at 2 replicas,
+    /// half strict migrate-only) — a stress mix for update propagation
+    /// and replica-cap enforcement.
+    WriteHeavy,
+}
+
+impl ConsistencyMix {
+    /// Every named mix, in CLI listing order.
+    pub const ALL: &'static [ConsistencyMix] = &[
+        ConsistencyMix::ReadOnly,
+        ConsistencyMix::Mixed,
+        ConsistencyMix::WriteHeavy,
+    ];
+
+    /// Stable name used on the command line and in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ConsistencyMix::ReadOnly => "read-only",
+            ConsistencyMix::Mixed => "mixed",
+            ConsistencyMix::WriteHeavy => "write-heavy",
+        }
+    }
+
+    /// Parses a mix name; `None` for unknown names (callers list
+    /// [`ALL`](Self::ALL) in their error message).
+    pub fn parse(name: &str) -> Option<Self> {
+        Self::ALL.iter().copied().find(|m| m.name() == name)
+    }
+
+    /// The consistency kind this mix assigns to object `index`.
+    pub fn kind_of(self, index: u32) -> ObjectKind {
+        match self {
+            ConsistencyMix::ReadOnly => ObjectKind::Immutable,
+            ConsistencyMix::Mixed => match index % 20 {
+                0..=15 => ObjectKind::Immutable,
+                16..=18 => ObjectKind::CommutingUpdates,
+                _ => ObjectKind::NonCommuting { max_replicas: 1 },
+            },
+            ConsistencyMix::WriteHeavy => match index % 10 {
+                0..=4 => ObjectKind::Immutable,
+                5..=7 => ObjectKind::CommutingUpdates,
+                8 => ObjectKind::NonCommuting { max_replicas: 2 },
+                _ => ObjectKind::NonCommuting { max_replicas: 1 },
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for ConsistencyMix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Static description of every hosted object: uniform size (the paper
 /// simulates 12 KB pages), consistency kind, and the node holding the
 /// *primary copy* used for provider-update propagation.
@@ -83,6 +150,27 @@ impl Catalog {
             size_bytes,
             primaries,
         }
+    }
+
+    /// A catalog whose kinds follow a named [`ConsistencyMix`], with
+    /// primaries assigned round-robin like [`uniform`](Self::uniform).
+    /// `with_mix(n, s, k, ConsistencyMix::ReadOnly)` equals
+    /// `uniform(n, s, k)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_objects` or `num_nodes` is zero.
+    pub fn with_mix(
+        num_objects: u32,
+        size_bytes: u64,
+        num_nodes: u16,
+        mix: ConsistencyMix,
+    ) -> Self {
+        let mut catalog = Self::uniform(num_objects, size_bytes, num_nodes);
+        for (i, kind) in catalog.kinds.iter_mut().enumerate() {
+            *kind = mix.kind_of(i as u32);
+        }
+        catalog
     }
 
     /// A catalog with explicitly provided kinds and primaries.
@@ -188,6 +276,32 @@ mod tests {
         assert!(!capped.may_add_replica(3));
         let strict = ObjectKind::NonCommuting { max_replicas: 1 };
         assert!(!strict.may_add_replica(1));
+    }
+
+    #[test]
+    fn mixes_parse_and_assign_deterministically() {
+        for &mix in ConsistencyMix::ALL {
+            assert_eq!(ConsistencyMix::parse(mix.name()), Some(mix));
+            assert_eq!(mix.to_string(), mix.name());
+        }
+        assert_eq!(ConsistencyMix::parse("no-such-mix"), None);
+        assert_eq!(
+            Catalog::with_mix(40, 1024, 4, ConsistencyMix::ReadOnly),
+            Catalog::uniform(40, 1024, 4)
+        );
+        // Mixed: 80/15/5 over every 20-object stripe.
+        let c = Catalog::with_mix(40, 1024, 4, ConsistencyMix::Mixed);
+        let count = |k: ObjectKind| c.objects().filter(|&x| c.kind(x) == k).count();
+        assert_eq!(count(ObjectKind::Immutable), 32);
+        assert_eq!(count(ObjectKind::CommutingUpdates), 6);
+        assert_eq!(count(ObjectKind::NonCommuting { max_replicas: 1 }), 2);
+        // Write-heavy includes both capped and migrate-only type-3.
+        let w = Catalog::with_mix(20, 1024, 4, ConsistencyMix::WriteHeavy);
+        let count = |k: ObjectKind| w.objects().filter(|&x| w.kind(x) == k).count();
+        assert_eq!(count(ObjectKind::Immutable), 10);
+        assert_eq!(count(ObjectKind::CommutingUpdates), 6);
+        assert_eq!(count(ObjectKind::NonCommuting { max_replicas: 2 }), 2);
+        assert_eq!(count(ObjectKind::NonCommuting { max_replicas: 1 }), 2);
     }
 
     #[test]

@@ -90,6 +90,13 @@ pub struct Directory {
     /// incrementally so platform-wide censuses never rescan every
     /// object's set.
     total_replicas: u64,
+    /// Per-object provider-update version (§5): bumped once per provider
+    /// update issued against the object's primary copy, independent of
+    /// the membership [`versions`](Self::version). Deliberately *not*
+    /// moved into shards by [`split_shards`](Self::split_shards) —
+    /// provider updates are barrier events in the sharded simulator, so
+    /// they only ever issue and deliver against the reunited directory.
+    update_versions: Vec<u64>,
 }
 
 impl Directory {
@@ -103,6 +110,7 @@ impl Directory {
             batch_spare: Vec::new(),
             resets_applied: 0,
             total_replicas: 0,
+            update_versions: vec![0; num_objects as usize],
         }
     }
 
@@ -153,6 +161,23 @@ impl Directory {
     /// Total number of replica-set change notifications processed.
     pub fn notifications(&self) -> u64 {
         self.notifications
+    }
+
+    /// The object's provider-update version (§5): how many provider
+    /// updates have been issued against its primary copy. Independent of
+    /// the membership [`version`](Self::version) — replica churn never
+    /// bumps it, and it never invalidates candidate caches.
+    pub fn update_version(&self, object: ObjectId) -> u64 {
+        self.update_versions[object.index()]
+    }
+
+    /// Records one provider update against `object`'s primary copy and
+    /// returns the new update version. The caller (the platform's §5
+    /// propagation machinery) schedules per-replica delivery of this
+    /// version asynchronously.
+    pub fn bump_update_version(&mut self, object: ObjectId) -> u64 {
+        self.update_versions[object.index()] += 1;
+        self.update_versions[object.index()]
     }
 
     /// Total object-level count resets applied since construction. A
@@ -793,6 +818,30 @@ mod tests {
                 let _ = step;
             }
         }
+    }
+
+    #[test]
+    fn update_versions_independent_of_membership() {
+        let mut d = Directory::new(2);
+        d.install(x(), node(0));
+        assert_eq!(d.update_version(x()), 0);
+        assert_eq!(d.bump_update_version(x()), 1);
+        assert_eq!(d.bump_update_version(x()), 2);
+        assert_eq!(d.update_version(x()), 2);
+        // Membership churn leaves the update version alone, and vice
+        // versa: bumping never invalidates candidate caches.
+        let membership = d.version(x());
+        d.notify_created(x(), node(1));
+        assert_eq!(d.update_version(x()), 2);
+        assert_eq!(d.bump_update_version(ObjectId::new(1)), 1);
+        assert_eq!(d.version(x()), membership + 1);
+        assert_eq!(d.version(ObjectId::new(1)), 0);
+        // Survives a split/absorb round-trip: provider updates are
+        // barrier events, so the versions stay on the parent.
+        let shards = d.split_shards(2);
+        d.absorb_shards(shards);
+        assert_eq!(d.update_version(x()), 2);
+        assert_eq!(d.update_version(ObjectId::new(1)), 1);
     }
 
     #[test]

@@ -74,7 +74,7 @@ pub mod placement;
 mod redirector;
 mod types;
 
-pub use catalog::{Catalog, ObjectKind};
+pub use catalog::{Catalog, ConsistencyMix, ObjectKind};
 pub use directory::{shard_ranges, Directory, DirectoryShard};
 pub use host::{HostState, ObjectState};
 pub use load::LoadEstimator;

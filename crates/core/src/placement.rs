@@ -68,6 +68,12 @@ pub trait PlacementEnv {
     /// Whether `object` may gain another replica — `false` when a §5
     /// consistency cap (non-commuting updates) has been reached.
     fn may_replicate(&self, object: ObjectId) -> bool;
+
+    /// Number of distinct hosts currently holding a replica of `object`,
+    /// from the object's redirector. Placement policies that steer
+    /// toward a replica-count target (availability-aware placement)
+    /// read it; the paper's own algorithm never does.
+    fn replica_count(&self, object: ObjectId) -> usize;
 }
 
 /// Reusable working memory for [`run_placement_into`]: every buffer the
@@ -87,6 +93,21 @@ pub struct PlacementScratch {
     /// Objects the geo phase relocated this run (sorted; the offloader
     /// must not re-move them).
     moved: Vec<ObjectId>,
+}
+
+impl PlacementScratch {
+    /// Borrows the object-id snapshot buffer, for custom
+    /// `PlacementPolicy` implementations that want the same
+    /// allocation-free epochs as [`run_placement_into`].
+    pub fn object_ids_mut(&mut self) -> &mut Vec<ObjectId> {
+        &mut self.object_ids
+    }
+
+    /// Borrows the `(object, key)` ordering buffer (the offloader's
+    /// foreign-share list), for custom policies' own orderings.
+    pub fn keyed_objects_mut(&mut self) -> &mut Vec<(ObjectId, f64)> {
+        &mut self.offload_objects
+    }
 }
 
 /// What a placement run did — returned by [`run_placement`] for metrics
@@ -698,6 +719,10 @@ mod tests {
                 None => true,
                 Some(cap) => self.redirector.replica_count(object) < cap,
             }
+        }
+
+        fn replica_count(&self, object: ObjectId) -> usize {
+            self.redirector.replica_count(object)
         }
     }
 

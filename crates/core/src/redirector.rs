@@ -207,6 +207,18 @@ impl Redirector {
         self.directory.notifications()
     }
 
+    /// The object's provider-update version; see
+    /// [`Directory::update_version`].
+    pub fn update_version(&self, object: ObjectId) -> u64 {
+        self.directory.update_version(object)
+    }
+
+    /// Records one provider update against `object` and returns the new
+    /// update version; see [`Directory::bump_update_version`].
+    pub fn bump_update_version(&mut self, object: ObjectId) -> u64 {
+        self.directory.bump_update_version(object)
+    }
+
     /// Starts a placement-epoch batch on the directory; see
     /// [`Directory::begin_batch`].
     pub fn begin_batch(&mut self) {

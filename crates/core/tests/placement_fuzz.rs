@@ -192,6 +192,10 @@ impl PlacementEnv for FuzzEnv<'_> {
     fn may_replicate(&self, _object: ObjectId) -> bool {
         true
     }
+
+    fn replica_count(&self, object: ObjectId) -> usize {
+        self.redirector.replica_count(object)
+    }
 }
 
 /// One epoch's demand script: `(object, gateway, count)` triples.

@@ -338,6 +338,22 @@ impl InvariantAuditor {
                     self.down.insert(host, false);
                 }
             }
+            EventKind::ProviderUpdate(u) => {
+                // The platform reassigns the primary before issuing when
+                // the old one is unreachable, so the primary named here
+                // must still hold a copy the directory knows about.
+                self.check_directory_reference(event, u.object, u.primary, "update primary");
+            }
+            EventKind::UpdateDelivered(u) => {
+                // A delivery the simulator applied (not wasted) found the
+                // target in the replica set at delivery time; one landing
+                // on a dropped copy means update routing and the
+                // directory disagree. Wasted deliveries are the expected
+                // drop-raced case and imply nothing.
+                if !u.wasted {
+                    self.check_directory_reference(event, u.object, u.host, "update delivery");
+                }
+            }
             EventKind::RequestArrived { .. } | EventKind::RequestFailed { .. } => {}
         }
         delta

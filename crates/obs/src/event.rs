@@ -171,6 +171,47 @@ impl fmt::Display for ResetCause {
     }
 }
 
+/// The §5 consistency class of an object, as carried by update events.
+/// Interned like [`DecisionBranch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ConsistencyClass {
+    /// Type-1: updates at a primary copy propagate asynchronously;
+    /// replicas may serve slightly stale versions.
+    Type1,
+    /// Type-2: commuting updates, merged at every replica.
+    Type2,
+    /// Type-3: non-commuting updates; replication is capped and the
+    /// update applies synchronously at every copy.
+    Type3,
+}
+
+impl ConsistencyClass {
+    /// Stable lowercase tag, as serialized in the JSONL `class` field.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ConsistencyClass::Type1 => "type-1",
+            ConsistencyClass::Type2 => "type-2",
+            ConsistencyClass::Type3 => "type-3",
+        }
+    }
+
+    /// Parses the JSONL tag back into the enum.
+    pub fn from_tag(tag: &str) -> Option<Self> {
+        Some(match tag {
+            "type-1" => ConsistencyClass::Type1,
+            "type-2" => ConsistencyClass::Type2,
+            "type-3" => ConsistencyClass::Type3,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for ConsistencyClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// The action a placement run took on one object (paper Figs. 3–5).
 /// Interned like [`DecisionBranch`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -303,6 +344,52 @@ pub enum EventKind {
         /// Seconds the object spent below its replica floor.
         elapsed: f64,
     },
+    /// A content provider issued a new version of an object (§5); the
+    /// update propagates from the primary copy to every other replica.
+    ProviderUpdate(ProviderUpdateEvent),
+    /// An asynchronously propagated provider update reached one replica
+    /// (or found it already gone).
+    UpdateDelivered(UpdateDeliveredEvent),
+}
+
+/// A provider update at its primary copy (§5).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProviderUpdateEvent {
+    /// The updated object.
+    pub object: u32,
+    /// The object's consistency class.
+    pub class: ConsistencyClass,
+    /// The object's provider-update version after this update.
+    pub version: u64,
+    /// The primary copy's host.
+    pub primary: u16,
+    /// Number of secondary replicas the update propagates to.
+    pub targets: u16,
+    /// Propagation traffic charged at issue (bytes×hops over every
+    /// primary→secondary path).
+    pub bytes_hops: u64,
+    /// Whether the primary copy had to be reassigned first (its host
+    /// had shed the object).
+    pub reassigned: bool,
+}
+
+/// One asynchronous update delivery at a replica (§5, types 1–2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UpdateDeliveredEvent {
+    /// The updated object.
+    pub object: u32,
+    /// The replica host the delivery targeted.
+    pub host: u16,
+    /// The object's consistency class.
+    pub class: ConsistencyClass,
+    /// The delivered provider-update version.
+    pub version: u64,
+    /// Seconds the replica was stale for this version (delivery time
+    /// minus issue time).
+    pub lag: f64,
+    /// Whether the target replica was already dropped or migrated away
+    /// when the update arrived.
+    pub wasted: bool,
 }
 
 /// One candidate replica as the redirector saw it at decision time
@@ -409,6 +496,8 @@ impl Event {
             EventKind::CountsReset { .. } => "counts-reset",
             EventKind::Fault { .. } => "fault",
             EventKind::ReReplication { .. } => "re-replication",
+            EventKind::ProviderUpdate(_) => "provider-update",
+            EventKind::UpdateDelivered(_) => "update-delivered",
         }
     }
 
@@ -418,8 +507,9 @@ impl Event {
         match &self.kind {
             EventKind::RequestArrived { .. }
             | EventKind::Decision(_)
-            | EventKind::RequestServed { .. } => Severity::Routine,
-            EventKind::CountsReset { .. } => Severity::Notable,
+            | EventKind::RequestServed { .. }
+            | EventKind::UpdateDelivered(_) => Severity::Routine,
+            EventKind::CountsReset { .. } | EventKind::ProviderUpdate(_) => Severity::Notable,
             EventKind::RequestFailed { .. }
             | EventKind::PlacementAction(_)
             | EventKind::Fault { .. }
@@ -437,6 +527,8 @@ impl Event {
             | EventKind::ReReplication { object, .. } => Some(*object),
             EventKind::Decision(d) => Some(d.object),
             EventKind::PlacementAction(p) => Some(p.object),
+            EventKind::ProviderUpdate(u) => Some(u.object),
+            EventKind::UpdateDelivered(u) => Some(u.object),
             EventKind::Fault { .. } => None,
         }
     }
@@ -460,6 +552,8 @@ impl Event {
             EventKind::Decision(d) => Some(d.chosen),
             EventKind::PlacementAction(p) => Some(p.host),
             EventKind::ReReplication { target, .. } => Some(*target),
+            EventKind::ProviderUpdate(u) => Some(u.primary),
+            EventKind::UpdateDelivered(u) => Some(u.host),
             _ => None,
         }
     }
@@ -527,6 +621,28 @@ impl Event {
                 target,
                 elapsed,
             } => format!("object {object} restored on host {target} after {elapsed:.1}s"),
+            EventKind::ProviderUpdate(u) => format!(
+                "object {} v{} updated at primary {} ({}, {} targets{})",
+                u.object,
+                u.version,
+                u.primary,
+                u.class,
+                u.targets,
+                if u.reassigned {
+                    ", primary reassigned"
+                } else {
+                    ""
+                }
+            ),
+            EventKind::UpdateDelivered(u) => format!(
+                "object {} v{} {} at host {} ({}, lag {:.1} ms)",
+                u.object,
+                u.version,
+                if u.wasted { "wasted" } else { "delivered" },
+                u.host,
+                u.class,
+                u.lag * 1e3
+            ),
         };
         format!("{head} {detail}")
     }
@@ -554,6 +670,8 @@ pub const EVENT_TYPES: &[&str] = &[
     "counts-reset",
     "fault",
     "re-replication",
+    "provider-update",
+    "update-delivered",
 ];
 
 #[cfg(test)]
@@ -580,7 +698,7 @@ mod tests {
     fn type_names_cover_all_variants() {
         assert_eq!(sample().type_name(), "served");
         assert!(EVENT_TYPES.contains(&sample().type_name()));
-        assert_eq!(EVENT_TYPES.len(), 8);
+        assert_eq!(EVENT_TYPES.len(), 10);
     }
 
     #[test]
@@ -666,10 +784,15 @@ mod tests {
 
     #[test]
     fn interned_tags_round_trip() {
+        use ConsistencyClass as C;
         use DecisionBranch as B;
         use FailReason as F;
         use PlacementActionKind as P;
         use ResetCause as R;
+        for c in [C::Type1, C::Type2, C::Type3] {
+            assert_eq!(C::from_tag(c.as_str()), Some(c));
+        }
+        assert_eq!(C::from_tag("type-4"), None);
         for b in [B::Closest, B::LeastRequested, B::PrimaryFallback, B::Policy] {
             assert_eq!(B::from_tag(b.as_str()), Some(b));
         }

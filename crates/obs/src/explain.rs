@@ -224,6 +224,52 @@ impl Event {
                      {elapsed:.1}s below its replica floor.\n"
                 ));
             }
+            EventKind::ProviderUpdate(u) => {
+                out.push_str(&format!(
+                    "provider update v{} for {} object {} issued at primary host {}.\n",
+                    u.version, u.class, u.object, u.primary
+                ));
+                out.push_str(&format!(
+                    "  propagation: {} replica target(s), {} bytes x hops charged to the \
+                     backbone.\n",
+                    u.targets, u.bytes_hops
+                ));
+                if u.reassigned {
+                    out.push_str(
+                        "  the previous primary was unreachable, so the primary copy was \
+                         reassigned before issuing (§5).\n",
+                    );
+                }
+                match u.class {
+                    crate::event::ConsistencyClass::Type1 => out.push_str(
+                        "  type-1 semantics: replicas receive the new version \
+                         asynchronously; reads may be stale until delivery.\n",
+                    ),
+                    crate::event::ConsistencyClass::Type2 => out.push_str(
+                        "  type-2 semantics: the update commutes, so replicas merge it \
+                         asynchronously in any order.\n",
+                    ),
+                    crate::event::ConsistencyClass::Type3 => out.push_str(
+                        "  type-3 semantics: non-commuting update applied synchronously at \
+                         every replica; no staleness window exists.\n",
+                    ),
+                }
+            }
+            EventKind::UpdateDelivered(u) => {
+                if u.wasted {
+                    out.push_str(&format!(
+                        "update v{} for {} object {} reached host {} after the replica was \
+                         dropped; the delivery was wasted ({:.3}s in flight).\n",
+                        u.version, u.class, u.object, u.host, u.lag
+                    ));
+                } else {
+                    out.push_str(&format!(
+                        "update v{} for {} object {} applied at replica host {} after \
+                         {:.3}s of staleness (update lag).\n",
+                        u.version, u.class, u.object, u.host, u.lag
+                    ));
+                }
+            }
         }
         out
     }
@@ -362,6 +408,23 @@ mod tests {
                 target: 3,
                 elapsed: 12.0,
             },
+            EventKind::ProviderUpdate(crate::event::ProviderUpdateEvent {
+                object: 1,
+                class: crate::event::ConsistencyClass::Type1,
+                version: 2,
+                primary: 0,
+                targets: 3,
+                bytes_hops: 1024,
+                reassigned: true,
+            }),
+            EventKind::UpdateDelivered(crate::event::UpdateDeliveredEvent {
+                object: 1,
+                host: 4,
+                class: crate::event::ConsistencyClass::Type2,
+                version: 2,
+                lag: 0.25,
+                wasted: false,
+            }),
         ];
         for kind in kinds {
             let e = Event {

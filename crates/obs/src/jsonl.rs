@@ -8,8 +8,9 @@
 //! escapes, numbers, booleans, null).
 
 use crate::event::{
-    CandidateSnapshot, DecisionBranch, DecisionEvent, Event, EventKind, FailReason,
-    PlacementActionEvent, PlacementActionKind, ResetCause,
+    CandidateSnapshot, ConsistencyClass, DecisionBranch, DecisionEvent, Event, EventKind,
+    FailReason, PlacementActionEvent, PlacementActionKind, ProviderUpdateEvent, ResetCause,
+    UpdateDeliveredEvent,
 };
 use std::fmt;
 use std::fmt::Write as _;
@@ -188,6 +189,23 @@ impl Event {
             } => {
                 let _ = write!(o, ",\"object\":{object},\"target\":{target},\"elapsed\":");
                 push_f64(o, *elapsed);
+            }
+            EventKind::ProviderUpdate(u) => {
+                let _ = write!(o, ",\"object\":{},\"class\":", u.object);
+                push_tag(o, u.class.as_str());
+                let _ = write!(
+                    o,
+                    ",\"version\":{},\"primary\":{},\"targets\":{},\
+                     \"bytes_hops\":{},\"reassigned\":{}",
+                    u.version, u.primary, u.targets, u.bytes_hops, u.reassigned
+                );
+            }
+            EventKind::UpdateDelivered(u) => {
+                let _ = write!(o, ",\"object\":{},\"host\":{},\"class\":", u.object, u.host);
+                push_tag(o, u.class.as_str());
+                let _ = write!(o, ",\"version\":{},\"lag\":", u.version);
+                push_f64(o, u.lag);
+                let _ = write!(o, ",\"wasted\":{}", u.wasted);
             }
         }
         o.push('}');
@@ -528,6 +546,13 @@ fn need_f64(v: &Val, key: &str) -> Result<f64, ParseError> {
     }
 }
 
+fn need_bool(v: &Val, key: &str) -> Result<bool, ParseError> {
+    match need(v, key)? {
+        Val::Bool(b) => Ok(*b),
+        _ => err(format!("field {key:?} is not a boolean")),
+    }
+}
+
 fn need_str(v: &Val, key: &str) -> Result<String, ParseError> {
     match need(v, key)?.str() {
         Some(s) => Ok(s.to_string()),
@@ -663,6 +688,23 @@ impl Event {
                 target: need_u16(&root, "target")?,
                 elapsed: need_f64(&root, "elapsed")?,
             },
+            "provider-update" => EventKind::ProviderUpdate(ProviderUpdateEvent {
+                object: need_u32(&root, "object")?,
+                class: need_tag(&root, "class", ConsistencyClass::from_tag)?,
+                version: need_u64(&root, "version")?,
+                primary: need_u16(&root, "primary")?,
+                targets: need_u16(&root, "targets")?,
+                bytes_hops: need_u64(&root, "bytes_hops")?,
+                reassigned: need_bool(&root, "reassigned")?,
+            }),
+            "update-delivered" => EventKind::UpdateDelivered(UpdateDeliveredEvent {
+                object: need_u32(&root, "object")?,
+                host: need_u16(&root, "host")?,
+                class: need_tag(&root, "class", ConsistencyClass::from_tag)?,
+                version: need_u64(&root, "version")?,
+                lag: need_f64(&root, "lag")?,
+                wasted: need_bool(&root, "wasted")?,
+            }),
             other => return err(format!("unknown event type {other:?}")),
         };
         Ok(Event {
@@ -832,6 +874,23 @@ mod tests {
             target: 9,
             elapsed: 61.5,
         }));
+        round_trip(base(EventKind::ProviderUpdate(ProviderUpdateEvent {
+            object: 42,
+            class: ConsistencyClass::Type1,
+            version: 3,
+            primary: 7,
+            targets: 2,
+            bytes_hops: 98_304,
+            reassigned: true,
+        })));
+        round_trip(base(EventKind::UpdateDelivered(UpdateDeliveredEvent {
+            object: 42,
+            host: 11,
+            class: ConsistencyClass::Type2,
+            version: 3,
+            lag: 0.31,
+            wasted: false,
+        })));
     }
 
     #[test]

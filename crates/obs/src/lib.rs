@@ -56,8 +56,9 @@ mod shard_profile;
 pub use audit::{AuditDelta, InvariantAuditor, Violation, ViolationKind};
 pub use diff::{diff_events, DiffOutcome};
 pub use event::{
-    CandidateSnapshot, DecisionBranch, DecisionEvent, Event, EventKind, FailReason,
-    PlacementActionEvent, PlacementActionKind, ResetCause, Severity, EVENT_TYPES,
+    CandidateSnapshot, ConsistencyClass, DecisionBranch, DecisionEvent, Event, EventKind,
+    FailReason, PlacementActionEvent, PlacementActionKind, ProviderUpdateEvent, ResetCause,
+    Severity, UpdateDeliveredEvent, EVENT_TYPES,
 };
 pub use jsonl::{
     parse_jsonl, parse_jsonl_log, EventLog, EvictionSummary, ParseError, ReorderStats,

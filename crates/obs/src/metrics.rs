@@ -17,7 +17,7 @@
 //! windows, and latency samples arrive in the same order they were
 //! recorded.
 
-use crate::event::{Event, EventKind, PlacementActionKind};
+use crate::event::{ConsistencyClass, Event, EventKind, PlacementActionKind};
 use radar_stats::{BinSpec, Histogram, OnlineSummary, P2Quantile, TimeSeries, WindowedRate};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::{Arc, Mutex};
@@ -138,6 +138,15 @@ pub struct MetricsObserver {
     served_total: u64,
     request_total: u64,
     re_replications_total: u64,
+    update_bandwidth: TimeSeries,
+    updates_total: u64,
+    updates_by_class: [u64; 3],
+    primary_reassignments: u64,
+    update_deliveries: u64,
+    wasted_deliveries: u64,
+    updates_merged: u64,
+    update_lag_type1: OnlineSummary,
+    update_lag_type2: OnlineSummary,
 }
 
 impl Default for MetricsObserver {
@@ -150,6 +159,7 @@ impl MetricsObserver {
     /// Creates an empty fold with the given configuration.
     pub fn new(cfg: MetricsConfig) -> Self {
         let bandwidth = TimeSeries::new(BinSpec::new(cfg.bandwidth_bin));
+        let update_bandwidth = TimeSeries::new(BinSpec::new(cfg.bandwidth_bin));
         let max_load = TimeSeries::new(BinSpec::new(cfg.load_interval));
         let latency_hist = Histogram::new(cfg.latency_bucket, cfg.latency_buckets.max(1));
         let next_load_sample = cfg.load_interval;
@@ -178,6 +188,15 @@ impl MetricsObserver {
             served_total: 0,
             request_total: 0,
             re_replications_total: 0,
+            update_bandwidth,
+            updates_total: 0,
+            updates_by_class: [0; 3],
+            primary_reassignments: 0,
+            update_deliveries: 0,
+            wasted_deliveries: 0,
+            updates_merged: 0,
+            update_lag_type1: OnlineSummary::new(),
+            update_lag_type2: OnlineSummary::new(),
         }
     }
 
@@ -273,6 +292,33 @@ impl MetricsObserver {
                 self.re_replications_total += 1;
                 self.re_replication_rate.record(event.t);
                 self.objects.entry(*object).or_default().replica_delta += 1;
+            }
+            EventKind::ProviderUpdate(u) => {
+                // Same fold the simulator applies at issue time: one
+                // update, its class tally, and the propagation traffic
+                // charged as a whole (the event carries the exact
+                // bytes×hops sum, so the cast matches bit for bit).
+                self.updates_total += 1;
+                self.updates_by_class[class_index(u.class)] += 1;
+                self.update_bandwidth.record(event.t, u.bytes_hops as f64);
+                if u.reassigned {
+                    self.primary_reassignments += 1;
+                }
+            }
+            EventKind::UpdateDelivered(u) => {
+                if u.wasted {
+                    self.wasted_deliveries += 1;
+                } else {
+                    self.update_deliveries += 1;
+                    match u.class {
+                        ConsistencyClass::Type1 => self.update_lag_type1.record(u.lag),
+                        ConsistencyClass::Type2 => {
+                            self.update_lag_type2.record(u.lag);
+                            self.updates_merged += 1;
+                        }
+                        ConsistencyClass::Type3 => {}
+                    }
+                }
             }
         }
     }
@@ -421,6 +467,62 @@ impl MetricsObserver {
     /// interned action tag.
     pub fn placement_counts(&self) -> &BTreeMap<&'static str, u64> {
         &self.placement_counts
+    }
+
+    /// Propagation traffic (bytes × hops) from provider updates, binned
+    /// like [`MetricsObserver::bandwidth`].
+    pub fn update_bandwidth(&self) -> &TimeSeries {
+        &self.update_bandwidth
+    }
+
+    /// Total provider updates folded.
+    pub fn updates(&self) -> u64 {
+        self.updates_total
+    }
+
+    /// Provider updates per §5 consistency class (type-1, type-2,
+    /// type-3 in index order).
+    pub fn updates_by_class(&self) -> [u64; 3] {
+        self.updates_by_class
+    }
+
+    /// Updates that landed while the primary copy was unreachable and
+    /// forced a primary reassignment.
+    pub fn primary_reassignments(&self) -> u64 {
+        self.primary_reassignments
+    }
+
+    /// Asynchronous update deliveries applied at a live replica.
+    pub fn update_deliveries(&self) -> u64 {
+        self.update_deliveries
+    }
+
+    /// Deliveries that arrived after the target replica was dropped.
+    pub fn wasted_deliveries(&self) -> u64 {
+        self.wasted_deliveries
+    }
+
+    /// Type-2 deliveries merged commutatively at the replica.
+    pub fn updates_merged(&self) -> u64 {
+        self.updates_merged
+    }
+
+    /// Staleness (update lag, seconds) summary for type-1 deliveries.
+    pub fn update_lag_type1(&self) -> &OnlineSummary {
+        &self.update_lag_type1
+    }
+
+    /// Staleness (update lag, seconds) summary for type-2 deliveries.
+    pub fn update_lag_type2(&self) -> &OnlineSummary {
+        &self.update_lag_type2
+    }
+}
+
+fn class_index(class: ConsistencyClass) -> usize {
+    match class {
+        ConsistencyClass::Type1 => 0,
+        ConsistencyClass::Type2 => 1,
+        ConsistencyClass::Type3 => 2,
     }
 }
 

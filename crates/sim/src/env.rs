@@ -10,9 +10,14 @@
 //! between the mutations of one epoch, so the observable decision
 //! stream is identical to unbatched resets.
 
-use radar_core::placement::{handle_create_obj, run_placement_into, PlacementEnv};
-use radar_core::{Catalog, CreateObjRequest, CreateObjResponse, HostState, ObjectId, Redirector};
-use radar_obs::{EventKind as ObsEventKind, PlacementActionEvent, PlacementActionKind, ResetCause};
+use radar_core::placement::{handle_create_obj, PlacementEnv};
+use radar_core::{
+    Catalog, CreateObjRequest, CreateObjResponse, HostState, ObjectId, ObjectKind, Redirector,
+};
+use radar_obs::{
+    ConsistencyClass, EventKind as ObsEventKind, PlacementActionEvent, PlacementActionKind,
+    ProviderUpdateEvent, ResetCause, UpdateDeliveredEvent,
+};
 use radar_simcore::{SimDuration, SimTime};
 use radar_simnet::{NodeId, RoutingView};
 
@@ -106,7 +111,7 @@ impl Simulation {
                 events: &mut self.events,
                 queue_depth,
             };
-            run_placement_into(
+            self.placement_policy.run_epoch(
                 &mut self.spare_host,
                 now,
                 &mut env,
@@ -158,12 +163,16 @@ impl Simulation {
         }
     }
 
-    /// A provider update (§5): pick a random object, propagate the new
-    /// version asynchronously from the primary copy to every other
-    /// replica, consuming update-propagation bandwidth. If the primary's
-    /// host no longer holds the object (it migrated or was dropped), the
-    /// primary moves to the object's lowest-id replica — "the location of
-    /// the primary copy is tracked by the object's redirector".
+    /// A provider update (§5): pick a random object and dispatch on its
+    /// consistency class. Type-1 (primary-copy) and type-2 (commuting)
+    /// objects propagate the new version asynchronously — per-target
+    /// [`Event::UpdateDeliver`] events measure each replica's staleness
+    /// window — while type-3 (non-commuting) objects apply the update
+    /// synchronously at every copy: the bandwidth is charged but no
+    /// replica is ever stale. If the primary's host no longer holds the
+    /// object (it migrated or was dropped), the primary moves to the
+    /// object's lowest-id replica — "the location of the primary copy is
+    /// tracked by the object's redirector".
     pub(crate) fn on_provider_update(&mut self, t: SimTime) {
         let now = t.as_secs();
         let gap = self.rng.exponential(self.scenario.update_rate);
@@ -181,6 +190,7 @@ impl Simulation {
             // will restore the object — nothing to propagate to.
             return;
         }
+        let kind = self.catalog.kind(object);
         let mut primary = self.catalog.primary(object);
         let mut reassigned = false;
         if !replicas.iter().any(|r| r.host == primary) {
@@ -204,11 +214,106 @@ impl Simulation {
             .iter()
             .map(|&t| bytes * self.view.distance(primary, t) as u64)
             .sum();
-        for target in targets {
+        for &target in &targets {
             self.charge_links(primary, target, bytes);
         }
+        let version = self.redirector.bump_update_version(object);
         self.metrics
-            .record_update(now, bytes_hops as f64, reassigned);
+            .record_update(now, bytes_hops as f64, reassigned, class_index(kind));
+        if matches!(kind, ObjectKind::Immutable | ObjectKind::CommutingUpdates) {
+            // Asynchronous propagation: each secondary learns the new
+            // version one store-and-forward transfer later.
+            for &target in &targets {
+                let delay = self.transfer(primary, target, bytes);
+                self.queue.schedule(
+                    t + SimDuration::from_secs(delay),
+                    Event::UpdateDeliver {
+                        object,
+                        target,
+                        version,
+                        issued: t,
+                    },
+                );
+            }
+        }
+        if self.events.tracing {
+            let qd = self.depth();
+            self.events.emit(
+                now,
+                qd,
+                0,
+                ObsEventKind::ProviderUpdate(ProviderUpdateEvent {
+                    object: object.index() as u32,
+                    class: class_tag(kind),
+                    version,
+                    primary: primary.index() as u16,
+                    targets: targets.len() as u16,
+                    bytes_hops,
+                    reassigned,
+                }),
+            );
+        }
+    }
+
+    /// One asynchronously propagated provider update reaching one
+    /// replica (§5). The target may have dropped the object (or been
+    /// purged) while the update was in flight — that delivery is wasted:
+    /// its traffic was already charged at issue, and it carries no
+    /// staleness sample because there is no replica left to be stale.
+    pub(crate) fn on_update_deliver(
+        &mut self,
+        t: SimTime,
+        object: ObjectId,
+        target: NodeId,
+        version: u64,
+        issued: SimTime,
+    ) {
+        let now = t.as_secs();
+        let lag = (t - issued).as_secs();
+        let kind = self.catalog.kind(object);
+        let wasted = !self
+            .redirector
+            .replicas(object)
+            .iter()
+            .any(|r| r.host == target);
+        self.metrics
+            .record_update_delivery(class_index(kind), lag, wasted);
+        if self.events.tracing {
+            let qd = self.depth();
+            self.events.emit(
+                now,
+                qd,
+                0,
+                ObsEventKind::UpdateDelivered(UpdateDeliveredEvent {
+                    object: object.index() as u32,
+                    host: target.index() as u16,
+                    class: class_tag(kind),
+                    version,
+                    lag,
+                    wasted,
+                }),
+            );
+        }
+    }
+}
+
+/// The §5 taxonomy index of an object kind (0 = type-1, 1 = type-2,
+/// 2 = type-3), used by the metrics layer's per-class accounting.
+fn class_index(kind: ObjectKind) -> usize {
+    match kind {
+        ObjectKind::Immutable => 0,
+        ObjectKind::CommutingUpdates => 1,
+        ObjectKind::NonCommuting { .. } => 2,
+    }
+}
+
+/// The flight recorder's interned tag for an object's consistency
+/// class.
+fn class_tag(kind: ObjectKind) -> ConsistencyClass {
+    match kind {
+        ObjectKind::Immutable => ConsistencyClass::Type1,
+        ObjectKind::CommutingUpdates => ConsistencyClass::Type2,
+        ObjectKind::NonCommuting { .. } => ConsistencyClass::Type3,
     }
 }
 
@@ -398,6 +503,10 @@ impl PlacementEnv for SimEnv<'_> {
         self.catalog
             .kind(object)
             .may_add_replica(self.redirector.replica_count(object))
+    }
+
+    fn replica_count(&self, object: ObjectId) -> usize {
+        self.redirector.replica_count(object)
     }
 }
 

@@ -258,6 +258,10 @@ impl RunReport {
             ("workload".into(), Json::Str(self.workload.clone())),
             ("policy".into(), Json::Str(self.policy.clone())),
             (
+                "placement_policy".into(),
+                Json::Str(self.placement_policy.clone()),
+            ),
+            (
                 "dynamic_placement".into(),
                 Json::Bool(self.dynamic_placement),
             ),
@@ -430,6 +434,15 @@ impl RunReport {
             ("queueing_delay".into(), summary(&self.queueing_delay)),
             ("response_travel".into(), summary(&self.response_travel)),
             ("updates_propagated".into(), uint(self.updates_propagated)),
+            (
+                "updates_by_class".into(),
+                Json::Arr(self.updates_by_class.iter().map(|&c| uint(c)).collect()),
+            ),
+            ("update_deliveries".into(), uint(self.update_deliveries)),
+            ("wasted_deliveries".into(), uint(self.wasted_deliveries)),
+            ("updates_merged".into(), uint(self.updates_merged)),
+            ("update_lag_type1".into(), summary(&self.update_lag_type1)),
+            ("update_lag_type2".into(), summary(&self.update_lag_type2)),
         ];
         fields.push((
             "primary_reassignments".into(),

@@ -64,6 +64,7 @@ mod json;
 mod lifecycle;
 mod metrics;
 mod observer;
+mod placement_policy;
 mod platform;
 mod redirect;
 mod report;
@@ -79,6 +80,7 @@ pub use faults::{Fault, FaultError, FaultSpec, FaultTransition, TransitionKind};
 pub use json::{protocol_health_json, shard_profile_json, Json};
 pub use metrics::{LoadEstimateSample, Metrics, RelocationAction, RelocationEvent};
 pub use observer::{FailureReason, Observer, RequestRecord};
+pub use placement_policy::{PlacementPolicy, RadarPlacement};
 pub use platform::Simulation;
 pub use report::{ReplicaCensus, RunReport};
 pub use selection::{RadarSelection, SelectionPolicy};

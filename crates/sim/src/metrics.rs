@@ -115,6 +115,20 @@ pub struct Metrics {
     pub response_travel: OnlineSummary,
     /// Provider updates propagated (§5).
     pub updates_propagated: u64,
+    /// Provider updates per consistency class: `[type-1, type-2,
+    /// type-3]`.
+    pub updates_by_class: [u64; 3],
+    /// Asynchronous update deliveries applied at replicas (type-1 and
+    /// type-2 objects).
+    pub update_deliveries: u64,
+    /// Deliveries that found their target replica already gone.
+    pub wasted_deliveries: u64,
+    /// Commuting updates merged at type-2 replicas.
+    pub updates_merged: u64,
+    /// Per-replica staleness of applied type-1 deliveries (seconds).
+    pub update_lag_type1: OnlineSummary,
+    /// Per-replica staleness of applied type-2 deliveries (seconds).
+    pub update_lag_type2: OnlineSummary,
     /// Times the primary copy had to be reassigned because its host no
     /// longer held the object.
     pub primary_reassignments: u64,
@@ -168,6 +182,12 @@ impl Metrics {
             queueing_delay: OnlineSummary::new(),
             response_travel: OnlineSummary::new(),
             updates_propagated: 0,
+            updates_by_class: [0; 3],
+            update_deliveries: 0,
+            wasted_deliveries: 0,
+            updates_merged: 0,
+            update_lag_type1: OnlineSummary::new(),
+            update_lag_type2: OnlineSummary::new(),
             primary_reassignments: 0,
             failed_requests: 0,
             primary_fallbacks: 0,
@@ -201,11 +221,41 @@ impl Metrics {
     }
 
     /// Records one propagated provider update and its traffic.
-    pub fn record_update(&mut self, t: f64, bytes_hops: f64, reassigned_primary: bool) {
+    /// `class` is the §5 taxonomy index (0 = type-1, 1 = type-2,
+    /// 2 = type-3).
+    pub fn record_update(
+        &mut self,
+        t: f64,
+        bytes_hops: f64,
+        reassigned_primary: bool,
+        class: usize,
+    ) {
         self.updates_propagated += 1;
+        self.updates_by_class[class] += 1;
         self.update_bandwidth.record(t, bytes_hops);
         if reassigned_primary {
             self.primary_reassignments += 1;
+        }
+    }
+
+    /// Records one asynchronous update delivery at a replica. `lag` is
+    /// the replica's staleness window for this version; `wasted` means
+    /// the target replica was gone by delivery time (the lag sample is
+    /// then discarded — there is no replica to be stale). Type-2
+    /// deliveries additionally count as merges.
+    pub fn record_update_delivery(&mut self, class: usize, lag: f64, wasted: bool) {
+        if wasted {
+            self.wasted_deliveries += 1;
+            return;
+        }
+        self.update_deliveries += 1;
+        match class {
+            0 => self.update_lag_type1.record(lag),
+            1 => {
+                self.update_lag_type2.record(lag);
+                self.updates_merged += 1;
+            }
+            _ => {}
         }
     }
 

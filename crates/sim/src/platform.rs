@@ -28,6 +28,7 @@ use crate::config::{InitialPlacement, PlacementMode, Scenario};
 use crate::faults::{FaultState, FaultTransition};
 use crate::metrics::Metrics;
 use crate::observer::Observer;
+use crate::placement_policy::{PlacementPolicy, RadarPlacement};
 use crate::redirect::RedirectEngine;
 use crate::report::RunReport;
 use crate::selection::{RadarSelection, SelectionPolicy};
@@ -78,6 +79,16 @@ pub(crate) enum Event {
     /// A content provider updates an object; the new version propagates
     /// from the primary copy to every replica (§5).
     ProviderUpdate,
+    /// An asynchronously propagated provider update reaches one replica
+    /// (§5, type-1/type-2 objects). `issued` is the provider-update
+    /// time, so `t − issued` is the replica's staleness window for this
+    /// version.
+    UpdateDeliver {
+        object: ObjectId,
+        target: NodeId,
+        version: u64,
+        issued: SimTime,
+    },
     /// The next entry of a replayed trace arrives at its gateway.
     TraceArrival { index: usize },
     /// The next scheduled fault transition fires.
@@ -101,6 +112,7 @@ impl Event {
             Event::LoadSample => "load-sample",
             Event::Placement { .. } => "placement",
             Event::ProviderUpdate => "provider-update",
+            Event::UpdateDeliver { .. } => "update-deliver",
             Event::TraceArrival { .. } => "trace-arrival",
             Event::Fault { .. } => "fault",
             Event::DeclareDead { .. } => "declare-dead",
@@ -123,6 +135,7 @@ pub struct Simulation {
     pub(crate) node_regions: Vec<radar_simnet::Region>,
     pub(crate) workload: Box<dyn Workload + Send>,
     pub(crate) selection: Box<dyn SelectionPolicy + Send>,
+    pub(crate) placement_policy: Box<dyn PlacementPolicy + Send>,
     pub(crate) hosts: Vec<HostState>,
     pub(crate) servers: Vec<FifoServer>,
     pub(crate) redirector: Redirector,
@@ -226,11 +239,29 @@ impl Simulation {
     }
 
     /// Creates a simulation with a custom replica-selection policy
-    /// (e.g. a baseline from `radar-baselines`).
+    /// (e.g. a baseline from `radar-baselines`) and the protocol's own
+    /// placement algorithm.
     pub fn with_selection(
         scenario: Scenario,
         workload: Box<dyn Workload + Send>,
         selection: Box<dyn SelectionPolicy + Send>,
+    ) -> Self {
+        Self::with_policies(
+            scenario,
+            workload,
+            selection,
+            Box::new(RadarPlacement::new()),
+        )
+    }
+
+    /// Creates a simulation with custom replica-selection *and*
+    /// replica-placement policies — the full pluggable surface for
+    /// head-to-head baseline comparisons.
+    pub fn with_policies(
+        scenario: Scenario,
+        workload: Box<dyn Workload + Send>,
+        selection: Box<dyn SelectionPolicy + Send>,
+        placement_policy: Box<dyn PlacementPolicy + Send>,
     ) -> Self {
         let view = RoutingView::new(scenario.topology.clone());
         let n = scenario.topology.len();
@@ -294,6 +325,7 @@ impl Simulation {
             node_regions,
             workload,
             selection,
+            placement_policy,
             hosts,
             servers,
             redirector,
@@ -633,6 +665,12 @@ impl Simulation {
             Event::LoadSample => self.on_load_sample(t),
             Event::Placement { host } => self.on_placement(t, host),
             Event::ProviderUpdate => self.on_provider_update(t),
+            Event::UpdateDeliver {
+                object,
+                target,
+                version,
+                issued,
+            } => self.on_update_deliver(t, object, target, version, issued),
             Event::TraceArrival { index } => self.on_trace_arrival(t, index),
             Event::Fault { index } => self.on_fault(t, index),
             Event::DeclareDead { host, epoch } => self.on_declare_dead(t, host, epoch),
@@ -704,6 +742,7 @@ impl Simulation {
             self.metrics,
             self.workload.name().to_string(),
             self.selection.name().to_string(),
+            self.placement_policy.name().to_string(),
             self.scenario.placement == PlacementMode::Dynamic,
             self.scenario.duration,
         );

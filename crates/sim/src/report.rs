@@ -32,6 +32,8 @@ pub struct RunReport {
     pub workload: String,
     /// Selection-policy name.
     pub policy: String,
+    /// Placement-policy name (`radar` unless a baseline was swapped in).
+    pub placement_policy: String,
     /// Whether dynamic placement ran.
     pub dynamic_placement: bool,
     /// Simulated duration (seconds).
@@ -99,6 +101,23 @@ pub struct RunReport {
     pub response_travel: Summary,
     /// Provider updates propagated (§5).
     pub updates_propagated: u64,
+    /// Provider updates per consistency class: `[type-1, type-2,
+    /// type-3]` (§5's taxonomy — primary-copy, commuting,
+    /// non-commuting).
+    pub updates_by_class: [u64; 3],
+    /// Asynchronous update deliveries applied at replicas (type-1 and
+    /// type-2 objects).
+    pub update_deliveries: u64,
+    /// Deliveries that arrived after the target replica had already
+    /// been dropped or migrated away.
+    pub wasted_deliveries: u64,
+    /// Commuting updates merged at type-2 replicas.
+    pub updates_merged: u64,
+    /// Per-replica staleness (seconds between a type-1 provider update
+    /// and its delivery at each secondary replica).
+    pub update_lag_type1: Summary,
+    /// Per-replica staleness of type-2 (commuting-merge) deliveries.
+    pub update_lag_type2: Summary,
     /// Times the primary copy was reassigned after its host shed the
     /// object.
     pub primary_reassignments: u64,
@@ -141,12 +160,14 @@ impl RunReport {
         metrics: Metrics,
         workload: String,
         policy: String,
+        placement_policy: String,
         dynamic_placement: bool,
         duration: f64,
     ) -> Self {
         Self {
             workload,
             policy,
+            placement_policy,
             dynamic_placement,
             duration,
             total_requests: metrics.total_requests,
@@ -189,6 +210,12 @@ impl RunReport {
             queueing_delay: metrics.queueing_delay.snapshot(),
             response_travel: metrics.response_travel.snapshot(),
             updates_propagated: metrics.updates_propagated,
+            updates_by_class: metrics.updates_by_class,
+            update_deliveries: metrics.update_deliveries,
+            wasted_deliveries: metrics.wasted_deliveries,
+            updates_merged: metrics.updates_merged,
+            update_lag_type1: metrics.update_lag_type1.snapshot(),
+            update_lag_type2: metrics.update_lag_type2.snapshot(),
             primary_reassignments: metrics.primary_reassignments,
             failed_requests: metrics.failed_requests,
             primary_fallbacks: metrics.primary_fallbacks,
@@ -366,7 +393,14 @@ mod tests {
                 m.record_overhead(i as f64 * 100.0, v);
             }
         }
-        RunReport::from_metrics(m, "test".into(), "radar".into(), true, 800.0)
+        RunReport::from_metrics(
+            m,
+            "test".into(),
+            "radar".into(),
+            "radar".into(),
+            true,
+            800.0,
+        )
     }
 
     #[test]
@@ -410,7 +444,7 @@ mod tests {
         m.max_load.record(0.0, 95.0);
         m.max_load.record(20.0, 60.0);
         m.max_load.record(40.0, 70.0);
-        let r = RunReport::from_metrics(m, "w".into(), "p".into(), true, 60.0);
+        let r = RunReport::from_metrics(m, "w".into(), "p".into(), "radar".into(), true, 60.0);
         assert_eq!(r.peak_load(), 95.0);
         assert_eq!(r.peak_load_after(1), 70.0);
     }

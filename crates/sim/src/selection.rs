@@ -155,4 +155,79 @@ mod tests {
         // Request count advanced through the policy.
         assert_eq!(redirector.replicas(ObjectId::new(0))[0].rcnt, 2);
     }
+
+    /// A minimal fault-oblivious policy: always the lowest-id replica.
+    struct FirstReplica;
+
+    impl SelectionPolicy for FirstReplica {
+        fn choose(
+            &mut self,
+            object: ObjectId,
+            _gateway: NodeId,
+            redirector: &mut Redirector,
+            _routes: &RoutingTable,
+        ) -> Option<NodeId> {
+            redirector.replicas(object).first().map(|r| r.host)
+        }
+
+        fn name(&self) -> &str {
+            "first-replica"
+        }
+    }
+
+    #[test]
+    fn default_choose_available_degrades_pessimistically() {
+        // The trait's default `choose_available` runs the fault-oblivious
+        // `choose` and then *fails* the request if the pick is unusable —
+        // it must not silently re-route to another replica, because a
+        // policy that never looks at liveness has no basis for a second
+        // choice.
+        let topo = builders::line(4);
+        let routes = topo.routes();
+        let mut redirector = Redirector::new(1, 2.0);
+        let x = ObjectId::new(0);
+        redirector.install(x, NodeId::new(0));
+        redirector.install(x, NodeId::new(3));
+        let mut policy = FirstReplica;
+
+        // Fault-free: behaves exactly like `choose`.
+        let all_up = |_: NodeId| true;
+        assert_eq!(
+            policy.choose_available(x, NodeId::new(1), &mut redirector, &routes, &all_up),
+            Some(NodeId::new(0))
+        );
+
+        // The picked host is down: the request fails even though the
+        // replica on node 3 is alive and usable.
+        let node0_down = |h: NodeId| h != NodeId::new(0);
+        assert_eq!(
+            policy.choose_available(x, NodeId::new(1), &mut redirector, &routes, &node0_down),
+            None
+        );
+
+        // And the default explained variant carries the same pick with
+        // no explanation attached.
+        let (host, explanation) = policy.choose_available_explained(
+            x,
+            NodeId::new(1),
+            &mut redirector,
+            &routes,
+            &node0_down,
+        );
+        assert_eq!(host, None);
+        assert!(explanation.is_none());
+
+        // Contrast: the protocol's own policy re-selects among usable
+        // replicas instead of failing.
+        assert_eq!(
+            RadarSelection::new().choose_available(
+                x,
+                NodeId::new(1),
+                &mut redirector,
+                &routes,
+                &node0_down,
+            ),
+            Some(NodeId::new(3))
+        );
+    }
 }

@@ -827,10 +827,13 @@ impl Simulation {
                     } => runtime.defer(&mut self, t, object, gateway, t0, cause),
                     ev @ (Event::Placement { .. }
                     | Event::ProviderUpdate
+                    | Event::UpdateDeliver { .. }
                     | Event::DeclareDead { .. }) => {
                         let cause = match &ev {
                             Event::Placement { .. } => BarrierCause::Placement,
-                            Event::ProviderUpdate => BarrierCause::ProviderUpdate,
+                            Event::ProviderUpdate | Event::UpdateDeliver { .. } => {
+                                BarrierCause::ProviderUpdate
+                            }
                             _ => BarrierCause::DeclareDead,
                         };
                         runtime.barrier(&mut self, Some(cause));

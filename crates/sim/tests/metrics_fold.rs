@@ -8,6 +8,7 @@
 //! they were recorded. This is what makes `radar simulate --dashboard`
 //! and `radar events watch` trustworthy views of a run.
 
+use radar_core::{Catalog, ConsistencyMix};
 use radar_sim::obs::{MetricsConfig, SharedMetrics};
 use radar_sim::{Scenario, Simulation};
 use radar_workload::ZipfReeds;
@@ -75,5 +76,79 @@ fn folded_metrics_match_the_end_of_run_report() {
                 + report.drops
                 + report.affinity_reductions
         );
+    });
+}
+
+#[test]
+fn folded_update_metrics_match_the_end_of_run_report() {
+    // A write-heavy §5 catalog with provider updates enabled: the fold
+    // must reproduce the update-traffic accounting — per-class counts,
+    // the propagation-bandwidth series, delivery/waste/merge tallies,
+    // and the per-class staleness summaries — bit for bit, because the
+    // `provider-update` / `update-delivered` events carry the exact
+    // byte·hop and lag values the simulator records.
+    let scenario = Scenario::builder()
+        .num_objects(OBJECTS)
+        .node_request_rate(2.0)
+        .duration(150.0)
+        .seed(23)
+        .update_rate(0.5)
+        .catalog(Catalog::with_mix(
+            OBJECTS,
+            12 * 1024,
+            53,
+            ConsistencyMix::WriteHeavy,
+        ))
+        .build()
+        .expect("valid scenario");
+    let cfg = MetricsConfig {
+        object_size: scenario.object_size,
+        bandwidth_bin: scenario.metric_bin,
+        load_interval: scenario.params.measurement_interval,
+        ..MetricsConfig::default()
+    };
+    let duration = scenario.duration;
+    let metrics = SharedMetrics::new(cfg);
+    let mut sim = Simulation::new(scenario, Box::new(ZipfReeds::new(OBJECTS)));
+    sim.attach_observer(Box::new(metrics.clone()));
+    let report = sim.run();
+    metrics.finalize(duration);
+
+    metrics.with(|m| {
+        assert!(m.updates() > 0, "run issued no provider updates");
+        assert_eq!(m.updates(), report.updates_propagated);
+        assert_eq!(m.updates_by_class(), report.updates_by_class);
+        assert!(
+            report.updates_by_class.iter().all(|&n| n > 0),
+            "write-heavy mix should exercise all three classes: {:?}",
+            report.updates_by_class
+        );
+        assert_eq!(m.primary_reassignments(), report.primary_reassignments);
+
+        // Asynchronous deliveries (type-1/2 only; type-3 is synchronous).
+        assert!(m.update_deliveries() > 0, "no delivery reached a replica");
+        assert_eq!(m.update_deliveries(), report.update_deliveries);
+        assert_eq!(m.wasted_deliveries(), report.wasted_deliveries);
+        assert_eq!(m.updates_merged(), report.updates_merged);
+
+        // Propagation bandwidth, binned by issue time.
+        assert_eq!(m.update_bandwidth().sums(), report.update_bandwidth.sums());
+        assert_eq!(
+            m.update_bandwidth().counts(),
+            report.update_bandwidth.counts()
+        );
+
+        // Per-replica staleness: both folds stream the same lag samples
+        // in delivery order.
+        let t1 = m.update_lag_type1().snapshot();
+        assert_eq!(t1.count, report.update_lag_type1.count);
+        assert_eq!(t1.mean, report.update_lag_type1.mean);
+        assert_eq!(t1.min, report.update_lag_type1.min);
+        assert_eq!(t1.max, report.update_lag_type1.max);
+        let t2 = m.update_lag_type2().snapshot();
+        assert_eq!(t2.count, report.update_lag_type2.count);
+        assert_eq!(t2.mean, report.update_lag_type2.mean);
+        assert_eq!(t2.min, report.update_lag_type2.min);
+        assert_eq!(t2.max, report.update_lag_type2.max);
     });
 }

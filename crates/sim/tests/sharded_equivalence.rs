@@ -7,6 +7,7 @@
 //! lets `scripts/check.sh` keep diffing the golden seed-42 log at
 //! `--shards 1` while CI also exercises multi-shard runs.
 
+use radar_core::{Catalog, ConsistencyMix};
 use radar_sim::obs::SharedRecorder;
 use radar_sim::{FaultSpec, Scenario, Simulation};
 use radar_workload::ZipfReeds;
@@ -25,6 +26,26 @@ fn scenario(faults: Option<FaultSpec>) -> Scenario {
         builder = builder.faults(spec);
     }
     builder.build().expect("valid scenario")
+}
+
+/// The update-traffic variant: provider updates against a write-heavy
+/// §5 catalog, so the comparison covers `ProviderUpdate` barriers *and*
+/// the asynchronously scheduled `UpdateDeliver` events.
+fn scenario_updates() -> Scenario {
+    Scenario::builder()
+        .num_objects(OBJECTS)
+        .node_request_rate(2.0)
+        .duration(150.0)
+        .seed(42)
+        .update_rate(0.5)
+        .catalog(Catalog::with_mix(
+            OBJECTS,
+            12 * 1024,
+            53,
+            ConsistencyMix::WriteHeavy,
+        ))
+        .build()
+        .expect("valid scenario")
 }
 
 fn faults() -> FaultSpec {
@@ -103,6 +124,41 @@ fn faulted_sharded_runs_match_serial_byte_for_byte() {
         report == serial_report,
         "2-shard faulted report diverged from serial"
     );
+}
+
+#[test]
+fn update_traffic_sharded_runs_match_serial_byte_for_byte() {
+    let run_updates = |shards: usize| {
+        let recorder = SharedRecorder::new(radar_sim::obs::DEFAULT_CAPACITY);
+        let mut sim = Simulation::new(scenario_updates(), Box::new(ZipfReeds::new(OBJECTS)));
+        sim.attach_observer(Box::new(recorder.clone()));
+        let report = if shards == 0 {
+            sim.run()
+        } else {
+            sim.run_sharded(shards)
+        };
+        (recorder.to_jsonl(), report.to_json_pretty())
+    };
+    let (serial_log, serial_report) = run_updates(0);
+    assert!(
+        serial_log.contains("\"type\":\"provider-update\""),
+        "update traffic did not fire"
+    );
+    assert!(
+        serial_log.contains("\"type\":\"update-delivered\""),
+        "no asynchronous delivery reached a replica"
+    );
+    for shards in [2, 3] {
+        let (log, report) = run_updates(shards);
+        assert!(
+            strip_reorder_trailer(&log) == serial_log,
+            "{shards}-shard update-traffic log diverged from serial"
+        );
+        assert!(
+            report == serial_report,
+            "{shards}-shard update-traffic report diverged from serial"
+        );
+    }
 }
 
 #[test]

@@ -38,6 +38,18 @@ cargo run -q -p radar-cli --bin radar -- simulate \
   --faults target/audit-faults.txt --events target/audit-faulted.jsonl \
   >/dev/null
 cargo run -q -p radar-cli --bin radar -- objects audit target/audit-faulted.jsonl
+echo "== invariant audit of an update-heavy type-1 run =="
+# Provider updates against the default (all type-1, primary-copy)
+# catalog: the auditor additionally checks that every update is issued
+# from a directory-known primary and that every non-wasted delivery
+# lands on a host that still holds the replica — the drop/delivery race
+# is exactly where stale bookkeeping would surface.
+cargo run -q -p radar-cli --bin radar -- simulate \
+  --objects 16 --rate 0.05 --duration 150 --seed 42 --update-rate 2 \
+  --events target/audit-updates.jsonl >/dev/null
+grep -q '"type":"provider-update"' target/audit-updates.jsonl \
+  || { echo "FAIL: update-heavy run emitted no provider updates"; exit 1; }
+cargo run -q -p radar-cli --bin radar -- objects audit target/audit-updates.jsonl
 echo "== protocol-health baseline (BENCH_protocol_health.json) =="
 # The ledger-enabled golden run is deterministic, so its
 # protocol_health report section doubles as a committed churn/audit
@@ -72,4 +84,19 @@ cargo run -q -p radar-cli --bin radar -- simulate \
   --json > target/report-profiled.json
 cargo run -q -p radar-cli --bin radar -- perf target/report-profiled.json \
   --check-coverage 95
+echo "== placement-policy sweep (BENCH_policies.json) =="
+# Regenerates the placement-policy × consistency-mix head-to-head at
+# the unit-test scale and gates on its shape: every placement policy
+# must appear under at least the read-only and write-heavy mixes.
+cargo run -q --release -p radar-bench --bin experiments -- --tiny policies \
+  > /dev/null
+for policy in radar availability cluster; do
+  grep -q "\"placement\": \"$policy\"" BENCH_policies.json \
+    || { echo "FAIL: placement policy $policy missing from sweep"; exit 1; }
+done
+for mix in read-only mixed write-heavy; do
+  grep -q "\"mix\": \"$mix\"" BENCH_policies.json \
+    || { echo "FAIL: consistency mix $mix missing from sweep"; exit 1; }
+done
+echo "BENCH_policies.json covers 3 policies x 3 mixes"
 echo "ALL CHECKS PASSED"
