@@ -138,8 +138,9 @@ impl CountingAlloc {
     }
 }
 
-// The one sanctioned `unsafe` item in the workspace: a `GlobalAlloc`
-// impl is an unsafe trait, and this one only counts and delegates.
+// One of the workspace's two sanctioned `unsafe` sites (next to the
+// SPSC ring in `radar_simcore::spsc`): a `GlobalAlloc` impl is an
+// unsafe trait, and this one only counts and delegates.
 #[allow(unsafe_code)]
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
@@ -254,7 +255,12 @@ impl ScalingRow {
 /// `BENCH_throughput.json` document, in the same hand-rolled fixed-key
 /// style as [`loop_baseline_json`]. A non-empty `scaling` slice appends
 /// a `"scaling"` section with one `shardN_events_per_sec` entry per
-/// recorded shard count.
+/// recorded shard count, and for every multi-shard count two derived
+/// fields: `shardN_speedup_vs_serial` (that row's events/sec over the
+/// 1-shard row's — the serial loop measured under identical
+/// conditions) and `shardN_parallel_efficiency` (speedup over N, the
+/// fraction of perfect linear scaling). Derived fields are documentary:
+/// the regression gate reads only the `shardN_events_per_sec` keys.
 pub fn throughput_baseline_json(
     config: &[(&str, String)],
     row: &ThroughputRow,
@@ -283,12 +289,26 @@ pub fn throughput_baseline_json(
         return out;
     }
     out.push_str("  },\n  \"scaling\": {\n");
+    let serial_eps = scaling
+        .iter()
+        .find(|p| p.shards == 1)
+        .map(|p| p.events_per_sec)
+        .unwrap_or(row.events_per_sec);
     for (i, point) in scaling.iter().enumerate() {
         out.push_str(&format!(
             "    \"{}\": {:.1}",
             point.key(),
             point.events_per_sec
         ));
+        if point.shards != 1 && serial_eps > 0.0 {
+            let speedup = point.events_per_sec / serial_eps;
+            out.push_str(&format!(
+                ",\n    \"shard{n}_speedup_vs_serial\": {speedup:.4},\n    \
+                 \"shard{n}_parallel_efficiency\": {:.4}",
+                speedup / point.shards as f64,
+                n = point.shards
+            ));
+        }
         out.push_str(if i + 1 < scaling.len() { ",\n" } else { "\n" });
     }
     out.push_str("  }\n}\n");
@@ -522,6 +542,36 @@ mod tests {
         assert_eq!(json_number(&json, "shard1_events_per_sec"), Some(1_000.0));
         assert_eq!(json_number(&json, "shard4_events_per_sec"), Some(1_600.5));
         assert_eq!(json_number(&json, "shard2_events_per_sec"), None);
+    }
+
+    #[test]
+    fn scaling_section_derives_speedup_and_efficiency() {
+        let row = ThroughputRow {
+            events: 100,
+            events_per_sec: 999.0, // NOT the serial reference: shard1 is
+            allocations: 10,
+            allocations_per_event: 0.1,
+        };
+        let curve = [
+            ScalingRow {
+                shards: 1,
+                events_per_sec: 1_000.0,
+            },
+            ScalingRow {
+                shards: 4,
+                events_per_sec: 2_000.0,
+            },
+        ];
+        let json = throughput_baseline_json(&[], &row, &curve);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        // 2000/1000 = 2× on 4 shards = 50% of linear.
+        assert_eq!(json_number(&json, "shard4_speedup_vs_serial"), Some(2.0));
+        assert_eq!(json_number(&json, "shard4_parallel_efficiency"), Some(0.5));
+        // The serial row itself carries no derived fields.
+        assert!(!json.contains("shard1_speedup_vs_serial"), "{json}");
+        // Derived keys must not confuse the per-shard gate lookups.
+        assert_eq!(json_number(&json, "shard4_events_per_sec"), Some(2_000.0));
+        assert!(throughput_gate_with_scaling(&json, &row, &curve, 0.1).is_ok());
     }
 
     #[test]

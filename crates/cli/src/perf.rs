@@ -3,20 +3,28 @@
 //!
 //! Accepts either a `radar simulate --json --profile` report (a
 //! `shard_profile` section), a `BENCH_profile.json` artifact from the
-//! throughput bench (a `profiles` array), or a bare profile object —
-//! and prints each profile's utilization table with a top-stalls
-//! breakdown. `--check-coverage PCT` turns the renderer into a gate:
-//! the command errors unless every lane of every profile attributes at
-//! least `PCT` percent of the run's wall-clock to named span
-//! categories, which is how CI asserts the profiler itself stays
-//! honest.
+//! throughput bench (a `profiles` array), a bare profile object — or a
+//! `BENCH_throughput.json` baseline, whose `scaling` section is
+//! rendered as a speedup/efficiency table. Profile files print each
+//! profile's utilization table with a top-stalls breakdown.
+//!
+//! Two options turn the renderer into a gate: `--check-coverage PCT`
+//! errors unless every lane of every profile attributes at least `PCT`
+//! percent of the run's wall-clock to named span categories (how CI
+//! asserts the profiler itself stays honest), and
+//! `--check-batch-p50 N` errors unless every profile recorded hand-offs
+//! and the *lowest-shard-count* profile's batch-size p50 is at least
+//! `N` items per message (how CI asserts the batched hand-off transport
+//! has not silently degenerated to one message per decision; higher
+//! shard counts split the same decision stream across more lanes, so
+//! only the lowest count yields a stable amortization median).
 
 use radar_obs::{BarrierCause, LaneProfile, Log2Histogram, ShardProfile, SpanKind};
 
 use crate::args::Parsed;
 use crate::json::Value;
 
-const OPTIONS: &[&str] = &["top", "check-coverage"];
+const OPTIONS: &[&str] = &["top", "check-coverage", "check-batch-p50"];
 const SWITCHES: &[&str] = &["help"];
 
 /// Default number of stall rows in the breakdown.
@@ -42,10 +50,33 @@ pub(crate) fn command(args: &[&str]) -> Result<String, String> {
                 .map_err(|_| format!("--check-coverage expects a percentage, got {raw:?}"))?,
         ),
     };
+    let min_batch_p50: Option<u64> = match parsed.get("check-batch-p50") {
+        None => None,
+        Some(raw) => Some(
+            raw.parse()
+                .map_err(|_| format!("--check-batch-p50 expects an item count, got {raw:?}"))?,
+        ),
+    };
 
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let value = Value::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
-    let profiles = extract_profiles(&value).map_err(|e| format!("{path}: {e}"))?;
+    let profiles = match extract_profiles(&value) {
+        Ok(profiles) => profiles,
+        Err(e) => {
+            // Not a profile file — a throughput baseline's scaling
+            // section still renders (but cannot satisfy profile gates).
+            if let Some(table) = render_scaling(&value) {
+                if min_coverage.is_some() || min_batch_p50.is_some() {
+                    return Err(format!(
+                        "{path}: the coverage/batch gates need shard profiles, \
+                         but this file only has a throughput scaling section"
+                    ));
+                }
+                return Ok(table);
+            }
+            return Err(format!("{path}: {e}"));
+        }
+    };
 
     let mut out = String::new();
     for (i, profile) in profiles.iter().enumerate() {
@@ -74,7 +105,98 @@ pub(crate) fn command(args: &[&str]) -> Result<String, String> {
             "coverage check passed: every lane ≥ {pct}% attributed\n"
         ));
     }
+    if let Some(min) = min_batch_p50 {
+        for (i, profile) in profiles.iter().enumerate() {
+            if profile.handoff_ns.count() == 0 {
+                return Err(format!(
+                    "batch check failed: profile {} recorded no hand-offs \
+                     (the hand-off histogram is empty)",
+                    i + 1
+                ));
+            }
+        }
+        // The p50 bar applies to the lowest-shard-count profile only:
+        // it is the canonical amortization measurement. Higher counts
+        // split the same decision stream ~1/N per worker lane, so
+        // their per-message medians shrink toward 1 even when the
+        // transport is healthy — gating them would measure the
+        // workload's parallel width, not the batching.
+        let (i, reference) = profiles
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, p)| p.shards)
+            .expect("extract_profiles rejects empty files");
+        let p50 = reference.batch_items.percentile(0.50).unwrap_or(0);
+        if p50 < min {
+            return Err(format!(
+                "batch check failed: profile {} ({} shards) batch-size p50 \
+                 ≤{p50} item(s)/message is below the required {min} — the \
+                 batched hand-off has degenerated toward one message per \
+                 decision",
+                i + 1,
+                reference.shards
+            ));
+        }
+        out.push_str(&format!(
+            "batch check passed: {}-shard batch-size p50 ≥ {min}, every \
+             profile recorded hand-offs\n",
+            reference.shards
+        ));
+    }
     Ok(out)
+}
+
+/// Renders the `scaling` section of a `BENCH_throughput.json` baseline
+/// as a per-shard-count table with the derived speedup/efficiency
+/// columns. `None` when the document has no such section.
+fn render_scaling(value: &Value) -> Option<String> {
+    let Value::Obj(members) = value.get("scaling")? else {
+        return None;
+    };
+    let mut out = String::from("throughput scaling");
+    if let Some(cores) = value
+        .get("config")
+        .and_then(|c| c.get("host_cores"))
+        .and_then(Value::as_u64)
+    {
+        out.push_str(&format!(" — measured on {cores} host core(s)"));
+    }
+    out.push('\n');
+    out.push_str(&format!(
+        "  {:<7} {:>14} {:>10} {:>11}\n",
+        "shards", "events/sec", "speedup", "efficiency"
+    ));
+    let mut rows = 0;
+    for (key, val) in members {
+        let Some(n) = key
+            .strip_prefix("shard")
+            .and_then(|rest| rest.strip_suffix("_events_per_sec"))
+        else {
+            continue;
+        };
+        let eps = val.as_f64()?;
+        let lookup = |suffix: &str| {
+            value
+                .get("scaling")
+                .and_then(|s| s.get(&format!("shard{n}_{suffix}")))
+                .and_then(Value::as_f64)
+        };
+        let speedup = match lookup("speedup_vs_serial") {
+            Some(s) => format!("{s:.2}×"),
+            None if n == "1" => "1.00×".to_string(), // the serial reference
+            None => "-".to_string(),
+        };
+        let efficiency = match lookup("parallel_efficiency") {
+            Some(e) => format!("{:.1}%", 100.0 * e),
+            None if n == "1" => "100.0%".to_string(),
+            None => "-".to_string(),
+        };
+        out.push_str(&format!(
+            "  {n:<7} {eps:>14.1} {speedup:>10} {efficiency:>11}\n"
+        ));
+        rows += 1;
+    }
+    (rows > 0).then_some(out)
 }
 
 /// Pulls every profile object out of whichever container the file is:
@@ -191,15 +313,20 @@ fn help() -> String {
     "radar perf — render shard-profile telemetry from a profiled run\n\
      \n\
      USAGE:\n\
-     \x20 radar perf FILE [--top N] [--check-coverage PCT]\n\
+     \x20 radar perf FILE [--top N] [--check-coverage PCT] [--check-batch-p50 N]\n\
      \n\
      FILE is a `radar simulate --profile --shards N --json` report, a\n\
-     BENCH_profile.json bench artifact, or a bare profile object.\n\
+     BENCH_profile.json bench artifact, a bare profile object, or a\n\
+     BENCH_throughput.json baseline (its scaling section is rendered as\n\
+     a speedup/efficiency table).\n\
      \n\
      OPTIONS:\n\
      \x20 --top N               stall rows in the breakdown (default 8)\n\
      \x20 --check-coverage PCT  error unless every lane attributes at least\n\
-     \x20                       PCT percent of wall-clock to named categories\n"
+     \x20                       PCT percent of wall-clock to named categories\n\
+     \x20 --check-batch-p50 N   error unless every profile recorded hand-offs\n\
+     \x20                       and the lowest-shard-count profile's batch-size\n\
+     \x20                       p50 is at least N items per message\n"
         .to_string()
 }
 
@@ -287,6 +414,79 @@ mod tests {
         std::fs::remove_file(&path).ok();
         assert!(err.contains("coverage check failed"), "{err}");
         assert!(err.contains("sequencer"), "{err}");
+    }
+
+    #[test]
+    fn batch_p50_gate_passes_and_fails() {
+        // sample_profile records one batch of 3 items and 400 hand-offs.
+        let profile = sample_profile();
+        let json = format!(
+            "{{\"shard_profile\": {}}}",
+            radar_sim::shard_profile_json(&profile).pretty()
+        );
+        let path = write_temp("batch-gate.json", &json);
+        let ok = command(&[path.to_str().unwrap(), "--check-batch-p50", "2"]).unwrap();
+        assert!(ok.contains("batch check passed"), "{ok}");
+        let err = command(&[path.to_str().unwrap(), "--check-batch-p50", "16"]).unwrap_err();
+        assert!(err.contains("batch check failed"), "{err}");
+        std::fs::remove_file(&path).ok();
+
+        // In a multi-profile artifact the p50 bar reads the
+        // lowest-shard-count profile; a higher count whose batches
+        // thinned to 1 item/message must not trip the gate.
+        let mut thin = sample_profile();
+        thin.shards = 8;
+        thin.batch_items = Log2Histogram::default();
+        for _ in 0..10 {
+            thin.batch_items.record(1);
+        }
+        let json = format!(
+            "{{\"config\": {{}}, \"profiles\": [{}, {}]}}",
+            radar_sim::shard_profile_json(&profile).pretty(),
+            radar_sim::shard_profile_json(&thin).pretty()
+        );
+        let path = write_temp("batch-multi.json", &json);
+        let ok = command(&[path.to_str().unwrap(), "--check-batch-p50", "2"]).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(ok.contains("2-shard batch-size p50"), "{ok}");
+
+        // A profile that never recorded a hand-off fails regardless of
+        // the threshold: an empty histogram means the sharded loop
+        // deferred nothing, which the gate must not silently pass.
+        let empty = ShardProfile {
+            shards: 2,
+            wall_ns: 1,
+            workers: vec![LaneProfile::default(); 2],
+            ..ShardProfile::default()
+        };
+        let json = format!(
+            "{{\"shard_profile\": {}}}",
+            radar_sim::shard_profile_json(&empty).pretty()
+        );
+        let path = write_temp("batch-empty.json", &json);
+        let err = command(&[path.to_str().unwrap(), "--check-batch-p50", "1"]).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(err.contains("no hand-offs"), "{err}");
+    }
+
+    #[test]
+    fn throughput_baseline_renders_scaling_table() {
+        let json = "{\n  \"config\": {\"seed\": 42, \"host_cores\": 4},\n  \
+             \"throughput\": {\"events\": 100, \"events_per_sec\": 1000.0},\n  \
+             \"scaling\": {\n    \"shard1_events_per_sec\": 1000.0,\n    \
+             \"shard4_events_per_sec\": 2000.0,\n    \
+             \"shard4_speedup_vs_serial\": 2.0,\n    \
+             \"shard4_parallel_efficiency\": 0.5\n  }\n}\n";
+        let path = write_temp("scaling.json", json);
+        let out = command(&[path.to_str().unwrap()]).unwrap();
+        assert!(out.contains("4 host core(s)"), "{out}");
+        assert!(out.contains("2.00×"), "{out}");
+        assert!(out.contains("50.0%"), "{out}");
+        assert!(out.contains("1.00×"), "{out}");
+        // Profile gates cannot run against a scaling-only file.
+        let err = command(&[path.to_str().unwrap(), "--check-batch-p50", "2"]).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(err.contains("scaling section"), "{err}");
     }
 
     #[test]

@@ -97,6 +97,29 @@ impl EventReorderBuffer {
         self.max_held = self.max_held.max(self.held.len());
     }
 
+    /// Accepts a whole batch-reserved run of emissions at once.
+    ///
+    /// The sharded loop's batched hand-off reserves runs of consecutive
+    /// sequence numbers in one block and commits them together; this is
+    /// the matching entry point. The run must be seq-contiguous — that
+    /// contiguity is the invariant bulk reservation relies on, so a gap
+    /// here means the batch was assembled wrong.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run's sequence numbers are not consecutive, or on
+    /// any condition [`push`](Self::push) panics on.
+    pub fn push_run(&mut self, events: impl IntoIterator<Item = Event>) {
+        let mut expected = None;
+        for event in events {
+            if let Some(seq) = expected {
+                assert_eq!(event.seq, seq, "batch-reserved run is not contiguous");
+            }
+            expected = Some(event.seq + 1);
+            self.push(event);
+        }
+    }
+
     /// Releases the next event in sequence order, or `None` while a
     /// predecessor is still outstanding. Call in a loop after each
     /// [`push`](Self::push) to drain everything that became ready.
@@ -277,6 +300,29 @@ mod tests {
         assert!(!buf.is_empty());
         assert_eq!(buf.drains(), 0, "a stalled episode never drains");
         drop(buf); // held events are simply discarded, no panic
+    }
+
+    #[test]
+    fn batch_reserved_run_releases_in_order() {
+        // The sequencer reserves seqs 2..=4 for one batched defer run,
+        // emits 1 inline, keeps going (5), and the run commits late and
+        // all at once. Observers must still see 1..=5 in order.
+        let mut buf = EventReorderBuffer::new();
+        buf.push(ev(1));
+        assert_eq!(buf.pop_ready().unwrap().seq, 1);
+        buf.push(ev(5));
+        assert!(buf.pop_ready().is_none(), "run 2..=4 is outstanding");
+        buf.push_run([ev(2), ev(3), ev(4)]);
+        let released: Vec<u64> = std::iter::from_fn(|| buf.pop_ready().map(|e| e.seq)).collect();
+        assert_eq!(released, vec![2, 3, 4, 5]);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "not contiguous")]
+    fn non_contiguous_run_panics() {
+        let mut buf = EventReorderBuffer::new();
+        buf.push_run([ev(2), ev(4)]);
     }
 
     #[test]

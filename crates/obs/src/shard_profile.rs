@@ -306,7 +306,10 @@ pub struct ShardProfile {
     /// Per-decision hand-off latency: defer on the sequencer to
     /// committed answer, in nanoseconds.
     pub handoff_ns: Log2Histogram,
-    /// Work items per channel message (1 until hand-offs batch).
+    /// Work items per batched reply message: each worker answers a
+    /// whole `Batch` with a single `Outcomes` message, so this is the
+    /// hand-off amortization factor (a p50 of 1 means the transport
+    /// degenerated to one message per decision).
     pub batch_items: Log2Histogram,
     /// Epoch barriers by [`BarrierCause`], indexed by discriminant
     /// order ([`BarrierCause::ALL`]).
@@ -450,9 +453,11 @@ impl ShardProfile {
             out.push_str("batch size: (empty)\n");
         } else {
             out.push_str(&format!(
-                "batch size: count {} · mean {:.2} items/message · max {}\n",
+                "batch size: count {} · mean {:.2} items/message · p50 ≤{} · p99 ≤{} · max {}\n",
                 self.batch_items.count(),
                 self.batch_items.mean(),
+                self.batch_items.percentile(0.50).unwrap_or(0),
+                self.batch_items.percentile(0.99).unwrap_or(0),
                 self.batch_items.max()
             ));
         }
@@ -586,6 +591,10 @@ mod tests {
         assert!(text.contains("channel-wait"), "{text}");
         assert!(text.contains("placement 6"), "{text}");
         assert!(text.contains("hand-off latency"), "{text}");
+        assert!(
+            text.contains("items/message · p50 ≤1"),
+            "batch line should carry percentiles: {text}"
+        );
         // Stalls rank by attributed time: the workers' 900 µs idle
         // outranks the sequencer's 780 µs channel-wait.
         let stall_pos = text.find("top stalls").unwrap();

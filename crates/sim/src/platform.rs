@@ -156,6 +156,12 @@ pub struct Simulation {
     /// [`depth`](Self::depth) reports the queue depth a serial run would
     /// see at the same point in the event order.
     pub(crate) pending_push_estimate: u32,
+    /// Upper bound on how many consecutive deferred redirects the
+    /// sharded sequencer coalesces into one hand-off run. `None` (the
+    /// default) lets runs grow as far as the determinism floor allows;
+    /// `Some(1)` forces the pre-batching one-item-per-message behavior
+    /// (the equivalence tests pin both against serial).
+    pub(crate) shard_batch_cap: Option<usize>,
     /// Attached observers plus the flight-recorder state.
     pub(crate) events: EventSink,
     /// Event-loop profiling accumulator; `None` until
@@ -337,6 +343,7 @@ impl Simulation {
             arrivals,
             started: false,
             pending_push_estimate: 0,
+            shard_batch_cap: None,
             events: EventSink::new(),
             profile: None,
             shard_profile_live: None,
@@ -436,6 +443,17 @@ impl Simulation {
         let live = SharedShardProfile::new();
         self.shard_profile_live = Some(live.clone());
         live
+    }
+
+    /// Caps how many consecutive deferred redirects
+    /// [`run_sharded`](Simulation::run_sharded) coalesces into one
+    /// batched hand-off. `None` (the default) leaves runs bounded only
+    /// by the determinism floor; `Some(1)` reproduces the pre-batching
+    /// one-item-per-message hand-off. Any cap yields byte-identical
+    /// outputs — the cap trades hand-off amortization against worker
+    /// wake-up latency, nothing observable.
+    pub fn set_shard_batch_cap(&mut self, cap: Option<usize>) {
+        self.shard_batch_cap = cap;
     }
 
     /// Enables the protocol-health ledger: a

@@ -14,7 +14,7 @@ use crate::observer::Observer;
 ///
 /// In the sharded event loop (`Simulation::run_sharded`), sequence
 /// numbers for deferred redirect decisions are reserved up front via
-/// [`reserve_seq`](Self::reserve_seq) and filled in later with
+/// [`reserve_seqs`](Self::reserve_seqs) and filled in later with
 /// [`emit_reserved_decision`](Self::emit_reserved_decision). While that
 /// mode is active ([`enable_reorder`](Self::enable_reorder)), every
 /// emission passes through an [`EventReorderBuffer`] so observers still
@@ -72,17 +72,23 @@ impl EventSink {
         self.reorder.as_ref().is_none_or(|buf| buf.is_empty())
     }
 
-    /// Claims the next sequence number without emitting anything. The
-    /// caller must eventually emit exactly one event carrying it (see
+    /// Claims `count` consecutive sequence numbers at once — without
+    /// emitting anything — and returns the first. The caller must
+    /// eventually emit exactly one event per claimed number (see
     /// [`emit_reserved_decision`](Self::emit_reserved_decision)), or
-    /// reorder mode will hold back every later emission forever.
-    /// Reservations are tallied for the `{"type":"reorder",…}` log
-    /// trailer of a sharded run.
-    pub(crate) fn reserve_seq(&mut self) -> u64 {
-        self.reserved_total += 1;
-        self.reserved_outstanding += 1;
+    /// reorder mode will hold back every later emission forever. The
+    /// block is exact for a batched defer run in the sharded loop: a
+    /// whole run of redirects is reserved before any handler gets a
+    /// chance to emit, so the numbers a serial loop would hand out
+    /// per-item are precisely consecutive. Reservations are tallied for
+    /// the `{"type":"reorder",…}` log trailer of a sharded run.
+    pub(crate) fn reserve_seqs(&mut self, count: u64) -> u64 {
+        self.reserved_total += count;
+        self.reserved_outstanding += count;
         self.reserved_peak = self.reserved_peak.max(self.reserved_outstanding);
-        self.next()
+        let first = self.next_seq + 1;
+        self.next_seq += count;
+        first
     }
 
     /// Advances and returns the sequence counter (internal emissions —

@@ -54,6 +54,16 @@ fn profiled_sharded_run_attributes_wall_clock_to_named_spans() {
         profile.handoff_ns.max() >= profile.handoff_ns.sum() / profile.handoff_ns.count().max(1)
     );
 
+    // Every answered item traveled in exactly one batched reply
+    // message, so batch sizes sum to the item count — and a rate-2.0
+    // Zipf workload must coalesce at least some runs into real batches.
+    assert_eq!(profile.batch_items.sum(), worker_items);
+    assert!(profile.batch_items.count() <= worker_items);
+    assert!(
+        profile.batch_items.max() >= 2,
+        "no multi-item batch in a whole profiled run"
+    );
+
     // The sequencer popped every event the workers decided, plus its own.
     assert!(profile.sequencer.items > worker_items);
 

@@ -59,8 +59,19 @@ fn faults() -> FaultSpec {
 
 /// Runs one traced simulation and returns `(jsonl, report_json)`.
 fn run(faults_spec: Option<FaultSpec>, shards: usize) -> (String, String) {
+    run_with_cap(faults_spec, shards, None)
+}
+
+/// Like [`run`], forcing a hand-off batch cap (`Some(1)` reproduces the
+/// pre-batching one-item-per-message transport).
+fn run_with_cap(
+    faults_spec: Option<FaultSpec>,
+    shards: usize,
+    batch_cap: Option<usize>,
+) -> (String, String) {
     let recorder = SharedRecorder::new(radar_sim::obs::DEFAULT_CAPACITY);
     let mut sim = Simulation::new(scenario(faults_spec), Box::new(ZipfReeds::new(OBJECTS)));
+    sim.set_shard_batch_cap(batch_cap);
     sim.attach_observer(Box::new(recorder.clone()));
     let report = if shards == 0 {
         sim.run() // the serial reference
@@ -91,7 +102,9 @@ fn fault_free_sharded_runs_match_serial_byte_for_byte() {
         !serial_log.contains("\"type\":\"reorder\""),
         "serial runs must not emit the reorder trailer"
     );
-    for shards in [2, 3] {
+    // Coprime and >-than-core counts included: 40 objects over 7 shards
+    // exercises uneven ranges and a near-empty tail shard.
+    for shards in [2, 3, 5, 7] {
         let (log, report) = run(None, shards);
         assert!(
             log.contains("\"type\":\"reorder\""),
@@ -109,21 +122,54 @@ fn fault_free_sharded_runs_match_serial_byte_for_byte() {
 }
 
 #[test]
+fn batch_cap_extremes_match_serial_byte_for_byte() {
+    // The batch cap must be behavior-invisible: forcing one item per
+    // message (the pre-batching transport) and leaving runs unbounded
+    // must both reproduce the serial stream exactly — batching only
+    // changes when outcomes travel, never what they say.
+    let (serial_log, serial_report) = run(None, 0);
+    for (shards, cap) in [(2, Some(1)), (3, Some(1)), (2, None), (3, None)] {
+        let (log, report) = run_with_cap(None, shards, cap);
+        assert!(
+            strip_reorder_trailer(&log) == serial_log,
+            "{shards}-shard cap={cap:?} event log diverged from serial"
+        );
+        assert!(
+            report == serial_report,
+            "{shards}-shard cap={cap:?} report diverged from serial"
+        );
+    }
+    // And under faults, where serial windows interleave with batched ones.
+    let (serial_log, serial_report) = run(Some(faults()), 0);
+    let (log, report) = run_with_cap(Some(faults()), 3, Some(1));
+    assert!(
+        strip_reorder_trailer(&log) == serial_log,
+        "3-shard cap=1 faulted log diverged from serial"
+    );
+    assert!(
+        report == serial_report,
+        "3-shard cap=1 faulted report diverged from serial"
+    );
+}
+
+#[test]
 fn faulted_sharded_runs_match_serial_byte_for_byte() {
     let (serial_log, serial_report) = run(Some(faults()), 0);
     assert!(
         serial_log.contains("\"type\":\"fault\""),
         "fault schedule did not fire"
     );
-    let (log, report) = run(Some(faults()), 2);
-    assert!(
-        strip_reorder_trailer(&log) == serial_log,
-        "2-shard faulted log diverged from serial"
-    );
-    assert!(
-        report == serial_report,
-        "2-shard faulted report diverged from serial"
-    );
+    for shards in [2, 5] {
+        let (log, report) = run(Some(faults()), shards);
+        assert!(
+            strip_reorder_trailer(&log) == serial_log,
+            "{shards}-shard faulted log diverged from serial"
+        );
+        assert!(
+            report == serial_report,
+            "{shards}-shard faulted report diverged from serial"
+        );
+    }
 }
 
 #[test]

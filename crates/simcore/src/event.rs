@@ -125,6 +125,20 @@ impl<E> EventQueue<E> {
         seq
     }
 
+    /// Reserves `count` consecutive insertion sequence numbers and
+    /// returns the first of the run.
+    ///
+    /// Equivalent to `count` calls of [`reserve_seq`](Self::reserve_seq)
+    /// with nothing scheduled in between: the reserved numbers are
+    /// `first..first + count`. A batching caller (e.g. the sharded event
+    /// loop deferring a whole run of decisions at once) uses this to pin
+    /// every item of the run with one reservation instead of `count`.
+    pub fn reserve_seqs(&mut self, count: u64) -> u64 {
+        let first = self.next_seq;
+        self.next_seq += count;
+        first
+    }
+
     /// Schedules `payload` at `time` under a sequence number previously
     /// obtained from [`reserve_seq`](Self::reserve_seq).
     ///
@@ -162,6 +176,13 @@ impl<E> EventQueue<E> {
     /// work holding [reserved](Self::reserve_seq) sequence numbers.
     pub fn peek_key(&self) -> Option<(SimTime, u64)> {
         self.heap.peek().map(|ev| (ev.time, ev.seq))
+    }
+
+    /// Payload of the next event without removing it. Lets a dispatcher
+    /// inspect the head (e.g. to decide whether it can be coalesced into
+    /// a batch) before committing to the pop.
+    pub fn peek(&self) -> Option<&E> {
+        self.heap.peek().map(|ev| &ev.payload)
     }
 
     /// Number of pending events.
@@ -274,6 +295,33 @@ mod tests {
     fn scheduling_unreserved_seq_panics() {
         let mut q: EventQueue<()> = EventQueue::new();
         q.schedule_reserved(SimTime::from_secs(1.0), 7, ());
+    }
+
+    #[test]
+    fn reserve_seqs_matches_repeated_reserve_seq() {
+        // A block reservation must pin items exactly where per-item
+        // reservations would have.
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1.0);
+        q.schedule(t, "a"); // seq 0
+        let first = q.reserve_seqs(3); // seqs 1, 2, 3
+        assert_eq!(first, 1);
+        q.schedule(t, "e"); // seq 4
+        q.schedule_reserved(t, first + 2, "d");
+        q.schedule_reserved(t, first, "b");
+        q.schedule_reserved(t, first + 1, "c");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "c", "d", "e"]);
+    }
+
+    #[test]
+    fn peek_exposes_head_payload() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek(), None);
+        q.schedule(SimTime::from_secs(2.0), "late");
+        q.schedule(SimTime::from_secs(1.0), "early");
+        assert_eq!(q.peek(), Some(&"early"));
+        assert_eq!(q.len(), 2, "peek must not consume");
     }
 
     #[test]
